@@ -1,0 +1,202 @@
+// Ablation studies for the design choices DESIGN.md calls out (§3.2 of the
+// paper argues for each verbally; these benches measure them):
+//
+//  A. Symmetry weights: binomial binom(l,α)/2^l vs uniform 1/(l+1) vs
+//     endpoints-only — ranking quality against planted-community truth.
+//  B. Length weights: geometric C^l vs exponential C^l/l! vs the rejected
+//     C^l/l — iterations needed to reach accuracy eps (the paper rejects
+//     C^l/l because it lacks a neat closed form; here we also show its
+//     convergence sits between the other two).
+//  C. Edge-concentration heuristic stages: compression ratio and memo-gSR*
+//     iteration time for none / duplicate-folding only / + shingle passes.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "srs/common/table_printer.h"
+#include "srs/core/memo_gsr_star.h"
+#include "srs/core/series_reference.h"
+#include "srs/datasets/datasets.h"
+#include "srs/datasets/ground_truth.h"
+#include "srs/eval/ndcg.h"
+#include "srs/eval/rank_correlation.h"
+#include "srs/eval/ranking.h"
+#include "srs/matrix/ops.h"
+
+#include "bench_util.h"
+
+namespace srs {
+namespace {
+
+/// Evaluates S = Σ_l w_l Σ_α symweight(l,α) Q^α (Qᵀ)^{l−α} with arbitrary
+/// weights (dense powers — small graphs only).
+DenseMatrix CustomWeightedStar(
+    const Graph& g, int num_terms, const std::vector<double>& length_weights,
+    const std::function<double(int, int)>& symmetry_weight) {
+  const DenseMatrix q = g.BackwardTransition().ToDense();
+  const DenseMatrix qt = q.Transposed();
+  std::vector<DenseMatrix> qp{DenseMatrix::Identity(g.NumNodes())};
+  std::vector<DenseMatrix> qtp{DenseMatrix::Identity(g.NumNodes())};
+  for (int i = 1; i <= num_terms; ++i) {
+    qp.push_back(Multiply(qp.back(), q));
+    qtp.push_back(Multiply(qtp.back(), qt));
+  }
+  DenseMatrix s(g.NumNodes(), g.NumNodes());
+  for (int l = 0; l <= num_terms; ++l) {
+    for (int alpha = 0; alpha <= l; ++alpha) {
+      const double w = length_weights[static_cast<size_t>(l)] *
+                       symmetry_weight(l, alpha);
+      if (w == 0.0) continue;
+      s.Axpy(w, Multiply(qp[static_cast<size_t>(alpha)],
+                         qtp[static_cast<size_t>(l - alpha)]));
+    }
+  }
+  return s;
+}
+
+void SymmetryWeightAblation(double scale) {
+  CommunityGraphOptions cg;
+  cg.num_nodes = static_cast<int64_t>(300 * scale);
+  cg.num_communities = 12;
+  cg.directed = true;
+  cg.avg_degree = 6.0;
+  const CommunityDataset data = MakeCommunityGraph(cg).ValueOrDie();
+  const Graph& g = data.graph;
+
+  const double c = 0.6;
+  const int terms = 6;
+  std::vector<double> geometric(terms + 1);
+  double cl = 1.0;
+  for (int l = 0; l <= terms; ++l) {
+    geometric[static_cast<size_t>(l)] = (1.0 - c) * cl;
+    cl *= c;
+  }
+
+  struct Scheme {
+    const char* label;
+    std::function<double(int, int)> weight;
+  };
+  const Scheme schemes[] = {
+      {"binomial (paper)",
+       [](int l, int a) {
+         return BinomialCoefficient(l, a) * std::ldexp(1.0, -l);
+       }},
+      {"uniform 1/(l+1)",
+       [](int l, int) { return 1.0 / static_cast<double>(l + 1); }},
+      {"endpoints only",
+       [](int l, int a) {
+         if (l == 0) return 1.0;
+         return (a == 0 || a == l) ? 0.5 : 0.0;
+       }},
+      {"center only",
+       [](int l, int a) { return a == l - a ? 1.0 : 0.0; }},  // == SimRank
+  };
+
+  bench::PrintHeader("Ablation A — symmetry weights (NDCG@50 vs community "
+                     "truth, higher is better)");
+  TablePrinter table({"Symmetry weight", "avg NDCG@50", "avg Kendall"});
+  for (const Scheme& scheme : schemes) {
+    const DenseMatrix s = CustomWeightedStar(g, terms, geometric,
+                                             scheme.weight);
+    double ndcg = 0, tau = 0;
+    int queries = 0;
+    for (NodeId q = 0; q < g.NumNodes(); q += 10) {
+      const std::vector<double> truth = TrueRelevanceVector(data, q);
+      const std::vector<double> row = RowScores(s, q).ValueOrDie();
+      ndcg += NdcgAtP(row, truth, 50).ValueOrDie();
+      tau += KendallTau(row, truth).ValueOrDie();
+      ++queries;
+    }
+    table.AddRow({scheme.label, TablePrinter::Fmt(ndcg / queries, 3),
+                  TablePrinter::Fmt(tau / queries, 3)});
+  }
+  table.Print();
+}
+
+void LengthWeightAblation() {
+  bench::PrintHeader("Ablation B — length weights: iterations for accuracy "
+                     "eps (a-priori bound where available)");
+  TablePrinter table({"eps", "geometric C^l", "exponential C^l/l!",
+                      "C^l/l (rejected)"});
+  const double c = 0.6;
+  for (double eps : {1e-2, 1e-3, 1e-4, 1e-6}) {
+    // C^l/l has no neat closed bound; its tail is bounded by the geometric
+    // tail /(k+1): sum_{l>k} C^l/l <= C^{k+1}/((k+1)(1-C)).
+    int k_cl = 0;
+    while (std::pow(c, k_cl + 1) / ((k_cl + 1) * (1.0 - c)) > eps) ++k_cl;
+    table.AddRow(
+        {TablePrinter::Fmt(eps, 6),
+         TablePrinter::Fmt(static_cast<int64_t>(
+             IterationsForGeometricAccuracy(c, eps))),
+         TablePrinter::Fmt(static_cast<int64_t>(
+             IterationsForExponentialAccuracy(c, eps))),
+         TablePrinter::Fmt(static_cast<int64_t>(k_cl))});
+  }
+  table.Print();
+  std::printf("(the paper keeps C^l and C^l/l! because both admit elegant "
+              "recursive/closed forms; C^l/l does not)\n");
+}
+
+void EdgeConcentrationAblation(double scale) {
+  const Graph g = MakeCitHepThLike(0.4 * scale, 101).ValueOrDie();
+  SimilarityOptions opts;
+  opts.iterations = 5;
+
+  struct Config {
+    const char* label;
+    BicliqueMinerOptions miner;
+  };
+  std::vector<Config> configs;
+  {
+    Config none{"no concentration", {}};
+    none.miner.enable_duplicate_folding = false;
+    none.miner.num_shingle_passes = 0;
+    configs.push_back(none);
+    Config dup{"duplicate folding only", {}};
+    dup.miner.num_shingle_passes = 0;
+    configs.push_back(dup);
+    Config one{"dup + 1 shingle pass", {}};
+    one.miner.num_shingle_passes = 1;
+    configs.push_back(one);
+    Config two{"dup + 2 shingle passes", {}};
+    two.miner.num_shingle_passes = 2;
+    configs.push_back(two);
+    Config five{"dup + 5 shingle passes (default)", {}};
+    five.miner.num_shingle_passes = 5;
+    configs.push_back(five);
+    Config eight{"dup + 8 shingle passes", {}};
+    eight.miner.num_shingle_passes = 8;
+    configs.push_back(eight);
+  }
+
+  bench::PrintHeader("Ablation C — edge-concentration stages on a "
+                     "CitHepTh-like graph (|E| = " +
+                     std::to_string(g.NumEdges()) + ")");
+  TablePrinter table({"Miner config", "|E^|", "compression", "compress (s)",
+                      "share sums (s)"});
+  for (const Config& config : configs) {
+    PhaseTimer timer;
+    MemoStats stats;
+    ComputeMemoGsrStar(g, opts, config.miner, &timer, &stats).ValueOrDie();
+    table.AddRow({config.label, TablePrinter::Fmt(stats.compressed_edges),
+                  TablePrinter::Fmt(stats.compression_ratio_percent, 1) + "%",
+                  TablePrinter::Fmt(timer.Total("compress bigraph"), 4),
+                  TablePrinter::Fmt(timer.Total("share sums"), 4)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace srs
+
+int main(int argc, char** argv) {
+  using namespace srs;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  std::printf("Design-choice ablations (beyond the paper's verbal "
+              "arguments in §3.2/§4.3)\n");
+  SymmetryWeightAblation(args.scale);
+  LengthWeightAblation();
+  EdgeConcentrationAblation(args.scale);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 5: the dataset roster. Prints the paper's |G|(|V|,|E|)/density
+// table next to the synthetic stand-ins this repository generates (see
+// DESIGN.md §3 for the substitution rationale), verifying the densities
+// match.
+
+#include <cstdio>
+
+#include "srs/common/table_printer.h"
+#include "srs/datasets/datasets.h"
+#include "srs/graph/stats.h"
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace srs;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+
+  std::printf("Figure 5: real datasets (paper) vs synthetic stand-ins "
+              "(this repo, scale=%.2f)\n", args.scale);
+  TablePrinter table({"Dataset", "paper |V|", "paper |E|", "paper d",
+                      "standin |V|", "standin |E|", "standin d"});
+
+  struct Maker {
+    const char* name;
+    Result<Graph> (*make)(double, uint64_t);
+    uint64_t seed;
+  };
+  int which = 0;
+  for (const DatasetInfo& info : PaperDatasets()) {
+    Result<Graph> graph = [&]() -> Result<Graph> {
+      if (info.name == "CitHepTh") return MakeCitHepThLike(args.scale, 101);
+      if (info.name == "DBLP") return MakeDblpLike(args.scale, 102);
+      if (info.name == "D05") return MakeDblpSeries(0, args.scale);
+      if (info.name == "D08") return MakeDblpSeries(1, args.scale);
+      if (info.name == "D11") return MakeDblpSeries(2, args.scale);
+      if (info.name == "Web-Google") return MakeWebGoogleLike(args.scale, 104);
+      return MakeCitPatentLike(args.scale, 105);
+    }();
+    SRS_CHECK_OK(graph.status());
+    const GraphStats stats = ComputeStats(graph.ValueOrDie());
+    table.AddRow({info.name, TablePrinter::Fmt(info.paper_nodes),
+                  TablePrinter::Fmt(info.paper_edges),
+                  TablePrinter::Fmt(info.paper_density, 1),
+                  TablePrinter::Fmt(stats.num_nodes),
+                  TablePrinter::Fmt(stats.num_edges),
+                  TablePrinter::Fmt(stats.density, 1)});
+    ++which;
+  }
+  (void)which;
+  table.Print();
+  return 0;
+}

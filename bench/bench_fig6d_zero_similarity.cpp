@@ -1,0 +1,66 @@
+// Figure 6(d): the prevalence of "zero-similarity" defects in real graphs.
+//
+// For each dataset stand-in, classifies every ordered node pair that has at
+// least one in-link path into:
+//   * completely dissimilar — no symmetric path (SimRank = 0), resp. no
+//     unidirectional path (RWR = 0);
+//   * partially missing — the measure scores the pair but still drops every
+//     path outside its family.
+//
+// Expected shape (paper): on CitHepTh 95+% of pairs are affected for both
+// measures (~40% completely dissimilar, ~55% partially missing); DBLP is
+// lower but still majority-affected.
+
+#include <cstdio>
+
+#include "srs/analysis/zero_similarity.h"
+#include "srs/common/table_printer.h"
+#include "srs/datasets/datasets.h"
+
+#include "bench_util.h"
+
+namespace srs {
+namespace {
+
+void RunDataset(const char* name, const Graph& g, int horizon,
+                TablePrinter* sr_table, TablePrinter* rwr_table) {
+  const ZeroSimilarityReport report = AnalyzeZeroSimilarity(g, horizon);
+  auto add = [&](TablePrinter* t, const ZeroSimilarityStats& s) {
+    t->AddRow({name, TablePrinter::Fmt(s.ordered_pairs),
+               TablePrinter::Fmt(100.0 * s.related_pairs / s.ordered_pairs, 1),
+               TablePrinter::Fmt(s.CompletelyDissimilarPercent(), 1),
+               TablePrinter::Fmt(s.PartiallyMissingPercent(), 1),
+               TablePrinter::Fmt(s.AffectedPercent(), 1)});
+  };
+  add(sr_table, report.simrank);
+  add(rwr_table, report.rwr);
+}
+
+}  // namespace
+}  // namespace srs
+
+int main(int argc, char** argv) {
+  using namespace srs;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  std::printf("Figure 6(d): %% of node pairs with zero-similarity issues "
+              "(path horizon 5)\n(paper: citH 99.9%% SR-affected / 99.8%% "
+              "RWR-affected, DBLP 69.9%%, WebG ~97%%)\n");
+
+  const std::vector<std::string> headers = {
+      "Dataset", "ordered pairs", "related %", "completely-dissimilar %",
+      "partially-missing %", "affected %"};
+  TablePrinter sr_table(headers), rwr_table(headers);
+
+  const Graph cit = MakeCitHepThLike(0.3 * args.scale, 101).ValueOrDie();
+  RunDataset("citH-like", cit, 5, &sr_table, &rwr_table);
+  const Graph dblp = MakeDblpLike(0.4 * args.scale, 102).ValueOrDie();
+  RunDataset("DBLP-like", dblp, 5, &sr_table, &rwr_table);
+  const Graph webg = MakeWebGoogleLike(0.3 * args.scale, 104).ValueOrDie();
+  RunDataset("WebG-like", webg, 5, &sr_table, &rwr_table);
+
+  std::printf("\n\"zero-SR\" (SimRank defect):\n");
+  sr_table.Print();
+  std::printf("\n\"zero-RWR\" (RWR defect):\n");
+  rwr_table.Print();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figure 6(e): time efficiency.
+//
+// Part 1 — DBLP growth series D05/D08/D11 at accuracy eps = 0.001:
+//   memo-eSR*, memo-gSR*, iter-gSR*, psum-SR, mtx-SR. Reports elapsed time
+//   and the compressed edge counts |Ê| the paper annotates.
+// Part 2 — Web-Google- and CitPatent-like graphs, varying K:
+//   the four iterative algorithms (mtx-SR's SVD does not fit this sweep,
+//   exactly as in the paper where it is dropped from the large graphs).
+//
+// Expected shape (paper): memo-eSR* < memo-gSR* < iter-gSR* < psum-SR <
+// mtx-SR; speedups grow with K; eSR* needs fewer iterations for the same
+// accuracy.
+
+#include <cstdio>
+
+#include "srs/baselines/mtx_simrank.h"
+#include "srs/baselines/simrank_psum.h"
+#include "srs/common/table_printer.h"
+#include "srs/core/memo_esr_star.h"
+#include "srs/core/memo_gsr_star.h"
+#include "srs/core/simrank_star_geometric.h"
+#include "srs/datasets/datasets.h"
+
+#include "bench_util.h"
+
+namespace srs {
+namespace {
+
+void DblpSeries(double scale) {
+  bench::PrintHeader(
+      "Fig 6(e) part 1 — DBLP series, eps = 0.001 (seconds)");
+  TablePrinter table({"Dataset", "|V|", "|E|", "|E^| (compressed)",
+                      "memo-eSR*", "memo-gSR*", "iter-gSR*", "psum-SR",
+                      "mtx-SR"});
+  const char* names[] = {"D05", "D08", "D11"};
+  for (int which = 0; which < 3; ++which) {
+    const Graph g = MakeDblpSeries(which, scale).ValueOrDie();
+    SimilarityOptions opts;
+    opts.epsilon = 0.001;
+
+    MemoStats stats;
+    const double t_memo_esr = bench::TimeSeconds(
+        [&] { ComputeMemoEsrStar(g, opts, {}, nullptr, &stats).ValueOrDie(); });
+    const double t_memo_gsr = bench::TimeSeconds(
+        [&] { ComputeMemoGsrStar(g, opts).ValueOrDie(); });
+    const double t_iter_gsr = bench::TimeSeconds(
+        [&] { ComputeSimRankStarGeometric(g, opts).ValueOrDie(); });
+    const double t_psum = bench::TimeSeconds(
+        [&] { ComputeSimRankPsum(g, opts).ValueOrDie(); });
+    MtxSimRankOptions mtx;
+    mtx.rank = 50;
+    mtx.method = MtxSvdMethod::kSparseSubspace;
+    const double t_mtx = bench::TimeSeconds(
+        [&] { ComputeMtxSimRank(g, opts, mtx).ValueOrDie(); });
+
+    table.AddRow({names[which], TablePrinter::Fmt(g.NumNodes()),
+                  TablePrinter::Fmt(g.NumEdges()),
+                  TablePrinter::Fmt(stats.compressed_edges),
+                  TablePrinter::Fmt(t_memo_esr, 3),
+                  TablePrinter::Fmt(t_memo_gsr, 3),
+                  TablePrinter::Fmt(t_iter_gsr, 3),
+                  TablePrinter::Fmt(t_psum, 3), TablePrinter::Fmt(t_mtx, 3)});
+  }
+  table.Print();
+}
+
+void KSweep(const char* name, const Graph& g, const std::vector<int>& ks) {
+  bench::PrintHeader(std::string("Fig 6(e) part 2 — ") + name + " (|V|=" +
+                     std::to_string(g.NumNodes()) + ", |E|=" +
+                     std::to_string(g.NumEdges()) + "), seconds");
+  TablePrinter table({"K", "memo-eSR*", "memo-gSR*", "iter-gSR*", "psum-SR"});
+  for (int k : ks) {
+    SimilarityOptions opts;
+    opts.iterations = k;
+    const double t_memo_esr = bench::TimeSeconds(
+        [&] { ComputeMemoEsrStar(g, opts).ValueOrDie(); });
+    const double t_memo_gsr = bench::TimeSeconds(
+        [&] { ComputeMemoGsrStar(g, opts).ValueOrDie(); });
+    const double t_iter_gsr = bench::TimeSeconds(
+        [&] { ComputeSimRankStarGeometric(g, opts).ValueOrDie(); });
+    const double t_psum = bench::TimeSeconds(
+        [&] { ComputeSimRankPsum(g, opts).ValueOrDie(); });
+    table.AddRow({TablePrinter::Fmt(static_cast<int64_t>(k)),
+                  TablePrinter::Fmt(t_memo_esr, 3),
+                  TablePrinter::Fmt(t_memo_gsr, 3),
+                  TablePrinter::Fmt(t_iter_gsr, 3),
+                  TablePrinter::Fmt(t_psum, 3)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace srs
+
+int main(int argc, char** argv) {
+  using namespace srs;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  std::printf("Figure 6(e): CPU time (paper shape: memo-eSR* fastest, then "
+              "memo-gSR*, iter-gSR*, psum-SR, mtx-SR slowest)\n");
+  DblpSeries(args.scale);
+  KSweep("Web-Google-like",
+         MakeWebGoogleLike(0.6 * args.scale, 104).ValueOrDie(),
+         {5, 10, 15, 20});
+  KSweep("CitPatent-like",
+         MakeCitPatentLike(0.6 * args.scale, 105).ValueOrDie(), {3, 6, 9, 12});
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Figure 6(h): memory space of the five algorithms.
+//
+// Each algorithm runs in a forked child process and the OS-reported peak
+// RSS of the child is collected via wait4 — the same "Memory Space" number
+// the paper plots, uncontaminated by sibling runs. A second table reports
+// the logical footprint model (the n×n double buffers each algorithm
+// holds), which is machine-independent.
+//
+// Expected shape (paper): memo-eSR*/memo-gSR* within the same order of
+// magnitude as iter-gSR*/psum-SR (~20-30% extra for the memo buffers);
+// mtx-SR an order of magnitude above on DBLP-scale data (SVD destroys
+// sparsity); memo footprint flat in K.
+
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+
+#include "srs/baselines/mtx_simrank.h"
+#include "srs/baselines/simrank_psum.h"
+#include "srs/common/memory_tracker.h"
+#include "srs/common/table_printer.h"
+#include "srs/core/memo_esr_star.h"
+#include "srs/core/memo_gsr_star.h"
+#include "srs/core/simrank_star_geometric.h"
+#include "srs/datasets/datasets.h"
+
+#include "bench_util.h"
+
+namespace srs {
+namespace {
+
+/// Runs `fn` in a forked child and returns the child's peak RSS in bytes
+/// (0 if fork is unavailable).
+size_t PeakRssInChild(const std::function<void()>& fn) {
+  const pid_t pid = fork();
+  if (pid < 0) return 0;
+  if (pid == 0) {
+    fn();
+    _exit(0);
+  }
+  int status = 0;
+  struct rusage usage;
+  if (wait4(pid, &status, 0, &usage) < 0) return 0;
+  return static_cast<size_t>(usage.ru_maxrss) * 1024;
+}
+
+struct Algo {
+  const char* label;
+  std::function<void(const Graph&)> run;
+  int square_buffers;  ///< n×n double buffers held simultaneously
+};
+
+std::vector<Algo> Algorithms() {
+  SimilarityOptions opts;
+  opts.epsilon = 0.001;
+  return {
+      {"memo-eSR*",
+       [opts](const Graph& g) { ComputeMemoEsrStar(g, opts).ValueOrDie(); },
+       3},  // P_l, S, partial
+      {"memo-gSR*",
+       [opts](const Graph& g) { ComputeMemoGsrStar(g, opts).ValueOrDie(); },
+       2},  // S, partial
+      {"iter-gSR*",
+       [opts](const Graph& g) {
+         ComputeSimRankStarGeometric(g, opts).ValueOrDie();
+       },
+       3},  // S, next, Q·S product
+      {"psum-SR",
+       [opts](const Graph& g) { ComputeSimRankPsum(g, opts).ValueOrDie(); },
+       3},  // S, next, partial
+      {"mtx-SR",
+       [opts](const Graph& g) {
+         MtxSimRankOptions mtx;
+         mtx.rank = 50;
+         mtx.method = MtxSvdMethod::kSparseSubspace;
+         ComputeMtxSimRank(g, opts, mtx).ValueOrDie();
+       },
+       2},  // S, core (plus the r²×r² system and n×r factors)
+  };
+}
+
+void RunDataset(const char* name, const Graph& g) {
+  bench::PrintHeader(std::string("Fig 6(h) — ") + name + " (|V|=" +
+                     std::to_string(g.NumNodes()) + ", |E|=" +
+                     std::to_string(g.NumEdges()) + ")");
+  TablePrinter table({"Algorithm", "peak RSS (child)", "logical n^2 buffers"});
+  const size_t n2 =
+      static_cast<size_t>(g.NumNodes()) * static_cast<size_t>(g.NumNodes()) *
+      sizeof(double);
+  for (const Algo& algo : Algorithms()) {
+    const size_t rss = PeakRssInChild([&] { algo.run(g); });
+    table.AddRow({algo.label, FormatBytes(rss),
+                  std::to_string(algo.square_buffers) + " x " +
+                      FormatBytes(n2)});
+  }
+  table.Print();
+}
+
+void KStability(const char* name, const Graph& g) {
+  bench::PrintHeader(std::string("Fig 6(h) — ") + name +
+                     ": memo-gSR* peak RSS vs K (flat = memo buffers freed "
+                     "each iteration)");
+  TablePrinter table({"K", "peak RSS"});
+  for (int k : {5, 10, 15, 20}) {
+    SimilarityOptions opts;
+    opts.iterations = k;
+    const size_t rss = PeakRssInChild(
+        [&] { ComputeMemoGsrStar(g, opts).ValueOrDie(); });
+    table.AddRow({TablePrinter::Fmt(static_cast<int64_t>(k)),
+                  FormatBytes(rss)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace srs
+
+int main(int argc, char** argv) {
+  using namespace srs;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  std::printf("Figure 6(h): memory space (paper shape: memo variants ~= "
+              "iterative baselines; mtx-SR an order of magnitude above; "
+              "flat in K)\n");
+  for (int which = 0; which < 3; ++which) {
+    const char* names[] = {"D05", "D08", "D11"};
+    RunDataset(names[which], MakeDblpSeries(which, args.scale).ValueOrDie());
+  }
+  KStability("Web-Google-like",
+             MakeWebGoogleLike(0.5 * args.scale, 104).ValueOrDie());
+  return 0;
+}

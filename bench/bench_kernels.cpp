@@ -1,0 +1,78 @@
+// Kernel micro-benchmarks (google-benchmark): the inner loops whose costs
+// the paper's complexity claims are about.
+//
+//  * one gSR* iteration (single sparse×dense product + symmetrize)
+//  * one matrix-form SimRank iteration (the two-sided sandwich)
+//  * the fine-grained partial-sum kernel on the compressed graph
+//  * biclique mining itself
+
+#include <benchmark/benchmark.h>
+
+#include "srs/bigraph/compressed_graph.h"
+#include "srs/core/memo_gsr_star.h"
+#include "srs/core/simrank_star_geometric.h"
+#include "srs/datasets/datasets.h"
+#include "srs/matrix/csr_matrix.h"
+
+namespace srs {
+namespace {
+
+Graph MakeBenchGraph(int64_t n) {
+  return MakeCitHepThLike(static_cast<double>(n) / 3000.0, 99).ValueOrDie();
+}
+
+void BM_GsrStarStep(benchmark::State& state) {
+  const Graph g = MakeBenchGraph(state.range(0));
+  const CsrMatrix q = g.BackwardTransition();
+  DenseMatrix s(g.NumNodes(), g.NumNodes());
+  for (int64_t i = 0; i < g.NumNodes(); ++i) s.At(i, i) = 0.4;
+  DenseMatrix out;
+  for (auto _ : state) {
+    SimRankStarGeometricStep(q, s, 0.6, &out);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_GsrStarStep)->Arg(500)->Arg(1000)->Arg(2000);
+
+void BM_SimRankSandwichStep(benchmark::State& state) {
+  const Graph g = MakeBenchGraph(state.range(0));
+  const CsrMatrix q = g.BackwardTransition();
+  const CsrMatrix qt = q.Transposed();
+  DenseMatrix s(g.NumNodes(), g.NumNodes());
+  for (int64_t i = 0; i < g.NumNodes(); ++i) s.At(i, i) = 0.4;
+  for (auto _ : state) {
+    DenseMatrix m = q.MultiplyDense(s);
+    DenseMatrix sandwich = qt.LeftMultiplyDense(m);
+    benchmark::DoNotOptimize(sandwich.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_SimRankSandwichStep)->Arg(500)->Arg(1000)->Arg(2000);
+
+void BM_PartialSumKernel(benchmark::State& state) {
+  const Graph g = MakeBenchGraph(state.range(0));
+  const CompressedGraph cg = CompressedGraph::Build(g);
+  DenseMatrix s(g.NumNodes(), g.NumNodes());
+  for (int64_t i = 0; i < g.NumNodes(); ++i) s.At(i, i) = 0.4;
+  DenseMatrix partial;
+  for (auto _ : state) {
+    ComputePartialSums(cg, s, &partial);
+    benchmark::DoNotOptimize(partial.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * cg.NumEdges());
+}
+BENCHMARK(BM_PartialSumKernel)->Arg(500)->Arg(1000)->Arg(2000);
+
+void BM_BicliqueMining(benchmark::State& state) {
+  const Graph g = MakeBenchGraph(state.range(0));
+  for (auto _ : state) {
+    auto bicliques = MineBicliques(g);
+    benchmark::DoNotOptimize(bicliques.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_BicliqueMining)->Arg(1000)->Arg(2000)->Arg(4000);
+
+}  // namespace
+}  // namespace srs

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file bench_util.h
+/// \brief Shared helpers for the per-figure benchmark harnesses.
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+#include "srs/common/timer.h"
+
+namespace srs::bench {
+
+/// Command-line knobs common to all harnesses. Usage: `bench_x [scale]`,
+/// where `scale` multiplies the default dataset sizes (default 1.0, chosen
+/// so every harness finishes in seconds on a laptop).
+struct BenchArgs {
+  double scale = 1.0;
+};
+
+inline BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  if (argc > 1) {
+    const double s = std::atof(argv[1]);
+    if (s > 0) args.scale = s;
+  }
+  return args;
+}
+
+/// Wall-clock seconds of one invocation of `fn`.
+inline double TimeSeconds(const std::function<void()>& fn) {
+  Timer timer;
+  fn();
+  return timer.Seconds();
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace srs::bench

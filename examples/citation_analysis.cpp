@@ -1,0 +1,93 @@
+// Citation analysis: the paper's motivating application.
+//
+// Builds a citation network (reference-list copying model; swap in
+// srs::LoadEdgeList to analyze a real one), then for a queried paper:
+//   * retrieves the most related papers by single-source SimRank* in
+//     O(K²·m) time — no n×n matrix is ever materialized;
+//   * contrasts the ranking with SimRank's, showing papers SimRank cannot
+//     see at all (the zero-similarity defect);
+//   * explains one recovered pair in terms of its in-link paths.
+//
+// Usage: citation_analysis [edge_list_file]
+
+#include <cstdio>
+
+#include "srs/analysis/path_count.h"
+#include "srs/baselines/simrank_matrix.h"
+#include "srs/core/single_source.h"
+#include "srs/datasets/datasets.h"
+#include "srs/eval/ranking.h"
+#include "srs/graph/graph_io.h"
+#include "srs/graph/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace srs;
+
+  Graph graph = [&] {
+    if (argc > 1) {
+      Result<Graph> loaded = LoadEdgeList(argv[1]);
+      SRS_CHECK_OK(loaded.status());
+      return loaded.MoveValueOrDie();
+    }
+    return MakeCitHepThLike(0.4, 2024).ValueOrDie();
+  }();
+  std::printf("citation network: %s\n",
+              StatsToString(ComputeStats(graph)).c_str());
+
+  // Query: a moderately cited paper (median in-degree).
+  const std::vector<NodeId> by_degree = NodesByInDegree(graph);
+  const NodeId query = by_degree[by_degree.size() / 4];
+  std::printf("query paper: %s (cited %lld times)\n\n",
+              graph.LabelOf(query).c_str(),
+              static_cast<long long>(graph.InDegree(query)));
+
+  SimilarityOptions opts;
+  opts.damping = 0.6;
+  opts.iterations = 8;
+
+  // Single-source SimRank*: one column of the similarity matrix.
+  const std::vector<double> star_scores =
+      SingleSourceSimRankStarGeometric(graph, query, opts).ValueOrDie();
+
+  // SimRank reference for the comparison column (all-pairs; fine at this
+  // scale, and it shows exactly which related papers SimRank misses).
+  const DenseMatrix sr = ComputeSimRankMatrixForm(graph, opts).ValueOrDie();
+
+  std::printf("top related papers by SimRank* (SR column shows what plain "
+              "SimRank sees):\n");
+  std::printf("  %-8s %-10s %-10s %s\n", "paper", "SimRank*", "SimRank",
+              "note");
+  int invisible = 0;
+  for (const RankedNode& r : TopK(star_scores, 10, query)) {
+    const double sr_score = sr.At(query, r.node);
+    const bool missed = sr_score < 1e-12;
+    invisible += missed ? 1 : 0;
+    std::printf("  %-8s %-10.5f %-10.5f %s\n", graph.LabelOf(r.node).c_str(),
+                r.score, sr_score,
+                missed ? "<- invisible to SimRank" : "");
+  }
+
+  // Explain the first recovered pair via its in-link paths.
+  for (const RankedNode& r : TopK(star_scores, 10, query)) {
+    if (sr.At(query, r.node) > 1e-12) continue;
+    std::printf("\nwhy (%s, %s) is related: in-link path counts "
+                "[(l1,l2) = steps against/along citations]\n",
+                graph.LabelOf(query).c_str(), graph.LabelOf(r.node).c_str());
+    for (int l1 = 0; l1 <= 3; ++l1) {
+      for (int l2 = 0; l2 <= 3; ++l2) {
+        if (l1 + l2 == 0 || l1 + l2 > 4) continue;
+        const double count =
+            CountInLinkPaths(graph, query, r.node, l1, l2).ValueOrDie();
+        if (count > 0) {
+          std::printf("  (%d,%d): %.0f path(s)%s\n", l1, l2, count,
+                      l1 == l2 ? "  [symmetric — SimRank counts these]"
+                               : "  [dissymmetric — SimRank drops these]");
+        }
+      }
+    }
+    break;
+  }
+  std::printf("\n%d of the top-10 related papers are completely invisible "
+              "to SimRank.\n", invisible);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Co-author recommendation on a DBLP-style collaboration graph — the
+// paper's recommender-systems motivation.
+//
+// For a target author, ranks *non-collaborators* by SimRank* (exponential
+// variant — fastest converging) and prints the top suggestions with the
+// structural evidence: number of shared co-authors and H-index proxy.
+// Because the graph is undirected, RWR would produce the same ranking
+// (paper Fig 6(a), DBLP panel) — we print it as a cross-check.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "srs/core/memo_esr_star.h"
+#include "srs/core/single_source.h"
+#include "srs/datasets/datasets.h"
+#include "srs/eval/ranking.h"
+#include "srs/graph/stats.h"
+
+int main() {
+  using namespace srs;
+
+  const Graph graph = MakeDblpLike(0.6, 7).ValueOrDie();
+  const std::vector<double> h_index = HIndexProxy(graph);
+  std::printf("collaboration graph: %s\n",
+              StatsToString(ComputeStats(graph)).c_str());
+
+  // Pick a productive author (top decile by degree).
+  const NodeId author = NodesByInDegree(graph)[graph.NumNodes() / 20];
+  std::printf("recommending collaborators for author %s "
+              "(%lld collaborators, H-index proxy %.0f)\n\n",
+              graph.LabelOf(author).c_str(),
+              static_cast<long long>(graph.InDegree(author)),
+              h_index[static_cast<size_t>(author)]);
+
+  SimilarityOptions opts;
+  opts.damping = 0.6;
+  opts.epsilon = 1e-3;  // exponential variant: converges in ~4 iterations
+
+  const std::vector<double> star =
+      SingleSourceSimRankStarExponential(graph, author, opts).ValueOrDie();
+  const std::vector<double> rwr =
+      SingleSourceRwr(graph, author, opts).ValueOrDie();
+
+  auto shared_coauthors = [&](NodeId other) {
+    const auto a = graph.InNeighbors(author);
+    const auto b = graph.InNeighbors(other);
+    std::vector<NodeId> common;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(common));
+    return common.size();
+  };
+
+  std::printf("  %-8s %-11s %-10s %-16s %s\n", "author", "SimRank*",
+              "RWR", "shared coauth.", "H-index");
+  int printed = 0;
+  for (const RankedNode& r : TopK(star, 100, author)) {
+    if (graph.HasEdge(author, r.node)) continue;  // already collaborators
+    std::printf("  %-8s %-11.5f %-10.5f %-16zu %.0f\n",
+                graph.LabelOf(r.node).c_str(), r.score,
+                rwr[static_cast<size_t>(r.node)], shared_coauthors(r.node),
+                h_index[static_cast<size_t>(r.node)]);
+    if (++printed == 10) break;
+  }
+  std::printf("\n(direct collaborators are filtered out; scores flow "
+              "through shared co-authors and their neighborhoods)\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: build a small citation graph, compute SimRank* and SimRank,
+// and see the zero-similarity fix in action on the paper's Figure 1 graph.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "srs/baselines/simrank_psum.h"
+#include "srs/core/memo_gsr_star.h"
+#include "srs/core/single_source.h"
+#include "srs/eval/ranking.h"
+#include "srs/graph/fixtures.h"
+#include "srs/graph/graph_builder.h"
+
+int main() {
+  // --- 1. Build a graph by hand (or load one: srs::LoadEdgeList). ---------
+  srs::GraphBuilder builder(4);
+  SRS_CHECK_OK(builder.AddEdge(0, 1));  // 0 cites 1
+  SRS_CHECK_OK(builder.AddEdge(0, 2));
+  SRS_CHECK_OK(builder.AddEdge(1, 3));
+  SRS_CHECK_OK(builder.AddEdge(2, 3));
+  srs::Graph tiny = builder.Build().ValueOrDie();
+  std::printf("tiny graph: %lld nodes, %lld edges\n",
+              static_cast<long long>(tiny.NumNodes()),
+              static_cast<long long>(tiny.NumEdges()));
+
+  // --- 2. All-pairs SimRank* (the paper's memo-gSR*, Algorithm 1). --------
+  srs::SimilarityOptions options;
+  options.damping = 0.6;
+  options.iterations = 10;
+  srs::DenseMatrix s = srs::ComputeMemoGsrStar(tiny, options).ValueOrDie();
+  std::printf("SimRank*(1,2) = %.4f  (nodes 1 and 2 share in-neighbor 0)\n\n",
+              s.At(1, 2));
+
+  // --- 3. The Figure 1 graph: SimRank vs SimRank* on pair (h, d). ---------
+  const srs::Graph fig1 = srs::Fig1CitationGraph();
+  srs::SimilarityOptions paper_opts;
+  paper_opts.damping = 0.8;  // the figure uses C = 0.8
+  paper_opts.iterations = 15;
+  srs::DenseMatrix sr = srs::ComputeSimRankPsum(fig1, paper_opts).ValueOrDie();
+  srs::DenseMatrix star =
+      srs::ComputeMemoGsrStar(fig1, paper_opts).ValueOrDie();
+
+  const srs::NodeId h = fig1.FindLabel("h").ValueOrDie();
+  const srs::NodeId d = fig1.FindLabel("d").ValueOrDie();
+  std::printf("Figure 1, pair (h, d):\n");
+  std::printf("  SimRank   s(h,d)  = %.4f   <- the zero-similarity defect\n",
+              sr.At(h, d));
+  std::printf("  SimRank*  s*(h,d) = %.4f   <- fixed: the paths through 'a' "
+              "now count\n\n",
+              star.At(h, d));
+
+  // --- 4. Query-time top-k without the dense matrix. ----------------------
+  std::vector<double> scores =
+      srs::SingleSourceSimRankStarGeometric(fig1, h, paper_opts).ValueOrDie();
+  std::printf("top-3 nodes most similar to '%s' (single-source SimRank*):\n",
+              fig1.LabelOf(h).c_str());
+  for (const srs::RankedNode& r : srs::TopK(scores, 3, h)) {
+    std::printf("  %-2s %.4f\n", fig1.LabelOf(r.node).c_str(), r.score);
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Zero-similarity audit: quantify, for any graph, how much of it SimRank
+// and RWR cannot score — the diagnosis the paper's Figure 6(d) runs on its
+// real datasets — and show concrete pairs that SimRank* recovers.
+//
+// Usage: zero_similarity_audit [edge_list_file]
+
+#include <algorithm>
+#include <cstdio>
+
+#include "srs/analysis/zero_similarity.h"
+#include "srs/baselines/simrank_matrix.h"
+#include "srs/core/memo_gsr_star.h"
+#include "srs/datasets/datasets.h"
+#include "srs/graph/graph_io.h"
+#include "srs/graph/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace srs;
+
+  Graph graph = [&] {
+    if (argc > 1) {
+      Result<Graph> loaded = LoadEdgeList(argv[1]);
+      SRS_CHECK_OK(loaded.status());
+      return loaded.MoveValueOrDie();
+    }
+    return MakeWebGoogleLike(0.25, 99).ValueOrDie();
+  }();
+  std::printf("graph: %s\n\n", StatsToString(ComputeStats(graph)).c_str());
+
+  // 1. The defect census (Fig 6(d) semantics).
+  const ZeroSimilarityReport report = AnalyzeZeroSimilarity(graph, 4);
+  std::printf("ordered pairs with some in-link relation: %lld (%.1f%%)\n",
+              static_cast<long long>(report.simrank.related_pairs),
+              100.0 * report.simrank.related_pairs /
+                  report.simrank.ordered_pairs);
+  std::printf("SimRank defect: %.1f%% of all pairs affected "
+              "(%.1f%% completely dissimilar + %.1f%% partially missing)\n",
+              report.simrank.AffectedPercent(),
+              report.simrank.CompletelyDissimilarPercent(),
+              report.simrank.PartiallyMissingPercent());
+  std::printf("RWR defect:     %.1f%% of all pairs affected "
+              "(%.1f%% + %.1f%%)\n\n",
+              report.rwr.AffectedPercent(),
+              report.rwr.CompletelyDissimilarPercent(),
+              report.rwr.PartiallyMissingPercent());
+
+  // 2. Concrete recovered pairs: related, SimRank = 0, highest SimRank*.
+  SimilarityOptions opts;
+  opts.damping = 0.6;
+  opts.iterations = 8;
+  const DenseMatrix sr = ComputeSimRankMatrixForm(graph, opts).ValueOrDie();
+  const DenseMatrix star = ComputeMemoGsrStar(graph, opts).ValueOrDie();
+  const PathPresence presence = ComputePathPresence(graph, 4);
+
+  struct Recovered {
+    NodeId a, b;
+    double star;
+  };
+  std::vector<Recovered> recovered;
+  for (NodeId a = 0; a < graph.NumNodes(); ++a) {
+    for (NodeId b = static_cast<NodeId>(a + 1); b < graph.NumNodes(); ++b) {
+      if ((presence.At(a, b) & kHasAnyInLinkPath) == 0) continue;
+      if (sr.At(a, b) > 1e-12) continue;
+      recovered.push_back({a, b, star.At(a, b)});
+    }
+  }
+  std::sort(recovered.begin(), recovered.end(),
+            [](const Recovered& x, const Recovered& y) {
+              return x.star > y.star;
+            });
+
+  std::printf("strongest structurally-related pairs that SimRank scores 0 "
+              "(SimRank* recovers them):\n");
+  std::printf("  %-10s %-10s %s\n", "pair", "SimRank*", "SimRank");
+  for (size_t i = 0; i < std::min<size_t>(10, recovered.size()); ++i) {
+    std::printf("  (%s, %s)%*s %-10.5f 0\n",
+                graph.LabelOf(recovered[i].a).c_str(),
+                graph.LabelOf(recovered[i].b).c_str(), 2, "",
+                recovered[i].star);
+  }
+  std::printf("\n%zu such pairs in total.\n", recovered.size());
+  return 0;
+}

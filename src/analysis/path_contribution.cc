@@ -1,0 +1,51 @@
+#include "srs/analysis/path_contribution.h"
+
+#include <cmath>
+#include <vector>
+
+#include "srs/core/series_reference.h"
+
+namespace srs {
+
+namespace {
+
+Status CheckArgs(double damping, int length, int alpha) {
+  if (!(damping > 0.0 && damping < 1.0)) {
+    return Status::InvalidArgument("damping must be in (0,1)");
+  }
+  if (length < 0) return Status::InvalidArgument("length must be >= 0");
+  if (alpha < 0 || alpha > length) {
+    return Status::InvalidArgument("alpha must be in [0, length]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> GeometricPathContribution(double damping, int length,
+                                         int alpha) {
+  SRS_RETURN_NOT_OK(CheckArgs(damping, length, alpha));
+  return (1.0 - damping) * std::pow(damping, length) *
+         BinomialCoefficient(length, alpha) * std::ldexp(1.0, -length);
+}
+
+Result<double> ExponentialPathContribution(double damping, int length,
+                                           int alpha) {
+  SRS_RETURN_NOT_OK(CheckArgs(damping, length, alpha));
+  double factorial = 1.0;
+  for (int i = 2; i <= length; ++i) factorial *= static_cast<double>(i);
+  return std::exp(-damping) * std::pow(damping, length) / factorial *
+         BinomialCoefficient(length, alpha) * std::ldexp(1.0, -length);
+}
+
+Result<std::vector<double>> SymmetryWeightProfile(int length) {
+  if (length < 0) return Status::InvalidArgument("length must be >= 0");
+  std::vector<double> profile(static_cast<size_t>(length) + 1);
+  for (int alpha = 0; alpha <= length; ++alpha) {
+    profile[static_cast<size_t>(alpha)] =
+        BinomialCoefficient(length, alpha) * std::ldexp(1.0, -length);
+  }
+  return profile;
+}
+
+}  // namespace srs

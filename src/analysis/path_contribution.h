@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file path_contribution.h
+/// \brief Per-path contribution rates (§3.2's worked examples).
+///
+/// Under geometric SimRank*, an in-link path of length l whose "source"
+/// splits it into α steps against the edges and l−α along them contributes
+/// at rate (1−C)·C^l·binom(l,α)/2^l (before transition-probability
+/// weighting). The paper's running examples — 0.0384 for h ← e ← a → d and
+/// 0.0205 for h ← e ← a → b → f → d at C = 0.8 — anchor the unit tests.
+
+#include <vector>
+
+#include "srs/common/result.h"
+
+namespace srs {
+
+/// Geometric SimRank* contribution rate of an (l, α) in-link path.
+Result<double> GeometricPathContribution(double damping, int length,
+                                         int alpha);
+
+/// Exponential SimRank* contribution rate: e^{−C}·C^l/l!·binom(l,α)/2^l.
+Result<double> ExponentialPathContribution(double damping, int length,
+                                           int alpha);
+
+/// The symmetry-weight profile binom(l,α)/2^l for α = 0..l — the curve that
+/// peaks at α = l/2 (source at the path's center) and decays toward the
+/// ends, visualized by Figure 3's family-tree discussion.
+Result<std::vector<double>> SymmetryWeightProfile(int length);
+
+}  // namespace srs

@@ -1,0 +1,92 @@
+#include "srs/analysis/path_count.h"
+
+#include "srs/matrix/ops.h"
+
+namespace srs {
+
+Result<CsrMatrix> SpecificPathMatrix(const Graph& g,
+                                     const std::vector<Step>& pattern) {
+  if (pattern.empty()) {
+    return Status::InvalidArgument("SpecificPathMatrix: empty pattern");
+  }
+  const CsrMatrix a = g.AdjacencyMatrix();
+  const CsrMatrix at = a.Transposed();
+
+  CsrMatrix result = pattern[0] == Step::kForward ? a : at;
+  for (size_t k = 1; k < pattern.size(); ++k) {
+    result = SparseMultiply(result, pattern[k] == Step::kForward ? a : at);
+  }
+  return result;
+}
+
+Result<double> CountInLinkPaths(const Graph& g, NodeId i, NodeId j, int l1,
+                                int l2) {
+  if (l1 < 0 || l2 < 0 || l1 + l2 == 0) {
+    return Status::InvalidArgument(
+        "CountInLinkPaths: need l1, l2 >= 0 with l1 + l2 >= 1");
+  }
+  if (i < 0 || i >= g.NumNodes() || j < 0 || j >= g.NumNodes()) {
+    return Status::OutOfRange("CountInLinkPaths: node id out of range");
+  }
+  std::vector<Step> pattern;
+  pattern.insert(pattern.end(), l1, Step::kBackward);
+  pattern.insert(pattern.end(), l2, Step::kForward);
+  SRS_ASSIGN_OR_RETURN(CsrMatrix m, SpecificPathMatrix(g, pattern));
+  return m.At(i, j);
+}
+
+PathPresence ComputePathPresence(const Graph& g, int horizon) {
+  SRS_CHECK_GE(horizon, 1);
+  const int64_t n = g.NumNodes();
+  PathPresence presence;
+  presence.num_nodes = n;
+  presence.horizon = horizon;
+  presence.flags.assign(static_cast<size_t>(n) * static_cast<size_t>(n), 0);
+
+  const CsrMatrix a = g.AdjacencyMatrix();
+
+  // Boolean powers A^0..A^horizon (A^0 = I).
+  std::vector<CsrMatrix> fwd;
+  {
+    CsrMatrix::Builder id_builder(n, n);
+    for (int64_t i = 0; i < n; ++i) SRS_CHECK_OK(id_builder.Add(i, i, 1.0));
+    fwd.push_back(id_builder.Build().MoveValueOrDie());
+  }
+  for (int k = 1; k <= horizon; ++k) {
+    fwd.push_back(BooleanMultiply(fwd.back(), a));
+  }
+  std::vector<CsrMatrix> bwd;
+  bwd.reserve(fwd.size());
+  for (const CsrMatrix& m : fwd) bwd.push_back(m.Transposed());
+
+  auto mark = [&](const CsrMatrix& m, uint8_t flag_bits) {
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t k = m.row_ptr()[i]; k < m.row_ptr()[i + 1]; ++k) {
+        presence.flags[static_cast<size_t>(i) * n + m.col_idx()[k]] |=
+            flag_bits;
+      }
+    }
+  };
+
+  for (int l1 = 0; l1 <= horizon; ++l1) {
+    for (int l2 = 0; l2 <= horizon; ++l2) {
+      if (l1 + l2 == 0) continue;
+      uint8_t bits = kHasAnyInLinkPath;
+      if (l1 == l2) bits |= kHasSymmetricInLinkPath;
+      if (l1 != l2) bits |= kHasDissymmetricInLinkPath;
+      if (l1 == 0) bits |= kHasUnidirectionalPath;
+      if (l1 == 0) {
+        mark(fwd[static_cast<size_t>(l2)], bits);
+      } else if (l2 == 0) {
+        mark(bwd[static_cast<size_t>(l1)], bits);
+      } else {
+        mark(BooleanMultiply(bwd[static_cast<size_t>(l1)],
+                             fwd[static_cast<size_t>(l2)]),
+             bits);
+      }
+    }
+  }
+  return presence;
+}
+
+}  // namespace srs

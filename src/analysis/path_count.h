@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file path_count.h
+/// \brief Lemma 1 machinery: counting "specific paths" whose edges are a
+/// prescribed mix of forward and backward steps.
+///
+/// For a direction pattern (d₁,…,d_l) with d_k ∈ {forward, backward}, the
+/// matrix Ā = Π A_k (A_k = A for forward, Aᵀ for backward) counts, at entry
+/// (i, j), the number of walks from i to j following the pattern. The
+/// special case (backward^{l1}, forward^{l2}) counts the paper's in-link
+/// paths; the all-forward case is the classical power property.
+
+#include <cstdint>
+#include <vector>
+
+#include "srs/common/result.h"
+#include "srs/graph/graph.h"
+#include "srs/matrix/csr_matrix.h"
+
+namespace srs {
+
+/// Direction of one step in a specific path.
+enum class Step : uint8_t { kForward, kBackward };
+
+/// Computes Ā for the pattern: entry (i,j) = number of matching walks.
+/// Counts are exact doubles (they can exceed 2^53 only on graphs far larger
+/// than this routine is meant for).
+Result<CsrMatrix> SpecificPathMatrix(const Graph& g,
+                                     const std::vector<Step>& pattern);
+
+/// Number of in-link paths of shape (l1 backward steps, then l2 forward
+/// steps) between i and j: [(Aᵀ)^{l1}·A^{l2}]_{ij}.
+Result<double> CountInLinkPaths(const Graph& g, NodeId i, NodeId j,
+                                int l1, int l2);
+
+/// Bit flags describing which path families exist for an ordered pair.
+enum PathPresenceFlags : uint8_t {
+  kHasAnyInLinkPath = 1 << 0,        ///< some (l1, l2) with l1+l2 ≥ 1
+  kHasSymmetricInLinkPath = 1 << 1,  ///< some l1 = l2 ≥ 1 (what SimRank sees)
+  kHasUnidirectionalPath = 1 << 2,   ///< some l1 = 0, l2 ≥ 1 (what RWR sees)
+  kHasDissymmetricInLinkPath = 1 << 3,  ///< some l1 ≠ l2
+};
+
+/// \brief Dense per-pair presence flags up to a path-length horizon.
+struct PathPresence {
+  int64_t num_nodes = 0;
+  int horizon = 0;                ///< max l1 and max l2 examined
+  std::vector<uint8_t> flags;     ///< row-major n×n flag bytes
+
+  uint8_t At(NodeId i, NodeId j) const {
+    return flags[static_cast<size_t>(i) * num_nodes + j];
+  }
+};
+
+/// Computes presence flags for all ordered pairs by boolean products of
+/// adjacency powers (existence only — no overflow risk). Cost grows with
+/// `horizon²` boolean sparse products; intended for the scaled graphs of
+/// the Fig 6(d) bench (n in the low thousands).
+PathPresence ComputePathPresence(const Graph& g, int horizon);
+
+}  // namespace srs

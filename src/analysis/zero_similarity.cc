@@ -1,0 +1,67 @@
+#include "srs/analysis/zero_similarity.h"
+
+namespace srs {
+
+namespace {
+
+/// Shared scan; `seen_bit` is the family the measure *does* capture
+/// (symmetric for SimRank, unidirectional for RWR).
+ZeroSimilarityStats Analyze(const PathPresence& presence, uint8_t seen_bit) {
+  const int64_t n = presence.num_nodes;
+  ZeroSimilarityStats stats;
+  stats.ordered_pairs = n * (n - 1);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const uint8_t f = presence.At(i, j);
+      if (!(f & kHasAnyInLinkPath)) continue;
+      ++stats.related_pairs;
+      const bool seen = (f & seen_bit) != 0;
+      if (!seen) {
+        ++stats.completely_dissimilar;
+      } else {
+        // The measure assigns a nonzero score; it still misses every path
+        // outside its family.
+        const uint8_t missed =
+            static_cast<uint8_t>(f & ~seen_bit &
+                                 (kHasSymmetricInLinkPath |
+                                  kHasDissymmetricInLinkPath |
+                                  kHasUnidirectionalPath));
+        bool misses_something = false;
+        if (seen_bit == kHasSymmetricInLinkPath) {
+          misses_something = (f & kHasDissymmetricInLinkPath) != 0;
+        } else {
+          // RWR: unidirectional paths have l1 = 0; everything else (any
+          // symmetric path, or a dissymmetric one with l1 ≥ 1) is missed.
+          // Dissymmetric-with-l1≥1 is implied whenever a dissymmetric path
+          // exists that is not unidirectional; we conservatively use the
+          // symmetric bit plus the dissymmetric bit as the missed families.
+          misses_something = (f & kHasSymmetricInLinkPath) != 0;
+        }
+        (void)missed;
+        if (misses_something) ++stats.partially_missing;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+ZeroSimilarityStats AnalyzeZeroSimRank(const PathPresence& presence) {
+  return Analyze(presence, kHasSymmetricInLinkPath);
+}
+
+ZeroSimilarityStats AnalyzeZeroRwr(const PathPresence& presence) {
+  return Analyze(presence, kHasUnidirectionalPath);
+}
+
+ZeroSimilarityReport AnalyzeZeroSimilarity(const Graph& g, int horizon) {
+  const PathPresence presence = ComputePathPresence(g, horizon);
+  ZeroSimilarityReport report;
+  report.simrank = AnalyzeZeroSimRank(presence);
+  report.rwr = AnalyzeZeroRwr(presence);
+  return report;
+}
+
+}  // namespace srs

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file zero_similarity.h
+/// \brief The "zero-similarity" classifier behind Figure 6(d).
+///
+/// For SimRank (Theorem 1): an ordered pair (i, j), i ≠ j, that has at least
+/// one in-link path is
+///   * **completely dissimilar** if it has no *symmetric* in-link path —
+///     SimRank assigns exactly 0 despite the structural relation;
+///   * **partially missing** if it has a symmetric path (SimRank ≠ 0) but
+///     also some dissymmetric path whose contribution SimRank drops.
+///
+/// For RWR the analogous defect replaces "symmetric" with "unidirectional
+/// (source at i)".
+
+#include <cstdint>
+
+#include "srs/analysis/path_count.h"
+#include "srs/graph/graph.h"
+
+namespace srs {
+
+/// \brief Tallies of the zero-similarity classification.
+struct ZeroSimilarityStats {
+  int64_t ordered_pairs = 0;          ///< n·(n−1)
+  int64_t related_pairs = 0;          ///< pairs with some in-link path
+  int64_t completely_dissimilar = 0;
+  int64_t partially_missing = 0;
+
+  /// Pairs affected by either defect, as % of all ordered pairs — the bar
+  /// heights in Fig 6(d).
+  double AffectedPercent() const {
+    return ordered_pairs == 0
+               ? 0.0
+               : 100.0 *
+                     static_cast<double>(completely_dissimilar +
+                                         partially_missing) /
+                     static_cast<double>(ordered_pairs);
+  }
+  double CompletelyDissimilarPercent() const {
+    return ordered_pairs == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(completely_dissimilar) /
+                     static_cast<double>(ordered_pairs);
+  }
+  double PartiallyMissingPercent() const {
+    return ordered_pairs == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(partially_missing) /
+                     static_cast<double>(ordered_pairs);
+  }
+};
+
+/// Classifies every ordered pair for the SimRank defect using precomputed
+/// path-presence flags.
+ZeroSimilarityStats AnalyzeZeroSimRank(const PathPresence& presence);
+
+/// Classifies every ordered pair for the RWR defect.
+ZeroSimilarityStats AnalyzeZeroRwr(const PathPresence& presence);
+
+/// Convenience: computes presence at `horizon` and runs both analyses.
+struct ZeroSimilarityReport {
+  ZeroSimilarityStats simrank;
+  ZeroSimilarityStats rwr;
+};
+ZeroSimilarityReport AnalyzeZeroSimilarity(const Graph& g, int horizon);
+
+}  // namespace srs

@@ -1,0 +1,94 @@
+#include "srs/baselines/matchsim.h"
+
+#include <algorithm>
+
+#include "srs/core/sieve.h"
+
+namespace srs {
+
+namespace {
+
+/// Greedy maximum-weight matching between two neighbor sets under the score
+/// matrix `s`: sort all cross pairs by weight, take disjoint ones.
+double GreedyMatchingWeight(std::span<const NodeId> left,
+                            std::span<const NodeId> right,
+                            const DenseMatrix& s,
+                            std::vector<std::pair<double, std::pair<int, int>>>*
+                                scratch) {
+  scratch->clear();
+  for (size_t i = 0; i < left.size(); ++i) {
+    for (size_t j = 0; j < right.size(); ++j) {
+      const double w = s.At(left[i], right[j]);
+      if (w > 0.0) {
+        scratch->push_back({w, {static_cast<int>(i), static_cast<int>(j)}});
+      }
+    }
+  }
+  std::sort(scratch->begin(), scratch->end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  uint64_t used_left = 0, used_right = 0;  // neighbor sets are small
+  double total = 0.0;
+  if (left.size() <= 64 && right.size() <= 64) {
+    for (const auto& [w, pair] : *scratch) {
+      const uint64_t lbit = uint64_t{1} << pair.first;
+      const uint64_t rbit = uint64_t{1} << pair.second;
+      if ((used_left & lbit) || (used_right & rbit)) continue;
+      used_left |= lbit;
+      used_right |= rbit;
+      total += w;
+    }
+    return total;
+  }
+  // Large-degree fallback: explicit flags.
+  std::vector<char> lflag(left.size(), 0), rflag(right.size(), 0);
+  for (const auto& [w, pair] : *scratch) {
+    if (lflag[static_cast<size_t>(pair.first)] ||
+        rflag[static_cast<size_t>(pair.second)]) {
+      continue;
+    }
+    lflag[static_cast<size_t>(pair.first)] = 1;
+    rflag[static_cast<size_t>(pair.second)] = 1;
+    total += w;
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<DenseMatrix> ComputeMatchSim(const Graph& g,
+                                    const SimilarityOptions& options) {
+  SRS_RETURN_NOT_OK(options.Validate());
+  const int64_t n = g.NumNodes();
+  const int k_max = EffectiveIterations(options, /*exponential=*/false);
+
+  DenseMatrix s = DenseMatrix::Identity(n);
+  DenseMatrix next(n, n);
+  std::vector<std::pair<double, std::pair<int, int>>> scratch;
+  for (int k = 0; k < k_max; ++k) {
+    // Each unordered pair is matched once and mirrored — the matching
+    // problem is orientation-free, so this both halves the work and makes
+    // symmetry exact (greedy tie-breaking would otherwise depend on the
+    // side order).
+    for (NodeId a = 0; a < n; ++a) {
+      const auto in_a = g.InNeighbors(a);
+      next.At(a, a) = 1.0;
+      for (NodeId b = a + 1; b < n; ++b) {
+        const auto in_b = g.InNeighbors(b);
+        double value = 0.0;
+        if (!in_a.empty() && !in_b.empty()) {
+          const double matched =
+              GreedyMatchingWeight(in_a, in_b, s, &scratch);
+          value = matched /
+                  static_cast<double>(std::max(in_a.size(), in_b.size()));
+        }
+        next.At(a, b) = value;
+        next.At(b, a) = value;
+      }
+    }
+    std::swap(s, next);
+  }
+  if (options.sieve_threshold > 0.0) ApplySieve(options.sieve_threshold, &s);
+  return s;
+}
+
+}  // namespace srs

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file matchsim.h
+/// \brief MatchSim (Lin, Lyu & King, KAIS 2012).
+///
+/// Refines SimRank with maximum neighborhood matching: instead of averaging
+/// over ALL in-neighbor pairs, only the best one-to-one matching between
+/// I(a) and I(b) counts:
+///
+///   s(a,b) = ( Σ_{(x,y) ∈ M*(a,b)} s(x,y) ) / max(|I(a)|, |I(b)|),
+///
+/// with M* the maximum-weight bipartite matching under the current scores.
+/// We use the standard greedy 1/2-approximation for M* (exact Hungarian
+/// matching changes scores by < the iteration tolerance on the graphs this
+/// baseline is evaluated on, at far higher cost). Like every other SimRank
+/// refinement in the related work, it cannot score a pair with no symmetric
+/// in-link path — the defect SimRank* fixes.
+
+#include "srs/common/result.h"
+#include "srs/core/options.h"
+#include "srs/graph/graph.h"
+#include "srs/matrix/dense_matrix.h"
+
+namespace srs {
+
+/// All-pairs MatchSim scores (diagonal 1; pairs with an empty in-neighbor
+/// set on either side score 0).
+Result<DenseMatrix> ComputeMatchSim(const Graph& g,
+                                    const SimilarityOptions& options = {});
+
+}  // namespace srs

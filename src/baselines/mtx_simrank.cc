@@ -1,0 +1,92 @@
+#include "srs/baselines/mtx_simrank.h"
+
+#include "srs/core/sieve.h"
+#include "srs/matrix/lu.h"
+#include "srs/matrix/svd.h"
+
+namespace srs {
+
+Result<DenseMatrix> ComputeMtxSimRank(const Graph& g,
+                                      const SimilarityOptions& options,
+                                      const MtxSimRankOptions& mtx_options) {
+  SRS_RETURN_NOT_OK(options.Validate());
+  const int64_t n = g.NumNodes();
+  const double c = options.damping;
+
+  // 1. SVD of Q (this is the step that destroys sparsity — the cost the
+  //    paper's Fig 6(e)/(h) attribute to mtx-SR).
+  SvdResult low;
+  const int64_t target_rank = mtx_options.rank > 0 ? mtx_options.rank : n;
+  if (mtx_options.method == MtxSvdMethod::kSparseSubspace) {
+    SRS_ASSIGN_OR_RETURN(
+        SvdResult subspace,
+        ComputeTruncatedSvdSparse(g.BackwardTransition(), target_rank,
+                                  mtx_options.subspace_iterations));
+    low = TruncateSvd(subspace, target_rank, mtx_options.sigma_threshold);
+  } else {
+    const DenseMatrix q = g.BackwardTransition().ToDense();
+    SRS_ASSIGN_OR_RETURN(SvdResult svd, ComputeSvd(q));
+    low = TruncateSvd(svd, target_rank, mtx_options.sigma_threshold);
+  }
+  const int64_t r = static_cast<int64_t>(low.sigma.size());
+
+  if (r == 0) {
+    // Q = 0 (no edges): S = (1−C)·I.
+    DenseMatrix s(n, n);
+    for (int64_t i = 0; i < n; ++i) s.At(i, i) = 1.0 - c;
+    return s;
+  }
+
+  // 2. B = Vᵀ·U·Σ (r×r).
+  DenseMatrix b = MultiplyTransposed(low.v.Transposed(), low.u.Transposed());
+  for (int64_t i = 0; i < r; ++i) {
+    for (int64_t j = 0; j < r; ++j) b.At(i, j) *= low.sigma[j];
+  }
+
+  // 3. Solve the r²×r² system (I − C·B⊗B)·vec(Y) = vec(I_r), with column
+  //    stacking: row index (i + r·j) corresponds to Y(i, j).
+  const int64_t r2 = r * r;
+  DenseMatrix system(r2, r2);
+  for (int64_t j = 0; j < r; ++j) {
+    for (int64_t i = 0; i < r; ++i) {
+      const int64_t row = i + r * j;
+      for (int64_t l = 0; l < r; ++l) {
+        for (int64_t k = 0; k < r; ++k) {
+          const int64_t col = k + r * l;
+          double value = -c * b.At(i, k) * b.At(j, l);
+          if (row == col) value += 1.0;
+          system.At(row, col) = value;
+        }
+      }
+    }
+  }
+  std::vector<double> rhs(static_cast<size_t>(r2), 0.0);
+  for (int64_t i = 0; i < r; ++i) rhs[static_cast<size_t>(i + r * i)] = 1.0;
+
+  SRS_ASSIGN_OR_RETURN(LuFactorization lu, LuFactorization::Compute(system));
+  const std::vector<double> y_vec = lu.Solve(rhs);
+  DenseMatrix y(r, r);
+  for (int64_t j = 0; j < r; ++j) {
+    for (int64_t i = 0; i < r; ++i) {
+      y.At(i, j) = y_vec[static_cast<size_t>(i + r * j)];
+    }
+  }
+
+  // 4. S = (1−C)·(Iₙ + C·(UΣ)·Y·(UΣ)ᵀ).
+  DenseMatrix us = low.u;  // n×r, scaled by Σ
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < r; ++j) us.At(i, j) *= low.sigma[j];
+  }
+  DenseMatrix usy = Multiply(us, y);                  // n×r
+  DenseMatrix core = MultiplyTransposed(usy, us);     // n×n
+  DenseMatrix s(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      s.At(i, j) = (1.0 - c) * (c * core.At(i, j) + (i == j ? 1.0 : 0.0));
+    }
+  }
+  if (options.sieve_threshold > 0.0) ApplySieve(options.sieve_threshold, &s);
+  return s;
+}
+
+}  // namespace srs

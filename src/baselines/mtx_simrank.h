@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file mtx_simrank.h
+/// \brief mtx-SR: SimRank via low-rank SVD (Li et al., EDBT 2010).
+///
+/// Solves the matrix-form SimRank fixed point in closed form through the
+/// rank-r SVD Q = U Σ Vᵀ and the Sherman–Morrison–Woodbury identity:
+///
+///   vec(S) = (1−C)(I_{n²} − C·Q⊗Q)^{-1} vec(Iₙ)
+///          = (1−C)[vec(Iₙ) + C·(U⊗U)(Σ⊗Σ)(I_{r²} − C·B⊗B)^{-1} vec(I_r)]
+///   with B = Vᵀ U Σ, i.e.  S = (1−C)(Iₙ + C·U Σ Y Σ Uᵀ)
+///   where Y solves the r²×r² system  Y − C·B·Y·Bᵀ = I_r.
+///
+/// The O(r⁴)–O(r⁶) dependence on the rank (and the dense n×n SVD) is
+/// exactly why the paper finds mtx-SR slow and memory-hungry — behaviour the
+/// Fig 6(e)/(h) benches reproduce.
+
+#include "srs/common/result.h"
+#include "srs/core/options.h"
+#include "srs/graph/graph.h"
+#include "srs/matrix/dense_matrix.h"
+
+namespace srs {
+
+/// How the SVD of Q is obtained.
+enum class MtxSvdMethod {
+  /// Dense one-sided Jacobi (exact; O(n³) per sweep — small graphs).
+  kDenseJacobi,
+  /// Sparse block subspace iteration (approximate; O(iters·r·m) — what the
+  /// timing benches use so the SVD does not dwarf the r²×r² solve).
+  kSparseSubspace,
+};
+
+/// Options for mtx-SR.
+struct MtxSimRankOptions {
+  /// Target rank r of the truncated SVD; 0 means full rank (exact
+  /// matrix-form SimRank; only meaningful with kDenseJacobi).
+  int64_t rank = 0;
+  /// Singular values ≤ this are dropped regardless of `rank`.
+  double sigma_threshold = 1e-10;
+  MtxSvdMethod method = MtxSvdMethod::kDenseJacobi;
+  /// Power iterations for kSparseSubspace.
+  int subspace_iterations = 12;
+};
+
+/// All-pairs SimRank via SVD + SMW. With full rank this equals the exact
+/// fixed point of Eq. (3) (i.e. the K→∞ limit of ComputeSimRankMatrixForm).
+Result<DenseMatrix> ComputeMtxSimRank(
+    const Graph& g, const SimilarityOptions& options = {},
+    const MtxSimRankOptions& mtx_options = {});
+
+}  // namespace srs

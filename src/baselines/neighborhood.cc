@@ -1,0 +1,82 @@
+#include "srs/baselines/neighborhood.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace srs {
+
+namespace {
+
+/// Counts |a ∩ b| for two ascending id lists.
+int64_t IntersectionSize(std::span<const NodeId> a, std::span<const NodeId> b) {
+  int64_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+double Normalize(int64_t inter, int64_t da, int64_t db,
+                 OverlapNormalization norm) {
+  switch (norm) {
+    case OverlapNormalization::kNone:
+      return static_cast<double>(inter);
+    case OverlapNormalization::kJaccard: {
+      const int64_t uni = da + db - inter;
+      return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+    }
+    case OverlapNormalization::kCosine: {
+      const double denom = std::sqrt(static_cast<double>(da) * db);
+      return denom == 0.0 ? 0.0 : static_cast<double>(inter) / denom;
+    }
+  }
+  return 0.0;
+}
+
+template <typename NeighborFn>
+DenseMatrix ComputeOverlap(const Graph& g, OverlapNormalization norm,
+                           NeighborFn neighbors) {
+  const int64_t n = g.NumNodes();
+  DenseMatrix s(n, n);
+  for (NodeId a = 0; a < n; ++a) {
+    const auto na = neighbors(a);
+    for (NodeId b = a; b < n; ++b) {
+      const auto nb = neighbors(b);
+      const int64_t inter = IntersectionSize(na, nb);
+      const double value =
+          Normalize(inter, static_cast<int64_t>(na.size()),
+                    static_cast<int64_t>(nb.size()), norm);
+      s.At(a, b) = value;
+      s.At(b, a) = value;
+    }
+    if (norm != OverlapNormalization::kNone) {
+      s.At(a, a) = na.empty() ? 0.0 : 1.0;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<DenseMatrix> ComputeCoCitation(const Graph& g,
+                                      OverlapNormalization norm) {
+  return ComputeOverlap(g, norm,
+                        [&](NodeId x) { return g.InNeighbors(x); });
+}
+
+Result<DenseMatrix> ComputeCoupling(const Graph& g,
+                                    OverlapNormalization norm) {
+  return ComputeOverlap(g, norm,
+                        [&](NodeId x) { return g.OutNeighbors(x); });
+}
+
+}  // namespace srs

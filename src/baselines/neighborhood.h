@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file neighborhood.h
+/// \brief The pre-SimRank neighborhood measures the paper's related-work
+/// section traces SimRank's philosophy to: co-citation (Small 1973) and
+/// bibliographic coupling (Kessler 1963).
+
+#include "srs/common/result.h"
+#include "srs/graph/graph.h"
+#include "srs/matrix/dense_matrix.h"
+
+namespace srs {
+
+/// How raw overlap counts are normalized.
+enum class OverlapNormalization {
+  kNone,     ///< raw |I(a) ∩ I(b)| (resp. out-neighbor overlap)
+  kJaccard,  ///< |∩| / |∪|
+  kCosine,   ///< |∩| / sqrt(|I(a)|·|I(b)|)
+};
+
+/// Co-citation: overlap of in-neighbor sets (AᵀA pattern). s(a,a) = 1 under
+/// any normalization (0 when I(a) = ∅ and normalization is not kNone).
+Result<DenseMatrix> ComputeCoCitation(
+    const Graph& g, OverlapNormalization norm = OverlapNormalization::kJaccard);
+
+/// Bibliographic coupling: overlap of out-neighbor sets (AAᵀ pattern).
+Result<DenseMatrix> ComputeCoupling(
+    const Graph& g, OverlapNormalization norm = OverlapNormalization::kJaccard);
+
+}  // namespace srs

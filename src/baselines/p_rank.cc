@@ -1,0 +1,66 @@
+#include "srs/baselines/p_rank.h"
+
+#include "srs/core/sieve.h"
+
+namespace srs {
+
+Result<DenseMatrix> ComputePRank(const Graph& g,
+                                 const SimilarityOptions& options,
+                                 const PRankOptions& p_options) {
+  SRS_RETURN_NOT_OK(options.Validate());
+  if (p_options.lambda < 0.0 || p_options.lambda > 1.0) {
+    return Status::InvalidArgument("P-Rank lambda must be in [0, 1]");
+  }
+  const int64_t n = g.NumNodes();
+  const int k_max = EffectiveIterations(options, /*exponential=*/false);
+  const double c = options.damping;
+  const double lambda = p_options.lambda;
+
+  const bool force_one = p_options.diagonal == PRankDiagonal::kForceOne;
+  DenseMatrix s(n, n);
+  for (int64_t i = 0; i < n; ++i) s.At(i, i) = force_one ? 1.0 : 1.0 - c;
+  DenseMatrix next(n, n);
+  for (int k = 0; k < k_max; ++k) {
+    for (NodeId a = 0; a < n; ++a) {
+      const auto in_a = g.InNeighbors(a);
+      const auto out_a = g.OutNeighbors(a);
+      double* nrow = next.Row(a);
+      for (NodeId b = 0; b < n; ++b) {
+        if (a == b && force_one) {
+          nrow[b] = 1.0;
+          continue;
+        }
+        double value = 0.0;
+        const auto in_b = g.InNeighbors(b);
+        if (!in_a.empty() && !in_b.empty()) {
+          double sum = 0.0;
+          for (NodeId i : in_a) {
+            const double* srow = s.Row(i);
+            for (NodeId j : in_b) sum += srow[j];
+          }
+          value += lambda * c * sum /
+                   (static_cast<double>(in_a.size()) *
+                    static_cast<double>(in_b.size()));
+        }
+        const auto out_b = g.OutNeighbors(b);
+        if (!out_a.empty() && !out_b.empty()) {
+          double sum = 0.0;
+          for (NodeId i : out_a) {
+            const double* srow = s.Row(i);
+            for (NodeId j : out_b) sum += srow[j];
+          }
+          value += (1.0 - lambda) * c * sum /
+                   (static_cast<double>(out_a.size()) *
+                    static_cast<double>(out_b.size()));
+        }
+        if (a == b) value += 1.0 - c;  // kMatrixForm diagonal bias
+        nrow[b] = value;
+      }
+    }
+    std::swap(s, next);
+  }
+  if (options.sieve_threshold > 0.0) ApplySieve(options.sieve_threshold, &s);
+  return s;
+}
+
+}  // namespace srs

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file p_rank.h
+/// \brief P-Rank (Zhao, Han & Sun, CIKM 2009): SimRank extended with
+/// out-links.
+///
+///   s(a,b) = λ·C/(|I(a)||I(b)|)·Σ_{I×I} s(·,·)
+///          + (1−λ)·C/(|O(a)||O(b)|)·Σ_{O×O} s(·,·),   s(a,a)=1.
+///
+/// The paper shows P-Rank does NOT fix the zero-similarity defect: it only
+/// adds the out-link mirror image of the same biased path accounting (the
+/// h→l→i counter-example, reproduced by our Fig1WithSubdividedHi fixture).
+
+#include "srs/common/result.h"
+#include "srs/core/options.h"
+#include "srs/graph/graph.h"
+#include "srs/matrix/dense_matrix.h"
+
+namespace srs {
+
+/// Diagonal policy for P-Rank (mirrors SimRankDiagonal).
+enum class PRankDiagonal {
+  /// s(a,a) pinned to 1 each iteration (the component recurrence above).
+  kForceOne,
+  /// Matrix form S = λC·Q·S·Qᵀ + (1−λ)C·W·S·Wᵀ + (1−C)·I. This is the
+  /// scaling under which the SimRank* paper reports its Figure 1 'PR'
+  /// column (its 'SR' column likewise uses Eq. 3).
+  kMatrixForm,
+};
+
+/// Options specific to P-Rank.
+struct PRankOptions {
+  /// In-link weight λ ∈ [0, 1]; λ = 1 degenerates to SimRank. The P-Rank
+  /// paper's default is 0.5.
+  double lambda = 0.5;
+  PRankDiagonal diagonal = PRankDiagonal::kForceOne;
+};
+
+/// All-pairs P-Rank scores.
+Result<DenseMatrix> ComputePRank(const Graph& g,
+                                 const SimilarityOptions& options = {},
+                                 const PRankOptions& p_options = {});
+
+}  // namespace srs

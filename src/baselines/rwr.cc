@@ -1,0 +1,47 @@
+#include "srs/baselines/rwr.h"
+
+#include "srs/core/sieve.h"
+#include "srs/matrix/lu.h"
+
+namespace srs {
+
+Result<DenseMatrix> ComputeRwr(const Graph& g,
+                               const SimilarityOptions& options) {
+  SRS_RETURN_NOT_OK(options.Validate());
+  const int64_t n = g.NumNodes();
+  const int k_max = EffectiveIterations(options, /*exponential=*/false);
+  const double c = options.damping;
+
+  const CsrMatrix w = g.ForwardTransition();
+
+  DenseMatrix s(n, n);
+  for (int64_t i = 0; i < n; ++i) s.At(i, i) = 1.0 - c;
+
+  for (int k = 0; k < k_max; ++k) {
+    DenseMatrix m = w.MultiplyDense(s);
+    for (int64_t i = 0; i < n; ++i) {
+      double* row = s.Row(i);
+      const double* mrow = m.Row(i);
+      for (int64_t j = 0; j < n; ++j) row[j] = c * mrow[j];
+      row[i] += 1.0 - c;
+    }
+  }
+  if (options.sieve_threshold > 0.0) ApplySieve(options.sieve_threshold, &s);
+  return s;
+}
+
+Result<DenseMatrix> ComputeRwrClosedForm(const Graph& g, double damping) {
+  if (!(damping > 0.0 && damping < 1.0)) {
+    return Status::InvalidArgument("damping must be in (0,1)");
+  }
+  const int64_t n = g.NumNodes();
+  DenseMatrix system = g.ForwardTransition().ToDense();
+  system.Scale(-damping);
+  for (int64_t i = 0; i < n; ++i) system.At(i, i) += 1.0;
+  SRS_ASSIGN_OR_RETURN(LuFactorization lu, LuFactorization::Compute(system));
+  DenseMatrix s = lu.Inverse();
+  s.Scale(1.0 - damping);
+  return s;
+}
+
+}  // namespace srs

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file rwr.h
+/// \brief Random Walk with Restart (Tong, Faloutsos & Pan, ICDM 2006).
+///
+/// All-pairs form  S = (1−C)·(I − C·W)^{-1}  with W the row-normalized
+/// adjacency matrix; row i is the Personalized PageRank vector of node i
+/// with restart probability 1−C. Note the paper's observation that RWR is
+/// asymmetric (s(i,j) ≠ s(j,i)) and has its own zero-similarity defect:
+/// s(i,j)=0 unless a one-directional path i→…→j exists.
+
+#include "srs/common/result.h"
+#include "srs/core/options.h"
+#include "srs/graph/graph.h"
+#include "srs/matrix/dense_matrix.h"
+
+namespace srs {
+
+/// All-pairs RWR by power iteration: S_{k+1} = C·W·S_k + (1−C)·I. O(K·n·m).
+Result<DenseMatrix> ComputeRwr(const Graph& g,
+                               const SimilarityOptions& options = {});
+
+/// All-pairs RWR in closed form via dense LU of (I − C·W). O(n³), exact —
+/// used as the oracle for the iterative variant on small graphs.
+Result<DenseMatrix> ComputeRwrClosedForm(const Graph& g, double damping);
+
+}  // namespace srs

@@ -1,0 +1,37 @@
+#include "srs/baselines/simrank_matrix.h"
+
+#include "srs/core/sieve.h"
+
+namespace srs {
+
+Result<DenseMatrix> ComputeSimRankMatrixForm(const Graph& g,
+                                             const SimilarityOptions& options) {
+  SRS_RETURN_NOT_OK(options.Validate());
+  const int64_t n = g.NumNodes();
+  const int k_max = EffectiveIterations(options, /*exponential=*/false);
+  const double c = options.damping;
+
+  const CsrMatrix q = g.BackwardTransition();
+  const CsrMatrix qt = q.Transposed();
+
+  DenseMatrix s(n, n);
+  for (int64_t i = 0; i < n; ++i) s.At(i, i) = 1.0 - c;
+
+  for (int k = 0; k < k_max; ++k) {
+    // S ← C·Q·S·Qᵀ + (1−C)·I, as two sparse×dense products:
+    // M = Q·S, then S' = (M·Qᵀ) = (Q·Mᵀ)ᵀ; exploiting S symmetry,
+    // Q·S·Qᵀ = Q·(Q·S)ᵀ ᵀ — we just do both sides explicitly.
+    DenseMatrix m = q.MultiplyDense(s);       // Q·S
+    DenseMatrix sandwich = qt.LeftMultiplyDense(m);  // (Q·S)·Qᵀ
+    for (int64_t i = 0; i < n; ++i) {
+      double* row = s.Row(i);
+      const double* srow = sandwich.Row(i);
+      for (int64_t j = 0; j < n; ++j) row[j] = c * srow[j];
+      row[i] += 1.0 - c;
+    }
+  }
+  if (options.sieve_threshold > 0.0) ApplySieve(options.sieve_threshold, &s);
+  return s;
+}
+
+}  // namespace srs

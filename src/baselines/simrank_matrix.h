@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file simrank_matrix.h
+/// \brief Matrix-form SimRank (Eq. 3): S = C·Q·S·Qᵀ + (1−C)·Iₙ.
+///
+/// The fixed-point iteration of the matrix form. Each iteration performs
+/// TWO sparse×dense products (the sandwich Q·S·Qᵀ) — the constant-factor
+/// cost SimRank* halves (paper §4.2).
+
+#include "srs/common/result.h"
+#include "srs/core/options.h"
+#include "srs/graph/graph.h"
+#include "srs/matrix/dense_matrix.h"
+
+namespace srs {
+
+/// All-pairs matrix-form SimRank. Equals the Lemma 2 power series truncated
+/// at K terms; equals ComputeSimRankNaive with kMatrixForm diagonal.
+Result<DenseMatrix> ComputeSimRankMatrixForm(
+    const Graph& g, const SimilarityOptions& options = {});
+
+}  // namespace srs

@@ -1,0 +1,56 @@
+#include "srs/baselines/simrank_naive.h"
+
+#include "srs/core/sieve.h"
+
+namespace srs {
+
+Result<DenseMatrix> ComputeSimRankNaive(const Graph& g,
+                                        const SimilarityOptions& options,
+                                        SimRankDiagonal diagonal) {
+  SRS_RETURN_NOT_OK(options.Validate());
+  const int64_t n = g.NumNodes();
+  const int k_max = EffectiveIterations(options, /*exponential=*/false);
+  const double c = options.damping;
+
+  DenseMatrix s(n, n);
+  if (diagonal == SimRankDiagonal::kForceOne) {
+    s.SetIdentity();
+  } else {
+    for (int64_t i = 0; i < n; ++i) s.At(i, i) = 1.0 - c;
+  }
+
+  DenseMatrix next(n, n);
+  for (int k = 0; k < k_max; ++k) {
+    for (NodeId a = 0; a < n; ++a) {
+      const auto in_a = g.InNeighbors(a);
+      for (NodeId b = 0; b < n; ++b) {
+        if (a == b) {
+          if (diagonal == SimRankDiagonal::kForceOne) {
+            next.At(a, b) = 1.0;
+            continue;
+          }
+        }
+        const auto in_b = g.InNeighbors(b);
+        if (in_a.empty() || in_b.empty()) {
+          next.At(a, b) = (a == b) ? 1.0 - c : 0.0;
+          continue;
+        }
+        double sum = 0.0;
+        for (NodeId i : in_a) {
+          const double* srow = s.Row(i);
+          for (NodeId j : in_b) sum += srow[j];
+        }
+        double value =
+            c * sum /
+            (static_cast<double>(in_a.size()) * static_cast<double>(in_b.size()));
+        if (a == b) value += 1.0 - c;  // kMatrixForm diagonal bias
+        next.At(a, b) = value;
+      }
+    }
+    std::swap(s, next);
+  }
+  if (options.sieve_threshold > 0.0) ApplySieve(options.sieve_threshold, &s);
+  return s;
+}
+
+}  // namespace srs

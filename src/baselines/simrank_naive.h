@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file simrank_naive.h
+/// \brief Textbook SimRank (Jeh & Widom, Eq. 1/2) — the definitional oracle.
+///
+/// Direct O(K·d²·n²) evaluation of the component recurrence. Every faster
+/// SimRank implementation in this library (psum-SR, the matrix form) is
+/// tested against this one.
+
+#include "srs/common/result.h"
+#include "srs/core/options.h"
+#include "srs/graph/graph.h"
+#include "srs/matrix/dense_matrix.h"
+
+namespace srs {
+
+/// How the diagonal is treated.
+enum class SimRankDiagonal {
+  /// Eq. (2): s(a,a) is pinned to exactly 1 every iteration (Jeh–Widom).
+  kForceOne,
+  /// Eq. (3): S = C·Q·S·Qᵀ + (1−C)·I — diagonal entries are only maximal,
+  /// not necessarily 1 (the matrix-form variant used by mtx-SR and the
+  /// power series of Lemma 2).
+  kMatrixForm,
+};
+
+/// All-pairs SimRank by the naive component recurrence.
+Result<DenseMatrix> ComputeSimRankNaive(
+    const Graph& g, const SimilarityOptions& options = {},
+    SimRankDiagonal diagonal = SimRankDiagonal::kForceOne);
+
+}  // namespace srs

@@ -1,0 +1,63 @@
+#include "srs/baselines/simrank_pp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "srs/baselines/simrank_psum.h"
+
+namespace srs {
+
+namespace {
+
+int64_t InNeighborOverlap(const Graph& g, NodeId a, NodeId b) {
+  const auto ia = g.InNeighbors(a);
+  const auto ib = g.InNeighbors(b);
+  int64_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < ia.size() && j < ib.size()) {
+    if (ia[i] < ib[j]) {
+      ++i;
+    } else if (ia[i] > ib[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+DenseMatrix ComputeEvidence(const Graph& g) {
+  const int64_t n = g.NumNodes();
+  DenseMatrix evidence(n, n);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a; b < n; ++b) {
+      const int64_t overlap = InNeighborOverlap(g, a, b);
+      // Σ_{i=1}^{overlap} 2^{-i} = 1 − 2^{-overlap}.
+      const double e = 1.0 - std::ldexp(1.0, -static_cast<int>(
+                                                 std::min<int64_t>(overlap, 60)));
+      evidence.At(a, b) = e;
+      evidence.At(b, a) = e;
+    }
+  }
+  return evidence;
+}
+
+Result<DenseMatrix> ComputeSimRankPlusPlus(const Graph& g,
+                                           const SimilarityOptions& options) {
+  SRS_ASSIGN_OR_RETURN(DenseMatrix s, ComputeSimRankPsum(g, options));
+  const DenseMatrix evidence = ComputeEvidence(g);
+  const int64_t n = g.NumNodes();
+  for (int64_t a = 0; a < n; ++a) {
+    for (int64_t b = 0; b < n; ++b) {
+      if (a == b) continue;  // self-similarity stays 1
+      s.At(a, b) *= evidence.At(a, b);
+    }
+  }
+  return s;
+}
+
+}  // namespace srs

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file simrank_pp.h
+/// \brief SimRank++ (Antonellis, Garcia-Molina & Chang, VLDB 2008).
+///
+/// Adds an *evidence* factor to SimRank to fix the counter-intuitive trait
+/// the paper's related-work section describes ("similarity decreases as the
+/// number of common in-neighbors increases"):
+///
+///   evidence(a,b) = Σ_{i=1}^{|I(a)∩I(b)|} 2^{-i}   (→ 1 as overlap grows)
+///   s++(a,b)      = evidence(a,b) · s(a,b)
+///
+/// As the SimRank* paper notes, this rescaling cannot repair the
+/// zero-similarity defect: evidence(a,b) multiplies a zero score by zero
+/// overlap anyway (tested in simrank_pp_matchsim_test.cpp).
+
+#include "srs/baselines/simrank_naive.h"
+#include "srs/common/result.h"
+#include "srs/core/options.h"
+#include "srs/graph/graph.h"
+#include "srs/matrix/dense_matrix.h"
+
+namespace srs {
+
+/// The evidence factor matrix: entry (a,b) = Σ_{i≤|I(a)∩I(b)|} 2^{-i}.
+DenseMatrix ComputeEvidence(const Graph& g);
+
+/// All-pairs SimRank++ scores (evidence-weighted psum-SR; diagonal stays 1).
+Result<DenseMatrix> ComputeSimRankPlusPlus(
+    const Graph& g, const SimilarityOptions& options = {});
+
+}  // namespace srs

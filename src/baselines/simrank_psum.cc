@@ -1,0 +1,72 @@
+#include "srs/baselines/simrank_psum.h"
+
+#include "srs/common/parallel.h"
+#include "srs/core/sieve.h"
+
+namespace srs {
+
+Result<DenseMatrix> ComputeSimRankPsum(const Graph& g,
+                                       const SimilarityOptions& options,
+                                       SimRankDiagonal diagonal) {
+  SRS_RETURN_NOT_OK(options.Validate());
+  const int64_t n = g.NumNodes();
+  const int k_max = EffectiveIterations(options, /*exponential=*/false);
+  const double c = options.damping;
+
+  DenseMatrix s(n, n);
+  if (diagonal == SimRankDiagonal::kForceOne) {
+    s.SetIdentity();
+  } else {
+    for (int64_t i = 0; i < n; ++i) s.At(i, i) = 1.0 - c;
+  }
+
+  // partial(x, b) = Σ_{j∈I(b)} s_k(x, j): one n×n buffer, computed once per
+  // iteration and reused by every pair — the Lizorkin memoization. This is
+  // the "two-sided" analogue of SimRank*'s single-summation kernel: the
+  // update needs a second pass over in-neighbor sets (the outer sum of
+  // Eq. 16), which is exactly the extra matrix product SimRank* saves.
+  DenseMatrix partial(n, n);
+  DenseMatrix next(n, n);
+  for (int k = 0; k < k_max; ++k) {
+    ParallelFor(0, n, options.num_threads, [&](int64_t begin, int64_t end) {
+      for (int64_t x = begin; x < end; ++x) {
+        const double* srow = s.Row(x);
+        double* prow = partial.Row(x);
+        for (NodeId b = 0; b < n; ++b) {
+          double sum = 0.0;
+          for (NodeId j : g.InNeighbors(b)) sum += srow[j];
+          prow[b] = sum;
+        }
+      }
+    });
+    ParallelFor(0, n, options.num_threads, [&](int64_t begin, int64_t end) {
+      for (NodeId a = static_cast<NodeId>(begin); a < end; ++a) {
+        const auto in_a = g.InNeighbors(a);
+        double* nrow = next.Row(a);
+        for (NodeId b = 0; b < n; ++b) {
+          if (a == b && diagonal == SimRankDiagonal::kForceOne) {
+            nrow[b] = 1.0;
+            continue;
+          }
+          const int64_t db = g.InDegree(b);
+          if (in_a.empty() || db == 0) {
+            nrow[b] = (a == b) ? 1.0 - c : 0.0;
+            continue;
+          }
+          // Outer sum of Eq. (16) over x ∈ I(a), reusing partial(x, b).
+          double sum = 0.0;
+          for (NodeId x : in_a) sum += partial.At(x, b);
+          double value = c * sum / (static_cast<double>(in_a.size()) *
+                                    static_cast<double>(db));
+          if (a == b) value += 1.0 - c;
+          nrow[b] = value;
+        }
+      }
+    });
+    std::swap(s, next);
+  }
+  if (options.sieve_threshold > 0.0) ApplySieve(options.sieve_threshold, &s);
+  return s;
+}
+
+}  // namespace srs

@@ -1,0 +1,193 @@
+#include "srs/bigraph/biclique_miner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "srs/common/rng.h"
+
+namespace srs {
+
+namespace {
+
+/// Working copy of each B-side node's remaining (not yet concentrated)
+/// in-neighbor set, kept sorted.
+struct WorkingSet {
+  NodeId b;
+  std::vector<NodeId> items;
+};
+
+uint64_t HashNode(NodeId x, uint64_t salt) {
+  uint64_t z = (static_cast<uint64_t>(static_cast<uint32_t>(x)) + salt) *
+               0x9e3779b97f4a7c15ULL;
+  z ^= z >> 29;
+  z *= 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 32;
+  return z;
+}
+
+/// Min-hash of a set under the permutation keyed by `salt`.
+uint64_t MinHash(const std::vector<NodeId>& items, uint64_t salt) {
+  uint64_t best = UINT64_MAX;
+  for (NodeId x : items) best = std::min(best, HashNode(x, salt));
+  return best;
+}
+
+/// 64-bit FNV-1a over the sorted item list — exact set fingerprint.
+uint64_t SetFingerprint(const std::vector<NodeId>& items) {
+  uint64_t h = 1469598103934665603ULL;
+  for (NodeId x : items) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(x));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::vector<NodeId> Intersect(const std::vector<NodeId>& a,
+                              const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+/// Removes the sorted subset `sub` from the sorted vector `from`.
+void RemoveSubset(const std::vector<NodeId>& sub, std::vector<NodeId>* from) {
+  std::vector<NodeId> out;
+  out.reserve(from->size() - sub.size());
+  std::set_difference(from->begin(), from->end(), sub.begin(), sub.end(),
+                      std::back_inserter(out));
+  *from = std::move(out);
+}
+
+bool Acceptable(const Biclique& bc, const BicliqueMinerOptions& options) {
+  if (static_cast<int64_t>(bc.x.size()) < options.min_x) return false;
+  if (static_cast<int64_t>(bc.y.size()) < options.min_y) return false;
+  if (options.require_positive_saving && bc.Saving() <= 0) return false;
+  return true;
+}
+
+/// Stage 1: fold B-nodes whose remaining sets are bit-identical.
+void FoldDuplicates(std::vector<WorkingSet>* sets,
+                    const BicliqueMinerOptions& options,
+                    std::vector<Biclique>* out) {
+  std::unordered_map<uint64_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < sets->size(); ++i) {
+    const auto& ws = (*sets)[i];
+    if (static_cast<int64_t>(ws.items.size()) < options.min_x) continue;
+    groups[SetFingerprint(ws.items)].push_back(i);
+  }
+  for (auto& [fp, members] : groups) {
+    if (members.size() < 2) continue;
+    // Guard against fingerprint collisions: split by exact set equality.
+    std::vector<size_t> remaining = members;
+    while (remaining.size() >= 2) {
+      const std::vector<NodeId>& ref = (*sets)[remaining[0]].items;
+      std::vector<size_t> equal, rest;
+      for (size_t idx : remaining) {
+        if ((*sets)[idx].items == ref) {
+          equal.push_back(idx);
+        } else {
+          rest.push_back(idx);
+        }
+      }
+      if (equal.size() >= 2) {
+        Biclique bc;
+        bc.x = ref;
+        for (size_t idx : equal) bc.y.push_back((*sets)[idx].b);
+        std::sort(bc.y.begin(), bc.y.end());
+        if (Acceptable(bc, options)) {
+          for (size_t idx : equal) (*sets)[idx].items.clear();
+          out->push_back(std::move(bc));
+        }
+      }
+      if (rest.size() == remaining.size()) break;  // no progress
+      remaining = std::move(rest);
+    }
+  }
+}
+
+/// Stage 2: one shingle-ordered greedy pass over the remaining sets.
+void ShinglePass(std::vector<WorkingSet>* sets, uint64_t salt,
+                 const BicliqueMinerOptions& options,
+                 std::vector<Biclique>* out) {
+  // Order B-nodes by a two-level min-hash so nodes with overlapping
+  // in-neighbor sets land next to each other.
+  std::vector<size_t> order;
+  order.reserve(sets->size());
+  for (size_t i = 0; i < sets->size(); ++i) {
+    if (static_cast<int64_t>((*sets)[i].items.size()) >= options.min_x) {
+      order.push_back(i);
+    }
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> keys(sets->size());
+  for (size_t i : order) {
+    keys[i] = {MinHash((*sets)[i].items, salt),
+               MinHash((*sets)[i].items, salt ^ 0xabcdef1234567890ULL)};
+  }
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return keys[a] < keys[b]; });
+
+  // Greedy scan: grow a group while the intersection stays >= min_x and the
+  // saving keeps improving.
+  size_t pos = 0;
+  while (pos < order.size()) {
+    std::vector<NodeId> x = (*sets)[order[pos]].items;
+    std::vector<size_t> members = {order[pos]};
+    size_t next = pos + 1;
+    while (next < order.size()) {
+      std::vector<NodeId> trial = Intersect(x, (*sets)[order[next]].items);
+      if (static_cast<int64_t>(trial.size()) < options.min_x) break;
+      // Accept the shrink only if the biclique's saving does not drop:
+      // new saving with |Y|+1 rows and |trial| columns vs keeping |x|.
+      const int64_t ys = static_cast<int64_t>(members.size());
+      const int64_t old_save =
+          static_cast<int64_t>(x.size()) * ys - (static_cast<int64_t>(x.size()) + ys);
+      const int64_t new_save = static_cast<int64_t>(trial.size()) * (ys + 1) -
+                               (static_cast<int64_t>(trial.size()) + ys + 1);
+      if (new_save < old_save && ys >= options.min_y) break;
+      x = std::move(trial);
+      members.push_back(order[next]);
+      ++next;
+    }
+    if (static_cast<int64_t>(members.size()) >= options.min_y) {
+      Biclique bc;
+      bc.x = x;
+      for (size_t idx : members) bc.y.push_back((*sets)[idx].b);
+      std::sort(bc.y.begin(), bc.y.end());
+      if (Acceptable(bc, options)) {
+        for (size_t idx : members) RemoveSubset(bc.x, &(*sets)[idx].items);
+        out->push_back(std::move(bc));
+      }
+    }
+    pos = next > pos + 1 ? next : pos + 1;
+  }
+}
+
+}  // namespace
+
+std::vector<Biclique> MineBicliques(const Graph& g,
+                                    const BicliqueMinerOptions& options) {
+  std::vector<WorkingSet> sets;
+  sets.reserve(static_cast<size_t>(g.NumNodes()));
+  for (NodeId b = 0; b < g.NumNodes(); ++b) {
+    const auto in = g.InNeighbors(b);
+    if (in.empty()) continue;
+    WorkingSet ws;
+    ws.b = b;
+    ws.items.assign(in.begin(), in.end());  // already sorted ascending
+    sets.push_back(std::move(ws));
+  }
+
+  std::vector<Biclique> out;
+  if (options.enable_duplicate_folding) {
+    FoldDuplicates(&sets, options, &out);
+  }
+  Rng rng(options.seed);
+  for (int pass = 0; pass < options.num_shingle_passes; ++pass) {
+    ShinglePass(&sets, rng.Next(), options, &out);
+  }
+  return out;
+}
+
+}  // namespace srs

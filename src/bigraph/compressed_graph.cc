@@ -1,0 +1,100 @@
+#include "srs/bigraph/compressed_graph.h"
+
+#include <algorithm>
+
+namespace srs {
+
+CompressedGraph CompressedGraph::Build(const Graph& g,
+                                       const BicliqueMinerOptions& options) {
+  return FromBicliques(g, MineBicliques(g, options));
+}
+
+CompressedGraph CompressedGraph::FromBicliques(
+    const Graph& g, std::vector<Biclique> bicliques) {
+  CompressedGraph cg;
+  cg.num_nodes_ = g.NumNodes();
+  cg.original_edges_ = g.NumEdges();
+
+  // Concentration fan-ins.
+  for (const Biclique& bc : bicliques) {
+    cg.fan_in_.insert(cg.fan_in_.end(), bc.x.begin(), bc.x.end());
+    cg.fan_in_ptr_.push_back(static_cast<int64_t>(cg.fan_in_.size()));
+  }
+
+  // Per-node membership: which bicliques cover node b, and which in-edges of
+  // b they consume.
+  std::vector<std::vector<int32_t>> conc_of(g.NumNodes());
+  std::vector<std::vector<NodeId>> covered_of(g.NumNodes());
+  for (size_t i = 0; i < bicliques.size(); ++i) {
+    for (NodeId b : bicliques[i].y) {
+      conc_of[b].push_back(static_cast<int32_t>(i));
+      covered_of[b].insert(covered_of[b].end(), bicliques[i].x.begin(),
+                           bicliques[i].x.end());
+    }
+  }
+
+  cg.direct_ptr_.assign(g.NumNodes() + 1, 0);
+  cg.conc_ptr_.assign(g.NumNodes() + 1, 0);
+  for (NodeId b = 0; b < g.NumNodes(); ++b) {
+    std::vector<NodeId>& covered = covered_of[b];
+    std::sort(covered.begin(), covered.end());
+    // Residual = I(b) \ covered (both sorted; covered must be a subset and
+    // duplicate-free if the miner produced edge-disjoint bicliques).
+    const auto in = g.InNeighbors(b);
+    std::vector<NodeId> residual;
+    residual.reserve(in.size());
+    std::set_difference(in.begin(), in.end(), covered.begin(), covered.end(),
+                        std::back_inserter(residual));
+    cg.direct_.insert(cg.direct_.end(), residual.begin(), residual.end());
+    cg.direct_ptr_[b + 1] = static_cast<int64_t>(cg.direct_.size());
+    cg.conc_.insert(cg.conc_.end(), conc_of[b].begin(), conc_of[b].end());
+    cg.conc_ptr_[b + 1] = static_cast<int64_t>(cg.conc_.size());
+  }
+
+  cg.num_edges_ = static_cast<int64_t>(cg.fan_in_.size()) +
+                  static_cast<int64_t>(cg.direct_.size()) +
+                  static_cast<int64_t>(cg.conc_.size());
+  return cg;
+}
+
+double CompressedGraph::CompressionRatioPercent() const {
+  if (original_edges_ == 0) return 0.0;
+  return (1.0 - static_cast<double>(num_edges_) /
+                    static_cast<double>(original_edges_)) *
+         100.0;
+}
+
+Status CompressedGraph::Validate(const Graph& g) const {
+  if (g.NumNodes() != num_nodes_) {
+    return Status::InvalidArgument("Validate: node count mismatch");
+  }
+  for (NodeId b = 0; b < num_nodes_; ++b) {
+    std::vector<NodeId> expanded(Direct(b).begin(), Direct(b).end());
+    for (int32_t v : Concentrations(b)) {
+      const auto fan = FanIn(v);
+      expanded.insert(expanded.end(), fan.begin(), fan.end());
+    }
+    std::sort(expanded.begin(), expanded.end());
+    if (std::adjacent_find(expanded.begin(), expanded.end()) !=
+        expanded.end()) {
+      return Status::Internal("node " + std::to_string(b) +
+                              ": an in-neighbor is covered twice");
+    }
+    const auto in = g.InNeighbors(b);
+    if (expanded.size() != in.size() ||
+        !std::equal(expanded.begin(), expanded.end(), in.begin())) {
+      return Status::Internal("node " + std::to_string(b) +
+                              ": expansion does not reproduce I(b)");
+    }
+  }
+  return Status::OK();
+}
+
+size_t CompressedGraph::ByteSize() const {
+  return (fan_in_ptr_.size() + direct_ptr_.size() + conc_ptr_.size()) *
+             sizeof(int64_t) +
+         (fan_in_.size() + direct_.size()) * sizeof(NodeId) +
+         conc_.size() * sizeof(int32_t);
+}
+
+}  // namespace srs

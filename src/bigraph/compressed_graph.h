@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file compressed_graph.h
+/// \brief The compressed graph Ĝ = (T ∪ B ∪ V̂, Ê) used by memo-gSR*.
+///
+/// Each mined biclique (X, Y) becomes a *concentration node* v ∈ V̂ with
+/// fan-in X and fan-out Y; the |X|·|Y| bigraph edges it covered are replaced
+/// by |X| + |Y| edges. Every B-side node keeps its *residual* direct
+/// in-neighbors (edges not covered by any biclique), so for all b:
+///
+///   I(b)  =  direct(b)  ⊎  ⨆ { φ(v) : v ∈ conc(b) }       (disjoint union)
+///
+/// which is exactly the invariant the fine-grained partial-sum sharing of
+/// Algorithm 1 requires.
+
+#include <cstdint>
+#include <vector>
+
+#include "srs/bigraph/biclique_miner.h"
+#include "srs/common/result.h"
+#include "srs/graph/graph.h"
+
+namespace srs {
+
+/// \brief Compressed in-neighborhood structure.
+class CompressedGraph {
+ public:
+  /// Builds Ĝ from `g` by mining bicliques with `options`.
+  static CompressedGraph Build(const Graph& g,
+                               const BicliqueMinerOptions& options = {});
+
+  /// Builds Ĝ from an externally supplied (edge-disjoint) biclique set.
+  static CompressedGraph FromBicliques(const Graph& g,
+                                       std::vector<Biclique> bicliques);
+
+  /// Number of concentration nodes |V̂|.
+  int64_t NumConcentrationNodes() const {
+    return static_cast<int64_t>(fan_in_ptr_.size()) - 1;
+  }
+
+  /// Fan-in φ(v) of concentration node `v` (original T-side node ids).
+  std::span<const NodeId> FanIn(int64_t v) const {
+    return {fan_in_.data() + fan_in_ptr_[v],
+            static_cast<size_t>(fan_in_ptr_[v + 1] - fan_in_ptr_[v])};
+  }
+
+  /// Residual direct in-neighbors of node `b` (N(b) ∩ T in Ĝ).
+  std::span<const NodeId> Direct(NodeId b) const {
+    return {direct_.data() + direct_ptr_[b],
+            static_cast<size_t>(direct_ptr_[b + 1] - direct_ptr_[b])};
+  }
+
+  /// Concentration nodes feeding `b` (N(b) ∩ V̂ in Ĝ).
+  std::span<const int32_t> Concentrations(NodeId b) const {
+    return {conc_.data() + conc_ptr_[b],
+            static_cast<size_t>(conc_ptr_[b + 1] - conc_ptr_[b])};
+  }
+
+  /// |Ê|: Σ_v |φ(v)| + Σ_b (|direct(b)| + |conc(b)|). The paper's m̃.
+  int64_t NumEdges() const { return num_edges_; }
+
+  /// The paper's compression ratio (1 − m̃/m) · 100%.
+  double CompressionRatioPercent() const;
+
+  /// Number of edges in the original graph (m).
+  int64_t OriginalEdges() const { return original_edges_; }
+
+  /// Verifies the disjoint-union invariant against `g` (test helper):
+  /// expanding direct(b) plus all fan-ins must reproduce I(b) exactly,
+  /// with no element covered twice.
+  Status Validate(const Graph& g) const;
+
+  /// Logical memory footprint in bytes.
+  size_t ByteSize() const;
+
+ private:
+  int64_t num_nodes_ = 0;
+  int64_t num_edges_ = 0;
+  int64_t original_edges_ = 0;
+
+  // CSR-style storage: concentration fan-ins.
+  std::vector<int64_t> fan_in_ptr_{0};
+  std::vector<NodeId> fan_in_;
+
+  // Per original node: residual direct in-neighbors.
+  std::vector<int64_t> direct_ptr_;
+  std::vector<NodeId> direct_;
+
+  // Per original node: concentration-node ids.
+  std::vector<int64_t> conc_ptr_;
+  std::vector<int32_t> conc_;
+};
+
+}  // namespace srs

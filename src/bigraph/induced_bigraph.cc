@@ -1,0 +1,12 @@
+#include "srs/bigraph/induced_bigraph.h"
+
+namespace srs {
+
+InducedBigraph::InducedBigraph(const Graph& g) : graph_(&g) {
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (g.OutDegree(u) > 0) t_side_.push_back(u);
+    if (g.InDegree(u) > 0) b_side_.push_back(u);
+  }
+}
+
+}  // namespace srs

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file induced_bigraph.h
+/// \brief The induced bipartite graph G̃ = (T ∪ B, Ẽ) of Definition 2.
+///
+/// `T` is the set of nodes with out-neighbors, `B` the set with in-neighbors;
+/// (u, v) ∈ Ẽ iff u→v in G. A node with both roles appears on both sides
+/// (as in the paper's Figure 4). |Ẽ| = |E| always.
+
+#include <vector>
+
+#include "srs/graph/graph.h"
+
+namespace srs {
+
+/// \brief Materialized induced bigraph.
+class InducedBigraph {
+ public:
+  /// Builds the induced bigraph of `g`.
+  explicit InducedBigraph(const Graph& g);
+
+  /// Nodes on the T (out-link) side, ascending original ids.
+  const std::vector<NodeId>& t_side() const { return t_side_; }
+
+  /// Nodes on the B (in-link) side, ascending original ids.
+  const std::vector<NodeId>& b_side() const { return b_side_; }
+
+  /// In-neighbor list (⊆ T) of B-side node `b` — `b` is an *original* id.
+  /// Equals I(b) in the original graph.
+  std::span<const NodeId> NeighborsOf(NodeId b) const {
+    return graph_->InNeighbors(b);
+  }
+
+  /// Number of bigraph edges (= |E| of the original graph).
+  int64_t NumEdges() const { return graph_->NumEdges(); }
+
+  /// True iff the original node has out-neighbors (appears in T).
+  bool InT(NodeId u) const { return graph_->OutDegree(u) > 0; }
+
+  /// True iff the original node has in-neighbors (appears in B).
+  bool InB(NodeId u) const { return graph_->InDegree(u) > 0; }
+
+  const Graph& graph() const { return *graph_; }
+
+ private:
+  const Graph* graph_;
+  std::vector<NodeId> t_side_;
+  std::vector<NodeId> b_side_;
+};
+
+}  // namespace srs

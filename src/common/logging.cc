@@ -1,0 +1,46 @@
+#include "srs/common/logging.h"
+
+#include <atomic>
+
+namespace srs {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >= g_level.load()) {
+  if (enabled_) {
+    stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+  }
+}
+
+}  // namespace internal
+}  // namespace srs

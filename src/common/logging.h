@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file logging.h
+/// \brief Minimal leveled logging to stderr.
+///
+/// Usage: `SRS_LOG(INFO) << "built graph with " << n << " nodes";`
+/// The global level defaults to WARNING so library internals are silent in
+/// tests and benches unless explicitly raised.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace srs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// One log statement; flushes to stderr on destruction if enabled.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace srs
+
+#define SRS_LOG(level) \
+  ::srs::internal::LogMessage(::srs::LogLevel::k##level, __FILE__, __LINE__)

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file macros.h
+/// \brief Internal invariant-checking macros (CHECK-style, always on).
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#define SRS_CONCAT_IMPL(a, b) a##b
+#define SRS_CONCAT(a, b) SRS_CONCAT_IMPL(a, b)
+
+namespace srs::internal {
+
+/// Terminates the process after streaming a diagnostic. Used by SRS_CHECK;
+/// the destructor aborts so `SRS_CHECK(x) << "msg"` works as a statement.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* expr) {
+    stream_ << "[FATAL " << file << ":" << line << "] check failed: " << expr
+            << " ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed message when the check passes.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace srs::internal
+
+/// Aborts with a message when `cond` is false. Always enabled (the checked
+/// invariants guard memory safety of downstream index arithmetic). Supports
+/// streaming extra context: `SRS_CHECK(x > 0) << "x was " << x;`.
+#define SRS_CHECK(cond)   \
+  while (!(cond))         \
+  ::srs::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#define SRS_CHECK_OK(status_expr)                                        \
+  do {                                                                   \
+    ::srs::Status _srs_st = (status_expr);                               \
+    if (!_srs_st.ok()) {                                                 \
+      ::srs::internal::FatalLogMessage(__FILE__, __LINE__, #status_expr) \
+          << _srs_st.ToString();                                         \
+    }                                                                    \
+  } while (false)
+
+#define SRS_CHECK_EQ(a, b) SRS_CHECK((a) == (b))
+#define SRS_CHECK_NE(a, b) SRS_CHECK((a) != (b))
+#define SRS_CHECK_LT(a, b) SRS_CHECK((a) < (b))
+#define SRS_CHECK_LE(a, b) SRS_CHECK((a) <= (b))
+#define SRS_CHECK_GT(a, b) SRS_CHECK((a) > (b))
+#define SRS_CHECK_GE(a, b) SRS_CHECK((a) >= (b))
+
+/// Debug-only check: compiles away under NDEBUG.
+#ifdef NDEBUG
+#define SRS_DCHECK(cond) \
+  while (false) ::srs::internal::NullStream()
+#else
+#define SRS_DCHECK(cond) SRS_CHECK(cond)
+#endif

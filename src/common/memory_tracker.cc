@@ -1,0 +1,73 @@
+#include "srs/common/memory_tracker.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "srs/common/macros.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace srs {
+
+size_t ProcessPeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return static_cast<size_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<size_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+  }
+#endif
+  return 0;
+}
+
+size_t ProcessCurrentRssBytes() {
+#if defined(__linux__)
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f != nullptr) {
+    long total = 0, resident = 0;
+    int n = std::fscanf(f, "%ld %ld", &total, &resident);
+    std::fclose(f);
+    if (n == 2) return static_cast<size_t>(resident) * 4096;
+  }
+#endif
+  return 0;
+}
+
+void MemoryBudget::Allocate(size_t bytes) {
+  current_ += bytes;
+  if (current_ > peak_) peak_ = current_;
+}
+
+void MemoryBudget::Release(size_t bytes) {
+  SRS_CHECK_LE(bytes, current_);
+  current_ -= bytes;
+}
+
+void MemoryBudget::Reset() {
+  current_ = 0;
+  peak_ = 0;
+}
+
+std::string FormatBytes(size_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%zu B", bytes);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, units[unit]);
+  }
+  return buf;
+}
+
+}  // namespace srs

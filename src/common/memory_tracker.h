@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file memory_tracker.h
+/// \brief Process- and scope-level memory accounting for the Fig 6(h) bench.
+///
+/// Two complementary mechanisms:
+///  * `ProcessPeakRssBytes()` reads the OS-reported peak resident set size —
+///    the number the paper's "Memory Space" figure effectively reports.
+///  * `MemoryBudget` is an explicit byte counter that algorithms charge their
+///    large allocations (similarity matrix, memo buffers) against, giving an
+///    apples-to-apples *logical* footprint that is independent of allocator
+///    slack and is usable inside unit tests.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace srs {
+
+/// Peak resident set size of this process in bytes (from /proc or getrusage);
+/// returns 0 if unavailable.
+size_t ProcessPeakRssBytes();
+
+/// Current resident set size in bytes; returns 0 if unavailable.
+size_t ProcessCurrentRssBytes();
+
+/// \brief Explicit byte counter with high-water mark.
+class MemoryBudget {
+ public:
+  /// Charges `bytes` to the budget (e.g. on buffer allocation).
+  void Allocate(size_t bytes);
+
+  /// Releases `bytes` (e.g. on buffer free). Must not release more than
+  /// currently allocated.
+  void Release(size_t bytes);
+
+  /// Bytes currently charged.
+  size_t current() const { return current_; }
+
+  /// Highest value `current()` ever reached.
+  size_t peak() const { return peak_; }
+
+  /// Resets both counters to zero.
+  void Reset();
+
+ private:
+  size_t current_ = 0;
+  size_t peak_ = 0;
+};
+
+/// Pretty-prints a byte count ("1.5 MB", "320 KB", ...).
+std::string FormatBytes(size_t bytes);
+
+}  // namespace srs

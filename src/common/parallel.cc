@@ -1,0 +1,44 @@
+#include "srs/common/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "srs/common/macros.h"
+
+namespace srs {
+
+int HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ParallelFor(int64_t begin, int64_t end, int num_threads,
+                 const std::function<void(int64_t, int64_t)>& chunk_fn) {
+  SRS_CHECK_LE(begin, end);
+  const int64_t total = end - begin;
+  if (total == 0) return;
+  const int64_t workers =
+      std::max<int64_t>(1, std::min<int64_t>(num_threads, total));
+  if (workers == 1) {
+    chunk_fn(begin, end);
+    return;
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers) - 1);
+  for (int64_t w = 0; w < workers; ++w) {
+    const int64_t chunk_begin = begin + w * total / workers;
+    const int64_t chunk_end = begin + (w + 1) * total / workers;
+    if (chunk_begin == chunk_end) continue;
+    if (w + 1 == workers) {
+      chunk_fn(chunk_begin, chunk_end);  // last chunk on the calling thread
+    } else {
+      threads.emplace_back(
+          [&chunk_fn, chunk_begin, chunk_end] { chunk_fn(chunk_begin, chunk_end); });
+    }
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace srs

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file parallel.h
+/// \brief Deterministic row-partitioned parallelism for the O(n·m) kernels.
+///
+/// All-pairs similarity iterations are embarrassingly parallel across
+/// output rows. `ParallelFor` splits an index range into contiguous chunks,
+/// one per worker; because every output row is written by exactly one
+/// thread and the per-row computation is identical to the serial code,
+/// results are bitwise identical for any thread count — a property the
+/// test suite asserts.
+
+#include <cstdint>
+#include <functional>
+
+namespace srs {
+
+/// Number of hardware threads (≥ 1).
+int HardwareThreads();
+
+/// Invokes `chunk_fn(chunk_begin, chunk_end)` over a partition of
+/// [begin, end) using up to `num_threads` threads (the calling thread
+/// counts as one). `num_threads <= 1` runs inline with zero overhead.
+void ParallelFor(int64_t begin, int64_t end, int num_threads,
+                 const std::function<void(int64_t, int64_t)>& chunk_fn);
+
+}  // namespace srs

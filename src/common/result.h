@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file result.h
+/// \brief `Result<T>`: a value or an error Status (Arrow idiom).
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "srs/common/macros.h"
+#include "srs/common/status.h"
+
+namespace srs {
+
+/// \brief Holds either a successfully computed `T` or the `Status` explaining
+/// why it could not be computed.
+///
+/// Typical use:
+/// \code
+///   Result<Graph> g = GraphBuilder(...).Build();
+///   if (!g.ok()) return g.status();
+///   Use(g.ValueOrDie());
+/// \endcode
+/// or, inside a Status/Result-returning function,
+/// \code
+///   SRS_ASSIGN_OR_RETURN(Graph g, GraphBuilder(...).Build());
+/// \endcode
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs from an error status. Aborts if `status.ok()` — an OK status
+  /// carries no value and would leave the Result empty.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT implicit
+    SRS_CHECK(!std::get<Status>(data_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  /// Constructs from a value.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT implicit
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(data_);
+  }
+
+  /// Returns the value; aborts with the error message if this is an error.
+  const T& ValueOrDie() const& {
+    SRS_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::get<T>(data_);
+  }
+  T& ValueOrDie() & {
+    SRS_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::get<T>(data_);
+  }
+  T&& ValueOrDie() && {
+    SRS_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::move(std::get<T>(data_));
+  }
+
+  /// Alias for ValueOrDie, for terser call sites.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Moves the value out; aborts if this is an error.
+  T MoveValueOrDie() { return std::move(std::get<T>(data_)); }
+
+ private:
+  std::variant<Status, T> data_;
+};
+
+}  // namespace srs
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its status from the
+/// enclosing function, otherwise assigns the value into `lhs`.
+#define SRS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).MoveValueOrDie()
+
+#define SRS_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SRS_ASSIGN_OR_RETURN_IMPL(SRS_CONCAT(_srs_result_, __LINE__), lhs, rexpr)
+
+/// Evaluates `expr` (a Status); returns it from the enclosing function if not
+/// OK.
+#define SRS_RETURN_NOT_OK(expr)              \
+  do {                                       \
+    ::srs::Status _srs_status = (expr);      \
+    if (!_srs_status.ok()) return _srs_status; \
+  } while (false)

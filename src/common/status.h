@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file status.h
+/// \brief Error model for the simrank-star library.
+///
+/// Follows the Arrow/RocksDB idiom: fallible operations return a
+/// `srs::Status` (or a `srs::Result<T>`, see result.h) instead of throwing.
+/// A default-constructed Status is OK and carries no allocation.
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace srs {
+
+/// Machine-readable category of an error.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kIoError = 5,
+  kNotImplemented = 6,
+  kInternal = 7,
+  kCapacityError = 8,
+};
+
+/// \brief Returns a human-readable name for a StatusCode (e.g. "Invalid
+/// argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: either OK or a code plus message.
+///
+/// Statuses are cheap to copy in the OK case (a null pointer); error state
+/// lives behind a shared_ptr so copies are O(1).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// kOk (use the default constructor for that).
+  Status(StatusCode code, std::string msg);
+
+  /// Factory for an OK status (mirrors the error factories below).
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status CapacityError(std::string msg) {
+    return Status(StatusCode::kCapacityError, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return state_ == nullptr; }
+
+  /// The status code (kOk when ok()).
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+
+  /// The error message; empty when ok().
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<const State> state_;
+};
+
+}  // namespace srs

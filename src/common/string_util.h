@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file string_util.h
+/// \brief Small string helpers shared by IO and the bench harnesses.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace srs {
+
+/// Splits `s` on any of the characters in `delims`, skipping empty pieces.
+std::vector<std::string_view> SplitTokens(std::string_view s,
+                                          std::string_view delims = " \t");
+
+/// Removes leading/trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a non-negative integer; returns false on malformed input or
+/// overflow.
+bool ParseUint64(std::string_view s, uint64_t* out);
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+}  // namespace srs

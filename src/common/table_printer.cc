@@ -1,0 +1,64 @@
+#include "srs/common/table_printer.h"
+
+#include <cstdio>
+#include <iostream>
+
+#include "srs/common/macros.h"
+
+namespace srs {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  SRS_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::Fmt(int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  return buf;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += " ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      line += " |";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  std::string rule = "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    rule.append(widths[c] + 2, '-');
+    rule += "|";
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::cout << ToString() << std::flush; }
+
+}  // namespace srs

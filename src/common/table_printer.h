@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file table_printer.h
+/// \brief Fixed-width text tables for the benchmark harnesses, so every
+/// bench binary prints rows/series in the same shape the paper reports.
+
+#include <string>
+#include <vector>
+
+namespace srs {
+
+/// \brief Collects rows of string cells and prints an aligned ASCII table.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a data row; must have exactly as many cells as headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string Fmt(double value, int precision = 4);
+
+  /// Convenience: formats an integer.
+  static std::string Fmt(int64_t value);
+
+  /// Renders the aligned table (header, rule, rows).
+  std::string ToString() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace srs

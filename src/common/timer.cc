@@ -1,0 +1,31 @@
+#include "srs/common/timer.h"
+
+namespace srs {
+
+void PhaseTimer::Add(const std::string& phase, double seconds) {
+  for (size_t i = 0; i < order_.size(); ++i) {
+    if (order_[i] == phase) {
+      totals_[i] += seconds;
+      return;
+    }
+  }
+  order_.push_back(phase);
+  totals_.push_back(seconds);
+}
+
+double PhaseTimer::Total(const std::string& phase) const {
+  for (size_t i = 0; i < order_.size(); ++i) {
+    if (order_[i] == phase) return totals_[i];
+  }
+  return 0.0;
+}
+
+double PhaseTimer::GrandTotal() const {
+  double sum = 0.0;
+  for (double t : totals_) sum += t;
+  return sum;
+}
+
+ScopedPhase::~ScopedPhase() { sink_->Add(phase_, timer_.Seconds()); }
+
+}  // namespace srs

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file timer.h
+/// \brief Wall-clock timing utilities used by the benchmark harnesses.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace srs {
+
+/// \brief Simple wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Accumulates named phase timings (e.g. "compress bigraph" vs
+/// "share sums" for the Fig 6(f) bench).
+class PhaseTimer {
+ public:
+  /// Adds `seconds` to the accumulator for `phase`, creating it on first use.
+  void Add(const std::string& phase, double seconds);
+
+  /// Total seconds recorded for `phase` (0 if never recorded).
+  double Total(const std::string& phase) const;
+
+  /// Sum over all phases.
+  double GrandTotal() const;
+
+  /// Phase names in first-recorded order.
+  const std::vector<std::string>& phases() const { return order_; }
+
+ private:
+  std::vector<std::string> order_;
+  std::vector<double> totals_;
+};
+
+/// \brief RAII helper: times a scope and adds it to a PhaseTimer on exit.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimer* sink, std::string phase)
+      : sink_(sink), phase_(std::move(phase)) {}
+  ~ScopedPhase();
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer* sink_;
+  std::string phase_;
+  Timer timer_;
+};
+
+}  // namespace srs

@@ -1,0 +1,75 @@
+#include "srs/core/memo_esr_star.h"
+
+#include <cmath>
+
+#include "srs/common/parallel.h"
+#include "srs/core/sieve.h"
+
+namespace srs {
+
+Result<DenseMatrix> ComputeMemoEsrStar(const Graph& g,
+                                       const SimilarityOptions& options,
+                                       const BicliqueMinerOptions& miner_options,
+                                       PhaseTimer* timer, MemoStats* stats) {
+  SRS_RETURN_NOT_OK(options.Validate());
+  const int64_t n = g.NumNodes();
+  const int k_max = EffectiveIterations(options, /*exponential=*/true);
+  const double c = options.damping;
+  const double scale = std::exp(-c);
+
+  Timer compress_timer;
+  const CompressedGraph cg = CompressedGraph::Build(g, miner_options);
+  if (timer != nullptr) timer->Add("compress bigraph", compress_timer.Seconds());
+  if (stats != nullptr) {
+    stats->original_edges = g.NumEdges();
+    stats->compressed_edges = cg.NumEdges();
+    stats->concentration_nodes = cg.NumConcentrationNodes();
+    stats->compression_ratio_percent = cg.CompressionRatioPercent();
+    stats->iterations = k_max;
+  }
+
+  std::vector<double> inv_in(static_cast<size_t>(n), 0.0);
+  for (NodeId x = 0; x < n; ++x) {
+    if (g.InDegree(x) > 0) {
+      inv_in[static_cast<size_t>(x)] = 1.0 / static_cast<double>(g.InDegree(x));
+    }
+  }
+
+  Timer share_timer;
+  // P_0 = I; S accumulates e^{-C} Σ (C/2)^l/l! · P_l.
+  DenseMatrix p = DenseMatrix::Identity(n);
+  DenseMatrix s(n, n);
+  for (int64_t i = 0; i < n; ++i) s.At(i, i) = scale;
+
+  DenseMatrix partial;
+  double coeff = 1.0;
+  for (int l = 1; l <= k_max; ++l) {
+    ComputePartialSums(cg, p, &partial, options.num_threads);
+    // P_l(i, j) = [Q·P](i, j) + [Q·P](j, i)
+    //           = inv_in[i]·Partial_{I(i)}(j) + inv_in[j]·Partial_{I(j)}(i),
+    // where Partial_{I(x)}(y) = partial(y, x) — read via blocked transpose.
+    const DenseMatrix partial_t = partial.Transposed();
+    ParallelFor(0, n, options.num_threads, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        double* prow = p.Row(i);
+        const double* pt_row = partial_t.Row(i);  // partial(·, i)
+        const double* p_row = partial.Row(i);     // partial(i, ·)
+        const double inv_i = inv_in[static_cast<size_t>(i)];
+        for (int64_t j = 0; j < n; ++j) {
+          prow[j] = inv_i * pt_row[j] +
+                    inv_in[static_cast<size_t>(j)] * p_row[j];
+        }
+      }
+    });
+    coeff *= (c / 2.0) / static_cast<double>(l);
+    s.Axpy(scale * coeff, p);
+  }
+  if (timer != nullptr) timer->Add("share sums", share_timer.Seconds());
+
+  if (options.sieve_threshold > 0.0) {
+    ApplySieve(options.sieve_threshold, &s);
+  }
+  return s;
+}
+
+}  // namespace srs

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file memo_esr_star.h
+/// \brief memo-eSR*: exponential SimRank* with fine-grained memoization.
+///
+/// As the paper notes at the end of §4.3, the matrix recurrence of the
+/// exponential variant (`R_{k+1} = Q·R_k`, Eq. 19) has the same
+/// single-summation component form as Eq. (17), so the same fine-grained
+/// partial-sum sharing applies. We run the Pascal-recursion accumulation
+/// (see simrank_star_exponential.h) with the product Q·P_l evaluated through
+/// the compressed graph: using the symmetry of P_l,
+///   [Q·P_l](i, j) = Partial_{I(i)}(j) / |I(i)|,
+/// and the partial-sum matrix is exactly the memo-gSR* kernel.
+
+#include "srs/bigraph/compressed_graph.h"
+#include "srs/common/result.h"
+#include "srs/common/timer.h"
+#include "srs/core/memo_gsr_star.h"
+#include "srs/core/options.h"
+#include "srs/graph/graph.h"
+#include "srs/matrix/dense_matrix.h"
+
+namespace srs {
+
+/// All-pairs exponential SimRank* with fine-grained memoization.
+/// Numerically identical to ComputeSimRankStarExponential.
+Result<DenseMatrix> ComputeMemoEsrStar(
+    const Graph& g, const SimilarityOptions& options = {},
+    const BicliqueMinerOptions& miner_options = {},
+    PhaseTimer* timer = nullptr, MemoStats* stats = nullptr);
+
+}  // namespace srs

@@ -1,0 +1,107 @@
+#include "srs/core/memo_gsr_star.h"
+
+#include "srs/common/parallel.h"
+#include "srs/core/sieve.h"
+
+namespace srs {
+
+void ComputePartialSums(const CompressedGraph& cg, const DenseMatrix& s,
+                        DenseMatrix* partial, int num_threads) {
+  const int64_t n = s.rows();
+  const int64_t num_conc = cg.NumConcentrationNodes();
+  if (partial->rows() != n || partial->cols() != n) {
+    *partial = DenseMatrix(n, n);
+  }
+
+  ParallelFor(0, n, num_threads, [&](int64_t begin, int64_t end) {
+    std::vector<double> cache(static_cast<size_t>(num_conc));
+    for (int64_t a = begin; a < end; ++a) {
+      const double* row = s.Row(a);
+      // Lines 5–7 of Algorithm 1: fan-in sums, memoized once per (a, v).
+      for (int64_t v = 0; v < num_conc; ++v) {
+        double sum = 0.0;
+        for (NodeId t : cg.FanIn(v)) sum += row[t];
+        cache[static_cast<size_t>(v)] = sum;
+      }
+      // Lines 8–10: assemble Partial_{I(b)}(a) from residual direct
+      // neighbors plus the shared fan-in sums.
+      double* prow = partial->Row(a);
+      for (NodeId b = 0; b < n; ++b) {
+        double sum = 0.0;
+        for (NodeId t : cg.Direct(b)) sum += row[t];
+        for (int32_t v : cg.Concentrations(b)) {
+          sum += cache[static_cast<size_t>(v)];
+        }
+        prow[b] = sum;
+      }
+    }
+  });
+}
+
+Result<DenseMatrix> ComputeMemoGsrStar(const Graph& g,
+                                       const SimilarityOptions& options,
+                                       const BicliqueMinerOptions& miner_options,
+                                       PhaseTimer* timer, MemoStats* stats) {
+  SRS_RETURN_NOT_OK(options.Validate());
+  const int64_t n = g.NumNodes();
+  const int k_max = EffectiveIterations(options, /*exponential=*/false);
+  const double c = options.damping;
+
+  // Phase 1: preprocessing — build the induced bigraph and compress it.
+  Timer compress_timer;
+  const CompressedGraph cg = CompressedGraph::Build(g, miner_options);
+  if (timer != nullptr) timer->Add("compress bigraph", compress_timer.Seconds());
+  if (stats != nullptr) {
+    stats->original_edges = g.NumEdges();
+    stats->compressed_edges = cg.NumEdges();
+    stats->concentration_nodes = cg.NumConcentrationNodes();
+    stats->compression_ratio_percent = cg.CompressionRatioPercent();
+    stats->iterations = k_max;
+  }
+
+  // Reciprocal in-degrees (0 for nodes with I(x) = ∅, dropping their term in
+  // Eq. (17) exactly as Algorithm 1 lines 15–16 do).
+  std::vector<double> inv_in(static_cast<size_t>(n), 0.0);
+  for (NodeId x = 0; x < n; ++x) {
+    if (g.InDegree(x) > 0) {
+      inv_in[static_cast<size_t>(x)] = 1.0 / static_cast<double>(g.InDegree(x));
+    }
+  }
+
+  // Phase 2: iterative updating with shared partial sums.
+  Timer share_timer;
+  DenseMatrix s(n, n);
+  for (int64_t i = 0; i < n; ++i) s.At(i, i) = 1.0 - c;
+
+  DenseMatrix partial;
+  const double half_c = c / 2.0;
+  for (int k = 0; k < k_max; ++k) {
+    ComputePartialSums(cg, s, &partial, options.num_threads);
+    // Combine step, Eq. (17): s_{k+1}(x, y) =
+    //   C/(2|I(x)|)·Partial_{I(x)}(y) + C/(2|I(y)|)·Partial_{I(y)}(x) + bias.
+    // Partial_{I(x)}(y) = partial(y, x): read through a blocked transpose
+    // so both operands stream row-wise.
+    const DenseMatrix partial_t = partial.Transposed();
+    ParallelFor(0, n, options.num_threads, [&](int64_t begin, int64_t end) {
+      for (int64_t x = begin; x < end; ++x) {
+        double* srow = s.Row(x);
+        const double* pt_row = partial_t.Row(x);  // partial(·, x)
+        const double* p_row = partial.Row(x);     // partial(x, ·)
+        const double inv_x = inv_in[static_cast<size_t>(x)];
+        for (int64_t y = 0; y < n; ++y) {
+          srow[y] = half_c * (inv_x * pt_row[y] +
+                              inv_in[static_cast<size_t>(y)] * p_row[y]);
+        }
+        srow[x] += 1.0 - c;
+      }
+    });
+  }
+  if (timer != nullptr) timer->Add("share sums", share_timer.Seconds());
+
+  if (options.sieve_threshold > 0.0) {
+    ApplySieve(options.sieve_threshold, &s);
+  }
+  return s;
+}
+
+}  // namespace srs

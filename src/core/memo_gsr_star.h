@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file memo_gsr_star.h
+/// \brief memo-gSR*: Algorithm 1 — geometric SimRank* with fine-grained
+/// partial-sum memoization over the compressed graph Ĝ.
+///
+/// Per iteration, for every node a the partial sums
+///   Partial_{I(b)}(a) = Σ_{y∈I(b)} ŝ_k(a, y)
+/// are evaluated through Ĝ: fan-in sums over concentration nodes are
+/// computed once per (a, v) and shared by every b whose in-neighborhood
+/// contains the biclique (lines 5–10 of Algorithm 1). The combine step is
+/// Eq. (17). Total cost O(K·n·m̃) with m̃ = |Ê| ≤ m.
+
+#include "srs/bigraph/compressed_graph.h"
+#include "srs/common/result.h"
+#include "srs/common/timer.h"
+#include "srs/core/options.h"
+#include "srs/graph/graph.h"
+#include "srs/matrix/dense_matrix.h"
+
+namespace srs {
+
+/// Side-channel statistics reported by the memoized algorithms.
+struct MemoStats {
+  int64_t original_edges = 0;      ///< m
+  int64_t compressed_edges = 0;    ///< m̃ = |Ê|
+  int64_t concentration_nodes = 0; ///< |V̂|
+  double compression_ratio_percent = 0.0;  ///< (1 − m̃/m)·100
+  int iterations = 0;              ///< effective K
+};
+
+/// Shared kernel: given a symmetric score matrix `s`, fills
+/// `partial(a, b) = Σ_{y∈I(b)} s(a, y)` for all pairs using the compressed
+/// structure (cost n·m̃ instead of n·m). `partial` is resized as needed.
+/// Rows are partitioned across `num_threads` workers (each with its own
+/// fan-in cache); results are bitwise identical for any thread count.
+void ComputePartialSums(const CompressedGraph& cg, const DenseMatrix& s,
+                        DenseMatrix* partial, int num_threads = 1);
+
+/// All-pairs geometric SimRank* via Algorithm 1 (memo-gSR*).
+///
+/// Numerically identical to ComputeSimRankStarGeometric (agreement to
+/// ~1e-12 is enforced by the test suite). `timer` (optional) receives the
+/// "compress bigraph" / "share sums" phase split used by the Fig 6(f)
+/// bench; `stats` (optional) receives compression statistics.
+Result<DenseMatrix> ComputeMemoGsrStar(
+    const Graph& g, const SimilarityOptions& options = {},
+    const BicliqueMinerOptions& miner_options = {},
+    PhaseTimer* timer = nullptr, MemoStats* stats = nullptr);
+
+}  // namespace srs

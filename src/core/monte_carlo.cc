@@ -1,0 +1,151 @@
+#include "srs/core/monte_carlo.h"
+
+#include <cmath>
+
+#include "srs/common/rng.h"
+
+namespace srs {
+
+namespace {
+
+/// Deterministic per-(trial, node, step) random draw — the coupling device:
+/// every walk in the same trial consults the same choice table.
+uint64_t CoupledHash(uint64_t seed, int trial, NodeId node, int step) {
+  uint64_t z = seed;
+  z ^= (static_cast<uint64_t>(static_cast<uint32_t>(trial)) << 32) |
+       static_cast<uint64_t>(static_cast<uint32_t>(node));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z ^= static_cast<uint64_t>(static_cast<uint32_t>(step)) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// One coupled backward step; returns -1 if the walk dies (no in-links).
+NodeId StepBack(const Graph& g, uint64_t seed, int trial, NodeId node,
+                int step) {
+  const auto in = g.InNeighbors(node);
+  if (in.empty()) return -1;
+  return in[CoupledHash(seed, trial, node, step) % in.size()];
+}
+
+Status CheckArgs(const Graph& g, NodeId query,
+                 const MonteCarloOptions& options) {
+  SRS_RETURN_NOT_OK(options.Validate());
+  if (query < 0 || query >= g.NumNodes()) {
+    return Status::OutOfRange("Monte Carlo: query node out of range");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status MonteCarloOptions::Validate() const {
+  if (!(damping > 0.0 && damping < 1.0)) {
+    return Status::InvalidArgument("damping must be in (0, 1)");
+  }
+  if (num_trials <= 0) {
+    return Status::InvalidArgument("num_trials must be positive");
+  }
+  if (max_length <= 0) {
+    return Status::InvalidArgument("max_length must be positive");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> MonteCarloSimRank(
+    const Graph& g, NodeId query, const MonteCarloOptions& options) {
+  SRS_RETURN_NOT_OK(CheckArgs(g, query, options));
+  const int64_t n = g.NumNodes();
+  const double c = options.damping;
+
+  std::vector<double> scores(static_cast<size_t>(n), 0.0);
+  // Fingerprints: in each trial, walk every node backward through the SAME
+  // coupled choice table; s(q, j) accumulates C^τ for the first step τ ≥ 1
+  // at which the two trajectories coincide. (Walks that merge stay merged —
+  // the coupling makes the estimator exactly Fogaras–Rácz's.)
+  std::vector<NodeId> q_path(static_cast<size_t>(options.max_length) + 1);
+  for (int trial = 0; trial < options.num_trials; ++trial) {
+    q_path[0] = query;
+    for (int step = 1; step <= options.max_length; ++step) {
+      const NodeId prev = q_path[static_cast<size_t>(step - 1)];
+      q_path[static_cast<size_t>(step)] =
+          prev < 0 ? -1 : StepBack(g, options.seed, trial, prev, step);
+    }
+    for (NodeId j = 0; j < n; ++j) {
+      if (j == query) continue;
+      NodeId pos = j;
+      for (int step = 1; step <= options.max_length; ++step) {
+        if (pos < 0) break;
+        pos = StepBack(g, options.seed, trial, pos, step);
+        const NodeId q_pos = q_path[static_cast<size_t>(step)];
+        if (pos < 0 || q_pos < 0) break;
+        if (pos == q_pos) {
+          scores[static_cast<size_t>(j)] += std::pow(c, step);
+          break;
+        }
+      }
+    }
+  }
+  for (double& v : scores) v /= static_cast<double>(options.num_trials);
+  scores[static_cast<size_t>(query)] = 1.0;
+  return scores;
+}
+
+Result<std::vector<double>> MonteCarloSimRankStar(
+    const Graph& g, NodeId query, const MonteCarloOptions& options) {
+  SRS_RETURN_NOT_OK(CheckArgs(g, query, options));
+  const int64_t n = g.NumNodes();
+  const double c = options.damping;
+
+  std::vector<double> scores(static_cast<size_t>(n), 0.0);
+  Rng rng(options.seed ^ 0xabcdef);
+  std::vector<NodeId> q_path(static_cast<size_t>(options.max_length) + 1);
+
+  for (int trial = 0; trial < options.num_trials; ++trial) {
+    // Sample the shared (l, α) for this trial: l ~ Geom(C) truncated at
+    // max_length, α ~ Binomial(l, 1/2). The query side walks α steps, every
+    // other node walks l − α steps; the indicator of landing on the same
+    // node is an unbiased sample of Σ_α binom/2^l [Q^α (Qᵀ)^{l−α}]_{qj}.
+    int l = 0;
+    while (l < options.max_length && rng.Bernoulli(c)) ++l;
+    int alpha = 0;
+    for (int i = 0; i < l; ++i) alpha += rng.Bernoulli(0.5) ? 1 : 0;
+
+    // Query-side trajectory (α steps). Distinct step keys from the j-side
+    // (offset by max_length) keep the two walks independent while still
+    // coupled across j.
+    q_path[0] = query;
+    bool q_alive = true;
+    for (int step = 1; step <= alpha; ++step) {
+      const NodeId prev = q_path[static_cast<size_t>(step - 1)];
+      const NodeId next =
+          prev < 0 ? -1
+                   : StepBack(g, options.seed, trial, prev,
+                              step + options.max_length);
+      q_path[static_cast<size_t>(step)] = next;
+      if (next < 0) {
+        q_alive = false;
+        break;
+      }
+    }
+    if (!q_alive) continue;  // the sampled path family has no source
+    const NodeId q_end = q_path[static_cast<size_t>(alpha)];
+
+    const int j_steps = l - alpha;
+    for (NodeId j = 0; j < n; ++j) {
+      NodeId pos = j;
+      for (int step = 1; step <= j_steps; ++step) {
+        pos = StepBack(g, options.seed, trial, pos, step);
+        if (pos < 0) break;
+      }
+      if (pos == q_end) scores[static_cast<size_t>(j)] += 1.0;
+    }
+  }
+  // E[indicator] already integrates the (1−C)·C^l length weights through
+  // the geometric sampling of l; (1−C) is the probability of l = 0, which
+  // the loop handles naturally (indicator = 1 only for j = query).
+  for (double& v : scores) v /= static_cast<double>(options.num_trials);
+  return scores;
+}
+
+}  // namespace srs

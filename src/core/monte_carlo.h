@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file monte_carlo.h
+/// \brief Monte Carlo single-source estimation of SimRank and SimRank*.
+///
+/// The paper's related work credits Fogaras & Rácz (WWW'05) with scaling
+/// link-based similarity through random-surfer sampling: SimRank s(a,b) is
+/// `E[C^τ]` for the first meeting time τ of two coupled reverse walks.
+/// This module implements that engine and extends it to SimRank*, whose
+/// series form has an exact sampling interpretation:
+///
+///   ŝ(i,j) = E[ 1{ X_α = Y_{l−α} } ],   l ~ Geom(C) (P(l) = (1−C)·C^l),
+///                                        α | l ~ Binomial(l, 1/2),
+///
+/// where X and Y are independent backward walks from i and j (a walk "dies",
+/// contributing 0, when it must step from a node with no in-links). The
+/// length weight C^l and the symmetry weight binom(l,α)/2^l are exactly the
+/// distributions of l and α — the estimator is unbiased by construction.
+///
+/// Walks are coupled through per-(trial, node, step) hash-derived choices,
+/// so estimates are deterministic for a fixed seed and all n per-node walks
+/// of one trial share randomness (classic fingerprint variance reduction).
+
+#include <cstdint>
+#include <vector>
+
+#include "srs/common/result.h"
+#include "srs/graph/graph.h"
+
+namespace srs {
+
+/// Options for the Monte Carlo estimators.
+struct MonteCarloOptions {
+  /// Damping factor C ∈ (0,1).
+  double damping = 0.6;
+  /// Number of sampled trials (walk pairs per node). Standard error decays
+  /// as 1/sqrt(num_trials).
+  int num_trials = 2000;
+  /// Hard cap on walk length (the geometric length distribution is
+  /// truncated here; the induced bias is ≤ C^{max_length}).
+  int max_length = 20;
+  uint64_t seed = 1234;
+
+  Status Validate() const;
+};
+
+/// Estimates SimRank s(query, ·) via coupled reverse-walk fingerprints
+/// (first-meeting-time estimator, diagonal convention s(q,q) = 1).
+Result<std::vector<double>> MonteCarloSimRank(
+    const Graph& g, NodeId query, const MonteCarloOptions& options = {});
+
+/// Estimates geometric SimRank* ŝ(query, ·) via the binomial walk-splitting
+/// estimator described above.
+Result<std::vector<double>> MonteCarloSimRankStar(
+    const Graph& g, NodeId query, const MonteCarloOptions& options = {});
+
+}  // namespace srs

@@ -1,0 +1,62 @@
+#include "srs/core/options.h"
+
+#include <cmath>
+
+namespace srs {
+
+Status SimilarityOptions::Validate() const {
+  if (!(damping > 0.0 && damping < 1.0)) {
+    return Status::InvalidArgument("damping factor C must be in (0, 1), got " +
+                                   std::to_string(damping));
+  }
+  if (iterations < 0) {
+    return Status::InvalidArgument("iterations must be non-negative");
+  }
+  if (epsilon < 0.0) {
+    return Status::InvalidArgument("epsilon must be non-negative");
+  }
+  if (sieve_threshold < 0.0) {
+    return Status::InvalidArgument("sieve_threshold must be non-negative");
+  }
+  if (num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  return Status::OK();
+}
+
+int IterationsForGeometricAccuracy(double damping, double epsilon) {
+  SRS_CHECK(damping > 0.0 && damping < 1.0);
+  SRS_CHECK_GT(epsilon, 0.0);
+  int k = 0;
+  double bound = damping;  // C^{k+1} at k = 0
+  while (bound > epsilon && k < 10000) {
+    bound *= damping;
+    ++k;
+  }
+  return k;
+}
+
+int IterationsForExponentialAccuracy(double damping, double epsilon) {
+  SRS_CHECK(damping > 0.0 && damping < 1.0);
+  SRS_CHECK_GT(epsilon, 0.0);
+  int k = 0;
+  double bound = damping;  // C^{k+1}/(k+1)! at k = 0
+  while (bound > epsilon && k < 10000) {
+    ++k;
+    bound *= damping / static_cast<double>(k + 1);
+  }
+  return k;
+}
+
+int EffectiveIterations(const SimilarityOptions& options, bool exponential) {
+  if (options.epsilon > 0.0) {
+    return exponential
+               ? IterationsForExponentialAccuracy(options.damping,
+                                                  options.epsilon)
+               : IterationsForGeometricAccuracy(options.damping,
+                                                options.epsilon);
+  }
+  return options.iterations;
+}
+
+}  // namespace srs

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file options.h
+/// \brief Shared options for all similarity computations.
+
+#include <cstdint>
+#include <string>
+
+#include "srs/common/result.h"
+
+namespace srs {
+
+/// \brief Parameters of the SimRank family (paper §5 defaults: C=0.6, K=5).
+struct SimilarityOptions {
+  /// Damping / decay factor C ∈ (0, 1).
+  double damping = 0.6;
+
+  /// Number of iterations K (ignored when `epsilon` > 0).
+  int iterations = 5;
+
+  /// If > 0, choose K automatically as the smallest iteration count whose
+  /// a-priori error bound is ≤ epsilon (Lemma 3 / Eq. 12).
+  double epsilon = 0.0;
+
+  /// If > 0, entries below this value are clipped to 0 after the last
+  /// iteration (the paper's threshold-sieving, default 1e-4 in §5).
+  double sieve_threshold = 0.0;
+
+  /// Worker threads for the row-partitioned kernels (1 = serial, matching
+  /// the paper's single-threaded measurements). Results are bitwise
+  /// identical for any value. Use srs::HardwareThreads() for all cores.
+  int num_threads = 1;
+
+  /// Validates ranges; call before running an algorithm.
+  Status Validate() const;
+};
+
+/// Smallest K such that C^{K+1} ≤ epsilon (geometric SimRank*/SimRank bound).
+int IterationsForGeometricAccuracy(double damping, double epsilon);
+
+/// Smallest K such that C^{K+1}/(K+1)! ≤ epsilon (exponential SimRank*
+/// bound, Eq. 12) — always ≤ the geometric count.
+int IterationsForExponentialAccuracy(double damping, double epsilon);
+
+/// Resolves the effective iteration count for `options` under the given
+/// convergence regime.
+int EffectiveIterations(const SimilarityOptions& options, bool exponential);
+
+}  // namespace srs

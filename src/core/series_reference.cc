@@ -1,0 +1,131 @@
+#include "srs/core/series_reference.h"
+
+#include <cmath>
+#include <vector>
+
+#include "srs/matrix/ops.h"
+
+namespace srs {
+
+double BinomialCoefficient(int l, int alpha) {
+  SRS_CHECK(alpha >= 0 && alpha <= l);
+  // Multiplicative form keeps intermediate values small.
+  double result = 1.0;
+  const int k = std::min(alpha, l - alpha);
+  for (int i = 1; i <= k; ++i) {
+    result = result * static_cast<double>(l - k + i) / static_cast<double>(i);
+  }
+  return result;
+}
+
+namespace {
+
+/// Precomputes dense powers Q^0..Q^K and (Qᵀ)^0..(Qᵀ)^K.
+struct PowerTables {
+  std::vector<DenseMatrix> q;
+  std::vector<DenseMatrix> qt;
+};
+
+PowerTables BuildPowers(const Graph& g, int num_terms) {
+  PowerTables tables;
+  const DenseMatrix q = g.BackwardTransition().ToDense();
+  const DenseMatrix qt = q.Transposed();
+  tables.q.push_back(DenseMatrix::Identity(g.NumNodes()));
+  tables.qt.push_back(DenseMatrix::Identity(g.NumNodes()));
+  for (int i = 1; i <= num_terms; ++i) {
+    tables.q.push_back(Multiply(tables.q.back(), q));
+    tables.qt.push_back(Multiply(tables.qt.back(), qt));
+  }
+  return tables;
+}
+
+/// Evaluates Σ_{l≤K} w_l Σ_α binom(l,α)/2^l · Q^α (Qᵀ)^{l−α} for the given
+/// per-length weights w_l (already including any normalizing constant).
+DenseMatrix EvaluateStarSeries(const Graph& g, int num_terms,
+                               const std::vector<double>& length_weights) {
+  const PowerTables tables = BuildPowers(g, num_terms);
+  const int64_t n = g.NumNodes();
+  DenseMatrix s(n, n);
+  for (int l = 0; l <= num_terms; ++l) {
+    const double pow2 = std::ldexp(1.0, -l);  // 2^{-l}
+    for (int alpha = 0; alpha <= l; ++alpha) {
+      const DenseMatrix term =
+          Multiply(tables.q[alpha], tables.qt[l - alpha]);
+      s.Axpy(length_weights[l] * pow2 * BinomialCoefficient(l, alpha), term);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<DenseMatrix> GeometricStarSeriesReference(const Graph& g,
+                                                 double damping,
+                                                 int num_terms) {
+  if (!(damping > 0.0 && damping < 1.0)) {
+    return Status::InvalidArgument("damping must be in (0,1)");
+  }
+  if (num_terms < 0) return Status::InvalidArgument("num_terms must be >= 0");
+  std::vector<double> weights(num_terms + 1);
+  double cl = 1.0;
+  for (int l = 0; l <= num_terms; ++l) {
+    weights[l] = (1.0 - damping) * cl;
+    cl *= damping;
+  }
+  return EvaluateStarSeries(g, num_terms, weights);
+}
+
+Result<DenseMatrix> ExponentialStarSeriesReference(const Graph& g,
+                                                   double damping,
+                                                   int num_terms) {
+  if (!(damping > 0.0 && damping < 1.0)) {
+    return Status::InvalidArgument("damping must be in (0,1)");
+  }
+  if (num_terms < 0) return Status::InvalidArgument("num_terms must be >= 0");
+  std::vector<double> weights(num_terms + 1);
+  double coeff = 1.0;  // C^l / l!
+  for (int l = 0; l <= num_terms; ++l) {
+    weights[l] = std::exp(-damping) * coeff;
+    coeff *= damping / static_cast<double>(l + 1);
+  }
+  return EvaluateStarSeries(g, num_terms, weights);
+}
+
+Result<DenseMatrix> SimRankSeriesReference(const Graph& g, double damping,
+                                           int num_terms) {
+  if (!(damping > 0.0 && damping < 1.0)) {
+    return Status::InvalidArgument("damping must be in (0,1)");
+  }
+  if (num_terms < 0) return Status::InvalidArgument("num_terms must be >= 0");
+  const PowerTables tables = BuildPowers(g, num_terms);
+  const int64_t n = g.NumNodes();
+  DenseMatrix s(n, n);
+  double cl = 1.0;
+  for (int l = 0; l <= num_terms; ++l) {
+    const DenseMatrix term = Multiply(tables.q[l], tables.qt[l]);
+    s.Axpy((1.0 - damping) * cl, term);
+    cl *= damping;
+  }
+  return s;
+}
+
+Result<DenseMatrix> RwrSeriesReference(const Graph& g, double damping,
+                                       int num_terms) {
+  if (!(damping > 0.0 && damping < 1.0)) {
+    return Status::InvalidArgument("damping must be in (0,1)");
+  }
+  if (num_terms < 0) return Status::InvalidArgument("num_terms must be >= 0");
+  const DenseMatrix w = g.ForwardTransition().ToDense();
+  const int64_t n = g.NumNodes();
+  DenseMatrix s(n, n);
+  DenseMatrix wk = DenseMatrix::Identity(n);
+  double ck = 1.0;
+  for (int k = 0; k <= num_terms; ++k) {
+    s.Axpy((1.0 - damping) * ck, wk);
+    ck *= damping;
+    if (k < num_terms) wk = Multiply(wk, w);
+  }
+  return s;
+}
+
+}  // namespace srs

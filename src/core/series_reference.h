@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file series_reference.h
+/// \brief Brute-force evaluation of the power-series forms.
+///
+/// These evaluate Eq. (4) (SimRank, Lemma 2), Eq. (9) (geometric SimRank*
+/// partial sum), Eq. (11)/(18) (exponential SimRank*) and Eq. (6) (RWR)
+/// term by term with dense matrix powers — O(K²·n³). They exist as
+/// *oracles*: the property-test suite checks that the fast recursive and
+/// memoized algorithms agree with these definitional forms, which is the
+/// library's executable proof of Theorems 2 and 3 and Lemma 4.
+
+#include "srs/common/result.h"
+#include "srs/graph/graph.h"
+#include "srs/matrix/dense_matrix.h"
+
+namespace srs {
+
+/// Geometric SimRank* partial sum Ŝ_K (Eq. 9):
+/// (1−C) Σ_{l≤K} C^l/2^l Σ_α binom(l,α) Q^α (Qᵀ)^{l−α}.
+Result<DenseMatrix> GeometricStarSeriesReference(const Graph& g,
+                                                 double damping,
+                                                 int num_terms);
+
+/// Exponential SimRank* partial sum Ŝ'_K (Eq. 18):
+/// e^{−C} Σ_{l≤K} C^l/(2^l·l!) Σ_α binom(l,α) Q^α (Qᵀ)^{l−α}.
+Result<DenseMatrix> ExponentialStarSeriesReference(const Graph& g,
+                                                   double damping,
+                                                   int num_terms);
+
+/// SimRank power series partial sum (Lemma 2, Eq. 4):
+/// (1−C) Σ_{l≤K} C^l Q^l (Qᵀ)^l.
+Result<DenseMatrix> SimRankSeriesReference(const Graph& g, double damping,
+                                           int num_terms);
+
+/// RWR power series partial sum (Eq. 6): (1−C) Σ_{k≤K} C^k W^k.
+Result<DenseMatrix> RwrSeriesReference(const Graph& g, double damping,
+                                       int num_terms);
+
+/// Binomial coefficient as a double (exact for the small l used here).
+double BinomialCoefficient(int l, int alpha);
+
+}  // namespace srs

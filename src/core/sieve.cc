@@ -1,0 +1,34 @@
+#include "srs/core/sieve.h"
+
+#include <cmath>
+
+namespace srs {
+
+void ApplySieve(double threshold, DenseMatrix* s) {
+  for (double& v : s->data()) {
+    if (std::fabs(v) < threshold) v = 0.0;
+  }
+}
+
+int64_t CountAboveThreshold(const DenseMatrix& s, double threshold) {
+  int64_t count = 0;
+  for (double v : s.data()) {
+    if (std::fabs(v) >= threshold) ++count;
+  }
+  return count;
+}
+
+CsrMatrix ToSparseScores(const DenseMatrix& s, double threshold) {
+  CsrMatrix::Builder builder(s.rows(), s.cols());
+  for (int64_t i = 0; i < s.rows(); ++i) {
+    const double* row = s.Row(i);
+    for (int64_t j = 0; j < s.cols(); ++j) {
+      if (std::fabs(row[j]) >= threshold) {
+        SRS_CHECK_OK(builder.Add(i, j, row[j]));
+      }
+    }
+  }
+  return builder.Build().MoveValueOrDie();
+}
+
+}  // namespace srs

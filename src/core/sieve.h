@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file sieve.h
+/// \brief Threshold-sieved similarities.
+///
+/// The one Lizorkin-style optimization that ports to SimRank* (paper §4.3):
+/// entries below a small threshold are dropped to save storage with minimal
+/// accuracy impact (§5 uses 1e-4).
+
+#include <cstdint>
+#include <vector>
+
+#include "srs/matrix/csr_matrix.h"
+#include "srs/matrix/dense_matrix.h"
+
+namespace srs {
+
+/// Clips every entry of `s` with |value| < threshold to exactly 0.
+void ApplySieve(double threshold, DenseMatrix* s);
+
+/// Number of entries with |value| ≥ threshold.
+int64_t CountAboveThreshold(const DenseMatrix& s, double threshold);
+
+/// Converts a (sieved) score matrix into a sparse CSR representation that
+/// stores only entries ≥ threshold — the storage format the paper's
+/// threshold-sieving is about.
+CsrMatrix ToSparseScores(const DenseMatrix& s, double threshold);
+
+}  // namespace srs

@@ -1,0 +1,75 @@
+#include "srs/core/simrank_star_exponential.h"
+
+#include <cmath>
+
+#include "srs/common/parallel.h"
+#include "srs/core/sieve.h"
+
+namespace srs {
+
+Result<DenseMatrix> ComputeSimRankStarExponential(
+    const Graph& g, const SimilarityOptions& options) {
+  SRS_RETURN_NOT_OK(options.Validate());
+  const int64_t n = g.NumNodes();
+  const int k_max = EffectiveIterations(options, /*exponential=*/true);
+  const double c = options.damping;
+  const double scale = std::exp(-c);
+
+  const CsrMatrix q = g.BackwardTransition();
+
+  // P_0 = I; S accumulates e^{-C} Σ coeff_l P_l with coeff_l = (C/2)^l / l!.
+  DenseMatrix p = DenseMatrix::Identity(n);
+  DenseMatrix s(n, n);
+  double coeff = 1.0;
+  for (int64_t i = 0; i < n; ++i) s.At(i, i) = scale;  // l = 0 term
+
+  for (int l = 1; l <= k_max; ++l) {
+    DenseMatrix m = q.MultiplyDense(p, options.num_threads);
+    // P_l = M + Mᵀ (P_{l-1} symmetric ⇒ P_l symmetric); Mᵀ materialized by
+    // blocked transpose for streaming reads.
+    const DenseMatrix mt = m.Transposed();
+    ParallelFor(0, n, options.num_threads, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        double* prow = p.Row(i);
+        const double* mrow = m.Row(i);
+        const double* mtrow = mt.Row(i);
+        for (int64_t j = 0; j < n; ++j) prow[j] = mrow[j] + mtrow[j];
+      }
+    });
+    coeff *= (c / 2.0) / static_cast<double>(l);
+    s.Axpy(scale * coeff, p);
+  }
+  if (options.sieve_threshold > 0.0) {
+    ApplySieve(options.sieve_threshold, &s);
+  }
+  return s;
+}
+
+Result<DenseMatrix> ComputeSimRankStarExponentialClosedForm(
+    const Graph& g, const SimilarityOptions& options) {
+  SRS_RETURN_NOT_OK(options.Validate());
+  const int64_t n = g.NumNodes();
+  const int k_max = EffectiveIterations(options, /*exponential=*/true);
+  const double c = options.damping;
+
+  const CsrMatrix q = g.BackwardTransition();
+
+  // Eq. (19): R_0 = I, T accumulates Σ (C/2)^i / i! · R_i with R_{i+1} = Q·R_i.
+  DenseMatrix r = DenseMatrix::Identity(n);
+  DenseMatrix t = DenseMatrix::Identity(n);  // i = 0 term
+  double coeff = 1.0;
+  for (int i = 1; i <= k_max; ++i) {
+    r = q.MultiplyDense(r);
+    coeff *= (c / 2.0) / static_cast<double>(i);
+    t.Axpy(coeff, r);
+  }
+
+  DenseMatrix s = MultiplyTransposed(t, t);
+  s.Scale(std::exp(-c));
+  if (options.sieve_threshold > 0.0) {
+    ApplySieve(options.sieve_threshold, &s);
+  }
+  return s;
+}
+
+}  // namespace srs

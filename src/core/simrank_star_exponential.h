@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file simrank_star_exponential.h
+/// \brief eSR*: the exponential-series variant of SimRank* (Eq. 11, Thm 3).
+///
+/// Two computation routes are provided:
+///
+///  * `ComputeSimRankStarExponential` accumulates the series
+///    Ŝ'_K = e^{-C} Σ_{l≤K} (C/2)^l/l! · P_l, using the Pascal recursion
+///    P_{l+1} = Q·P_l + (Q·P_l)ᵀ on the symmetric path-aggregation matrices
+///    P_l = Σ_α binom(l,α) Q^α (Qᵀ)^{l−α}. One sparse×dense product per
+///    term ⇒ O(Knm), like the geometric variant, but with the much faster
+///    C^{k+1}/(k+1)! convergence (Eq. 12).
+///
+///  * `ComputeSimRankStarExponentialClosedForm` evaluates Theorem 3
+///    verbatim: Ŝ' = e^{-C} T_K T_Kᵀ with T_K = Σ_{i≤K} (C/2·Q)^i / i!
+///    built via Eq. (19). The final dense T·Tᵀ product is O(n³), so this
+///    route is intended for validation and small graphs; it is the anchor
+///    the fast route is tested against.
+
+#include "srs/common/result.h"
+#include "srs/core/options.h"
+#include "srs/graph/graph.h"
+#include "srs/matrix/dense_matrix.h"
+
+namespace srs {
+
+/// All-pairs exponential SimRank* via the Pascal-recursion accumulation.
+Result<DenseMatrix> ComputeSimRankStarExponential(
+    const Graph& g, const SimilarityOptions& options = {});
+
+/// All-pairs exponential SimRank* via the closed form of Theorem 3
+/// (Ŝ' = e^{-C}·T_K·T_Kᵀ, Eq. 19). O(n³) final product — small graphs only.
+Result<DenseMatrix> ComputeSimRankStarExponentialClosedForm(
+    const Graph& g, const SimilarityOptions& options = {});
+
+}  // namespace srs

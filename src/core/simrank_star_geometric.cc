@@ -1,0 +1,55 @@
+#include "srs/core/simrank_star_geometric.h"
+
+#include "srs/common/parallel.h"
+#include "srs/core/sieve.h"
+
+namespace srs {
+
+void SimRankStarGeometricStep(const CsrMatrix& q, const DenseMatrix& s,
+                              double damping, DenseMatrix* out,
+                              int num_threads) {
+  const int64_t n = s.rows();
+  DenseMatrix m = q.MultiplyDense(s, num_threads);
+  // Materialize Mᵀ with the blocked transpose so the symmetrization reads
+  // rows of both operands (column-strided reads of M dominate the iteration
+  // cost on graphs past the L2 size otherwise).
+  const DenseMatrix mt = m.Transposed();
+  if (out->rows() != n || out->cols() != n) *out = DenseMatrix(n, n);
+  const double half_c = damping / 2.0;
+  ParallelFor(0, n, num_threads, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const double* mrow = m.Row(i);
+      const double* mtrow = mt.Row(i);
+      double* orow = out->Row(i);
+      for (int64_t j = 0; j < n; ++j) {
+        orow[j] = half_c * (mrow[j] + mtrow[j]);
+      }
+      orow[i] += 1.0 - damping;
+    }
+  });
+}
+
+Result<DenseMatrix> ComputeSimRankStarGeometric(
+    const Graph& g, const SimilarityOptions& options) {
+  SRS_RETURN_NOT_OK(options.Validate());
+  const int64_t n = g.NumNodes();
+  const int k_max = EffectiveIterations(options, /*exponential=*/false);
+  const double c = options.damping;
+
+  const CsrMatrix q = g.BackwardTransition();
+
+  DenseMatrix s(n, n);
+  for (int64_t i = 0; i < n; ++i) s.At(i, i) = 1.0 - c;
+
+  DenseMatrix next;
+  for (int k = 0; k < k_max; ++k) {
+    SimRankStarGeometricStep(q, s, c, &next, options.num_threads);
+    std::swap(s, next);
+  }
+  if (options.sieve_threshold > 0.0) {
+    ApplySieve(options.sieve_threshold, &s);
+  }
+  return s;
+}
+
+}  // namespace srs

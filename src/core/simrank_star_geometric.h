@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file simrank_star_geometric.h
+/// \brief iter-gSR*: geometric SimRank* via the recursive form (Thm 2).
+///
+/// Iterates Eq. (14):
+///   Ŝ₀ = (1−C)·I,   Ŝ_{k+1} = (C/2)·(Q·Ŝ_k + Ŝ_k·Qᵀ) + (1−C)·I,
+/// exploiting the symmetry of Ŝ_k so each iteration performs a single
+/// sparse×dense product M = Q·Ŝ_k and then forms (C/2)(M + Mᵀ). This is the
+/// paper's O(Knm) algorithm — already cheaper per iteration than SimRank's
+/// two-sided Q·S·Qᵀ sandwich.
+
+#include "srs/common/result.h"
+#include "srs/core/options.h"
+#include "srs/graph/graph.h"
+#include "srs/matrix/dense_matrix.h"
+
+namespace srs {
+
+/// Computes all-pairs geometric SimRank* scores Ŝ_K.
+Result<DenseMatrix> ComputeSimRankStarGeometric(
+    const Graph& g, const SimilarityOptions& options = {});
+
+/// One recursion step: out = (C/2)(Q·s + (Q·s)ᵀ) + (1−C)·I. Exposed for the
+/// memoized variant's equivalence tests and the kernel micro-bench.
+void SimRankStarGeometricStep(const CsrMatrix& q, const DenseMatrix& s,
+                              double damping, DenseMatrix* out,
+                              int num_threads = 1);
+
+}  // namespace srs

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file single_source.h
+/// \brief Single-source (query-time) similarity without the dense matrix.
+///
+/// The paper evaluates ranking quality over single-node queries; at query
+/// time one rarely wants the full O(n²) matrix. For SimRank* the column
+/// Ŝ·e_q is computable in O(K²·m) time and O(K·n) memory by running the
+/// binomial aggregation on vectors:
+///
+///   Ŝ_K e_q = Σ_{l≤K} w_l Σ_α binom(l,α)/2^l · Q^α (Qᵀ)^{l−α} e_q,
+///
+/// maintaining the level vectors D_{l,α} = Q^α (Qᵀ)^{l−α} e_q via
+/// D_{l,α} = Q·D_{l−1,α−1} and D_{l,0} = (Qᵀ)^l e_q. This goes beyond the
+/// paper's all-pairs algorithms (its query evaluation factors through the
+/// full matrix) and makes the library usable on graphs where n² doubles do
+/// not fit in memory.
+
+#include <vector>
+
+#include "srs/common/result.h"
+#include "srs/core/options.h"
+#include "srs/graph/graph.h"
+
+namespace srs {
+
+/// Scores ŝ(q, ·) of geometric SimRank* for one query node. Agrees with the
+/// q-th row/column of ComputeSimRankStarGeometric (Ŝ is symmetric).
+Result<std::vector<double>> SingleSourceSimRankStarGeometric(
+    const Graph& g, NodeId query, const SimilarityOptions& options = {});
+
+/// Scores ŝ'(q, ·) of exponential SimRank* for one query node.
+Result<std::vector<double>> SingleSourceSimRankStarExponential(
+    const Graph& g, NodeId query, const SimilarityOptions& options = {});
+
+/// RWR proximity s_rwr(q, ·) (row q of (1−C)(I − C·W)^{-1}); equivalently
+/// Personalized PageRank with restart vector e_q and restart probability
+/// 1−C. O(K·m).
+Result<std::vector<double>> SingleSourceRwr(
+    const Graph& g, NodeId query, const SimilarityOptions& options = {});
+
+}  // namespace srs

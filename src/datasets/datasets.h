@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file datasets.h
+/// \brief Laptop-scale synthetic stand-ins for the paper's corpora (Fig 5).
+///
+/// The paper's real datasets (arXiv CitHepTh, DBLP, Google web graph, NBER
+/// patents) are not shipped here; each is replaced by a generator from the
+/// same structural family at a scale where the all-pairs O(n²) similarity
+/// matrices fit comfortably in RAM. Every stand-in preserves the *density*
+/// column of Figure 5 (|E|/|V|) and the directedness of the original, which
+/// are the properties the experiments actually exercise (zero-similarity
+/// rates, biclique compressibility, iteration cost). `scale` multiplies the
+/// default node count for users with more memory/time.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "srs/common/result.h"
+#include "srs/graph/graph.h"
+
+namespace srs {
+
+/// \brief One row of the Figure 5 table: paper size vs. our stand-in.
+struct DatasetInfo {
+  std::string name;          ///< paper's dataset name
+  int64_t paper_nodes;       ///< |V| in the paper
+  int64_t paper_edges;       ///< |E| in the paper
+  double paper_density;      ///< |E|/|V| in the paper
+  int64_t standin_nodes;     ///< our default |V| (scale = 1)
+  int64_t standin_edges;     ///< our default |E|
+  bool directed;
+};
+
+/// The Figure 5 roster with paper sizes and our defaults.
+std::vector<DatasetInfo> PaperDatasets();
+
+/// CitHepTh stand-in: directed R-MAT citation-style graph, density 12.6.
+/// Default 3000 nodes.
+Result<Graph> MakeCitHepThLike(double scale = 1.0, uint64_t seed = 101);
+
+/// DBLP stand-in: undirected power-law collaboration graph, density 5.8.
+/// Default 2000 nodes.
+Result<Graph> MakeDblpLike(double scale = 1.0, uint64_t seed = 102);
+
+/// D05/D08/D11 growth series (undirected, densities 4.3 / 5.5 / 6.3).
+/// `which` ∈ {0, 1, 2}. Defaults 1000 / 1300 / 1400 nodes.
+Result<Graph> MakeDblpSeries(int which, double scale = 1.0,
+                             uint64_t seed = 103);
+
+/// Web-Google stand-in: directed web-style R-MAT, density 5.6.
+/// Default 3000 nodes.
+Result<Graph> MakeWebGoogleLike(double scale = 1.0, uint64_t seed = 104);
+
+/// CitPatent stand-in: directed sparse citation R-MAT, density 4.5.
+/// Default 4000 nodes.
+Result<Graph> MakeCitPatentLike(double scale = 1.0, uint64_t seed = 105);
+
+/// The GTgraph-style synthetic density sweep of Fig 6(g): fixed node count,
+/// chosen density d = |E|/|V|. (The paper used n = 350K; default here 1500.)
+Result<Graph> MakeDensitySweepGraph(int64_t num_nodes, double density,
+                                    uint64_t seed = 106);
+
+/// #-citations proxy for role experiments: the in-degree of each node.
+std::vector<double> CitationCounts(const Graph& g);
+
+/// H-index proxy: for each node, the largest h such that at least h of its
+/// neighbors (in+out) have total degree ≥ h — the natural structural
+/// analogue of an author's H-index on a collaboration graph.
+std::vector<double> HIndexProxy(const Graph& g);
+
+}  // namespace srs

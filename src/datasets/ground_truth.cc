@@ -1,0 +1,115 @@
+#include "srs/datasets/ground_truth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "srs/common/rng.h"
+#include "srs/graph/graph_builder.h"
+
+namespace srs {
+
+Result<CommunityDataset> MakeCommunityGraph(
+    const CommunityGraphOptions& options) {
+  if (options.num_nodes <= 0 || options.num_communities <= 0) {
+    return Status::InvalidArgument(
+        "MakeCommunityGraph: positive node/community counts required");
+  }
+  if (options.intra_probability < 0.0 || options.intra_probability > 1.0) {
+    return Status::InvalidArgument(
+        "MakeCommunityGraph: intra_probability must be in [0, 1]");
+  }
+  const int64_t n = options.num_nodes;
+  const int k = options.num_communities;
+
+  Rng rng(options.seed);
+  CommunityDataset data;
+  data.num_communities = k;
+  data.community.resize(static_cast<size_t>(n));
+  // Contiguous balanced assignment keeps communities addressable by range.
+  for (int64_t i = 0; i < n; ++i) {
+    data.community[static_cast<size_t>(i)] =
+        static_cast<int>(i * k / n);
+  }
+  // first node id of each community (communities are contiguous ranges).
+  std::vector<int64_t> begin(static_cast<size_t>(k) + 1, n);
+  for (int64_t i = n - 1; i >= 0; --i) {
+    begin[static_cast<size_t>(data.community[static_cast<size_t>(i)])] = i;
+  }
+  begin[static_cast<size_t>(k)] = n;
+  for (int c = k - 1; c >= 0; --c) {
+    if (begin[static_cast<size_t>(c)] == n) {
+      begin[static_cast<size_t>(c)] = begin[static_cast<size_t>(c) + 1];
+    }
+  }
+
+  auto sample_in_community = [&](int c) -> int64_t {
+    const int64_t lo = begin[static_cast<size_t>(c)];
+    const int64_t hi = begin[static_cast<size_t>(c) + 1];
+    if (hi <= lo) return -1;
+    return lo + static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(hi - lo)));
+  };
+
+  const int64_t target_edges = static_cast<int64_t>(
+      options.avg_degree * static_cast<double>(n) /
+      (options.directed ? 1.0 : 2.0));
+
+  GraphBuilder builder(n);
+  builder.ReserveEdges(static_cast<size_t>(target_edges) * 2);
+  int64_t added = 0;
+  int64_t attempts = 0;
+  const int64_t max_attempts = target_edges * 50 + 1000;
+  while (added < target_edges && ++attempts < max_attempts) {
+    const int64_t u = static_cast<int64_t>(rng.Uniform(n));
+    const int cu = data.community[static_cast<size_t>(u)];
+    int cv;
+    const double r = rng.UniformDouble();
+    if (r < options.intra_probability) {
+      cv = cu;
+    } else if (r < options.intra_probability +
+                       (1.0 - options.intra_probability) * 0.8) {
+      // Adjacent community on the circle (the "related field" pattern).
+      cv = (cu + (rng.Bernoulli(0.5) ? 1 : k - 1)) % k;
+    } else {
+      cv = static_cast<int>(rng.Uniform(static_cast<uint64_t>(k)));
+    }
+    const int64_t v = sample_in_community(cv);
+    if (v < 0 || v == u) continue;
+    if (options.directed) {
+      int64_t from = u, to = v;
+      if (options.citation_dag && from < to) std::swap(from, to);
+      SRS_RETURN_NOT_OK(builder.AddEdge(static_cast<NodeId>(from),
+                                        static_cast<NodeId>(to)));
+    } else {
+      SRS_RETURN_NOT_OK(builder.AddUndirectedEdge(static_cast<NodeId>(u),
+                                                  static_cast<NodeId>(v)));
+    }
+    ++added;
+  }
+  SRS_ASSIGN_OR_RETURN(data.graph, builder.Build());
+  return data;
+}
+
+double TrueRelevance(const CommunityDataset& data, NodeId q, NodeId x) {
+  if (q == x) return 0.0;  // queries are never judged against themselves
+  const int k = data.num_communities;
+  const int cq = data.community[static_cast<size_t>(q)];
+  const int cx = data.community[static_cast<size_t>(x)];
+  int diff = std::abs(cq - cx);
+  diff = std::min(diff, k - diff);  // circular distance
+  if (diff == 0) return 3.0;
+  if (diff == 1) return 2.0;
+  if (diff == 2) return 1.0;
+  return 0.0;
+}
+
+std::vector<double> TrueRelevanceVector(const CommunityDataset& data,
+                                        NodeId q) {
+  const int64_t n = data.graph.NumNodes();
+  std::vector<double> rel(static_cast<size_t>(n));
+  for (NodeId x = 0; x < n; ++x) {
+    rel[static_cast<size_t>(x)] = TrueRelevance(data, q, x);
+  }
+  return rel;
+}
+
+}  // namespace srs

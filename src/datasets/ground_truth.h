@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file ground_truth.h
+/// \brief The ground-truth simulator replacing the paper's human judges.
+///
+/// §5 of the paper grades retrieved pairs by panels of domain experts. We
+/// substitute a *planted-community* generative model: nodes carry latent
+/// communities, the graph is generated with strong intra-community edge
+/// preference, and "true relevance" is a graded function of community
+/// distance. Because the same latent structure produces both the links and
+/// the judgements, a measure that reads link structure well must recover the
+/// judgements — exactly the property the paper's expert study certifies.
+
+#include <cstdint>
+#include <vector>
+
+#include "srs/common/result.h"
+#include "srs/graph/graph.h"
+
+namespace srs {
+
+/// Options for the planted-community generator.
+struct CommunityGraphOptions {
+  int64_t num_nodes = 1000;
+  int num_communities = 20;
+  /// Average out-degree (directed) or degree/2 (undirected).
+  double avg_degree = 6.0;
+  /// Probability that an edge stays inside its community (the rest connect
+  /// to an adjacent community, with occasional long jumps).
+  double intra_probability = 0.8;
+  bool directed = true;
+  /// Citation-style DAG: every directed edge points from the higher node id
+  /// to the lower one ("newer papers cite older ones"). This makes
+  /// symmetric in-link paths scarce — the regime where SimRank's
+  /// zero-similarity defect actually bites (Fig 6(a)/(d)). Ignored for
+  /// undirected graphs.
+  bool citation_dag = false;
+  uint64_t seed = 7;
+};
+
+/// \brief A graph with its latent community assignment.
+struct CommunityDataset {
+  Graph graph;
+  std::vector<int> community;  ///< per node, 0..num_communities−1
+  int num_communities = 0;
+};
+
+/// Generates a planted-community graph.
+Result<CommunityDataset> MakeCommunityGraph(
+    const CommunityGraphOptions& options = {});
+
+/// Graded "expert" relevance of node `x` to query `q`:
+/// 3 if same community, 2 if adjacent (|Δ| = 1 in circular community
+/// distance), 1 if |Δ| = 2, else 0 — the 4-level scale typical of NDCG
+/// ground truths.
+double TrueRelevance(const CommunityDataset& data, NodeId q, NodeId x);
+
+/// Relevance vector of every node w.r.t. `q` (the judged list for a query).
+std::vector<double> TrueRelevanceVector(const CommunityDataset& data,
+                                        NodeId q);
+
+}  // namespace srs

@@ -1,0 +1,53 @@
+#include "srs/eval/ndcg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace srs {
+
+namespace {
+
+double Gain(double relevance) { return std::exp2(relevance) - 1.0; }
+
+double DcgOfOrder(const std::vector<size_t>& order,
+                  const std::vector<double>& relevance, size_t p) {
+  double dcg = 0.0;
+  for (size_t i = 0; i < p; ++i) {
+    dcg += Gain(relevance[order[i]]) /
+           std::log2(2.0 + static_cast<double>(i));  // log2(1 + (i+1))
+  }
+  return dcg;
+}
+
+}  // namespace
+
+Result<double> NdcgAtP(const std::vector<double>& predicted_scores,
+                       const std::vector<double>& true_relevance, size_t p) {
+  if (predicted_scores.size() != true_relevance.size()) {
+    return Status::InvalidArgument("NdcgAtP: list sizes differ");
+  }
+  const size_t n = predicted_scores.size();
+  if (n == 0) return 0.0;
+  if (p == 0 || p > n) p = n;
+
+  std::vector<size_t> predicted_order(n);
+  std::iota(predicted_order.begin(), predicted_order.end(), 0);
+  std::stable_sort(predicted_order.begin(), predicted_order.end(),
+                   [&](size_t a, size_t b) {
+                     return predicted_scores[a] > predicted_scores[b];
+                   });
+
+  std::vector<size_t> ideal_order(n);
+  std::iota(ideal_order.begin(), ideal_order.end(), 0);
+  std::stable_sort(ideal_order.begin(), ideal_order.end(),
+                   [&](size_t a, size_t b) {
+                     return true_relevance[a] > true_relevance[b];
+                   });
+
+  const double idcg = DcgOfOrder(ideal_order, true_relevance, p);
+  if (idcg == 0.0) return 0.0;
+  return DcgOfOrder(predicted_order, true_relevance, p) / idcg;
+}
+
+}  // namespace srs

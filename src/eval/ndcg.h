@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file ndcg.h
+/// \brief Normalized Discounted Cumulative Gain at position p (paper §5):
+///   NDCG_p(q) = (1/IDCG_p(q)) Σ_{i≤p} (2^{rel_i} − 1)/log₂(1+i),
+/// where rel_i is the "true" relevance of the item the evaluated ranking
+/// places at position i, and IDCG_p is the DCG of the ideal ordering.
+
+#include <vector>
+
+#include "srs/common/result.h"
+
+namespace srs {
+
+/// Computes NDCG@p for an evaluated ranking.
+///
+/// \param predicted_scores scores from the algorithm under test
+/// \param true_relevance ground-truth relevance, same item indexing
+/// \param p cutoff position (≤ list size; 0 means use the whole list)
+Result<double> NdcgAtP(const std::vector<double>& predicted_scores,
+                       const std::vector<double>& true_relevance, size_t p = 0);
+
+}  // namespace srs

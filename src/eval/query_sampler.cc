@@ -1,0 +1,45 @@
+#include "srs/eval/query_sampler.h"
+
+#include <algorithm>
+
+#include "srs/graph/stats.h"
+
+namespace srs {
+
+Result<std::vector<NodeId>> SampleQueries(const Graph& g,
+                                          const QuerySamplerOptions& options) {
+  if (options.num_groups <= 0 || options.queries_per_group <= 0) {
+    return Status::InvalidArgument(
+        "SampleQueries: groups and queries_per_group must be positive");
+  }
+  const int64_t n = g.NumNodes();
+  if (n == 0) return std::vector<NodeId>{};
+
+  const std::vector<NodeId> by_degree = NodesByInDegree(g);
+  Rng rng(options.seed);
+  std::vector<NodeId> queries;
+
+  const int64_t groups = std::min<int64_t>(options.num_groups, n);
+  for (int64_t gi = 0; gi < groups; ++gi) {
+    const int64_t begin = gi * n / groups;
+    const int64_t end = (gi + 1) * n / groups;
+    std::vector<NodeId> stratum(by_degree.begin() + begin,
+                                by_degree.begin() + end);
+    const int64_t want =
+        std::min<int64_t>(options.queries_per_group,
+                          static_cast<int64_t>(stratum.size()));
+    // Partial Fisher–Yates: the first `want` positions become the sample.
+    for (int64_t i = 0; i < want; ++i) {
+      const int64_t j =
+          i + static_cast<int64_t>(rng.Uniform(stratum.size() - i));
+      std::swap(stratum[static_cast<size_t>(i)],
+                stratum[static_cast<size_t>(j)]);
+    }
+    queries.insert(queries.end(), stratum.begin(), stratum.begin() + want);
+  }
+  std::sort(queries.begin(), queries.end());
+  queries.erase(std::unique(queries.begin(), queries.end()), queries.end());
+  return queries;
+}
+
+}  // namespace srs

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file query_sampler.h
+/// \brief The paper's degree-stratified query selection (§5 "Test Queries"):
+/// sort nodes by in-degree into 5 groups and draw the same number of query
+/// nodes uniformly from each, so queries systematically cover the whole
+/// degree spectrum.
+
+#include <vector>
+
+#include "srs/common/result.h"
+#include "srs/common/rng.h"
+#include "srs/graph/graph.h"
+
+namespace srs {
+
+/// Options for SampleQueries.
+struct QuerySamplerOptions {
+  int num_groups = 5;        ///< degree strata (paper: 5)
+  int queries_per_group = 100;  ///< paper: 100 (→ 500 queries total)
+  uint64_t seed = 42;
+};
+
+/// Draws stratified query nodes. If a stratum is smaller than
+/// `queries_per_group`, all of its nodes are taken. Result is deduplicated
+/// and sorted.
+Result<std::vector<NodeId>> SampleQueries(
+    const Graph& g, const QuerySamplerOptions& options = {});
+
+}  // namespace srs

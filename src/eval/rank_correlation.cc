@@ -1,0 +1,73 @@
+#include "srs/eval/rank_correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace srs {
+
+Result<double> KendallTau(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("KendallTau: list sizes differ");
+  }
+  const int64_t n = static_cast<int64_t>(a.size());
+  if (n < 2) return 0.0;
+  int64_t concordant = 0, discordant = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      const double da = a[i] - a[j];
+      const double db = b[i] - b[j];
+      const double prod = da * db;
+      if (prod > 0) {
+        ++concordant;
+      } else if (prod < 0) {
+        ++discordant;
+      }
+      // ties in either list: contributes 0
+    }
+  }
+  return static_cast<double>(concordant - discordant) /
+         (static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+std::vector<double> FractionalRanks(const std::vector<double>& scores) {
+  const size_t n = scores.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return scores[x] > scores[y];  // rank 1 = largest
+  });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    // items order[i..j] are tied: average rank (ranks are 1-based).
+    const double avg = (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+Result<double> SpearmanRho(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("SpearmanRho: list sizes differ");
+  }
+  const int64_t n = static_cast<int64_t>(a.size());
+  if (n < 2) return 0.0;
+  const std::vector<double> ra = FractionalRanks(a);
+  const std::vector<double> rb = FractionalRanks(b);
+  double sum_d2 = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double d = ra[static_cast<size_t>(i)] - rb[static_cast<size_t>(i)];
+    sum_d2 += d * d;
+  }
+  return 1.0 - 6.0 * sum_d2 /
+                   (static_cast<double>(n) *
+                    (static_cast<double>(n) * n - 1.0));
+}
+
+}  // namespace srs

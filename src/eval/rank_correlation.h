@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file rank_correlation.h
+/// \brief Kendall's τ and Spearman's ρ (the paper's §5 effectiveness
+/// metrics, computed between an algorithm's ranking and the ground truth).
+
+#include <vector>
+
+#include "srs/common/result.h"
+
+namespace srs {
+
+/// Kendall's τ between two score lists over the same items:
+///   τ = 2/(N(N−1)) Σ_{i<j} K_{ij},
+/// where K_{ij} = +1 if the pair is concordant, −1 if discordant, and ties
+/// in either list contribute 0 (τ-a with tie-neutral handling; the paper's
+/// formula counts same-order pairs). O(N²) — N here is a ranked candidate
+/// list, not the whole graph.
+Result<double> KendallTau(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Spearman's ρ = 1 − 6·Σ d_i² / (N(N²−1)) over the rank differences d_i
+/// (average ranks for ties). Returns 0 for N < 2.
+Result<double> SpearmanRho(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+/// Fractional (average-for-ties) ranks of `scores`, rank 1 = largest score.
+std::vector<double> FractionalRanks(const std::vector<double>& scores);
+
+}  // namespace srs

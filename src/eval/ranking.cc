@@ -1,0 +1,40 @@
+#include "srs/eval/ranking.h"
+
+#include <algorithm>
+
+namespace srs {
+
+std::vector<RankedNode> TopK(const std::vector<double>& scores, size_t k,
+                             NodeId exclude) {
+  std::vector<RankedNode> items;
+  items.reserve(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (static_cast<NodeId>(i) == exclude) continue;
+    items.push_back({static_cast<NodeId>(i), scores[i]});
+  }
+  const size_t kk = std::min(k, items.size());
+  std::partial_sort(items.begin(), items.begin() + kk, items.end(),
+                    [](const RankedNode& a, const RankedNode& b) {
+                      return a.score != b.score ? a.score > b.score
+                                                : a.node < b.node;
+                    });
+  items.resize(kk);
+  return items;
+}
+
+Result<std::vector<double>> RowScores(const DenseMatrix& similarity,
+                                      NodeId query) {
+  if (query < 0 || query >= similarity.rows()) {
+    return Status::OutOfRange("RowScores: query out of range");
+  }
+  return std::vector<double>(similarity.Row(query),
+                             similarity.Row(query) + similarity.cols());
+}
+
+Result<std::vector<RankedNode>> TopKFromMatrix(const DenseMatrix& similarity,
+                                               NodeId query, size_t k) {
+  SRS_ASSIGN_OR_RETURN(std::vector<double> row, RowScores(similarity, query));
+  return TopK(row, k, query);
+}
+
+}  // namespace srs

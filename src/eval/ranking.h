@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file ranking.h
+/// \brief Ranking extraction: top-k neighbors per query from a score matrix
+/// or a single-source score vector.
+
+#include <cstdint>
+#include <vector>
+
+#include "srs/common/result.h"
+#include "srs/graph/graph.h"
+#include "srs/matrix/dense_matrix.h"
+
+namespace srs {
+
+/// One ranked item.
+struct RankedNode {
+  NodeId node;
+  double score;
+};
+
+/// Top-k nodes by `scores`, excluding `exclude` (pass −1 to keep all).
+/// Ties break by ascending node id (deterministic).
+std::vector<RankedNode> TopK(const std::vector<double>& scores, size_t k,
+                             NodeId exclude = -1);
+
+/// Top-k similar nodes to `query` from row `query` of an all-pairs matrix,
+/// excluding the query itself.
+Result<std::vector<RankedNode>> TopKFromMatrix(const DenseMatrix& similarity,
+                                               NodeId query, size_t k);
+
+/// Extracts row `query` of a score matrix as a vector.
+Result<std::vector<double>> RowScores(const DenseMatrix& similarity,
+                                      NodeId query);
+
+}  // namespace srs

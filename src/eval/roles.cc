@@ -1,0 +1,118 @@
+#include "srs/eval/roles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace srs {
+
+std::vector<int> AssignDeciles(const std::vector<double>& scores,
+                               int num_deciles) {
+  SRS_CHECK_GT(num_deciles, 0);
+  const size_t n = scores.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  std::vector<int> deciles(n, 0);
+  for (size_t rank = 0; rank < n; ++rank) {
+    deciles[order[rank]] =
+        static_cast<int>(rank * static_cast<size_t>(num_deciles) / std::max<size_t>(n, 1));
+  }
+  return deciles;
+}
+
+Result<double> TopPairsRoleDifference(const DenseMatrix& similarity,
+                                      const std::vector<double>& role_scores,
+                                      double percent) {
+  const int64_t n = similarity.rows();
+  if (similarity.cols() != n ||
+      static_cast<int64_t>(role_scores.size()) != n) {
+    return Status::InvalidArgument(
+        "TopPairsRoleDifference: shape mismatch");
+  }
+  if (percent <= 0.0 || percent > 100.0) {
+    return Status::InvalidArgument("percent must be in (0, 100]");
+  }
+  // Collect unordered pairs with their similarity (a < b).
+  std::vector<std::pair<double, std::pair<int32_t, int32_t>>> pairs;
+  pairs.reserve(static_cast<size_t>(n) * (n - 1) / 2);
+  for (int64_t a = 0; a < n; ++a) {
+    for (int64_t b = a + 1; b < n; ++b) {
+      pairs.push_back({similarity.At(a, b),
+                       {static_cast<int32_t>(a), static_cast<int32_t>(b)}});
+    }
+  }
+  const size_t want = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(
+             static_cast<double>(pairs.size()) * percent / 100.0)));
+  const size_t k = std::min(want, pairs.size());
+  std::partial_sort(pairs.begin(), pairs.begin() + k, pairs.end(),
+                    [](const auto& x, const auto& y) {
+                      return x.first > y.first;
+                    });
+  double sum = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    sum += std::fabs(role_scores[static_cast<size_t>(pairs[i].second.first)] -
+                     role_scores[static_cast<size_t>(pairs[i].second.second)]);
+  }
+  return sum / static_cast<double>(k);
+}
+
+double RandomPairRoleDifference(const std::vector<double>& role_scores) {
+  // E|X − Y| over uniform pairs: exact via sorted prefix sums, O(n log n).
+  std::vector<double> sorted = role_scores;
+  std::sort(sorted.begin(), sorted.end());
+  const int64_t n = static_cast<int64_t>(sorted.size());
+  if (n < 2) return 0.0;
+  double weighted = 0.0, prefix = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    weighted += sorted[static_cast<size_t>(i)] * static_cast<double>(i) - prefix;
+    prefix += sorted[static_cast<size_t>(i)];
+  }
+  return weighted / (static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+Result<RoleGroupSimilarity> GroupSimilarityByRole(
+    const DenseMatrix& similarity, const std::vector<int>& deciles,
+    int num_deciles) {
+  const int64_t n = similarity.rows();
+  if (similarity.cols() != n || static_cast<int64_t>(deciles.size()) != n) {
+    return Status::InvalidArgument("GroupSimilarityByRole: shape mismatch");
+  }
+  RoleGroupSimilarity out;
+  out.within.assign(static_cast<size_t>(num_deciles), 0.0);
+  out.cross.assign(static_cast<size_t>(num_deciles), 0.0);
+  std::vector<int64_t> within_count(static_cast<size_t>(num_deciles), 0);
+  std::vector<int64_t> cross_count(static_cast<size_t>(num_deciles), 0);
+
+  for (int64_t a = 0; a < n; ++a) {
+    for (int64_t b = a + 1; b < n; ++b) {
+      const int da = deciles[static_cast<size_t>(a)];
+      const int db = deciles[static_cast<size_t>(b)];
+      const double sim =
+          (similarity.At(a, b) + similarity.At(b, a)) / 2.0;  // symmetrize
+      if (da == db) {
+        out.within[static_cast<size_t>(da)] += sim;
+        ++within_count[static_cast<size_t>(da)];
+      } else {
+        const int diff = std::abs(da - db);
+        out.cross[static_cast<size_t>(diff)] += sim;
+        ++cross_count[static_cast<size_t>(diff)];
+      }
+    }
+  }
+  for (int d = 0; d < num_deciles; ++d) {
+    if (within_count[static_cast<size_t>(d)] > 0) {
+      out.within[static_cast<size_t>(d)] /=
+          static_cast<double>(within_count[static_cast<size_t>(d)]);
+    }
+    if (cross_count[static_cast<size_t>(d)] > 0) {
+      out.cross[static_cast<size_t>(d)] /=
+          static_cast<double>(cross_count[static_cast<size_t>(d)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace srs

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file roles.h
+/// \brief Role assignment and the role-based aggregations of Fig 6(b)/(c).
+///
+/// The paper proxies "role" by #-citations (CitHepTh) or H-index (DBLP) and
+/// groups nodes into 10 deciles. Fig 6(b) reports the average role-score
+/// difference within the top-x% most similar pairs; Fig 6(c) reports the
+/// average similarity of pairs within the same decile and across deciles.
+
+#include <cstdint>
+#include <vector>
+
+#include "srs/common/result.h"
+#include "srs/graph/graph.h"
+#include "srs/matrix/dense_matrix.h"
+
+namespace srs {
+
+/// Assigns each node a decile 0..(num_deciles−1) by descending `score`
+/// (decile 0 = top scorers). Sizes are balanced to within one node.
+std::vector<int> AssignDeciles(const std::vector<double>& scores,
+                               int num_deciles = 10);
+
+/// Fig 6(b): average |score(a) − score(b)| over the top `percent`% most
+/// similar ordered pairs (a < b, by descending similarity). `role_scores`
+/// plays #-citations / H-index.
+Result<double> TopPairsRoleDifference(const DenseMatrix& similarity,
+                                      const std::vector<double>& role_scores,
+                                      double percent);
+
+/// Baseline "RAN" of Fig 6(b): expected |score(a) − score(b)| over uniformly
+/// random pairs (computed exactly).
+double RandomPairRoleDifference(const std::vector<double>& role_scores);
+
+/// Fig 6(c) aggregation output.
+struct RoleGroupSimilarity {
+  /// avg similarity of pairs whose two nodes share decile d ("within").
+  std::vector<double> within;
+  /// avg similarity of pairs whose decile difference is exactly d ("cross";
+  /// index 0 unused — difference ≥ 1).
+  std::vector<double> cross;
+};
+
+/// Computes the within/cross-decile average similarities.
+Result<RoleGroupSimilarity> GroupSimilarityByRole(
+    const DenseMatrix& similarity, const std::vector<int>& deciles,
+    int num_deciles = 10);
+
+}  // namespace srs

@@ -1,0 +1,82 @@
+#include "srs/graph/fixtures.h"
+
+#include "srs/graph/graph_builder.h"
+
+namespace srs {
+
+namespace {
+
+/// Shared skeleton for Figure 1 variants. The 18-edge set below is
+/// reconstructed from the paper's own derivations and is consistent with all
+/// of them simultaneously:
+///  * the in-link paths h ← e ← a → d and h ← e ← a → b → f → d (§1, Ex. 1)
+///    give a→e, e→h, a→d, a→b, b→f, f→d;
+///  * "s(a,g)=0 as a has no in-neighbors" — nothing points at a;
+///  * "g ← b → i and g ← d → i" give b→g, b→i, d→g, d→i;
+///  * Figure 4's bicliques ({b,d},{c,g,i}) and ({e,j,k},{h,i}) give
+///    b→c, d→c, e→i, j→{h,i}, k→{h,i};
+///  * Example 2's I(h) = {e,j,k} and I(i) = {b,d,e,h,j,k} give h→i;
+///  * the resulting T = {a,b,d,e,f,h,j,k} and B = {b,c,d,e,f,g,h,i} match
+///    Figure 4 exactly, and edge concentration saves exactly 2 edges as the
+///    paper states.
+constexpr struct {
+  char u;
+  char v;
+} kFig1Edges[] = {
+    {'a', 'b'}, {'a', 'd'}, {'a', 'e'},
+    {'b', 'c'}, {'b', 'f'}, {'b', 'g'}, {'b', 'i'},
+    {'d', 'c'}, {'d', 'g'}, {'d', 'i'},
+    {'e', 'h'}, {'e', 'i'},
+    {'f', 'd'},
+    {'h', 'i'},
+    {'j', 'h'}, {'j', 'i'},
+    {'k', 'h'}, {'k', 'i'},
+};
+
+NodeId IdOf(char c) { return static_cast<NodeId>(c - 'a'); }
+
+}  // namespace
+
+Graph Fig1CitationGraph() {
+  GraphBuilder builder(11);
+  for (const auto& e : kFig1Edges) {
+    SRS_CHECK_OK(builder.AddEdge(IdOf(e.u), IdOf(e.v)));
+  }
+  for (char c = 'a'; c <= 'k'; ++c) {
+    SRS_CHECK_OK(builder.SetLabel(IdOf(c), std::string(1, c)));
+  }
+  return builder.Build().MoveValueOrDie();
+}
+
+Graph Fig3FamilyTree() {
+  // 0 Grandpa, 1 Father, 2 Uncle, 3 Me, 4 Cousin, 5 Son, 6 Grandson.
+  GraphBuilder builder(7);
+  SRS_CHECK_OK(builder.AddEdge(0, 1));  // Grandpa -> Father
+  SRS_CHECK_OK(builder.AddEdge(0, 2));  // Grandpa -> Uncle
+  SRS_CHECK_OK(builder.AddEdge(1, 3));  // Father -> Me
+  SRS_CHECK_OK(builder.AddEdge(2, 4));  // Uncle -> Cousin
+  SRS_CHECK_OK(builder.AddEdge(3, 5));  // Me -> Son
+  SRS_CHECK_OK(builder.AddEdge(5, 6));  // Son -> Grandson
+  const char* names[] = {"Grandpa", "Father",   "Uncle", "Me",
+                         "Cousin",  "Son",      "Grandson"};
+  for (NodeId i = 0; i < 7; ++i) SRS_CHECK_OK(builder.SetLabel(i, names[i]));
+  return builder.Build().MoveValueOrDie();
+}
+
+Graph Fig1WithSubdividedHi() {
+  // Node 11 is the inserted node l; the edge h→i is replaced by h→l→i.
+  GraphBuilder builder(12);
+  for (const auto& e : kFig1Edges) {
+    if (e.u == 'h' && e.v == 'i') continue;
+    SRS_CHECK_OK(builder.AddEdge(IdOf(e.u), IdOf(e.v)));
+  }
+  SRS_CHECK_OK(builder.AddEdge(IdOf('h'), 11));
+  SRS_CHECK_OK(builder.AddEdge(11, IdOf('i')));
+  for (char c = 'a'; c <= 'k'; ++c) {
+    SRS_CHECK_OK(builder.SetLabel(IdOf(c), std::string(1, c)));
+  }
+  SRS_CHECK_OK(builder.SetLabel(11, "l"));
+  return builder.Build().MoveValueOrDie();
+}
+
+}  // namespace srs

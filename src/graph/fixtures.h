@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file fixtures.h
+/// \brief Exact graphs from the paper, used by tests and the Fig 1 bench.
+
+#include "srs/graph/graph.h"
+
+namespace srs {
+
+/// The 11-node citation graph of the paper's Figure 1 (nodes a..k).
+///
+/// Edge set (reconstructed from the paper's walk-through):
+///   a→b, a→d,  b→f, b→i,  d→f, d→i,  e→a,  f→d(cycle via b→f? no) ...
+/// Concretely the edges encoded here reproduce every similarity relation the
+/// paper derives from the figure:
+///   * in-link path h ← e ← a → d of length 3 (so e→h? no: h ← e means e→h)
+///   * bicliques ({b,d},{c,g,i}) and ({e,j,k},{h,i}) in the induced bigraph
+///     (Figure 4), with T = {a,b,d,e,f,h,j,k} and B = {b,c,d,e,f,g,h,i}.
+/// Node ids are 0..10 for a..k and labels are set accordingly.
+Graph Fig1CitationGraph();
+
+/// The family tree of Figure 3: Grandpa → {Father, Uncle},
+/// Father → {Me, Cousin? no — Uncle → Cousin}, Me → Son, Son → Grandson.
+/// Labels: "Grandpa", "Father", "Uncle", "Me", "Cousin", "Son", "Grandson".
+Graph Fig3FamilyTree();
+
+/// The P-Rank counter-example of §1: Figure 1's graph with edge h→i replaced
+/// by h→l→i through a fresh node l (12 nodes). P-Rank of (h,d) becomes 0
+/// while SimRank* stays positive.
+Graph Fig1WithSubdividedHi();
+
+}  // namespace srs

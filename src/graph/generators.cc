@@ -1,0 +1,312 @@
+#include "srs/graph/generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "srs/graph/graph_builder.h"
+
+namespace srs {
+
+namespace {
+
+/// Packs an edge into a 64-bit key for dedup during sampling.
+uint64_t EdgeKey(int64_t u, int64_t v) {
+  return (static_cast<uint64_t>(u) << 32) | static_cast<uint64_t>(v);
+}
+
+}  // namespace
+
+Result<Graph> ErdosRenyi(int64_t num_nodes, int64_t num_edges, uint64_t seed) {
+  if (num_nodes <= 0) {
+    return Status::InvalidArgument("ErdosRenyi: num_nodes must be positive");
+  }
+  const int64_t max_edges = num_nodes * (num_nodes - 1);
+  if (num_edges < 0 || num_edges > max_edges) {
+    return Status::InvalidArgument(
+        "ErdosRenyi: num_edges out of range [0, n(n-1)]");
+  }
+
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  builder.ReserveEdges(static_cast<size_t>(num_edges));
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(num_edges) * 2);
+  while (static_cast<int64_t>(seen.size()) < num_edges) {
+    const int64_t u = static_cast<int64_t>(rng.Uniform(num_nodes));
+    const int64_t v = static_cast<int64_t>(rng.Uniform(num_nodes));
+    if (u == v) continue;
+    if (seen.insert(EdgeKey(u, v)).second) {
+      SRS_RETURN_NOT_OK(builder.AddEdge(static_cast<NodeId>(u),
+                                        static_cast<NodeId>(v)));
+    }
+  }
+  return builder.Build();
+}
+
+Result<Graph> Rmat(int64_t num_nodes, int64_t num_edges, uint64_t seed,
+                   const RmatOptions& options) {
+  if (num_nodes <= 0) {
+    return Status::InvalidArgument("Rmat: num_nodes must be positive");
+  }
+  const double d = 1.0 - options.a - options.b - options.c;
+  if (options.a < 0 || options.b < 0 || options.c < 0 || d < 0) {
+    return Status::InvalidArgument("Rmat: quadrant probabilities must be "
+                                   "non-negative and sum to at most 1");
+  }
+
+  int levels = 0;
+  int64_t size = 1;
+  while (size < num_nodes) {
+    size <<= 1;
+    ++levels;
+  }
+
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  builder.ReserveEdges(static_cast<size_t>(num_edges) *
+                       (options.undirected ? 2 : 1));
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(num_edges) * 2);
+
+  // Rejection loop: resample edges that fall outside [0, n), duplicate an
+  // existing edge, or violate the self-loop policy. Bounded by a generous
+  // attempt budget so pathological parameters fail loudly instead of
+  // spinning forever.
+  const int64_t max_attempts = num_edges * 200 + 10000;
+  int64_t attempts = 0;
+  while (static_cast<int64_t>(seen.size()) < num_edges) {
+    if (++attempts > max_attempts) {
+      return Status::CapacityError(
+          "Rmat: exceeded sampling budget; requested too many distinct edges "
+          "for the given node count");
+    }
+    int64_t u = 0, v = 0;
+    for (int level = 0; level < levels; ++level) {
+      const double r = rng.UniformDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < options.a) {
+        // top-left: no bits set
+      } else if (r < options.a + options.b) {
+        v |= 1;
+      } else if (r < options.a + options.b + options.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u >= num_nodes || v >= num_nodes) continue;
+    if (u == v && !options.allow_self_loops) continue;
+    uint64_t key = options.undirected && u > v ? EdgeKey(v, u) : EdgeKey(u, v);
+    if (!seen.insert(key).second) continue;
+    if (options.undirected) {
+      SRS_RETURN_NOT_OK(builder.AddUndirectedEdge(static_cast<NodeId>(u),
+                                                  static_cast<NodeId>(v)));
+    } else {
+      SRS_RETURN_NOT_OK(builder.AddEdge(static_cast<NodeId>(u),
+                                        static_cast<NodeId>(v)));
+    }
+  }
+  return builder.Build();
+}
+
+Result<Graph> CopyingModelGraph(int64_t num_nodes, double avg_out_degree,
+                                double copy_probability, uint64_t seed) {
+  if (num_nodes <= 0) {
+    return Status::InvalidArgument("CopyingModelGraph: num_nodes must be "
+                                   "positive");
+  }
+  if (avg_out_degree < 0.0) {
+    return Status::InvalidArgument("CopyingModelGraph: negative out-degree");
+  }
+  if (copy_probability < 0.0 || copy_probability > 1.0) {
+    return Status::InvalidArgument(
+        "CopyingModelGraph: copy_probability must be in [0, 1]");
+  }
+  Rng rng(seed);
+  // out_lists[u] is u's deduplicated reference list (targets < u).
+  std::vector<std::vector<NodeId>> out_lists(
+      static_cast<size_t>(num_nodes));
+  const int64_t base_degree = static_cast<int64_t>(avg_out_degree);
+  const double frac = avg_out_degree - static_cast<double>(base_degree);
+
+  std::unordered_set<NodeId> refs;
+  for (int64_t u = 1; u < num_nodes; ++u) {
+    int64_t want = base_degree + (rng.Bernoulli(frac) ? 1 : 0);
+    want = std::min(want, u);
+    if (want == 0) continue;
+    refs.clear();
+
+    if (rng.Bernoulli(copy_probability)) {
+      // Prototype: a random earlier node with references; copy a random
+      // contiguous run of its list (contiguity keeps copied sets aligned,
+      // maximizing biclique overlap as in real reference lists).
+      const int64_t p = static_cast<int64_t>(rng.Uniform(u));
+      const auto& proto = out_lists[static_cast<size_t>(p)];
+      if (!proto.empty()) {
+        const int64_t take =
+            std::min<int64_t>(want, static_cast<int64_t>(proto.size()));
+        const int64_t start = static_cast<int64_t>(
+            rng.Uniform(proto.size() - static_cast<size_t>(take) + 1));
+        for (int64_t i = 0; i < take; ++i) {
+          refs.insert(proto[static_cast<size_t>(start + i)]);
+        }
+      }
+    }
+    // Fill the remainder uniformly among earlier nodes.
+    int64_t guard = 0;
+    while (static_cast<int64_t>(refs.size()) < want && ++guard < 50 * want) {
+      refs.insert(static_cast<NodeId>(rng.Uniform(u)));
+    }
+    auto& list = out_lists[static_cast<size_t>(u)];
+    list.assign(refs.begin(), refs.end());
+    std::sort(list.begin(), list.end());
+  }
+
+  GraphBuilder builder(num_nodes);
+  for (int64_t u = 0; u < num_nodes; ++u) {
+    for (NodeId v : out_lists[static_cast<size_t>(u)]) {
+      SRS_RETURN_NOT_OK(builder.AddEdge(static_cast<NodeId>(u), v));
+    }
+  }
+  return builder.Build();
+}
+
+Result<Graph> CollaborationCliqueGraph(int64_t num_nodes, int64_t num_papers,
+                                       int team_min, int team_max,
+                                       uint64_t seed) {
+  if (num_nodes <= 0 || num_papers < 0) {
+    return Status::InvalidArgument(
+        "CollaborationCliqueGraph: bad node/paper count");
+  }
+  if (team_min < 2 || team_max < team_min) {
+    return Status::InvalidArgument(
+        "CollaborationCliqueGraph: need 2 <= team_min <= team_max");
+  }
+  if (team_max > num_nodes) {
+    return Status::InvalidArgument(
+        "CollaborationCliqueGraph: team larger than node count");
+  }
+  Rng rng(seed);
+  // Preferential attachment over authorship counts: an author's sampling
+  // weight is 1 + #papers written so far. Sampled via a repeated-author
+  // pool (the classic Barabási trick).
+  std::vector<NodeId> pool;
+  pool.reserve(static_cast<size_t>(num_nodes + num_papers * team_max));
+  for (int64_t i = 0; i < num_nodes; ++i) {
+    pool.push_back(static_cast<NodeId>(i));
+  }
+
+  GraphBuilder builder(num_nodes);
+  std::vector<NodeId> team;
+  for (int64_t paper = 0; paper < num_papers; ++paper) {
+    const int t = static_cast<int>(
+        rng.UniformInt(team_min, team_max));
+    team.clear();
+    int64_t guard = 0;
+    while (static_cast<int>(team.size()) < t && ++guard < 100 * t) {
+      const NodeId candidate = pool[rng.Uniform(pool.size())];
+      if (std::find(team.begin(), team.end(), candidate) == team.end()) {
+        team.push_back(candidate);
+      }
+    }
+    for (size_t i = 0; i < team.size(); ++i) {
+      pool.push_back(team[i]);  // authorship increases future weight
+      for (size_t j = i + 1; j < team.size(); ++j) {
+        SRS_RETURN_NOT_OK(builder.AddUndirectedEdge(team[i], team[j]));
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Result<Graph> PathGraph(int64_t num_nodes) {
+  if (num_nodes <= 0) {
+    return Status::InvalidArgument("PathGraph: num_nodes must be positive");
+  }
+  GraphBuilder builder(num_nodes);
+  for (int64_t i = 0; i + 1 < num_nodes; ++i) {
+    SRS_RETURN_NOT_OK(builder.AddEdge(static_cast<NodeId>(i),
+                                      static_cast<NodeId>(i + 1)));
+  }
+  return builder.Build();
+}
+
+Result<Graph> DoubleEndedPath(int64_t half_length) {
+  if (half_length < 0) {
+    return Status::InvalidArgument("DoubleEndedPath: negative half_length");
+  }
+  const int64_t n = 2 * half_length + 1;
+  const NodeId center = static_cast<NodeId>(half_length);
+  GraphBuilder builder(n);
+  // Left arm: center → center-1 → … → 0 reversed, i.e. a_0 → a_{-1} …
+  // The paper's picture `a_{-n} ← … ← a_0 → … → a_n` has all edges pointing
+  // away from the center.
+  for (int64_t i = half_length; i > 0; --i) {
+    SRS_RETURN_NOT_OK(builder.AddEdge(static_cast<NodeId>(i),
+                                      static_cast<NodeId>(i - 1)));
+  }
+  for (int64_t i = half_length; i + 1 < n; ++i) {
+    SRS_RETURN_NOT_OK(builder.AddEdge(static_cast<NodeId>(i),
+                                      static_cast<NodeId>(i + 1)));
+  }
+  (void)center;
+  return builder.Build();
+}
+
+Result<Graph> CycleGraph(int64_t num_nodes) {
+  if (num_nodes <= 0) {
+    return Status::InvalidArgument("CycleGraph: num_nodes must be positive");
+  }
+  GraphBuilder builder(num_nodes);
+  for (int64_t i = 0; i < num_nodes; ++i) {
+    SRS_RETURN_NOT_OK(builder.AddEdge(
+        static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % num_nodes)));
+  }
+  return builder.Build();
+}
+
+Result<Graph> StarGraph(int64_t num_nodes) {
+  if (num_nodes <= 0) {
+    return Status::InvalidArgument("StarGraph: num_nodes must be positive");
+  }
+  GraphBuilder builder(num_nodes);
+  for (int64_t i = 1; i < num_nodes; ++i) {
+    SRS_RETURN_NOT_OK(builder.AddEdge(0, static_cast<NodeId>(i)));
+  }
+  return builder.Build();
+}
+
+Result<Graph> CompleteGraph(int64_t num_nodes) {
+  if (num_nodes <= 0) {
+    return Status::InvalidArgument("CompleteGraph: num_nodes must be positive");
+  }
+  GraphBuilder builder(num_nodes);
+  builder.ReserveEdges(static_cast<size_t>(num_nodes) * (num_nodes - 1));
+  for (int64_t u = 0; u < num_nodes; ++u) {
+    for (int64_t v = 0; v < num_nodes; ++v) {
+      if (u == v) continue;
+      SRS_RETURN_NOT_OK(builder.AddEdge(static_cast<NodeId>(u),
+                                        static_cast<NodeId>(v)));
+    }
+  }
+  return builder.Build();
+}
+
+Result<Graph> BinaryTree(int64_t depth) {
+  if (depth < 0) {
+    return Status::InvalidArgument("BinaryTree: negative depth");
+  }
+  const int64_t n = (int64_t{1} << (depth + 1)) - 1;
+  GraphBuilder builder(n);
+  for (int64_t i = 0; 2 * i + 2 < n; ++i) {
+    SRS_RETURN_NOT_OK(builder.AddEdge(static_cast<NodeId>(i),
+                                      static_cast<NodeId>(2 * i + 1)));
+    SRS_RETURN_NOT_OK(builder.AddEdge(static_cast<NodeId>(i),
+                                      static_cast<NodeId>(2 * i + 2)));
+  }
+  return builder.Build();
+}
+
+}  // namespace srs

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file generators.h
+/// \brief Synthetic graph generators.
+///
+/// The R-MAT generator stands in for the paper's GTgraph tool (R-MAT is
+/// GTgraph's default model) and produces the skewed degree distributions of
+/// citation/web graphs; the structured generators (path, cycle, star, tree)
+/// back the paper's analytical examples and the property-test corpus.
+
+#include <cstdint>
+
+#include "srs/common/result.h"
+#include "srs/common/rng.h"
+#include "srs/graph/graph.h"
+
+namespace srs {
+
+/// G(n, m) Erdős–Rényi digraph: `num_edges` distinct directed edges chosen
+/// uniformly (no self loops).
+Result<Graph> ErdosRenyi(int64_t num_nodes, int64_t num_edges, uint64_t seed);
+
+/// Parameters for the R-MAT recursive matrix model.
+struct RmatOptions {
+  double a = 0.57;  ///< top-left quadrant probability
+  double b = 0.19;  ///< top-right
+  double c = 0.19;  ///< bottom-left (d = 1-a-b-c)
+  bool undirected = false;  ///< mirror every edge (collaboration graphs)
+  bool allow_self_loops = false;
+};
+
+/// R-MAT power-law digraph with `num_nodes` rounded up to a power of two
+/// internally and sampled edges mapped back to [0, num_nodes). Produces the
+/// heavy-tailed in-degree distributions of citation/web graphs.
+Result<Graph> Rmat(int64_t num_nodes, int64_t num_edges, uint64_t seed,
+                   const RmatOptions& options = {});
+
+/// Kleinberg-style copying model for citation/web graphs: nodes arrive in
+/// id order; each new node u links to ~`avg_out_degree` earlier nodes,
+/// copying a fraction `copy_probability` of them from a random earlier
+/// node's reference list (the rest chosen uniformly). Copying produces both
+/// the power-law in-degrees of citation/web graphs and the heavily
+/// *overlapping in-neighborhoods* (shared reference lists) that edge
+/// concentration compresses — the very structure Buehrer & Chellapilla's
+/// web-graph compressor was built for.
+Result<Graph> CopyingModelGraph(int64_t num_nodes, double avg_out_degree,
+                                double copy_probability, uint64_t seed);
+
+/// Collaboration-graph generator: `num_papers` "papers" each pick a team of
+/// [team_min, team_max] authors (preferentially by past activity) and all
+/// co-authors are connected with undirected edges. Overlapping cliques give
+/// the dense shared neighborhoods of real co-authorship networks.
+Result<Graph> CollaborationCliqueGraph(int64_t num_nodes, int64_t num_papers,
+                                       int team_min, int team_max,
+                                       uint64_t seed);
+
+/// Directed path `0 → 1 → … → n-1`.
+Result<Graph> PathGraph(int64_t num_nodes);
+
+/// The paper's double-ended path `a_{-n} ← … ← a_0 → … → a_n` used in the
+/// zero-similarity discussion (§1): node ids `0..2n`, center at `n`.
+Result<Graph> DoubleEndedPath(int64_t half_length);
+
+/// Directed cycle of `n` nodes.
+Result<Graph> CycleGraph(int64_t num_nodes);
+
+/// Star: hub 0 points at each of `1..n-1` (citation "source" pattern).
+Result<Graph> StarGraph(int64_t num_nodes);
+
+/// Complete digraph on `n` nodes (all ordered pairs, no self loops).
+Result<Graph> CompleteGraph(int64_t num_nodes);
+
+/// Full binary in-tree of given depth: every parent points at both children
+/// (a family-tree shape; depth 0 = single root).
+Result<Graph> BinaryTree(int64_t depth);
+
+}  // namespace srs

@@ -1,0 +1,67 @@
+#include "srs/graph/graph.h"
+
+#include <algorithm>
+
+namespace srs {
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  auto nbrs = OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+CsrMatrix Graph::AdjacencyMatrix() const {
+  CsrMatrix::Builder builder(num_nodes_, num_nodes_);
+  builder.Reserve(static_cast<size_t>(NumEdges()));
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (NodeId v : OutNeighbors(u)) {
+      SRS_CHECK_OK(builder.Add(u, v, 1.0));
+    }
+  }
+  return builder.Build().MoveValueOrDie();
+}
+
+CsrMatrix Graph::BackwardTransition() const {
+  CsrMatrix::Builder builder(num_nodes_, num_nodes_);
+  builder.Reserve(static_cast<size_t>(NumEdges()));
+  for (NodeId i = 0; i < num_nodes_; ++i) {
+    const auto in = InNeighbors(i);
+    if (in.empty()) continue;
+    const double w = 1.0 / static_cast<double>(in.size());
+    for (NodeId j : in) SRS_CHECK_OK(builder.Add(i, j, w));
+  }
+  return builder.Build().MoveValueOrDie();
+}
+
+CsrMatrix Graph::ForwardTransition() const {
+  CsrMatrix::Builder builder(num_nodes_, num_nodes_);
+  builder.Reserve(static_cast<size_t>(NumEdges()));
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    const auto out = OutNeighbors(u);
+    if (out.empty()) continue;
+    const double w = 1.0 / static_cast<double>(out.size());
+    for (NodeId v : out) SRS_CHECK_OK(builder.Add(u, v, w));
+  }
+  return builder.Build().MoveValueOrDie();
+}
+
+std::string Graph::LabelOf(NodeId u) const {
+  SRS_CHECK(u >= 0 && u < num_nodes_);
+  if (static_cast<size_t>(u) < labels_.size() && !labels_[u].empty()) {
+    return labels_[u];
+  }
+  return std::to_string(u);
+}
+
+Result<NodeId> Graph::FindLabel(const std::string& label) const {
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == label) return static_cast<NodeId>(i);
+  }
+  return Status::NotFound("no node labeled '" + label + "'");
+}
+
+size_t Graph::ByteSize() const {
+  return (out_ptr_.size() + in_ptr_.size()) * sizeof(int64_t) +
+         (out_adj_.size() + in_adj_.size()) * sizeof(NodeId);
+}
+
+}  // namespace srs

@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file graph.h
+/// \brief Immutable directed graph with CSR adjacency in both directions.
+///
+/// This is the substrate every similarity algorithm in the library runs on.
+/// Nodes are dense integer ids `[0, NumNodes())`; edges are simple (parallel
+/// edges are collapsed by the builder). Both out- and in-adjacency are
+/// materialized because SimRank-family measures are *in-link* oriented while
+/// RWR/PageRank walk out-links.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "srs/common/macros.h"
+#include "srs/matrix/csr_matrix.h"
+
+namespace srs {
+
+/// Node identifier (dense, 0-based).
+using NodeId = int32_t;
+
+/// \brief Immutable directed graph.
+///
+/// Construct via GraphBuilder (see graph_builder.h) or a generator
+/// (generators.h / fixtures.h).
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Number of nodes.
+  int64_t NumNodes() const { return num_nodes_; }
+
+  /// Number of (deduplicated) directed edges.
+  int64_t NumEdges() const { return static_cast<int64_t>(out_adj_.size()); }
+
+  /// Edge density |E|/|V| (the paper's Figure 5 column).
+  double Density() const {
+    return num_nodes_ == 0 ? 0.0
+                           : static_cast<double>(NumEdges()) / num_nodes_;
+  }
+
+  /// Out-neighbors of `u` (ascending).
+  std::span<const NodeId> OutNeighbors(NodeId u) const {
+    SRS_DCHECK(u >= 0 && u < num_nodes_);
+    return {out_adj_.data() + out_ptr_[u],
+            static_cast<size_t>(out_ptr_[u + 1] - out_ptr_[u])};
+  }
+
+  /// In-neighbors of `u` (ascending) — the set `I(u)` of the paper.
+  std::span<const NodeId> InNeighbors(NodeId u) const {
+    SRS_DCHECK(u >= 0 && u < num_nodes_);
+    return {in_adj_.data() + in_ptr_[u],
+            static_cast<size_t>(in_ptr_[u + 1] - in_ptr_[u])};
+  }
+
+  int64_t OutDegree(NodeId u) const {
+    SRS_DCHECK(u >= 0 && u < num_nodes_);
+    return out_ptr_[u + 1] - out_ptr_[u];
+  }
+
+  int64_t InDegree(NodeId u) const {
+    SRS_DCHECK(u >= 0 && u < num_nodes_);
+    return in_ptr_[u + 1] - in_ptr_[u];
+  }
+
+  /// True iff the edge u→v exists (binary search over out-neighbors).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Adjacency matrix `A` with `[A]_{uv} = 1` iff edge u→v.
+  CsrMatrix AdjacencyMatrix() const;
+
+  /// Backward transition matrix `Q`: row-normalized `Aᵀ`, i.e.
+  /// `[Q]_{ij} = 1/|I(i)|` iff there is an edge j→i (paper Eq. 3).
+  CsrMatrix BackwardTransition() const;
+
+  /// Forward transition matrix `W`: row-normalized `A` (used by RWR/PPR).
+  CsrMatrix ForwardTransition() const;
+
+  /// Optional node labels ("a", "b", ... for the paper fixtures). Empty if
+  /// the graph was built without labels.
+  const std::vector<std::string>& labels() const { return labels_; }
+
+  /// Label of `u`, or its decimal id if the graph is unlabeled.
+  std::string LabelOf(NodeId u) const;
+
+  /// Node id for `label`; NotFound if the graph has no such label.
+  Result<NodeId> FindLabel(const std::string& label) const;
+
+  /// Logical memory footprint in bytes.
+  size_t ByteSize() const;
+
+ private:
+  friend class GraphBuilder;
+
+  int64_t num_nodes_ = 0;
+  std::vector<int64_t> out_ptr_;
+  std::vector<NodeId> out_adj_;
+  std::vector<int64_t> in_ptr_;
+  std::vector<NodeId> in_adj_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace srs

@@ -1,0 +1,73 @@
+#include "srs/graph/graph_builder.h"
+
+#include <algorithm>
+
+namespace srs {
+
+GraphBuilder::GraphBuilder(int64_t num_nodes) : num_nodes_(num_nodes) {
+  SRS_CHECK_GE(num_nodes, 0);
+  SRS_CHECK_LE(num_nodes, INT32_MAX);
+}
+
+Status GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  if (u < 0 || u >= num_nodes_ || v < 0 || v >= num_nodes_) {
+    return Status::InvalidArgument(
+        "edge (" + std::to_string(u) + " -> " + std::to_string(v) +
+        ") out of range for " + std::to_string(num_nodes_) + " nodes");
+  }
+  edges_.emplace_back(u, v);
+  return Status::OK();
+}
+
+Status GraphBuilder::AddUndirectedEdge(NodeId u, NodeId v) {
+  SRS_RETURN_NOT_OK(AddEdge(u, v));
+  if (u != v) SRS_RETURN_NOT_OK(AddEdge(v, u));
+  return Status::OK();
+}
+
+Status GraphBuilder::SetLabel(NodeId u, std::string label) {
+  if (u < 0 || u >= num_nodes_) {
+    return Status::InvalidArgument("label for out-of-range node " +
+                                   std::to_string(u));
+  }
+  if (labels_.size() < static_cast<size_t>(num_nodes_)) {
+    labels_.resize(num_nodes_);
+  }
+  labels_[u] = std::move(label);
+  return Status::OK();
+}
+
+Result<Graph> GraphBuilder::Build() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g;
+  g.num_nodes_ = num_nodes_;
+  g.labels_ = std::move(labels_);
+
+  g.out_ptr_.assign(num_nodes_ + 1, 0);
+  g.out_adj_.resize(edges_.size());
+  for (const auto& [u, v] : edges_) ++g.out_ptr_[u + 1];
+  for (int64_t i = 0; i < num_nodes_; ++i) g.out_ptr_[i + 1] += g.out_ptr_[i];
+  {
+    std::vector<int64_t> cursor(g.out_ptr_.begin(), g.out_ptr_.end() - 1);
+    for (const auto& [u, v] : edges_) g.out_adj_[cursor[u]++] = v;
+  }
+
+  g.in_ptr_.assign(num_nodes_ + 1, 0);
+  g.in_adj_.resize(edges_.size());
+  for (const auto& [u, v] : edges_) ++g.in_ptr_[v + 1];
+  for (int64_t i = 0; i < num_nodes_; ++i) g.in_ptr_[i + 1] += g.in_ptr_[i];
+  {
+    std::vector<int64_t> cursor(g.in_ptr_.begin(), g.in_ptr_.end() - 1);
+    // edges_ is sorted by (u, v), so each in-adjacency list is filled in
+    // ascending source order automatically.
+    for (const auto& [u, v] : edges_) g.in_adj_[cursor[v]++] = u;
+  }
+
+  edges_.clear();
+  edges_.shrink_to_fit();
+  return g;
+}
+
+}  // namespace srs

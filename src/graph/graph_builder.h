@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file graph_builder.h
+/// \brief Mutable edge accumulator that assembles an immutable Graph.
+
+#include <string>
+#include <vector>
+
+#include "srs/common/result.h"
+#include "srs/graph/graph.h"
+
+namespace srs {
+
+/// \brief Collects edges (and optional labels), then builds a Graph.
+///
+/// Self-loops are permitted (SimRank-family algorithms handle them through
+/// the generic in-neighbor machinery); parallel edges are deduplicated.
+class GraphBuilder {
+ public:
+  /// Builder for a graph with `num_nodes` nodes.
+  explicit GraphBuilder(int64_t num_nodes);
+
+  /// Adds the directed edge u→v. InvalidArgument if out of range.
+  Status AddEdge(NodeId u, NodeId v);
+
+  /// Adds both u→v and v→u (undirected datasets such as DBLP).
+  Status AddUndirectedEdge(NodeId u, NodeId v);
+
+  /// Assigns a label to node `u`.
+  Status SetLabel(NodeId u, std::string label);
+
+  /// Reserves space for `n` edges.
+  void ReserveEdges(size_t n) { edges_.reserve(n); }
+
+  /// Number of edges added so far (before dedup).
+  size_t PendingEdges() const { return edges_.size(); }
+
+  /// Assembles the graph. The builder is consumed (left empty).
+  Result<Graph> Build();
+
+ private:
+  int64_t num_nodes_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace srs

@@ -1,0 +1,97 @@
+#include "srs/graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "srs/common/string_util.h"
+#include "srs/graph/graph_builder.h"
+
+namespace srs {
+
+namespace {
+
+Result<Graph> ParseLines(std::istream& in, const EdgeListOptions& options) {
+  // First pass into memory: remap arbitrary ids to dense [0, n).
+  std::unordered_map<uint64_t, NodeId> id_map;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<uint64_t> original_ids;
+
+  auto intern = [&](uint64_t raw) {
+    auto [it, inserted] =
+        id_map.emplace(raw, static_cast<NodeId>(original_ids.size()));
+    if (inserted) original_ids.push_back(raw);
+    return it->second;
+  };
+
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv = Trim(line);
+    if (sv.empty() || sv[0] == options.comment_char) continue;
+    auto tokens = SplitTokens(sv, " \t,");
+    if (tokens.size() < 2) {
+      return Status::InvalidArgument("edge list line " +
+                                     std::to_string(line_no) +
+                                     ": expected 'u v', got '" + line + "'");
+    }
+    uint64_t u_raw = 0, v_raw = 0;
+    if (!ParseUint64(tokens[0], &u_raw) || !ParseUint64(tokens[1], &v_raw)) {
+      return Status::InvalidArgument("edge list line " +
+                                     std::to_string(line_no) +
+                                     ": non-numeric node id in '" + line + "'");
+    }
+    // Sequence the interning explicitly: argument evaluation order inside a
+    // call is unspecified, and id assignment must follow reading order.
+    const NodeId u = intern(u_raw);
+    const NodeId v = intern(v_raw);
+    edges.emplace_back(u, v);
+  }
+
+  GraphBuilder builder(static_cast<int64_t>(original_ids.size()));
+  builder.ReserveEdges(edges.size() * (options.undirected ? 2 : 1));
+  for (const auto& [u, v] : edges) {
+    if (options.undirected) {
+      SRS_RETURN_NOT_OK(builder.AddUndirectedEdge(u, v));
+    } else {
+      SRS_RETURN_NOT_OK(builder.AddEdge(u, v));
+    }
+  }
+  for (size_t i = 0; i < original_ids.size(); ++i) {
+    SRS_RETURN_NOT_OK(builder.SetLabel(static_cast<NodeId>(i),
+                                       std::to_string(original_ids[i])));
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+Result<Graph> ParseEdgeList(const std::string& text,
+                            const EdgeListOptions& options) {
+  std::istringstream in(text);
+  return ParseLines(in, options);
+}
+
+Result<Graph> LoadEdgeList(const std::string& path,
+                           const EdgeListOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  return ParseLines(in, options);
+}
+
+Status SaveEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << "# simrank-star edge list: " << g.NumNodes() << " nodes, "
+      << g.NumEdges() << " edges\n";
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      out << u << " " << v << "\n";
+    }
+  }
+  if (!out.good()) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace srs

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file graph_io.h
+/// \brief Edge-list text IO (the SNAP format the paper's datasets ship in).
+///
+/// Format: one `u v` pair per line, `#`-prefixed comment lines ignored.
+/// Node ids need not be dense — they are remapped to `[0, n)` on load and
+/// the original ids are preserved as labels.
+
+#include <string>
+
+#include "srs/common/result.h"
+#include "srs/graph/graph.h"
+
+namespace srs {
+
+/// Options for LoadEdgeList.
+struct EdgeListOptions {
+  bool undirected = false;  ///< add both directions for every line
+  char comment_char = '#';
+};
+
+/// Parses an edge-list from a string buffer (unit-test friendly).
+Result<Graph> ParseEdgeList(const std::string& text,
+                            const EdgeListOptions& options = {});
+
+/// Loads an edge-list file. IoError if unreadable; InvalidArgument on a
+/// malformed line (the message names the line number).
+Result<Graph> LoadEdgeList(const std::string& path,
+                           const EdgeListOptions& options = {});
+
+/// Writes `g` as an edge list ("u v" per line, node ids).
+Status SaveEdgeList(const Graph& g, const std::string& path);
+
+}  // namespace srs

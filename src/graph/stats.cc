@@ -1,0 +1,61 @@
+#include "srs/graph/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace srs {
+
+GraphStats ComputeStats(const Graph& g) {
+  GraphStats s;
+  s.num_nodes = g.NumNodes();
+  s.num_edges = g.NumEdges();
+  s.density = g.Density();
+  s.avg_in_degree = s.density;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    const int64_t din = g.InDegree(u);
+    const int64_t dout = g.OutDegree(u);
+    s.max_in_degree = std::max(s.max_in_degree, din);
+    s.max_out_degree = std::max(s.max_out_degree, dout);
+    if (din == 0) ++s.sources;
+    if (dout == 0) ++s.sinks;
+  }
+  return s;
+}
+
+std::vector<int64_t> InDegreeHistogram(const Graph& g) {
+  std::vector<int64_t> hist;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    const int64_t d = g.InDegree(u);
+    if (static_cast<size_t>(d) >= hist.size()) hist.resize(d + 1, 0);
+    ++hist[d];
+  }
+  while (!hist.empty() && hist.back() == 0) hist.pop_back();
+  return hist;
+}
+
+std::vector<NodeId> NodesByInDegree(const Graph& g) {
+  std::vector<NodeId> nodes(g.NumNodes());
+  std::iota(nodes.begin(), nodes.end(), 0);
+  std::stable_sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+    return g.InDegree(a) != g.InDegree(b) ? g.InDegree(a) > g.InDegree(b)
+                                          : a < b;
+  });
+  return nodes;
+}
+
+std::string StatsToString(const GraphStats& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "|V|=%lld |E|=%lld d=%.1f max_in=%lld max_out=%lld "
+                "sources=%lld sinks=%lld",
+                static_cast<long long>(s.num_nodes),
+                static_cast<long long>(s.num_edges), s.density,
+                static_cast<long long>(s.max_in_degree),
+                static_cast<long long>(s.max_out_degree),
+                static_cast<long long>(s.sources),
+                static_cast<long long>(s.sinks));
+  return buf;
+}
+
+}  // namespace srs

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file stats.h
+/// \brief Degree statistics and dataset summary (Figure 5 columns).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "srs/graph/graph.h"
+
+namespace srs {
+
+/// \brief Summary statistics of a graph.
+struct GraphStats {
+  int64_t num_nodes = 0;
+  int64_t num_edges = 0;
+  double density = 0.0;          ///< |E|/|V|
+  double avg_in_degree = 0.0;    ///< equals density
+  int64_t max_in_degree = 0;
+  int64_t max_out_degree = 0;
+  int64_t sources = 0;           ///< nodes with no in-links (I(x) = ∅)
+  int64_t sinks = 0;             ///< nodes with no out-links (O(x) = ∅)
+};
+
+/// Computes summary statistics for `g`.
+GraphStats ComputeStats(const Graph& g);
+
+/// In-degree histogram: `hist[d]` = number of nodes with in-degree `d`
+/// (trailing zero buckets trimmed).
+std::vector<int64_t> InDegreeHistogram(const Graph& g);
+
+/// Nodes sorted by descending in-degree, ties by ascending id. Used by the
+/// paper's degree-stratified query sampling and the role assignment.
+std::vector<NodeId> NodesByInDegree(const Graph& g);
+
+/// One-line human-readable summary ("|V|=33K |E|=418K d=12.6 ...").
+std::string StatsToString(const GraphStats& s);
+
+}  // namespace srs

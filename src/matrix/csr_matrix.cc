@@ -1,0 +1,169 @@
+#include "srs/matrix/csr_matrix.h"
+
+#include <algorithm>
+
+#include "srs/common/parallel.h"
+#include "srs/matrix/dense_matrix.h"
+
+namespace srs {
+
+double CsrMatrix::At(int64_t r, int64_t c) const {
+  SRS_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  const int32_t target = static_cast<int32_t>(c);
+  auto begin = col_idx_.begin() + row_ptr_[r];
+  auto end = col_idx_.begin() + row_ptr_[r + 1];
+  auto it = std::lower_bound(begin, end, target);
+  if (it != end && *it == target) {
+    return values_[static_cast<size_t>(it - col_idx_.begin())];
+  }
+  return 0.0;
+}
+
+CsrMatrix CsrMatrix::Transposed() const {
+  CsrMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.row_ptr_.assign(cols_ + 1, 0);
+  t.col_idx_.resize(values_.size());
+  t.values_.resize(values_.size());
+
+  // Counting sort by column.
+  for (int32_t c : col_idx_) ++t.row_ptr_[c + 1];
+  for (int64_t i = 0; i < cols_; ++i) t.row_ptr_[i + 1] += t.row_ptr_[i];
+
+  std::vector<int64_t> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const int64_t pos = cursor[col_idx_[k]]++;
+      t.col_idx_[pos] = static_cast<int32_t>(r);
+      t.values_[pos] = values_[k];
+    }
+  }
+  return t;
+}
+
+DenseMatrix CsrMatrix::ToDense() const {
+  DenseMatrix d(rows_, cols_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      d.At(r, col_idx_[k]) += values_[k];
+    }
+  }
+  return d;
+}
+
+void CsrMatrix::MultiplyVector(const double* x, double* y) const {
+  for (int64_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      sum += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = sum;
+  }
+}
+
+DenseMatrix CsrMatrix::MultiplyDense(const DenseMatrix& d,
+                                     int num_threads) const {
+  SRS_CHECK_EQ(cols_, d.rows());
+  DenseMatrix out(rows_, d.cols());
+  const int64_t width = d.cols();
+  ParallelFor(0, rows_, num_threads, [&](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      double* orow = out.Row(r);
+      for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        const double v = values_[k];
+        const double* drow = d.Row(col_idx_[k]);
+        for (int64_t j = 0; j < width; ++j) orow[j] += v * drow[j];
+      }
+    }
+  });
+  return out;
+}
+
+DenseMatrix CsrMatrix::LeftMultiplyDense(const DenseMatrix& d) const {
+  SRS_CHECK_EQ(d.cols(), rows_);
+  DenseMatrix out(d.rows(), cols_);
+  for (int64_t i = 0; i < d.rows(); ++i) {
+    const double* drow = d.Row(i);
+    double* orow = out.Row(i);
+    for (int64_t r = 0; r < rows_; ++r) {
+      const double dv = drow[r];
+      if (dv == 0.0) continue;
+      for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        orow[col_idx_[k]] += dv * values_[k];
+      }
+    }
+  }
+  return out;
+}
+
+CsrMatrix::Builder::Builder(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols) {
+  SRS_CHECK_GE(rows, 0);
+  SRS_CHECK_GE(cols, 0);
+  SRS_CHECK_LE(rows, INT32_MAX);
+  SRS_CHECK_LE(cols, INT32_MAX);
+}
+
+Status CsrMatrix::Builder::Add(int64_t row, int64_t col, double value) {
+  if (row < 0 || row >= rows_ || col < 0 || col >= cols_) {
+    return Status::InvalidArgument("triplet (" + std::to_string(row) + ", " +
+                                   std::to_string(col) + ") out of range for " +
+                                   std::to_string(rows_) + "x" +
+                                   std::to_string(cols_) + " matrix");
+  }
+  triplets_.push_back({static_cast<int32_t>(row), static_cast<int32_t>(col),
+                       value});
+  return Status::OK();
+}
+
+Result<CsrMatrix> CsrMatrix::Builder::Build() {
+  std::sort(triplets_.begin(), triplets_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  CsrMatrix m;
+  m.rows_ = rows_;
+  m.cols_ = cols_;
+  m.row_ptr_.assign(rows_ + 1, 0);
+  m.col_idx_.reserve(triplets_.size());
+  m.values_.reserve(triplets_.size());
+
+  for (size_t i = 0; i < triplets_.size();) {
+    const int32_t r = triplets_[i].row;
+    const int32_t c = triplets_[i].col;
+    double sum = 0.0;
+    while (i < triplets_.size() && triplets_[i].row == r &&
+           triplets_[i].col == c) {
+      sum += triplets_[i].value;
+      ++i;
+    }
+    m.col_idx_.push_back(c);
+    m.values_.push_back(sum);
+    ++m.row_ptr_[r + 1];
+  }
+  for (int64_t r = 0; r < rows_; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+
+  triplets_.clear();
+  triplets_.shrink_to_fit();
+  return m;
+}
+
+CsrMatrix RowNormalized(const CsrMatrix& m) {
+  CsrMatrix::Builder builder(m.rows(), m.cols());
+  builder.Reserve(static_cast<size_t>(m.nnz()));
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    double sum = 0.0;
+    for (int64_t k = m.row_ptr()[r]; k < m.row_ptr()[r + 1]; ++k) {
+      sum += m.values()[k];
+    }
+    if (sum == 0.0) continue;
+    for (int64_t k = m.row_ptr()[r]; k < m.row_ptr()[r + 1]; ++k) {
+      SRS_CHECK_OK(builder.Add(r, m.col_idx()[k], m.values()[k] / sum));
+    }
+  }
+  return builder.Build().MoveValueOrDie();
+}
+
+}  // namespace srs

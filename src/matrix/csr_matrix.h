@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file csr_matrix.h
+/// \brief Compressed sparse row matrix and its builder.
+///
+/// Graph transition matrices (`Q`, `W`, `A`) are stored in CSR. The builder
+/// accepts unordered (row, col, value) triplets, then sorts and merges
+/// duplicates (summing their values) when `Build()` is called.
+
+#include <cstdint>
+#include <vector>
+
+#include "srs/common/macros.h"
+#include "srs/common/result.h"
+
+namespace srs {
+
+class DenseMatrix;
+
+/// \brief Immutable CSR sparse matrix of doubles.
+class CsrMatrix {
+ public:
+  /// Empty 0x0 matrix.
+  CsrMatrix() = default;
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  /// Row pointer array, size rows()+1.
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  /// Column indices, size nnz(), sorted within each row.
+  const std::vector<int32_t>& col_idx() const { return col_idx_; }
+  /// Values, parallel to col_idx().
+  const std::vector<double>& values() const { return values_; }
+
+  /// Number of stored entries in row `r`.
+  int64_t RowNnz(int64_t r) const {
+    SRS_DCHECK(r >= 0 && r < rows_);
+    return row_ptr_[r + 1] - row_ptr_[r];
+  }
+
+  /// Returns the stored value at (r, c), or 0.0 if absent (binary search).
+  double At(int64_t r, int64_t c) const;
+
+  /// Returns the transpose (CSR of the transposed matrix).
+  CsrMatrix Transposed() const;
+
+  /// Converts to a dense matrix (small inputs / tests).
+  DenseMatrix ToDense() const;
+
+  /// Logical size in bytes (used by the memory bench).
+  size_t ByteSize() const {
+    return row_ptr_.size() * sizeof(int64_t) +
+           col_idx_.size() * sizeof(int32_t) + values_.size() * sizeof(double);
+  }
+
+  /// Sparse × dense product `y = this * x` where x is a dense vector of
+  /// length cols(). `y` must have length rows().
+  void MultiplyVector(const double* x, double* y) const;
+
+  /// Sparse × dense product: returns `this * d` (d is rows=cols()).
+  /// Output rows are partitioned across `num_threads` workers; results are
+  /// bitwise identical for any thread count.
+  DenseMatrix MultiplyDense(const DenseMatrix& d, int num_threads = 1) const;
+
+  /// Dense × sparse product: returns `d * this`.
+  DenseMatrix LeftMultiplyDense(const DenseMatrix& d) const;
+
+  class Builder;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int32_t> col_idx_;
+  std::vector<double> values_;
+};
+
+/// \brief Accumulates triplets and assembles a CsrMatrix.
+class CsrMatrix::Builder {
+ public:
+  /// Builder for a `rows × cols` matrix.
+  Builder(int64_t rows, int64_t cols);
+
+  /// Appends a triplet. Duplicate (row, col) entries are summed at Build().
+  /// Returns InvalidArgument if the coordinates are out of range.
+  Status Add(int64_t row, int64_t col, double value);
+
+  /// Reserves space for `n` triplets.
+  void Reserve(size_t n) { triplets_.reserve(n); }
+
+  /// Assembles the CSR structure. The builder is left empty afterwards.
+  Result<CsrMatrix> Build();
+
+ private:
+  struct Triplet {
+    int32_t row;
+    int32_t col;
+    double value;
+  };
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<Triplet> triplets_;
+};
+
+/// Row-normalizes `m`: each nonempty row is scaled to sum to 1. Rows whose
+/// sum is zero are left as all-zero (dangling nodes).
+CsrMatrix RowNormalized(const CsrMatrix& m);
+
+}  // namespace srs

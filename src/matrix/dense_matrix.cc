@@ -1,0 +1,151 @@
+#include "srs/matrix/dense_matrix.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace srs {
+
+DenseMatrix::DenseMatrix(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0) {
+  SRS_CHECK_GE(rows, 0);
+  SRS_CHECK_GE(cols, 0);
+}
+
+DenseMatrix::DenseMatrix(int64_t rows, int64_t cols, double fill)
+    : DenseMatrix(rows, cols) {
+  Fill(fill);
+}
+
+DenseMatrix DenseMatrix::Identity(int64_t n) {
+  DenseMatrix m(n, n);
+  m.SetIdentity();
+  return m;
+}
+
+DenseMatrix DenseMatrix::FromRows(
+    const std::vector<std::vector<double>>& rows) {
+  const int64_t r = static_cast<int64_t>(rows.size());
+  const int64_t c = r == 0 ? 0 : static_cast<int64_t>(rows[0].size());
+  DenseMatrix m(r, c);
+  for (int64_t i = 0; i < r; ++i) {
+    SRS_CHECK_EQ(static_cast<int64_t>(rows[i].size()), c);
+    for (int64_t j = 0; j < c; ++j) m.At(i, j) = rows[i][j];
+  }
+  return m;
+}
+
+void DenseMatrix::Fill(double value) {
+  for (double& x : data_) x = value;
+}
+
+void DenseMatrix::SetIdentity() {
+  SRS_CHECK(square());
+  Fill(0.0);
+  for (int64_t i = 0; i < rows_; ++i) At(i, i) = 1.0;
+}
+
+DenseMatrix DenseMatrix::Transposed() const {
+  DenseMatrix t(cols_, rows_);
+  // Blocked transpose for cache friendliness on large matrices.
+  constexpr int64_t kBlock = 64;
+  for (int64_t ib = 0; ib < rows_; ib += kBlock) {
+    const int64_t imax = std::min(ib + kBlock, rows_);
+    for (int64_t jb = 0; jb < cols_; jb += kBlock) {
+      const int64_t jmax = std::min(jb + kBlock, cols_);
+      for (int64_t i = ib; i < imax; ++i) {
+        for (int64_t j = jb; j < jmax; ++j) {
+          t.At(j, i) = At(i, j);
+        }
+      }
+    }
+  }
+  return t;
+}
+
+void DenseMatrix::Add(const DenseMatrix& other) {
+  SRS_CHECK_EQ(rows_, other.rows_);
+  SRS_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void DenseMatrix::Axpy(double alpha, const DenseMatrix& other) {
+  SRS_CHECK_EQ(rows_, other.rows_);
+  SRS_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void DenseMatrix::Scale(double alpha) {
+  for (double& x : data_) x *= alpha;
+}
+
+double DenseMatrix::MaxNorm() const {
+  double best = 0.0;
+  for (double x : data_) best = std::max(best, std::fabs(x));
+  return best;
+}
+
+double DenseMatrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double x : data_) sum += x * x;
+  return std::sqrt(sum);
+}
+
+double DenseMatrix::MaxAbsDiff(const DenseMatrix& other) const {
+  SRS_CHECK_EQ(rows_, other.rows_);
+  SRS_CHECK_EQ(cols_, other.cols_);
+  double best = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    best = std::max(best, std::fabs(data_[i] - other.data_[i]));
+  }
+  return best;
+}
+
+std::string DenseMatrix::ToString(int precision) const {
+  std::string out;
+  char buf[64];
+  for (int64_t i = 0; i < rows_; ++i) {
+    out += "[";
+    for (int64_t j = 0; j < cols_; ++j) {
+      std::snprintf(buf, sizeof(buf), "%s%.*f", j ? ", " : "", precision,
+                    At(i, j));
+      out += buf;
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b) {
+  SRS_CHECK_EQ(a.cols(), b.rows());
+  DenseMatrix c(a.rows(), b.cols());
+  // i-k-j loop order: streams through rows of b, vectorizes the inner loop.
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    double* ci = c.Row(i);
+    for (int64_t k = 0; k < a.cols(); ++k) {
+      const double aik = a.At(i, k);
+      if (aik == 0.0) continue;
+      const double* bk = b.Row(k);
+      for (int64_t j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
+    }
+  }
+  return c;
+}
+
+DenseMatrix MultiplyTransposed(const DenseMatrix& a, const DenseMatrix& b) {
+  SRS_CHECK_EQ(a.cols(), b.cols());
+  DenseMatrix c(a.rows(), b.rows());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const double* ai = a.Row(i);
+    double* ci = c.Row(i);
+    for (int64_t j = 0; j < b.rows(); ++j) {
+      const double* bj = b.Row(j);
+      double dot = 0.0;
+      for (int64_t k = 0; k < a.cols(); ++k) dot += ai[k] * bj[k];
+      ci[j] = dot;
+    }
+  }
+  return c;
+}
+
+}  // namespace srs

@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file dense_matrix.h
+/// \brief Row-major dense double matrix.
+///
+/// Similarity matrices (the output of every all-pairs algorithm in this
+/// library) are inherently dense — Ω(n²) entries are produced — so they are
+/// stored as a contiguous row-major `n×n` buffer. Graphs themselves stay
+/// sparse (see csr_matrix.h).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "srs/common/macros.h"
+
+namespace srs {
+
+/// \brief Row-major dense matrix of doubles.
+class DenseMatrix {
+ public:
+  /// Empty 0x0 matrix.
+  DenseMatrix() = default;
+
+  /// `rows × cols` matrix, zero-initialized.
+  DenseMatrix(int64_t rows, int64_t cols);
+
+  /// `rows × cols` matrix filled with `fill`.
+  DenseMatrix(int64_t rows, int64_t cols, double fill);
+
+  /// Identity of order `n`.
+  static DenseMatrix Identity(int64_t n);
+
+  /// Builds from a row-major initializer (used heavily in tests).
+  static DenseMatrix FromRows(
+      const std::vector<std::vector<double>>& rows);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  bool square() const { return rows_ == cols_; }
+
+  /// Unchecked element access (debug-checked).
+  double& At(int64_t r, int64_t c) {
+    SRS_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double At(int64_t r, int64_t c) const {
+    SRS_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double& operator()(int64_t r, int64_t c) { return At(r, c); }
+  double operator()(int64_t r, int64_t c) const { return At(r, c); }
+
+  /// Pointer to the start of row `r`.
+  double* Row(int64_t r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const double* Row(int64_t r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  /// Raw contiguous storage.
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Sets every entry to `value`.
+  void Fill(double value);
+
+  /// Sets this to the identity pattern (requires square).
+  void SetIdentity();
+
+  /// Returns the transpose.
+  DenseMatrix Transposed() const;
+
+  /// In-place `this += other` (same shape).
+  void Add(const DenseMatrix& other);
+
+  /// In-place `this += alpha * other` (same shape).
+  void Axpy(double alpha, const DenseMatrix& other);
+
+  /// In-place scale by `alpha`.
+  void Scale(double alpha);
+
+  /// Max-norm `max_ij |a_ij|`.
+  double MaxNorm() const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Max-norm of (this - other); shapes must match.
+  double MaxAbsDiff(const DenseMatrix& other) const;
+
+  /// Logical size in bytes (used by the memory bench).
+  size_t ByteSize() const { return data_.size() * sizeof(double); }
+
+  /// Multi-line human-readable rendering (small matrices / debugging).
+  std::string ToString(int precision = 4) const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Dense GEMM: returns `a * b`. Inner dimensions must agree.
+DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b);
+
+/// Returns `a * bᵀ` without materializing the transpose.
+DenseMatrix MultiplyTransposed(const DenseMatrix& a, const DenseMatrix& b);
+
+}  // namespace srs

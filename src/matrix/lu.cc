@@ -1,0 +1,88 @@
+#include "srs/matrix/lu.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace srs {
+
+Result<LuFactorization> LuFactorization::Compute(const DenseMatrix& a,
+                                                 double pivot_tolerance) {
+  if (!a.square()) {
+    return Status::InvalidArgument("LU requires a square matrix");
+  }
+  const int64_t n = a.rows();
+  DenseMatrix lu = a;
+  std::vector<int64_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+
+  for (int64_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude in column k at/below k.
+    int64_t pivot = k;
+    double best = std::fabs(lu.At(k, k));
+    for (int64_t i = k + 1; i < n; ++i) {
+      const double cand = std::fabs(lu.At(i, k));
+      if (cand > best) {
+        best = cand;
+        pivot = i;
+      }
+    }
+    if (best <= pivot_tolerance) {
+      return Status::Internal("LU: matrix is numerically singular at column " +
+                              std::to_string(k));
+    }
+    if (pivot != k) {
+      for (int64_t j = 0; j < n; ++j) {
+        std::swap(lu.At(k, j), lu.At(pivot, j));
+      }
+      std::swap(perm[k], perm[pivot]);
+    }
+    const double inv = 1.0 / lu.At(k, k);
+    for (int64_t i = k + 1; i < n; ++i) {
+      const double factor = lu.At(i, k) * inv;
+      lu.At(i, k) = factor;
+      if (factor == 0.0) continue;
+      for (int64_t j = k + 1; j < n; ++j) {
+        lu.At(i, j) -= factor * lu.At(k, j);
+      }
+    }
+  }
+  return LuFactorization(std::move(lu), std::move(perm));
+}
+
+std::vector<double> LuFactorization::Solve(const std::vector<double>& b) const {
+  const int64_t n = order();
+  SRS_CHECK_EQ(static_cast<int64_t>(b.size()), n);
+  std::vector<double> x(n);
+  // Forward substitution with permutation (L has unit diagonal).
+  for (int64_t i = 0; i < n; ++i) {
+    double sum = b[perm_[i]];
+    for (int64_t j = 0; j < i; ++j) sum -= lu_.At(i, j) * x[j];
+    x[i] = sum;
+  }
+  // Back substitution.
+  for (int64_t i = n - 1; i >= 0; --i) {
+    double sum = x[i];
+    for (int64_t j = i + 1; j < n; ++j) sum -= lu_.At(i, j) * x[j];
+    x[i] = sum / lu_.At(i, i);
+  }
+  return x;
+}
+
+DenseMatrix LuFactorization::Solve(const DenseMatrix& b) const {
+  const int64_t n = order();
+  SRS_CHECK_EQ(b.rows(), n);
+  DenseMatrix x(n, b.cols());
+  std::vector<double> col(n);
+  for (int64_t c = 0; c < b.cols(); ++c) {
+    for (int64_t i = 0; i < n; ++i) col[i] = b.At(i, c);
+    std::vector<double> sol = Solve(col);
+    for (int64_t i = 0; i < n; ++i) x.At(i, c) = sol[i];
+  }
+  return x;
+}
+
+DenseMatrix LuFactorization::Inverse() const {
+  return Solve(DenseMatrix::Identity(order()));
+}
+
+}  // namespace srs

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file lu.h
+/// \brief Dense LU factorization with partial pivoting.
+///
+/// Used by (a) `mtx-SR`'s r²×r² Sherman–Morrison–Woodbury system and
+/// (b) the closed-form RWR `(I − C·W)⁻¹` reference on small graphs.
+
+#include <cstdint>
+#include <vector>
+
+#include "srs/common/result.h"
+#include "srs/matrix/dense_matrix.h"
+
+namespace srs {
+
+/// \brief LU factorization `P·A = L·U` of a square matrix.
+class LuFactorization {
+ public:
+  /// Factorizes `a`; returns Internal if the matrix is numerically singular.
+  static Result<LuFactorization> Compute(const DenseMatrix& a,
+                                         double pivot_tolerance = 1e-300);
+
+  /// Solves `A x = b` for one right-hand side (b.size() == n).
+  std::vector<double> Solve(const std::vector<double>& b) const;
+
+  /// Solves `A X = B` column-wise for a dense RHS.
+  DenseMatrix Solve(const DenseMatrix& b) const;
+
+  /// Returns `A⁻¹` (solves against the identity).
+  DenseMatrix Inverse() const;
+
+  int64_t order() const { return lu_.rows(); }
+
+ private:
+  LuFactorization(DenseMatrix lu, std::vector<int64_t> perm)
+      : lu_(std::move(lu)), perm_(std::move(perm)) {}
+
+  DenseMatrix lu_;            // combined L (unit lower) and U
+  std::vector<int64_t> perm_;  // row permutation
+};
+
+}  // namespace srs

@@ -1,0 +1,105 @@
+#include "srs/matrix/ops.h"
+
+#include <cmath>
+
+namespace srs {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  SRS_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y) {
+  SRS_CHECK_EQ(x.size(), y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+void Scale(double alpha, std::vector<double>* x) {
+  for (double& v : *x) v *= alpha;
+}
+
+double Norm2(const std::vector<double>& x) { return std::sqrt(Dot(x, x)); }
+
+double MaxAbsDiff(const std::vector<double>& a, const std::vector<double>& b) {
+  SRS_CHECK_EQ(a.size(), b.size());
+  double best = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    best = std::max(best, std::fabs(a[i] - b[i]));
+  }
+  return best;
+}
+
+double Sum(const std::vector<double>& x) {
+  double sum = 0.0;
+  for (double v : x) sum += v;
+  return sum;
+}
+
+DenseMatrix DensePower(const DenseMatrix& m, int64_t k) {
+  SRS_CHECK(m.square());
+  SRS_CHECK_GE(k, 0);
+  DenseMatrix result = DenseMatrix::Identity(m.rows());
+  DenseMatrix base = m;
+  int64_t e = k;
+  while (e > 0) {
+    if (e & 1) result = Multiply(result, base);
+    e >>= 1;
+    if (e > 0) base = Multiply(base, base);
+  }
+  return result;
+}
+
+void SymmetrizeScaled(const DenseMatrix& m, double half_c, DenseMatrix* out) {
+  SRS_CHECK(m.square());
+  const int64_t n = m.rows();
+  if (out->rows() != n || out->cols() != n) *out = DenseMatrix(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      out->At(i, j) = half_c * (m.At(i, j) + m.At(j, i));
+    }
+  }
+}
+
+namespace {
+
+/// Shared row-wise sparse product; `boolean` collapses values to 1.0.
+CsrMatrix SparseMultiplyImpl(const CsrMatrix& a, const CsrMatrix& b,
+                             bool boolean) {
+  SRS_CHECK_EQ(a.cols(), b.rows());
+  CsrMatrix::Builder builder(a.rows(), b.cols());
+  std::vector<double> accum(b.cols(), 0.0);
+  std::vector<int32_t> touched;
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    touched.clear();
+    for (int64_t ka = a.row_ptr()[i]; ka < a.row_ptr()[i + 1]; ++ka) {
+      const int32_t k = a.col_idx()[ka];
+      const double av = a.values()[ka];
+      for (int64_t kb = b.row_ptr()[k]; kb < b.row_ptr()[k + 1]; ++kb) {
+        const int32_t j = b.col_idx()[kb];
+        if (accum[j] == 0.0) touched.push_back(j);
+        accum[j] += av * b.values()[kb];
+      }
+    }
+    for (int32_t j : touched) {
+      if (accum[j] != 0.0) {
+        SRS_CHECK_OK(builder.Add(i, j, boolean ? 1.0 : accum[j]));
+      }
+      accum[j] = 0.0;
+    }
+  }
+  return builder.Build().MoveValueOrDie();
+}
+
+}  // namespace
+
+CsrMatrix BooleanMultiply(const CsrMatrix& a, const CsrMatrix& b) {
+  return SparseMultiplyImpl(a, b, /*boolean=*/true);
+}
+
+CsrMatrix SparseMultiply(const CsrMatrix& a, const CsrMatrix& b) {
+  return SparseMultiplyImpl(a, b, /*boolean=*/false);
+}
+
+}  // namespace srs

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file ops.h
+/// \brief Shared vector/matrix kernels used across the algorithm modules.
+
+#include <cstdint>
+#include <vector>
+
+#include "srs/matrix/csr_matrix.h"
+#include "srs/matrix/dense_matrix.h"
+
+namespace srs {
+
+/// Dot product of equal-length vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// `y += alpha * x` for equal-length vectors.
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y);
+
+/// Scales `x` in place.
+void Scale(double alpha, std::vector<double>* x);
+
+/// Euclidean norm.
+double Norm2(const std::vector<double>& x);
+
+/// Max-abs difference between two equal-length vectors.
+double MaxAbsDiff(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Sum of entries.
+double Sum(const std::vector<double>& x);
+
+/// Returns `mᵏ` for a square dense matrix (repeated squaring).
+DenseMatrix DensePower(const DenseMatrix& m, int64_t k);
+
+/// Computes `(C/2)(M + Mᵀ)` — the symmetrization step of the SimRank*
+/// recursion (Eq. 14) — in place into `out` (resized as needed).
+void SymmetrizeScaled(const DenseMatrix& m, double half_c, DenseMatrix* out);
+
+/// Boolean sparse product over {0,1}: returns a CSR matrix whose (i,j) entry
+/// is 1 iff `sum_k a(i,k) b(k,j) > 0`. Used by the zero-similarity analyzer
+/// (path existence, Lemma 1) where counts can overflow but existence cannot.
+CsrMatrix BooleanMultiply(const CsrMatrix& a, const CsrMatrix& b);
+
+/// Sparse × sparse numeric product (row-wise gather). Intended for the small
+/// path-counting fixtures, not for web-scale graphs.
+CsrMatrix SparseMultiply(const CsrMatrix& a, const CsrMatrix& b);
+
+}  // namespace srs

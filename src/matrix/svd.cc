@@ -1,0 +1,216 @@
+#include "srs/matrix/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "srs/common/rng.h"
+#include "srs/matrix/ops.h"
+
+namespace srs {
+
+Result<SvdResult> ComputeSvd(const DenseMatrix& a, const SvdOptions& options) {
+  if (!a.square()) {
+    return Status::InvalidArgument("ComputeSvd requires a square matrix");
+  }
+  const int64_t n = a.rows();
+
+  // One-sided Jacobi: orthogonalize the columns of a working copy W = A·V by
+  // successive plane rotations; at convergence the column norms are the
+  // singular values, the normalized columns form U, and the accumulated
+  // rotations form V.
+  DenseMatrix w = a;
+  DenseMatrix v = DenseMatrix::Identity(n);
+
+  auto column_dot = [&](const DenseMatrix& m, int64_t p, int64_t q) {
+    double sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) sum += m.At(i, p) * m.At(i, q);
+    return sum;
+  };
+  auto rotate_columns = [&](DenseMatrix* m, int64_t p, int64_t q, double c,
+                            double s) {
+    for (int64_t i = 0; i < m->rows(); ++i) {
+      const double mp = m->At(i, p);
+      const double mq = m->At(i, q);
+      m->At(i, p) = c * mp - s * mq;
+      m->At(i, q) = s * mp + c * mq;
+    }
+  };
+
+  bool converged = false;
+  for (int sweep = 0; sweep < options.max_sweeps && !converged; ++sweep) {
+    converged = true;
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        const double app = column_dot(w, p, p);
+        const double aqq = column_dot(w, q, q);
+        const double apq = column_dot(w, p, q);
+        // Relative criterion plus an absolute floor: for rank-deficient
+        // inputs two near-null columns can stay maximally correlated at
+        // round-off scale forever, so tiny |apq| must not keep the sweep
+        // alive.
+        if (std::fabs(apq) <= options.tolerance * std::sqrt(app * aqq) ||
+            std::fabs(apq) <= 1e-30) {
+          continue;
+        }
+        converged = false;
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        rotate_columns(&w, p, q, c, s);
+        rotate_columns(&v, p, q, c, s);
+      }
+    }
+  }
+  if (!converged) {
+    return Status::Internal("one-sided Jacobi SVD failed to converge");
+  }
+
+  // Extract singular values and U; sort descending.
+  std::vector<double> sigma(n);
+  for (int64_t j = 0; j < n; ++j) sigma[j] = std::sqrt(column_dot(w, j, j));
+
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int64_t x, int64_t y) { return sigma[x] > sigma[y]; });
+
+  SvdResult result;
+  result.u = DenseMatrix(n, n);
+  result.v = DenseMatrix(n, n);
+  result.sigma.resize(n);
+  for (int64_t jj = 0; jj < n; ++jj) {
+    const int64_t j = order[jj];
+    result.sigma[jj] = sigma[j];
+    if (sigma[j] > 1e-300) {
+      for (int64_t i = 0; i < n; ++i) {
+        result.u.At(i, jj) = w.At(i, j) / sigma[j];
+        result.v.At(i, jj) = v.At(i, j);
+      }
+    } else {
+      // Null-space column: keep V's column, leave U's column zero (the
+      // sigma=0 component never contributes to reconstructions).
+      for (int64_t i = 0; i < n; ++i) result.v.At(i, jj) = v.At(i, j);
+    }
+  }
+  return result;
+}
+
+Result<SvdResult> ComputeTruncatedSvdSparse(const CsrMatrix& a, int64_t rank,
+                                            int power_iterations,
+                                            uint64_t seed) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument(
+        "ComputeTruncatedSvdSparse requires a square matrix");
+  }
+  const int64_t n = a.rows();
+  const int64_t r = std::min(rank, n);
+  if (r <= 0) return Status::InvalidArgument("rank must be positive");
+
+  const CsrMatrix at = a.Transposed();
+
+  // Column-block V (n×r), orthonormalized by modified Gram–Schmidt.
+  Rng rng(seed);
+  DenseMatrix v(n, r);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < r; ++j) {
+      v.At(i, j) = rng.UniformDouble() * 2.0 - 1.0;
+    }
+  }
+
+  std::vector<double> col(static_cast<size_t>(n));
+  std::vector<double> tmp(static_cast<size_t>(n));
+  auto orthonormalize = [&](DenseMatrix* m) {
+    for (int64_t j = 0; j < r; ++j) {
+      for (int64_t i = 0; i < n; ++i) col[static_cast<size_t>(i)] = m->At(i, j);
+      for (int64_t p = 0; p < j; ++p) {
+        double dot = 0.0;
+        for (int64_t i = 0; i < n; ++i) dot += m->At(i, p) * col[static_cast<size_t>(i)];
+        for (int64_t i = 0; i < n; ++i) col[static_cast<size_t>(i)] -= dot * m->At(i, p);
+      }
+      double norm = 0.0;
+      for (double x : col) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm < 1e-14) {
+        // Degenerate direction: replace with a fresh random unit vector.
+        for (double& x : col) x = rng.UniformDouble() * 2.0 - 1.0;
+        norm = std::sqrt(Dot(col, col));
+      }
+      for (int64_t i = 0; i < n; ++i) m->At(i, j) = col[static_cast<size_t>(i)] / norm;
+    }
+  };
+
+  orthonormalize(&v);
+  for (int iter = 0; iter < power_iterations; ++iter) {
+    // V <- orth(Aᵀ(A V)): one subspace-iteration step on AᵀA.
+    for (int64_t j = 0; j < r; ++j) {
+      for (int64_t i = 0; i < n; ++i) col[static_cast<size_t>(i)] = v.At(i, j);
+      a.MultiplyVector(col.data(), tmp.data());
+      at.MultiplyVector(tmp.data(), col.data());
+      for (int64_t i = 0; i < n; ++i) v.At(i, j) = col[static_cast<size_t>(i)];
+    }
+    orthonormalize(&v);
+  }
+
+  // Rayleigh–Ritz refinement: within the converged subspace, nearly-equal
+  // singular values leave the basis mixed. Diagonalize the projected Gram
+  // matrix M = (AV)ᵀ(AV) = P diag(σ²) Pᵀ with the small dense Jacobi SVD
+  // and rotate V by P — then σ and the factor pair are correct up to the
+  // subspace approximation error.
+  DenseMatrix w(n, r);  // A·V
+  for (int64_t j = 0; j < r; ++j) {
+    for (int64_t i = 0; i < n; ++i) col[static_cast<size_t>(i)] = v.At(i, j);
+    a.MultiplyVector(col.data(), tmp.data());
+    for (int64_t i = 0; i < n; ++i) w.At(i, j) = tmp[static_cast<size_t>(i)];
+  }
+  const DenseMatrix gram = MultiplyTransposed(w.Transposed(), w.Transposed());
+  SRS_ASSIGN_OR_RETURN(SvdResult gram_svd, ComputeSvd(gram));
+
+  SvdResult out;
+  out.v = Multiply(v, gram_svd.u);  // rotated right factor (sorted by σ)
+  out.u = Multiply(w, gram_svd.u);  // A·V·P = U·diag(σ)
+  out.sigma.assign(static_cast<size_t>(r), 0.0);
+  for (int64_t j = 0; j < r; ++j) {
+    const double sigma = std::sqrt(std::max(0.0, gram_svd.sigma[static_cast<size_t>(j)]));
+    out.sigma[static_cast<size_t>(j)] = sigma;
+    if (sigma > 1e-300) {
+      for (int64_t i = 0; i < n; ++i) out.u.At(i, j) /= sigma;
+    } else {
+      for (int64_t i = 0; i < n; ++i) out.u.At(i, j) = 0.0;
+    }
+  }
+  return out;
+}
+
+SvdResult TruncateSvd(const SvdResult& svd, int64_t rank,
+                      double sigma_threshold) {
+  const int64_t n = svd.u.rows();
+  int64_t k = std::min<int64_t>(rank, static_cast<int64_t>(svd.sigma.size()));
+  while (k > 0 && svd.sigma[k - 1] <= sigma_threshold) --k;
+
+  SvdResult out;
+  out.u = DenseMatrix(n, k);
+  out.v = DenseMatrix(n, k);
+  out.sigma.assign(svd.sigma.begin(), svd.sigma.begin() + k);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < k; ++j) {
+      out.u.At(i, j) = svd.u.At(i, j);
+      out.v.At(i, j) = svd.v.At(i, j);
+    }
+  }
+  return out;
+}
+
+DenseMatrix ReconstructFromSvd(const SvdResult& svd) {
+  const int64_t n = svd.u.rows();
+  const int64_t k = static_cast<int64_t>(svd.sigma.size());
+  DenseMatrix us = svd.u;  // U * diag(sigma)
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < k; ++j) us.At(i, j) *= svd.sigma[j];
+  }
+  return MultiplyTransposed(us, svd.v);
+}
+
+}  // namespace srs

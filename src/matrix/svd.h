@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file svd.h
+/// \brief Dense singular value decomposition (one-sided Jacobi).
+///
+/// Needed by the `mtx-SR` baseline (Li et al., EDBT 2010), which computes
+/// SimRank from a rank-r SVD of the backward transition matrix `Q`. The
+/// one-sided Jacobi method is simple, numerically robust, and entirely
+/// adequate at the dense sizes the baseline is benchmarked at (n ≲ 2000).
+
+#include <cstdint>
+
+#include "srs/common/result.h"
+#include "srs/matrix/csr_matrix.h"
+#include "srs/matrix/dense_matrix.h"
+
+namespace srs {
+
+/// \brief Result of a (thin) SVD `A = U diag(S) Vᵀ`.
+struct SvdResult {
+  DenseMatrix u;               ///< n × k, orthonormal columns.
+  std::vector<double> sigma;   ///< k singular values, descending.
+  DenseMatrix v;               ///< n × k, orthonormal columns.
+};
+
+/// Options for ComputeSvd.
+struct SvdOptions {
+  int max_sweeps = 60;        ///< Jacobi sweeps before giving up.
+  double tolerance = 1e-12;   ///< off-diagonal convergence threshold.
+};
+
+/// Computes the full thin SVD of a square dense matrix via one-sided Jacobi
+/// rotations. Returns Internal if the iteration fails to converge within
+/// `options.max_sweeps` sweeps.
+Result<SvdResult> ComputeSvd(const DenseMatrix& a,
+                             const SvdOptions& options = {});
+
+/// Computes a rank-`rank` truncated SVD of a sparse matrix by block
+/// subspace iteration (power iteration on AᵀA with re-orthonormalization).
+/// O(iterations · rank · nnz) — this is what makes the mtx-SR baseline
+/// runnable at benchmark sizes, where a dense Jacobi SVD would dominate the
+/// measurement. Accuracy is adequate when the spectrum decays (the paper's
+/// low-rank-graph premise for mtx-SR).
+Result<SvdResult> ComputeTruncatedSvdSparse(const CsrMatrix& a, int64_t rank,
+                                            int power_iterations = 12,
+                                            uint64_t seed = 1);
+
+/// Truncates an SVD to its top `rank` components (or fewer if sigma has
+/// fewer entries above `sigma_threshold`).
+SvdResult TruncateSvd(const SvdResult& svd, int64_t rank,
+                      double sigma_threshold = 1e-12);
+
+/// Reconstructs `U diag(S) Vᵀ` (for tests / error measurement).
+DenseMatrix ReconstructFromSvd(const SvdResult& svd);
+
+}  // namespace srs

@@ -1,0 +1,199 @@
+// Tests for the analysis module: Lemma 1 path counting, the zero-similarity
+// classifier, and the §3.2 contribution-rate anchors.
+
+#include <gtest/gtest.h>
+
+#include "srs/analysis/path_contribution.h"
+#include "srs/analysis/path_count.h"
+#include "srs/analysis/zero_similarity.h"
+#include "srs/core/series_reference.h"
+#include "srs/datasets/datasets.h"
+#include "srs/graph/fixtures.h"
+#include "srs/graph/generators.h"
+
+namespace srs {
+namespace {
+
+TEST(PathCountTest, AllForwardReducesToAdjacencyPower) {
+  const Graph g = CycleGraph(5).ValueOrDie();
+  // On a 5-cycle, A^5 = I: exactly one length-5 path from each node to
+  // itself.
+  std::vector<Step> pattern(5, Step::kForward);
+  const CsrMatrix m = SpecificPathMatrix(g, pattern).ValueOrDie();
+  for (NodeId i = 0; i < 5; ++i) {
+    for (NodeId j = 0; j < 5; ++j) {
+      EXPECT_EQ(m.At(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(PathCountTest, Fig1InLinkPaths) {
+  const Graph g = Fig1CitationGraph();
+  auto id = [&](char c) { return g.FindLabel(std::string(1, c)).ValueOrDie(); };
+  // Example 1: h <- e <- a -> d is the unique (l1=2, l2=1) in-link path.
+  EXPECT_EQ(CountInLinkPaths(g, id('h'), id('d'), 2, 1).ValueOrDie(), 1.0);
+  // h <- e <- a -> b -> f -> d is the unique (l1=2, l2=3) path.
+  EXPECT_EQ(CountInLinkPaths(g, id('h'), id('d'), 2, 3).ValueOrDie(), 1.0);
+  // No symmetric in-link path of length 2 for (h, d).
+  EXPECT_EQ(CountInLinkPaths(g, id('h'), id('d'), 1, 1).ValueOrDie(), 0.0);
+  EXPECT_EQ(CountInLinkPaths(g, id('h'), id('d'), 2, 2).ValueOrDie(), 0.0);
+  // (g, i): sources b and d in the center => two symmetric (1,1) paths.
+  EXPECT_EQ(CountInLinkPaths(g, id('g'), id('i'), 1, 1).ValueOrDie(), 2.0);
+}
+
+TEST(PathCountTest, MixedPatternMatchesLemma1Example) {
+  // Lemma 1's worked pattern on a concrete graph: A·Aᵀ counts common
+  // out-neighbor "wedges" i -> * <- j.
+  const Graph g = Fig1CitationGraph();
+  auto id = [&](char c) { return g.FindLabel(std::string(1, c)).ValueOrDie(); };
+  const CsrMatrix m =
+      SpecificPathMatrix(g, {Step::kForward, Step::kBackward}).ValueOrDie();
+  // b and d both point at {c, g, i}: 3 wedges.
+  EXPECT_EQ(m.At(id('b'), id('d')), 3.0);
+}
+
+TEST(PathCountTest, RejectsBadArguments) {
+  const Graph g = PathGraph(3).ValueOrDie();
+  EXPECT_FALSE(SpecificPathMatrix(g, {}).ok());
+  EXPECT_FALSE(CountInLinkPaths(g, 0, 1, 0, 0).ok());
+  EXPECT_FALSE(CountInLinkPaths(g, 0, 9, 1, 1).ok());
+  EXPECT_FALSE(CountInLinkPaths(g, 0, 1, -1, 2).ok());
+}
+
+TEST(PathPresenceTest, FlagsOnFig1) {
+  const Graph g = Fig1CitationGraph();
+  auto id = [&](char c) { return g.FindLabel(std::string(1, c)).ValueOrDie(); };
+  const PathPresence presence = ComputePathPresence(g, 5);
+
+  const uint8_t hd = presence.At(id('h'), id('d'));
+  EXPECT_TRUE(hd & kHasAnyInLinkPath);
+  EXPECT_TRUE(hd & kHasDissymmetricInLinkPath);
+  EXPECT_FALSE(hd & kHasSymmetricInLinkPath);   // the zero-SimRank defect
+  EXPECT_FALSE(hd & kHasUnidirectionalPath);    // the zero-RWR defect
+
+  const uint8_t af = presence.At(id('a'), id('f'));
+  EXPECT_TRUE(af & kHasUnidirectionalPath);  // a -> b -> f
+
+  const uint8_t gi = presence.At(id('g'), id('i'));
+  EXPECT_TRUE(gi & kHasSymmetricInLinkPath);  // g <- b -> i
+}
+
+TEST(PathPresenceTest, SymmetricFlagIsSymmetric) {
+  const Graph g = Rmat(60, 360, 33).ValueOrDie();
+  const PathPresence presence = ComputePathPresence(g, 4);
+  for (NodeId i = 0; i < g.NumNodes(); ++i) {
+    for (NodeId j = 0; j < g.NumNodes(); ++j) {
+      EXPECT_EQ((presence.At(i, j) & kHasSymmetricInLinkPath) != 0,
+                (presence.At(j, i) & kHasSymmetricInLinkPath) != 0);
+      // An in-link path reversed is an in-link path of (j, i).
+      EXPECT_EQ((presence.At(i, j) & kHasAnyInLinkPath) != 0,
+                (presence.At(j, i) & kHasAnyInLinkPath) != 0);
+    }
+  }
+}
+
+TEST(ZeroSimilarityTest, Fig1Classification) {
+  const Graph g = Fig1CitationGraph();
+  const ZeroSimilarityReport report = AnalyzeZeroSimilarity(g, 5);
+  // 11 nodes -> 110 ordered pairs.
+  EXPECT_EQ(report.simrank.ordered_pairs, 110);
+  EXPECT_GT(report.simrank.completely_dissimilar, 0);
+  EXPECT_GT(report.simrank.related_pairs,
+            report.simrank.completely_dissimilar);
+  EXPECT_GT(report.simrank.AffectedPercent(), 0.0);
+  EXPECT_LE(report.simrank.AffectedPercent(), 100.0);
+  EXPECT_GT(report.rwr.completely_dissimilar, 0);
+}
+
+TEST(ZeroSimilarityTest, DoubleEndedPathIsAllDefect) {
+  // On the §1 path graph every distinct-distance pair is related through
+  // a_0 yet completely dissimilar to SimRank.
+  const Graph g = DoubleEndedPath(3).ValueOrDie();
+  const ZeroSimilarityReport report = AnalyzeZeroSimilarity(g, 6);
+  EXPECT_GT(report.simrank.completely_dissimilar, 0);
+  // All related pairs with unequal distance are completely dissimilar;
+  // equal-distance pairs are symmetric-only (nothing dissymmetric to miss
+  // on a tree? the arms give dissymmetric paths too, so partial > 0).
+  EXPECT_EQ(report.simrank.completely_dissimilar +
+                report.simrank.partially_missing +
+                (report.simrank.related_pairs -
+                 report.simrank.completely_dissimilar -
+                 report.simrank.partially_missing),
+            report.simrank.related_pairs);
+}
+
+TEST(ZeroSimilarityTest, CitationGraphHasHighDefectRate) {
+  // The Fig 6(d) headline: on citation-like graphs the vast majority of
+  // related pairs suffer one of the two defects.
+  const Graph g = MakeCitHepThLike(0.1, 64).ValueOrDie();
+  const ZeroSimilarityReport report = AnalyzeZeroSimilarity(g, 4);
+  ASSERT_GT(report.simrank.related_pairs, 0);
+  const double affected_among_related =
+      static_cast<double>(report.simrank.completely_dissimilar +
+                          report.simrank.partially_missing) /
+      static_cast<double>(report.simrank.related_pairs);
+  EXPECT_GT(affected_among_related, 0.5);
+}
+
+TEST(PathContributionTest, PaperWorkedExamples) {
+  // §3.2: (1-0.8)·0.8³·(1/2³)·binom(3,2) = 0.0384 for h <- e <- a -> d,
+  // and (1-0.8)·0.8⁵·(1/2⁵)·binom(5,2) = 0.0205 for the length-5 path.
+  EXPECT_NEAR(GeometricPathContribution(0.8, 3, 2).ValueOrDie(), 0.0384,
+              1e-10);
+  EXPECT_NEAR(GeometricPathContribution(0.8, 5, 2).ValueOrDie(), 0.02048,
+              1e-10);
+}
+
+TEST(PathContributionTest, SymmetryProfilePeaksAtCenter) {
+  const std::vector<double> profile = SymmetryWeightProfile(6).ValueOrDie();
+  ASSERT_EQ(profile.size(), 7u);
+  double sum = 0.0;
+  for (int a = 0; a <= 6; ++a) {
+    sum += profile[static_cast<size_t>(a)];
+    EXPECT_NEAR(profile[static_cast<size_t>(a)],
+                profile[static_cast<size_t>(6 - a)], 1e-15);  // symmetric
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);  // binomial weights normalize
+  for (int a = 0; a < 3; ++a) {
+    EXPECT_LT(profile[static_cast<size_t>(a)],
+              profile[static_cast<size_t>(a + 1)]);  // increasing to center
+  }
+}
+
+TEST(PathContributionTest, ExponentialSmallerForLongPaths) {
+  // C^l/l! decays faster than C^l: beyond short lengths the exponential
+  // contribution drops below the geometric one (at l<=2 the larger
+  // normalizer e^{-C} > 1-C still dominates), and the per-step decay ratio
+  // is strictly smaller at every length.
+  for (int l : {4, 6, 8}) {
+    EXPECT_LT(ExponentialPathContribution(0.8, l, l / 2).ValueOrDie(),
+              GeometricPathContribution(0.8, l, l / 2).ValueOrDie());
+  }
+  for (int l : {1, 2, 3, 5}) {
+    const double exp_ratio =
+        ExponentialPathContribution(0.8, l + 1, 0).ValueOrDie() /
+        ExponentialPathContribution(0.8, l, 0).ValueOrDie();
+    const double geo_ratio =
+        GeometricPathContribution(0.8, l + 1, 0).ValueOrDie() /
+        GeometricPathContribution(0.8, l, 0).ValueOrDie();
+    EXPECT_LT(exp_ratio, geo_ratio);
+  }
+}
+
+TEST(PathContributionTest, RejectsBadArgs) {
+  EXPECT_FALSE(GeometricPathContribution(1.2, 3, 1).ok());
+  EXPECT_FALSE(GeometricPathContribution(0.8, 3, 4).ok());
+  EXPECT_FALSE(GeometricPathContribution(0.8, -1, 0).ok());
+  EXPECT_FALSE(SymmetryWeightProfile(-1).ok());
+}
+
+TEST(BinomialTest, KnownValues) {
+  EXPECT_EQ(BinomialCoefficient(0, 0), 1.0);
+  EXPECT_EQ(BinomialCoefficient(5, 2), 10.0);
+  EXPECT_EQ(BinomialCoefficient(6, 3), 20.0);
+  EXPECT_EQ(BinomialCoefficient(10, 0), 1.0);
+  EXPECT_EQ(BinomialCoefficient(10, 10), 1.0);
+}
+
+}  // namespace
+}  // namespace srs

@@ -1,0 +1,196 @@
+// Unit tests for common utilities: Rng, Timer, MemoryBudget, TablePrinter,
+// string helpers, logging.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "srs/common/logging.h"
+#include "srs/common/memory_tracker.h"
+#include "srs/common/rng.h"
+#include "srs/common/string_util.h"
+#include "srs/common/table_printer.h"
+#include "srs/common/timer.h"
+
+namespace srs {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformHitsAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    if (v == -2) saw_lo = true;
+    if (v == 2) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // law of large numbers
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.Millis(), 15.0);
+  t.Restart();
+  EXPECT_LT(t.Millis(), 15.0);
+}
+
+TEST(PhaseTimerTest, AccumulatesByPhase) {
+  PhaseTimer pt;
+  pt.Add("a", 1.0);
+  pt.Add("b", 2.0);
+  pt.Add("a", 0.5);
+  EXPECT_DOUBLE_EQ(pt.Total("a"), 1.5);
+  EXPECT_DOUBLE_EQ(pt.Total("b"), 2.0);
+  EXPECT_DOUBLE_EQ(pt.Total("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(pt.GrandTotal(), 3.5);
+  ASSERT_EQ(pt.phases().size(), 2u);
+  EXPECT_EQ(pt.phases()[0], "a");
+}
+
+TEST(PhaseTimerTest, ScopedPhaseRecordsOnExit) {
+  PhaseTimer pt;
+  {
+    ScopedPhase scope(&pt, "work");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(pt.Total("work"), 0.0);
+}
+
+TEST(MemoryBudgetTest, TracksPeak) {
+  MemoryBudget budget;
+  budget.Allocate(100);
+  budget.Allocate(50);
+  EXPECT_EQ(budget.current(), 150u);
+  EXPECT_EQ(budget.peak(), 150u);
+  budget.Release(120);
+  EXPECT_EQ(budget.current(), 30u);
+  EXPECT_EQ(budget.peak(), 150u);
+  budget.Allocate(10);
+  EXPECT_EQ(budget.peak(), 150u);
+  budget.Reset();
+  EXPECT_EQ(budget.current(), 0u);
+  EXPECT_EQ(budget.peak(), 0u);
+}
+
+TEST(MemoryTrackerTest, ProcessRssIsPositiveOnLinux) {
+#if defined(__linux__)
+  EXPECT_GT(ProcessPeakRssBytes(), 0u);
+  EXPECT_GT(ProcessCurrentRssBytes(), 0u);
+#endif
+}
+
+TEST(FormatBytesTest, HumanReadable) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1536), "1.5 KB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.0 MB");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "2.5"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 2.5   |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatsNumbers) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(int64_t{42}), "42");
+}
+
+TEST(StringUtilTest, SplitTokens) {
+  auto tokens = SplitTokens("a  b\tc", " \t");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "a");
+  EXPECT_EQ(tokens[2], "c");
+  EXPECT_TRUE(SplitTokens("", " ").empty());
+  EXPECT_TRUE(SplitTokens("   ", " ").empty());
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, ParseUint64) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("123", &v));
+  EXPECT_EQ(v, 123u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));  // UINT64_MAX
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &v));  // overflow
+  EXPECT_FALSE(ParseUint64("12a", &v));
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("-1", &v));
+}
+
+TEST(StringUtilTest, StartsWithAndJoin) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+}
+
+TEST(LoggingTest, LevelGate) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SRS_LOG(Info) << "should be swallowed";
+  SetLogLevel(LogLevel::kWarning);
+}
+
+}  // namespace
+}  // namespace srs

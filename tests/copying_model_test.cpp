@@ -1,0 +1,131 @@
+// Tests for the copying-model and collaboration-clique generators (the
+// dataset stand-ins' structural engines) and the sparse subspace SVD.
+
+#include <gtest/gtest.h>
+
+#include "srs/bigraph/compressed_graph.h"
+#include "srs/graph/generators.h"
+#include "srs/graph/stats.h"
+#include "srs/matrix/svd.h"
+
+namespace srs {
+namespace {
+
+TEST(CopyingModelTest, DensityNearTarget) {
+  for (double d : {4.0, 8.0, 12.6}) {
+    const Graph g = CopyingModelGraph(2000, d, 0.65, 5).ValueOrDie();
+    EXPECT_NEAR(g.Density(), d, d * 0.1) << "target " << d;
+  }
+}
+
+TEST(CopyingModelTest, IsADag) {
+  // Every edge points from a newer (higher id) to an older node.
+  const Graph g = CopyingModelGraph(500, 6.0, 0.7, 9).ValueOrDie();
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      EXPECT_LT(v, u);
+    }
+  }
+}
+
+TEST(CopyingModelTest, PowerLawInDegrees) {
+  // Copying creates heavy in-degree tails: max in-degree far above the
+  // mean, unlike a uniform-attachment graph.
+  const Graph g = CopyingModelGraph(2000, 8.0, 0.7, 11).ValueOrDie();
+  const GraphStats stats = ComputeStats(g);
+  EXPECT_GT(stats.max_in_degree, 8 * stats.avg_in_degree);
+}
+
+TEST(CopyingModelTest, CopyingCreatesCompressibleStructure) {
+  // The premise of the Fig 6(e)-(g) experiments: shared reference lists
+  // make edge concentration effective. With copying off, compression
+  // should collapse.
+  const Graph copied = CopyingModelGraph(1500, 10.0, 0.7, 13).ValueOrDie();
+  const Graph uncopied = CopyingModelGraph(1500, 10.0, 0.0, 13).ValueOrDie();
+  const double r_copied =
+      CompressedGraph::Build(copied).CompressionRatioPercent();
+  const double r_uncopied =
+      CompressedGraph::Build(uncopied).CompressionRatioPercent();
+  EXPECT_GT(r_copied, 10.0);
+  EXPECT_GT(r_copied, 2.0 * r_uncopied + 1.0);
+}
+
+TEST(CopyingModelTest, DeterministicPerSeed) {
+  const Graph a = CopyingModelGraph(300, 5.0, 0.6, 17).ValueOrDie();
+  const Graph b = CopyingModelGraph(300, 5.0, 0.6, 17).ValueOrDie();
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+  for (NodeId u = 0; u < a.NumNodes(); ++u) {
+    auto na = a.OutNeighbors(u);
+    auto nb = b.OutNeighbors(u);
+    ASSERT_EQ(na.size(), nb.size());
+    EXPECT_TRUE(std::equal(na.begin(), na.end(), nb.begin()));
+  }
+}
+
+TEST(CopyingModelTest, RejectsBadArgs) {
+  EXPECT_FALSE(CopyingModelGraph(0, 5.0, 0.5, 1).ok());
+  EXPECT_FALSE(CopyingModelGraph(10, -1.0, 0.5, 1).ok());
+  EXPECT_FALSE(CopyingModelGraph(10, 5.0, 1.5, 1).ok());
+}
+
+TEST(CollaborationCliqueTest, UndirectedAndSimple) {
+  const Graph g = CollaborationCliqueGraph(400, 300, 2, 5, 3).ValueOrDie();
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    EXPECT_FALSE(g.HasEdge(u, u));
+    for (NodeId v : g.OutNeighbors(u)) {
+      EXPECT_TRUE(g.HasEdge(v, u));
+    }
+  }
+}
+
+TEST(CollaborationCliqueTest, TeamsFormCliques) {
+  // With a single large team the graph is one clique.
+  const Graph g = CollaborationCliqueGraph(5, 1, 5, 5, 4).ValueOrDie();
+  EXPECT_EQ(g.NumEdges(), 20);  // 5*4 directed edges
+}
+
+TEST(CollaborationCliqueTest, PreferentialAttachmentSkew) {
+  const Graph g = CollaborationCliqueGraph(1500, 1200, 2, 5, 5).ValueOrDie();
+  const GraphStats stats = ComputeStats(g);
+  EXPECT_GT(stats.max_in_degree, 4 * stats.avg_in_degree);
+}
+
+TEST(CollaborationCliqueTest, RejectsBadArgs) {
+  EXPECT_FALSE(CollaborationCliqueGraph(0, 1, 2, 3, 1).ok());
+  EXPECT_FALSE(CollaborationCliqueGraph(10, 1, 1, 3, 1).ok());
+  EXPECT_FALSE(CollaborationCliqueGraph(10, 1, 4, 3, 1).ok());
+  EXPECT_FALSE(CollaborationCliqueGraph(3, 1, 2, 5, 1).ok());
+}
+
+TEST(SubspaceSvdTest, MatchesDenseJacobiOnTopSigmas) {
+  const Graph g = CopyingModelGraph(120, 5.0, 0.5, 21).ValueOrDie();
+  const CsrMatrix q = g.BackwardTransition();
+  const SvdResult dense = ComputeSvd(q.ToDense()).ValueOrDie();
+  const SvdResult sparse =
+      ComputeTruncatedSvdSparse(q, 10, 30, 2).ValueOrDie();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(sparse.sigma[static_cast<size_t>(i)],
+                dense.sigma[static_cast<size_t>(i)], 0.02)
+        << "sigma_" << i;
+  }
+}
+
+TEST(SubspaceSvdTest, FactorsOrthonormal) {
+  const Graph g = CopyingModelGraph(200, 6.0, 0.6, 23).ValueOrDie();
+  const SvdResult svd =
+      ComputeTruncatedSvdSparse(g.BackwardTransition(), 8, 20, 3).ValueOrDie();
+  DenseMatrix vtv = MultiplyTransposed(svd.v.Transposed(), svd.v.Transposed());
+  EXPECT_LT(vtv.MaxAbsDiff(DenseMatrix::Identity(8)), 1e-8);
+}
+
+TEST(SubspaceSvdTest, RejectsBadArgs) {
+  CsrMatrix::Builder b(3, 4);
+  EXPECT_FALSE(
+      ComputeTruncatedSvdSparse(b.Build().MoveValueOrDie(), 2).ok());
+  CsrMatrix::Builder sq(3, 3);
+  EXPECT_FALSE(
+      ComputeTruncatedSvdSparse(sq.Build().MoveValueOrDie(), 0).ok());
+}
+
+}  // namespace
+}  // namespace srs

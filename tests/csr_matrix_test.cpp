@@ -1,0 +1,170 @@
+// Unit tests for CsrMatrix, its builder, and sparse kernels.
+
+#include "srs/matrix/csr_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "srs/matrix/dense_matrix.h"
+#include "srs/matrix/ops.h"
+
+namespace srs {
+namespace {
+
+CsrMatrix Build3x3() {
+  // [ 1 0 2 ]
+  // [ 0 0 0 ]
+  // [ 3 4 0 ]
+  CsrMatrix::Builder b(3, 3);
+  SRS_CHECK_OK(b.Add(0, 0, 1.0));
+  SRS_CHECK_OK(b.Add(0, 2, 2.0));
+  SRS_CHECK_OK(b.Add(2, 0, 3.0));
+  SRS_CHECK_OK(b.Add(2, 1, 4.0));
+  return b.Build().MoveValueOrDie();
+}
+
+TEST(CsrMatrixTest, BuildAndAccess) {
+  CsrMatrix m = Build3x3();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_EQ(m.At(0, 0), 1.0);
+  EXPECT_EQ(m.At(0, 1), 0.0);
+  EXPECT_EQ(m.At(0, 2), 2.0);
+  EXPECT_EQ(m.At(1, 1), 0.0);
+  EXPECT_EQ(m.At(2, 1), 4.0);
+  EXPECT_EQ(m.RowNnz(0), 2);
+  EXPECT_EQ(m.RowNnz(1), 0);
+}
+
+TEST(CsrMatrixTest, BuilderSumsDuplicates) {
+  CsrMatrix::Builder b(2, 2);
+  SRS_CHECK_OK(b.Add(0, 1, 1.0));
+  SRS_CHECK_OK(b.Add(0, 1, 2.5));
+  CsrMatrix m = b.Build().MoveValueOrDie();
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_EQ(m.At(0, 1), 3.5);
+}
+
+TEST(CsrMatrixTest, BuilderRejectsOutOfRange) {
+  CsrMatrix::Builder b(2, 2);
+  EXPECT_TRUE(b.Add(2, 0, 1.0).IsInvalidArgument());
+  EXPECT_TRUE(b.Add(0, -1, 1.0).IsInvalidArgument());
+  EXPECT_TRUE(b.Add(0, 1, 1.0).ok());
+}
+
+TEST(CsrMatrixTest, ColumnsSortedWithinRows) {
+  CsrMatrix::Builder b(1, 5);
+  SRS_CHECK_OK(b.Add(0, 4, 1.0));
+  SRS_CHECK_OK(b.Add(0, 1, 1.0));
+  SRS_CHECK_OK(b.Add(0, 3, 1.0));
+  CsrMatrix m = b.Build().MoveValueOrDie();
+  ASSERT_EQ(m.nnz(), 3);
+  EXPECT_EQ(m.col_idx()[0], 1);
+  EXPECT_EQ(m.col_idx()[1], 3);
+  EXPECT_EQ(m.col_idx()[2], 4);
+}
+
+TEST(CsrMatrixTest, TransposedMatchesDense) {
+  CsrMatrix m = Build3x3();
+  DenseMatrix expected = m.ToDense().Transposed();
+  EXPECT_EQ(m.Transposed().ToDense().MaxAbsDiff(expected), 0.0);
+}
+
+TEST(CsrMatrixTest, TransposeIsInvolution) {
+  CsrMatrix m = Build3x3();
+  EXPECT_EQ(m.Transposed().Transposed().ToDense().MaxAbsDiff(m.ToDense()),
+            0.0);
+}
+
+TEST(CsrMatrixTest, MultiplyVector) {
+  CsrMatrix m = Build3x3();
+  const double x[3] = {1.0, 2.0, 3.0};
+  double y[3] = {-1, -1, -1};
+  m.MultiplyVector(x, y);
+  EXPECT_EQ(y[0], 7.0);   // 1*1 + 2*3
+  EXPECT_EQ(y[1], 0.0);   // empty row
+  EXPECT_EQ(y[2], 11.0);  // 3*1 + 4*2
+}
+
+TEST(CsrMatrixTest, MultiplyDenseMatchesDenseGemm) {
+  CsrMatrix m = Build3x3();
+  DenseMatrix d = DenseMatrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  DenseMatrix expected = Multiply(m.ToDense(), d);
+  EXPECT_LT(m.MultiplyDense(d).MaxAbsDiff(expected), 1e-15);
+}
+
+TEST(CsrMatrixTest, LeftMultiplyDenseMatchesDenseGemm) {
+  CsrMatrix m = Build3x3();
+  DenseMatrix d = DenseMatrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  DenseMatrix expected = Multiply(d, m.ToDense());
+  EXPECT_LT(m.LeftMultiplyDense(d).MaxAbsDiff(expected), 1e-15);
+}
+
+TEST(CsrMatrixTest, RowNormalized) {
+  CsrMatrix m = Build3x3();
+  CsrMatrix norm = RowNormalized(m);
+  EXPECT_NEAR(norm.At(0, 0), 1.0 / 3.0, 1e-15);
+  EXPECT_NEAR(norm.At(0, 2), 2.0 / 3.0, 1e-15);
+  EXPECT_EQ(norm.At(1, 0), 0.0);  // zero row stays zero
+  EXPECT_NEAR(norm.At(2, 0) + norm.At(2, 1), 1.0, 1e-15);
+}
+
+TEST(CsrMatrixTest, EmptyMatrix) {
+  CsrMatrix::Builder b(0, 0);
+  CsrMatrix m = b.Build().MoveValueOrDie();
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.nnz(), 0);
+}
+
+TEST(OpsTest, SparseMultiplyMatchesDense) {
+  CsrMatrix a = Build3x3();
+  CsrMatrix b = a.Transposed();
+  DenseMatrix expected = Multiply(a.ToDense(), b.ToDense());
+  EXPECT_LT(SparseMultiply(a, b).ToDense().MaxAbsDiff(expected), 1e-15);
+}
+
+TEST(OpsTest, BooleanMultiplyGivesExistence) {
+  CsrMatrix a = Build3x3();
+  CsrMatrix prod = BooleanMultiply(a, a);
+  const DenseMatrix num = Multiply(a.ToDense(), a.ToDense());
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(prod.At(i, j), num.At(i, j) != 0.0 ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(OpsTest, VectorHelpers) {
+  std::vector<double> a = {1, 2, 3};
+  std::vector<double> b = {4, 5, 6};
+  EXPECT_EQ(Dot(a, b), 32.0);
+  EXPECT_EQ(Sum(a), 6.0);
+  Axpy(2.0, a, &b);
+  EXPECT_EQ(b[2], 12.0);
+  Scale(0.5, &b);
+  EXPECT_EQ(b[0], 3.0);
+  EXPECT_DOUBLE_EQ(Norm2(a), std::sqrt(14.0));
+  EXPECT_EQ(MaxAbsDiff(a, std::vector<double>{1, 2, 5}), 2.0);
+}
+
+TEST(OpsTest, DensePower) {
+  DenseMatrix m = DenseMatrix::FromRows({{1, 1}, {0, 1}});
+  DenseMatrix p5 = DensePower(m, 5);
+  EXPECT_EQ(p5.At(0, 1), 5.0);
+  EXPECT_EQ(DensePower(m, 0).MaxAbsDiff(DenseMatrix::Identity(2)), 0.0);
+  EXPECT_EQ(DensePower(m, 1).MaxAbsDiff(m), 0.0);
+}
+
+TEST(OpsTest, SymmetrizeScaled) {
+  DenseMatrix m = DenseMatrix::FromRows({{0, 2}, {4, 6}});
+  DenseMatrix out;
+  SymmetrizeScaled(m, 0.5, &out);
+  EXPECT_EQ(out.At(0, 1), 3.0);
+  EXPECT_EQ(out.At(1, 0), 3.0);
+  EXPECT_EQ(out.At(1, 1), 6.0);
+}
+
+}  // namespace
+}  // namespace srs

@@ -1,0 +1,175 @@
+// Tests for the dataset stand-ins and the ground-truth simulator.
+
+#include <gtest/gtest.h>
+
+#include "srs/datasets/datasets.h"
+#include "srs/datasets/ground_truth.h"
+#include "srs/graph/stats.h"
+
+namespace srs {
+namespace {
+
+TEST(DatasetsTest, RosterMatchesFig5) {
+  const auto roster = PaperDatasets();
+  ASSERT_EQ(roster.size(), 7u);
+  EXPECT_EQ(roster[0].name, "CitHepTh");
+  EXPECT_NEAR(roster[0].paper_density, 12.6, 0.01);
+  EXPECT_TRUE(roster[0].directed);
+  EXPECT_EQ(roster[1].name, "DBLP");
+  EXPECT_FALSE(roster[1].directed);
+  EXPECT_EQ(roster[6].name, "CitPatent");
+}
+
+TEST(DatasetsTest, StandinsPreserveDensity) {
+  struct Case {
+    Result<Graph> graph;
+    double density;
+    double tolerance;
+  };
+  // Undirected stand-ins count both edge directions, matching how |E| is
+  // reported for the paper's undirected datasets.
+  Case cases[] = {
+      {MakeCitHepThLike(), 12.6, 0.7},
+      {MakeDblpLike(), 5.8, 0.4},
+      {MakeDblpSeries(0), 4.3, 0.4},
+      {MakeDblpSeries(1), 5.5, 0.4},
+      {MakeDblpSeries(2), 6.3, 0.4},
+      {MakeWebGoogleLike(), 5.6, 0.4},
+      {MakeCitPatentLike(), 4.5, 0.4},
+  };
+  for (auto& c : cases) {
+    ASSERT_TRUE(c.graph.ok());
+    EXPECT_NEAR(c.graph.ValueOrDie().Density(), c.density, c.tolerance);
+  }
+}
+
+TEST(DatasetsTest, UndirectedStandinsAreSymmetric) {
+  const Graph g = MakeDblpLike(0.3).ValueOrDie();
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      EXPECT_TRUE(g.HasEdge(v, u));
+    }
+  }
+}
+
+TEST(DatasetsTest, ScaleParameterScalesNodes) {
+  const Graph small = MakeCitHepThLike(0.1).ValueOrDie();
+  const Graph large = MakeCitHepThLike(0.5).ValueOrDie();
+  EXPECT_NEAR(static_cast<double>(large.NumNodes()) / small.NumNodes(), 5.0,
+              0.5);
+}
+
+TEST(DatasetsTest, DeterministicPerSeed) {
+  const Graph a = MakeWebGoogleLike(0.2, 5).ValueOrDie();
+  const Graph b = MakeWebGoogleLike(0.2, 5).ValueOrDie();
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+  for (NodeId u = 0; u < a.NumNodes(); ++u) {
+    auto na = a.OutNeighbors(u);
+    auto nb = b.OutNeighbors(u);
+    ASSERT_EQ(na.size(), nb.size());
+    EXPECT_TRUE(std::equal(na.begin(), na.end(), nb.begin()));
+  }
+}
+
+TEST(DatasetsTest, DensitySweep) {
+  for (double d : {4.0, 8.0, 16.0}) {
+    const Graph g = MakeDensitySweepGraph(800, d).ValueOrDie();
+    EXPECT_NEAR(g.Density(), d, d * 0.1);
+  }
+  EXPECT_FALSE(MakeDensitySweepGraph(0, 4.0).ok());
+  EXPECT_FALSE(MakeDensitySweepGraph(100, -1.0).ok());
+}
+
+TEST(DatasetsTest, CitationCountsAreInDegrees) {
+  const Graph g = MakeCitHepThLike(0.05).ValueOrDie();
+  const std::vector<double> counts = CitationCounts(g);
+  ASSERT_EQ(counts.size(), static_cast<size_t>(g.NumNodes()));
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    EXPECT_EQ(counts[static_cast<size_t>(u)],
+              static_cast<double>(g.InDegree(u)));
+  }
+}
+
+TEST(DatasetsTest, HIndexProxyProperties) {
+  const Graph g = MakeDblpLike(0.2).ValueOrDie();
+  const std::vector<double> h = HIndexProxy(g);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    // H-index never exceeds the number of neighbors.
+    EXPECT_LE(h[static_cast<size_t>(u)],
+              static_cast<double>(g.InDegree(u) + g.OutDegree(u)));
+    EXPECT_GE(h[static_cast<size_t>(u)], 0.0);
+  }
+}
+
+TEST(GroundTruthTest, CommunityGraphShape) {
+  CommunityGraphOptions options;
+  options.num_nodes = 300;
+  options.num_communities = 10;
+  const CommunityDataset data = MakeCommunityGraph(options).ValueOrDie();
+  EXPECT_EQ(data.graph.NumNodes(), 300);
+  EXPECT_EQ(data.community.size(), 300u);
+  EXPECT_EQ(data.num_communities, 10);
+  for (int c : data.community) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 10);
+  }
+}
+
+TEST(GroundTruthTest, IntraCommunityEdgesDominate) {
+  CommunityGraphOptions options;
+  options.num_nodes = 500;
+  options.num_communities = 10;
+  options.intra_probability = 0.8;
+  const CommunityDataset data = MakeCommunityGraph(options).ValueOrDie();
+  int64_t intra = 0, total = 0;
+  for (NodeId u = 0; u < data.graph.NumNodes(); ++u) {
+    for (NodeId v : data.graph.OutNeighbors(u)) {
+      ++total;
+      if (data.community[static_cast<size_t>(u)] ==
+          data.community[static_cast<size_t>(v)]) {
+        ++intra;
+      }
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(static_cast<double>(intra) / static_cast<double>(total), 0.6);
+}
+
+TEST(GroundTruthTest, RelevanceGrading) {
+  CommunityGraphOptions options;
+  options.num_nodes = 100;
+  options.num_communities = 10;
+  const CommunityDataset data = MakeCommunityGraph(options).ValueOrDie();
+  // Node 0 and 5 are in community 0 (contiguous assignment).
+  EXPECT_EQ(TrueRelevance(data, 0, 5), 3.0);
+  EXPECT_EQ(TrueRelevance(data, 0, 0), 0.0);  // self not judged
+  // Communities are contiguous ranges of 10 nodes; node 15 is community 1.
+  EXPECT_EQ(TrueRelevance(data, 0, 15), 2.0);
+  EXPECT_EQ(TrueRelevance(data, 0, 25), 1.0);
+  EXPECT_EQ(TrueRelevance(data, 0, 45), 0.0);
+  // Circular distance: community 9 is adjacent to community 0.
+  EXPECT_EQ(TrueRelevance(data, 0, 95), 2.0);
+}
+
+TEST(GroundTruthTest, RelevanceVectorMatchesScalar) {
+  CommunityGraphOptions options;
+  options.num_nodes = 60;
+  options.num_communities = 6;
+  const CommunityDataset data = MakeCommunityGraph(options).ValueOrDie();
+  const std::vector<double> rel = TrueRelevanceVector(data, 7);
+  for (NodeId x = 0; x < 60; ++x) {
+    EXPECT_EQ(rel[static_cast<size_t>(x)], TrueRelevance(data, 7, x));
+  }
+}
+
+TEST(GroundTruthTest, RejectsBadOptions) {
+  CommunityGraphOptions options;
+  options.num_nodes = 0;
+  EXPECT_FALSE(MakeCommunityGraph(options).ok());
+  options = CommunityGraphOptions{};
+  options.intra_probability = 1.5;
+  EXPECT_FALSE(MakeCommunityGraph(options).ok());
+}
+
+}  // namespace
+}  // namespace srs

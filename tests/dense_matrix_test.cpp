@@ -1,0 +1,126 @@
+// Unit tests for DenseMatrix and dense products.
+
+#include "srs/matrix/dense_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace srs {
+namespace {
+
+TEST(DenseMatrixTest, ConstructionAndFill) {
+  DenseMatrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_FALSE(m.square());
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 3; ++j) EXPECT_EQ(m.At(i, j), 0.0);
+  }
+  m.Fill(1.5);
+  EXPECT_EQ(m.At(1, 2), 1.5);
+}
+
+TEST(DenseMatrixTest, Identity) {
+  DenseMatrix id = DenseMatrix::Identity(3);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(id.At(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(DenseMatrixTest, FromRows) {
+  DenseMatrix m = DenseMatrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_EQ(m.At(0, 1), 2.0);
+  EXPECT_EQ(m.At(1, 0), 3.0);
+}
+
+TEST(DenseMatrixTest, Transposed) {
+  DenseMatrix m = DenseMatrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  DenseMatrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t.At(2, 1), 6.0);
+  EXPECT_EQ(t.At(0, 0), 1.0);
+}
+
+TEST(DenseMatrixTest, TransposeIsInvolution) {
+  // Exercise the blocked transpose path with an odd non-blocksize shape.
+  DenseMatrix m(97, 131);
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    for (int64_t j = 0; j < m.cols(); ++j) {
+      m.At(i, j) = static_cast<double>(i * 1000 + j);
+    }
+  }
+  EXPECT_EQ(m.Transposed().Transposed().MaxAbsDiff(m), 0.0);
+}
+
+TEST(DenseMatrixTest, AddAxpyScale) {
+  DenseMatrix a = DenseMatrix::FromRows({{1, 2}, {3, 4}});
+  DenseMatrix b = DenseMatrix::FromRows({{10, 20}, {30, 40}});
+  a.Add(b);
+  EXPECT_EQ(a.At(1, 1), 44.0);
+  a.Axpy(0.5, b);
+  EXPECT_EQ(a.At(0, 0), 16.0);
+  a.Scale(2.0);
+  EXPECT_EQ(a.At(0, 0), 32.0);
+}
+
+TEST(DenseMatrixTest, Norms) {
+  DenseMatrix m = DenseMatrix::FromRows({{3, -4}});
+  EXPECT_EQ(m.MaxNorm(), 4.0);
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(DenseMatrixTest, MaxAbsDiff) {
+  DenseMatrix a = DenseMatrix::FromRows({{1, 2}});
+  DenseMatrix b = DenseMatrix::FromRows({{1.5, 1}});
+  EXPECT_EQ(a.MaxAbsDiff(b), 1.0);
+  EXPECT_EQ(a.MaxAbsDiff(a), 0.0);
+}
+
+TEST(DenseMatrixTest, MultiplyMatchesHandComputation) {
+  DenseMatrix a = DenseMatrix::FromRows({{1, 2}, {3, 4}});
+  DenseMatrix b = DenseMatrix::FromRows({{5, 6}, {7, 8}});
+  DenseMatrix c = Multiply(a, b);
+  EXPECT_EQ(c.At(0, 0), 19.0);
+  EXPECT_EQ(c.At(0, 1), 22.0);
+  EXPECT_EQ(c.At(1, 0), 43.0);
+  EXPECT_EQ(c.At(1, 1), 50.0);
+}
+
+TEST(DenseMatrixTest, MultiplyByIdentity) {
+  DenseMatrix a = DenseMatrix::FromRows({{1, 2}, {3, 4}});
+  DenseMatrix id = DenseMatrix::Identity(2);
+  EXPECT_EQ(Multiply(a, id).MaxAbsDiff(a), 0.0);
+  EXPECT_EQ(Multiply(id, a).MaxAbsDiff(a), 0.0);
+}
+
+TEST(DenseMatrixTest, MultiplyRectangular) {
+  DenseMatrix a(2, 3, 1.0);  // all ones
+  DenseMatrix b(3, 4, 2.0);
+  DenseMatrix c = Multiply(a, b);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 4);
+  EXPECT_EQ(c.At(1, 3), 6.0);
+}
+
+TEST(DenseMatrixTest, MultiplyTransposedEqualsExplicit) {
+  DenseMatrix a = DenseMatrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  DenseMatrix b = DenseMatrix::FromRows({{1, 0, 1}, {2, 1, 0}, {0, 3, 2}});
+  DenseMatrix direct = Multiply(a, b.Transposed());
+  DenseMatrix fused = MultiplyTransposed(a, b);
+  EXPECT_LT(direct.MaxAbsDiff(fused), 1e-15);
+}
+
+TEST(DenseMatrixTest, ByteSize) {
+  DenseMatrix m(10, 20);
+  EXPECT_EQ(m.ByteSize(), 200 * sizeof(double));
+}
+
+TEST(DenseMatrixTest, ToStringRendersRows) {
+  DenseMatrix m = DenseMatrix::FromRows({{1.25}});
+  EXPECT_EQ(m.ToString(2), "[1.25]\n");
+}
+
+}  // namespace
+}  // namespace srs

@@ -1,0 +1,229 @@
+// Tests for the evaluation kit: rank correlations, NDCG, query sampling,
+// roles, and top-k ranking.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "srs/eval/ndcg.h"
+#include "srs/eval/query_sampler.h"
+#include "srs/eval/rank_correlation.h"
+#include "srs/eval/ranking.h"
+#include "srs/eval/roles.h"
+#include "srs/graph/generators.h"
+
+namespace srs {
+namespace {
+
+TEST(KendallTauTest, PerfectAgreement) {
+  std::vector<double> a = {3, 1, 4, 1.5, 9};
+  EXPECT_DOUBLE_EQ(KendallTau(a, a).ValueOrDie(), 1.0);
+}
+
+TEST(KendallTauTest, PerfectDisagreement) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(KendallTau(a, b).ValueOrDie(), -1.0);
+}
+
+TEST(KendallTauTest, KnownPartialAgreement) {
+  // Lists (1,2,3) vs (1,3,2): pairs (1,2),(1,3) concordant, (2,3) discordant
+  // -> tau = (2-1)/3.
+  std::vector<double> a = {1, 2, 3};
+  std::vector<double> b = {1, 3, 2};
+  EXPECT_NEAR(KendallTau(a, b).ValueOrDie(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTauTest, TiesContributeZero) {
+  std::vector<double> a = {1, 1, 2};
+  std::vector<double> b = {1, 2, 3};
+  // Pairs: (0,1) tied in a -> 0; (0,2) and (1,2) concordant -> 2/3.
+  EXPECT_NEAR(KendallTau(a, b).ValueOrDie(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTauTest, EdgeCases) {
+  EXPECT_EQ(KendallTau({}, {}).ValueOrDie(), 0.0);
+  EXPECT_EQ(KendallTau({1.0}, {2.0}).ValueOrDie(), 0.0);
+  EXPECT_FALSE(KendallTau({1.0}, {1.0, 2.0}).ok());
+}
+
+TEST(SpearmanRhoTest, PerfectAndReversed) {
+  std::vector<double> a = {10, 20, 30, 40};
+  std::vector<double> b = {40, 30, 20, 10};
+  EXPECT_DOUBLE_EQ(SpearmanRho(a, a).ValueOrDie(), 1.0);
+  EXPECT_DOUBLE_EQ(SpearmanRho(a, b).ValueOrDie(), -1.0);
+}
+
+TEST(SpearmanRhoTest, KnownValue) {
+  // Ranks of a: (3,2,1); of b: (1,2,3); d² = 4+0+4 = 8.
+  // rho = 1 - 6*8 / (3*8) = -1.
+  std::vector<double> a = {9, 5, 1};
+  std::vector<double> b = {1, 5, 9};
+  EXPECT_DOUBLE_EQ(SpearmanRho(a, b).ValueOrDie(), -1.0);
+}
+
+TEST(FractionalRanksTest, AveragesTies) {
+  std::vector<double> ranks = FractionalRanks({5.0, 5.0, 3.0});
+  EXPECT_DOUBLE_EQ(ranks[0], 1.5);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 3.0);
+}
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  std::vector<double> truth = {3, 2, 1, 0};
+  EXPECT_NEAR(NdcgAtP(truth, truth).ValueOrDie(), 1.0, 1e-12);
+}
+
+TEST(NdcgTest, WorstRankingBelowOne) {
+  std::vector<double> predicted = {0, 1, 2, 3};
+  std::vector<double> truth = {3, 2, 1, 0};
+  const double ndcg = NdcgAtP(predicted, truth).ValueOrDie();
+  EXPECT_LT(ndcg, 1.0);
+  EXPECT_GT(ndcg, 0.0);
+}
+
+TEST(NdcgTest, HandComputedValue) {
+  // predicted order: item1 (rel 0) then item0 (rel 3).
+  // DCG = 0/log2(2) + 7/log2(3); IDCG = 7/log2(2) + 0 = 7.
+  std::vector<double> predicted = {1, 2};
+  std::vector<double> truth = {3, 0};
+  const double expected = (7.0 / std::log2(3.0)) / 7.0;
+  EXPECT_NEAR(NdcgAtP(predicted, truth).ValueOrDie(), expected, 1e-12);
+}
+
+TEST(NdcgTest, CutoffP) {
+  std::vector<double> predicted = {4, 3, 2, 1};
+  std::vector<double> truth = {3, 3, 3, 3};
+  EXPECT_NEAR(NdcgAtP(predicted, truth, 2).ValueOrDie(), 1.0, 1e-12);
+}
+
+TEST(NdcgTest, ZeroRelevanceGivesZero) {
+  std::vector<double> truth = {0, 0, 0};
+  EXPECT_EQ(NdcgAtP({1, 2, 3}, truth).ValueOrDie(), 0.0);
+}
+
+TEST(QuerySamplerTest, StratifiedCoverage) {
+  const Graph g = Rmat(500, 3000, 77).ValueOrDie();
+  QuerySamplerOptions options;
+  options.num_groups = 5;
+  options.queries_per_group = 20;
+  const std::vector<NodeId> queries = SampleQueries(g, options).ValueOrDie();
+  EXPECT_EQ(queries.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(queries.begin(), queries.end()));
+  EXPECT_TRUE(std::adjacent_find(queries.begin(), queries.end()) ==
+              queries.end());
+  // Both a high-degree and a zero-in-degree node should appear: check that
+  // the query degrees span a wide range.
+  int64_t min_deg = INT64_MAX, max_deg = 0;
+  for (NodeId q : queries) {
+    min_deg = std::min(min_deg, g.InDegree(q));
+    max_deg = std::max(max_deg, g.InDegree(q));
+  }
+  EXPECT_GT(max_deg, min_deg);
+}
+
+TEST(QuerySamplerTest, DeterministicPerSeed) {
+  const Graph g = Rmat(200, 1000, 78).ValueOrDie();
+  const auto a = SampleQueries(g).ValueOrDie();
+  const auto b = SampleQueries(g).ValueOrDie();
+  EXPECT_EQ(a, b);
+}
+
+TEST(QuerySamplerTest, SmallGraphTakesEverything) {
+  const Graph g = PathGraph(4).ValueOrDie();
+  QuerySamplerOptions options;
+  options.num_groups = 5;
+  options.queries_per_group = 100;
+  const auto queries = SampleQueries(g, options).ValueOrDie();
+  EXPECT_EQ(queries.size(), 4u);
+}
+
+TEST(QuerySamplerTest, RejectsBadOptions) {
+  const Graph g = PathGraph(4).ValueOrDie();
+  QuerySamplerOptions options;
+  options.num_groups = 0;
+  EXPECT_FALSE(SampleQueries(g, options).ok());
+}
+
+TEST(RolesTest, AssignDecilesBalanced) {
+  std::vector<double> scores(100);
+  for (size_t i = 0; i < 100; ++i) scores[i] = static_cast<double>(100 - i);
+  const std::vector<int> deciles = AssignDeciles(scores, 10);
+  EXPECT_EQ(deciles[0], 0);    // highest score -> decile 0
+  EXPECT_EQ(deciles[99], 9);   // lowest -> decile 9
+  std::vector<int> counts(10, 0);
+  for (int d : deciles) ++counts[static_cast<size_t>(d)];
+  for (int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(RolesTest, RandomPairRoleDifferenceExact) {
+  // {0, 1, 2}: pairs (0,1),(0,2),(1,2) -> diffs 1,2,1 -> mean 4/3.
+  EXPECT_NEAR(RandomPairRoleDifference({0, 1, 2}), 4.0 / 3.0, 1e-12);
+  EXPECT_EQ(RandomPairRoleDifference({5}), 0.0);
+}
+
+TEST(RolesTest, TopPairsRoleDifferencePicksMostSimilar) {
+  // Two pairs: (0,1) very similar with equal roles; (2,3) dissimilar with
+  // different roles. Top 20% of 6 pairs = 1 pair -> difference 0.
+  DenseMatrix sim(4, 4);
+  sim.At(0, 1) = sim.At(1, 0) = 0.9;
+  sim.At(2, 3) = sim.At(3, 2) = 0.1;
+  const std::vector<double> roles = {5, 5, 1, 9};
+  EXPECT_NEAR(
+      TopPairsRoleDifference(sim, roles, 20.0).ValueOrDie(), 0.0, 1e-12);
+  EXPECT_FALSE(TopPairsRoleDifference(sim, roles, 0.0).ok());
+  EXPECT_FALSE(TopPairsRoleDifference(sim, roles, 101.0).ok());
+}
+
+TEST(RolesTest, GroupSimilarityByRoleSeparatesWithinCross) {
+  // deciles: {0,0,1,1}; within-0 pair (0,1) sim 0.8; within-1 pair (2,3)
+  // sim 0.6; cross pairs sim 0.1.
+  DenseMatrix sim(4, 4);
+  auto set = [&](int a, int b, double v) {
+    sim.At(a, b) = v;
+    sim.At(b, a) = v;
+  };
+  set(0, 1, 0.8);
+  set(2, 3, 0.6);
+  set(0, 2, 0.1);
+  set(0, 3, 0.1);
+  set(1, 2, 0.1);
+  set(1, 3, 0.1);
+  const RoleGroupSimilarity groups =
+      GroupSimilarityByRole(sim, {0, 0, 1, 1}, 2).ValueOrDie();
+  EXPECT_NEAR(groups.within[0], 0.8, 1e-12);
+  EXPECT_NEAR(groups.within[1], 0.6, 1e-12);
+  EXPECT_NEAR(groups.cross[1], 0.1, 1e-12);
+}
+
+TEST(RankingTest, TopKOrderingAndExclusion) {
+  const std::vector<double> scores = {0.5, 0.9, 0.9, 0.1};
+  const auto top = TopK(scores, 2, /*exclude=*/1);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].node, 2);  // 0.9 (node 1 excluded)
+  EXPECT_EQ(top[1].node, 0);  // 0.5
+}
+
+TEST(RankingTest, TopKTieBreaksById) {
+  const std::vector<double> scores = {0.5, 0.5, 0.5};
+  const auto top = TopK(scores, 3);
+  EXPECT_EQ(top[0].node, 0);
+  EXPECT_EQ(top[1].node, 1);
+  EXPECT_EQ(top[2].node, 2);
+}
+
+TEST(RankingTest, TopKFromMatrix) {
+  DenseMatrix sim(3, 3);
+  sim.At(1, 0) = 0.2;
+  sim.At(1, 1) = 1.0;
+  sim.At(1, 2) = 0.7;
+  const auto top = TopKFromMatrix(sim, 1, 5).ValueOrDie();
+  ASSERT_EQ(top.size(), 2u);  // self excluded
+  EXPECT_EQ(top[0].node, 2);
+  EXPECT_EQ(top[1].node, 0);
+  EXPECT_FALSE(TopKFromMatrix(sim, 7, 2).ok());
+}
+
+}  // namespace
+}  // namespace srs

@@ -1,0 +1,184 @@
+// Unit tests for synthetic graph generators and the paper fixtures.
+
+#include "srs/graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "srs/graph/fixtures.h"
+#include "srs/graph/stats.h"
+
+namespace srs {
+namespace {
+
+TEST(GeneratorsTest, ErdosRenyiExactEdgeCount) {
+  Graph g = ErdosRenyi(100, 500, 1).ValueOrDie();
+  EXPECT_EQ(g.NumNodes(), 100);
+  EXPECT_EQ(g.NumEdges(), 500);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    EXPECT_FALSE(g.HasEdge(u, u)) << "self loop at " << u;
+  }
+}
+
+TEST(GeneratorsTest, ErdosRenyiDeterministicPerSeed) {
+  Graph a = ErdosRenyi(50, 200, 7).ValueOrDie();
+  Graph b = ErdosRenyi(50, 200, 7).ValueOrDie();
+  for (NodeId u = 0; u < 50; ++u) {
+    auto na = a.OutNeighbors(u);
+    auto nb = b.OutNeighbors(u);
+    ASSERT_EQ(na.size(), nb.size());
+    EXPECT_TRUE(std::equal(na.begin(), na.end(), nb.begin()));
+  }
+}
+
+TEST(GeneratorsTest, ErdosRenyiRejectsBadArgs) {
+  EXPECT_FALSE(ErdosRenyi(0, 0, 1).ok());
+  EXPECT_FALSE(ErdosRenyi(3, 100, 1).ok());  // > n(n-1)
+  EXPECT_FALSE(ErdosRenyi(3, -1, 1).ok());
+}
+
+TEST(GeneratorsTest, RmatProducesRequestedEdges) {
+  Graph g = Rmat(256, 2048, 3).ValueOrDie();
+  EXPECT_EQ(g.NumNodes(), 256);
+  EXPECT_EQ(g.NumEdges(), 2048);
+}
+
+TEST(GeneratorsTest, RmatSkewedInDegrees) {
+  // R-MAT with default quadrants should give a much heavier in-degree tail
+  // than Erdős–Rényi at the same size.
+  Graph rmat = Rmat(1024, 8192, 5).ValueOrDie();
+  Graph er = ErdosRenyi(1024, 8192, 5).ValueOrDie();
+  EXPECT_GT(ComputeStats(rmat).max_in_degree,
+            2 * ComputeStats(er).max_in_degree);
+}
+
+TEST(GeneratorsTest, RmatUndirectedIsSymmetric) {
+  RmatOptions options;
+  options.undirected = true;
+  Graph g = Rmat(128, 400, 9, options).ValueOrDie();
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      EXPECT_TRUE(g.HasEdge(v, u)) << u << "->" << v << " not mirrored";
+    }
+  }
+}
+
+TEST(GeneratorsTest, RmatRejectsBadProbabilities) {
+  RmatOptions options;
+  options.a = 0.8;
+  options.b = 0.3;  // sums over 1
+  EXPECT_FALSE(Rmat(64, 100, 1, options).ok());
+}
+
+TEST(GeneratorsTest, RmatCapacityGuard) {
+  // Asking for more distinct edges than tiny node count supports must fail
+  // loudly (CapacityError), not hang.
+  auto result = Rmat(4, 1000, 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCapacityError);
+}
+
+TEST(GeneratorsTest, PathGraph) {
+  Graph g = PathGraph(5).ValueOrDie();
+  EXPECT_EQ(g.NumEdges(), 4);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(3, 4));
+  EXPECT_FALSE(g.HasEdge(4, 0));
+  EXPECT_EQ(g.InDegree(0), 0);
+  EXPECT_EQ(g.OutDegree(4), 0);
+}
+
+TEST(GeneratorsTest, DoubleEndedPathShape) {
+  // half_length 2: nodes 0..4, center 2, edges 2->1->0 and 2->3->4.
+  Graph g = DoubleEndedPath(2).ValueOrDie();
+  EXPECT_EQ(g.NumNodes(), 5);
+  EXPECT_TRUE(g.HasEdge(2, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_TRUE(g.HasEdge(3, 4));
+  EXPECT_EQ(g.InDegree(2), 0);  // the root a_0
+}
+
+TEST(GeneratorsTest, CycleGraph) {
+  Graph g = CycleGraph(4).ValueOrDie();
+  EXPECT_EQ(g.NumEdges(), 4);
+  EXPECT_TRUE(g.HasEdge(3, 0));
+  for (NodeId u = 0; u < 4; ++u) {
+    EXPECT_EQ(g.InDegree(u), 1);
+    EXPECT_EQ(g.OutDegree(u), 1);
+  }
+}
+
+TEST(GeneratorsTest, StarGraph) {
+  Graph g = StarGraph(6).ValueOrDie();
+  EXPECT_EQ(g.OutDegree(0), 5);
+  for (NodeId u = 1; u < 6; ++u) EXPECT_EQ(g.InDegree(u), 1);
+}
+
+TEST(GeneratorsTest, CompleteGraph) {
+  Graph g = CompleteGraph(5).ValueOrDie();
+  EXPECT_EQ(g.NumEdges(), 20);
+  EXPECT_FALSE(g.HasEdge(2, 2));
+}
+
+TEST(GeneratorsTest, BinaryTree) {
+  Graph g = BinaryTree(3).ValueOrDie();
+  EXPECT_EQ(g.NumNodes(), 15);
+  EXPECT_EQ(g.NumEdges(), 14);
+  EXPECT_EQ(g.InDegree(0), 0);
+  EXPECT_EQ(g.OutDegree(0), 2);
+  EXPECT_EQ(g.OutDegree(7), 0);  // leaf
+}
+
+TEST(FixturesTest, Fig1MatchesPaperStructure) {
+  Graph g = Fig1CitationGraph();
+  EXPECT_EQ(g.NumNodes(), 11);
+  EXPECT_EQ(g.NumEdges(), 18);
+
+  auto id = [&](char c) { return g.FindLabel(std::string(1, c)).ValueOrDie(); };
+  // "a has no in-neighbors" (Example 1).
+  EXPECT_EQ(g.InDegree(id('a')), 0);
+  // I(h) = {e, j, k} (Example 2).
+  auto in_h = g.InNeighbors(id('h'));
+  ASSERT_EQ(in_h.size(), 3u);
+  EXPECT_EQ(in_h[0], id('e'));
+  EXPECT_EQ(in_h[1], id('j'));
+  EXPECT_EQ(in_h[2], id('k'));
+  // I(i) = {b, d, e, h, j, k} (Example 2).
+  EXPECT_EQ(g.InDegree(id('i')), 6);
+  // The in-link path h <- e <- a -> d exists: a->e, e->h, a->d.
+  EXPECT_TRUE(g.HasEdge(id('a'), id('e')));
+  EXPECT_TRUE(g.HasEdge(id('e'), id('h')));
+  EXPECT_TRUE(g.HasEdge(id('a'), id('d')));
+  // Figure 4's T and B sides.
+  int t_count = 0, b_count = 0;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (g.OutDegree(u) > 0) ++t_count;
+    if (g.InDegree(u) > 0) ++b_count;
+  }
+  EXPECT_EQ(t_count, 8);  // {a,b,d,e,f,h,j,k}
+  EXPECT_EQ(b_count, 8);  // {b,c,d,e,f,g,h,i}
+}
+
+TEST(FixturesTest, Fig3FamilyTreeStructure) {
+  Graph g = Fig3FamilyTree();
+  EXPECT_EQ(g.NumNodes(), 7);
+  EXPECT_EQ(g.NumEdges(), 6);
+  const NodeId grandpa = g.FindLabel("Grandpa").ValueOrDie();
+  const NodeId me = g.FindLabel("Me").ValueOrDie();
+  EXPECT_EQ(g.InDegree(grandpa), 0);
+  EXPECT_EQ(g.InDegree(me), 1);
+}
+
+TEST(FixturesTest, SubdividedVariantReplacesHi) {
+  Graph g = Fig1WithSubdividedHi();
+  EXPECT_EQ(g.NumNodes(), 12);
+  const NodeId h = g.FindLabel("h").ValueOrDie();
+  const NodeId i = g.FindLabel("i").ValueOrDie();
+  const NodeId l = g.FindLabel("l").ValueOrDie();
+  EXPECT_FALSE(g.HasEdge(h, i));
+  EXPECT_TRUE(g.HasEdge(h, l));
+  EXPECT_TRUE(g.HasEdge(l, i));
+}
+
+}  // namespace
+}  // namespace srs

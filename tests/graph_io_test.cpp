@@ -1,0 +1,94 @@
+// Unit tests for edge-list parsing, loading, and saving.
+
+#include "srs/graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace srs {
+namespace {
+
+TEST(GraphIoTest, ParseBasicEdgeList) {
+  Graph g = ParseEdgeList("0 1\n1 2\n2 0\n").ValueOrDie();
+  EXPECT_EQ(g.NumNodes(), 3);
+  EXPECT_EQ(g.NumEdges(), 3);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(GraphIoTest, SkipsCommentsAndBlankLines) {
+  Graph g = ParseEdgeList("# header\n\n0 1\n  # another\n1 0\n").ValueOrDie();
+  EXPECT_EQ(g.NumEdges(), 2);
+}
+
+TEST(GraphIoTest, RemapsSparseIds) {
+  Graph g = ParseEdgeList("100 200\n200 4000\n").ValueOrDie();
+  EXPECT_EQ(g.NumNodes(), 3);
+  // Original ids preserved as labels.
+  EXPECT_EQ(g.LabelOf(g.FindLabel("100").ValueOrDie()), "100");
+  EXPECT_EQ(g.LabelOf(g.FindLabel("4000").ValueOrDie()), "4000");
+  const NodeId a = g.FindLabel("100").ValueOrDie();
+  const NodeId b = g.FindLabel("200").ValueOrDie();
+  EXPECT_TRUE(g.HasEdge(a, b));
+}
+
+TEST(GraphIoTest, UndirectedOption) {
+  EdgeListOptions options;
+  options.undirected = true;
+  Graph g = ParseEdgeList("0 1\n", options).ValueOrDie();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+}
+
+TEST(GraphIoTest, TabAndCommaDelimiters) {
+  Graph g = ParseEdgeList("0\t1\n1,2\n").ValueOrDie();
+  EXPECT_EQ(g.NumEdges(), 2);
+}
+
+TEST(GraphIoTest, MalformedLineNamesLineNumber) {
+  auto result = ParseEdgeList("0 1\nbroken\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(GraphIoTest, NonNumericIdRejected) {
+  auto result = ParseEdgeList("a b\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(GraphIoTest, MissingFileIsIoError) {
+  auto result = LoadEdgeList("/nonexistent/path/graph.txt");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIoError());
+}
+
+TEST(GraphIoTest, SaveThenLoadRoundTrips) {
+  Graph g = ParseEdgeList("0 1\n0 2\n2 1\n").ValueOrDie();
+  const std::string path = testing::TempDir() + "/srs_roundtrip.txt";
+  SRS_CHECK_OK(SaveEdgeList(g, path));
+  Graph loaded = LoadEdgeList(path).ValueOrDie();
+  EXPECT_EQ(loaded.NumNodes(), g.NumNodes());
+  EXPECT_EQ(loaded.NumEdges(), g.NumEdges());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      EXPECT_EQ(loaded.HasEdge(u, v), g.HasEdge(u, v));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, SaveToUnwritablePathIsIoError) {
+  Graph g = ParseEdgeList("0 1\n").ValueOrDie();
+  EXPECT_TRUE(SaveEdgeList(g, "/nonexistent/dir/out.txt").IsIoError());
+}
+
+TEST(GraphIoTest, EmptyInputYieldsEmptyGraph) {
+  Graph g = ParseEdgeList("# only comments\n").ValueOrDie();
+  EXPECT_EQ(g.NumNodes(), 0);
+}
+
+}  // namespace
+}  // namespace srs

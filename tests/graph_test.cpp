@@ -1,0 +1,162 @@
+// Unit tests for Graph, GraphBuilder, transition matrices, and stats.
+
+#include "srs/graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "srs/graph/graph_builder.h"
+#include "srs/graph/stats.h"
+
+namespace srs {
+namespace {
+
+Graph Diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+  GraphBuilder b(4);
+  SRS_CHECK_OK(b.AddEdge(0, 1));
+  SRS_CHECK_OK(b.AddEdge(0, 2));
+  SRS_CHECK_OK(b.AddEdge(1, 3));
+  SRS_CHECK_OK(b.AddEdge(2, 3));
+  return b.Build().MoveValueOrDie();
+}
+
+TEST(GraphTest, BasicTopology) {
+  Graph g = Diamond();
+  EXPECT_EQ(g.NumNodes(), 4);
+  EXPECT_EQ(g.NumEdges(), 4);
+  EXPECT_DOUBLE_EQ(g.Density(), 1.0);
+  EXPECT_EQ(g.OutDegree(0), 2);
+  EXPECT_EQ(g.InDegree(0), 0);
+  EXPECT_EQ(g.InDegree(3), 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+}
+
+TEST(GraphTest, NeighborListsSortedAscending) {
+  GraphBuilder b(4);
+  SRS_CHECK_OK(b.AddEdge(0, 3));
+  SRS_CHECK_OK(b.AddEdge(0, 1));
+  SRS_CHECK_OK(b.AddEdge(0, 2));
+  SRS_CHECK_OK(b.AddEdge(2, 1));
+  SRS_CHECK_OK(b.AddEdge(3, 1));
+  Graph g = b.Build().MoveValueOrDie();
+  auto out = g.OutNeighbors(0);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  auto in = g.InNeighbors(1);
+  ASSERT_EQ(in.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(in.begin(), in.end()));
+}
+
+TEST(GraphTest, ParallelEdgesDeduplicated) {
+  GraphBuilder b(2);
+  SRS_CHECK_OK(b.AddEdge(0, 1));
+  SRS_CHECK_OK(b.AddEdge(0, 1));
+  Graph g = b.Build().MoveValueOrDie();
+  EXPECT_EQ(g.NumEdges(), 1);
+}
+
+TEST(GraphTest, SelfLoopAllowed) {
+  GraphBuilder b(2);
+  SRS_CHECK_OK(b.AddEdge(0, 0));
+  Graph g = b.Build().MoveValueOrDie();
+  EXPECT_EQ(g.InDegree(0), 1);
+  EXPECT_EQ(g.OutDegree(0), 1);
+  EXPECT_TRUE(g.HasEdge(0, 0));
+}
+
+TEST(GraphTest, UndirectedEdgeAddsBothDirections) {
+  GraphBuilder b(3);
+  SRS_CHECK_OK(b.AddUndirectedEdge(0, 1));
+  SRS_CHECK_OK(b.AddUndirectedEdge(2, 2));  // self: only one edge
+  Graph g = b.Build().MoveValueOrDie();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.NumEdges(), 3);
+}
+
+TEST(GraphTest, BuilderRejectsOutOfRange) {
+  GraphBuilder b(2);
+  EXPECT_TRUE(b.AddEdge(0, 2).IsInvalidArgument());
+  EXPECT_TRUE(b.AddEdge(-1, 0).IsInvalidArgument());
+  EXPECT_TRUE(b.SetLabel(5, "x").IsInvalidArgument());
+}
+
+TEST(GraphTest, AdjacencyMatrixPattern) {
+  Graph g = Diamond();
+  CsrMatrix a = g.AdjacencyMatrix();
+  EXPECT_EQ(a.nnz(), 4);
+  EXPECT_EQ(a.At(0, 1), 1.0);
+  EXPECT_EQ(a.At(1, 3), 1.0);
+  EXPECT_EQ(a.At(3, 0), 0.0);
+}
+
+TEST(GraphTest, BackwardTransitionRowsSumToOne) {
+  Graph g = Diamond();
+  CsrMatrix q = g.BackwardTransition();
+  // Row i of Q: 1/|I(i)| on each in-neighbor.
+  EXPECT_EQ(q.At(0, 1), 0.0);              // I(0) = empty: zero row
+  EXPECT_EQ(q.At(1, 0), 1.0);              // I(1) = {0}
+  EXPECT_NEAR(q.At(3, 1), 0.5, 1e-15);     // I(3) = {1,2}
+  EXPECT_NEAR(q.At(3, 2), 0.5, 1e-15);
+}
+
+TEST(GraphTest, ForwardTransitionRowsSumToOne) {
+  Graph g = Diamond();
+  CsrMatrix w = g.ForwardTransition();
+  EXPECT_NEAR(w.At(0, 1), 0.5, 1e-15);
+  EXPECT_NEAR(w.At(0, 2), 0.5, 1e-15);
+  EXPECT_EQ(w.At(3, 0), 0.0);  // sink: zero row
+}
+
+TEST(GraphTest, Labels) {
+  GraphBuilder b(2);
+  SRS_CHECK_OK(b.AddEdge(0, 1));
+  SRS_CHECK_OK(b.SetLabel(0, "alpha"));
+  Graph g = b.Build().MoveValueOrDie();
+  EXPECT_EQ(g.LabelOf(0), "alpha");
+  EXPECT_EQ(g.LabelOf(1), "1");  // unlabeled falls back to id
+  EXPECT_EQ(g.FindLabel("alpha").ValueOrDie(), 0);
+  EXPECT_TRUE(g.FindLabel("nope").status().IsNotFound());
+}
+
+TEST(GraphTest, EmptyGraph) {
+  GraphBuilder b(0);
+  Graph g = b.Build().MoveValueOrDie();
+  EXPECT_EQ(g.NumNodes(), 0);
+  EXPECT_EQ(g.NumEdges(), 0);
+  EXPECT_EQ(g.Density(), 0.0);
+}
+
+TEST(StatsTest, ComputeStats) {
+  Graph g = Diamond();
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_nodes, 4);
+  EXPECT_EQ(s.num_edges, 4);
+  EXPECT_EQ(s.max_in_degree, 2);
+  EXPECT_EQ(s.max_out_degree, 2);
+  EXPECT_EQ(s.sources, 1);  // node 0
+  EXPECT_EQ(s.sinks, 1);    // node 3
+  EXPECT_FALSE(StatsToString(s).empty());
+}
+
+TEST(StatsTest, InDegreeHistogram) {
+  Graph g = Diamond();
+  std::vector<int64_t> hist = InDegreeHistogram(g);
+  // in-degrees: 0:0, 1:1, 2:1, 3:2 -> hist[0]=1, hist[1]=2, hist[2]=1
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 1);
+  EXPECT_EQ(hist[1], 2);
+  EXPECT_EQ(hist[2], 1);
+}
+
+TEST(StatsTest, NodesByInDegreeDescending) {
+  Graph g = Diamond();
+  std::vector<NodeId> order = NodesByInDegree(g);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 3);  // in-degree 2
+  EXPECT_EQ(order[3], 0);  // in-degree 0
+}
+
+}  // namespace
+}  // namespace srs

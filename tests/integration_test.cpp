@@ -1,0 +1,220 @@
+// Integration tests spanning multiple modules: the full Figure 1 table, the
+// Figure 3 family-tree semantics, and an end-to-end ranking-quality check on
+// the planted-community ground truth (the Fig 6(a) shape).
+
+#include <gtest/gtest.h>
+
+#include "srs/analysis/path_contribution.h"
+#include "srs/baselines/p_rank.h"
+#include "srs/baselines/rwr.h"
+#include "srs/baselines/simrank_matrix.h"
+#include "srs/baselines/simrank_psum.h"
+#include "srs/core/memo_esr_star.h"
+#include "srs/core/memo_gsr_star.h"
+#include "srs/datasets/ground_truth.h"
+#include "srs/eval/ndcg.h"
+#include "srs/eval/rank_correlation.h"
+#include "srs/eval/ranking.h"
+#include "srs/graph/fixtures.h"
+
+namespace srs {
+namespace {
+
+SimilarityOptions Opts(double c, int k) {
+  SimilarityOptions o;
+  o.damping = c;
+  o.iterations = k;
+  return o;
+}
+
+// The Figure 1 table, all four measures, zero/nonzero pattern exactly as
+// printed (C = 0.8).
+TEST(Fig1IntegrationTest, FullTablePattern) {
+  const Graph g = Fig1CitationGraph();
+  const SimilarityOptions opts = Opts(0.8, 30);
+  // The paper's table is computed under the matrix-form scaling for both
+  // SimRank (Eq. 3) and P-Rank — verified by exact reproduction of its
+  // .044/.049/.075/.041 entries.
+  const DenseMatrix sr = ComputeSimRankMatrixForm(g, opts).ValueOrDie();
+  PRankOptions p_opts;
+  p_opts.diagonal = PRankDiagonal::kMatrixForm;
+  const DenseMatrix pr = ComputePRank(g, opts, p_opts).ValueOrDie();
+  const DenseMatrix star = ComputeMemoGsrStar(g, opts).ValueOrDie();
+  const DenseMatrix rwr = ComputeRwr(g, opts).ValueOrDie();
+
+  auto row = [&](const char* u, const char* v) {
+    const NodeId a = g.FindLabel(u).ValueOrDie();
+    const NodeId b = g.FindLabel(v).ValueOrDie();
+    struct Scores {
+      double sr, pr, star, rwr;
+    };
+    return Scores{sr.At(a, b), pr.At(a, b), star.At(a, b), rwr.At(a, b)};
+  };
+
+  // (h,d): SR 0, PR .049, SR* .010, RWR 0.
+  {
+    auto s = row("h", "d");
+    EXPECT_NEAR(s.sr, 0.0, 1e-15);
+    EXPECT_NEAR(s.pr, 0.049, 0.002);
+    EXPECT_NEAR(s.star, 0.010, 0.002);
+    EXPECT_NEAR(s.rwr, 0.0, 1e-15);
+  }
+  // (a,f): SR 0, PR .075, SR* .032, RWR .032.
+  {
+    auto s = row("a", "f");
+    EXPECT_NEAR(s.sr, 0.0, 1e-15);
+    EXPECT_NEAR(s.pr, 0.075, 0.002);
+    EXPECT_NEAR(s.star, 0.032, 0.002);
+    EXPECT_GT(s.rwr, 0.0);  // our RWR gives .011 (a->b->f); the zero/nonzero
+                            // pattern is what the paper's argument relies on
+  }
+  // (a,c): SR 0, PR 0, SR* .025, RWR .024.
+  {
+    auto s = row("a", "c");
+    EXPECT_NEAR(s.sr, 0.0, 1e-15);
+    EXPECT_NEAR(s.pr, 0.0, 1e-15);
+    EXPECT_NEAR(s.star, 0.025, 0.002);
+    EXPECT_NEAR(s.rwr, 0.024, 0.005);
+  }
+  // (g,a): SR 0, PR 0, SR* .025, RWR 0.
+  {
+    auto s = row("g", "a");
+    EXPECT_NEAR(s.sr, 0.0, 1e-15);
+    EXPECT_NEAR(s.pr, 0.0, 1e-15);
+    EXPECT_NEAR(s.star, 0.025, 0.002);
+    EXPECT_NEAR(s.rwr, 0.0, 1e-15);
+  }
+  // (g,b): SR 0, PR 0 (prints as 0 at 3 decimals; exact value ~.0002),
+  // SR* .075, RWR 0.
+  {
+    auto s = row("g", "b");
+    EXPECT_NEAR(s.sr, 0.0, 1e-15);
+    EXPECT_NEAR(s.pr, 0.0, 1e-3);
+    EXPECT_NEAR(s.star, 0.075, 0.002);
+    EXPECT_NEAR(s.rwr, 0.0, 1e-15);
+  }
+  // (i,a): SR 0, PR 0, SR* .015, RWR 0.
+  {
+    auto s = row("i", "a");
+    EXPECT_NEAR(s.sr, 0.0, 1e-15);
+    EXPECT_NEAR(s.pr, 0.0, 1e-15);
+    EXPECT_NEAR(s.star, 0.015, 0.002);
+    EXPECT_NEAR(s.rwr, 0.0, 1e-15);
+  }
+  // (i,h): SR .044, PR .041, SR* .031, RWR 0.
+  {
+    auto s = row("i", "h");
+    EXPECT_NEAR(s.sr, 0.044, 0.002);
+    EXPECT_NEAR(s.pr, 0.041, 0.002);
+    EXPECT_NEAR(s.star, 0.031, 0.002);
+    EXPECT_NEAR(s.rwr, 0.0, 1e-15);
+  }
+}
+
+// Figure 3: the family-tree discussion of §3.1/§3.2.
+TEST(FamilyTreeTest, RelationCoverage) {
+  const Graph g = Fig3FamilyTree();
+  const SimilarityOptions opts = Opts(0.8, 30);
+  const DenseMatrix sr = ComputeSimRankPsum(g, opts).ValueOrDie();
+  const DenseMatrix star = ComputeMemoGsrStar(g, opts).ValueOrDie();
+  const DenseMatrix rwr = ComputeRwr(g, opts).ValueOrDie();
+
+  auto id = [&](const char* n) { return g.FindLabel(n).ValueOrDie(); };
+  const NodeId me = id("Me"), father = id("Father"), cousin = id("Cousin"),
+               uncle = id("Uncle");
+
+  // "RWR considers Father-and-Me similar, neglected by SimRank."
+  EXPECT_GT(rwr.At(father, me), 0.0);
+  EXPECT_NEAR(sr.At(father, me), 0.0, 1e-15);
+  // "...it ignores Me-and-Cousin, accommodated by SimRank."
+  EXPECT_NEAR(rwr.At(me, cousin), 0.0, 1e-15);
+  EXPECT_GT(sr.At(me, cousin), 0.0);
+  // "Both RWR and SimRank neglect Me-and-Uncle."
+  EXPECT_NEAR(rwr.At(me, uncle), 0.0, 1e-15);
+  EXPECT_NEAR(sr.At(me, uncle), 0.0, 1e-15);
+  // SimRank* covers all three.
+  EXPECT_GT(star.At(father, me), 0.0);
+  EXPECT_GT(star.At(me, cousin), 0.0);
+  EXPECT_GT(star.At(me, uncle), 0.0);
+}
+
+TEST(FamilyTreeTest, SymmetryWeightOrdersPathsAsFig3) {
+  // ρA (α=2), ρB (α=1 or 3), ρC (α=0 or 4) all have length 4; their
+  // contributions must be ordered ρA > ρB > ρC.
+  const double a = GeometricPathContribution(0.8, 4, 2).ValueOrDie();
+  const double b = GeometricPathContribution(0.8, 4, 1).ValueOrDie();
+  const double c = GeometricPathContribution(0.8, 4, 0).ValueOrDie();
+  EXPECT_GT(a, b);
+  EXPECT_GT(b, c);
+  // ...and the scores reflect it: Me~Cousin (ρA) > Uncle~Son (ρB) >
+  // Grandpa~Grandson (ρC).
+  const Graph g = Fig3FamilyTree();
+  const DenseMatrix star =
+      ComputeMemoGsrStar(g, Opts(0.8, 40)).ValueOrDie();
+  auto id = [&](const char* n) { return g.FindLabel(n).ValueOrDie(); };
+  const double me_cousin = star.At(id("Me"), id("Cousin"));
+  const double uncle_son = star.At(id("Uncle"), id("Son"));
+  const double grandpa_grandson = star.At(id("Grandpa"), id("Grandson"));
+  EXPECT_GT(me_cousin, uncle_son);
+  EXPECT_GT(uncle_son, grandpa_grandson);
+  EXPECT_GT(grandpa_grandson, 0.0);
+}
+
+// End-to-end Fig 6(a) shape: on a planted-community graph, SimRank* ranks
+// closer to the ground truth than SimRank and RWR.
+TEST(RankingQualityTest, StarBeatsBaselinesOnCommunityTruth) {
+  CommunityGraphOptions cg_opts;
+  cg_opts.num_nodes = 400;
+  cg_opts.num_communities = 16;
+  cg_opts.directed = true;
+  const CommunityDataset data = MakeCommunityGraph(cg_opts).ValueOrDie();
+  const Graph& g = data.graph;
+
+  const SimilarityOptions opts = Opts(0.6, 8);
+  const DenseMatrix star = ComputeMemoGsrStar(g, opts).ValueOrDie();
+  const DenseMatrix sr = ComputeSimRankPsum(g, opts).ValueOrDie();
+  const DenseMatrix rwr = ComputeRwr(g, opts).ValueOrDie();
+
+  double star_ndcg = 0, sr_ndcg = 0, rwr_ndcg = 0;
+  int queries = 0;
+  for (NodeId q = 0; q < g.NumNodes(); q += 16) {
+    const std::vector<double> truth = TrueRelevanceVector(data, q);
+    const std::vector<double> star_row = RowScores(star, q).ValueOrDie();
+    const std::vector<double> sr_row = RowScores(sr, q).ValueOrDie();
+    const std::vector<double> rwr_row = RowScores(rwr, q).ValueOrDie();
+    star_ndcg += NdcgAtP(star_row, truth, 50).ValueOrDie();
+    sr_ndcg += NdcgAtP(sr_row, truth, 50).ValueOrDie();
+    rwr_ndcg += NdcgAtP(rwr_row, truth, 50).ValueOrDie();
+    ++queries;
+  }
+  ASSERT_GT(queries, 0);
+  // The paper's Fig 6(a) ordering on the directed dataset.
+  EXPECT_GT(star_ndcg, sr_ndcg);
+  EXPECT_GT(star_ndcg, rwr_ndcg);
+}
+
+TEST(RankingQualityTest, GeometricAndExponentialAgreeOnOrder) {
+  // Fig 6(a) finding (3): geometric and exponential SimRank* keep almost the
+  // same relative order.
+  CommunityGraphOptions cg_opts;
+  cg_opts.num_nodes = 200;
+  cg_opts.num_communities = 10;
+  const CommunityDataset data = MakeCommunityGraph(cg_opts).ValueOrDie();
+  const Graph& g = data.graph;
+
+  const DenseMatrix geo = ComputeMemoGsrStar(g, Opts(0.6, 10)).ValueOrDie();
+  const DenseMatrix exp = ComputeMemoEsrStar(g, Opts(0.6, 10)).ValueOrDie();
+
+  double total_tau = 0;
+  int queries = 0;
+  for (NodeId q = 0; q < g.NumNodes(); q += 20) {
+    const std::vector<double> a = RowScores(geo, q).ValueOrDie();
+    const std::vector<double> b = RowScores(exp, q).ValueOrDie();
+    total_tau += KendallTau(a, b).ValueOrDie();
+    ++queries;
+  }
+  EXPECT_GT(total_tau / queries, 0.8);
+}
+
+}  // namespace
+}  // namespace srs

@@ -1,0 +1,151 @@
+// Property suite: the memoized algorithms (memo-gSR*, memo-eSR*) must be
+// numerically identical to their non-memoized counterparts on every graph —
+// edge concentration is an optimization, never a semantic. Parameterized
+// over generator families, sizes, and damping factors.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "srs/core/memo_esr_star.h"
+#include "srs/core/memo_gsr_star.h"
+#include "srs/core/simrank_star_exponential.h"
+#include "srs/core/simrank_star_geometric.h"
+#include "srs/datasets/datasets.h"
+#include "srs/graph/fixtures.h"
+#include "srs/graph/generators.h"
+
+namespace srs {
+namespace {
+
+struct GraphCase {
+  std::string name;
+  Graph (*make)();
+};
+
+Graph MakeFig1() { return Fig1CitationGraph(); }
+Graph MakeFamily() { return Fig3FamilyTree(); }
+Graph MakeEr() { return ErdosRenyi(60, 360, 123).ValueOrDie(); }
+Graph MakeRmatDirected() { return Rmat(80, 640, 321).ValueOrDie(); }
+Graph MakeRmatUndirected() {
+  RmatOptions o;
+  o.undirected = true;
+  return Rmat(64, 256, 55, o).ValueOrDie();
+}
+Graph MakeCitation() { return MakeCitHepThLike(0.05, 9).ValueOrDie(); }
+Graph MakeStar() { return StarGraph(30).ValueOrDie(); }
+Graph MakeCycle() { return CycleGraph(17).ValueOrDie(); }
+Graph MakeComplete() { return CompleteGraph(12).ValueOrDie(); }
+Graph MakeTree() { return BinaryTree(5).ValueOrDie(); }
+Graph MakeDoublePath() { return DoubleEndedPath(6).ValueOrDie(); }
+
+using MemoParam = std::tuple<GraphCase, double /*C*/, int /*K*/>;
+
+class MemoEquivalenceTest : public testing::TestWithParam<MemoParam> {};
+
+TEST_P(MemoEquivalenceTest, MemoGsrEqualsIterGsr) {
+  const auto& [gcase, c, k] = GetParam();
+  const Graph g = gcase.make();
+  SimilarityOptions opts;
+  opts.damping = c;
+  opts.iterations = k;
+  const DenseMatrix iter = ComputeSimRankStarGeometric(g, opts).ValueOrDie();
+  MemoStats stats;
+  const DenseMatrix memo =
+      ComputeMemoGsrStar(g, opts, {}, nullptr, &stats).ValueOrDie();
+  EXPECT_LT(iter.MaxAbsDiff(memo), 1e-12);
+  EXPECT_LE(stats.compressed_edges, stats.original_edges);
+  EXPECT_EQ(stats.iterations, k);
+}
+
+TEST_P(MemoEquivalenceTest, MemoEsrEqualsPlainEsr) {
+  const auto& [gcase, c, k] = GetParam();
+  const Graph g = gcase.make();
+  SimilarityOptions opts;
+  opts.damping = c;
+  opts.iterations = k;
+  const DenseMatrix plain =
+      ComputeSimRankStarExponential(g, opts).ValueOrDie();
+  const DenseMatrix memo = ComputeMemoEsrStar(g, opts).ValueOrDie();
+  EXPECT_LT(plain.MaxAbsDiff(memo), 1e-12);
+}
+
+std::string ParamName(const testing::TestParamInfo<MemoParam>& info) {
+  const auto& [gcase, c, k] = info.param;
+  std::string name = gcase.name + "_C" +
+                     std::to_string(static_cast<int>(c * 100)) + "_K" +
+                     std::to_string(k);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, MemoEquivalenceTest,
+    testing::Combine(testing::Values(GraphCase{"Fig1", MakeFig1},
+                                     GraphCase{"Family", MakeFamily},
+                                     GraphCase{"ER", MakeEr},
+                                     GraphCase{"RmatDir", MakeRmatDirected},
+                                     GraphCase{"RmatUndir", MakeRmatUndirected},
+                                     GraphCase{"Citation", MakeCitation},
+                                     GraphCase{"Star", MakeStar},
+                                     GraphCase{"Cycle", MakeCycle},
+                                     GraphCase{"Complete", MakeComplete},
+                                     GraphCase{"Tree", MakeTree},
+                                     GraphCase{"DoublePath", MakeDoublePath}),
+                     testing::Values(0.6, 0.8),
+                     testing::Values(1, 5)),
+    ParamName);
+
+// Miner-option ablations must not change results either.
+class MinerAblationTest : public testing::TestWithParam<int> {};
+
+TEST_P(MinerAblationTest, AnyMinerConfigGivesSameScores) {
+  const Graph g = MakeCitHepThLike(0.08, 44).ValueOrDie();
+  SimilarityOptions opts;
+  opts.iterations = 4;
+  const DenseMatrix reference =
+      ComputeSimRankStarGeometric(g, opts).ValueOrDie();
+
+  BicliqueMinerOptions miner;
+  switch (GetParam()) {
+    case 0:
+      miner.enable_duplicate_folding = false;
+      miner.num_shingle_passes = 0;
+      break;
+    case 1:
+      miner.num_shingle_passes = 0;
+      break;
+    case 2:
+      miner.enable_duplicate_folding = false;
+      miner.num_shingle_passes = 3;
+      break;
+    case 3:
+      miner.num_shingle_passes = 5;
+      break;
+    case 4:
+      miner.min_x = 3;
+      miner.min_y = 4;
+      break;
+  }
+  const DenseMatrix memo = ComputeMemoGsrStar(g, opts, miner).ValueOrDie();
+  EXPECT_LT(reference.MaxAbsDiff(memo), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(MinerConfigs, MinerAblationTest,
+                         testing::Range(0, 5));
+
+TEST(MemoStatsTest, PhaseTimerReceivesBothPhases) {
+  const Graph g = MakeCitHepThLike(0.1, 3).ValueOrDie();
+  SimilarityOptions opts;
+  opts.iterations = 3;
+  PhaseTimer timer;
+  MemoStats stats;
+  SRS_CHECK_OK(ComputeMemoGsrStar(g, opts, {}, &timer, &stats).status());
+  EXPECT_GT(timer.Total("compress bigraph"), 0.0);
+  EXPECT_GT(timer.Total("share sums"), 0.0);
+  EXPECT_GT(stats.concentration_nodes, 0);
+  EXPECT_LT(stats.compressed_edges, stats.original_edges);
+}
+
+}  // namespace
+}  // namespace srs

@@ -1,0 +1,135 @@
+// Tests for the Monte Carlo estimators: unbiasedness against the exact
+// algorithms (within statistical tolerance), determinism, and argument
+// validation.
+
+#include "srs/core/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include "srs/baselines/simrank_naive.h"
+#include "srs/core/single_source.h"
+#include "srs/graph/fixtures.h"
+#include "srs/graph/generators.h"
+#include "srs/matrix/ops.h"
+
+namespace srs {
+namespace {
+
+MonteCarloOptions McOpts(double c, int trials, uint64_t seed = 99) {
+  MonteCarloOptions o;
+  o.damping = c;
+  o.num_trials = trials;
+  o.seed = seed;
+  return o;
+}
+
+TEST(MonteCarloSimRankTest, ConvergesToExactOnFig1) {
+  const Graph g = Fig1CitationGraph();
+  SimilarityOptions exact_opts;
+  exact_opts.damping = 0.8;
+  exact_opts.iterations = 25;
+  const DenseMatrix exact =
+      ComputeSimRankNaive(g, exact_opts, SimRankDiagonal::kForceOne)
+          .ValueOrDie();
+
+  const NodeId q = g.FindLabel("i").ValueOrDie();
+  const std::vector<double> mc =
+      MonteCarloSimRank(g, q, McOpts(0.8, 60000)).ValueOrDie();
+  for (NodeId j = 0; j < g.NumNodes(); ++j) {
+    EXPECT_NEAR(mc[static_cast<size_t>(j)], exact.At(q, j), 0.02)
+        << "node " << g.LabelOf(j);
+  }
+}
+
+TEST(MonteCarloSimRankTest, ZeroPairsStayZero) {
+  // The estimator never meets where no symmetric in-link path exists, so
+  // SimRank's zeros are reproduced exactly (not just approximately).
+  const Graph g = Fig1CitationGraph();
+  const NodeId h = g.FindLabel("h").ValueOrDie();
+  const NodeId d = g.FindLabel("d").ValueOrDie();
+  const std::vector<double> mc =
+      MonteCarloSimRank(g, h, McOpts(0.8, 5000)).ValueOrDie();
+  EXPECT_EQ(mc[static_cast<size_t>(d)], 0.0);
+}
+
+TEST(MonteCarloStarTest, ConvergesToExactOnFig1) {
+  const Graph g = Fig1CitationGraph();
+  SimilarityOptions exact_opts;
+  exact_opts.damping = 0.8;
+  exact_opts.iterations = 25;
+
+  for (const char* label : {"h", "g", "a"}) {
+    const NodeId q = g.FindLabel(label).ValueOrDie();
+    const std::vector<double> exact =
+        SingleSourceSimRankStarGeometric(g, q, exact_opts).ValueOrDie();
+    const std::vector<double> mc =
+        MonteCarloSimRankStar(g, q, McOpts(0.8, 60000)).ValueOrDie();
+    for (NodeId j = 0; j < g.NumNodes(); ++j) {
+      EXPECT_NEAR(mc[static_cast<size_t>(j)], exact[static_cast<size_t>(j)],
+                  0.02)
+          << "query " << label << " node " << g.LabelOf(j);
+    }
+  }
+}
+
+TEST(MonteCarloStarTest, RecoversZeroSimRankPairs) {
+  // The headline: MC-SimRank* sees (h, d) while MC-SimRank cannot.
+  const Graph g = Fig1CitationGraph();
+  const NodeId h = g.FindLabel("h").ValueOrDie();
+  const NodeId d = g.FindLabel("d").ValueOrDie();
+  const std::vector<double> mc =
+      MonteCarloSimRankStar(g, h, McOpts(0.8, 60000)).ValueOrDie();
+  EXPECT_NEAR(mc[static_cast<size_t>(d)], 0.010, 0.01);
+  EXPECT_GT(mc[static_cast<size_t>(d)], 0.0);
+}
+
+TEST(MonteCarloStarTest, ConvergesOnRandomGraph) {
+  const Graph g = ErdosRenyi(40, 200, 17).ValueOrDie();
+  SimilarityOptions exact_opts;
+  exact_opts.iterations = 20;  // C = 0.6 default
+  const NodeId q = 7;
+  const std::vector<double> exact =
+      SingleSourceSimRankStarGeometric(g, q, exact_opts).ValueOrDie();
+  const std::vector<double> mc =
+      MonteCarloSimRankStar(g, q, McOpts(0.6, 40000)).ValueOrDie();
+  EXPECT_LT(MaxAbsDiff(exact, mc), 0.03);
+}
+
+TEST(MonteCarloTest, DeterministicPerSeed) {
+  const Graph g = Fig1CitationGraph();
+  const auto a = MonteCarloSimRankStar(g, 0, McOpts(0.6, 500, 5)).ValueOrDie();
+  const auto b = MonteCarloSimRankStar(g, 0, McOpts(0.6, 500, 5)).ValueOrDie();
+  EXPECT_EQ(a, b);
+  const auto c = MonteCarloSimRankStar(g, 0, McOpts(0.6, 500, 6)).ValueOrDie();
+  EXPECT_NE(a, c);
+}
+
+TEST(MonteCarloTest, ErrorShrinksWithTrials) {
+  const Graph g = Rmat(48, 280, 21).ValueOrDie();
+  SimilarityOptions exact_opts;
+  exact_opts.iterations = 20;
+  const std::vector<double> exact =
+      SingleSourceSimRankStarGeometric(g, 3, exact_opts).ValueOrDie();
+  const double err_small = MaxAbsDiff(
+      exact, MonteCarloSimRankStar(g, 3, McOpts(0.6, 200, 1)).ValueOrDie());
+  const double err_large = MaxAbsDiff(
+      exact, MonteCarloSimRankStar(g, 3, McOpts(0.6, 50000, 1)).ValueOrDie());
+  EXPECT_LT(err_large, err_small);
+}
+
+TEST(MonteCarloTest, RejectsBadArgs) {
+  const Graph g = PathGraph(3).ValueOrDie();
+  EXPECT_FALSE(MonteCarloSimRank(g, 9, {}).ok());
+  MonteCarloOptions bad;
+  bad.num_trials = 0;
+  EXPECT_FALSE(MonteCarloSimRank(g, 0, bad).ok());
+  bad = MonteCarloOptions{};
+  bad.damping = 1.0;
+  EXPECT_FALSE(MonteCarloSimRankStar(g, 0, bad).ok());
+  bad = MonteCarloOptions{};
+  bad.max_length = 0;
+  EXPECT_FALSE(MonteCarloSimRankStar(g, 0, bad).ok());
+}
+
+}  // namespace
+}  // namespace srs

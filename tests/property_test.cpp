@@ -1,0 +1,176 @@
+// Cross-algorithm property suite: invariants every similarity measure in
+// the library must satisfy, swept over measures × damping factors ×
+// graph families with TEST_P. This is the regression net that catches a
+// broken kernel anywhere in the stack.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <tuple>
+
+#include "srs/baselines/matchsim.h"
+#include "srs/baselines/p_rank.h"
+#include "srs/baselines/rwr.h"
+#include "srs/baselines/simrank_matrix.h"
+#include "srs/baselines/simrank_pp.h"
+#include "srs/baselines/simrank_psum.h"
+#include "srs/core/memo_esr_star.h"
+#include "srs/core/memo_gsr_star.h"
+#include "srs/core/simrank_star_exponential.h"
+#include "srs/core/simrank_star_geometric.h"
+#include "srs/datasets/datasets.h"
+#include "srs/graph/fixtures.h"
+#include "srs/graph/generators.h"
+#include "srs/graph/graph_builder.h"
+
+namespace srs {
+namespace {
+
+struct MeasureCase {
+  std::string name;
+  std::function<Result<DenseMatrix>(const Graph&, const SimilarityOptions&)>
+      compute;
+  bool symmetric;      ///< s(i,j) == s(j,i) expected
+  bool diagonal_one;   ///< s(i,i) == 1 expected (else: maximal row entry)
+};
+
+std::vector<MeasureCase> Measures() {
+  return {
+      {"gSRstar", [](const Graph& g, const SimilarityOptions& o) {
+         return ComputeSimRankStarGeometric(g, o);
+       }, true, false},
+      {"eSRstar", [](const Graph& g, const SimilarityOptions& o) {
+         return ComputeSimRankStarExponential(g, o);
+       }, true, false},
+      {"memo_gSRstar", [](const Graph& g, const SimilarityOptions& o) {
+         return ComputeMemoGsrStar(g, o);
+       }, true, false},
+      {"memo_eSRstar", [](const Graph& g, const SimilarityOptions& o) {
+         return ComputeMemoEsrStar(g, o);
+       }, true, false},
+      {"SimRank_psum", [](const Graph& g, const SimilarityOptions& o) {
+         return ComputeSimRankPsum(g, o);
+       }, true, true},
+      {"SimRank_matrix", [](const Graph& g, const SimilarityOptions& o) {
+         return ComputeSimRankMatrixForm(g, o);
+       }, true, false},
+      {"SimRankPP", [](const Graph& g, const SimilarityOptions& o) {
+         return ComputeSimRankPlusPlus(g, o);
+       }, true, true},
+      {"MatchSim", [](const Graph& g, const SimilarityOptions& o) {
+         return ComputeMatchSim(g, o);
+       }, true, true},
+      {"PRank", [](const Graph& g, const SimilarityOptions& o) {
+         return ComputePRank(g, o);
+       }, true, true},
+      {"RWR", [](const Graph& g, const SimilarityOptions& o) {
+         return ComputeRwr(g, o);
+       }, false, false},
+  };
+}
+
+struct GraphFamily {
+  std::string name;
+  Graph (*make)();
+};
+
+Graph FamFig1() { return Fig1CitationGraph(); }
+Graph FamRmat() { return Rmat(48, 280, 1001).ValueOrDie(); }
+Graph FamCopying() { return CopyingModelGraph(60, 5.0, 0.6, 1002).ValueOrDie(); }
+Graph FamCollab() {
+  return CollaborationCliqueGraph(50, 40, 2, 4, 1003).ValueOrDie();
+}
+
+using PropertyParam = std::tuple<int /*measure idx*/, double /*C*/, int /*graph*/>;
+
+class SimilarityPropertyTest : public testing::TestWithParam<PropertyParam> {
+ protected:
+  static const MeasureCase& Measure() {
+    static const std::vector<MeasureCase> cases = Measures();
+    return cases[static_cast<size_t>(std::get<0>(GetParam()))];
+  }
+  static Graph MakeGraph() {
+    static const GraphFamily families[] = {
+        {"Fig1", FamFig1}, {"Rmat", FamRmat},
+        {"Copying", FamCopying}, {"Collab", FamCollab}};
+    return families[std::get<2>(GetParam())].make();
+  }
+};
+
+TEST_P(SimilarityPropertyTest, ScoresInUnitIntervalAndShapeInvariants) {
+  const MeasureCase& m = Measure();
+  const Graph g = MakeGraph();
+  SimilarityOptions opts;
+  opts.damping = std::get<1>(GetParam());
+  opts.iterations = 6;
+  const DenseMatrix s = m.compute(g, opts).ValueOrDie();
+
+  ASSERT_EQ(s.rows(), g.NumNodes());
+  ASSERT_EQ(s.cols(), g.NumNodes());
+  for (int64_t i = 0; i < g.NumNodes(); ++i) {
+    if (m.diagonal_one) {
+      EXPECT_NEAR(s.At(i, i), 1.0, 1e-12);
+    }
+    for (int64_t j = 0; j < g.NumNodes(); ++j) {
+      EXPECT_GE(s.At(i, j), -1e-15) << i << "," << j;
+      EXPECT_LE(s.At(i, j), 1.0 + 1e-9) << i << "," << j;
+      if (m.symmetric) {
+        EXPECT_NEAR(s.At(i, j), s.At(j, i), 1e-12) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST_P(SimilarityPropertyTest, IsolatedNodeRelatesOnlyToItself) {
+  const MeasureCase& m = Measure();
+  // Take the family graph and append one isolated node.
+  const Graph base = MakeGraph();
+  GraphBuilder builder(base.NumNodes() + 1);
+  for (NodeId u = 0; u < base.NumNodes(); ++u) {
+    for (NodeId v : base.OutNeighbors(u)) {
+      SRS_CHECK_OK(builder.AddEdge(u, v));
+    }
+  }
+  const Graph g = builder.Build().MoveValueOrDie();
+  const NodeId isolated = static_cast<NodeId>(g.NumNodes() - 1);
+
+  SimilarityOptions opts;
+  opts.damping = std::get<1>(GetParam());
+  opts.iterations = 5;
+  const DenseMatrix s = m.compute(g, opts).ValueOrDie();
+  for (int64_t j = 0; j < g.NumNodes() - 1; ++j) {
+    EXPECT_NEAR(s.At(isolated, j), 0.0, 1e-15) << "j=" << j;
+    EXPECT_NEAR(s.At(j, isolated), 0.0, 1e-15) << "j=" << j;
+  }
+  EXPECT_GT(s.At(isolated, isolated), 0.0);
+}
+
+TEST_P(SimilarityPropertyTest, DeterministicAcrossRuns) {
+  const MeasureCase& m = Measure();
+  const Graph g = MakeGraph();
+  SimilarityOptions opts;
+  opts.damping = std::get<1>(GetParam());
+  opts.iterations = 4;
+  const DenseMatrix a = m.compute(g, opts).ValueOrDie();
+  const DenseMatrix b = m.compute(g, opts).ValueOrDie();
+  EXPECT_EQ(a.MaxAbsDiff(b), 0.0);
+}
+
+std::string PropertyName(const testing::TestParamInfo<PropertyParam>& info) {
+  static const std::vector<MeasureCase> cases = Measures();
+  const char* graphs[] = {"Fig1", "Rmat", "Copying", "Collab"};
+  return cases[static_cast<size_t>(std::get<0>(info.param))].name + "_C" +
+         std::to_string(static_cast<int>(std::get<1>(info.param) * 100)) +
+         "_" + graphs[std::get<2>(info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMeasures, SimilarityPropertyTest,
+    testing::Combine(testing::Range(0, 10), testing::Values(0.6, 0.8),
+                     testing::Range(0, 4)),
+    PropertyName);
+
+}  // namespace
+}  // namespace srs

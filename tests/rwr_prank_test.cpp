@@ -1,0 +1,177 @@
+// Tests for RWR/PPR, P-Rank, and the neighborhood baselines, including the
+// paper's critiques: RWR asymmetry, P-Rank's failure on the subdivided
+// counter-example, and the zero-similarity defect of each.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "srs/baselines/neighborhood.h"
+#include "srs/baselines/p_rank.h"
+#include "srs/baselines/rwr.h"
+#include "srs/baselines/simrank_psum.h"
+#include "srs/core/memo_gsr_star.h"
+#include "srs/core/series_reference.h"
+#include "srs/core/single_source.h"
+#include "srs/graph/fixtures.h"
+#include "srs/graph/generators.h"
+#include "srs/matrix/ops.h"
+
+namespace srs {
+namespace {
+
+SimilarityOptions Opts(double c, int k) {
+  SimilarityOptions o;
+  o.damping = c;
+  o.iterations = k;
+  return o;
+}
+
+TEST(RwrTest, IterativeMatchesSeries) {
+  const Graph g = Fig1CitationGraph();
+  for (int k : {0, 3, 7}) {
+    const DenseMatrix iter = ComputeRwr(g, Opts(0.8, k)).ValueOrDie();
+    const DenseMatrix series = RwrSeriesReference(g, 0.8, k).ValueOrDie();
+    EXPECT_LT(iter.MaxAbsDiff(series), 1e-12) << "k=" << k;
+  }
+}
+
+TEST(RwrTest, IterativeConvergesToClosedForm) {
+  const Graph g = ErdosRenyi(30, 150, 3).ValueOrDie();
+  const DenseMatrix closed = ComputeRwrClosedForm(g, 0.6).ValueOrDie();
+  const DenseMatrix iter = ComputeRwr(g, Opts(0.6, 80)).ValueOrDie();
+  EXPECT_LT(closed.MaxAbsDiff(iter), 1e-10);
+}
+
+TEST(RwrTest, RowsSumToAtMostOne) {
+  const Graph g = Rmat(40, 240, 6).ValueOrDie();
+  const DenseMatrix s = ComputeRwr(g, Opts(0.8, 60)).ValueOrDie();
+  for (int64_t i = 0; i < g.NumNodes(); ++i) {
+    double sum = 0.0;
+    for (int64_t j = 0; j < g.NumNodes(); ++j) sum += s.At(i, j);
+    EXPECT_LE(sum, 1.0 + 1e-9);  // dangling rows leak mass, others sum to 1
+  }
+}
+
+TEST(RwrTest, AsymmetryOnFamilyTree) {
+  // Paper §3.1: "Since there is no path directed from Me to Father, RWR
+  // alleges Me and Father being dissimilar" while Father->Me is positive.
+  const Graph g = Fig3FamilyTree();
+  const NodeId father = g.FindLabel("Father").ValueOrDie();
+  const NodeId me = g.FindLabel("Me").ValueOrDie();
+  const DenseMatrix s = ComputeRwr(g, Opts(0.8, 30)).ValueOrDie();
+  EXPECT_GT(s.At(father, me), 0.0);
+  EXPECT_NEAR(s.At(me, father), 0.0, 1e-15);
+}
+
+TEST(RwrTest, Fig1ZeroPattern) {
+  const Graph g = Fig1CitationGraph();
+  const DenseMatrix s = ComputeRwr(g, Opts(0.8, 30)).ValueOrDie();
+  auto at = [&](const char* u, const char* v) {
+    return s.At(g.FindLabel(u).ValueOrDie(), g.FindLabel(v).ValueOrDie());
+  };
+  // Column 'RWR' zero/nonzero pattern of the Figure 1 table.
+  EXPECT_NEAR(at("h", "d"), 0.0, 1e-15);
+  EXPECT_GT(at("a", "f"), 0.0);
+  EXPECT_GT(at("a", "c"), 0.0);
+  EXPECT_NEAR(at("g", "a"), 0.0, 1e-15);
+  EXPECT_NEAR(at("g", "b"), 0.0, 1e-15);
+  EXPECT_NEAR(at("i", "a"), 0.0, 1e-15);
+  EXPECT_NEAR(at("i", "h"), 0.0, 1e-15);
+}
+
+TEST(RwrTest, SingleSourceMatchesRow) {
+  const Graph g = Rmat(50, 300, 9).ValueOrDie();
+  const DenseMatrix s = ComputeRwr(g, Opts(0.6, 15)).ValueOrDie();
+  for (NodeId q : {NodeId{0}, NodeId{7}, NodeId{49}}) {
+    const std::vector<double> row =
+        SingleSourceRwr(g, q, Opts(0.6, 15)).ValueOrDie();
+    std::vector<double> expected(s.Row(q), s.Row(q) + g.NumNodes());
+    EXPECT_LT(MaxAbsDiff(row, expected), 1e-12) << "query " << q;
+  }
+}
+
+TEST(PRankTest, LambdaOneDegeneratesToSimRank) {
+  const Graph g = Fig1CitationGraph();
+  PRankOptions po;
+  po.lambda = 1.0;
+  const DenseMatrix pr = ComputePRank(g, Opts(0.8, 6), po).ValueOrDie();
+  const DenseMatrix sr = ComputeSimRankPsum(g, Opts(0.8, 6)).ValueOrDie();
+  EXPECT_LT(pr.MaxAbsDiff(sr), 1e-12);
+}
+
+TEST(PRankTest, FindsHdThroughOutLinks) {
+  // Paper §1: P-Rank relates (h, d) via the outgoing path h -> i <- d.
+  const Graph g = Fig1CitationGraph();
+  const DenseMatrix pr = ComputePRank(g, Opts(0.8, 10)).ValueOrDie();
+  const NodeId h = g.FindLabel("h").ValueOrDie();
+  const NodeId d = g.FindLabel("d").ValueOrDie();
+  EXPECT_GT(pr.At(h, d), 0.0);
+}
+
+TEST(PRankTest, SubdividedCounterExampleStaysZero) {
+  // ...but replacing h->i with h->l->i breaks P-Rank, while SimRank* still
+  // scores the pair — the paper's key argument against P-Rank.
+  const Graph g = Fig1WithSubdividedHi();
+  const NodeId h = g.FindLabel("h").ValueOrDie();
+  const NodeId d = g.FindLabel("d").ValueOrDie();
+  const DenseMatrix pr = ComputePRank(g, Opts(0.8, 15)).ValueOrDie();
+  EXPECT_NEAR(pr.At(h, d), 0.0, 1e-15);
+  const DenseMatrix star = ComputeMemoGsrStar(g, Opts(0.8, 15)).ValueOrDie();
+  EXPECT_GT(star.At(h, d), 0.0);
+}
+
+TEST(PRankTest, SymmetricBoundedDiagonalOne) {
+  const Graph g = Rmat(40, 200, 14).ValueOrDie();
+  const DenseMatrix pr = ComputePRank(g, Opts(0.6, 6)).ValueOrDie();
+  for (int64_t i = 0; i < g.NumNodes(); ++i) {
+    EXPECT_NEAR(pr.At(i, i), 1.0, 1e-12);
+    for (int64_t j = 0; j < g.NumNodes(); ++j) {
+      EXPECT_NEAR(pr.At(i, j), pr.At(j, i), 1e-12);
+      EXPECT_GE(pr.At(i, j), 0.0);
+      EXPECT_LE(pr.At(i, j), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(PRankTest, RejectsBadLambda) {
+  const Graph g = PathGraph(3).ValueOrDie();
+  PRankOptions po;
+  po.lambda = 1.5;
+  EXPECT_FALSE(ComputePRank(g, {}, po).ok());
+}
+
+TEST(NeighborhoodTest, CoCitationCountsCommonInNeighbors) {
+  const Graph g = Fig1CitationGraph();
+  const NodeId h = g.FindLabel("h").ValueOrDie();
+  const NodeId i = g.FindLabel("i").ValueOrDie();
+  const DenseMatrix raw =
+      ComputeCoCitation(g, OverlapNormalization::kNone).ValueOrDie();
+  EXPECT_EQ(raw.At(h, i), 3.0);  // {e, j, k}
+  const DenseMatrix jac = ComputeCoCitation(g).ValueOrDie();
+  EXPECT_NEAR(jac.At(h, i), 3.0 / 6.0, 1e-12);  // |I(h) ∪ I(i)| = 6
+}
+
+TEST(NeighborhoodTest, CouplingCountsCommonOutNeighbors) {
+  const Graph g = Fig1CitationGraph();
+  const NodeId b = g.FindLabel("b").ValueOrDie();
+  const NodeId d = g.FindLabel("d").ValueOrDie();
+  const DenseMatrix raw =
+      ComputeCoupling(g, OverlapNormalization::kNone).ValueOrDie();
+  EXPECT_EQ(raw.At(b, d), 3.0);  // both point at {c, g, i}
+  const DenseMatrix cos =
+      ComputeCoupling(g, OverlapNormalization::kCosine).ValueOrDie();
+  EXPECT_NEAR(cos.At(b, d), 3.0 / std::sqrt(4.0 * 3.0), 1e-12);
+}
+
+TEST(NeighborhoodTest, SymmetricMatrices) {
+  const Graph g = Rmat(30, 180, 15).ValueOrDie();
+  for (auto norm : {OverlapNormalization::kNone, OverlapNormalization::kJaccard,
+                    OverlapNormalization::kCosine}) {
+    const DenseMatrix s = ComputeCoCitation(g, norm).ValueOrDie();
+    EXPECT_LT(s.MaxAbsDiff(s.Transposed()), 1e-15);
+  }
+}
+
+}  // namespace
+}  // namespace srs

@@ -1,0 +1,201 @@
+// Tests for the SimRank implementations (naive / psum / matrix form /
+// mtx-SR) and Theorem 1 (the zero-similarity defect itself).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "srs/analysis/path_count.h"
+#include "srs/baselines/mtx_simrank.h"
+#include "srs/baselines/simrank_matrix.h"
+#include "srs/baselines/simrank_naive.h"
+#include "srs/baselines/simrank_psum.h"
+#include "srs/core/series_reference.h"
+#include "srs/graph/fixtures.h"
+#include "srs/graph/generators.h"
+#include "srs/graph/graph_builder.h"
+
+namespace srs {
+namespace {
+
+SimilarityOptions Opts(double c, int k) {
+  SimilarityOptions o;
+  o.damping = c;
+  o.iterations = k;
+  return o;
+}
+
+TEST(SimRankTest, NaiveMatchesJehWidomHandExample) {
+  // Diamond 0->{1,2}->3: s(1,2) converges to C/(1) * s(0,0) = C after one
+  // iteration (I(1)=I(2)={0}).
+  GraphBuilder b(4);
+  SRS_CHECK_OK(b.AddEdge(0, 1));
+  SRS_CHECK_OK(b.AddEdge(0, 2));
+  SRS_CHECK_OK(b.AddEdge(1, 3));
+  SRS_CHECK_OK(b.AddEdge(2, 3));
+  const Graph g = b.Build().MoveValueOrDie();
+  const DenseMatrix s = ComputeSimRankNaive(g, Opts(0.8, 10)).ValueOrDie();
+  EXPECT_NEAR(s.At(1, 2), 0.8, 1e-12);          // common in-neighbor 0
+  EXPECT_NEAR(s.At(3, 3), 1.0, 1e-12);          // base case
+  EXPECT_NEAR(s.At(0, 3), 0.0, 1e-12);          // I(0) empty
+}
+
+TEST(SimRankTest, PsumEqualsNaiveEverywhere) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    const Graph g = Rmat(60, 420, seed).ValueOrDie();
+    for (auto diag : {SimRankDiagonal::kForceOne, SimRankDiagonal::kMatrixForm}) {
+      const DenseMatrix naive =
+          ComputeSimRankNaive(g, Opts(0.6, 5), diag).ValueOrDie();
+      const DenseMatrix psum =
+          ComputeSimRankPsum(g, Opts(0.6, 5), diag).ValueOrDie();
+      EXPECT_LT(naive.MaxAbsDiff(psum), 1e-12);
+    }
+  }
+}
+
+TEST(SimRankTest, MatrixFormEqualsNaiveMatrixDiagonal) {
+  const Graph g = ErdosRenyi(40, 200, 4).ValueOrDie();
+  const DenseMatrix mf = ComputeSimRankMatrixForm(g, Opts(0.6, 6)).ValueOrDie();
+  const DenseMatrix naive =
+      ComputeSimRankNaive(g, Opts(0.6, 6), SimRankDiagonal::kMatrixForm)
+          .ValueOrDie();
+  EXPECT_LT(mf.MaxAbsDiff(naive), 1e-12);
+}
+
+TEST(SimRankTest, MatrixFormEqualsLemma2Series) {
+  const Graph g = Fig1CitationGraph();
+  for (int k : {0, 2, 5}) {
+    const DenseMatrix mf =
+        ComputeSimRankMatrixForm(g, Opts(0.8, k)).ValueOrDie();
+    const DenseMatrix series = SimRankSeriesReference(g, 0.8, k).ValueOrDie();
+    EXPECT_LT(mf.MaxAbsDiff(series), 1e-12) << "k=" << k;
+  }
+}
+
+TEST(SimRankTest, SymmetricAndBounded) {
+  const Graph g = Rmat(50, 300, 8).ValueOrDie();
+  const DenseMatrix s = ComputeSimRankPsum(g, Opts(0.8, 8)).ValueOrDie();
+  for (int64_t i = 0; i < g.NumNodes(); ++i) {
+    EXPECT_NEAR(s.At(i, i), 1.0, 1e-12);
+    for (int64_t j = 0; j < g.NumNodes(); ++j) {
+      EXPECT_NEAR(s.At(i, j), s.At(j, i), 1e-12);
+      EXPECT_GE(s.At(i, j), 0.0);
+      EXPECT_LE(s.At(i, j), 1.0 + 1e-12);
+    }
+  }
+}
+
+// --- Theorem 1: s(a,b) = 0 iff no symmetric in-link path. ------------------
+
+TEST(SimRankTest, Theorem1ZeroIffNoSymmetricPath) {
+  for (uint64_t seed : {10u, 20u}) {
+    const Graph g = Rmat(40, 160, seed).ValueOrDie();
+    const int k = 8;
+    const DenseMatrix s =
+        ComputeSimRankNaive(g, Opts(0.8, k), SimRankDiagonal::kMatrixForm)
+            .ValueOrDie();
+    const PathPresence presence = ComputePathPresence(g, k);
+    for (NodeId i = 0; i < g.NumNodes(); ++i) {
+      for (NodeId j = 0; j < g.NumNodes(); ++j) {
+        if (i == j) continue;
+        const bool has_sym =
+            (presence.At(i, j) & kHasSymmetricInLinkPath) != 0;
+        if (s.At(i, j) > 1e-15) {
+          EXPECT_TRUE(has_sym)
+              << "SimRank(" << i << "," << j << ") > 0 without symmetric path";
+        }
+        if (has_sym) {
+          // Symmetric path of length <= 2k implies nonzero score at k iters.
+          EXPECT_GT(s.At(i, j), 0.0)
+              << "symmetric path exists but SimRank is zero";
+        }
+      }
+    }
+  }
+}
+
+TEST(SimRankTest, Fig1ZeroPattern) {
+  const Graph g = Fig1CitationGraph();
+  // The paper's Figure 1 'SR' column is computed under the matrix form
+  // (Eq. 3) scaling — (i,h) = 0.044 comes out exactly there.
+  const DenseMatrix s =
+      ComputeSimRankMatrixForm(g, Opts(0.8, 20)).ValueOrDie();
+  auto at = [&](const char* u, const char* v) {
+    return s.At(g.FindLabel(u).ValueOrDie(), g.FindLabel(v).ValueOrDie());
+  };
+  // Column 'SR' of the Figure 1 table.
+  EXPECT_NEAR(at("h", "d"), 0.0, 1e-15);
+  EXPECT_NEAR(at("a", "f"), 0.0, 1e-15);
+  EXPECT_NEAR(at("a", "c"), 0.0, 1e-15);
+  EXPECT_NEAR(at("g", "a"), 0.0, 1e-15);
+  EXPECT_NEAR(at("g", "b"), 0.0, 1e-15);
+  EXPECT_NEAR(at("i", "a"), 0.0, 1e-15);
+  EXPECT_NEAR(at("i", "h"), 0.044, 0.004);  // the one positive SR entry
+}
+
+TEST(SimRankTest, PathGraphZeroSimilarity) {
+  // §1: on a_{-n} <- ... <- a_0 -> ... -> a_n, SimRank(a_i, a_j) = 0 for
+  // |i| != |j|.
+  const Graph g = DoubleEndedPath(3).ValueOrDie();  // ids 0..6, center 3
+  const DenseMatrix s = ComputeSimRankPsum(g, Opts(0.8, 20)).ValueOrDie();
+  for (int64_t i = 0; i < 7; ++i) {
+    for (int64_t j = 0; j < 7; ++j) {
+      const int64_t di = std::abs(i - 3), dj = std::abs(j - 3);
+      if (i == j) continue;
+      if (di != dj) {
+        EXPECT_NEAR(s.At(i, j), 0.0, 1e-15) << i << "," << j;
+      } else {
+        EXPECT_GT(s.At(i, j), 0.0) << i << "," << j;
+      }
+    }
+  }
+}
+
+// --- mtx-SR. -----------------------------------------------------------------
+
+TEST(MtxSimRankTest, FullRankEqualsFixedPoint) {
+  const Graph g = Fig1CitationGraph();
+  const DenseMatrix mtx = ComputeMtxSimRank(g, Opts(0.6, 0)).ValueOrDie();
+  // The K -> infinity limit of the matrix-form iteration.
+  const DenseMatrix iter =
+      ComputeSimRankMatrixForm(g, Opts(0.6, 100)).ValueOrDie();
+  EXPECT_LT(mtx.MaxAbsDiff(iter), 1e-9);
+}
+
+TEST(MtxSimRankTest, FullRankOnRandomGraph) {
+  const Graph g = ErdosRenyi(25, 120, 6).ValueOrDie();
+  const DenseMatrix mtx = ComputeMtxSimRank(g, Opts(0.8, 0)).ValueOrDie();
+  const DenseMatrix iter =
+      ComputeSimRankMatrixForm(g, Opts(0.8, 200)).ValueOrDie();
+  EXPECT_LT(mtx.MaxAbsDiff(iter), 1e-8);
+}
+
+TEST(MtxSimRankTest, TruncationErrorShrinksWithRank) {
+  const Graph g = Rmat(30, 150, 7).ValueOrDie();
+  const DenseMatrix exact = ComputeMtxSimRank(g, Opts(0.6, 0)).ValueOrDie();
+  double prev_err = 1e9;
+  for (int64_t r : {5, 15, 30}) {
+    MtxSimRankOptions mo;
+    mo.rank = r;
+    const DenseMatrix approx =
+        ComputeMtxSimRank(g, Opts(0.6, 0), mo).ValueOrDie();
+    const double err = exact.MaxAbsDiff(approx);
+    EXPECT_LE(err, prev_err + 1e-9) << "rank " << r;
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-8);  // full rank recovers the exact solution
+}
+
+TEST(MtxSimRankTest, EdgelessGraph) {
+  GraphBuilder b(4);
+  const Graph g = b.Build().MoveValueOrDie();
+  const DenseMatrix s = ComputeMtxSimRank(g, Opts(0.6, 0)).ValueOrDie();
+  EXPECT_LT(s.MaxAbsDiff(DenseMatrix::FromRows({{0.4, 0, 0, 0},
+                                                {0, 0.4, 0, 0},
+                                                {0, 0, 0.4, 0},
+                                                {0, 0, 0, 0.4}})),
+            1e-12);
+}
+
+}  // namespace
+}  // namespace srs

@@ -1,0 +1,261 @@
+// Tests for SimRank* (geometric and exponential): the executable proofs of
+// Theorems 2 and 3 and Lemmas 3 and 4, plus the paper's Figure 1 anchors.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "srs/core/series_reference.h"
+#include "srs/core/simrank_star_exponential.h"
+#include "srs/core/simrank_star_geometric.h"
+#include "srs/graph/fixtures.h"
+#include "srs/graph/generators.h"
+#include "srs/graph/graph_builder.h"
+
+namespace srs {
+namespace {
+
+SimilarityOptions Opts(double c, int k) {
+  SimilarityOptions o;
+  o.damping = c;
+  o.iterations = k;
+  return o;
+}
+
+// --- Theorem 2 / Lemma 4: recursion == series, term for term. -------------
+
+TEST(SimRankStarGeoTest, RecursionMatchesSeriesOnFig1) {
+  const Graph g = Fig1CitationGraph();
+  for (int k : {0, 1, 2, 5, 8}) {
+    const DenseMatrix recursive =
+        ComputeSimRankStarGeometric(g, Opts(0.8, k)).ValueOrDie();
+    const DenseMatrix series =
+        GeometricStarSeriesReference(g, 0.8, k).ValueOrDie();
+    EXPECT_LT(recursive.MaxAbsDiff(series), 1e-12) << "k=" << k;
+  }
+}
+
+TEST(SimRankStarGeoTest, RecursionMatchesSeriesOnRandomGraphs) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const Graph g = ErdosRenyi(25, 80, seed).ValueOrDie();
+    const DenseMatrix recursive =
+        ComputeSimRankStarGeometric(g, Opts(0.6, 6)).ValueOrDie();
+    const DenseMatrix series =
+        GeometricStarSeriesReference(g, 0.6, 6).ValueOrDie();
+    EXPECT_LT(recursive.MaxAbsDiff(series), 1e-12) << "seed=" << seed;
+  }
+}
+
+// --- Basic matrix properties. ----------------------------------------------
+
+TEST(SimRankStarGeoTest, SymmetricAndBounded) {
+  const Graph g = Rmat(64, 400, 11).ValueOrDie();
+  const DenseMatrix s =
+      ComputeSimRankStarGeometric(g, Opts(0.7, 12)).ValueOrDie();
+  for (int64_t i = 0; i < g.NumNodes(); ++i) {
+    for (int64_t j = 0; j < g.NumNodes(); ++j) {
+      EXPECT_NEAR(s.At(i, j), s.At(j, i), 1e-12);
+      EXPECT_GE(s.At(i, j), 0.0);
+      EXPECT_LE(s.At(i, j), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(SimRankStarGeoTest, DiagonalDominates) {
+  const Graph g = Rmat(40, 200, 12).ValueOrDie();
+  const DenseMatrix s =
+      ComputeSimRankStarGeometric(g, Opts(0.6, 10)).ValueOrDie();
+  for (int64_t i = 0; i < g.NumNodes(); ++i) {
+    EXPECT_GE(s.At(i, i), 1.0 - 0.6 - 1e-12);  // at least the (1-C) base
+    for (int64_t j = 0; j < g.NumNodes(); ++j) {
+      EXPECT_LE(s.At(i, j), s.At(i, i) + 1e-9)
+          << "off-diagonal exceeds self-similarity";
+    }
+  }
+}
+
+// --- Lemma 3: the a-priori error bound C^{k+1}. ----------------------------
+
+TEST(SimRankStarGeoTest, ConvergenceBoundHolds) {
+  const Graph g = Fig1CitationGraph();
+  const double c = 0.8;
+  const DenseMatrix exact =
+      ComputeSimRankStarGeometric(g, Opts(c, 80)).ValueOrDie();
+  for (int k : {0, 1, 3, 6, 10}) {
+    const DenseMatrix sk =
+        ComputeSimRankStarGeometric(g, Opts(c, k)).ValueOrDie();
+    EXPECT_LE(exact.MaxAbsDiff(sk), std::pow(c, k + 1) + 1e-12) << "k=" << k;
+  }
+}
+
+TEST(SimRankStarGeoTest, IterationsMonotonicallyIncreaseScores) {
+  // Every series term is non-negative, so partial sums are monotone.
+  const Graph g = Rmat(32, 160, 13).ValueOrDie();
+  DenseMatrix prev =
+      ComputeSimRankStarGeometric(g, Opts(0.6, 0)).ValueOrDie();
+  for (int k = 1; k <= 6; ++k) {
+    DenseMatrix cur =
+        ComputeSimRankStarGeometric(g, Opts(0.6, k)).ValueOrDie();
+    for (int64_t i = 0; i < g.NumNodes(); ++i) {
+      for (int64_t j = 0; j < g.NumNodes(); ++j) {
+        EXPECT_GE(cur.At(i, j), prev.At(i, j) - 1e-12);
+      }
+    }
+    prev = std::move(cur);
+  }
+}
+
+// --- The paper's Figure 1 SR* column. --------------------------------------
+
+TEST(SimRankStarGeoTest, Fig1PaperScores) {
+  const Graph g = Fig1CitationGraph();
+  const DenseMatrix s =
+      ComputeSimRankStarGeometric(g, Opts(0.8, 60)).ValueOrDie();
+  auto at = [&](const char* u, const char* v) {
+    return s.At(g.FindLabel(u).ValueOrDie(), g.FindLabel(v).ValueOrDie());
+  };
+  // Paper's table (C = 0.8), 3-decimal precision.
+  EXPECT_NEAR(at("h", "d"), 0.010, 0.004);
+  EXPECT_NEAR(at("i", "h"), 0.031, 0.004);
+  // Every "zero-SimRank" pair of the table is nonzero under SimRank*.
+  EXPECT_GT(at("h", "d"), 0.0);
+  EXPECT_GT(at("a", "f"), 0.0);
+  EXPECT_GT(at("a", "c"), 0.0);
+  EXPECT_GT(at("g", "a"), 0.0);
+  EXPECT_GT(at("g", "b"), 0.0);
+  EXPECT_GT(at("i", "a"), 0.0);
+}
+
+TEST(SimRankStarGeoTest, DoubleEndedPathAllPairsRelated) {
+  // §1's path-graph example: SimRank gives 0 for |i| != |j| but every pair
+  // shares the common root a_0, so SimRank* must relate all of them.
+  const Graph g = DoubleEndedPath(3).ValueOrDie();
+  const DenseMatrix s =
+      ComputeSimRankStarGeometric(g, Opts(0.8, 40)).ValueOrDie();
+  for (int64_t i = 0; i < g.NumNodes(); ++i) {
+    for (int64_t j = 0; j < g.NumNodes(); ++j) {
+      if (i == j) continue;
+      EXPECT_GT(s.At(i, j), 0.0) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+// --- Exponential variant: Theorem 3 and Eq. 12. -----------------------------
+
+TEST(SimRankStarExpTest, AccumulationMatchesSeries) {
+  const Graph g = Fig1CitationGraph();
+  for (int k : {0, 1, 2, 5, 10}) {
+    const DenseMatrix fast =
+        ComputeSimRankStarExponential(g, Opts(0.8, k)).ValueOrDie();
+    const DenseMatrix series =
+        ExponentialStarSeriesReference(g, 0.8, k).ValueOrDie();
+    EXPECT_LT(fast.MaxAbsDiff(series), 1e-12) << "k=" << k;
+  }
+}
+
+TEST(SimRankStarExpTest, ClosedFormConvergesToSeriesLimit) {
+  // Thm 3: e^{-C} e^{C/2 Q} e^{C/2 Qᵀ}. The T_K·T_Kᵀ route contains extra
+  // cross terms beyond the K-term series truncation, so both are compared
+  // at high K where the tail is negligible.
+  const Graph g = ErdosRenyi(20, 60, 5).ValueOrDie();
+  const DenseMatrix closed =
+      ComputeSimRankStarExponentialClosedForm(g, Opts(0.6, 30)).ValueOrDie();
+  const DenseMatrix accum =
+      ComputeSimRankStarExponential(g, Opts(0.6, 30)).ValueOrDie();
+  EXPECT_LT(closed.MaxAbsDiff(accum), 1e-12);
+}
+
+TEST(SimRankStarExpTest, ExponentialBoundEq12) {
+  const Graph g = Fig1CitationGraph();
+  const double c = 0.8;
+  const DenseMatrix exact =
+      ComputeSimRankStarExponential(g, Opts(c, 40)).ValueOrDie();
+  double factorial = 1.0;
+  for (int k = 0; k <= 6; ++k) {
+    factorial *= static_cast<double>(k + 1);
+    const DenseMatrix sk =
+        ComputeSimRankStarExponential(g, Opts(c, k)).ValueOrDie();
+    EXPECT_LE(exact.MaxAbsDiff(sk), std::pow(c, k + 1) / factorial + 1e-12)
+        << "k=" << k;
+  }
+}
+
+TEST(SimRankStarExpTest, ConvergesFasterThanGeometric) {
+  // Eq. 12 vs Eq. 10: at equal K the exponential variant is closer to its
+  // limit than the geometric one is to its own.
+  const Graph g = Rmat(48, 300, 17).ValueOrDie();
+  const int k = 3;
+  const DenseMatrix geo_k =
+      ComputeSimRankStarGeometric(g, Opts(0.8, k)).ValueOrDie();
+  const DenseMatrix geo_inf =
+      ComputeSimRankStarGeometric(g, Opts(0.8, 60)).ValueOrDie();
+  const DenseMatrix exp_k =
+      ComputeSimRankStarExponential(g, Opts(0.8, k)).ValueOrDie();
+  const DenseMatrix exp_inf =
+      ComputeSimRankStarExponential(g, Opts(0.8, 60)).ValueOrDie();
+  EXPECT_LT(exp_inf.MaxAbsDiff(exp_k), geo_inf.MaxAbsDiff(geo_k));
+}
+
+TEST(SimRankStarExpTest, SymmetricAndBounded) {
+  const Graph g = Rmat(50, 250, 19).ValueOrDie();
+  const DenseMatrix s =
+      ComputeSimRankStarExponential(g, Opts(0.6, 12)).ValueOrDie();
+  for (int64_t i = 0; i < g.NumNodes(); ++i) {
+    for (int64_t j = 0; j < g.NumNodes(); ++j) {
+      EXPECT_NEAR(s.At(i, j), s.At(j, i), 1e-12);
+      EXPECT_GE(s.At(i, j), 0.0);
+      EXPECT_LE(s.At(i, j), 1.0 + 1e-12);
+    }
+  }
+}
+
+// --- Option validation and epsilon-driven K. --------------------------------
+
+TEST(SimRankStarOptionsTest, RejectsBadOptions) {
+  const Graph g = PathGraph(3).ValueOrDie();
+  SimilarityOptions bad;
+  bad.damping = 1.5;
+  EXPECT_FALSE(ComputeSimRankStarGeometric(g, bad).ok());
+  bad = SimilarityOptions{};
+  bad.iterations = -1;
+  EXPECT_FALSE(ComputeSimRankStarGeometric(g, bad).ok());
+  bad = SimilarityOptions{};
+  bad.epsilon = -0.1;
+  EXPECT_FALSE(ComputeSimRankStarExponential(g, bad).ok());
+}
+
+TEST(SimRankStarOptionsTest, EpsilonPicksFewerExponentialIterations) {
+  const double c = 0.6, eps = 1e-3;
+  const int kg = IterationsForGeometricAccuracy(c, eps);
+  const int ke = IterationsForExponentialAccuracy(c, eps);
+  EXPECT_LT(ke, kg);
+  EXPECT_LE(std::pow(c, kg + 1), eps);
+  EXPECT_GT(std::pow(c, kg), eps);  // minimal K
+}
+
+TEST(SimRankStarOptionsTest, EpsilonDrivenRunMeetsAccuracy) {
+  const Graph g = Fig1CitationGraph();
+  SimilarityOptions opts;
+  opts.damping = 0.6;
+  opts.epsilon = 1e-4;
+  const DenseMatrix s = ComputeSimRankStarGeometric(g, opts).ValueOrDie();
+  const DenseMatrix exact =
+      ComputeSimRankStarGeometric(g, Opts(0.6, 80)).ValueOrDie();
+  EXPECT_LE(exact.MaxAbsDiff(s), 1e-4 + 1e-12);
+}
+
+TEST(SimRankStarGeoTest, EmptyEdgeGraph) {
+  // No edges: Ŝ = (1-C)·I for any K.
+  GraphBuilder bldr(3);
+  const Graph g = bldr.Build().MoveValueOrDie();
+  const DenseMatrix s =
+      ComputeSimRankStarGeometric(g, Opts(0.6, 5)).ValueOrDie();
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(s.At(i, j), i == j ? 0.4 : 0.0, 1e-15);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace srs

@@ -1,0 +1,106 @@
+// Tests for query-time single-source similarity: each vector variant must
+// agree with the corresponding column of the all-pairs matrix.
+
+#include "srs/core/single_source.h"
+
+#include <gtest/gtest.h>
+
+#include "srs/core/simrank_star_exponential.h"
+#include "srs/core/simrank_star_geometric.h"
+#include "srs/graph/fixtures.h"
+#include "srs/graph/generators.h"
+#include "srs/graph/graph_builder.h"
+#include "srs/matrix/ops.h"
+
+namespace srs {
+namespace {
+
+SimilarityOptions Opts(double c, int k) {
+  SimilarityOptions o;
+  o.damping = c;
+  o.iterations = k;
+  return o;
+}
+
+std::vector<double> MatrixRow(const DenseMatrix& m, NodeId q) {
+  return std::vector<double>(m.Row(q), m.Row(q) + m.cols());
+}
+
+TEST(SingleSourceTest, GeometricMatchesAllPairsOnFig1) {
+  const Graph g = Fig1CitationGraph();
+  const SimilarityOptions opts = Opts(0.8, 10);
+  const DenseMatrix s = ComputeSimRankStarGeometric(g, opts).ValueOrDie();
+  for (NodeId q = 0; q < g.NumNodes(); ++q) {
+    const std::vector<double> col =
+        SingleSourceSimRankStarGeometric(g, q, opts).ValueOrDie();
+    EXPECT_LT(MaxAbsDiff(col, MatrixRow(s, q)), 1e-12) << "query " << q;
+  }
+}
+
+TEST(SingleSourceTest, GeometricMatchesAllPairsOnRandomGraphs) {
+  for (uint64_t seed : {21u, 22u}) {
+    const Graph g = Rmat(48, 300, seed).ValueOrDie();
+    const SimilarityOptions opts = Opts(0.6, 7);
+    const DenseMatrix s = ComputeSimRankStarGeometric(g, opts).ValueOrDie();
+    for (NodeId q : {NodeId{0}, NodeId{17}, NodeId{47}}) {
+      const std::vector<double> col =
+          SingleSourceSimRankStarGeometric(g, q, opts).ValueOrDie();
+      EXPECT_LT(MaxAbsDiff(col, MatrixRow(s, q)), 1e-12)
+          << "seed " << seed << " query " << q;
+    }
+  }
+}
+
+TEST(SingleSourceTest, ExponentialMatchesAllPairs) {
+  const Graph g = Rmat(40, 240, 23).ValueOrDie();
+  const SimilarityOptions opts = Opts(0.7, 9);
+  const DenseMatrix s = ComputeSimRankStarExponential(g, opts).ValueOrDie();
+  for (NodeId q : {NodeId{3}, NodeId{20}}) {
+    const std::vector<double> col =
+        SingleSourceSimRankStarExponential(g, q, opts).ValueOrDie();
+    EXPECT_LT(MaxAbsDiff(col, MatrixRow(s, q)), 1e-12) << "query " << q;
+  }
+}
+
+TEST(SingleSourceTest, SelfScoreIsLargest) {
+  const Graph g = Rmat(64, 380, 29).ValueOrDie();
+  const std::vector<double> col =
+      SingleSourceSimRankStarGeometric(g, 5, Opts(0.6, 8)).ValueOrDie();
+  for (size_t j = 0; j < col.size(); ++j) {
+    EXPECT_LE(col[j], col[5] + 1e-9);
+  }
+}
+
+TEST(SingleSourceTest, RejectsOutOfRangeQuery) {
+  const Graph g = PathGraph(4).ValueOrDie();
+  EXPECT_TRUE(SingleSourceSimRankStarGeometric(g, 4, {}).status().code() ==
+              StatusCode::kOutOfRange);
+  EXPECT_TRUE(SingleSourceSimRankStarGeometric(g, -1, {}).status().code() ==
+              StatusCode::kOutOfRange);
+  EXPECT_TRUE(SingleSourceRwr(g, 99, {}).status().code() ==
+              StatusCode::kOutOfRange);
+}
+
+TEST(SingleSourceTest, RejectsBadOptions) {
+  const Graph g = PathGraph(4).ValueOrDie();
+  SimilarityOptions bad;
+  bad.damping = 0.0;
+  EXPECT_FALSE(SingleSourceSimRankStarGeometric(g, 0, bad).ok());
+}
+
+TEST(SingleSourceTest, IsolatedQueryNode) {
+  // A node with no in- or out-edges relates only to itself.
+  GraphBuilder b(4);
+  SRS_CHECK_OK(b.AddEdge(0, 1));
+  SRS_CHECK_OK(b.AddEdge(1, 2));
+  const Graph g = b.Build().MoveValueOrDie();
+  const std::vector<double> col =
+      SingleSourceSimRankStarGeometric(g, 3, Opts(0.6, 10)).ValueOrDie();
+  EXPECT_NEAR(col[3], 0.4, 1e-12);  // (1-C)
+  EXPECT_NEAR(col[0], 0.0, 1e-15);
+  EXPECT_NEAR(col[1], 0.0, 1e-15);
+  EXPECT_NEAR(col[2], 0.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace srs

@@ -1,0 +1,133 @@
+// Unit tests for the one-sided Jacobi SVD and LU factorization.
+
+#include <gtest/gtest.h>
+
+#include "srs/common/rng.h"
+#include "srs/matrix/lu.h"
+#include "srs/matrix/svd.h"
+
+namespace srs {
+namespace {
+
+DenseMatrix RandomMatrix(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix m(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      m.At(i, j) = rng.UniformDouble() * 2.0 - 1.0;
+    }
+  }
+  return m;
+}
+
+TEST(SvdTest, ReconstructsDiagonalMatrix) {
+  DenseMatrix d = DenseMatrix::FromRows({{3, 0}, {0, 2}});
+  SvdResult svd = ComputeSvd(d).ValueOrDie();
+  EXPECT_NEAR(svd.sigma[0], 3.0, 1e-12);
+  EXPECT_NEAR(svd.sigma[1], 2.0, 1e-12);
+  EXPECT_LT(ReconstructFromSvd(svd).MaxAbsDiff(d), 1e-12);
+}
+
+TEST(SvdTest, SingularValuesSortedDescending) {
+  SvdResult svd = ComputeSvd(RandomMatrix(12, 1)).ValueOrDie();
+  for (size_t i = 1; i < svd.sigma.size(); ++i) {
+    EXPECT_GE(svd.sigma[i - 1], svd.sigma[i]);
+  }
+}
+
+TEST(SvdTest, ReconstructsRandomMatrix) {
+  DenseMatrix m = RandomMatrix(15, 2);
+  SvdResult svd = ComputeSvd(m).ValueOrDie();
+  EXPECT_LT(ReconstructFromSvd(svd).MaxAbsDiff(m), 1e-10);
+}
+
+TEST(SvdTest, ColumnsOrthonormal) {
+  DenseMatrix m = RandomMatrix(10, 3);
+  SvdResult svd = ComputeSvd(m).ValueOrDie();
+  DenseMatrix utu = MultiplyTransposed(svd.u.Transposed(), svd.u.Transposed());
+  DenseMatrix vtv = MultiplyTransposed(svd.v.Transposed(), svd.v.Transposed());
+  EXPECT_LT(utu.MaxAbsDiff(DenseMatrix::Identity(10)), 1e-10);
+  EXPECT_LT(vtv.MaxAbsDiff(DenseMatrix::Identity(10)), 1e-10);
+}
+
+TEST(SvdTest, HandlesRankDeficiency) {
+  // Rank-1 matrix: outer product of ones.
+  DenseMatrix m(6, 6, 1.0);
+  SvdResult svd = ComputeSvd(m).ValueOrDie();
+  EXPECT_NEAR(svd.sigma[0], 6.0, 1e-10);
+  for (size_t i = 1; i < svd.sigma.size(); ++i) {
+    EXPECT_LT(svd.sigma[i], 1e-8);
+  }
+  EXPECT_LT(ReconstructFromSvd(svd).MaxAbsDiff(m), 1e-9);
+}
+
+TEST(SvdTest, TruncationKeepsTopComponents) {
+  DenseMatrix m = RandomMatrix(10, 4);
+  SvdResult svd = ComputeSvd(m).ValueOrDie();
+  SvdResult low = TruncateSvd(svd, 3);
+  EXPECT_EQ(low.sigma.size(), 3u);
+  EXPECT_EQ(low.u.cols(), 3);
+  EXPECT_EQ(low.v.cols(), 3);
+  // Rank-3 reconstruction error is bounded by sigma_4 (spectral norm) and
+  // certainly by sigma_4 * n in max norm.
+  EXPECT_LT(ReconstructFromSvd(low).MaxAbsDiff(m), svd.sigma[3] * 10);
+}
+
+TEST(SvdTest, TruncationDropsTinySigmas) {
+  DenseMatrix m(4, 4, 1.0);  // rank 1
+  SvdResult svd = ComputeSvd(m).ValueOrDie();
+  SvdResult low = TruncateSvd(svd, 4, 1e-6);
+  EXPECT_EQ(low.sigma.size(), 1u);
+}
+
+TEST(SvdTest, RejectsRectangular) {
+  DenseMatrix m(2, 3);
+  EXPECT_FALSE(ComputeSvd(m).ok());
+}
+
+TEST(LuTest, SolvesKnownSystem) {
+  DenseMatrix a = DenseMatrix::FromRows({{2, 1}, {1, 3}});
+  LuFactorization lu = LuFactorization::Compute(a).ValueOrDie();
+  std::vector<double> x = lu.Solve(std::vector<double>{5, 10});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuTest, SolveRequiresPivoting) {
+  // Zero on the initial pivot position forces a row swap.
+  DenseMatrix a = DenseMatrix::FromRows({{0, 1}, {1, 0}});
+  LuFactorization lu = LuFactorization::Compute(a).ValueOrDie();
+  std::vector<double> x = lu.Solve(std::vector<double>{2, 3});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LuTest, InverseTimesMatrixIsIdentity) {
+  DenseMatrix a = RandomMatrix(8, 5);
+  for (int64_t i = 0; i < 8; ++i) a.At(i, i) += 4.0;  // well-conditioned
+  LuFactorization lu = LuFactorization::Compute(a).ValueOrDie();
+  DenseMatrix prod = Multiply(a, lu.Inverse());
+  EXPECT_LT(prod.MaxAbsDiff(DenseMatrix::Identity(8)), 1e-10);
+}
+
+TEST(LuTest, DenseRhsSolve) {
+  DenseMatrix a = DenseMatrix::FromRows({{4, 0}, {0, 2}});
+  LuFactorization lu = LuFactorization::Compute(a).ValueOrDie();
+  DenseMatrix x = lu.Solve(DenseMatrix::FromRows({{4, 8}, {2, 6}}));
+  EXPECT_NEAR(x.At(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x.At(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(x.At(1, 1), 3.0, 1e-12);
+}
+
+TEST(LuTest, DetectsSingular) {
+  DenseMatrix a = DenseMatrix::FromRows({{1, 2}, {2, 4}});
+  EXPECT_FALSE(LuFactorization::Compute(a).ok());
+}
+
+TEST(LuTest, RejectsRectangular) {
+  DenseMatrix a(2, 3);
+  EXPECT_FALSE(LuFactorization::Compute(a).ok());
+}
+
+}  // namespace
+}  // namespace srs

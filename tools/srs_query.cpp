@@ -1,0 +1,224 @@
+// srs_query — command-line similarity search over an edge-list graph.
+//
+// Usage:
+//   srs_query --graph FILE [--query NODE] [--measure NAME] [--topk K]
+//             [--damping C] [--iterations K | --epsilon E] [--threads N]
+//             [--undirected] [--all-pairs OUT.tsv]
+//
+// Measures: gsr-star (default), esr-star, simrank, rwr, prank, mc-star.
+// With --query, prints the top-k similar nodes (single-source where the
+// measure supports it — no n×n matrix). With --all-pairs, writes the full
+// sieved score matrix as TSV (node pairs with score >= 1e-4).
+//
+// Examples:
+//   srs_query --graph cit.txt --query 42 --topk 20
+//   srs_query --graph dblp.txt --undirected --measure esr-star --query 7
+//   srs_query --graph web.txt --measure simrank --all-pairs scores.tsv
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "srs/baselines/p_rank.h"
+#include "srs/baselines/rwr.h"
+#include "srs/baselines/simrank_psum.h"
+#include "srs/common/parallel.h"
+#include "srs/core/memo_esr_star.h"
+#include "srs/core/memo_gsr_star.h"
+#include "srs/core/monte_carlo.h"
+#include "srs/core/sieve.h"
+#include "srs/core/single_source.h"
+#include "srs/eval/ranking.h"
+#include "srs/graph/graph_io.h"
+#include "srs/graph/stats.h"
+
+namespace {
+
+struct CliOptions {
+  std::string graph_path;
+  std::string measure = "gsr-star";
+  std::string all_pairs_out;
+  int64_t query = -1;
+  int topk = 10;
+  bool undirected = false;
+  srs::SimilarityOptions sim;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --graph FILE [--query NODE] [--measure "
+               "gsr-star|esr-star|simrank|rwr|prank|mc-star]\n"
+               "          [--topk K] [--damping C] [--iterations K] "
+               "[--epsilon E] [--threads N]\n"
+               "          [--undirected] [--all-pairs OUT.tsv]\n",
+               argv0);
+}
+
+bool ParseCli(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--graph") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options->graph_path = v;
+    } else if (arg == "--measure") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options->measure = v;
+    } else if (arg == "--query") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options->query = std::atoll(v);
+    } else if (arg == "--topk") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options->topk = std::atoi(v);
+    } else if (arg == "--damping") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options->sim.damping = std::atof(v);
+    } else if (arg == "--iterations") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options->sim.iterations = std::atoi(v);
+    } else if (arg == "--epsilon") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options->sim.epsilon = std::atof(v);
+    } else if (arg == "--threads") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      const int t = std::atoi(v);
+      options->sim.num_threads = t <= 0 ? srs::HardwareThreads() : t;
+    } else if (arg == "--all-pairs") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options->all_pairs_out = v;
+    } else if (arg == "--undirected") {
+      options->undirected = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !options->graph_path.empty() &&
+         (options->query >= 0 || !options->all_pairs_out.empty());
+}
+
+srs::Result<srs::DenseMatrix> ComputeAllPairs(const srs::Graph& g,
+                                              const CliOptions& options) {
+  if (options.measure == "gsr-star") return srs::ComputeMemoGsrStar(g, options.sim);
+  if (options.measure == "esr-star") return srs::ComputeMemoEsrStar(g, options.sim);
+  if (options.measure == "simrank") return srs::ComputeSimRankPsum(g, options.sim);
+  if (options.measure == "rwr") return srs::ComputeRwr(g, options.sim);
+  if (options.measure == "prank") return srs::ComputePRank(g, options.sim);
+  return srs::Status::InvalidArgument("measure '" + options.measure +
+                                      "' does not support --all-pairs");
+}
+
+srs::Result<std::vector<double>> ComputeSingleSource(
+    const srs::Graph& g, srs::NodeId query, const CliOptions& options) {
+  if (options.measure == "gsr-star") {
+    return srs::SingleSourceSimRankStarGeometric(g, query, options.sim);
+  }
+  if (options.measure == "esr-star") {
+    return srs::SingleSourceSimRankStarExponential(g, query, options.sim);
+  }
+  if (options.measure == "rwr") {
+    return srs::SingleSourceRwr(g, query, options.sim);
+  }
+  if (options.measure == "mc-star") {
+    srs::MonteCarloOptions mc;
+    mc.damping = options.sim.damping;
+    return srs::MonteCarloSimRankStar(g, query, mc);
+  }
+  // Matrix-based measures fall back to one row of the full computation.
+  SRS_ASSIGN_OR_RETURN(srs::DenseMatrix s, ComputeAllPairs(g, options));
+  return srs::RowScores(s, query);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseCli(argc, argv, &options)) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  srs::EdgeListOptions io;
+  io.undirected = options.undirected;
+  srs::Result<srs::Graph> loaded = srs::LoadEdgeList(options.graph_path, io);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const srs::Graph& g = loaded.ValueOrDie();
+  std::fprintf(stderr, "loaded %s: %s\n", options.graph_path.c_str(),
+               srs::StatsToString(srs::ComputeStats(g)).c_str());
+
+  if (srs::Status st = options.sim.Validate(); !st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  if (!options.all_pairs_out.empty()) {
+    srs::Result<srs::DenseMatrix> scores = ComputeAllPairs(g, options);
+    if (!scores.ok()) {
+      std::fprintf(stderr, "error: %s\n", scores.status().ToString().c_str());
+      return 1;
+    }
+    const srs::CsrMatrix sparse =
+        srs::ToSparseScores(scores.ValueOrDie(), 1e-4);
+    std::ofstream out(options.all_pairs_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   options.all_pairs_out.c_str());
+      return 1;
+    }
+    out << "# u\tv\tscore (" << options.measure << ", >= 1e-4)\n";
+    for (int64_t u = 0; u < sparse.rows(); ++u) {
+      for (int64_t k = sparse.row_ptr()[u]; k < sparse.row_ptr()[u + 1]; ++k) {
+        out << g.LabelOf(static_cast<srs::NodeId>(u)) << "\t"
+            << g.LabelOf(sparse.col_idx()[k]) << "\t" << sparse.values()[k]
+            << "\n";
+      }
+    }
+    std::fprintf(stderr, "wrote %lld scored pairs to %s\n",
+                 static_cast<long long>(sparse.nnz()),
+                 options.all_pairs_out.c_str());
+  }
+
+  if (options.query >= 0) {
+    // --query takes the ORIGINAL node id as it appears in the file.
+    srs::Result<srs::NodeId> mapped =
+        g.FindLabel(std::to_string(options.query));
+    if (!mapped.ok()) {
+      std::fprintf(stderr, "error: node %lld not in graph\n",
+                   static_cast<long long>(options.query));
+      return 1;
+    }
+    srs::Result<std::vector<double>> scores =
+        ComputeSingleSource(g, mapped.ValueOrDie(), options);
+    if (!scores.ok()) {
+      std::fprintf(stderr, "error: %s\n", scores.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("# top-%d %s scores for node %lld\n", options.topk,
+                options.measure.c_str(),
+                static_cast<long long>(options.query));
+    for (const srs::RankedNode& r : srs::TopK(
+             scores.ValueOrDie(), static_cast<size_t>(options.topk),
+             mapped.ValueOrDie())) {
+      std::printf("%s\t%.6f\n", g.LabelOf(r.node).c_str(), r.score);
+    }
+  }
+  return 0;
+}
