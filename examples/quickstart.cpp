@@ -9,7 +9,7 @@
 
 #include "srs/baselines/simrank_psum.h"
 #include "srs/core/memo_gsr_star.h"
-#include "srs/core/single_source.h"
+#include "srs/engine/query_engine.h"
 #include "srs/eval/ranking.h"
 #include "srs/graph/fixtures.h"
 #include "srs/graph/graph_builder.h"
@@ -53,12 +53,26 @@ int main() {
               star.At(h, d));
 
   // --- 4. Query-time top-k without the dense matrix. ----------------------
-  std::vector<double> scores =
-      srs::SingleSourceSimRankStarGeometric(fig1, h, paper_opts).ValueOrDie();
-  std::printf("top-3 nodes most similar to '%s' (single-source SimRank*):\n",
-              fig1.LabelOf(h).c_str());
-  for (const srs::RankedNode& r : srs::TopK(scores, 3, h)) {
-    std::printf("  %-2s %.4f\n", fig1.LabelOf(r.node).c_str(), r.score);
+  // The QueryEngine snapshots the graph once and serves whole batches of
+  // single-source queries across a pooled set of workers.
+  srs::QueryEngineOptions engine_opts;
+  engine_opts.similarity = paper_opts;
+  engine_opts.num_threads = 0;  // 0 = all hardware threads
+  srs::QueryEngine engine =
+      srs::QueryEngine::Create(fig1, engine_opts).MoveValueOrDie();
+  const std::vector<std::vector<srs::RankedNode>> rankings =
+      engine
+          .BatchTopK(srs::QueryMeasure::kSimRankStarGeometric, {h, d},
+                     /*k=*/3)
+          .ValueOrDie();
+  for (size_t i = 0; i < rankings.size(); ++i) {
+    const srs::NodeId query = (i == 0 ? h : d);
+    std::printf("top-3 nodes most similar to '%s' (batched single-source "
+                "SimRank*):\n",
+                fig1.LabelOf(query).c_str());
+    for (const srs::RankedNode& r : rankings[i]) {
+      std::printf("  %-2s %.4f\n", fig1.LabelOf(r.node).c_str(), r.score);
+    }
   }
   return 0;
 }

@@ -41,4 +41,76 @@ void ParallelFor(int64_t begin, int64_t end, int num_threads,
   for (std::thread& t : threads) t.join();
 }
 
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) num_threads = HardwareThreads();
+  threads_.reserve(static_cast<size_t>(num_threads) - 1);
+  for (int w = 1; w < num_threads; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::RunItems(const std::function<void(int64_t, int)>& item_fn,
+                          int worker) {
+  const int64_t end = job_end_;
+  for (;;) {
+    const int64_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= end) break;
+    item_fn(i, worker);
+  }
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int64_t, int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    RunItems(*job, worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::ParallelForIndexed(
+    int64_t begin, int64_t end,
+    const std::function<void(int64_t, int)>& item_fn) {
+  SRS_CHECK_LE(begin, end);
+  if (begin == end) return;
+  if (threads_.empty()) {
+    for (int64_t i = begin; i < end; ++i) item_fn(i, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &item_fn;
+    job_end_ = end;
+    next_.store(begin, std::memory_order_relaxed);
+    active_ = static_cast<int>(threads_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunItems(item_fn, /*worker=*/0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  job_ = nullptr;
+}
+
 }  // namespace srs

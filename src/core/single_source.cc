@@ -1,10 +1,7 @@
 #include "srs/core/single_source.h"
 
-#include <cmath>
-
-#include "srs/core/series_reference.h"
+#include "srs/core/single_source_kernel.h"
 #include "srs/matrix/csr_matrix.h"
-#include "srs/matrix/ops.h"
 
 namespace srs {
 
@@ -19,50 +16,16 @@ Status CheckQuery(const Graph& g, NodeId query) {
   return Status::OK();
 }
 
-/// Shared core: accumulates Σ_l w_l Σ_α binom(l,α)/2^l D_{l,α} where
-/// D_{l,α} = Q^α (Qᵀ)^{l−α} e_q. `length_weights[l]` must include any
-/// normalizing constants.
+/// One-off evaluation: builds Q/Qᵀ and a workspace for this single call.
+/// Batched callers should use the QueryEngine, which caches both.
 std::vector<double> AccumulateBinomialColumn(
     const Graph& g, NodeId query, const std::vector<double>& length_weights) {
-  const int64_t n = g.NumNodes();
-  const int k_max = static_cast<int>(length_weights.size()) - 1;
   const CsrMatrix q = g.BackwardTransition();
   const CsrMatrix qt = q.Transposed();
-
-  std::vector<double> result(static_cast<size_t>(n), 0.0);
-
-  // level[alpha] holds D_{l,alpha} for the current l.
-  std::vector<std::vector<double>> level(1);
-  level[0].assign(static_cast<size_t>(n), 0.0);
-  level[0][static_cast<size_t>(query)] = 1.0;  // D_{0,0} = e_q
-
-  // t_l = (Qᵀ)^l e_q, advanced incrementally.
-  std::vector<double> t = level[0];
-  std::vector<double> scratch(static_cast<size_t>(n));
-
-  // l = 0 contribution.
-  Axpy(length_weights[0], level[0], &result);
-
-  for (int l = 1; l <= k_max; ++l) {
-    // New level: alpha = 1..l from Q·previous, alpha = 0 from t_l.
-    std::vector<std::vector<double>> next(static_cast<size_t>(l) + 1);
-    for (int alpha = l; alpha >= 1; --alpha) {
-      next[static_cast<size_t>(alpha)].assign(static_cast<size_t>(n), 0.0);
-      q.MultiplyVector(level[static_cast<size_t>(alpha - 1)].data(),
-                       next[static_cast<size_t>(alpha)].data());
-    }
-    qt.MultiplyVector(t.data(), scratch.data());
-    t = scratch;
-    next[0] = t;
-    level = std::move(next);
-
-    const double pow2 = std::ldexp(1.0, -l);
-    for (int alpha = 0; alpha <= l; ++alpha) {
-      Axpy(length_weights[static_cast<size_t>(l)] * pow2 *
-               BinomialCoefficient(l, alpha),
-           level[static_cast<size_t>(alpha)], &result);
-    }
-  }
+  SingleSourceWorkspace workspace;
+  std::vector<double> result;
+  AccumulateBinomialColumnKernel(q, qt, query, length_weights, &workspace,
+                                 &result);
   return result;
 }
 
@@ -73,14 +36,8 @@ Result<std::vector<double>> SingleSourceSimRankStarGeometric(
   SRS_RETURN_NOT_OK(options.Validate());
   SRS_RETURN_NOT_OK(CheckQuery(g, query));
   const int k_max = EffectiveIterations(options, /*exponential=*/false);
-  const double c = options.damping;
-  std::vector<double> weights(static_cast<size_t>(k_max) + 1);
-  double cl = 1.0;
-  for (int l = 0; l <= k_max; ++l) {
-    weights[static_cast<size_t>(l)] = (1.0 - c) * cl;
-    cl *= c;
-  }
-  return AccumulateBinomialColumn(g, query, weights);
+  return AccumulateBinomialColumn(
+      g, query, GeometricStarLengthWeights(options.damping, k_max));
 }
 
 Result<std::vector<double>> SingleSourceSimRankStarExponential(
@@ -88,14 +45,8 @@ Result<std::vector<double>> SingleSourceSimRankStarExponential(
   SRS_RETURN_NOT_OK(options.Validate());
   SRS_RETURN_NOT_OK(CheckQuery(g, query));
   const int k_max = EffectiveIterations(options, /*exponential=*/true);
-  const double c = options.damping;
-  std::vector<double> weights(static_cast<size_t>(k_max) + 1);
-  double coeff = 1.0;  // C^l / l!
-  for (int l = 0; l <= k_max; ++l) {
-    weights[static_cast<size_t>(l)] = std::exp(-c) * coeff;
-    coeff *= c / static_cast<double>(l + 1);
-  }
-  return AccumulateBinomialColumn(g, query, weights);
+  return AccumulateBinomialColumn(
+      g, query, ExponentialStarLengthWeights(options.damping, k_max));
 }
 
 Result<std::vector<double>> SingleSourceRwr(const Graph& g, NodeId query,
@@ -103,24 +54,10 @@ Result<std::vector<double>> SingleSourceRwr(const Graph& g, NodeId query,
   SRS_RETURN_NOT_OK(options.Validate());
   SRS_RETURN_NOT_OK(CheckQuery(g, query));
   const int k_max = EffectiveIterations(options, /*exponential=*/false);
-  const double c = options.damping;
-  const int64_t n = g.NumNodes();
-
-  // Row q of (1−C)·Σ C^k W^k: iterate vᵀ ← vᵀ·W, i.e. v ← Wᵀ·v.
   const CsrMatrix wt = g.ForwardTransition().Transposed();
-  std::vector<double> v(static_cast<size_t>(n), 0.0);
-  v[static_cast<size_t>(query)] = 1.0;
-  std::vector<double> result(static_cast<size_t>(n), 0.0);
-  std::vector<double> scratch(static_cast<size_t>(n));
-
-  double ck = 1.0;
-  Axpy((1.0 - c) * ck, v, &result);
-  for (int k = 1; k <= k_max; ++k) {
-    wt.MultiplyVector(v.data(), scratch.data());
-    v.swap(scratch);
-    ck *= c;
-    Axpy((1.0 - c) * ck, v, &result);
-  }
+  SingleSourceWorkspace workspace;
+  std::vector<double> result;
+  RwrColumnKernel(wt, query, options.damping, k_max, &workspace, &result);
   return result;
 }
 

@@ -15,6 +15,11 @@
 /// paper's all-pairs algorithms (its query evaluation factors through the
 /// full matrix) and makes the library usable on graphs where n² doubles do
 /// not fit in memory.
+///
+/// These entry points rebuild Q/Qᵀ and their scratch buffers on every call;
+/// for serving many queries over one graph, use engine/query_engine.h,
+/// which caches the snapshot, pools workers, and returns bit-identical
+/// scores (both paths share core/single_source_kernel.h).
 
 #include <vector>
 

@@ -1,0 +1,110 @@
+#include "srs/core/single_source_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "srs/core/series_reference.h"
+#include "srs/matrix/ops.h"
+
+namespace srs {
+
+void SingleSourceWorkspace::Prepare(int64_t n, int k_max) {
+  const size_t levels = static_cast<size_t>(k_max) + 1;
+  if (level.size() < levels) level.resize(levels);
+  if (next.size() < levels) next.resize(levels);
+  for (size_t i = 0; i < levels; ++i) {
+    level[i].resize(static_cast<size_t>(n));
+    next[i].resize(static_cast<size_t>(n));
+  }
+  t.resize(static_cast<size_t>(n));
+  scratch.resize(static_cast<size_t>(n));
+}
+
+std::vector<double> GeometricStarLengthWeights(double damping, int k_max) {
+  std::vector<double> weights(static_cast<size_t>(k_max) + 1);
+  double cl = 1.0;
+  for (int l = 0; l <= k_max; ++l) {
+    weights[static_cast<size_t>(l)] = (1.0 - damping) * cl;
+    cl *= damping;
+  }
+  return weights;
+}
+
+std::vector<double> ExponentialStarLengthWeights(double damping, int k_max) {
+  std::vector<double> weights(static_cast<size_t>(k_max) + 1);
+  double coeff = 1.0;  // C^l / l!
+  for (int l = 0; l <= k_max; ++l) {
+    weights[static_cast<size_t>(l)] = std::exp(-damping) * coeff;
+    coeff *= damping / static_cast<double>(l + 1);
+  }
+  return weights;
+}
+
+void AccumulateBinomialColumnKernel(const CsrMatrix& q, const CsrMatrix& qt,
+                                    NodeId query,
+                                    const std::vector<double>& length_weights,
+                                    SingleSourceWorkspace* workspace,
+                                    std::vector<double>* out) {
+  const int64_t n = q.rows();
+  const int k_max = static_cast<int>(length_weights.size()) - 1;
+  workspace->Prepare(n, k_max);
+
+  out->assign(static_cast<size_t>(n), 0.0);
+
+  // level[alpha] holds D_{l,alpha} = Q^α (Qᵀ)^{l−α} e_q for the current l.
+  std::vector<std::vector<double>>& level = workspace->level;
+  std::vector<std::vector<double>>& next = workspace->next;
+  level[0].assign(static_cast<size_t>(n), 0.0);
+  level[0][static_cast<size_t>(query)] = 1.0;  // D_{0,0} = e_q
+
+  // t = (Qᵀ)^l e_q, advanced incrementally.
+  std::vector<double>& t = workspace->t;
+  std::vector<double>& scratch = workspace->scratch;
+  std::copy(level[0].begin(), level[0].end(), t.begin());
+
+  // l = 0 contribution.
+  Axpy(length_weights[0], level[0], out);
+
+  for (int l = 1; l <= k_max; ++l) {
+    // New level: alpha = 1..l from Q·previous, alpha = 0 from t.
+    for (int alpha = l; alpha >= 1; --alpha) {
+      q.MultiplyVector(level[static_cast<size_t>(alpha - 1)].data(),
+                       next[static_cast<size_t>(alpha)].data());
+    }
+    qt.MultiplyVector(t.data(), scratch.data());
+    t.swap(scratch);
+    std::copy(t.begin(), t.end(), next[0].begin());
+    level.swap(next);
+
+    const double pow2 = std::ldexp(1.0, -l);
+    for (int alpha = 0; alpha <= l; ++alpha) {
+      Axpy(length_weights[static_cast<size_t>(l)] * pow2 *
+               BinomialCoefficient(l, alpha),
+           level[static_cast<size_t>(alpha)], out);
+    }
+  }
+}
+
+void RwrColumnKernel(const CsrMatrix& wt, NodeId query, double damping,
+                     int k_max, SingleSourceWorkspace* workspace,
+                     std::vector<double>* out) {
+  const int64_t n = wt.rows();
+  workspace->Prepare(n, /*k_max=*/0);
+
+  out->assign(static_cast<size_t>(n), 0.0);
+  std::vector<double>& v = workspace->t;
+  std::vector<double>& scratch = workspace->scratch;
+  std::fill(v.begin(), v.end(), 0.0);
+  v[static_cast<size_t>(query)] = 1.0;
+
+  double ck = 1.0;
+  Axpy((1.0 - damping) * ck, v, out);
+  for (int k = 1; k <= k_max; ++k) {
+    wt.MultiplyVector(v.data(), scratch.data());
+    v.swap(scratch);
+    ck *= damping;
+    Axpy((1.0 - damping) * ck, v, out);
+  }
+}
+
+}  // namespace srs

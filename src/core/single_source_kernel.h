@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file single_source_kernel.h
+/// \brief Allocation-free core of the single-source recurrences.
+///
+/// The public entry points in single_source.h build the transition matrices
+/// and a fresh workspace per call — the right interface for one-off queries.
+/// Batched serving (engine/query_engine.h) amortizes both: the CSR matrices
+/// are computed once per graph snapshot and each worker thread owns one
+/// `SingleSourceWorkspace` that is sized on the first query and reused for
+/// every subsequent one, so the steady-state hot loop performs zero heap
+/// allocations. Both paths funnel into the kernels below and therefore
+/// produce bit-identical score vectors (same operations in the same order).
+
+#include <vector>
+
+#include "srs/graph/graph.h"
+#include "srs/matrix/csr_matrix.h"
+
+namespace srs {
+
+/// \brief Reusable buffers for the level-vector recurrences.
+///
+/// `Prepare(n, k_max)` grows the buffers as needed and is idempotent; after
+/// the first call with a given shape, subsequent calls allocate nothing.
+struct SingleSourceWorkspace {
+  /// Ensures capacity for graphs of `n` nodes and series truncated at
+  /// `k_max` terms.
+  void Prepare(int64_t n, int k_max);
+
+  /// D_{l,alpha} vectors for the current level l (alpha-indexed).
+  std::vector<std::vector<double>> level;
+  /// Double buffer for the next level.
+  std::vector<std::vector<double>> next;
+  /// (Qᵀ)^l e_q, advanced incrementally.
+  std::vector<double> t;
+  /// Spare vector for matrix-vector products.
+  std::vector<double> scratch;
+};
+
+/// Per-length weights (1−C)·C^l of the geometric SimRank* series,
+/// l = 0..k_max.
+std::vector<double> GeometricStarLengthWeights(double damping, int k_max);
+
+/// Per-length weights e^{−C}·C^l/l! of the exponential SimRank* series.
+std::vector<double> ExponentialStarLengthWeights(double damping, int k_max);
+
+/// Accumulates Σ_l w_l Σ_α binom(l,α)/2^l · Q^α (Qᵀ)^{l−α} e_q into `*out`
+/// (resized to q.rows() and overwritten). `q` is the backward transition
+/// matrix of the graph and `qt` its transpose; `length_weights[l]` must
+/// include any normalizing constants. The caller validates `query`.
+void AccumulateBinomialColumnKernel(const CsrMatrix& q, const CsrMatrix& qt,
+                                    NodeId query,
+                                    const std::vector<double>& length_weights,
+                                    SingleSourceWorkspace* workspace,
+                                    std::vector<double>* out);
+
+/// Accumulates the truncated RWR series (1−C)·Σ_{k≤k_max} C^k · (Wᵀ)^k e_q
+/// into `*out` (resized to wt.rows() and overwritten). `wt` is the
+/// transposed forward transition matrix.
+void RwrColumnKernel(const CsrMatrix& wt, NodeId query, double damping,
+                     int k_max, SingleSourceWorkspace* workspace,
+                     std::vector<double>* out);
+
+}  // namespace srs

@@ -1,0 +1,115 @@
+#include "srs/engine/query_engine.h"
+
+#include <algorithm>
+
+namespace srs {
+
+const char* QueryMeasureToString(QueryMeasure measure) {
+  switch (measure) {
+    case QueryMeasure::kSimRankStarGeometric:
+      return "gsr-star";
+    case QueryMeasure::kSimRankStarExponential:
+      return "esr-star";
+    case QueryMeasure::kRwr:
+      return "rwr";
+  }
+  return "unknown";
+}
+
+QueryEngine::QueryEngine(const Graph& g, const QueryEngineOptions& options)
+    : options_(options), num_nodes_(g.NumNodes()) {
+  q_ = g.BackwardTransition();
+  qt_ = q_.Transposed();
+  wt_ = g.ForwardTransition().Transposed();
+
+  const SimilarityOptions& sim = options_.similarity;
+  const int k_geo = EffectiveIterations(sim, /*exponential=*/false);
+  const int k_exp = EffectiveIterations(sim, /*exponential=*/true);
+  geometric_weights_ = GeometricStarLengthWeights(sim.damping, k_geo);
+  exponential_weights_ = ExponentialStarLengthWeights(sim.damping, k_exp);
+  rwr_iterations_ = k_geo;
+
+  pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  workspaces_ = std::make_unique<std::vector<SingleSourceWorkspace>>(
+      static_cast<size_t>(pool_->NumWorkers()));
+  score_buffers_ = std::make_unique<std::vector<std::vector<double>>>(
+      static_cast<size_t>(pool_->NumWorkers()));
+}
+
+Result<QueryEngine> QueryEngine::Create(const Graph& g,
+                                        const QueryEngineOptions& options) {
+  SRS_RETURN_NOT_OK(options.similarity.Validate());
+  QueryEngineOptions resolved = options;
+  if (resolved.num_threads <= 0) resolved.num_threads = HardwareThreads();
+  return QueryEngine(g, resolved);
+}
+
+Status QueryEngine::ValidateBatch(const std::vector<NodeId>& queries) const {
+  if (queries.empty()) {
+    return Status::InvalidArgument("query batch is empty");
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (queries[i] < 0 || queries[i] >= num_nodes_) {
+      return Status::OutOfRange(
+          "batch entry " + std::to_string(i) + ": query node " +
+          std::to_string(queries[i]) + " out of range for " +
+          std::to_string(num_nodes_) + " nodes");
+    }
+  }
+  return Status::OK();
+}
+
+void QueryEngine::ComputeColumn(QueryMeasure measure, NodeId query, int worker,
+                                std::vector<double>* out) {
+  SingleSourceWorkspace& workspace = (*workspaces_)[static_cast<size_t>(worker)];
+  switch (measure) {
+    case QueryMeasure::kSimRankStarGeometric:
+      AccumulateBinomialColumnKernel(q_, qt_, query, geometric_weights_,
+                                     &workspace, out);
+      return;
+    case QueryMeasure::kSimRankStarExponential:
+      AccumulateBinomialColumnKernel(q_, qt_, query, exponential_weights_,
+                                     &workspace, out);
+      return;
+    case QueryMeasure::kRwr:
+      RwrColumnKernel(wt_, query, options_.similarity.damping, rwr_iterations_,
+                      &workspace, out);
+      return;
+  }
+  SRS_CHECK(false) << "unknown QueryMeasure";
+}
+
+Result<std::vector<std::vector<double>>> QueryEngine::BatchScores(
+    QueryMeasure measure, const std::vector<NodeId>& queries) {
+  SRS_RETURN_NOT_OK(ValidateBatch(queries));
+  std::vector<std::vector<double>> results(queries.size());
+  pool_->ParallelForIndexed(
+      0, static_cast<int64_t>(queries.size()), [&](int64_t i, int worker) {
+        ComputeColumn(measure, queries[static_cast<size_t>(i)], worker,
+                      &results[static_cast<size_t>(i)]);
+      });
+  return results;
+}
+
+Result<std::vector<std::vector<RankedNode>>> QueryEngine::BatchTopK(
+    QueryMeasure measure, const std::vector<NodeId>& queries, size_t k) {
+  SRS_RETURN_NOT_OK(ValidateBatch(queries));
+  std::vector<std::vector<RankedNode>> results(queries.size());
+  // All result storage is reserved before dispatch (a ranking can never
+  // exceed the node count, whatever k the caller asks for); inside the hot
+  // loop the workers reuse their workspaces and score buffers, so the
+  // steady state allocates nothing per query.
+  const size_t reserve = std::min(k, static_cast<size_t>(num_nodes_));
+  for (std::vector<RankedNode>& r : results) r.reserve(reserve);
+  pool_->ParallelForIndexed(
+      0, static_cast<int64_t>(queries.size()), [&](int64_t i, int worker) {
+        std::vector<double>& scores =
+            (*score_buffers_)[static_cast<size_t>(worker)];
+        const NodeId query = queries[static_cast<size_t>(i)];
+        ComputeColumn(measure, query, worker, &scores);
+        TopKInto(scores, k, query, &results[static_cast<size_t>(i)]);
+      });
+  return results;
+}
+
+}  // namespace srs

@@ -4,6 +4,10 @@
 
 namespace srs {
 
+bool RankedBefore(const RankedNode& a, const RankedNode& b) {
+  return a.score != b.score ? a.score > b.score : a.node < b.node;
+}
+
 std::vector<RankedNode> TopK(const std::vector<double>& scores, size_t k,
                              NodeId exclude) {
   std::vector<RankedNode> items;
@@ -14,12 +18,31 @@ std::vector<RankedNode> TopK(const std::vector<double>& scores, size_t k,
   }
   const size_t kk = std::min(k, items.size());
   std::partial_sort(items.begin(), items.begin() + kk, items.end(),
-                    [](const RankedNode& a, const RankedNode& b) {
-                      return a.score != b.score ? a.score > b.score
-                                                : a.node < b.node;
-                    });
+                    RankedBefore);
   items.resize(kk);
   return items;
+}
+
+void TopKInto(const std::vector<double>& scores, size_t k, NodeId exclude,
+              std::vector<RankedNode>* out) {
+  // RankedBefore as the heap's "less-than" puts the worst retained
+  // candidate on top.
+  out->clear();
+  if (k == 0) return;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const NodeId node = static_cast<NodeId>(i);
+    if (node == exclude) continue;
+    const RankedNode candidate{node, scores[i]};
+    if (out->size() < k) {
+      out->push_back(candidate);
+      std::push_heap(out->begin(), out->end(), RankedBefore);
+    } else if (RankedBefore(candidate, out->front())) {
+      std::pop_heap(out->begin(), out->end(), RankedBefore);
+      out->back() = candidate;
+      std::push_heap(out->begin(), out->end(), RankedBefore);
+    }
+  }
+  std::sort_heap(out->begin(), out->end(), RankedBefore);
 }
 
 Result<std::vector<double>> RowScores(const DenseMatrix& similarity,

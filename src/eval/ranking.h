@@ -19,10 +19,20 @@ struct RankedNode {
   double score;
 };
 
+/// The ranking order: higher score first, ties by ascending node id
+/// (deterministic). Every top-k path in the library sorts by this.
+bool RankedBefore(const RankedNode& a, const RankedNode& b);
+
 /// Top-k nodes by `scores`, excluding `exclude` (pass −1 to keep all).
-/// Ties break by ascending node id (deterministic).
 std::vector<RankedNode> TopK(const std::vector<double>& scores, size_t k,
                              NodeId exclude = -1);
+
+/// Bounded-heap top-k — O(n log k) and no n-sized temporary, for serving
+/// paths. Clears `*out` and appends the ranking (best first); reuses
+/// `out`'s capacity, so a caller that reserved min(k, n) beforehand incurs
+/// no allocation. Agrees element-for-element with TopK.
+void TopKInto(const std::vector<double>& scores, size_t k, NodeId exclude,
+              std::vector<RankedNode>* out);
 
 /// Top-k similar nodes to `query` from row `query` of an all-pairs matrix,
 /// excluding the query itself.

@@ -48,6 +48,50 @@ TEST(ParallelForTest, HardwareThreadsPositive) {
   EXPECT_GE(HardwareThreads(), 1);
 }
 
+TEST(ThreadPoolTest, RunsEveryItemExactlyOnce) {
+  for (int threads : {1, 2, 5}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.NumWorkers(), threads);
+    std::vector<std::atomic<int>> hits(200);
+    pool.ParallelForIndexed(0, 200, [&](int64_t i, int worker) {
+      EXPECT_GE(worker, 0);
+      EXPECT_LT(worker, pool.NumWorkers());
+      hits[static_cast<size_t>(i)].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << threads;
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyDispatches) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelForIndexed(0, 37, [&](int64_t i, int) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 36 * 37 / 2) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(3);
+  bool called = false;
+  pool.ParallelForIndexed(7, 7, [&](int64_t, int) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, NonPositiveThreadCountUsesHardware) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.NumWorkers(), HardwareThreads());
+}
+
+TEST(ThreadPoolTest, PartialOverlapOfWorkersAndItems) {
+  // More workers than items: the extra workers must park without touching
+  // anything, and the dispatch must still complete.
+  ThreadPool pool(8);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelForIndexed(0, 3, [&](int64_t i, int) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 3);
+}
+
 TEST(ParallelDeterminismTest, MultiplyDenseBitwiseIdentical) {
   const Graph g = MakeCitHepThLike(0.1, 31).ValueOrDie();
   const CsrMatrix q = g.BackwardTransition();

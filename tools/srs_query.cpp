@@ -1,17 +1,20 @@
 // srs_query — command-line similarity search over an edge-list graph.
 //
 // Usage:
-//   srs_query --graph FILE [--query NODE] [--measure NAME] [--topk K]
+//   srs_query --graph FILE [--query NODE]... [--measure NAME] [--topk K]
 //             [--damping C] [--iterations K | --epsilon E] [--threads N]
 //             [--undirected] [--all-pairs OUT.tsv]
 //
 // Measures: gsr-star (default), esr-star, simrank, rwr, prank, mc-star.
-// With --query, prints the top-k similar nodes (single-source where the
-// measure supports it — no n×n matrix). With --all-pairs, writes the full
-// sieved score matrix as TSV (node pairs with score >= 1e-4).
+// With --query (repeatable), prints the top-k similar nodes per query. The
+// single-source measures (gsr-star, esr-star, rwr) are served as one batch
+// by the QueryEngine: the graph snapshot is normalized once and the batch
+// fans out across --threads pooled workers — no n×n matrix. With
+// --all-pairs, writes the full sieved score matrix as TSV (node pairs with
+// score >= 1e-4).
 //
 // Examples:
-//   srs_query --graph cit.txt --query 42 --topk 20
+//   srs_query --graph cit.txt --query 42 --query 7 --topk 20 --threads 8
 //   srs_query --graph dblp.txt --undirected --measure esr-star --query 7
 //   srs_query --graph web.txt --measure simrank --all-pairs scores.tsv
 
@@ -30,6 +33,7 @@
 #include "srs/core/monte_carlo.h"
 #include "srs/core/sieve.h"
 #include "srs/core/single_source.h"
+#include "srs/engine/query_engine.h"
 #include "srs/eval/ranking.h"
 #include "srs/graph/graph_io.h"
 #include "srs/graph/stats.h"
@@ -40,7 +44,7 @@ struct CliOptions {
   std::string graph_path;
   std::string measure = "gsr-star";
   std::string all_pairs_out;
-  int64_t query = -1;
+  std::vector<int64_t> queries;
   int topk = 10;
   bool undirected = false;
   srs::SimilarityOptions sim;
@@ -48,7 +52,7 @@ struct CliOptions {
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --graph FILE [--query NODE] [--measure "
+               "usage: %s --graph FILE [--query NODE]... [--measure "
                "gsr-star|esr-star|simrank|rwr|prank|mc-star]\n"
                "          [--topk K] [--damping C] [--iterations K] "
                "[--epsilon E] [--threads N]\n"
@@ -73,7 +77,7 @@ bool ParseCli(int argc, char** argv, CliOptions* options) {
     } else if (arg == "--query") {
       const char* v = next_value();
       if (v == nullptr) return false;
-      options->query = std::atoll(v);
+      options->queries.push_back(std::atoll(v));
     } else if (arg == "--topk") {
       const char* v = next_value();
       if (v == nullptr) return false;
@@ -108,8 +112,8 @@ bool ParseCli(int argc, char** argv, CliOptions* options) {
       return false;
     }
   }
-  return !options->graph_path.empty() &&
-         (options->query >= 0 || !options->all_pairs_out.empty());
+  return !options->graph_path.empty() && options->topk >= 0 &&
+         (!options->queries.empty() || !options->all_pairs_out.empty());
 }
 
 srs::Result<srs::DenseMatrix> ComputeAllPairs(const srs::Graph& g,
@@ -123,25 +127,63 @@ srs::Result<srs::DenseMatrix> ComputeAllPairs(const srs::Graph& g,
                                       "' does not support --all-pairs");
 }
 
-srs::Result<std::vector<double>> ComputeSingleSource(
-    const srs::Graph& g, srs::NodeId query, const CliOptions& options) {
-  if (options.measure == "gsr-star") {
-    return srs::SingleSourceSimRankStarGeometric(g, query, options.sim);
+bool IsEngineMeasure(const std::string& measure,
+                     srs::QueryMeasure* out) {
+  if (measure == "gsr-star") {
+    *out = srs::QueryMeasure::kSimRankStarGeometric;
+    return true;
   }
-  if (options.measure == "esr-star") {
-    return srs::SingleSourceSimRankStarExponential(g, query, options.sim);
+  if (measure == "esr-star") {
+    *out = srs::QueryMeasure::kSimRankStarExponential;
+    return true;
   }
-  if (options.measure == "rwr") {
-    return srs::SingleSourceRwr(g, query, options.sim);
+  if (measure == "rwr") {
+    *out = srs::QueryMeasure::kRwr;
+    return true;
   }
-  if (options.measure == "mc-star") {
-    srs::MonteCarloOptions mc;
-    mc.damping = options.sim.damping;
-    return srs::MonteCarloSimRankStar(g, query, mc);
+  return false;
+}
+
+/// Top-k rankings for every query in `batch`, in batch order. The engine
+/// measures are served as one batch over a shared snapshot; mc-star and the
+/// matrix-based measures fall back to per-query evaluation.
+srs::Result<std::vector<std::vector<srs::RankedNode>>> ComputeBatchTopK(
+    const srs::Graph& g, const std::vector<srs::NodeId>& batch,
+    const CliOptions& options) {
+  srs::QueryMeasure measure;
+  if (IsEngineMeasure(options.measure, &measure)) {
+    srs::QueryEngineOptions engine_options;
+    engine_options.similarity = options.sim;
+    engine_options.num_threads = options.sim.num_threads;
+    SRS_ASSIGN_OR_RETURN(srs::QueryEngine engine,
+                         srs::QueryEngine::Create(g, engine_options));
+    return engine.BatchTopK(measure, batch,
+                            static_cast<size_t>(options.topk));
   }
-  // Matrix-based measures fall back to one row of the full computation.
-  SRS_ASSIGN_OR_RETURN(srs::DenseMatrix s, ComputeAllPairs(g, options));
-  return srs::RowScores(s, query);
+  // Matrix-based measures fall back to rows of one full computation.
+  srs::DenseMatrix all_pairs;
+  if (options.measure != "mc-star") {
+    if (options.measure != "simrank" && options.measure != "prank") {
+      return srs::Status::InvalidArgument("unknown measure '" +
+                                          options.measure + "'");
+    }
+    SRS_ASSIGN_OR_RETURN(all_pairs, ComputeAllPairs(g, options));
+  }
+  std::vector<std::vector<srs::RankedNode>> rankings;
+  rankings.reserve(batch.size());
+  for (srs::NodeId query : batch) {
+    std::vector<double> scores;
+    if (options.measure == "mc-star") {
+      srs::MonteCarloOptions mc;
+      mc.damping = options.sim.damping;
+      SRS_ASSIGN_OR_RETURN(scores, srs::MonteCarloSimRankStar(g, query, mc));
+    } else {
+      SRS_ASSIGN_OR_RETURN(scores, srs::RowScores(all_pairs, query));
+    }
+    rankings.push_back(srs::TopK(
+        scores, static_cast<size_t>(options.topk), query));
+  }
+  return rankings;
 }
 
 }  // namespace
@@ -196,28 +238,33 @@ int main(int argc, char** argv) {
                  options.all_pairs_out.c_str());
   }
 
-  if (options.query >= 0) {
-    // --query takes the ORIGINAL node id as it appears in the file.
-    srs::Result<srs::NodeId> mapped =
-        g.FindLabel(std::to_string(options.query));
-    if (!mapped.ok()) {
-      std::fprintf(stderr, "error: node %lld not in graph\n",
-                   static_cast<long long>(options.query));
+  if (!options.queries.empty()) {
+    // --query takes the ORIGINAL node ids as they appear in the file.
+    std::vector<srs::NodeId> batch;
+    batch.reserve(options.queries.size());
+    for (int64_t query : options.queries) {
+      srs::Result<srs::NodeId> mapped = g.FindLabel(std::to_string(query));
+      if (!mapped.ok()) {
+        std::fprintf(stderr, "error: node %lld not in graph\n",
+                     static_cast<long long>(query));
+        return 1;
+      }
+      batch.push_back(mapped.ValueOrDie());
+    }
+    srs::Result<std::vector<std::vector<srs::RankedNode>>> rankings =
+        ComputeBatchTopK(g, batch, options);
+    if (!rankings.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   rankings.status().ToString().c_str());
       return 1;
     }
-    srs::Result<std::vector<double>> scores =
-        ComputeSingleSource(g, mapped.ValueOrDie(), options);
-    if (!scores.ok()) {
-      std::fprintf(stderr, "error: %s\n", scores.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("# top-%d %s scores for node %lld\n", options.topk,
-                options.measure.c_str(),
-                static_cast<long long>(options.query));
-    for (const srs::RankedNode& r : srs::TopK(
-             scores.ValueOrDie(), static_cast<size_t>(options.topk),
-             mapped.ValueOrDie())) {
-      std::printf("%s\t%.6f\n", g.LabelOf(r.node).c_str(), r.score);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      std::printf("# top-%d %s scores for node %lld\n", options.topk,
+                  options.measure.c_str(),
+                  static_cast<long long>(options.queries[i]));
+      for (const srs::RankedNode& r : rankings.ValueOrDie()[i]) {
+        std::printf("%s\t%.6f\n", g.LabelOf(r.node).c_str(), r.score);
+      }
     }
   }
   return 0;
