@@ -3,6 +3,7 @@
 /// \file bench_util.h
 /// \brief Shared helpers for the per-figure benchmark harnesses.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -12,11 +13,15 @@
 
 namespace srs::bench {
 
-/// Command-line knobs common to all harnesses. Usage: `bench_x [scale]`,
-/// where `scale` multiplies the default dataset sizes (default 1.0, chosen
-/// so every harness finishes in seconds on a laptop).
+/// Command-line knobs common to all harnesses. Usage: `bench_x [scale]
+/// [seed]`, where `scale` multiplies the default dataset sizes (default
+/// 1.0, chosen so every harness finishes in seconds on a laptop) and
+/// `seed` is the single top-level RNG seed (default 42) every synthetic
+/// input derives from (via srs::DeriveSeed), making whole runs
+/// reproducible from one number.
 struct BenchArgs {
   double scale = 1.0;
+  uint64_t seed = 42;
 };
 
 inline BenchArgs ParseArgs(int argc, char** argv) {
@@ -24,6 +29,9 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
   if (argc > 1) {
     const double s = std::atof(argv[1]);
     if (s > 0) args.scale = s;
+  }
+  if (argc > 2) {
+    args.seed = static_cast<uint64_t>(std::strtoull(argv[2], nullptr, 10));
   }
   return args;
 }

@@ -17,6 +17,16 @@ uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+uint64_t DeriveSeed(uint64_t base, uint64_t stream) {
+  // Feed both inputs through SplitMix64 so neighboring (base, stream)
+  // pairs land in unrelated regions of the seed space.
+  uint64_t state = base;
+  uint64_t derived = SplitMix64(&state);
+  state = derived ^ (stream + 0x9e3779b97f4a7c15ULL);
+  derived = SplitMix64(&state);
+  return derived;
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : s_) s = SplitMix64(&sm);

@@ -12,6 +12,14 @@
 
 namespace srs {
 
+/// Deterministically derives the seed of an independent stream from a base
+/// seed and a stream index (SplitMix64 mixing). Components that need
+/// several generators — per-stratum samplers, per-dataset generators, bench
+/// harnesses — derive one stream per component from a single top-level
+/// seed, so an entire run is reproducible from that one number and no
+/// component's draws depend on how many values another consumed.
+uint64_t DeriveSeed(uint64_t base, uint64_t stream);
+
 /// \brief xoshiro256** PRNG with convenience sampling helpers.
 class Rng {
  public:

@@ -1,0 +1,97 @@
+#include "srs/engine/all_pairs_engine.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace srs {
+
+AllPairsEngine::AllPairsEngine(std::shared_ptr<const GraphSnapshot> snapshot,
+                               const AllPairsOptions& options)
+    : options_(options), eval_(std::move(snapshot), options.similarity) {
+  pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  workspaces_ = std::make_unique<std::vector<SingleSourceWorkspace>>(
+      static_cast<size_t>(pool_->NumWorkers()));
+  tile_rows_ = std::make_unique<std::vector<std::vector<double>>>(
+      static_cast<size_t>(options_.tile_size));
+}
+
+Result<AllPairsEngine> AllPairsEngine::Create(const Graph& g,
+                                              const AllPairsOptions& options) {
+  SRS_RETURN_NOT_OK(options.similarity.Validate());
+  AllPairsOptions resolved = options;
+  if (resolved.num_threads <= 0) resolved.num_threads = HardwareThreads();
+  if (resolved.tile_size <= 0) resolved.tile_size = 32;
+  SnapshotCache& snapshots = resolved.snapshot_cache != nullptr
+                                 ? *resolved.snapshot_cache
+                                 : GlobalSnapshotCache();
+  return AllPairsEngine(snapshots.Get(g), resolved);
+}
+
+Status AllPairsEngine::ForEachRow(QueryMeasure measure,
+                                  const std::vector<NodeId>& sources,
+                                  const RowCallback& fn) {
+  SRS_RETURN_NOT_OK(eval_.ValidateBatch(sources, "source"));
+  ResultCache* cache = options_.result_cache.get();
+  const int64_t total = static_cast<int64_t>(sources.size());
+  const int64_t tile = options_.tile_size;
+  // Cache hits for the current tile, parallel to its slots; a null slot
+  // means the row was (or is being) computed into tile_rows_.
+  std::vector<ResultCache::Value> hits(static_cast<size_t>(tile));
+
+  for (int64_t t0 = 0; t0 < total; t0 += tile) {
+    const int64_t t1 = std::min(total, t0 + tile);
+    if (cache != nullptr) {
+      for (int64_t i = t0; i < t1; ++i) {
+        hits[static_cast<size_t>(i - t0)] = cache->Get(
+            eval_.KeyFor(measure, sources[static_cast<size_t>(i)]));
+      }
+    }
+    // Workers claim rows dynamically within the tile; each writes its own
+    // slot, so the tile buffer is race-free.
+    pool_->ParallelForIndexed(t0, t1, [&](int64_t i, int worker) {
+      const size_t slot = static_cast<size_t>(i - t0);
+      if (cache != nullptr && hits[slot] != nullptr) return;
+      const NodeId source = sources[static_cast<size_t>(i)];
+      std::vector<double>& row = (*tile_rows_)[slot];
+      eval_.Compute(measure, source,
+                    &(*workspaces_)[static_cast<size_t>(worker)], &row);
+      if (cache != nullptr) {
+        cache->Put(eval_.KeyFor(measure, source),
+                   std::make_shared<const std::vector<double>>(row));
+      }
+    });
+    for (int64_t i = t0; i < t1; ++i) {
+      const size_t slot = static_cast<size_t>(i - t0);
+      const std::vector<double>& row =
+          hits[slot] != nullptr ? *hits[slot] : (*tile_rows_)[slot];
+      fn(i, sources[static_cast<size_t>(i)], row);
+      hits[slot] = nullptr;
+    }
+  }
+  return Status::OK();
+}
+
+Result<DenseMatrix> AllPairsEngine::ComputeRows(
+    QueryMeasure measure, const std::vector<NodeId>& sources) {
+  // Validate before sizing the result: a bad source set must not pay the
+  // (possibly huge) |sources| × n allocation on its way to the error.
+  SRS_RETURN_NOT_OK(eval_.ValidateBatch(sources, "source"));
+  DenseMatrix out(static_cast<int64_t>(sources.size()), eval_.num_nodes());
+  SRS_RETURN_NOT_OK(ForEachRow(
+      measure, sources,
+      [&](int64_t index, NodeId /*source*/, const std::vector<double>& row) {
+        std::copy(row.begin(), row.end(), out.Row(index));
+      }));
+  return out;
+}
+
+Result<DenseMatrix> AllPairsEngine::ComputeAllPairs(QueryMeasure measure) {
+  if (eval_.num_nodes() == 0) {
+    return Status::InvalidArgument("all-pairs over an empty graph");
+  }
+  std::vector<NodeId> sources(static_cast<size_t>(eval_.num_nodes()));
+  std::iota(sources.begin(), sources.end(), NodeId{0});
+  return ComputeRows(measure, sources);
+}
+
+}  // namespace srs

@@ -16,19 +16,67 @@ const char* QueryMeasureToString(QueryMeasure measure) {
   return "unknown";
 }
 
-QueryEngine::QueryEngine(const Graph& g, const QueryEngineOptions& options)
-    : options_(options), num_nodes_(g.NumNodes()) {
-  q_ = g.BackwardTransition();
-  qt_ = q_.Transposed();
-  wt_ = g.ForwardTransition().Transposed();
+int QueryMeasureTag(QueryMeasure measure) {
+  return static_cast<int>(measure);
+}
 
-  const SimilarityOptions& sim = options_.similarity;
-  const int k_geo = EffectiveIterations(sim, /*exponential=*/false);
-  const int k_exp = EffectiveIterations(sim, /*exponential=*/true);
-  geometric_weights_ = GeometricStarLengthWeights(sim.damping, k_geo);
-  exponential_weights_ = ExponentialStarLengthWeights(sim.damping, k_exp);
+MeasureEvaluator::MeasureEvaluator(
+    std::shared_ptr<const GraphSnapshot> snapshot,
+    const SimilarityOptions& similarity)
+    : snapshot_(std::move(snapshot)), damping_(similarity.damping) {
+  const int k_geo = EffectiveIterations(similarity, /*exponential=*/false);
+  const int k_exp = EffectiveIterations(similarity, /*exponential=*/true);
+  geometric_weights_ = GeometricStarLengthWeights(similarity.damping, k_geo);
+  exponential_weights_ =
+      ExponentialStarLengthWeights(similarity.damping, k_exp);
   rwr_iterations_ = k_geo;
+  for (QueryMeasure m : {QueryMeasure::kSimRankStarGeometric,
+                         QueryMeasure::kSimRankStarExponential,
+                         QueryMeasure::kRwr}) {
+    digests_[QueryMeasureTag(m)] =
+        ResultDigest(similarity, QueryMeasureTag(m));
+  }
+}
 
+void MeasureEvaluator::Compute(QueryMeasure measure, NodeId query,
+                               SingleSourceWorkspace* workspace,
+                               std::vector<double>* out) const {
+  switch (measure) {
+    case QueryMeasure::kSimRankStarGeometric:
+      AccumulateBinomialColumnKernel(snapshot_->q, snapshot_->qt, query,
+                                     geometric_weights_, workspace, out);
+      return;
+    case QueryMeasure::kSimRankStarExponential:
+      AccumulateBinomialColumnKernel(snapshot_->q, snapshot_->qt, query,
+                                     exponential_weights_, workspace, out);
+      return;
+    case QueryMeasure::kRwr:
+      RwrColumnKernel(snapshot_->wt, query, damping_, rwr_iterations_,
+                      workspace, out);
+      return;
+  }
+  SRS_CHECK(false) << "unknown QueryMeasure";
+}
+
+Status MeasureEvaluator::ValidateBatch(const std::vector<NodeId>& nodes,
+                                       const char* what) const {
+  if (nodes.empty()) {
+    return Status::InvalidArgument(std::string(what) + " batch is empty");
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] < 0 || nodes[i] >= snapshot_->num_nodes) {
+      return Status::OutOfRange(
+          "batch entry " + std::to_string(i) + ": " + what + " node " +
+          std::to_string(nodes[i]) + " out of range for " +
+          std::to_string(snapshot_->num_nodes) + " nodes");
+    }
+  }
+  return Status::OK();
+}
+
+QueryEngine::QueryEngine(std::shared_ptr<const GraphSnapshot> snapshot,
+                         const QueryEngineOptions& options)
+    : options_(options), eval_(std::move(snapshot), options.similarity) {
   pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   workspaces_ = std::make_unique<std::vector<SingleSourceWorkspace>>(
       static_cast<size_t>(pool_->NumWorkers()));
@@ -41,73 +89,79 @@ Result<QueryEngine> QueryEngine::Create(const Graph& g,
   SRS_RETURN_NOT_OK(options.similarity.Validate());
   QueryEngineOptions resolved = options;
   if (resolved.num_threads <= 0) resolved.num_threads = HardwareThreads();
-  return QueryEngine(g, resolved);
-}
-
-Status QueryEngine::ValidateBatch(const std::vector<NodeId>& queries) const {
-  if (queries.empty()) {
-    return Status::InvalidArgument("query batch is empty");
-  }
-  for (size_t i = 0; i < queries.size(); ++i) {
-    if (queries[i] < 0 || queries[i] >= num_nodes_) {
-      return Status::OutOfRange(
-          "batch entry " + std::to_string(i) + ": query node " +
-          std::to_string(queries[i]) + " out of range for " +
-          std::to_string(num_nodes_) + " nodes");
-    }
-  }
-  return Status::OK();
-}
-
-void QueryEngine::ComputeColumn(QueryMeasure measure, NodeId query, int worker,
-                                std::vector<double>* out) {
-  SingleSourceWorkspace& workspace = (*workspaces_)[static_cast<size_t>(worker)];
-  switch (measure) {
-    case QueryMeasure::kSimRankStarGeometric:
-      AccumulateBinomialColumnKernel(q_, qt_, query, geometric_weights_,
-                                     &workspace, out);
-      return;
-    case QueryMeasure::kSimRankStarExponential:
-      AccumulateBinomialColumnKernel(q_, qt_, query, exponential_weights_,
-                                     &workspace, out);
-      return;
-    case QueryMeasure::kRwr:
-      RwrColumnKernel(wt_, query, options_.similarity.damping, rwr_iterations_,
-                      &workspace, out);
-      return;
-  }
-  SRS_CHECK(false) << "unknown QueryMeasure";
+  SnapshotCache& snapshots = resolved.snapshot_cache != nullptr
+                                 ? *resolved.snapshot_cache
+                                 : GlobalSnapshotCache();
+  return QueryEngine(snapshots.Get(g), resolved);
 }
 
 Result<std::vector<std::vector<double>>> QueryEngine::BatchScores(
     QueryMeasure measure, const std::vector<NodeId>& queries) {
-  SRS_RETURN_NOT_OK(ValidateBatch(queries));
+  SRS_RETURN_NOT_OK(eval_.ValidateBatch(queries, "query"));
   std::vector<std::vector<double>> results(queries.size());
+  ResultCache* cache = options_.result_cache.get();
+  auto compute = [&](size_t i, int worker) {
+    eval_.Compute(measure, queries[i],
+                  &(*workspaces_)[static_cast<size_t>(worker)], &results[i]);
+  };
+  if (cache == nullptr) {
+    pool_->ParallelForIndexed(
+        0, static_cast<int64_t>(queries.size()),
+        [&](int64_t i, int worker) { compute(static_cast<size_t>(i), worker); });
+    return results;
+  }
+  // Cached path: probe serially (a hit is a hash lookup plus one vector
+  // copy), then fan the misses out across the pool. Duplicate misses in one
+  // batch are each computed; the second Put merely refreshes the entry.
+  std::vector<int64_t> miss;
+  miss.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (ResultCache::Value hit = cache->Get(eval_.KeyFor(measure, queries[i]))) {
+      results[i] = *hit;
+    } else {
+      miss.push_back(static_cast<int64_t>(i));
+    }
+  }
   pool_->ParallelForIndexed(
-      0, static_cast<int64_t>(queries.size()), [&](int64_t i, int worker) {
-        ComputeColumn(measure, queries[static_cast<size_t>(i)], worker,
-                      &results[static_cast<size_t>(i)]);
+      0, static_cast<int64_t>(miss.size()), [&](int64_t mi, int worker) {
+        const size_t i = static_cast<size_t>(miss[static_cast<size_t>(mi)]);
+        compute(i, worker);
+        cache->Put(eval_.KeyFor(measure, queries[i]),
+                   std::make_shared<const std::vector<double>>(results[i]));
       });
   return results;
 }
 
 Result<std::vector<std::vector<RankedNode>>> QueryEngine::BatchTopK(
     QueryMeasure measure, const std::vector<NodeId>& queries, size_t k) {
-  SRS_RETURN_NOT_OK(ValidateBatch(queries));
+  SRS_RETURN_NOT_OK(eval_.ValidateBatch(queries, "query"));
   std::vector<std::vector<RankedNode>> results(queries.size());
   // All result storage is reserved before dispatch (a ranking can never
   // exceed the node count, whatever k the caller asks for); inside the hot
   // loop the workers reuse their workspaces and score buffers, so the
-  // steady state allocates nothing per query.
-  const size_t reserve = std::min(k, static_cast<size_t>(num_nodes_));
+  // steady state allocates nothing per query. With a result cache, misses
+  // additionally allocate the cached copy.
+  const size_t reserve = std::min(k, static_cast<size_t>(NumNodes()));
   for (std::vector<RankedNode>& r : results) r.reserve(reserve);
+  ResultCache* cache = options_.result_cache.get();
   pool_->ParallelForIndexed(
       0, static_cast<int64_t>(queries.size()), [&](int64_t i, int worker) {
+        const NodeId query = queries[static_cast<size_t>(i)];
+        if (cache != nullptr) {
+          if (ResultCache::Value hit = cache->Get(eval_.KeyFor(measure, query))) {
+            TopKInto(*hit, k, query, &results[static_cast<size_t>(i)]);
+            return;
+          }
+        }
         std::vector<double>& scores =
             (*score_buffers_)[static_cast<size_t>(worker)];
-        const NodeId query = queries[static_cast<size_t>(i)];
-        ComputeColumn(measure, query, worker, &scores);
+        eval_.Compute(measure, query,
+                      &(*workspaces_)[static_cast<size_t>(worker)], &scores);
         TopKInto(scores, k, query, &results[static_cast<size_t>(i)]);
+        if (cache != nullptr) {
+          cache->Put(eval_.KeyFor(measure, query),
+                     std::make_shared<const std::vector<double>>(scores));
+        }
       });
   return results;
 }

@@ -8,25 +8,32 @@
 /// buffers on every call — fine for a CLI invocation, hopeless for serving
 /// heavy query traffic. The QueryEngine is the serving path:
 ///
-///  * it snapshots the graph's transition structure **once** at Create()
-///    into shared read-only CSR matrices;
+///  * it obtains the graph's transition structure as a shared immutable
+///    `GraphSnapshot` (engine/snapshot.h) — memoized in a SnapshotCache, so
+///    several engines over one graph share a single copy;
 ///  * it owns a reusable ThreadPool (common/parallel.h) whose workers stay
 ///    parked between batches;
 ///  * each worker owns a SingleSourceWorkspace that is sized on first use
 ///    and reused for every subsequent query, so the steady-state hot loop
 ///    performs **zero per-query heap allocations**;
 ///  * batches of query nodes are claimed dynamically across workers, which
-///    load-balances the skewed per-query cost of power-law graphs.
+///    load-balances the skewed per-query cost of power-law graphs;
+///  * optionally, a shared `ResultCache` (engine/result_cache.h) serves
+///    repeated queries without recomputation — cached answers are the very
+///    vectors a cold computation produced, hence bit-identical.
 ///
 /// Results are bit-identical to the sequential single-source functions for
-/// any thread count and any batch composition (asserted by
-/// tests/query_engine_test.cpp).
+/// any thread count, any batch composition, and any cache state (asserted
+/// by tests/query_engine_test.cpp and tests/engine_property_test.cpp).
 ///
 /// \code
 ///   SRS_ASSIGN_OR_RETURN(QueryEngine engine, QueryEngine::Create(g, opts));
 ///   auto rankings = engine.BatchTopK(QueryMeasure::kSimRankStarGeometric,
 ///                                    {7, 42, 99}, /*k=*/10);
 /// \endcode
+///
+/// For source *sets* up to full all-pairs, see engine/all_pairs_engine.h,
+/// which streams tiled rows through the same kernels.
 
 #include <memory>
 #include <vector>
@@ -35,6 +42,8 @@
 #include "srs/common/result.h"
 #include "srs/core/options.h"
 #include "srs/core/single_source_kernel.h"
+#include "srs/engine/result_cache.h"
+#include "srs/engine/snapshot.h"
 #include "srs/eval/ranking.h"
 #include "srs/graph/graph.h"
 #include "srs/matrix/csr_matrix.h"
@@ -51,6 +60,56 @@ enum class QueryMeasure {
 /// Human-readable name of a measure ("gsr-star", "esr-star", "rwr").
 const char* QueryMeasureToString(QueryMeasure measure);
 
+/// Stable small-integer tag of a measure, used in result-cache digests.
+int QueryMeasureTag(QueryMeasure measure);
+
+/// \brief Shared evaluation core of the serving engines: the precomputed
+/// series weights and result-cache digests of one (snapshot,
+/// SimilarityOptions) pair.
+///
+/// QueryEngine and AllPairsEngine both evaluate and key their cache
+/// entries through this one component — which is exactly what makes their
+/// rows bit-identical and their ResultCache entries interchangeable. Any
+/// new measure or digest ingredient is added here once.
+class MeasureEvaluator {
+ public:
+  MeasureEvaluator() = default;
+  MeasureEvaluator(std::shared_ptr<const GraphSnapshot> snapshot,
+                   const SimilarityOptions& similarity);
+
+  const std::shared_ptr<const GraphSnapshot>& snapshot() const {
+    return snapshot_;
+  }
+  int64_t num_nodes() const { return snapshot_->num_nodes; }
+
+  /// Result-cache key of ŝ(query, ·) under `measure`.
+  ResultKey KeyFor(QueryMeasure measure, NodeId query) const {
+    return ResultKey{snapshot_->fingerprint,
+                     digests_[QueryMeasureTag(measure)], query};
+  }
+
+  /// Writes ŝ(query, ·) into `*out` (resized and overwritten), using
+  /// `workspace` for scratch. The caller validates `query`.
+  void Compute(QueryMeasure measure, NodeId query,
+               SingleSourceWorkspace* workspace,
+               std::vector<double>* out) const;
+
+  /// Rejects an empty batch (InvalidArgument) or any out-of-range node
+  /// (OutOfRange); `what` names the entries in messages ("query",
+  /// "source").
+  Status ValidateBatch(const std::vector<NodeId>& nodes,
+                       const char* what) const;
+
+ private:
+  std::shared_ptr<const GraphSnapshot> snapshot_;
+  double damping_ = 0.0;
+  std::vector<double> geometric_weights_;
+  std::vector<double> exponential_weights_;
+  int rwr_iterations_ = 0;
+  // ResultDigest per measure, indexed by QueryMeasureTag.
+  uint64_t digests_[3] = {0, 0, 0};
+};
+
 /// \brief Configuration of a QueryEngine.
 struct QueryEngineOptions {
   /// Damping / iterations / epsilon for every measure served. `num_threads`
@@ -60,6 +119,13 @@ struct QueryEngineOptions {
   /// Worker threads in the reusable pool (the dispatching thread counts as
   /// one). <= 0 means HardwareThreads().
   int num_threads = 1;
+
+  /// Optional shared cache of score vectors; null disables result caching.
+  /// Safe to share with other engines and across threads.
+  std::shared_ptr<ResultCache> result_cache;
+
+  /// Snapshot memo used at Create(); null means GlobalSnapshotCache().
+  SnapshotCache* snapshot_cache = nullptr;
 };
 
 /// \brief Serves batches of single-source similarity queries over one
@@ -67,11 +133,13 @@ struct QueryEngineOptions {
 ///
 /// Thread-compatible: concurrent calls into one engine are not supported
 /// (the pool and per-worker workspaces are reused across calls); create one
-/// engine per serving thread or serialize access externally.
+/// engine per serving thread or serialize access externally. The snapshot
+/// and the result cache *are* safely shared between engines on different
+/// threads.
 class QueryEngine {
  public:
-  /// Snapshots `g`'s transition structure and spins up the worker pool.
-  /// InvalidArgument on bad options.
+  /// Snapshots `g`'s transition structure (via the snapshot cache) and
+  /// spins up the worker pool. InvalidArgument on bad options.
   static Result<QueryEngine> Create(const Graph& g,
                                     const QueryEngineOptions& options = {});
 
@@ -79,16 +147,22 @@ class QueryEngine {
   QueryEngine& operator=(QueryEngine&&) = default;
 
   /// Nodes in the snapshot.
-  int64_t NumNodes() const { return num_nodes_; }
+  int64_t NumNodes() const { return eval_.num_nodes(); }
 
   /// Workers in the pool.
   int NumWorkers() const { return pool_->NumWorkers(); }
 
   const QueryEngineOptions& options() const { return options_; }
 
+  /// The shared snapshot this engine serves from.
+  const std::shared_ptr<const GraphSnapshot>& snapshot() const {
+    return eval_.snapshot();
+  }
+
   /// Full score vectors ŝ(q, ·), one per query, in batch order. The batch
   /// must be non-empty (InvalidArgument) and every node in range
-  /// (OutOfRange); on error no query is evaluated.
+  /// (OutOfRange); on error no query is evaluated. With a result cache,
+  /// repeated queries are served from it bit-identically.
   Result<std::vector<std::vector<double>>> BatchScores(
       QueryMeasure measure, const std::vector<NodeId>& queries);
 
@@ -99,27 +173,11 @@ class QueryEngine {
       QueryMeasure measure, const std::vector<NodeId>& queries, size_t k);
 
  private:
-  QueryEngine(const Graph& g, const QueryEngineOptions& options);
-
-  Status ValidateBatch(const std::vector<NodeId>& queries) const;
-
-  /// Evaluates one query on `worker`'s workspace, writing ŝ(query, ·) into
-  /// `*out` (resized and overwritten).
-  void ComputeColumn(QueryMeasure measure, NodeId query, int worker,
-                     std::vector<double>* out);
+  QueryEngine(std::shared_ptr<const GraphSnapshot> snapshot,
+              const QueryEngineOptions& options);
 
   QueryEngineOptions options_;
-  int64_t num_nodes_ = 0;
-
-  // Shared read-only snapshot (Q = row-normalized Aᵀ, paper Eq. 3).
-  CsrMatrix q_;
-  CsrMatrix qt_;
-  CsrMatrix wt_;
-
-  // Series weights, precomputed once per engine.
-  std::vector<double> geometric_weights_;
-  std::vector<double> exponential_weights_;
-  int rwr_iterations_ = 0;
+  MeasureEvaluator eval_;
 
   // unique_ptr keeps the engine movable (ThreadPool and the workspaces are
   // address-stable for the worker threads).

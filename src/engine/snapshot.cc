@@ -1,0 +1,102 @@
+#include "srs/engine/snapshot.h"
+
+#include <algorithm>
+
+namespace srs {
+
+namespace {
+
+/// 64-bit FNV-1a step over one value.
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  h ^= v;
+  h *= 0x100000001b3ULL;
+  return h;
+}
+
+}  // namespace
+
+uint64_t GraphFingerprint(const Graph& g) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  h = HashCombine(h, static_cast<uint64_t>(g.NumNodes()));
+  h = HashCombine(h, static_cast<uint64_t>(g.NumEdges()));
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    // Per-node separator keeps {0→1,1→} distinct from {0→,1→1} etc.
+    h = HashCombine(h, 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(u));
+    for (NodeId v : g.OutNeighbors(u)) {
+      h = HashCombine(h, static_cast<uint64_t>(v) + 1);
+    }
+  }
+  return h;
+}
+
+std::shared_ptr<const GraphSnapshot> MakeGraphSnapshot(const Graph& g) {
+  auto snapshot = std::make_shared<GraphSnapshot>();
+  snapshot->fingerprint = GraphFingerprint(g);
+  snapshot->num_nodes = g.NumNodes();
+  snapshot->q = g.BackwardTransition();
+  snapshot->qt = snapshot->q.Transposed();
+  snapshot->wt = g.ForwardTransition().Transposed();
+  return snapshot;
+}
+
+SnapshotCache::SnapshotCache(size_t max_snapshots)
+    : max_snapshots_(std::max<size_t>(1, max_snapshots)) {}
+
+std::shared_ptr<const GraphSnapshot> SnapshotCache::Get(const Graph& g) {
+  const uint64_t fingerprint = GraphFingerprint(g);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].fingerprint == fingerprint) {
+        // Move to front (MRU).
+        std::rotate(entries_.begin(), entries_.begin() + i,
+                    entries_.begin() + i + 1);
+        ++stats_.hits;
+        return entries_.front().snapshot;
+      }
+    }
+  }
+  // Build outside the lock: snapshotting a large graph must not serialize
+  // unrelated lookups. A racing builder of the same graph is harmless — both
+  // produce identical snapshots and the second insert below detects the
+  // duplicate.
+  std::shared_ptr<const GraphSnapshot> snapshot = MakeGraphSnapshot(g);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].fingerprint == fingerprint) {
+      std::rotate(entries_.begin(), entries_.begin() + i,
+                  entries_.begin() + i + 1);
+      ++stats_.hits;
+      return entries_.front().snapshot;
+    }
+  }
+  ++stats_.misses;
+  entries_.insert(entries_.begin(), Entry{fingerprint, snapshot});
+  stats_.bytes += snapshot->ByteSize();
+  while (entries_.size() > max_snapshots_) {
+    stats_.bytes -= entries_.back().snapshot->ByteSize();
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = entries_.size();
+  return snapshot;
+}
+
+SnapshotCacheStats SnapshotCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void SnapshotCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  stats_.entries = 0;
+  stats_.bytes = 0;
+}
+
+SnapshotCache& GlobalSnapshotCache() {
+  static SnapshotCache* cache = new SnapshotCache();
+  return *cache;
+}
+
+}  // namespace srs

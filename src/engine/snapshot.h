@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file snapshot.h
+/// \brief Shared immutable graph snapshots and their process-level cache.
+///
+/// Every serving engine needs the same derived structure from a graph: the
+/// backward transition matrix `Q` (row-normalized Aᵀ, paper Eq. 3), its
+/// transpose `Qᵀ`, and the transposed forward transition `Wᵀ` for RWR.
+/// Building those is O(m log m) and was previously repeated by every
+/// QueryEngine::Create call. A `GraphSnapshot` bundles the three matrices
+/// behind a `shared_ptr<const ...>` so any number of engines (and any
+/// number of threads) can read one copy, and a `SnapshotCache` memoizes
+/// snapshots by a structural fingerprint of the graph, so creating a second
+/// engine over the same graph — the common pattern when a serving process
+/// hosts both a QueryEngine and an AllPairsEngine — reuses the matrices
+/// instead of rebuilding them.
+///
+/// The fingerprint doubles as the graph component of result-cache keys
+/// (engine/result_cache.h): two graphs with identical node count and edge
+/// sets hash identically, so cached scores survive reloading the same edge
+/// list from disk.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "srs/graph/graph.h"
+#include "srs/matrix/csr_matrix.h"
+
+namespace srs {
+
+/// 64-bit structural fingerprint of a graph: a deterministic hash over the
+/// node count and the full out-adjacency structure. Equal graphs (same
+/// nodes, same edge set) always collide; distinct graphs collide with
+/// probability ~2^-64. Labels are ignored — similarity scores depend only
+/// on structure.
+uint64_t GraphFingerprint(const Graph& g);
+
+/// \brief Immutable transition-structure snapshot shared by the engines.
+struct GraphSnapshot {
+  uint64_t fingerprint = 0;
+  int64_t num_nodes = 0;
+  CsrMatrix q;   ///< backward transition Q = row-normalized Aᵀ
+  CsrMatrix qt;  ///< Qᵀ
+  CsrMatrix wt;  ///< transposed forward transition Wᵀ (RWR walks out-links)
+
+  /// Logical footprint of the three matrices in bytes.
+  size_t ByteSize() const {
+    return q.ByteSize() + qt.ByteSize() + wt.ByteSize();
+  }
+};
+
+/// Builds a snapshot directly, bypassing any cache.
+std::shared_ptr<const GraphSnapshot> MakeGraphSnapshot(const Graph& g);
+
+/// Monotonic counters describing a SnapshotCache's behavior.
+struct SnapshotCacheStats {
+  uint64_t hits = 0;       ///< Get() served an existing snapshot
+  uint64_t misses = 0;     ///< Get() had to build one
+  uint64_t evictions = 0;  ///< snapshots dropped to respect max_snapshots
+  size_t entries = 0;      ///< snapshots currently held
+  size_t bytes = 0;        ///< logical bytes currently held
+};
+
+/// \brief Thread-safe LRU memo of graph snapshots, keyed by fingerprint.
+///
+/// Holding a snapshot in the cache does not pin it forever: entries are
+/// `shared_ptr`s, so an evicted snapshot stays alive for exactly as long as
+/// some engine still uses it.
+class SnapshotCache {
+ public:
+  /// Cache holding at most `max_snapshots` entries (LRU eviction).
+  explicit SnapshotCache(size_t max_snapshots = 8);
+
+  SnapshotCache(const SnapshotCache&) = delete;
+  SnapshotCache& operator=(const SnapshotCache&) = delete;
+
+  /// Returns the snapshot for `g`, building and memoizing it on first use.
+  std::shared_ptr<const GraphSnapshot> Get(const Graph& g);
+
+  /// Current counters (a consistent view under the cache lock).
+  SnapshotCacheStats Stats() const;
+
+  /// Drops all memoized snapshots (in-use engines keep theirs alive).
+  void Clear();
+
+ private:
+  struct Entry {
+    uint64_t fingerprint;
+    std::shared_ptr<const GraphSnapshot> snapshot;
+  };
+
+  const size_t max_snapshots_;
+  mutable std::mutex mu_;
+  // Most-recently-used first; linear scan is fine for a handful of graphs.
+  std::vector<Entry> entries_;
+  SnapshotCacheStats stats_;
+};
+
+/// Process-wide default cache used by the engines unless an explicit one is
+/// supplied in their options.
+SnapshotCache& GlobalSnapshotCache();
+
+}  // namespace srs

@@ -16,11 +16,15 @@ Result<std::vector<NodeId>> SampleQueries(const Graph& g,
   if (n == 0) return std::vector<NodeId>{};
 
   const std::vector<NodeId> by_degree = NodesByInDegree(g);
-  Rng rng(options.seed);
   std::vector<NodeId> queries;
 
   const int64_t groups = std::min<int64_t>(options.num_groups, n);
   for (int64_t gi = 0; gi < groups; ++gi) {
+    // Each stratum draws from its own derived stream, so a stratum's sample
+    // depends only on (seed, stratum index) — not on how many values the
+    // preceding strata consumed. Runs are reproducible from the single seed
+    // and stable under changes to other strata.
+    Rng rng(DeriveSeed(options.seed, static_cast<uint64_t>(gi)));
     const int64_t begin = gi * n / groups;
     const int64_t end = (gi + 1) * n / groups;
     std::vector<NodeId> stratum(by_degree.begin() + begin,

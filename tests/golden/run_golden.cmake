@@ -1,0 +1,60 @@
+# Golden-file regression for the srs_query CLI: runs the binary on the
+# checked-in fixture graph and fails if stdout or the all-pairs TSV drifts
+# from the expectations (catches accidental output-format or score drift).
+#
+# Invoked by ctest (see tests/CMakeLists.txt) with:
+#   -DSRS_QUERY=<path to srs_query> -DGOLDEN_DIR=<tests/golden>
+#   -DWORK_DIR=<build scratch dir>
+#
+# To regenerate the expectations after an *intentional* change:
+#   cmake -DSRS_QUERY=... -DGOLDEN_DIR=... -DWORK_DIR=... -DREGENERATE=1 \
+#         -P run_golden.cmake
+
+function(check_output label got want_file)
+  file(READ "${want_file}" want)
+  if(NOT got STREQUAL want)
+    message(FATAL_ERROR "${label} drifted from ${want_file}\n"
+                        "--- got ----\n${got}\n--- want ---\n${want}")
+  endif()
+endfunction()
+
+# --- Run 1: batched top-k to stdout. ---------------------------------------
+execute_process(
+  COMMAND "${SRS_QUERY}" --graph "${GOLDEN_DIR}/golden.edges"
+          --query 4 --query 9 --topk 5 --measure gsr-star
+          --damping 0.6 --iterations 8 --threads 2
+  OUTPUT_VARIABLE topk_out
+  ERROR_VARIABLE topk_err
+  RESULT_VARIABLE topk_rc)
+if(NOT topk_rc EQUAL 0)
+  message(FATAL_ERROR "srs_query top-k run failed (${topk_rc}):\n${topk_err}")
+endif()
+
+# --- Run 2: multi-source all-pairs TSV + cached top-k. ---------------------
+execute_process(
+  COMMAND "${SRS_QUERY}" --graph "${GOLDEN_DIR}/golden.edges"
+          --sources-file "${GOLDEN_DIR}/sources.txt" --topk 3
+          --measure gsr-star --iterations 8 --tile 2 --cache-mb 16
+          --all-pairs "${WORK_DIR}/golden_all_pairs.tsv"
+  OUTPUT_VARIABLE sources_out
+  ERROR_VARIABLE sources_err
+  RESULT_VARIABLE sources_rc)
+if(NOT sources_rc EQUAL 0)
+  message(FATAL_ERROR
+          "srs_query all-pairs run failed (${sources_rc}):\n${sources_err}")
+endif()
+file(READ "${WORK_DIR}/golden_all_pairs.tsv" all_pairs_out)
+
+if(REGENERATE)
+  file(WRITE "${GOLDEN_DIR}/topk.golden" "${topk_out}")
+  file(WRITE "${GOLDEN_DIR}/sources_topk.golden" "${sources_out}")
+  file(WRITE "${GOLDEN_DIR}/all_pairs.golden" "${all_pairs_out}")
+  message(STATUS "regenerated goldens in ${GOLDEN_DIR}")
+  return()
+endif()
+
+check_output("top-k stdout" "${topk_out}" "${GOLDEN_DIR}/topk.golden")
+check_output("multi-source top-k stdout" "${sources_out}"
+             "${GOLDEN_DIR}/sources_topk.golden")
+check_output("all-pairs TSV" "${all_pairs_out}"
+             "${GOLDEN_DIR}/all_pairs.golden")

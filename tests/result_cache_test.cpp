@@ -1,0 +1,220 @@
+// Tests for the sharded LRU result cache and the snapshot cache: key
+// semantics (fingerprint × digest × query), LRU eviction under a byte
+// budget, stat counters, and snapshot sharing across engines.
+
+#include "srs/engine/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "srs/engine/query_engine.h"
+#include "srs/engine/snapshot.h"
+#include "srs/graph/generators.h"
+#include "srs/graph/graph_builder.h"
+
+namespace srs {
+namespace {
+
+ResultCache::Value MakeValue(size_t n, double fill) {
+  return std::make_shared<const std::vector<double>>(n, fill);
+}
+
+ResultKey Key(uint64_t fp, uint64_t digest, NodeId q) {
+  return ResultKey{fp, digest, q};
+}
+
+TEST(ResultCacheTest, PutGetRoundTrip) {
+  ResultCache cache;
+  EXPECT_EQ(cache.Get(Key(1, 2, 3)), nullptr);
+  cache.Put(Key(1, 2, 3), MakeValue(4, 0.5));
+  const ResultCache::Value hit = cache.Get(Key(1, 2, 3));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 4u);
+  EXPECT_EQ((*hit)[0], 0.5);
+  // Any differing key component misses.
+  EXPECT_EQ(cache.Get(Key(9, 2, 3)), nullptr);
+  EXPECT_EQ(cache.Get(Key(1, 9, 3)), nullptr);
+  EXPECT_EQ(cache.Get(Key(1, 2, 9)), nullptr);
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ResultCacheTest, PutReplacesExistingEntry) {
+  ResultCache cache;
+  cache.Put(Key(1, 1, 1), MakeValue(4, 1.0));
+  cache.Put(Key(1, 1, 1), MakeValue(8, 2.0));
+  const ResultCache::Value hit = cache.Get(Key(1, 1, 1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 8u);
+  EXPECT_EQ(cache.Stats().entries, 1u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  // Single shard so LRU order is globally observable. Budget fits exactly
+  // two 100-score entries (100*8 + 96 = 896 bytes each).
+  ResultCacheOptions options;
+  options.num_shards = 1;
+  options.capacity_bytes = 1800;
+  ResultCache cache(options);
+  cache.Put(Key(1, 1, 1), MakeValue(100, 1.0));
+  cache.Put(Key(1, 1, 2), MakeValue(100, 2.0));
+  EXPECT_EQ(cache.Stats().entries, 2u);
+  // Touch entry 1 so entry 2 becomes the LRU victim.
+  EXPECT_NE(cache.Get(Key(1, 1, 1)), nullptr);
+  cache.Put(Key(1, 1, 3), MakeValue(100, 3.0));
+  EXPECT_EQ(cache.Stats().entries, 2u);
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+  EXPECT_NE(cache.Get(Key(1, 1, 1)), nullptr);  // kept (recently used)
+  EXPECT_EQ(cache.Get(Key(1, 1, 2)), nullptr);  // evicted
+  EXPECT_NE(cache.Get(Key(1, 1, 3)), nullptr);  // newest
+  EXPECT_LE(cache.Stats().bytes, cache.capacity_bytes());
+}
+
+TEST(ResultCacheTest, OversizedValueIsRejectedNotCached) {
+  ResultCacheOptions options;
+  options.num_shards = 1;
+  options.capacity_bytes = 256;
+  ResultCache cache(options);
+  cache.Put(Key(1, 1, 1), MakeValue(1000, 1.0));  // 8 KB > 256 B budget
+  EXPECT_EQ(cache.Get(Key(1, 1, 1)), nullptr);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+}
+
+TEST(ResultCacheTest, OversizedReplacementDropsStaleEntryAndStaysInBudget) {
+  // Replacing an existing entry with an oversized value must neither store
+  // the oversized vector (which would bust the byte budget) nor keep
+  // serving the stale small one the caller tried to replace.
+  ResultCacheOptions options;
+  options.num_shards = 1;
+  options.capacity_bytes = 1024;
+  ResultCache cache(options);
+  cache.Put(Key(1, 1, 1), MakeValue(50, 1.0));
+  ASSERT_NE(cache.Get(Key(1, 1, 1)), nullptr);
+  cache.Put(Key(1, 1, 1), MakeValue(4096, 2.0));  // 32 KB > 1 KB budget
+  EXPECT_EQ(cache.Get(Key(1, 1, 1)), nullptr);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+  EXPECT_LE(cache.Stats().bytes, cache.capacity_bytes());
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+}
+
+TEST(ResultCacheTest, EvictionNeverInvalidatesHeldValues) {
+  ResultCacheOptions options;
+  options.num_shards = 1;
+  options.capacity_bytes = 1000;
+  ResultCache cache(options);
+  cache.Put(Key(1, 1, 1), MakeValue(100, 7.0));
+  const ResultCache::Value held = cache.Get(Key(1, 1, 1));
+  ASSERT_NE(held, nullptr);
+  cache.Put(Key(1, 1, 2), MakeValue(100, 8.0));  // evicts entry 1
+  EXPECT_EQ(cache.Get(Key(1, 1, 1)), nullptr);
+  EXPECT_EQ((*held)[0], 7.0);  // the shared_ptr keeps the vector alive
+}
+
+TEST(ResultCacheTest, ClearDropsEntriesKeepsCounters) {
+  ResultCache cache;
+  cache.Put(Key(1, 1, 1), MakeValue(4, 1.0));
+  EXPECT_NE(cache.Get(Key(1, 1, 1)), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.Get(Key(1, 1, 1)), nullptr);
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.hits, 1u);  // monotonic counters survive Clear
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(ResultCacheTest, StatsStringMentionsHitsAndEntries) {
+  ResultCache cache;
+  cache.Put(Key(1, 1, 1), MakeValue(4, 1.0));
+  cache.Get(Key(1, 1, 1));
+  const std::string s = cache.StatsString();
+  EXPECT_NE(s.find("1 hits"), std::string::npos) << s;
+  EXPECT_NE(s.find("1 entries"), std::string::npos) << s;
+}
+
+TEST(ResultDigestTest, DistinguishesMeasuresAndOptions) {
+  SimilarityOptions a;
+  const uint64_t base = ResultDigest(a, 0);
+  EXPECT_NE(base, ResultDigest(a, 1));
+  EXPECT_NE(base, ResultDigest(a, 2));
+  SimilarityOptions b = a;
+  b.damping = 0.8;
+  EXPECT_NE(base, ResultDigest(b, 0));
+  SimilarityOptions c = a;
+  c.iterations = a.iterations + 1;
+  EXPECT_NE(base, ResultDigest(c, 0));
+  SimilarityOptions d = a;
+  d.epsilon = 1e-3;
+  EXPECT_NE(base, ResultDigest(d, 0));
+  // num_threads and sieve_threshold never change engine output, so they
+  // must not fragment the cache.
+  SimilarityOptions e = a;
+  e.num_threads = 7;
+  e.sieve_threshold = 0.5;
+  EXPECT_EQ(base, ResultDigest(e, 0));
+}
+
+TEST(GraphFingerprintTest, StructureSensitiveLabelInsensitive) {
+  GraphBuilder b1(3);
+  SRS_CHECK_OK(b1.AddEdge(0, 1));
+  SRS_CHECK_OK(b1.AddEdge(1, 2));
+  const Graph g1 = b1.Build().MoveValueOrDie();
+  GraphBuilder b2(3);
+  SRS_CHECK_OK(b2.AddEdge(0, 1));
+  SRS_CHECK_OK(b2.AddEdge(1, 2));
+  const Graph g2 = b2.Build().MoveValueOrDie();
+  EXPECT_EQ(GraphFingerprint(g1), GraphFingerprint(g2));
+
+  GraphBuilder b3(3);
+  SRS_CHECK_OK(b3.AddEdge(0, 1));
+  SRS_CHECK_OK(b3.AddEdge(0, 2));  // different edge set
+  const Graph g3 = b3.Build().MoveValueOrDie();
+  EXPECT_NE(GraphFingerprint(g1), GraphFingerprint(g3));
+
+  // Same edges, different node count.
+  GraphBuilder b4(4);
+  SRS_CHECK_OK(b4.AddEdge(0, 1));
+  SRS_CHECK_OK(b4.AddEdge(1, 2));
+  const Graph g4 = b4.Build().MoveValueOrDie();
+  EXPECT_NE(GraphFingerprint(g1), GraphFingerprint(g4));
+}
+
+TEST(SnapshotCacheTest, MemoizesByFingerprintAndEvictsLru) {
+  SnapshotCache cache(/*max_snapshots=*/2);
+  const Graph a = PathGraph(5).ValueOrDie();
+  const Graph b = CycleGraph(6).ValueOrDie();
+  const Graph c = StarGraph(7).ValueOrDie();
+  const auto snap_a = cache.Get(a);
+  EXPECT_EQ(cache.Get(a).get(), snap_a.get());  // same pointer on hit
+  EXPECT_EQ(cache.Stats().hits, 1u);
+  EXPECT_EQ(cache.Stats().misses, 1u);
+  cache.Get(b);
+  cache.Get(c);  // evicts a (LRU)
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+  EXPECT_EQ(cache.Stats().entries, 2u);
+  const auto snap_a2 = cache.Get(a);  // rebuilt, not the old pointer
+  EXPECT_NE(snap_a2.get(), snap_a.get());
+  // The evicted snapshot's matrices are still valid through our reference.
+  EXPECT_EQ(snap_a->num_nodes, 5);
+  EXPECT_EQ(snap_a->fingerprint, snap_a2->fingerprint);
+}
+
+TEST(SnapshotCacheTest, EnginesOverSameGraphShareOneSnapshot) {
+  SnapshotCache snapshots;
+  const Graph g = Rmat(40, 200, 5).ValueOrDie();
+  QueryEngineOptions opts;
+  opts.snapshot_cache = &snapshots;
+  QueryEngine e1 = QueryEngine::Create(g, opts).MoveValueOrDie();
+  QueryEngine e2 = QueryEngine::Create(g, opts).MoveValueOrDie();
+  EXPECT_EQ(e1.snapshot().get(), e2.snapshot().get());
+  EXPECT_EQ(snapshots.Stats().misses, 1u);
+  EXPECT_EQ(snapshots.Stats().hits, 1u);
+}
+
+}  // namespace
+}  // namespace srs

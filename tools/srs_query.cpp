@@ -1,27 +1,36 @@
 // srs_query — command-line similarity search over an edge-list graph.
 //
 // Usage:
-//   srs_query --graph FILE [--query NODE]... [--measure NAME] [--topk K]
-//             [--damping C] [--iterations K | --epsilon E] [--threads N]
-//             [--undirected] [--all-pairs OUT.tsv]
+//   srs_query --graph FILE [--query NODE]... [--sources-file FILE]
+//             [--measure NAME] [--topk K] [--damping C]
+//             [--iterations K | --epsilon E] [--threads N] [--tile T]
+//             [--cache-mb MB] [--undirected] [--all-pairs OUT.tsv]
 //
 // Measures: gsr-star (default), esr-star, simrank, rwr, prank, mc-star.
-// With --query (repeatable), prints the top-k similar nodes per query. The
-// single-source measures (gsr-star, esr-star, rwr) are served as one batch
-// by the QueryEngine: the graph snapshot is normalized once and the batch
-// fans out across --threads pooled workers — no n×n matrix. With
-// --all-pairs, writes the full sieved score matrix as TSV (node pairs with
-// score >= 1e-4).
+// With --query (repeatable) and/or --sources-file (one node id per line),
+// prints the top-k similar nodes per query. The single-source measures
+// (gsr-star, esr-star, rwr) are served by the QueryEngine: the graph
+// snapshot is normalized once and the batch fans out across --threads
+// pooled workers — no n×n matrix. With --all-pairs, those measures stream
+// the score matrix tile by tile through the AllPairsEngine (rows restricted
+// to --sources-file when given, the whole graph otherwise); simrank/prank
+// fall back to their dense all-pairs algorithms. --cache-mb enables a
+// sharded LRU result cache shared by both engines, so overlapping queries
+// and repeated rows are served without recomputation (stats printed on
+// exit). Scores below 1e-4 are sieved out of the TSV.
 //
 // Examples:
 //   srs_query --graph cit.txt --query 42 --query 7 --topk 20 --threads 8
 //   srs_query --graph dblp.txt --undirected --measure esr-star --query 7
-//   srs_query --graph web.txt --measure simrank --all-pairs scores.tsv
+//   srs_query --graph web.txt --all-pairs scores.tsv --threads 8 --tile 64
+//   srs_query --graph web.txt --sources-file seeds.txt --all-pairs out.tsv \
+//             --cache-mb 256
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "srs/baselines/p_rank.h"
@@ -33,30 +42,40 @@
 #include "srs/core/monte_carlo.h"
 #include "srs/core/sieve.h"
 #include "srs/core/single_source.h"
+#include "srs/engine/all_pairs_engine.h"
 #include "srs/engine/query_engine.h"
+#include "srs/engine/result_cache.h"
 #include "srs/eval/ranking.h"
 #include "srs/graph/graph_io.h"
 #include "srs/graph/stats.h"
 
 namespace {
 
+constexpr double kSieveThreshold = 1e-4;
+
 struct CliOptions {
   std::string graph_path;
   std::string measure = "gsr-star";
   std::string all_pairs_out;
+  std::string sources_file;
   std::vector<int64_t> queries;
   int topk = 10;
+  int tile = 0;      // 0 = engine default
+  int cache_mb = 0;  // 0 = no result cache
   bool undirected = false;
   srs::SimilarityOptions sim;
 };
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --graph FILE [--query NODE]... [--measure "
-               "gsr-star|esr-star|simrank|rwr|prank|mc-star]\n"
+               "usage: %s --graph FILE [--query NODE]... [--sources-file "
+               "FILE]\n"
+               "          [--measure gsr-star|esr-star|simrank|rwr|prank|"
+               "mc-star]\n"
                "          [--topk K] [--damping C] [--iterations K] "
                "[--epsilon E] [--threads N]\n"
-               "          [--undirected] [--all-pairs OUT.tsv]\n",
+               "          [--tile T] [--cache-mb MB] [--undirected] "
+               "[--all-pairs OUT.tsv]\n",
                argv0);
 }
 
@@ -78,6 +97,10 @@ bool ParseCli(int argc, char** argv, CliOptions* options) {
       const char* v = next_value();
       if (v == nullptr) return false;
       options->queries.push_back(std::atoll(v));
+    } else if (arg == "--sources-file") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options->sources_file = v;
     } else if (arg == "--topk") {
       const char* v = next_value();
       if (v == nullptr) return false;
@@ -99,6 +122,14 @@ bool ParseCli(int argc, char** argv, CliOptions* options) {
       if (v == nullptr) return false;
       const int t = std::atoi(v);
       options->sim.num_threads = t <= 0 ? srs::HardwareThreads() : t;
+    } else if (arg == "--tile") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options->tile = std::atoi(v);
+    } else if (arg == "--cache-mb") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options->cache_mb = std::atoi(v);
     } else if (arg == "--all-pairs") {
       const char* v = next_value();
       if (v == nullptr) return false;
@@ -113,22 +144,12 @@ bool ParseCli(int argc, char** argv, CliOptions* options) {
     }
   }
   return !options->graph_path.empty() && options->topk >= 0 &&
-         (!options->queries.empty() || !options->all_pairs_out.empty());
+         options->cache_mb >= 0 &&
+         (!options->queries.empty() || !options->sources_file.empty() ||
+          !options->all_pairs_out.empty());
 }
 
-srs::Result<srs::DenseMatrix> ComputeAllPairs(const srs::Graph& g,
-                                              const CliOptions& options) {
-  if (options.measure == "gsr-star") return srs::ComputeMemoGsrStar(g, options.sim);
-  if (options.measure == "esr-star") return srs::ComputeMemoEsrStar(g, options.sim);
-  if (options.measure == "simrank") return srs::ComputeSimRankPsum(g, options.sim);
-  if (options.measure == "rwr") return srs::ComputeRwr(g, options.sim);
-  if (options.measure == "prank") return srs::ComputePRank(g, options.sim);
-  return srs::Status::InvalidArgument("measure '" + options.measure +
-                                      "' does not support --all-pairs");
-}
-
-bool IsEngineMeasure(const std::string& measure,
-                     srs::QueryMeasure* out) {
+bool IsEngineMeasure(const std::string& measure, srs::QueryMeasure* out) {
   if (measure == "gsr-star") {
     *out = srs::QueryMeasure::kSimRankStarGeometric;
     return true;
@@ -144,17 +165,64 @@ bool IsEngineMeasure(const std::string& measure,
   return false;
 }
 
+/// Maps original node ids (labels) to internal NodeIds; error on unknown.
+srs::Result<std::vector<srs::NodeId>> MapLabels(
+    const srs::Graph& g, const std::vector<int64_t>& labels) {
+  std::vector<srs::NodeId> mapped;
+  mapped.reserve(labels.size());
+  for (int64_t label : labels) {
+    SRS_ASSIGN_OR_RETURN(srs::NodeId node,
+                         g.FindLabel(std::to_string(label)));
+    mapped.push_back(node);
+  }
+  return mapped;
+}
+
+/// Reads one node id per line ('#' comments and blank lines ignored).
+srs::Result<std::vector<int64_t>> ReadSourcesFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return srs::Status::IoError("cannot read " + path);
+  std::vector<int64_t> ids;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    char* end = nullptr;
+    const long long value = std::strtoll(line.c_str() + first, &end, 10);
+    if (end == line.c_str() + first) {
+      return srs::Status::InvalidArgument(path + ":" +
+                                          std::to_string(line_no) +
+                                          ": expected a node id");
+    }
+    ids.push_back(value);
+  }
+  return ids;
+}
+
+srs::Result<srs::DenseMatrix> ComputeDenseAllPairs(const srs::Graph& g,
+                                                   const CliOptions& options) {
+  if (options.measure == "simrank")
+    return srs::ComputeSimRankPsum(g, options.sim);
+  if (options.measure == "prank") return srs::ComputePRank(g, options.sim);
+  return srs::Status::InvalidArgument("measure '" + options.measure +
+                                      "' does not support --all-pairs");
+}
+
 /// Top-k rankings for every query in `batch`, in batch order. The engine
 /// measures are served as one batch over a shared snapshot; mc-star and the
 /// matrix-based measures fall back to per-query evaluation.
 srs::Result<std::vector<std::vector<srs::RankedNode>>> ComputeBatchTopK(
     const srs::Graph& g, const std::vector<srs::NodeId>& batch,
-    const CliOptions& options) {
+    const CliOptions& options,
+    const std::shared_ptr<srs::ResultCache>& cache) {
   srs::QueryMeasure measure;
   if (IsEngineMeasure(options.measure, &measure)) {
     srs::QueryEngineOptions engine_options;
     engine_options.similarity = options.sim;
     engine_options.num_threads = options.sim.num_threads;
+    engine_options.result_cache = cache;
     SRS_ASSIGN_OR_RETURN(srs::QueryEngine engine,
                          srs::QueryEngine::Create(g, engine_options));
     return engine.BatchTopK(measure, batch,
@@ -167,7 +235,7 @@ srs::Result<std::vector<std::vector<srs::RankedNode>>> ComputeBatchTopK(
       return srs::Status::InvalidArgument("unknown measure '" +
                                           options.measure + "'");
     }
-    SRS_ASSIGN_OR_RETURN(all_pairs, ComputeAllPairs(g, options));
+    SRS_ASSIGN_OR_RETURN(all_pairs, ComputeDenseAllPairs(g, options));
   }
   std::vector<std::vector<srs::RankedNode>> rankings;
   rankings.reserve(batch.size());
@@ -180,10 +248,70 @@ srs::Result<std::vector<std::vector<srs::RankedNode>>> ComputeBatchTopK(
     } else {
       SRS_ASSIGN_OR_RETURN(scores, srs::RowScores(all_pairs, query));
     }
-    rankings.push_back(srs::TopK(
-        scores, static_cast<size_t>(options.topk), query));
+    rankings.push_back(
+        srs::TopK(scores, static_cast<size_t>(options.topk), query));
   }
   return rankings;
+}
+
+/// Writes sieved scores for `sources` (or every node when empty) as TSV.
+/// Engine measures stream tiles through the AllPairsEngine; the dense
+/// baselines materialize their matrix first.
+srs::Status WriteAllPairs(const srs::Graph& g,
+                          const std::vector<srs::NodeId>& sources,
+                          const CliOptions& options,
+                          const std::shared_ptr<srs::ResultCache>& cache) {
+  std::ofstream out(options.all_pairs_out);
+  if (!out) return srs::Status::IoError("cannot write " +
+                                        options.all_pairs_out);
+  out << "# u\tv\tscore (" << options.measure << ", >= " << kSieveThreshold
+      << ")\n";
+  int64_t written = 0;
+  srs::QueryMeasure measure;
+  if (IsEngineMeasure(options.measure, &measure)) {
+    srs::AllPairsOptions engine_options;
+    engine_options.similarity = options.sim;
+    engine_options.num_threads = options.sim.num_threads;
+    engine_options.tile_size = options.tile;
+    engine_options.result_cache = cache;
+    SRS_ASSIGN_OR_RETURN(srs::AllPairsEngine engine,
+                         srs::AllPairsEngine::Create(g, engine_options));
+    std::vector<srs::NodeId> row_sources = sources;
+    if (row_sources.empty()) {
+      row_sources.resize(static_cast<size_t>(g.NumNodes()));
+      for (size_t i = 0; i < row_sources.size(); ++i) {
+        row_sources[i] = static_cast<srs::NodeId>(i);
+      }
+    }
+    SRS_RETURN_NOT_OK(engine.ForEachRow(
+        measure, row_sources,
+        [&](int64_t /*index*/, srs::NodeId source,
+            const std::vector<double>& row) {
+          for (size_t v = 0; v < row.size(); ++v) {
+            if (row[v] < kSieveThreshold) continue;
+            out << g.LabelOf(source) << "\t"
+                << g.LabelOf(static_cast<srs::NodeId>(v)) << "\t" << row[v]
+                << "\n";
+            ++written;
+          }
+        }));
+  } else {
+    SRS_ASSIGN_OR_RETURN(srs::DenseMatrix scores,
+                         ComputeDenseAllPairs(g, options));
+    const srs::CsrMatrix sparse = srs::ToSparseScores(scores, kSieveThreshold);
+    for (int64_t u = 0; u < sparse.rows(); ++u) {
+      for (int64_t k = sparse.row_ptr()[u]; k < sparse.row_ptr()[u + 1]; ++k) {
+        out << g.LabelOf(static_cast<srs::NodeId>(u)) << "\t"
+            << g.LabelOf(sparse.col_idx()[k]) << "\t" << sparse.values()[k]
+            << "\n";
+      }
+    }
+    written = sparse.nnz();
+  }
+  std::fprintf(stderr, "wrote %lld scored pairs to %s\n",
+               static_cast<long long>(written),
+               options.all_pairs_out.c_str());
+  return srs::Status::OK();
 }
 
 }  // namespace
@@ -211,61 +339,65 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (!options.all_pairs_out.empty()) {
-    srs::Result<srs::DenseMatrix> scores = ComputeAllPairs(g, options);
-    if (!scores.ok()) {
-      std::fprintf(stderr, "error: %s\n", scores.status().ToString().c_str());
-      return 1;
-    }
-    const srs::CsrMatrix sparse =
-        srs::ToSparseScores(scores.ValueOrDie(), 1e-4);
-    std::ofstream out(options.all_pairs_out);
-    if (!out) {
-      std::fprintf(stderr, "error: cannot write %s\n",
-                   options.all_pairs_out.c_str());
-      return 1;
-    }
-    out << "# u\tv\tscore (" << options.measure << ", >= 1e-4)\n";
-    for (int64_t u = 0; u < sparse.rows(); ++u) {
-      for (int64_t k = sparse.row_ptr()[u]; k < sparse.row_ptr()[u + 1]; ++k) {
-        out << g.LabelOf(static_cast<srs::NodeId>(u)) << "\t"
-            << g.LabelOf(sparse.col_idx()[k]) << "\t" << sparse.values()[k]
-            << "\n";
-      }
-    }
-    std::fprintf(stderr, "wrote %lld scored pairs to %s\n",
-                 static_cast<long long>(sparse.nnz()),
-                 options.all_pairs_out.c_str());
+  // One result cache shared by the all-pairs and the top-k serving paths:
+  // rows streamed for the TSV warm the cache for the point queries below.
+  std::shared_ptr<srs::ResultCache> cache;
+  if (options.cache_mb > 0) {
+    srs::ResultCacheOptions cache_options;
+    cache_options.capacity_bytes =
+        static_cast<size_t>(options.cache_mb) << 20;
+    cache = std::make_shared<srs::ResultCache>(cache_options);
   }
 
-  if (!options.queries.empty()) {
-    // --query takes the ORIGINAL node ids as they appear in the file.
-    std::vector<srs::NodeId> batch;
-    batch.reserve(options.queries.size());
-    for (int64_t query : options.queries) {
-      srs::Result<srs::NodeId> mapped = g.FindLabel(std::to_string(query));
-      if (!mapped.ok()) {
-        std::fprintf(stderr, "error: node %lld not in graph\n",
-                     static_cast<long long>(query));
-        return 1;
-      }
-      batch.push_back(mapped.ValueOrDie());
+  // --query and --sources-file take the ORIGINAL node ids from the file.
+  std::vector<int64_t> query_labels = options.queries;
+  if (!options.sources_file.empty()) {
+    srs::Result<std::vector<int64_t>> from_file =
+        ReadSourcesFile(options.sources_file);
+    if (!from_file.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   from_file.status().ToString().c_str());
+      return 1;
     }
+    query_labels.insert(query_labels.end(), from_file.ValueOrDie().begin(),
+                        from_file.ValueOrDie().end());
+  }
+  srs::Result<std::vector<srs::NodeId>> batch = MapLabels(g, query_labels);
+  if (!batch.ok()) {
+    std::fprintf(stderr, "error: %s\n", batch.status().ToString().c_str());
+    return 1;
+  }
+
+  if (!options.all_pairs_out.empty()) {
+    // With explicit sources the TSV is restricted to those rows.
+    if (srs::Status st =
+            WriteAllPairs(g, batch.ValueOrDie(), options, cache);
+        !st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (!batch.ValueOrDie().empty()) {
     srs::Result<std::vector<std::vector<srs::RankedNode>>> rankings =
-        ComputeBatchTopK(g, batch, options);
+        ComputeBatchTopK(g, batch.ValueOrDie(), options, cache);
     if (!rankings.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    rankings.status().ToString().c_str());
       return 1;
     }
-    for (size_t i = 0; i < batch.size(); ++i) {
+    for (size_t i = 0; i < batch.ValueOrDie().size(); ++i) {
       std::printf("# top-%d %s scores for node %lld\n", options.topk,
                   options.measure.c_str(),
-                  static_cast<long long>(options.queries[i]));
+                  static_cast<long long>(query_labels[i]));
       for (const srs::RankedNode& r : rankings.ValueOrDie()[i]) {
         std::printf("%s\t%.6f\n", g.LabelOf(r.node).c_str(), r.score);
       }
     }
+  }
+
+  if (cache != nullptr) {
+    std::fprintf(stderr, "%s\n", cache->StatsString().c_str());
   }
   return 0;
 }
