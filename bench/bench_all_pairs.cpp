@@ -56,6 +56,16 @@ int main(int argc, char** argv) {
   });
   std::printf("naive per-source loop: %.3f s (%.1f rows/s)\n", naive_sec,
               sources.size() / naive_sec);
+  if (args.json) {
+    bench::JsonLine("bench_all_pairs")
+        .Add("config", "naive_loop")
+        .Add("nodes", g.NumNodes())
+        .Add("edges", g.NumEdges())
+        .Add("sources", static_cast<int64_t>(sources.size()))
+        .Add("sec", naive_sec)
+        .Add("rows_per_sec", sources.size() / naive_sec)
+        .Print();
+  }
 
   bench::PrintHeader("tile size x worker count -> rows/sec");
   TablePrinter table(
@@ -86,6 +96,16 @@ int main(int argc, char** argv) {
                     TablePrinter::Fmt(sources.size() / sec, 1),
                     TablePrinter::Fmt(naive_sec / sec, 2),
                     TablePrinter::Fmt(checksum, 6)});
+      if (args.json) {
+        bench::JsonLine("bench_all_pairs")
+            .Add("config", "tiled_engine")
+            .Add("tile", tile)
+            .Add("threads", threads)
+            .Add("sec", sec)
+            .Add("rows_per_sec", sources.size() / sec)
+            .Add("speedup_vs_naive", naive_sec / sec)
+            .Print();
+      }
     }
   }
   table.Print();
@@ -108,6 +128,14 @@ int main(int argc, char** argv) {
     cache_table.AddRow({TablePrinter::Fmt(static_cast<int64_t>(pass)),
                         TablePrinter::Fmt(sec, 4),
                         TablePrinter::Fmt(sources.size() / sec, 1)});
+    if (args.json) {
+      bench::JsonLine("bench_all_pairs")
+          .Add("config", "cached_sweep")
+          .Add("pass", pass)
+          .Add("sec", sec)
+          .Add("rows_per_sec", sources.size() / sec)
+          .Print();
+    }
   }
   cache_table.Print();
   std::printf("%s\n", cache->StatsString().c_str());

@@ -1,0 +1,164 @@
+// Kernel-backend shootout: dense reference vs sparse frontier propagation,
+// swept across graph density × prune epsilon × measure. Single-source
+// latency at one worker thread — the per-query cost the backends differ
+// on; batching/threading is orthogonal (bench_query_engine).
+//
+// The acceptance bar for the sparse backend: on a low-degree random graph
+// (avg degree <= 4) of n >= 50k nodes at epsilon = 1e-4, sparse beats
+// dense single-source latency. Each row also reports the observed max
+// |sparse − dense| against the analytic bound (kernel_backend.h), so the
+// accuracy contract is visible next to the speedup. At scale 1 the graphs
+// have 50k nodes; the whole sweep finishes in seconds.
+//
+// Usage: bench_kernel_backends [scale] [seed] [--json]
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "srs/common/rng.h"
+#include "srs/common/table_printer.h"
+#include "srs/core/kernel_backend.h"
+#include "srs/core/single_source_kernel.h"
+#include "srs/engine/query_engine.h"
+#include "srs/engine/snapshot.h"
+#include "srs/graph/generators.h"
+#include "srs/matrix/ops.h"
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace srs;
+
+double MaxAbsDiffBatch(const std::vector<std::vector<double>>& a,
+                       const std::vector<std::vector<double>>& b) {
+  double max_diff = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < a[i].size(); ++j) {
+      max_diff = std::max(max_diff, std::fabs(a[i][j] - b[i][j]));
+    }
+  }
+  return max_diff;
+}
+
+double AnalyticBound(const GraphSnapshot& snap, QueryMeasure measure,
+                     const SimilarityOptions& sim) {
+  if (measure == QueryMeasure::kRwr) {
+    return RwrPruneErrorBound(sim.damping,
+                              EffectiveIterations(sim, /*exponential=*/false),
+                              MaxAbsRowSum(snap.wt), sim.prune_epsilon);
+  }
+  const bool exponential = measure == QueryMeasure::kSimRankStarExponential;
+  const int k_max = EffectiveIterations(sim, exponential);
+  const std::vector<double> weights =
+      exponential ? ExponentialStarLengthWeights(sim.damping, k_max)
+                  : GeometricStarLengthWeights(sim.damping, k_max);
+  return BinomialPruneErrorBound(weights, MaxAbsRowSum(snap.q),
+                                 MaxAbsRowSum(snap.qt), sim.prune_epsilon);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+
+  const int64_t n = static_cast<int64_t>(50000 * args.scale);
+  const std::vector<int> degrees = {2, 4, 8};
+  const std::vector<double> epsilons = {0.0, 1e-4, 1e-3};
+  const QueryMeasure measures[] = {QueryMeasure::kSimRankStarGeometric,
+                                   QueryMeasure::kSimRankStarExponential,
+                                   QueryMeasure::kRwr};
+
+  SimilarityOptions sim;
+  sim.damping = 0.6;
+  sim.iterations = 5;
+
+  std::printf(
+      "Kernel backends on Erdős–Rényi graphs of %lld nodes, K=5, "
+      "single-source latency at 1 thread, 8 queries per timing\n",
+      static_cast<long long>(n));
+
+  bench::PrintHeader(
+      "avg degree x measure x prune epsilon -> ms/query vs dense");
+  TablePrinter table({"deg", "measure", "backend", "prune-eps", "ms/query",
+                      "speedup", "max|diff|", "bound"});
+
+  for (int degree : degrees) {
+    const Graph g =
+        ErdosRenyi(n, n * degree,
+                   DeriveSeed(args.seed, static_cast<uint64_t>(degree)))
+            .ValueOrDie();
+    const std::shared_ptr<const GraphSnapshot> snap = MakeGraphSnapshot(g);
+
+    // 8 well-spread queries; the same batch serves every config.
+    std::vector<NodeId> batch;
+    for (int i = 0; i < 8; ++i) {
+      batch.push_back(static_cast<NodeId>((int64_t{7919} * i) % n));
+    }
+
+    for (QueryMeasure measure : measures) {
+      QueryEngineOptions dense_opts;
+      dense_opts.similarity = sim;
+      QueryEngine dense = QueryEngine::Create(g, dense_opts).MoveValueOrDie();
+      dense.BatchScores(measure, batch).ValueOrDie();  // warm-up sizing
+      std::vector<std::vector<double>> dense_scores;
+      const double dense_sec = bench::TimeSeconds([&] {
+        dense_scores = dense.BatchScores(measure, batch).ValueOrDie();
+      });
+      const double dense_ms = 1e3 * dense_sec / batch.size();
+      table.AddRow({TablePrinter::Fmt(static_cast<int64_t>(degree)),
+                    QueryMeasureToString(measure), "dense", "-",
+                    TablePrinter::Fmt(dense_ms, 3), TablePrinter::Fmt(1.0, 2),
+                    "0", "-"});
+      if (args.json) {
+        bench::JsonLine("bench_kernel_backends")
+            .Add("nodes", n)
+            .Add("avg_degree", degree)
+            .Add("measure", QueryMeasureToString(measure))
+            .Add("backend", "dense")
+            .Add("ms_per_query", dense_ms)
+            .Print();
+      }
+
+      for (double eps : epsilons) {
+        QueryEngineOptions sparse_opts;
+        sparse_opts.similarity = sim;
+        sparse_opts.similarity.backend = KernelBackendKind::kSparse;
+        sparse_opts.similarity.prune_epsilon = eps;
+        QueryEngine sparse =
+            QueryEngine::Create(g, sparse_opts).MoveValueOrDie();
+        sparse.BatchScores(measure, batch).ValueOrDie();  // warm-up sizing
+        std::vector<std::vector<double>> sparse_scores;
+        const double sparse_sec = bench::TimeSeconds([&] {
+          sparse_scores = sparse.BatchScores(measure, batch).ValueOrDie();
+        });
+        const double sparse_ms = 1e3 * sparse_sec / batch.size();
+        const double diff = MaxAbsDiffBatch(sparse_scores, dense_scores);
+        const double bound =
+            AnalyticBound(*snap, measure, sparse_opts.similarity);
+        table.AddRow(
+            {TablePrinter::Fmt(static_cast<int64_t>(degree)),
+             QueryMeasureToString(measure), "sparse",
+             TablePrinter::Fmt(eps, 6), TablePrinter::Fmt(sparse_ms, 3),
+             TablePrinter::Fmt(dense_sec / sparse_sec, 2),
+             TablePrinter::Fmt(diff, 8), TablePrinter::Fmt(bound, 8)});
+        if (args.json) {
+          bench::JsonLine("bench_kernel_backends")
+              .Add("nodes", n)
+              .Add("avg_degree", degree)
+              .Add("measure", QueryMeasureToString(measure))
+              .Add("backend", "sparse")
+              .Add("prune_eps", eps)
+              .Add("ms_per_query", sparse_ms)
+              .Add("speedup_vs_dense", dense_sec / sparse_sec)
+              .Add("max_abs_diff", diff)
+              .Add("analytic_bound", bound)
+              .Print();
+        }
+      }
+    }
+  }
+  table.Print();
+  return 0;
+}

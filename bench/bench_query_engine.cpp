@@ -58,6 +58,17 @@ int main(int argc, char** argv) {
                     TablePrinter::Fmt(static_cast<int64_t>(threads)),
                     TablePrinter::Fmt(sec, 3), TablePrinter::Fmt(qps, 1),
                     TablePrinter::Fmt(baseline / sec, 2)});
+      if (args.json) {
+        bench::JsonLine("bench_query_engine")
+            .Add("nodes", g.NumNodes())
+            .Add("edges", g.NumEdges())
+            .Add("batch", batch_size)
+            .Add("threads", threads)
+            .Add("sec", sec)
+            .Add("queries_per_sec", qps)
+            .Add("speedup_vs_1_thread", baseline / sec)
+            .Print();
+      }
     }
   }
   table.Print();

@@ -14,27 +14,100 @@
 namespace srs::bench {
 
 /// Command-line knobs common to all harnesses. Usage: `bench_x [scale]
-/// [seed]`, where `scale` multiplies the default dataset sizes (default
-/// 1.0, chosen so every harness finishes in seconds on a laptop) and
-/// `seed` is the single top-level RNG seed (default 42) every synthetic
-/// input derives from (via srs::DeriveSeed), making whole runs
-/// reproducible from one number.
+/// [seed] [--json]`, where `scale` multiplies the default dataset sizes
+/// (default 1.0, chosen so every harness finishes in seconds on a laptop)
+/// and `seed` is the single top-level RNG seed (default 42) every
+/// synthetic input derives from (via srs::DeriveSeed), making whole runs
+/// reproducible from one number. `--json` additionally emits one JSON
+/// object per measured configuration (see JsonLine) so perf trajectories
+/// can be scraped from bench output into BENCH_*.json files.
 struct BenchArgs {
   double scale = 1.0;
   uint64_t seed = 42;
+  bool json = false;
 };
 
 inline BenchArgs ParseArgs(int argc, char** argv) {
   BenchArgs args;
-  if (argc > 1) {
-    const double s = std::atof(argv[1]);
-    if (s > 0) args.scale = s;
-  }
-  if (argc > 2) {
-    args.seed = static_cast<uint64_t>(std::strtoull(argv[2], nullptr, 10));
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      args.json = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      // A typo'd flag must not be silently swallowed as a positional — it
+      // would corrupt the scale/seed and skew every scraped number.
+      std::fprintf(stderr, "unknown flag: %s (usage: [scale] [seed] [--json])\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+    if (positional == 0) {
+      const double s = std::atof(arg.c_str());
+      if (s > 0) args.scale = s;
+      positional = 1;
+    } else if (positional == 1) {
+      args.seed =
+          static_cast<uint64_t>(std::strtoull(arg.c_str(), nullptr, 10));
+      positional = 2;
+    }
   }
   return args;
 }
+
+/// \brief Builder for one machine-readable result line.
+///
+/// Collects fields in call order and prints a single flat JSON object to
+/// stdout — one object per measured configuration, `{"bench":"...",...}` —
+/// easily filtered from the human-readable tables with `grep '^{'`.
+/// String values must not contain quotes or backslashes (bench names and
+/// enum strings never do).
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& bench) { Add("bench", bench); }
+
+  JsonLine& Add(const std::string& key, const std::string& value) {
+    AppendKey(key);
+    body_ += '"';
+    body_ += value;
+    body_ += '"';
+    return *this;
+  }
+
+  JsonLine& Add(const std::string& key, const char* value) {
+    return Add(key, std::string(value));
+  }
+
+  JsonLine& Add(const std::string& key, double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    AppendKey(key);
+    body_ += buf;
+    return *this;
+  }
+
+  JsonLine& Add(const std::string& key, int64_t value) {
+    AppendKey(key);
+    body_ += std::to_string(value);
+    return *this;
+  }
+
+  JsonLine& Add(const std::string& key, int value) {
+    return Add(key, static_cast<int64_t>(value));
+  }
+
+  void Print() const { std::printf("%s}\n", body_.c_str()); }
+
+ private:
+  void AppendKey(const std::string& key) {
+    body_ += body_.size() == 1 ? "\"" : ",\"";
+    body_ += key;
+    body_ += "\":";
+  }
+
+  std::string body_ = "{";
+};
 
 /// Wall-clock seconds of one invocation of `fn`.
 inline double TimeSeconds(const std::function<void()>& fn) {

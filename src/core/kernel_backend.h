@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file kernel_backend.h
+/// \brief Pluggable single-source kernel backends.
+///
+/// The serving engines evaluate every query through one of two
+/// interchangeable implementations of the level-vector recurrences:
+///
+///  * **dense** (`MakeDenseKernelBackend`) — the reference path, a thin
+///    wrapper over the allocation-free kernels in single_source_kernel.h.
+///    Bit-identical to the sequential single-source entry points.
+///  * **sparse** (`MakeSparseFrontierBackend`) — frontier propagation: each
+///    level vector is kept as a sorted (index, value) frontier
+///    (matrix/sparse_vector.h), products are computed by scattering only
+///    the CSR rows incident to the frontier, and entries with |value| <=
+///    prune_epsilon are sieved out after every product (the paper's §4.3
+///    threshold sieve applied *during* propagation). A frontier that grows
+///    past a fraction of n switches that vector to a dense representation
+///    — push/pull hybrid in the style of direction-optimizing BFS — so the
+///    backend never does more work per product than the dense path.
+///
+/// Accuracy contract: at prune_epsilon = 0 the sparse backend emits
+/// *bitwise* the dense backend's scores (asserted by
+/// tests/kernel_backend_test.cpp); at prune_epsilon > 0 it deviates in
+/// ∞-norm by at most the analytic bounds below, which propagate one
+/// epsilon of clipping per product through the series weights.
+///
+/// Workspaces are backend-owned: an engine asks its backend for one opaque
+/// KernelWorkspace per worker thread and passes it back on every call.
+/// Buffers are sized by the first query and reused, so the steady state
+/// allocates nothing regardless of backend.
+
+#include <memory>
+#include <vector>
+
+#include "srs/core/options.h"
+#include "srs/graph/graph.h"
+#include "srs/matrix/csr_matrix.h"
+
+namespace srs {
+
+/// \brief Opaque per-worker scratch created by KernelBackend::NewWorkspace
+/// and only ever handed back to the backend that made it.
+struct KernelWorkspace {
+  virtual ~KernelWorkspace() = default;
+};
+
+/// \brief One implementation of the single-source recurrences.
+///
+/// Implementations are immutable and thread-safe: all mutable state lives
+/// in the per-worker KernelWorkspace.
+class KernelBackend {
+ public:
+  virtual ~KernelBackend() = default;
+
+  /// Stable human-readable name ("dense", "sparse").
+  virtual const char* Name() const = 0;
+
+  /// Fresh scratch for one worker; sized lazily by the first query.
+  virtual std::unique_ptr<KernelWorkspace> NewWorkspace() const = 0;
+
+  /// Accumulates Σ_l w_l Σ_α binom(l,α)/2^l · Q^α (Qᵀ)^{l−α} e_q into
+  /// `*out` (resized to q.rows() and overwritten). `q` is the backward
+  /// transition matrix, `qt` its transpose; `length_weights[l]` includes
+  /// any normalizing constants. The caller validates `query`.
+  virtual void AccumulateBinomialColumn(
+      const CsrMatrix& q, const CsrMatrix& qt, NodeId query,
+      const std::vector<double>& length_weights, KernelWorkspace* workspace,
+      std::vector<double>* out) const = 0;
+
+  /// Accumulates the truncated RWR series (1−C)·Σ_{k≤k_max} C^k (Wᵀ)^k e_q
+  /// into `*out`. `wt` is the transposed forward transition and `w` its
+  /// transpose (the forward transition itself) — the scatter source for
+  /// sparse backends; dense backends ignore it.
+  virtual void RwrColumn(const CsrMatrix& wt, const CsrMatrix& w,
+                         NodeId query, double damping, int k_max,
+                         KernelWorkspace* workspace,
+                         std::vector<double>* out) const = 0;
+};
+
+/// The dense reference backend.
+std::shared_ptr<const KernelBackend> MakeDenseKernelBackend();
+
+/// The sparse frontier-propagation backend with the given prune epsilon
+/// (>= 0; 0 reproduces dense bit for bit).
+std::shared_ptr<const KernelBackend> MakeSparseFrontierBackend(
+    double prune_epsilon);
+
+/// The backend selected by `options.backend` / `options.prune_epsilon`.
+std::shared_ptr<const KernelBackend> MakeKernelBackend(
+    const SimilarityOptions& options);
+
+/// Analytic ∞-norm bound on |sparse − dense| for the binomial column
+/// kernel: one product clips at most `prune_epsilon` per entry, errors
+/// amplify by at most `gamma_q` = ‖Q‖∞ per Q product and `gamma_qt` =
+/// ‖Qᵀ‖∞ per Qᵀ product (MaxAbsRowSum of the respective matrix), and the
+/// per-level errors enter the output through the series weights. Exact
+/// floating-point rounding is not covered — callers add a tiny slack.
+double BinomialPruneErrorBound(const std::vector<double>& length_weights,
+                               double gamma_q, double gamma_qt,
+                               double prune_epsilon);
+
+/// Analytic ∞-norm bound on |sparse − dense| for the truncated RWR series
+/// with `gamma_wt` = ‖Wᵀ‖∞.
+double RwrPruneErrorBound(double damping, int k_max, double gamma_wt,
+                          double prune_epsilon);
+
+}  // namespace srs

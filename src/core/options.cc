@@ -4,6 +4,28 @@
 
 namespace srs {
 
+const char* KernelBackendKindToString(KernelBackendKind kind) {
+  switch (kind) {
+    case KernelBackendKind::kDense:
+      return "dense";
+    case KernelBackendKind::kSparse:
+      return "sparse";
+  }
+  return "unknown";
+}
+
+bool ParseKernelBackendKind(const std::string& name, KernelBackendKind* out) {
+  if (name == "dense") {
+    *out = KernelBackendKind::kDense;
+    return true;
+  }
+  if (name == "sparse") {
+    *out = KernelBackendKind::kSparse;
+    return true;
+  }
+  return false;
+}
+
 Status SimilarityOptions::Validate() const {
   if (!(damping > 0.0 && damping < 1.0)) {
     return Status::InvalidArgument("damping factor C must be in (0, 1), got " +
@@ -17,6 +39,10 @@ Status SimilarityOptions::Validate() const {
   }
   if (sieve_threshold < 0.0) {
     return Status::InvalidArgument("sieve_threshold must be non-negative");
+  }
+  if (!(prune_epsilon >= 0.0 && prune_epsilon < 1.0)) {
+    return Status::InvalidArgument("prune_epsilon must be in [0, 1), got " +
+                                   std::to_string(prune_epsilon));
   }
   if (num_threads < 1) {
     return Status::InvalidArgument("num_threads must be >= 1");

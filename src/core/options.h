@@ -10,6 +10,29 @@
 
 namespace srs {
 
+/// \brief Which single-source kernel implementation serves queries.
+///
+/// Backends are interchangeable behind core/kernel_backend.h and selected
+/// per query configuration; the dense backend is the bit-exact reference.
+enum class KernelBackendKind {
+  /// Dense level vectors — the reference implementation every other
+  /// backend is measured against.
+  kDense = 0,
+  /// Sparse frontier propagation: level vectors are (index, value)
+  /// frontiers, entries with |value| <= prune_epsilon are sieved out after
+  /// every Q/Qᵀ/Wᵀ product, and a frontier that saturates switches to a
+  /// dense representation (push/pull hybrid). Deviates from dense by at
+  /// most the analytic bound of core/kernel_backend.h — and is
+  /// bit-identical at prune_epsilon = 0.
+  kSparse = 1,
+};
+
+/// Human-readable backend name ("dense", "sparse").
+const char* KernelBackendKindToString(KernelBackendKind kind);
+
+/// Parses "dense"/"sparse"; returns false on anything else.
+bool ParseKernelBackendKind(const std::string& name, KernelBackendKind* out);
+
 /// \brief Parameters of the SimRank family (paper §5 defaults: C=0.6, K=5).
 struct SimilarityOptions {
   /// Damping / decay factor C ∈ (0, 1).
@@ -25,6 +48,17 @@ struct SimilarityOptions {
   /// If > 0, entries below this value are clipped to 0 after the last
   /// iteration (the paper's threshold-sieving, default 1e-4 in §5).
   double sieve_threshold = 0.0;
+
+  /// Single-source kernel backend used by the serving paths (QueryEngine /
+  /// AllPairsEngine); the one-off all-pairs algorithms ignore it.
+  KernelBackendKind backend = KernelBackendKind::kDense;
+
+  /// Sparse-backend sieving threshold: after every Q/Qᵀ/Wᵀ product,
+  /// frontier entries with |value| <= prune_epsilon are dropped (the
+  /// paper's threshold sieve applied *during* propagation instead of after
+  /// it). Must lie in [0, 1); 0 keeps every nonzero and reproduces the
+  /// dense backend bit for bit. Ignored by the dense backend.
+  double prune_epsilon = 0.0;
 
   /// Worker threads for the row-partitioned kernels (1 = serial, matching
   /// the paper's single-threaded measurements). Results are bitwise

@@ -1,0 +1,203 @@
+// The sparse frontier-propagation backend (see kernel_backend.h for the
+// contract). Level vectors live as sorted (index, value) frontiers; every
+// Q/Qᵀ/Wᵀ product scatters only the CSR rows incident to the frontier and
+// sieves entries with |value| <= prune_epsilon; a frontier that saturates
+// past kDensifyFraction·n flips that vector to a dense representation and
+// stays dense (push → pull, like direction-optimizing BFS).
+//
+// The loop structure, accumulation order, and scalar coefficient
+// expressions deliberately mirror single_source_kernel.cc line for line:
+// together with the scatter/gather ordering contract documented in
+// matrix/sparse_vector.h, that is what makes the epsilon = 0 output
+// bitwise equal to the dense backend.
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "srs/core/kernel_backend.h"
+#include "srs/core/series_reference.h"
+#include "srs/matrix/ops.h"
+#include "srs/matrix/sparse_vector.h"
+
+namespace srs {
+
+namespace {
+
+/// A frontier that saturates past this fraction of n switches to dense.
+constexpr double kDensifyFraction = 0.25;
+
+/// One level vector in either representation.
+struct HybridVector {
+  bool dense = false;
+  SparseVector sv;          // valid when !dense
+  std::vector<double> vec;  // valid when dense
+
+  void AssignUnit(int32_t i) {
+    dense = false;
+    sv.AssignUnit(i);
+  }
+
+  void CopyFrom(const HybridVector& other) {
+    dense = other.dense;
+    if (other.dense) {
+      vec = other.vec;
+    } else {
+      sv.CopyFrom(other.sv);
+    }
+  }
+};
+
+struct SparseFrontierWorkspace final : KernelWorkspace {
+  /// Grows the buffers; idempotent and allocation-free once sized (the
+  /// hybrid vectors themselves grow lazily as frontiers expand).
+  void Prepare(int64_t n, int k_max) {
+    acc.Prepare(n);
+    const size_t levels = static_cast<size_t>(k_max) + 1;
+    if (level.size() < levels) level.resize(levels);
+    if (next.size() < levels) next.resize(levels);
+  }
+
+  SparseAccumulator acc;
+  std::vector<HybridVector> level;  // D_{l,alpha} for the current l
+  std::vector<HybridVector> next;   // double buffer for level l+1
+  HybridVector t;                   // (Qᵀ)^l e_q, advanced incrementally
+  HybridVector scratch;
+};
+
+class SparseFrontierBackend final : public KernelBackend {
+ public:
+  explicit SparseFrontierBackend(double prune_epsilon)
+      : prune_epsilon_(prune_epsilon) {}
+
+  const char* Name() const override { return "sparse"; }
+
+  std::unique_ptr<KernelWorkspace> NewWorkspace() const override {
+    return std::make_unique<SparseFrontierWorkspace>();
+  }
+
+  void AccumulateBinomialColumn(const CsrMatrix& q, const CsrMatrix& qt,
+                                NodeId query,
+                                const std::vector<double>& length_weights,
+                                KernelWorkspace* workspace,
+                                std::vector<double>* out) const override;
+
+  void RwrColumn(const CsrMatrix& wt, const CsrMatrix& w, NodeId query,
+                 double damping, int k_max, KernelWorkspace* workspace,
+                 std::vector<double>* out) const override;
+
+ private:
+  /// out = M·in with sieving: a sparse `in` scatters the rows of `mt`
+  /// (CSR of Mᵀ) incident to the frontier; a dense `in` gathers over `m`
+  /// exactly like the dense backend. The result densifies when the touched
+  /// set exceeds `densify_nnz`.
+  void Propagate(const CsrMatrix& m, const CsrMatrix& mt,
+                 int64_t densify_nnz, const HybridVector& in,
+                 SparseAccumulator* acc, HybridVector* out) const {
+    if (in.dense) {
+      out->dense = true;
+      GatherMultiplyPruned(m, in.vec, prune_epsilon_, &out->vec);
+      return;
+    }
+    acc->ScatterTransposed(mt, in.sv);
+    if (acc->TouchedCount() > static_cast<size_t>(densify_nnz)) {
+      out->dense = true;
+      acc->EmitDense(prune_epsilon_, m.rows(), &out->vec);
+    } else {
+      out->dense = false;
+      acc->EmitPruned(prune_epsilon_, &out->sv);
+    }
+  }
+
+  /// out += coeff · v, touching only live entries of a sparse v. Sparse
+  /// entries are added in ascending index order — the same per-entry
+  /// operation sequence as the dense Axpy, whose skipped terms are exact
+  /// `+= coeff * 0.0` no-ops.
+  static void AddScaled(double coeff, const HybridVector& v,
+                        std::vector<double>* out) {
+    if (v.dense) {
+      Axpy(coeff, v.vec, out);
+      return;
+    }
+    for (size_t i = 0; i < v.sv.idx.size(); ++i) {
+      (*out)[static_cast<size_t>(v.sv.idx[i])] += coeff * v.sv.val[i];
+    }
+  }
+
+  static int64_t DensifyThreshold(int64_t n) {
+    return std::max<int64_t>(
+        16, static_cast<int64_t>(kDensifyFraction * static_cast<double>(n)));
+  }
+
+  double prune_epsilon_;
+};
+
+void SparseFrontierBackend::AccumulateBinomialColumn(
+    const CsrMatrix& q, const CsrMatrix& qt, NodeId query,
+    const std::vector<double>& length_weights, KernelWorkspace* workspace,
+    std::vector<double>* out) const {
+  const int64_t n = q.rows();
+  const int k_max = static_cast<int>(length_weights.size()) - 1;
+  const int64_t densify_nnz = DensifyThreshold(n);
+  auto* ws = static_cast<SparseFrontierWorkspace*>(workspace);
+  ws->Prepare(n, k_max);
+
+  out->assign(static_cast<size_t>(n), 0.0);
+
+  // level[alpha] holds D_{l,alpha} = Q^α (Qᵀ)^{l−α} e_q for the current l.
+  ws->level[0].AssignUnit(static_cast<int32_t>(query));  // D_{0,0} = e_q
+  ws->t.CopyFrom(ws->level[0]);                          // t = (Qᵀ)^l e_q
+
+  // l = 0 contribution.
+  AddScaled(length_weights[0], ws->level[0], out);
+
+  for (int l = 1; l <= k_max; ++l) {
+    // New level: alpha = 1..l from Q·previous, alpha = 0 from t.
+    for (int alpha = l; alpha >= 1; --alpha) {
+      Propagate(q, qt, densify_nnz, ws->level[static_cast<size_t>(alpha - 1)],
+                &ws->acc, &ws->next[static_cast<size_t>(alpha)]);
+    }
+    Propagate(qt, q, densify_nnz, ws->t, &ws->acc, &ws->scratch);
+    std::swap(ws->t, ws->scratch);
+    ws->next[0].CopyFrom(ws->t);
+    ws->level.swap(ws->next);
+
+    const double pow2 = std::ldexp(1.0, -l);
+    for (int alpha = 0; alpha <= l; ++alpha) {
+      AddScaled(length_weights[static_cast<size_t>(l)] * pow2 *
+                    BinomialCoefficient(l, alpha),
+                ws->level[static_cast<size_t>(alpha)], out);
+    }
+  }
+}
+
+void SparseFrontierBackend::RwrColumn(const CsrMatrix& wt, const CsrMatrix& w,
+                                      NodeId query, double damping, int k_max,
+                                      KernelWorkspace* workspace,
+                                      std::vector<double>* out) const {
+  const int64_t n = wt.rows();
+  const int64_t densify_nnz = DensifyThreshold(n);
+  auto* ws = static_cast<SparseFrontierWorkspace*>(workspace);
+  ws->Prepare(n, /*k_max=*/0);
+
+  out->assign(static_cast<size_t>(n), 0.0);
+  ws->t.AssignUnit(static_cast<int32_t>(query));
+
+  double ck = 1.0;
+  AddScaled((1.0 - damping) * ck, ws->t, out);
+  for (int k = 1; k <= k_max; ++k) {
+    Propagate(wt, w, densify_nnz, ws->t, &ws->acc, &ws->scratch);
+    std::swap(ws->t, ws->scratch);
+    ck *= damping;
+    AddScaled((1.0 - damping) * ck, ws->t, out);
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const KernelBackend> MakeSparseFrontierBackend(
+    double prune_epsilon) {
+  return std::make_shared<const SparseFrontierBackend>(prune_epsilon);
+}
+
+}  // namespace srs

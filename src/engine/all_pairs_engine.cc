@@ -9,8 +9,12 @@ AllPairsEngine::AllPairsEngine(std::shared_ptr<const GraphSnapshot> snapshot,
                                const AllPairsOptions& options)
     : options_(options), eval_(std::move(snapshot), options.similarity) {
   pool_ = std::make_unique<ThreadPool>(options_.num_threads);
-  workspaces_ = std::make_unique<std::vector<SingleSourceWorkspace>>(
-      static_cast<size_t>(pool_->NumWorkers()));
+  workspaces_ =
+      std::make_unique<std::vector<std::unique_ptr<KernelWorkspace>>>();
+  workspaces_->reserve(static_cast<size_t>(pool_->NumWorkers()));
+  for (int i = 0; i < pool_->NumWorkers(); ++i) {
+    workspaces_->push_back(eval_.NewWorkspace());
+  }
   tile_rows_ = std::make_unique<std::vector<std::vector<double>>>(
       static_cast<size_t>(options_.tile_size));
 }
@@ -54,7 +58,7 @@ Status AllPairsEngine::ForEachRow(QueryMeasure measure,
       const NodeId source = sources[static_cast<size_t>(i)];
       std::vector<double>& row = (*tile_rows_)[slot];
       eval_.Compute(measure, source,
-                    &(*workspaces_)[static_cast<size_t>(worker)], &row);
+                    (*workspaces_)[static_cast<size_t>(worker)].get(), &row);
       if (cache != nullptr) {
         cache->Put(eval_.KeyFor(measure, source),
                    std::make_shared<const std::vector<double>>(row));

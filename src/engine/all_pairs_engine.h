@@ -37,8 +37,8 @@
 
 #include "srs/common/parallel.h"
 #include "srs/common/result.h"
+#include "srs/core/kernel_backend.h"
 #include "srs/core/options.h"
-#include "srs/core/single_source_kernel.h"
 #include "srs/engine/query_engine.h"
 #include "srs/engine/result_cache.h"
 #include "srs/engine/snapshot.h"
@@ -127,7 +127,7 @@ class AllPairsEngine {
   // unique_ptr keeps the engine movable; the pool, workspaces, and tile
   // buffers are address-stable for the worker threads.
   std::unique_ptr<ThreadPool> pool_;
-  std::unique_ptr<std::vector<SingleSourceWorkspace>> workspaces_;
+  std::unique_ptr<std::vector<std::unique_ptr<KernelWorkspace>>> workspaces_;
   // tile_size row buffers of n doubles, allocated on first use and reused
   // for every tile thereafter (the cache-blocking working set).
   std::unique_ptr<std::vector<std::vector<double>>> tile_rows_;

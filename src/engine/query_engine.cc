@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "srs/core/single_source_kernel.h"
+
 namespace srs {
 
 const char* QueryMeasureToString(QueryMeasure measure) {
@@ -23,7 +25,9 @@ int QueryMeasureTag(QueryMeasure measure) {
 MeasureEvaluator::MeasureEvaluator(
     std::shared_ptr<const GraphSnapshot> snapshot,
     const SimilarityOptions& similarity)
-    : snapshot_(std::move(snapshot)), damping_(similarity.damping) {
+    : snapshot_(std::move(snapshot)),
+      backend_(MakeKernelBackend(similarity)),
+      damping_(similarity.damping) {
   const int k_geo = EffectiveIterations(similarity, /*exponential=*/false);
   const int k_exp = EffectiveIterations(similarity, /*exponential=*/true);
   geometric_weights_ = GeometricStarLengthWeights(similarity.damping, k_geo);
@@ -39,20 +43,21 @@ MeasureEvaluator::MeasureEvaluator(
 }
 
 void MeasureEvaluator::Compute(QueryMeasure measure, NodeId query,
-                               SingleSourceWorkspace* workspace,
+                               KernelWorkspace* workspace,
                                std::vector<double>* out) const {
   switch (measure) {
     case QueryMeasure::kSimRankStarGeometric:
-      AccumulateBinomialColumnKernel(snapshot_->q, snapshot_->qt, query,
-                                     geometric_weights_, workspace, out);
+      backend_->AccumulateBinomialColumn(snapshot_->q, snapshot_->qt, query,
+                                         geometric_weights_, workspace, out);
       return;
     case QueryMeasure::kSimRankStarExponential:
-      AccumulateBinomialColumnKernel(snapshot_->q, snapshot_->qt, query,
-                                     exponential_weights_, workspace, out);
+      backend_->AccumulateBinomialColumn(snapshot_->q, snapshot_->qt, query,
+                                         exponential_weights_, workspace,
+                                         out);
       return;
     case QueryMeasure::kRwr:
-      RwrColumnKernel(snapshot_->wt, query, damping_, rwr_iterations_,
-                      workspace, out);
+      backend_->RwrColumn(snapshot_->wt, snapshot_->w, query, damping_,
+                          rwr_iterations_, workspace, out);
       return;
   }
   SRS_CHECK(false) << "unknown QueryMeasure";
@@ -78,8 +83,12 @@ QueryEngine::QueryEngine(std::shared_ptr<const GraphSnapshot> snapshot,
                          const QueryEngineOptions& options)
     : options_(options), eval_(std::move(snapshot), options.similarity) {
   pool_ = std::make_unique<ThreadPool>(options_.num_threads);
-  workspaces_ = std::make_unique<std::vector<SingleSourceWorkspace>>(
-      static_cast<size_t>(pool_->NumWorkers()));
+  workspaces_ =
+      std::make_unique<std::vector<std::unique_ptr<KernelWorkspace>>>();
+  workspaces_->reserve(static_cast<size_t>(pool_->NumWorkers()));
+  for (int i = 0; i < pool_->NumWorkers(); ++i) {
+    workspaces_->push_back(eval_.NewWorkspace());
+  }
   score_buffers_ = std::make_unique<std::vector<std::vector<double>>>(
       static_cast<size_t>(pool_->NumWorkers()));
 }
@@ -102,7 +111,8 @@ Result<std::vector<std::vector<double>>> QueryEngine::BatchScores(
   ResultCache* cache = options_.result_cache.get();
   auto compute = [&](size_t i, int worker) {
     eval_.Compute(measure, queries[i],
-                  &(*workspaces_)[static_cast<size_t>(worker)], &results[i]);
+                  (*workspaces_)[static_cast<size_t>(worker)].get(),
+                  &results[i]);
   };
   if (cache == nullptr) {
     pool_->ParallelForIndexed(
@@ -156,7 +166,8 @@ Result<std::vector<std::vector<RankedNode>>> QueryEngine::BatchTopK(
         std::vector<double>& scores =
             (*score_buffers_)[static_cast<size_t>(worker)];
         eval_.Compute(measure, query,
-                      &(*workspaces_)[static_cast<size_t>(worker)], &scores);
+                      (*workspaces_)[static_cast<size_t>(worker)].get(),
+                      &scores);
         TopKInto(scores, k, query, &results[static_cast<size_t>(i)]);
         if (cache != nullptr) {
           cache->Put(eval_.KeyFor(measure, query),

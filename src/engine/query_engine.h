@@ -13,9 +13,9 @@
 ///    several engines over one graph share a single copy;
 ///  * it owns a reusable ThreadPool (common/parallel.h) whose workers stay
 ///    parked between batches;
-///  * each worker owns a SingleSourceWorkspace that is sized on first use
-///    and reused for every subsequent query, so the steady-state hot loop
-///    performs **zero per-query heap allocations**;
+///  * each worker owns a backend workspace (core/kernel_backend.h) that is
+///    sized on first use and reused for every subsequent query, so the
+///    steady-state hot loop performs **zero per-query heap allocations**;
 ///  * batches of query nodes are claimed dynamically across workers, which
 ///    load-balances the skewed per-query cost of power-law graphs;
 ///  * optionally, a shared `ResultCache` (engine/result_cache.h) serves
@@ -25,6 +25,10 @@
 /// Results are bit-identical to the sequential single-source functions for
 /// any thread count, any batch composition, and any cache state (asserted
 /// by tests/query_engine_test.cpp and tests/engine_property_test.cpp).
+/// With `similarity.backend = KernelBackendKind::kSparse`, queries run
+/// through sparse frontier propagation instead: bit-identical at
+/// `prune_epsilon = 0`, and within the analytic bound of
+/// core/kernel_backend.h otherwise (tests/kernel_backend_test.cpp).
 ///
 /// \code
 ///   SRS_ASSIGN_OR_RETURN(QueryEngine engine, QueryEngine::Create(g, opts));
@@ -40,8 +44,8 @@
 
 #include "srs/common/parallel.h"
 #include "srs/common/result.h"
+#include "srs/core/kernel_backend.h"
 #include "srs/core/options.h"
-#include "srs/core/single_source_kernel.h"
 #include "srs/engine/result_cache.h"
 #include "srs/engine/snapshot.h"
 #include "srs/eval/ranking.h"
@@ -63,14 +67,18 @@ const char* QueryMeasureToString(QueryMeasure measure);
 /// Stable small-integer tag of a measure, used in result-cache digests.
 int QueryMeasureTag(QueryMeasure measure);
 
-/// \brief Shared evaluation core of the serving engines: the precomputed
-/// series weights and result-cache digests of one (snapshot,
-/// SimilarityOptions) pair.
+/// \brief Shared evaluation core of the serving engines: the kernel
+/// backend, precomputed series weights, and result-cache digests of one
+/// (snapshot, SimilarityOptions) pair.
 ///
 /// QueryEngine and AllPairsEngine both evaluate and key their cache
 /// entries through this one component — which is exactly what makes their
 /// rows bit-identical and their ResultCache entries interchangeable. Any
-/// new measure or digest ingredient is added here once.
+/// new measure, backend, or digest ingredient is added here once. The
+/// backend (dense reference or sparse frontier propagation; see
+/// core/kernel_backend.h) is selected by `similarity.backend`, and both
+/// the backend and its prune epsilon are folded into the digests so
+/// pruned and exact answers never alias in a shared cache.
 class MeasureEvaluator {
  public:
   MeasureEvaluator() = default;
@@ -82,6 +90,11 @@ class MeasureEvaluator {
   }
   int64_t num_nodes() const { return snapshot_->num_nodes; }
 
+  /// Fresh per-worker scratch owned by this evaluator's backend.
+  std::unique_ptr<KernelWorkspace> NewWorkspace() const {
+    return backend_->NewWorkspace();
+  }
+
   /// Result-cache key of ŝ(query, ·) under `measure`.
   ResultKey KeyFor(QueryMeasure measure, NodeId query) const {
     return ResultKey{snapshot_->fingerprint,
@@ -89,10 +102,10 @@ class MeasureEvaluator {
   }
 
   /// Writes ŝ(query, ·) into `*out` (resized and overwritten), using
-  /// `workspace` for scratch. The caller validates `query`.
+  /// `workspace` (from NewWorkspace()) for scratch. The caller validates
+  /// `query`.
   void Compute(QueryMeasure measure, NodeId query,
-               SingleSourceWorkspace* workspace,
-               std::vector<double>* out) const;
+               KernelWorkspace* workspace, std::vector<double>* out) const;
 
   /// Rejects an empty batch (InvalidArgument) or any out-of-range node
   /// (OutOfRange); `what` names the entries in messages ("query",
@@ -102,6 +115,7 @@ class MeasureEvaluator {
 
  private:
   std::shared_ptr<const GraphSnapshot> snapshot_;
+  std::shared_ptr<const KernelBackend> backend_;
   double damping_ = 0.0;
   std::vector<double> geometric_weights_;
   std::vector<double> exponential_weights_;
@@ -180,9 +194,10 @@ class QueryEngine {
   MeasureEvaluator eval_;
 
   // unique_ptr keeps the engine movable (ThreadPool and the workspaces are
-  // address-stable for the worker threads).
+  // address-stable for the worker threads). One backend-owned workspace
+  // per worker, created by the evaluator's backend.
   std::unique_ptr<ThreadPool> pool_;
-  std::unique_ptr<std::vector<SingleSourceWorkspace>> workspaces_;
+  std::unique_ptr<std::vector<std::unique_ptr<KernelWorkspace>>> workspaces_;
   std::unique_ptr<std::vector<std::vector<double>>> score_buffers_;
 };
 

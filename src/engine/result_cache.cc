@@ -45,6 +45,14 @@ uint64_t ResultDigest(const SimilarityOptions& options, int measure_tag) {
   h = HashCombine(h, DoubleBits(options.damping));
   h = HashCombine(h, static_cast<uint64_t>(options.iterations));
   h = HashCombine(h, DoubleBits(options.epsilon));
+  // The kernel backend and its prune epsilon change the emitted bits, so
+  // pruned and exact answers must never alias. The dense backend ignores
+  // prune_epsilon — fold it as 0 there so an inert epsilon does not
+  // fragment dense caches.
+  h = HashCombine(h, static_cast<uint64_t>(options.backend));
+  h = HashCombine(h, DoubleBits(options.backend == KernelBackendKind::kSparse
+                                    ? options.prune_epsilon
+                                    : 0.0));
   return h;
 }
 

@@ -11,8 +11,9 @@
 ///
 /// so a repeated query is a hash lookup plus a `shared_ptr` copy instead of
 /// an O(K²·m) recurrence. The options digest folds the similarity measure
-/// and every score-affecting option (damping, iterations, epsilon) into the
-/// key, so engines with different configurations never alias; the graph
+/// and every score-affecting option (damping, iterations, epsilon, kernel
+/// backend and its prune epsilon) into the key, so engines with different
+/// configurations never alias; the graph
 /// fingerprint (engine/snapshot.h) ties entries to graph *structure*, so
 /// reloading the same edge list keeps the cache warm while any structural
 /// change invalidates it wholesale.
@@ -39,8 +40,10 @@ namespace srs {
 
 /// Digest of everything besides the graph that determines a score vector:
 /// the measure (an engine-assigned small integer tag) and the
-/// score-affecting SimilarityOptions fields. `num_threads` and
-/// `sieve_threshold` are excluded — they never change engine output.
+/// score-affecting SimilarityOptions fields, including the kernel backend
+/// and — for the sparse backend — its prune epsilon, so pruned and exact
+/// answers never alias. `num_threads` and `sieve_threshold` are excluded —
+/// they never change engine output.
 uint64_t ResultDigest(const SimilarityOptions& options, int measure_tag);
 
 /// Key of one cached score vector.

@@ -35,7 +35,8 @@ std::shared_ptr<const GraphSnapshot> MakeGraphSnapshot(const Graph& g) {
   snapshot->num_nodes = g.NumNodes();
   snapshot->q = g.BackwardTransition();
   snapshot->qt = snapshot->q.Transposed();
-  snapshot->wt = g.ForwardTransition().Transposed();
+  snapshot->w = g.ForwardTransition();
+  snapshot->wt = snapshot->w.Transposed();
   return snapshot;
 }
 

@@ -38,16 +38,23 @@ namespace srs {
 uint64_t GraphFingerprint(const Graph& g);
 
 /// \brief Immutable transition-structure snapshot shared by the engines.
+///
+/// Each matrix is stored alongside its transpose: the dense kernels gather
+/// over `q`/`qt`/`wt`, while the sparse frontier backend
+/// (core/kernel_backend.h) scatters the rows of the *transposed* operand —
+/// `qt` for Q products, `q` for Qᵀ products, and `w` for Wᵀ products —
+/// touching only the edges incident to the live frontier.
 struct GraphSnapshot {
   uint64_t fingerprint = 0;
   int64_t num_nodes = 0;
   CsrMatrix q;   ///< backward transition Q = row-normalized Aᵀ
   CsrMatrix qt;  ///< Qᵀ
-  CsrMatrix wt;  ///< transposed forward transition Wᵀ (RWR walks out-links)
+  CsrMatrix w;   ///< forward transition W = row-normalized A
+  CsrMatrix wt;  ///< Wᵀ (RWR walks out-links)
 
-  /// Logical footprint of the three matrices in bytes.
+  /// Logical footprint of the four matrices in bytes.
   size_t ByteSize() const {
-    return q.ByteSize() + qt.ByteSize() + wt.ByteSize();
+    return q.ByteSize() + qt.ByteSize() + w.ByteSize() + wt.ByteSize();
   }
 };
 

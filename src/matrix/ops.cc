@@ -1,5 +1,6 @@
 #include "srs/matrix/ops.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace srs {
@@ -93,6 +94,18 @@ CsrMatrix SparseMultiplyImpl(const CsrMatrix& a, const CsrMatrix& b,
 }
 
 }  // namespace
+
+double MaxAbsRowSum(const CsrMatrix& a) {
+  double max_sum = 0.0;
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    double sum = 0.0;
+    for (int64_t k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
+      sum += std::fabs(a.values()[k]);
+    }
+    max_sum = std::max(max_sum, sum);
+  }
+  return max_sum;
+}
 
 CsrMatrix BooleanMultiply(const CsrMatrix& a, const CsrMatrix& b) {
   return SparseMultiplyImpl(a, b, /*boolean=*/true);

@@ -36,6 +36,10 @@ DenseMatrix DensePower(const DenseMatrix& m, int64_t k);
 /// recursion (Eq. 14) — in place into `out` (resized as needed).
 void SymmetrizeScaled(const DenseMatrix& m, double half_c, DenseMatrix* out);
 
+/// Max over rows of Σ|value| — the induced ∞-norm ‖A‖∞, i.e. the per-entry
+/// amplification factor of `y = A·x` error bounds. 0 for an empty matrix.
+double MaxAbsRowSum(const CsrMatrix& a);
+
 /// Boolean sparse product over {0,1}: returns a CSR matrix whose (i,j) entry
 /// is 1 iff `sum_k a(i,k) b(k,j) > 0`. Used by the zero-similarity analyzer
 /// (path existence, Lemma 1) where counts can overflow but existence cannot.

@@ -1,0 +1,85 @@
+#include "srs/matrix/sparse_vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "srs/common/macros.h"
+
+namespace srs {
+
+void SparseVector::Densify(int64_t n, std::vector<double>* out) const {
+  out->assign(static_cast<size_t>(n), 0.0);
+  for (size_t i = 0; i < idx.size(); ++i) {
+    (*out)[static_cast<size_t>(idx[i])] = val[i];
+  }
+}
+
+void SparseAccumulator::Prepare(int64_t n) {
+  if (values_.size() < static_cast<size_t>(n)) {
+    values_.resize(static_cast<size_t>(n), 0.0);
+    marked_.resize(static_cast<size_t>(n), 0);
+  }
+}
+
+void SparseAccumulator::ScatterTransposed(const CsrMatrix& a,
+                                          const SparseVector& x) {
+  const std::vector<int64_t>& row_ptr = a.row_ptr();
+  const std::vector<int32_t>& col_idx = a.col_idx();
+  const std::vector<double>& values = a.values();
+  for (size_t i = 0; i < x.idx.size(); ++i) {
+    const int64_t j = x.idx[i];
+    SRS_DCHECK(j >= 0 && j < a.rows());
+    const double xj = x.val[i];
+    for (int64_t k = row_ptr[j]; k < row_ptr[j + 1]; ++k) {
+      const int32_t r = col_idx[k];
+      // Same operand order as the row gather: matrix value times vector
+      // value (IEEE multiplication commutes bitwise, but keep them alike).
+      values_[static_cast<size_t>(r)] += values[k] * xj;
+      if (!marked_[static_cast<size_t>(r)]) {
+        marked_[static_cast<size_t>(r)] = 1;
+        touched_.push_back(r);
+      }
+    }
+  }
+}
+
+void SparseAccumulator::EmitPruned(double prune_epsilon, SparseVector* out) {
+  std::sort(touched_.begin(), touched_.end());
+  out->Clear();
+  for (int32_t j : touched_) {
+    const double v = values_[static_cast<size_t>(j)];
+    if (std::fabs(v) > prune_epsilon) {
+      out->idx.push_back(j);
+      out->val.push_back(v);
+    }
+    values_[static_cast<size_t>(j)] = 0.0;
+    marked_[static_cast<size_t>(j)] = 0;
+  }
+  touched_.clear();
+}
+
+void SparseAccumulator::EmitDense(double prune_epsilon, int64_t n,
+                                  std::vector<double>* out) {
+  SRS_DCHECK(values_.size() >= static_cast<size_t>(n));
+  out->assign(values_.begin(), values_.begin() + n);
+  for (int32_t j : touched_) {
+    double& v = (*out)[static_cast<size_t>(j)];
+    if (std::fabs(v) <= prune_epsilon) v = 0.0;
+    values_[static_cast<size_t>(j)] = 0.0;
+    marked_[static_cast<size_t>(j)] = 0;
+  }
+  touched_.clear();
+}
+
+void GatherMultiplyPruned(const CsrMatrix& a, const std::vector<double>& x,
+                          double prune_epsilon, std::vector<double>* y) {
+  y->resize(static_cast<size_t>(a.rows()));
+  a.MultiplyVector(x.data(), y->data());
+  if (prune_epsilon > 0.0) {
+    for (double& v : *y) {
+      if (std::fabs(v) <= prune_epsilon) v = 0.0;
+    }
+  }
+}
+
+}  // namespace srs

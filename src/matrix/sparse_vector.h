@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file sparse_vector.h
+/// \brief Sparse (index, value) vectors and the scatter products of the
+/// frontier-propagation kernels.
+///
+/// The sparse kernel backend (core/kernel_backend.h) keeps each level
+/// vector of the single-source recurrences as a *frontier* — the indices
+/// that are live plus their values — instead of an n-sized dense array. A
+/// product `y = M·x` with a sparse `x` is computed by **transpose
+/// scatter**: for every nonzero x_j, the CSR row j of Mᵀ (i.e. column j of
+/// M) is scattered into an accumulator. Work is proportional to the edges
+/// incident to the frontier, not to n.
+///
+/// Bit-compatibility contract (relied on by the epsilon = 0 equivalence
+/// between the sparse and dense backends): with the frontier sorted by
+/// ascending index, every accumulator slot receives exactly the nonzero
+/// terms that CsrMatrix::MultiplyVector's row gather would add, in the same
+/// order — CSR rows are column-sorted, so "ascending frontier index" and
+/// "ascending gather column" coincide — and the skipped terms are exact
+/// `+= value * 0.0` no-ops. All quantities in the kernels are non-negative,
+/// so skipping those no-ops never flips a signed zero, and the scattered
+/// sums are bitwise equal to the gathered ones.
+
+#include <cstdint>
+#include <vector>
+
+#include "srs/matrix/csr_matrix.h"
+
+namespace srs {
+
+/// \brief Sparse vector as parallel (index, value) arrays, indices strictly
+/// ascending. The frontier representation of the sparse kernel backend.
+struct SparseVector {
+  std::vector<int32_t> idx;
+  std::vector<double> val;
+
+  size_t nnz() const { return idx.size(); }
+  void Clear() {
+    idx.clear();
+    val.clear();
+  }
+
+  /// Overwrites with the unit vector e_i (reuses capacity).
+  void AssignUnit(int32_t i) {
+    idx.assign(1, i);
+    val.assign(1, 1.0);
+  }
+
+  /// Copies `other`'s entries (reuses capacity).
+  void CopyFrom(const SparseVector& other) {
+    idx = other.idx;
+    val = other.val;
+  }
+
+  /// Writes the dense image into `out` (resized to n; absent entries are
+  /// exactly +0.0).
+  void Densify(int64_t n, std::vector<double>* out) const;
+};
+
+/// \brief Reusable n-sized scratch for sparse products: a dense value array
+/// plus the list of touched indices (a classic sparse accumulator).
+///
+/// Between uses every value slot is 0.0 and every mark is clear; Scatter*
+/// populates them and Emit* harvests the result and restores the
+/// invariant, so one accumulator serves any number of products without
+/// re-zeroing n entries.
+class SparseAccumulator {
+ public:
+  /// Grows the scratch to `n` slots; idempotent and allocation-free after
+  /// the first call with a given n.
+  void Prepare(int64_t n);
+
+  /// Accumulates `Aᵀ·x`: for every nonzero x_j, scatters CSR row j of `a`
+  /// (column j of Aᵀ). To compute `M·x`, pass the CSR of Mᵀ. `x.idx` must
+  /// be ascending and within [0, a.rows()).
+  void ScatterTransposed(const CsrMatrix& a, const SparseVector& x);
+
+  /// Distinct indices touched since the last Emit.
+  size_t TouchedCount() const { return touched_.size(); }
+
+  /// Sorts the touched indices, moves every entry with |value| >
+  /// `prune_epsilon` into `out` (ascending), and resets the accumulator.
+  /// At prune_epsilon = 0 only exact zeros are dropped.
+  void EmitPruned(double prune_epsilon, SparseVector* out);
+
+  /// Writes the full dense image of the first `n` slots into `out`
+  /// (untouched slots exactly +0.0), zeroing entries with |value| <=
+  /// `prune_epsilon`, and resets the accumulator.
+  void EmitDense(double prune_epsilon, int64_t n, std::vector<double>* out);
+
+ private:
+  std::vector<double> values_;   // dense slots, all 0.0 between uses
+  std::vector<uint8_t> marked_;  // 1 iff the slot is on touched_
+  std::vector<int32_t> touched_;
+};
+
+/// Dense product with threshold sieving: `*y = A·x` via the same row gather
+/// as CsrMatrix::MultiplyVector (bitwise identical), then entries with
+/// |value| <= `prune_epsilon` are clipped to 0. `y` is resized to a.rows().
+void GatherMultiplyPruned(const CsrMatrix& a, const std::vector<double>& x,
+                          double prune_epsilon, std::vector<double>* y);
+
+}  // namespace srs

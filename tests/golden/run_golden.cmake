@@ -45,6 +45,28 @@ if(NOT sources_rc EQUAL 0)
 endif()
 file(READ "${WORK_DIR}/golden_all_pairs.tsv" all_pairs_out)
 
+# --- Run 3: sparse frontier backend pinned at epsilon 0. -------------------
+# Must be byte-identical to the dense run 1 stdout — the sparse backend's
+# bit-identity contract, checked end to end through the CLI.
+execute_process(
+  COMMAND "${SRS_QUERY}" --graph "${GOLDEN_DIR}/golden.edges"
+          --query 4 --query 9 --topk 5 --measure gsr-star
+          --damping 0.6 --iterations 8 --threads 2
+          --backend sparse --prune-eps 0
+  OUTPUT_VARIABLE sparse_out
+  ERROR_VARIABLE sparse_err
+  RESULT_VARIABLE sparse_rc)
+if(NOT sparse_rc EQUAL 0)
+  message(FATAL_ERROR
+          "srs_query sparse-backend run failed (${sparse_rc}):\n${sparse_err}")
+endif()
+if(NOT sparse_out STREQUAL topk_out)
+  message(FATAL_ERROR "sparse backend at --prune-eps 0 diverged from the "
+                      "dense top-k stdout\n"
+                      "--- sparse ---\n${sparse_out}\n"
+                      "--- dense ----\n${topk_out}")
+endif()
+
 if(REGENERATE)
   file(WRITE "${GOLDEN_DIR}/topk.golden" "${topk_out}")
   file(WRITE "${GOLDEN_DIR}/sources_topk.golden" "${sources_out}")

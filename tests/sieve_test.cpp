@@ -49,6 +49,49 @@ TEST(SieveTest, SievedRunLosesAtMostThreshold) {
   EXPECT_LT(CountAboveThreshold(b, 1e-300), CountAboveThreshold(a, 1e-300));
 }
 
+TEST(SieveTest, SparseRoundTripReproducesSievedMatrixExactly) {
+  // ToSparseScores keeps exactly the entries >= threshold, so densifying
+  // its output must reproduce the sieved matrix bit for bit.
+  const Graph g = Rmat(50, 260, 17).ValueOrDie();
+  SimilarityOptions opts;
+  opts.iterations = 7;
+  DenseMatrix s = ComputeSimRankStarGeometric(g, opts).ValueOrDie();
+  ApplySieve(1e-4, &s);
+  const CsrMatrix sparse = ToSparseScores(s, 1e-4);
+  const DenseMatrix round_tripped = sparse.ToDense();
+  ASSERT_EQ(round_tripped.rows(), s.rows());
+  ASSERT_EQ(round_tripped.cols(), s.cols());
+  for (int64_t i = 0; i < s.rows(); ++i) {
+    for (int64_t j = 0; j < s.cols(); ++j) {
+      EXPECT_EQ(round_tripped.At(i, j), s.At(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(SieveTest, ApplySieveIsIdempotentOnRoundTrippedScores) {
+  // sieve → sparsify → densify → sieve is a fixed point: the second sieve
+  // (and a second sparsify) must change nothing.
+  const Graph g = Rmat(40, 200, 19).ValueOrDie();
+  SimilarityOptions opts;
+  opts.iterations = 6;
+  DenseMatrix s = ComputeSimRankStarGeometric(g, opts).ValueOrDie();
+  const CsrMatrix sparse = ToSparseScores(s, 1e-4);
+  DenseMatrix densified = sparse.ToDense();
+  DenseMatrix sieved_again = densified;
+  ApplySieve(1e-4, &sieved_again);
+  for (int64_t i = 0; i < densified.rows(); ++i) {
+    for (int64_t j = 0; j < densified.cols(); ++j) {
+      EXPECT_EQ(sieved_again.At(i, j), densified.At(i, j)) << i << "," << j;
+    }
+  }
+  const CsrMatrix sparse_again = ToSparseScores(sieved_again, 1e-4);
+  ASSERT_EQ(sparse_again.nnz(), sparse.nnz());
+  for (int64_t k = 0; k < sparse.nnz(); ++k) {
+    EXPECT_EQ(sparse_again.col_idx()[k], sparse.col_idx()[k]);
+    EXPECT_EQ(sparse_again.values()[k], sparse.values()[k]);
+  }
+}
+
 TEST(SieveTest, StorageReductionMatchesPaperIntent) {
   // The point of §5's 1e-4 clip: far-apart pairs vanish, top pairs survive.
   const Graph g = Rmat(80, 400, 43).ValueOrDie();

@@ -4,7 +4,8 @@
 //   srs_query --graph FILE [--query NODE]... [--sources-file FILE]
 //             [--measure NAME] [--topk K] [--damping C]
 //             [--iterations K | --epsilon E] [--threads N] [--tile T]
-//             [--cache-mb MB] [--undirected] [--all-pairs OUT.tsv]
+//             [--backend dense|sparse] [--prune-eps E] [--cache-mb MB]
+//             [--stats] [--undirected] [--all-pairs OUT.tsv]
 //
 // Measures: gsr-star (default), esr-star, simrank, rwr, prank, mc-star.
 // With --query (repeatable) and/or --sources-file (one node id per line),
@@ -14,17 +15,22 @@
 // pooled workers — no n×n matrix. With --all-pairs, those measures stream
 // the score matrix tile by tile through the AllPairsEngine (rows restricted
 // to --sources-file when given, the whole graph otherwise); simrank/prank
-// fall back to their dense all-pairs algorithms. --cache-mb enables a
-// sharded LRU result cache shared by both engines, so overlapping queries
-// and repeated rows are served without recomputation (stats printed on
-// exit). Scores below 1e-4 are sieved out of the TSV.
+// fall back to their dense all-pairs algorithms. --backend selects the
+// kernel backend for the engine measures: "dense" (bit-exact reference) or
+// "sparse" frontier propagation, which sieves entries <= --prune-eps at
+// every product (0 = bit-identical to dense; 1e-4 is the paper's sieve).
+// --cache-mb enables a sharded LRU result cache shared by both engines, so
+// overlapping queries and repeated rows are served without recomputation;
+// --stats prints its hit/miss/eviction counters on exit. Scores below 1e-4
+// are sieved out of the TSV.
 //
 // Examples:
 //   srs_query --graph cit.txt --query 42 --query 7 --topk 20 --threads 8
 //   srs_query --graph dblp.txt --undirected --measure esr-star --query 7
+//   srs_query --graph web.txt --query 3 --backend sparse --prune-eps 1e-4
 //   srs_query --graph web.txt --all-pairs scores.tsv --threads 8 --tile 64
 //   srs_query --graph web.txt --sources-file seeds.txt --all-pairs out.tsv \
-//             --cache-mb 256
+//             --cache-mb 256 --stats
 
 #include <cstdio>
 #include <cstdlib>
@@ -53,6 +59,13 @@ namespace {
 
 constexpr double kSieveThreshold = 1e-4;
 
+/// One requested node id plus where it came from ("--query" or
+/// "file.txt:12"), so a bad id can be reported against its source.
+struct LabeledQuery {
+  int64_t label;
+  std::string origin;
+};
+
 struct CliOptions {
   std::string graph_path;
   std::string measure = "gsr-star";
@@ -63,6 +76,7 @@ struct CliOptions {
   int tile = 0;      // 0 = engine default
   int cache_mb = 0;  // 0 = no result cache
   bool undirected = false;
+  bool stats = false;
   srs::SimilarityOptions sim;
 };
 
@@ -74,8 +88,9 @@ void Usage(const char* argv0) {
                "mc-star]\n"
                "          [--topk K] [--damping C] [--iterations K] "
                "[--epsilon E] [--threads N]\n"
-               "          [--tile T] [--cache-mb MB] [--undirected] "
-               "[--all-pairs OUT.tsv]\n",
+               "          [--tile T] [--backend dense|sparse] "
+               "[--prune-eps E] [--cache-mb MB]\n"
+               "          [--stats] [--undirected] [--all-pairs OUT.tsv]\n",
                argv0);
 }
 
@@ -126,6 +141,19 @@ bool ParseCli(int argc, char** argv, CliOptions* options) {
       const char* v = next_value();
       if (v == nullptr) return false;
       options->tile = std::atoi(v);
+    } else if (arg == "--backend") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      if (!srs::ParseKernelBackendKind(v, &options->sim.backend)) {
+        std::fprintf(stderr, "unknown backend '%s' (dense|sparse)\n", v);
+        return false;
+      }
+    } else if (arg == "--prune-eps") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options->sim.prune_epsilon = std::atof(v);
+    } else if (arg == "--stats") {
+      options->stats = true;
     } else if (arg == "--cache-mb") {
       const char* v = next_value();
       if (v == nullptr) return false;
@@ -165,24 +193,34 @@ bool IsEngineMeasure(const std::string& measure, srs::QueryMeasure* out) {
   return false;
 }
 
-/// Maps original node ids (labels) to internal NodeIds; error on unknown.
+/// Maps original node ids (labels) to internal NodeIds, validating each
+/// against the loaded graph. A bad id fails fast with a message naming the
+/// id and where it came from (flag or file:line) instead of surfacing a
+/// raw engine status later.
 srs::Result<std::vector<srs::NodeId>> MapLabels(
-    const srs::Graph& g, const std::vector<int64_t>& labels) {
+    const srs::Graph& g, const std::vector<LabeledQuery>& labels) {
   std::vector<srs::NodeId> mapped;
   mapped.reserve(labels.size());
-  for (int64_t label : labels) {
-    SRS_ASSIGN_OR_RETURN(srs::NodeId node,
-                         g.FindLabel(std::to_string(label)));
-    mapped.push_back(node);
+  for (const LabeledQuery& q : labels) {
+    srs::Result<srs::NodeId> node = g.FindLabel(std::to_string(q.label));
+    if (!node.ok()) {
+      return srs::Status::InvalidArgument(
+          q.origin + ": node id " + std::to_string(q.label) +
+          " is not in the loaded graph (" + std::to_string(g.NumNodes()) +
+          " nodes)");
+    }
+    mapped.push_back(node.ValueOrDie());
   }
   return mapped;
 }
 
-/// Reads one node id per line ('#' comments and blank lines ignored).
-srs::Result<std::vector<int64_t>> ReadSourcesFile(const std::string& path) {
+/// Reads one node id per line ('#' comments and blank lines ignored),
+/// tagging each with its file:line origin for later validation messages.
+srs::Result<std::vector<LabeledQuery>> ReadSourcesFile(
+    const std::string& path) {
   std::ifstream in(path);
   if (!in) return srs::Status::IoError("cannot read " + path);
-  std::vector<int64_t> ids;
+  std::vector<LabeledQuery> ids;
   std::string line;
   int64_t line_no = 0;
   while (std::getline(in, line)) {
@@ -196,7 +234,7 @@ srs::Result<std::vector<int64_t>> ReadSourcesFile(const std::string& path) {
                                           std::to_string(line_no) +
                                           ": expected a node id");
     }
-    ids.push_back(value);
+    ids.push_back({value, path + ":" + std::to_string(line_no)});
   }
   return ids;
 }
@@ -349,10 +387,15 @@ int main(int argc, char** argv) {
     cache = std::make_shared<srs::ResultCache>(cache_options);
   }
 
-  // --query and --sources-file take the ORIGINAL node ids from the file.
-  std::vector<int64_t> query_labels = options.queries;
+  // --query and --sources-file take the ORIGINAL node ids from the file;
+  // each is validated against the loaded graph before anything runs.
+  std::vector<LabeledQuery> query_labels;
+  query_labels.reserve(options.queries.size());
+  for (int64_t label : options.queries) {
+    query_labels.push_back({label, "--query"});
+  }
   if (!options.sources_file.empty()) {
-    srs::Result<std::vector<int64_t>> from_file =
+    srs::Result<std::vector<LabeledQuery>> from_file =
         ReadSourcesFile(options.sources_file);
     if (!from_file.ok()) {
       std::fprintf(stderr, "error: %s\n",
@@ -389,15 +432,18 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < batch.ValueOrDie().size(); ++i) {
       std::printf("# top-%d %s scores for node %lld\n", options.topk,
                   options.measure.c_str(),
-                  static_cast<long long>(query_labels[i]));
+                  static_cast<long long>(query_labels[i].label));
       for (const srs::RankedNode& r : rankings.ValueOrDie()[i]) {
         std::printf("%s\t%.6f\n", g.LabelOf(r.node).c_str(), r.score);
       }
     }
   }
 
-  if (cache != nullptr) {
-    std::fprintf(stderr, "%s\n", cache->StatsString().c_str());
+  if (options.stats) {
+    std::fprintf(stderr, "%s\n",
+                 cache != nullptr
+                     ? cache->StatsString().c_str()
+                     : "result-cache: disabled (pass --cache-mb to enable)");
   }
   return 0;
 }
