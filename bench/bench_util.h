@@ -14,18 +14,29 @@
 namespace srs::bench {
 
 /// Command-line knobs common to all harnesses. Usage: `bench_x [scale]
-/// [seed] [--json]`, where `scale` multiplies the default dataset sizes
-/// (default 1.0, chosen so every harness finishes in seconds on a laptop)
-/// and `seed` is the single top-level RNG seed (default 42) every
-/// synthetic input derives from (via srs::DeriveSeed), making whole runs
-/// reproducible from one number. `--json` additionally emits one JSON
-/// object per measured configuration (see JsonLine) so perf trajectories
-/// can be scraped from bench output into BENCH_*.json files.
+/// [seed] [--json] [--json-out PATH]`, where `scale` multiplies the
+/// default dataset sizes (default 1.0, chosen so every harness finishes in
+/// seconds on a laptop) and `seed` is the single top-level RNG seed
+/// (default 42) every synthetic input derives from (via srs::DeriveSeed),
+/// making whole runs reproducible from one number. `--json` additionally
+/// emits one JSON object per measured configuration (see JsonLine) so perf
+/// trajectories can be scraped from bench output. `--json-out PATH`
+/// (implies `--json`) appends every JSON line to PATH as well — several
+/// harnesses can share one file, which is how the CI bench smoke collects
+/// a `BENCH_smoke.json` artifact across its smoke steps.
 struct BenchArgs {
   double scale = 1.0;
   uint64_t seed = 42;
   bool json = false;
 };
+
+/// The optional `--json-out` sink shared by every JsonLine of the process;
+/// null means stdout only. Opened (append) by ParseArgs, flushed per line,
+/// deliberately left open until process exit.
+inline FILE*& JsonOutFile() {
+  static FILE* file = nullptr;
+  return file;
+}
 
 inline BenchArgs ParseArgs(int argc, char** argv) {
   BenchArgs args;
@@ -36,10 +47,26 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
       args.json = true;
       continue;
     }
+    if (arg == "--json-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json-out needs a PATH\n");
+        std::exit(2);
+      }
+      FILE* file = std::fopen(argv[++i], "a");
+      if (file == nullptr) {
+        std::fprintf(stderr, "--json-out: cannot append to %s\n", argv[i]);
+        std::exit(2);
+      }
+      JsonOutFile() = file;
+      args.json = true;
+      continue;
+    }
     if (arg.rfind("--", 0) == 0) {
       // A typo'd flag must not be silently swallowed as a positional — it
       // would corrupt the scale/seed and skew every scraped number.
-      std::fprintf(stderr, "unknown flag: %s (usage: [scale] [seed] [--json])\n",
+      std::fprintf(stderr,
+                   "unknown flag: %s (usage: [scale] [seed] [--json] "
+                   "[--json-out PATH])\n",
                    arg.c_str());
       std::exit(2);
     }
@@ -97,7 +124,16 @@ class JsonLine {
     return Add(key, static_cast<int64_t>(value));
   }
 
-  void Print() const { std::printf("%s}\n", body_.c_str()); }
+  /// Prints the line to stdout and, when `--json-out` is set, appends it
+  /// to that file too (flushed per line so a crashed sweep keeps what it
+  /// measured).
+  void Print() const {
+    std::printf("%s}\n", body_.c_str());
+    if (FILE* file = JsonOutFile()) {
+      std::fprintf(file, "%s}\n", body_.c_str());
+      std::fflush(file);
+    }
+  }
 
  private:
   void AppendKey(const std::string& key) {

@@ -10,8 +10,24 @@ namespace srs {
 
 namespace {
 
-struct DenseWorkspace final : KernelWorkspace {
+/// Per-worker scratch of the dense backend: the kernel buffers plus both
+/// cursors. The workspace *is* the PartialColumnEvaluation — Begin selects
+/// which cursor is live and returns `this`, so no per-query allocation.
+struct DenseWorkspace final : KernelWorkspace, PartialColumnEvaluation {
   SingleSourceWorkspace ws;
+  BinomialColumnCursor binomial;
+  RwrColumnCursor rwr;
+  bool rwr_active = false;
+
+  int Level() const override {
+    return rwr_active ? rwr.level : binomial.level;
+  }
+  int MaxLevel() const override {
+    return rwr_active ? rwr.k_max : binomial.k_max;
+  }
+  bool AdvanceLevel() override {
+    return rwr_active ? rwr.Advance() : binomial.Advance();
+  }
 };
 
 /// The reference backend: delegates to the existing allocation-free dense
@@ -25,21 +41,27 @@ class DenseKernelBackend final : public KernelBackend {
     return std::make_unique<DenseWorkspace>();
   }
 
-  void AccumulateBinomialColumn(const CsrMatrix& q, const CsrMatrix& qt,
-                                NodeId query,
-                                const std::vector<double>& length_weights,
-                                KernelWorkspace* workspace,
-                                std::vector<double>* out) const override {
-    AccumulateBinomialColumnKernel(
-        q, qt, query, length_weights,
-        &static_cast<DenseWorkspace*>(workspace)->ws, out);
+  PartialColumnEvaluation* BeginBinomialColumn(
+      const CsrMatrix& q, const CsrMatrix& qt, NodeId query,
+      const std::vector<double>& length_weights, KernelWorkspace* workspace,
+      std::vector<double>* out) const override {
+    auto* dense = static_cast<DenseWorkspace*>(workspace);
+    dense->rwr_active = false;
+    dense->binomial.Begin(q, qt, query, length_weights, &dense->ws, out);
+    return dense;
   }
 
-  void RwrColumn(const CsrMatrix& wt, const CsrMatrix& /*w*/, NodeId query,
-                 double damping, int k_max, KernelWorkspace* workspace,
-                 std::vector<double>* out) const override {
-    RwrColumnKernel(wt, query, damping, k_max,
-                    &static_cast<DenseWorkspace*>(workspace)->ws, out);
+  PartialColumnEvaluation* BeginRwrColumn(const CsrMatrix& wt,
+                                          const CsrMatrix& /*w*/,
+                                          NodeId query, double damping,
+                                          int k_max,
+                                          KernelWorkspace* workspace,
+                                          std::vector<double>* out) const
+      override {
+    auto* dense = static_cast<DenseWorkspace*>(workspace);
+    dense->rwr_active = true;
+    dense->rwr.Begin(wt, query, damping, k_max, &dense->ws, out);
+    return dense;
   }
 };
 

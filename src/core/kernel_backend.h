@@ -29,6 +29,13 @@
 /// KernelWorkspace per worker thread and passes it back on every call.
 /// Buffers are sized by the first query and reused, so the steady state
 /// allocates nothing regardless of backend.
+///
+/// Both kernels are exposed in two forms: one-shot (the full column in one
+/// call) and stepwise via Begin*Column / PartialColumnEvaluation, which
+/// adds one level per AdvanceLevel() so the TopKEngine
+/// (engine/topk_engine.h) can stop as soon as its residual bounds
+/// (core/topk.h) prove the top-k. The one-shot forms are implemented as a
+/// fully drained cursor, so the two can never diverge.
 
 #include <memory>
 #include <vector>
@@ -45,6 +52,36 @@ struct KernelWorkspace {
   virtual ~KernelWorkspace() = default;
 };
 
+/// \brief Stepwise (level-at-a-time) view of one in-progress column
+/// evaluation — the partial-evaluation hook behind bound-based top-k early
+/// termination (core/topk.h, engine/topk_engine.h).
+///
+/// Obtained from KernelBackend::BeginBinomialColumn / BeginRwrColumn. The
+/// object lives inside the KernelWorkspace the evaluation was begun on and
+/// stays valid until the next Begin call on that workspace; nothing is
+/// allocated per query. After Begin, the output vector holds level 0's
+/// contribution; each AdvanceLevel() adds exactly one more level, and the
+/// partial sums after any level are honest prefixes of the full result:
+/// draining the cursor reproduces the backend's one-shot evaluation bit
+/// for bit (the base-class one-shot entry points are *implemented* as a
+/// drained cursor, so the two can never diverge).
+class PartialColumnEvaluation {
+ public:
+  virtual ~PartialColumnEvaluation() = default;
+
+  /// Index of the last level whose contribution is in the output vector
+  /// (0 right after Begin).
+  virtual int Level() const = 0;
+
+  /// Final level of the series; the evaluation is complete when
+  /// Level() == MaxLevel().
+  virtual int MaxLevel() const = 0;
+
+  /// Accumulates level Level()+1 into the output vector; returns false
+  /// (and does nothing) once the series is exhausted.
+  virtual bool AdvanceLevel() = 0;
+};
+
 /// \brief One implementation of the single-source recurrences.
 ///
 /// Implementations are immutable and thread-safe: all mutable state lives
@@ -59,23 +96,51 @@ class KernelBackend {
   /// Fresh scratch for one worker; sized lazily by the first query.
   virtual std::unique_ptr<KernelWorkspace> NewWorkspace() const = 0;
 
-  /// Accumulates Σ_l w_l Σ_α binom(l,α)/2^l · Q^α (Qᵀ)^{l−α} e_q into
-  /// `*out` (resized to q.rows() and overwritten). `q` is the backward
-  /// transition matrix, `qt` its transpose; `length_weights[l]` includes
-  /// any normalizing constants. The caller validates `query`.
-  virtual void AccumulateBinomialColumn(
+  /// Begins a stepwise evaluation of Σ_l w_l Σ_α binom(l,α)/2^l ·
+  /// Q^α (Qᵀ)^{l−α} e_q: seeds level 0 into `*out` (resized to q.rows()
+  /// and overwritten) and returns a cursor owned by `workspace` (valid
+  /// until the next Begin on it; `out` must stay alive as long as the
+  /// cursor is advanced). `q` is the backward transition matrix, `qt` its
+  /// transpose; `length_weights[l]` includes any normalizing constants.
+  /// The caller validates `query`.
+  virtual PartialColumnEvaluation* BeginBinomialColumn(
       const CsrMatrix& q, const CsrMatrix& qt, NodeId query,
       const std::vector<double>& length_weights, KernelWorkspace* workspace,
       std::vector<double>* out) const = 0;
 
-  /// Accumulates the truncated RWR series (1−C)·Σ_{k≤k_max} C^k (Wᵀ)^k e_q
-  /// into `*out`. `wt` is the transposed forward transition and `w` its
-  /// transpose (the forward transition itself) — the scatter source for
-  /// sparse backends; dense backends ignore it.
-  virtual void RwrColumn(const CsrMatrix& wt, const CsrMatrix& w,
-                         NodeId query, double damping, int k_max,
-                         KernelWorkspace* workspace,
-                         std::vector<double>* out) const = 0;
+  /// Begins a stepwise evaluation of the truncated RWR series
+  /// (1−C)·Σ_{k≤k_max} C^k (Wᵀ)^k e_q. `wt` is the transposed forward
+  /// transition and `w` its transpose (the forward transition itself) —
+  /// the scatter source for sparse backends; dense backends ignore it.
+  virtual PartialColumnEvaluation* BeginRwrColumn(
+      const CsrMatrix& wt, const CsrMatrix& w, NodeId query, double damping,
+      int k_max, KernelWorkspace* workspace,
+      std::vector<double>* out) const = 0;
+
+  /// One-shot: accumulates the full binomial column into `*out` by
+  /// draining BeginBinomialColumn's cursor — bitwise identical to stepping
+  /// it by hand.
+  void AccumulateBinomialColumn(const CsrMatrix& q, const CsrMatrix& qt,
+                                NodeId query,
+                                const std::vector<double>& length_weights,
+                                KernelWorkspace* workspace,
+                                std::vector<double>* out) const {
+    PartialColumnEvaluation* eval =
+        BeginBinomialColumn(q, qt, query, length_weights, workspace, out);
+    while (eval->AdvanceLevel()) {
+    }
+  }
+
+  /// One-shot: accumulates the full RWR column by draining BeginRwrColumn's
+  /// cursor.
+  void RwrColumn(const CsrMatrix& wt, const CsrMatrix& w, NodeId query,
+                 double damping, int k_max, KernelWorkspace* workspace,
+                 std::vector<double>* out) const {
+    PartialColumnEvaluation* eval =
+        BeginRwrColumn(wt, w, query, damping, k_max, workspace, out);
+    while (eval->AdvanceLevel()) {
+    }
+  }
 };
 
 /// The dense reference backend.

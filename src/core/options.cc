@@ -44,6 +44,10 @@ Status SimilarityOptions::Validate() const {
     return Status::InvalidArgument("prune_epsilon must be in [0, 1), got " +
                                    std::to_string(prune_epsilon));
   }
+  if (top_k < 0) {
+    return Status::InvalidArgument("top_k must be non-negative, got " +
+                                   std::to_string(top_k));
+  }
   if (num_threads < 1) {
     return Status::InvalidArgument("num_threads must be >= 1");
   }

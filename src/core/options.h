@@ -60,6 +60,22 @@ struct SimilarityOptions {
   /// dense backend bit for bit. Ignored by the dense backend.
   double prune_epsilon = 0.0;
 
+  /// Top-k serving knob (engine/topk_engine.h): when > 0, queries are
+  /// answered as the top_k best-ranked nodes instead of full score rows,
+  /// and the level recurrence may stop early once the residual bounds of
+  /// core/topk.h prove the ranking. 0 (the default) means full-row
+  /// serving; the full-row engines (QueryEngine / AllPairsEngine) ignore
+  /// the knob and normalize it to 0 in their result-cache digests, while a
+  /// top-k configuration folds it in — so top-k rankings and full rows
+  /// never alias in a shared ResultCache.
+  int top_k = 0;
+
+  /// Whether a top-k configuration may terminate the level recurrence
+  /// early (exact by the residual bounds; scores are then lower-bound
+  /// partial sums). Disable to force full-accuracy scores in top-k
+  /// answers. Ignored — and excluded from digests — when top_k == 0.
+  bool topk_early_termination = true;
+
   /// Worker threads for the row-partitioned kernels (1 = serial, matching
   /// the paper's single-threaded measurements). Results are bitwise
   /// identical for any value. Use srs::HardwareThreads() for all cores.

@@ -40,70 +40,114 @@ std::vector<double> ExponentialStarLengthWeights(double damping, int k_max) {
   return weights;
 }
 
-void AccumulateBinomialColumnKernel(const CsrMatrix& q, const CsrMatrix& qt,
-                                    NodeId query,
-                                    const std::vector<double>& length_weights,
-                                    SingleSourceWorkspace* workspace,
-                                    std::vector<double>* out) {
+void BinomialColumnCursor::Begin(const CsrMatrix& q, const CsrMatrix& qt,
+                                 NodeId query,
+                                 const std::vector<double>& length_weights,
+                                 SingleSourceWorkspace* workspace,
+                                 std::vector<double>* out) {
+  q_ = &q;
+  qt_ = &qt;
+  weights_ = &length_weights;
+  ws_ = workspace;
+  out_ = out;
+  level = 0;
+  k_max = static_cast<int>(length_weights.size()) - 1;
+
   const int64_t n = q.rows();
-  const int k_max = static_cast<int>(length_weights.size()) - 1;
   workspace->Prepare(n, k_max);
 
   out->assign(static_cast<size_t>(n), 0.0);
 
   // level[alpha] holds D_{l,alpha} = Q^α (Qᵀ)^{l−α} e_q for the current l.
-  std::vector<std::vector<double>>& level = workspace->level;
-  std::vector<std::vector<double>>& next = workspace->next;
-  level[0].assign(static_cast<size_t>(n), 0.0);
-  level[0][static_cast<size_t>(query)] = 1.0;  // D_{0,0} = e_q
+  workspace->level[0].assign(static_cast<size_t>(n), 0.0);
+  workspace->level[0][static_cast<size_t>(query)] = 1.0;  // D_{0,0} = e_q
 
   // t = (Qᵀ)^l e_q, advanced incrementally.
-  std::vector<double>& t = workspace->t;
-  std::vector<double>& scratch = workspace->scratch;
-  std::copy(level[0].begin(), level[0].end(), t.begin());
+  std::copy(workspace->level[0].begin(), workspace->level[0].end(),
+            workspace->t.begin());
 
   // l = 0 contribution.
-  Axpy(length_weights[0], level[0], out);
+  Axpy(length_weights[0], workspace->level[0], out);
+}
 
-  for (int l = 1; l <= k_max; ++l) {
-    // New level: alpha = 1..l from Q·previous, alpha = 0 from t.
-    for (int alpha = l; alpha >= 1; --alpha) {
-      q.MultiplyVector(level[static_cast<size_t>(alpha - 1)].data(),
+bool BinomialColumnCursor::Advance() {
+  if (level >= k_max) return false;
+  const int l = ++level;
+  std::vector<std::vector<double>>& lvl = ws_->level;
+  std::vector<std::vector<double>>& next = ws_->next;
+  std::vector<double>& t = ws_->t;
+  std::vector<double>& scratch = ws_->scratch;
+
+  // New level: alpha = 1..l from Q·previous, alpha = 0 from t.
+  for (int alpha = l; alpha >= 1; --alpha) {
+    q_->MultiplyVector(lvl[static_cast<size_t>(alpha - 1)].data(),
                        next[static_cast<size_t>(alpha)].data());
-    }
-    qt.MultiplyVector(t.data(), scratch.data());
-    t.swap(scratch);
-    std::copy(t.begin(), t.end(), next[0].begin());
-    level.swap(next);
+  }
+  qt_->MultiplyVector(t.data(), scratch.data());
+  t.swap(scratch);
+  std::copy(t.begin(), t.end(), next[0].begin());
+  lvl.swap(next);
 
-    const double pow2 = std::ldexp(1.0, -l);
-    for (int alpha = 0; alpha <= l; ++alpha) {
-      Axpy(length_weights[static_cast<size_t>(l)] * pow2 *
-               BinomialCoefficient(l, alpha),
-           level[static_cast<size_t>(alpha)], out);
-    }
+  const double pow2 = std::ldexp(1.0, -l);
+  for (int alpha = 0; alpha <= l; ++alpha) {
+    Axpy((*weights_)[static_cast<size_t>(l)] * pow2 *
+             BinomialCoefficient(l, alpha),
+         lvl[static_cast<size_t>(alpha)], out_);
+  }
+  return true;
+}
+
+void RwrColumnCursor::Begin(const CsrMatrix& wt, NodeId query, double damping,
+                            int k_max_in, SingleSourceWorkspace* workspace,
+                            std::vector<double>* out) {
+  wt_ = &wt;
+  ws_ = workspace;
+  out_ = out;
+  damping_ = damping;
+  level = 0;
+  k_max = k_max_in;
+  ck_ = 1.0;
+
+  const int64_t n = wt.rows();
+  workspace->Prepare(n, /*k_max=*/0);
+
+  out->assign(static_cast<size_t>(n), 0.0);
+  std::vector<double>& v = workspace->t;
+  std::fill(v.begin(), v.end(), 0.0);
+  v[static_cast<size_t>(query)] = 1.0;
+
+  Axpy((1.0 - damping) * ck_, v, out);
+}
+
+bool RwrColumnCursor::Advance() {
+  if (level >= k_max) return false;
+  ++level;
+  std::vector<double>& v = ws_->t;
+  std::vector<double>& scratch = ws_->scratch;
+  wt_->MultiplyVector(v.data(), scratch.data());
+  v.swap(scratch);
+  ck_ *= damping_;
+  Axpy((1.0 - damping_) * ck_, v, out_);
+  return true;
+}
+
+void AccumulateBinomialColumnKernel(const CsrMatrix& q, const CsrMatrix& qt,
+                                    NodeId query,
+                                    const std::vector<double>& length_weights,
+                                    SingleSourceWorkspace* workspace,
+                                    std::vector<double>* out) {
+  BinomialColumnCursor cursor;
+  cursor.Begin(q, qt, query, length_weights, workspace, out);
+  while (cursor.Advance()) {
   }
 }
 
 void RwrColumnKernel(const CsrMatrix& wt, NodeId query, double damping,
                      int k_max, SingleSourceWorkspace* workspace,
                      std::vector<double>* out) {
-  const int64_t n = wt.rows();
-  workspace->Prepare(n, /*k_max=*/0);
-
-  out->assign(static_cast<size_t>(n), 0.0);
-  std::vector<double>& v = workspace->t;
-  std::vector<double>& scratch = workspace->scratch;
-  std::fill(v.begin(), v.end(), 0.0);
-  v[static_cast<size_t>(query)] = 1.0;
-
-  double ck = 1.0;
-  Axpy((1.0 - damping) * ck, v, out);
-  for (int k = 1; k <= k_max; ++k) {
-    wt.MultiplyVector(v.data(), scratch.data());
-    v.swap(scratch);
-    ck *= damping;
-    Axpy((1.0 - damping) * ck, v, out);
+  RwrColumnCursor cursor;
+  cursor.Begin(wt, query, damping, k_max, workspace, out);
+  while (cursor.Advance()) {
   }
 }
 

@@ -45,10 +45,62 @@ std::vector<double> GeometricStarLengthWeights(double damping, int k_max);
 /// Per-length weights e^{−C}·C^l/l! of the exponential SimRank* series.
 std::vector<double> ExponentialStarLengthWeights(double damping, int k_max);
 
+/// \brief Stepwise (level-at-a-time) evaluation of the binomial column
+/// series Σ_l w_l Σ_α binom(l,α)/2^l · Q^α (Qᵀ)^{l−α} e_q.
+///
+/// `Begin` seeds level 0 into `*out` (resized to q.rows() and
+/// overwritten); each `Advance` accumulates the next level's contribution.
+/// Draining the cursor performs *exactly* the operations of
+/// AccumulateBinomialColumnKernel in the same order, so a fully advanced
+/// cursor is bitwise identical to the one-shot kernel — which is the
+/// contract bound-based early termination (core/topk.h) builds on: the
+/// partial sums after any level are honest prefixes of the full result.
+/// All referenced objects must outlive the cursor's use.
+struct BinomialColumnCursor {
+  void Begin(const CsrMatrix& q, const CsrMatrix& qt, NodeId query,
+             const std::vector<double>& length_weights,
+             SingleSourceWorkspace* workspace, std::vector<double>* out);
+
+  /// Accumulates level `level + 1`; returns false once `level == k_max`.
+  bool Advance();
+
+  int level = 0;  ///< last level accumulated into `out`
+  int k_max = 0;  ///< final level of the series
+
+ private:
+  const CsrMatrix* q_ = nullptr;
+  const CsrMatrix* qt_ = nullptr;
+  const std::vector<double>* weights_ = nullptr;
+  SingleSourceWorkspace* ws_ = nullptr;
+  std::vector<double>* out_ = nullptr;
+};
+
+/// \brief Stepwise evaluation of the truncated RWR series
+/// (1−C)·Σ_{k≤k_max} C^k · (Wᵀ)^k e_q; same contract as
+/// BinomialColumnCursor (drained cursor == RwrColumnKernel bit for bit).
+struct RwrColumnCursor {
+  void Begin(const CsrMatrix& wt, NodeId query, double damping, int k_max_in,
+             SingleSourceWorkspace* workspace, std::vector<double>* out);
+
+  /// Accumulates walk length `level + 1`; returns false at `k_max`.
+  bool Advance();
+
+  int level = 0;
+  int k_max = 0;
+
+ private:
+  const CsrMatrix* wt_ = nullptr;
+  SingleSourceWorkspace* ws_ = nullptr;
+  std::vector<double>* out_ = nullptr;
+  double damping_ = 0.0;
+  double ck_ = 1.0;  ///< C^level
+};
+
 /// Accumulates Σ_l w_l Σ_α binom(l,α)/2^l · Q^α (Qᵀ)^{l−α} e_q into `*out`
 /// (resized to q.rows() and overwritten). `q` is the backward transition
 /// matrix of the graph and `qt` its transpose; `length_weights[l]` must
 /// include any normalizing constants. The caller validates `query`.
+/// Implemented as a fully drained BinomialColumnCursor.
 void AccumulateBinomialColumnKernel(const CsrMatrix& q, const CsrMatrix& qt,
                                     NodeId query,
                                     const std::vector<double>& length_weights,
@@ -57,7 +109,8 @@ void AccumulateBinomialColumnKernel(const CsrMatrix& q, const CsrMatrix& qt,
 
 /// Accumulates the truncated RWR series (1−C)·Σ_{k≤k_max} C^k · (Wᵀ)^k e_q
 /// into `*out` (resized to wt.rows() and overwritten). `wt` is the
-/// transposed forward transition matrix.
+/// transposed forward transition matrix. Implemented as a fully drained
+/// RwrColumnCursor.
 void RwrColumnKernel(const CsrMatrix& wt, NodeId query, double damping,
                      int k_max, SingleSourceWorkspace* workspace,
                      std::vector<double>* out);

@@ -48,7 +48,14 @@ struct HybridVector {
   }
 };
 
-struct SparseFrontierWorkspace final : KernelWorkspace {
+class SparseFrontierBackend;
+
+/// Per-worker scratch of the sparse backend, doubling as its stepwise
+/// cursor (PartialColumnEvaluation): Begin* records the operands and the
+/// live kernel, AdvanceLevel replays exactly one level of the one-shot
+/// loop. No per-query allocation.
+struct SparseFrontierWorkspace final : KernelWorkspace,
+                                       PartialColumnEvaluation {
   /// Grows the buffers; idempotent and allocation-free once sized (the
   /// hybrid vectors themselves grow lazily as frontiers expand).
   void Prepare(int64_t n, int k_max) {
@@ -58,11 +65,28 @@ struct SparseFrontierWorkspace final : KernelWorkspace {
     if (next.size() < levels) next.resize(levels);
   }
 
+  int Level() const override { return cur_level; }
+  int MaxLevel() const override { return max_level; }
+  bool AdvanceLevel() override;
+
   SparseAccumulator acc;
   std::vector<HybridVector> level;  // D_{l,alpha} for the current l
   std::vector<HybridVector> next;   // double buffer for level l+1
   HybridVector t;                   // (Qᵀ)^l e_q, advanced incrementally
   HybridVector scratch;
+
+  // Cursor state, set by the backend's Begin* methods.
+  const SparseFrontierBackend* backend = nullptr;
+  const CsrMatrix* op = nullptr;         // Q (binomial) or Wᵀ (rwr)
+  const CsrMatrix* op_t = nullptr;       // Qᵀ (binomial) or W (rwr)
+  const std::vector<double>* weights = nullptr;  // binomial only
+  std::vector<double>* out = nullptr;
+  int64_t densify_nnz = 0;
+  double damping = 0.0;  // rwr only
+  double ck = 1.0;       // C^level, rwr only
+  int cur_level = 0;
+  int max_level = 0;
+  bool rwr_active = false;
 };
 
 class SparseFrontierBackend final : public KernelBackend {
@@ -76,17 +100,20 @@ class SparseFrontierBackend final : public KernelBackend {
     return std::make_unique<SparseFrontierWorkspace>();
   }
 
-  void AccumulateBinomialColumn(const CsrMatrix& q, const CsrMatrix& qt,
-                                NodeId query,
-                                const std::vector<double>& length_weights,
-                                KernelWorkspace* workspace,
-                                std::vector<double>* out) const override;
+  PartialColumnEvaluation* BeginBinomialColumn(
+      const CsrMatrix& q, const CsrMatrix& qt, NodeId query,
+      const std::vector<double>& length_weights, KernelWorkspace* workspace,
+      std::vector<double>* out) const override;
 
-  void RwrColumn(const CsrMatrix& wt, const CsrMatrix& w, NodeId query,
-                 double damping, int k_max, KernelWorkspace* workspace,
-                 std::vector<double>* out) const override;
+  PartialColumnEvaluation* BeginRwrColumn(const CsrMatrix& wt,
+                                          const CsrMatrix& w, NodeId query,
+                                          double damping, int k_max,
+                                          KernelWorkspace* workspace,
+                                          std::vector<double>* out) const
+      override;
 
  private:
+  friend struct SparseFrontierWorkspace;
   /// out = M·in with sieving: a sparse `in` scatters the rows of `mt`
   /// (CSR of Mᵀ) incident to the frontier; a dense `in` gathers over `m`
   /// exactly like the dense backend. The result densifies when the touched
@@ -132,15 +159,23 @@ class SparseFrontierBackend final : public KernelBackend {
   double prune_epsilon_;
 };
 
-void SparseFrontierBackend::AccumulateBinomialColumn(
+PartialColumnEvaluation* SparseFrontierBackend::BeginBinomialColumn(
     const CsrMatrix& q, const CsrMatrix& qt, NodeId query,
     const std::vector<double>& length_weights, KernelWorkspace* workspace,
     std::vector<double>* out) const {
   const int64_t n = q.rows();
   const int k_max = static_cast<int>(length_weights.size()) - 1;
-  const int64_t densify_nnz = DensifyThreshold(n);
   auto* ws = static_cast<SparseFrontierWorkspace*>(workspace);
   ws->Prepare(n, k_max);
+  ws->backend = this;
+  ws->op = &q;
+  ws->op_t = &qt;
+  ws->weights = &length_weights;
+  ws->out = out;
+  ws->densify_nnz = DensifyThreshold(n);
+  ws->cur_level = 0;
+  ws->max_level = k_max;
+  ws->rwr_active = false;
 
   out->assign(static_cast<size_t>(n), 0.0);
 
@@ -150,47 +185,63 @@ void SparseFrontierBackend::AccumulateBinomialColumn(
 
   // l = 0 contribution.
   AddScaled(length_weights[0], ws->level[0], out);
-
-  for (int l = 1; l <= k_max; ++l) {
-    // New level: alpha = 1..l from Q·previous, alpha = 0 from t.
-    for (int alpha = l; alpha >= 1; --alpha) {
-      Propagate(q, qt, densify_nnz, ws->level[static_cast<size_t>(alpha - 1)],
-                &ws->acc, &ws->next[static_cast<size_t>(alpha)]);
-    }
-    Propagate(qt, q, densify_nnz, ws->t, &ws->acc, &ws->scratch);
-    std::swap(ws->t, ws->scratch);
-    ws->next[0].CopyFrom(ws->t);
-    ws->level.swap(ws->next);
-
-    const double pow2 = std::ldexp(1.0, -l);
-    for (int alpha = 0; alpha <= l; ++alpha) {
-      AddScaled(length_weights[static_cast<size_t>(l)] * pow2 *
-                    BinomialCoefficient(l, alpha),
-                ws->level[static_cast<size_t>(alpha)], out);
-    }
-  }
+  return ws;
 }
 
-void SparseFrontierBackend::RwrColumn(const CsrMatrix& wt, const CsrMatrix& w,
-                                      NodeId query, double damping, int k_max,
-                                      KernelWorkspace* workspace,
-                                      std::vector<double>* out) const {
+PartialColumnEvaluation* SparseFrontierBackend::BeginRwrColumn(
+    const CsrMatrix& wt, const CsrMatrix& w, NodeId query, double damping,
+    int k_max, KernelWorkspace* workspace, std::vector<double>* out) const {
   const int64_t n = wt.rows();
-  const int64_t densify_nnz = DensifyThreshold(n);
   auto* ws = static_cast<SparseFrontierWorkspace*>(workspace);
   ws->Prepare(n, /*k_max=*/0);
+  ws->backend = this;
+  ws->op = &wt;
+  ws->op_t = &w;
+  ws->out = out;
+  ws->densify_nnz = DensifyThreshold(n);
+  ws->damping = damping;
+  ws->ck = 1.0;
+  ws->cur_level = 0;
+  ws->max_level = k_max;
+  ws->rwr_active = true;
 
   out->assign(static_cast<size_t>(n), 0.0);
   ws->t.AssignUnit(static_cast<int32_t>(query));
 
-  double ck = 1.0;
-  AddScaled((1.0 - damping) * ck, ws->t, out);
-  for (int k = 1; k <= k_max; ++k) {
-    Propagate(wt, w, densify_nnz, ws->t, &ws->acc, &ws->scratch);
-    std::swap(ws->t, ws->scratch);
+  AddScaled((1.0 - damping) * ws->ck, ws->t, out);
+  return ws;
+}
+
+bool SparseFrontierWorkspace::AdvanceLevel() {
+  if (cur_level >= max_level) return false;
+  if (rwr_active) {
+    backend->Propagate(*op, *op_t, densify_nnz, t, &acc, &scratch);
+    std::swap(t, scratch);
     ck *= damping;
-    AddScaled((1.0 - damping) * ck, ws->t, out);
+    SparseFrontierBackend::AddScaled((1.0 - damping) * ck, t, out);
+    ++cur_level;
+    return true;
   }
+  const int l = ++cur_level;
+  // New level: alpha = 1..l from Q·previous, alpha = 0 from t.
+  for (int alpha = l; alpha >= 1; --alpha) {
+    backend->Propagate(*op, *op_t, densify_nnz,
+                       level[static_cast<size_t>(alpha - 1)], &acc,
+                       &next[static_cast<size_t>(alpha)]);
+  }
+  backend->Propagate(*op_t, *op, densify_nnz, t, &acc, &scratch);
+  std::swap(t, scratch);
+  next[0].CopyFrom(t);
+  level.swap(next);
+
+  const double pow2 = std::ldexp(1.0, -l);
+  for (int alpha = 0; alpha <= l; ++alpha) {
+    SparseFrontierBackend::AddScaled(
+        (*weights)[static_cast<size_t>(l)] * pow2 *
+            BinomialCoefficient(l, alpha),
+        level[static_cast<size_t>(alpha)], out);
+  }
+  return true;
 }
 
 }  // namespace

@@ -1,0 +1,91 @@
+#include "srs/core/topk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "srs/common/macros.h"
+
+namespace srs {
+
+namespace {
+
+/// Absolute slack added to every nonzero tail. The analytic tails bound the
+/// *exact* remainder of the series; the kernels accumulate in floating
+/// point, whose rounding (a few dozen additions of values ≤ 1 per entry)
+/// the bound does not model. 1e-12 dwarfs that rounding while staying far
+/// below any score gap worth terminating on. The final level keeps a tail
+/// of exactly 0: a completed evaluation *is* the full-row result bit for
+/// bit, no slack required.
+constexpr double kRoundingSlack = 1e-12;
+
+/// Suffix sums of per-level contribution bounds: tails[L] = slacked
+/// Σ_{l>L} bounds[l], tails.back() == 0.
+std::vector<double> SuffixTails(const std::vector<double>& bounds) {
+  std::vector<double> tails(bounds.size(), 0.0);
+  double suffix = 0.0;
+  for (size_t l = bounds.size(); l-- > 1;) {
+    suffix += bounds[l];
+    tails[l - 1] = suffix + kRoundingSlack;
+  }
+  return tails;
+}
+
+}  // namespace
+
+void TopKCollector::Reset(size_t k) {
+  SRS_CHECK_GT(k, size_t{0});
+  k_ = k;
+  heap_.clear();
+  heap_.reserve(k);
+}
+
+void TopKCollector::Offer(NodeId node, double score) {
+  const RankedNode candidate{node, score};
+  if (heap_.size() < k_) {
+    heap_.push_back(candidate);
+    std::push_heap(heap_.begin(), heap_.end(), RankedBefore);
+  } else if (RankedBefore(candidate, heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), RankedBefore);
+    heap_.back() = candidate;
+    std::push_heap(heap_.begin(), heap_.end(), RankedBefore);
+  }
+}
+
+void TopKCollector::ExtractSorted(std::vector<RankedNode>* out) {
+  std::sort_heap(heap_.begin(), heap_.end(), RankedBefore);
+  out->clear();
+  out->insert(out->end(), heap_.begin(), heap_.end());
+  heap_.clear();
+}
+
+std::vector<double> BinomialResidualTails(
+    const std::vector<double>& length_weights, double gamma_q,
+    double gamma_qt) {
+  // The weighted sum over alpha of binom(l,α)/2^l · gamma_q^α ·
+  // gamma_qt^{l−α} telescopes to ((gamma_q + gamma_qt)/2)^l; the ℓ1/ℓ∞
+  // contraction argument (file comment of topk.h) caps every level at 1.
+  const double growth = 0.5 * (gamma_q + gamma_qt);
+  std::vector<double> bounds(length_weights.size());
+  double amp = 1.0;
+  for (size_t l = 0; l < bounds.size(); ++l) {
+    bounds[l] = length_weights[l] * std::min(1.0, amp);
+    amp *= growth;
+  }
+  return SuffixTails(bounds);
+}
+
+std::vector<double> RwrResidualTails(double damping, int k_max,
+                                     double gamma_wt) {
+  std::vector<double> bounds(static_cast<size_t>(k_max) + 1);
+  double amp = 1.0;
+  double ck = 1.0;
+  for (int k = 0; k <= k_max; ++k) {
+    bounds[static_cast<size_t>(k)] =
+        (1.0 - damping) * ck * std::min(1.0, amp);
+    amp *= gamma_wt;
+    ck *= damping;
+  }
+  return SuffixTails(bounds);
+}
+
+}  // namespace srs

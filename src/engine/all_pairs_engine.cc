@@ -25,6 +25,10 @@ Result<AllPairsEngine> AllPairsEngine::Create(const Graph& g,
   AllPairsOptions resolved = options;
   if (resolved.num_threads <= 0) resolved.num_threads = HardwareThreads();
   if (resolved.tile_size <= 0) resolved.tile_size = 32;
+  // This engine serves full rows whatever the top-k knobs say; normalize
+  // them so its cache digests are the canonical full-row ones.
+  resolved.similarity.top_k = 0;
+  resolved.similarity.topk_early_termination = true;
   SnapshotCache& snapshots = resolved.snapshot_cache != nullptr
                                  ? *resolved.snapshot_cache
                                  : GlobalSnapshotCache();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "srs/core/single_source_kernel.h"
+#include "srs/core/topk.h"
 
 namespace srs {
 
@@ -40,6 +41,16 @@ MeasureEvaluator::MeasureEvaluator(
     digests_[QueryMeasureTag(m)] =
         ResultDigest(similarity, QueryMeasureTag(m));
   }
+  // O(k_max) from the snapshot's memoized row sums — engine creation over
+  // a cached snapshot does no O(nnz) work.
+  tails_[QueryMeasureTag(QueryMeasure::kSimRankStarGeometric)] =
+      BinomialResidualTails(geometric_weights_, snapshot_->gamma_q,
+                            snapshot_->gamma_qt);
+  tails_[QueryMeasureTag(QueryMeasure::kSimRankStarExponential)] =
+      BinomialResidualTails(exponential_weights_, snapshot_->gamma_q,
+                            snapshot_->gamma_qt);
+  tails_[QueryMeasureTag(QueryMeasure::kRwr)] = RwrResidualTails(
+      damping_, rwr_iterations_, snapshot_->gamma_wt);
 }
 
 void MeasureEvaluator::Compute(QueryMeasure measure, NodeId query,
@@ -61,6 +72,27 @@ void MeasureEvaluator::Compute(QueryMeasure measure, NodeId query,
       return;
   }
   SRS_CHECK(false) << "unknown QueryMeasure";
+}
+
+PartialColumnEvaluation* MeasureEvaluator::BeginCompute(
+    QueryMeasure measure, NodeId query, KernelWorkspace* workspace,
+    std::vector<double>* out) const {
+  switch (measure) {
+    case QueryMeasure::kSimRankStarGeometric:
+      return backend_->BeginBinomialColumn(snapshot_->q, snapshot_->qt,
+                                           query, geometric_weights_,
+                                           workspace, out);
+    case QueryMeasure::kSimRankStarExponential:
+      return backend_->BeginBinomialColumn(snapshot_->q, snapshot_->qt,
+                                           query, exponential_weights_,
+                                           workspace, out);
+    case QueryMeasure::kRwr:
+      return backend_->BeginRwrColumn(snapshot_->wt, snapshot_->w, query,
+                                      damping_, rwr_iterations_, workspace,
+                                      out);
+  }
+  SRS_CHECK(false) << "unknown QueryMeasure";
+  return nullptr;
 }
 
 Status MeasureEvaluator::ValidateBatch(const std::vector<NodeId>& nodes,
@@ -98,6 +130,10 @@ Result<QueryEngine> QueryEngine::Create(const Graph& g,
   SRS_RETURN_NOT_OK(options.similarity.Validate());
   QueryEngineOptions resolved = options;
   if (resolved.num_threads <= 0) resolved.num_threads = HardwareThreads();
+  // This engine serves full rows whatever the top-k knobs say; normalize
+  // them so its cache digests are the canonical full-row ones.
+  resolved.similarity.top_k = 0;
+  resolved.similarity.topk_early_termination = true;
   SnapshotCache& snapshots = resolved.snapshot_cache != nullptr
                                  ? *resolved.snapshot_cache
                                  : GlobalSnapshotCache();

@@ -107,6 +107,23 @@ class MeasureEvaluator {
   void Compute(QueryMeasure measure, NodeId query,
                KernelWorkspace* workspace, std::vector<double>* out) const;
 
+  /// Stepwise variant of Compute for bound-based early termination
+  /// (engine/topk_engine.h): seeds level 0 of ŝ(query, ·) into `*out` and
+  /// returns the backend's cursor (owned by `workspace`, valid until the
+  /// next Begin on it). Draining the cursor is bitwise identical to
+  /// Compute.
+  PartialColumnEvaluation* BeginCompute(QueryMeasure measure, NodeId query,
+                                        KernelWorkspace* workspace,
+                                        std::vector<double>* out) const;
+
+  /// Residual tails of `measure`'s series (core/topk.h): tails[L] bounds
+  /// what levels > L can still add to any score entry; tails.back() == 0.
+  /// Precomputed from the series weights and the snapshot's transition
+  /// row sums.
+  const std::vector<double>& ResidualTails(QueryMeasure measure) const {
+    return tails_[QueryMeasureTag(measure)];
+  }
+
   /// Rejects an empty batch (InvalidArgument) or any out-of-range node
   /// (OutOfRange); `what` names the entries in messages ("query",
   /// "source").
@@ -122,6 +139,8 @@ class MeasureEvaluator {
   int rwr_iterations_ = 0;
   // ResultDigest per measure, indexed by QueryMeasureTag.
   uint64_t digests_[3] = {0, 0, 0};
+  // ResidualTails per measure, indexed by QueryMeasureTag.
+  std::vector<double> tails_[3];
 };
 
 /// \brief Configuration of a QueryEngine.
@@ -182,7 +201,9 @@ class QueryEngine {
 
   /// Top-k rankings (query node excluded, ties broken by ascending id),
   /// one per query, in batch order. Uses a bounded min-heap per query —
-  /// O(n log k) — instead of materializing a full sort.
+  /// O(n log k) — instead of materializing a full sort. This computes the
+  /// full rows at full accuracy first; engine/topk_engine.h serves the
+  /// same rankings with bound-based early termination instead.
   Result<std::vector<std::vector<RankedNode>>> BatchTopK(
       QueryMeasure measure, const std::vector<NodeId>& queries, size_t k);
 

@@ -53,6 +53,15 @@ uint64_t ResultDigest(const SimilarityOptions& options, int measure_tag) {
   h = HashCombine(h, DoubleBits(options.backend == KernelBackendKind::kSparse
                                     ? options.prune_epsilon
                                     : 0.0));
+  // top_k > 0 marks a top-k configuration, whose cached values are encoded
+  // rankings (possibly early-terminated partial scores) rather than full
+  // rows — they must never alias a full-row entry, nor a top-k entry for a
+  // different k or termination policy. The full-row engines pass top_k = 0,
+  // under which the termination flag is inert and folded as a constant.
+  h = HashCombine(h, static_cast<uint64_t>(options.top_k));
+  h = HashCombine(h, options.top_k > 0
+                         ? static_cast<uint64_t>(options.topk_early_termination)
+                         : uint64_t{1});
   return h;
 }
 

@@ -42,8 +42,11 @@ namespace srs {
 /// the measure (an engine-assigned small integer tag) and the
 /// score-affecting SimilarityOptions fields, including the kernel backend
 /// and — for the sparse backend — its prune epsilon, so pruned and exact
-/// answers never alias. `num_threads` and `sieve_threshold` are excluded —
-/// they never change engine output.
+/// answers never alias. The top-k knobs (`top_k`,
+/// `topk_early_termination`) are folded in too: a top-k configuration
+/// caches encoded rankings, not full rows, and the two must never collide
+/// (full-row engines normalize `top_k` to 0). `num_threads` and
+/// `sieve_threshold` are excluded — they never change engine output.
 uint64_t ResultDigest(const SimilarityOptions& options, int measure_tag);
 
 /// Key of one cached score vector.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "srs/matrix/ops.h"
+
 namespace srs {
 
 namespace {
@@ -37,6 +39,9 @@ std::shared_ptr<const GraphSnapshot> MakeGraphSnapshot(const Graph& g) {
   snapshot->qt = snapshot->q.Transposed();
   snapshot->w = g.ForwardTransition();
   snapshot->wt = snapshot->w.Transposed();
+  snapshot->gamma_q = MaxAbsRowSum(snapshot->q);
+  snapshot->gamma_qt = MaxAbsRowSum(snapshot->qt);
+  snapshot->gamma_wt = MaxAbsRowSum(snapshot->wt);
   return snapshot;
 }
 

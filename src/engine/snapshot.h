@@ -52,6 +52,14 @@ struct GraphSnapshot {
   CsrMatrix w;   ///< forward transition W = row-normalized A
   CsrMatrix wt;  ///< Wᵀ (RWR walks out-links)
 
+  /// Max abs row sums of q / qt / wt (matrix/ops.h), the amplification
+  /// factors of the analytic bounds (prune error, top-k residual tails).
+  /// Computed once here so engine creation over a cached snapshot stays
+  /// free of O(nnz) work.
+  double gamma_q = 0.0;
+  double gamma_qt = 0.0;
+  double gamma_wt = 0.0;
+
   /// Logical footprint of the four matrices in bytes.
   size_t ByteSize() const {
     return q.ByteSize() + qt.ByteSize() + w.ByteSize() + wt.ByteSize();

@@ -67,10 +67,50 @@ if(NOT sparse_out STREQUAL topk_out)
                       "--- dense ----\n${topk_out}")
 endif()
 
+# --- Run 4: top-k early termination pinned across backends. ----------------
+# Accuracy-driven K (epsilon) is the regime where the TopKEngine's
+# bound-based early termination actually fires; its decisions depend only
+# on the partial scores, which the sparse backend reproduces bitwise at
+# epsilon 0 — so dense and sparse stdout must be byte-identical, and both
+# must match the pinned golden (which would drift if the termination
+# bounds, the partial-evaluation order, or the rank/node/score format
+# changed).
+execute_process(
+  COMMAND "${SRS_QUERY}" --graph "${GOLDEN_DIR}/golden.edges"
+          --query 4 --query 9 --topk 3 --measure gsr-star
+          --damping 0.6 --epsilon 1e-6 --threads 2
+  OUTPUT_VARIABLE topk_early_out
+  ERROR_VARIABLE topk_early_err
+  RESULT_VARIABLE topk_early_rc)
+if(NOT topk_early_rc EQUAL 0)
+  message(FATAL_ERROR
+          "srs_query top-k early-termination run failed (${topk_early_rc}):\n"
+          "${topk_early_err}")
+endif()
+execute_process(
+  COMMAND "${SRS_QUERY}" --graph "${GOLDEN_DIR}/golden.edges"
+          --query 4 --query 9 --topk 3 --measure gsr-star
+          --damping 0.6 --epsilon 1e-6 --threads 2
+          --backend sparse --prune-eps 0
+  OUTPUT_VARIABLE topk_early_sparse_out
+  ERROR_VARIABLE topk_early_sparse_err
+  RESULT_VARIABLE topk_early_sparse_rc)
+if(NOT topk_early_sparse_rc EQUAL 0)
+  message(FATAL_ERROR "srs_query sparse top-k early-termination run failed "
+                      "(${topk_early_sparse_rc}):\n${topk_early_sparse_err}")
+endif()
+if(NOT topk_early_sparse_out STREQUAL topk_early_out)
+  message(FATAL_ERROR "sparse backend at --prune-eps 0 diverged from the "
+                      "dense early-terminated top-k stdout\n"
+                      "--- sparse ---\n${topk_early_sparse_out}\n"
+                      "--- dense ----\n${topk_early_out}")
+endif()
+
 if(REGENERATE)
   file(WRITE "${GOLDEN_DIR}/topk.golden" "${topk_out}")
   file(WRITE "${GOLDEN_DIR}/sources_topk.golden" "${sources_out}")
   file(WRITE "${GOLDEN_DIR}/all_pairs.golden" "${all_pairs_out}")
+  file(WRITE "${GOLDEN_DIR}/topk_early.golden" "${topk_early_out}")
   message(STATUS "regenerated goldens in ${GOLDEN_DIR}")
   return()
 endif()
@@ -80,3 +120,5 @@ check_output("multi-source top-k stdout" "${sources_out}"
              "${GOLDEN_DIR}/sources_topk.golden")
 check_output("all-pairs TSV" "${all_pairs_out}"
              "${GOLDEN_DIR}/all_pairs.golden")
+check_output("early-terminated top-k stdout" "${topk_early_out}"
+             "${GOLDEN_DIR}/topk_early.golden")

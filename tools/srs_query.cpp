@@ -9,20 +9,25 @@
 //
 // Measures: gsr-star (default), esr-star, simrank, rwr, prank, mc-star.
 // With --query (repeatable) and/or --sources-file (one node id per line),
-// prints the top-k similar nodes per query. The single-source measures
-// (gsr-star, esr-star, rwr) are served by the QueryEngine: the graph
-// snapshot is normalized once and the batch fans out across --threads
-// pooled workers — no n×n matrix. With --all-pairs, those measures stream
-// the score matrix tile by tile through the AllPairsEngine (rows restricted
-// to --sources-file when given, the whole graph otherwise); simrank/prank
+// prints the top-k similar nodes per query as stable `rank<TAB>node<TAB>
+// score` lines. The single-source measures (gsr-star, esr-star, rwr) are
+// served by the TopKEngine: the graph snapshot is normalized once, the
+// batch fans out across --threads pooled workers, and each query's level
+// recurrence stops as soon as the analytic residual bounds prove its
+// top-k (exact set and order; scores are then lower-bound partials —
+// engine/topk_engine.h). --topk must lie in [1, n] whenever point queries
+// are made. With --all-pairs, the engine measures stream the score matrix
+// tile by tile through the AllPairsEngine (rows restricted to
+// --sources-file when given, the whole graph otherwise); simrank/prank
 // fall back to their dense all-pairs algorithms. --backend selects the
 // kernel backend for the engine measures: "dense" (bit-exact reference) or
 // "sparse" frontier propagation, which sieves entries <= --prune-eps at
 // every product (0 = bit-identical to dense; 1e-4 is the paper's sieve).
-// --cache-mb enables a sharded LRU result cache shared by both engines, so
-// overlapping queries and repeated rows are served without recomputation;
-// --stats prints its hit/miss/eviction counters on exit. Scores below 1e-4
-// are sieved out of the TSV.
+// --cache-mb enables a sharded LRU result cache shared by all engines —
+// top-k answers and full rows are kept under distinct digests and never
+// alias; --stats prints its hit/miss/eviction counters plus the top-k
+// early-termination summary on exit. Scores below 1e-4 are sieved out of
+// the TSV.
 //
 // Examples:
 //   srs_query --graph cit.txt --query 42 --query 7 --topk 20 --threads 8
@@ -51,6 +56,7 @@
 #include "srs/engine/all_pairs_engine.h"
 #include "srs/engine/query_engine.h"
 #include "srs/engine/result_cache.h"
+#include "srs/engine/topk_engine.h"
 #include "srs/eval/ranking.h"
 #include "srs/graph/graph_io.h"
 #include "srs/graph/stats.h"
@@ -248,23 +254,25 @@ srs::Result<srs::DenseMatrix> ComputeDenseAllPairs(const srs::Graph& g,
                                       "' does not support --all-pairs");
 }
 
-/// Top-k rankings for every query in `batch`, in batch order. The engine
-/// measures are served as one batch over a shared snapshot; mc-star and the
-/// matrix-based measures fall back to per-query evaluation.
-srs::Result<std::vector<std::vector<srs::RankedNode>>> ComputeBatchTopK(
+/// Top-k answers for every query in `batch`, in batch order. The engine
+/// measures are served by the TopKEngine (bound-based early termination
+/// over a shared snapshot); mc-star and the matrix-based measures fall
+/// back to per-query full-row evaluation and report no termination
+/// diagnostics (levels_total == 0).
+srs::Result<std::vector<srs::TopKResult>> ComputeBatchTopK(
     const srs::Graph& g, const std::vector<srs::NodeId>& batch,
     const CliOptions& options,
     const std::shared_ptr<srs::ResultCache>& cache) {
   srs::QueryMeasure measure;
   if (IsEngineMeasure(options.measure, &measure)) {
-    srs::QueryEngineOptions engine_options;
+    srs::TopKEngineOptions engine_options;
     engine_options.similarity = options.sim;
+    engine_options.similarity.top_k = options.topk;
     engine_options.num_threads = options.sim.num_threads;
     engine_options.result_cache = cache;
-    SRS_ASSIGN_OR_RETURN(srs::QueryEngine engine,
-                         srs::QueryEngine::Create(g, engine_options));
-    return engine.BatchTopK(measure, batch,
-                            static_cast<size_t>(options.topk));
+    SRS_ASSIGN_OR_RETURN(srs::TopKEngine engine,
+                         srs::TopKEngine::Create(g, engine_options));
+    return engine.BatchTopK(measure, batch);
   }
   // Matrix-based measures fall back to rows of one full computation.
   srs::DenseMatrix all_pairs;
@@ -275,8 +283,8 @@ srs::Result<std::vector<std::vector<srs::RankedNode>>> ComputeBatchTopK(
     }
     SRS_ASSIGN_OR_RETURN(all_pairs, ComputeDenseAllPairs(g, options));
   }
-  std::vector<std::vector<srs::RankedNode>> rankings;
-  rankings.reserve(batch.size());
+  std::vector<srs::TopKResult> results;
+  results.reserve(batch.size());
   for (srs::NodeId query : batch) {
     std::vector<double> scores;
     if (options.measure == "mc-star") {
@@ -286,10 +294,12 @@ srs::Result<std::vector<std::vector<srs::RankedNode>>> ComputeBatchTopK(
     } else {
       SRS_ASSIGN_OR_RETURN(scores, srs::RowScores(all_pairs, query));
     }
-    rankings.push_back(
-        srs::TopK(scores, static_cast<size_t>(options.topk), query));
+    srs::TopKResult result;
+    result.ranking =
+        srs::TopK(scores, static_cast<size_t>(options.topk), query);
+    results.push_back(std::move(result));
   }
-  return rankings;
+  return results;
 }
 
 /// Writes sieved scores for `sources` (or every node when empty) as TSV.
@@ -421,20 +431,42 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Early-termination tally across the batch, reported with --stats.
+  int64_t levels_evaluated = 0;
+  int64_t levels_total = 0;
+
   if (!batch.ValueOrDie().empty()) {
-    srs::Result<std::vector<std::vector<srs::RankedNode>>> rankings =
+    // k is validated against the loaded graph like the node ids above: a
+    // bad value fails fast naming the offending k, not a raw engine error.
+    if (options.topk < 1 || options.topk > g.NumNodes()) {
+      std::fprintf(stderr,
+                   "error: --topk: k = %d is out of range for %lld nodes "
+                   "(need 1 <= k <= n)\n",
+                   options.topk, static_cast<long long>(g.NumNodes()));
+      return 1;
+    }
+    srs::Result<std::vector<srs::TopKResult>> results =
         ComputeBatchTopK(g, batch.ValueOrDie(), options, cache);
-    if (!rankings.ok()) {
+    if (!results.ok()) {
       std::fprintf(stderr, "error: %s\n",
-                   rankings.status().ToString().c_str());
+                   results.status().ToString().c_str());
       return 1;
     }
     for (size_t i = 0; i < batch.ValueOrDie().size(); ++i) {
+      const srs::TopKResult& result = results.ValueOrDie()[i];
       std::printf("# top-%d %s scores for node %lld\n", options.topk,
                   options.measure.c_str(),
                   static_cast<long long>(query_labels[i].label));
-      for (const srs::RankedNode& r : rankings.ValueOrDie()[i]) {
-        std::printf("%s\t%.6f\n", g.LabelOf(r.node).c_str(), r.score);
+      int rank = 1;
+      for (const srs::RankedNode& r : result.ranking) {
+        std::printf("%d\t%s\t%.6f\n", rank++, g.LabelOf(r.node).c_str(),
+                    r.score);
+      }
+      // Cache-served answers did no level work this run; counting their
+      // recorded levels would overstate the tally.
+      if (!result.served_from_cache) {
+        levels_evaluated += result.levels_evaluated;
+        levels_total += result.levels_total;
       }
     }
   }
@@ -444,6 +476,15 @@ int main(int argc, char** argv) {
                  cache != nullptr
                      ? cache->StatsString().c_str()
                      : "result-cache: disabled (pass --cache-mb to enable)");
+    if (levels_total > 0) {
+      std::fprintf(stderr,
+                   "top-k early termination: %lld of %lld series levels "
+                   "evaluated (%.0f%%)\n",
+                   static_cast<long long>(levels_evaluated),
+                   static_cast<long long>(levels_total),
+                   100.0 * static_cast<double>(levels_evaluated) /
+                       static_cast<double>(levels_total));
+    }
   }
   return 0;
 }
