@@ -14,8 +14,10 @@
 #include "srs/engine/result_cache.h"
 #include "srs/engine/topk_engine.h"
 #include "srs/eval/ranking.h"
+#include "srs/graph/delta.h"
 #include "srs/graph/fixtures.h"
 #include "srs/graph/graph_builder.h"
+#include "srs/graph/versioned_graph.h"
 
 int main() {
   // --- 1. Build a graph by hand (or load one: srs::LoadEdgeList). ---------
@@ -122,5 +124,31 @@ int main() {
       fig1.LabelOf(h).c_str(),
       fig1.LabelOf(results[0].ranking[0].node).c_str(),
       results[0].levels_evaluated, results[0].levels_total);
+
+  // --- 7. Dynamic updates: apply a delta and re-query. --------------------
+  // Real graphs mutate. A VersionedGraph applies EdgeDelta batches
+  // copy-on-write; the engines then serve any version through snapshots
+  // patched row by row — bit-identical to rebuilding the mutated graph,
+  // without the rebuild. Here 'd' gains the citation h -> d, which lifts
+  // its similarity standing around 'h'.
+  srs::VersionedGraph versioned((srs::Graph(fig1)));
+  srs::EdgeDelta::Builder delta;
+  delta.Insert(h, d);
+  const uint64_t v1 =
+      versioned.Apply(delta.Build(versioned.NumNodes()).ValueOrDie())
+          .ValueOrDie();
+  srs::QueryEngine updated =
+      srs::QueryEngine::Create(versioned, v1, engine_opts).MoveValueOrDie();
+  const std::vector<std::vector<srs::RankedNode>> after =
+      updated.BatchTopK(srs::QueryMeasure::kSimRankStarGeometric, {h},
+                        /*k=*/3)
+          .ValueOrDie();
+  std::printf("\nafter inserting edge %s -> %s (version %llu), top-3 for "
+              "'%s':\n",
+              fig1.LabelOf(h).c_str(), fig1.LabelOf(d).c_str(),
+              static_cast<unsigned long long>(v1), fig1.LabelOf(h).c_str());
+  for (const srs::RankedNode& r : after[0]) {
+    std::printf("  %-2s %.4f\n", fig1.LabelOf(r.node).c_str(), r.score);
+  }
   return 0;
 }

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file hashing.h
+/// \brief Shared FNV-1a mixing for the structural fingerprints.
+///
+/// Graph structure, edge-delta content, and version-chain fingerprints
+/// (graph/versioned_graph.h, graph/delta.h) all mix through this one
+/// step, so their documented shared-mixing property is enforced by the
+/// compiler instead of by parallel copies. The result-cache digest
+/// (engine/result_cache.cc) deliberately uses a different, stronger mixer
+/// — digests and fingerprints are independent key components and must not
+/// be correlated by construction.
+
+#include <cstdint>
+
+namespace srs {
+
+/// FNV-1a offset basis — the seed of every fingerprint chain.
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+
+/// One 64-bit FNV-1a step.
+inline uint64_t FnvHashCombine(uint64_t h, uint64_t v) {
+  h ^= v;
+  h *= 0x100000001b3ULL;
+  return h;
+}
+
+}  // namespace srs

@@ -42,7 +42,7 @@ class DenseKernelBackend final : public KernelBackend {
   }
 
   PartialColumnEvaluation* BeginBinomialColumn(
-      const CsrMatrix& q, const CsrMatrix& qt, NodeId query,
+      const CsrOverlay& q, const CsrOverlay& qt, NodeId query,
       const std::vector<double>& length_weights, KernelWorkspace* workspace,
       std::vector<double>* out) const override {
     auto* dense = static_cast<DenseWorkspace*>(workspace);
@@ -51,8 +51,8 @@ class DenseKernelBackend final : public KernelBackend {
     return dense;
   }
 
-  PartialColumnEvaluation* BeginRwrColumn(const CsrMatrix& wt,
-                                          const CsrMatrix& /*w*/,
+  PartialColumnEvaluation* BeginRwrColumn(const CsrOverlay& wt,
+                                          const CsrOverlay& /*w*/,
                                           NodeId query, double damping,
                                           int k_max,
                                           KernelWorkspace* workspace,

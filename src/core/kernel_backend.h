@@ -25,6 +25,12 @@
 /// ∞-norm by at most the analytic bounds below, which propagate one
 /// epsilon of clipping per product through the series weights.
 ///
+/// Both backends consume matrices as `CsrOverlay`s (matrix/csr_overlay.h):
+/// a static snapshot is an overlay with no patches (zero-cost veneer over
+/// the CSR), while a versioned snapshot carries per-row patches the
+/// kernels gather/scatter straight through — the dynamic-graph serving
+/// path of graph/versioned_graph.h never materializes a patched matrix.
+///
 /// Workspaces are backend-owned: an engine asks its backend for one opaque
 /// KernelWorkspace per worker thread and passes it back on every call.
 /// Buffers are sized by the first query and reused, so the steady state
@@ -42,7 +48,7 @@
 
 #include "srs/core/options.h"
 #include "srs/graph/graph.h"
-#include "srs/matrix/csr_matrix.h"
+#include "srs/matrix/csr_overlay.h"
 
 namespace srs {
 
@@ -104,7 +110,7 @@ class KernelBackend {
   /// transpose; `length_weights[l]` includes any normalizing constants.
   /// The caller validates `query`.
   virtual PartialColumnEvaluation* BeginBinomialColumn(
-      const CsrMatrix& q, const CsrMatrix& qt, NodeId query,
+      const CsrOverlay& q, const CsrOverlay& qt, NodeId query,
       const std::vector<double>& length_weights, KernelWorkspace* workspace,
       std::vector<double>* out) const = 0;
 
@@ -113,14 +119,14 @@ class KernelBackend {
   /// transition and `w` its transpose (the forward transition itself) —
   /// the scatter source for sparse backends; dense backends ignore it.
   virtual PartialColumnEvaluation* BeginRwrColumn(
-      const CsrMatrix& wt, const CsrMatrix& w, NodeId query, double damping,
+      const CsrOverlay& wt, const CsrOverlay& w, NodeId query, double damping,
       int k_max, KernelWorkspace* workspace,
       std::vector<double>* out) const = 0;
 
   /// One-shot: accumulates the full binomial column into `*out` by
   /// draining BeginBinomialColumn's cursor — bitwise identical to stepping
   /// it by hand.
-  void AccumulateBinomialColumn(const CsrMatrix& q, const CsrMatrix& qt,
+  void AccumulateBinomialColumn(const CsrOverlay& q, const CsrOverlay& qt,
                                 NodeId query,
                                 const std::vector<double>& length_weights,
                                 KernelWorkspace* workspace,
@@ -133,7 +139,7 @@ class KernelBackend {
 
   /// One-shot: accumulates the full RWR column by draining BeginRwrColumn's
   /// cursor.
-  void RwrColumn(const CsrMatrix& wt, const CsrMatrix& w, NodeId query,
+  void RwrColumn(const CsrOverlay& wt, const CsrOverlay& w, NodeId query,
                  double damping, int k_max, KernelWorkspace* workspace,
                  std::vector<double>* out) const {
     PartialColumnEvaluation* eval =

@@ -2,6 +2,7 @@
 
 #include "srs/core/single_source_kernel.h"
 #include "srs/matrix/csr_matrix.h"
+#include "srs/matrix/csr_overlay.h"
 
 namespace srs {
 
@@ -20,8 +21,8 @@ Status CheckQuery(const Graph& g, NodeId query) {
 /// Batched callers should use the QueryEngine, which caches both.
 std::vector<double> AccumulateBinomialColumn(
     const Graph& g, NodeId query, const std::vector<double>& length_weights) {
-  const CsrMatrix q = g.BackwardTransition();
-  const CsrMatrix qt = q.Transposed();
+  const CsrOverlay q(g.BackwardTransition());
+  const CsrOverlay qt(q.base()->Transposed());
   SingleSourceWorkspace workspace;
   std::vector<double> result;
   AccumulateBinomialColumnKernel(q, qt, query, length_weights, &workspace,
@@ -54,7 +55,7 @@ Result<std::vector<double>> SingleSourceRwr(const Graph& g, NodeId query,
   SRS_RETURN_NOT_OK(options.Validate());
   SRS_RETURN_NOT_OK(CheckQuery(g, query));
   const int k_max = EffectiveIterations(options, /*exponential=*/false);
-  const CsrMatrix wt = g.ForwardTransition().Transposed();
+  const CsrOverlay wt(g.ForwardTransition().Transposed());
   SingleSourceWorkspace workspace;
   std::vector<double> result;
   RwrColumnKernel(wt, query, options.damping, k_max, &workspace, &result);

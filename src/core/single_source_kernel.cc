@@ -40,7 +40,7 @@ std::vector<double> ExponentialStarLengthWeights(double damping, int k_max) {
   return weights;
 }
 
-void BinomialColumnCursor::Begin(const CsrMatrix& q, const CsrMatrix& qt,
+void BinomialColumnCursor::Begin(const CsrOverlay& q, const CsrOverlay& qt,
                                  NodeId query,
                                  const std::vector<double>& length_weights,
                                  SingleSourceWorkspace* workspace,
@@ -97,8 +97,9 @@ bool BinomialColumnCursor::Advance() {
   return true;
 }
 
-void RwrColumnCursor::Begin(const CsrMatrix& wt, NodeId query, double damping,
-                            int k_max_in, SingleSourceWorkspace* workspace,
+void RwrColumnCursor::Begin(const CsrOverlay& wt, NodeId query,
+                            double damping, int k_max_in,
+                            SingleSourceWorkspace* workspace,
                             std::vector<double>* out) {
   wt_ = &wt;
   ws_ = workspace;
@@ -131,7 +132,7 @@ bool RwrColumnCursor::Advance() {
   return true;
 }
 
-void AccumulateBinomialColumnKernel(const CsrMatrix& q, const CsrMatrix& qt,
+void AccumulateBinomialColumnKernel(const CsrOverlay& q, const CsrOverlay& qt,
                                     NodeId query,
                                     const std::vector<double>& length_weights,
                                     SingleSourceWorkspace* workspace,
@@ -142,7 +143,7 @@ void AccumulateBinomialColumnKernel(const CsrMatrix& q, const CsrMatrix& qt,
   }
 }
 
-void RwrColumnKernel(const CsrMatrix& wt, NodeId query, double damping,
+void RwrColumnKernel(const CsrOverlay& wt, NodeId query, double damping,
                      int k_max, SingleSourceWorkspace* workspace,
                      std::vector<double>* out) {
   RwrColumnCursor cursor;

@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "srs/graph/graph.h"
-#include "srs/matrix/csr_matrix.h"
+#include "srs/matrix/csr_overlay.h"
 
 namespace srs {
 
@@ -57,7 +57,7 @@ std::vector<double> ExponentialStarLengthWeights(double damping, int k_max);
 /// partial sums after any level are honest prefixes of the full result.
 /// All referenced objects must outlive the cursor's use.
 struct BinomialColumnCursor {
-  void Begin(const CsrMatrix& q, const CsrMatrix& qt, NodeId query,
+  void Begin(const CsrOverlay& q, const CsrOverlay& qt, NodeId query,
              const std::vector<double>& length_weights,
              SingleSourceWorkspace* workspace, std::vector<double>* out);
 
@@ -68,8 +68,8 @@ struct BinomialColumnCursor {
   int k_max = 0;  ///< final level of the series
 
  private:
-  const CsrMatrix* q_ = nullptr;
-  const CsrMatrix* qt_ = nullptr;
+  const CsrOverlay* q_ = nullptr;
+  const CsrOverlay* qt_ = nullptr;
   const std::vector<double>* weights_ = nullptr;
   SingleSourceWorkspace* ws_ = nullptr;
   std::vector<double>* out_ = nullptr;
@@ -79,8 +79,9 @@ struct BinomialColumnCursor {
 /// (1−C)·Σ_{k≤k_max} C^k · (Wᵀ)^k e_q; same contract as
 /// BinomialColumnCursor (drained cursor == RwrColumnKernel bit for bit).
 struct RwrColumnCursor {
-  void Begin(const CsrMatrix& wt, NodeId query, double damping, int k_max_in,
-             SingleSourceWorkspace* workspace, std::vector<double>* out);
+  void Begin(const CsrOverlay& wt, NodeId query, double damping,
+             int k_max_in, SingleSourceWorkspace* workspace,
+             std::vector<double>* out);
 
   /// Accumulates walk length `level + 1`; returns false at `k_max`.
   bool Advance();
@@ -89,7 +90,7 @@ struct RwrColumnCursor {
   int k_max = 0;
 
  private:
-  const CsrMatrix* wt_ = nullptr;
+  const CsrOverlay* wt_ = nullptr;
   SingleSourceWorkspace* ws_ = nullptr;
   std::vector<double>* out_ = nullptr;
   double damping_ = 0.0;
@@ -101,7 +102,7 @@ struct RwrColumnCursor {
 /// matrix of the graph and `qt` its transpose; `length_weights[l]` must
 /// include any normalizing constants. The caller validates `query`.
 /// Implemented as a fully drained BinomialColumnCursor.
-void AccumulateBinomialColumnKernel(const CsrMatrix& q, const CsrMatrix& qt,
+void AccumulateBinomialColumnKernel(const CsrOverlay& q, const CsrOverlay& qt,
                                     NodeId query,
                                     const std::vector<double>& length_weights,
                                     SingleSourceWorkspace* workspace,
@@ -111,7 +112,7 @@ void AccumulateBinomialColumnKernel(const CsrMatrix& q, const CsrMatrix& qt,
 /// into `*out` (resized to wt.rows() and overwritten). `wt` is the
 /// transposed forward transition matrix. Implemented as a fully drained
 /// RwrColumnCursor.
-void RwrColumnKernel(const CsrMatrix& wt, NodeId query, double damping,
+void RwrColumnKernel(const CsrOverlay& wt, NodeId query, double damping,
                      int k_max, SingleSourceWorkspace* workspace,
                      std::vector<double>* out);
 

@@ -77,8 +77,8 @@ struct SparseFrontierWorkspace final : KernelWorkspace,
 
   // Cursor state, set by the backend's Begin* methods.
   const SparseFrontierBackend* backend = nullptr;
-  const CsrMatrix* op = nullptr;         // Q (binomial) or Wᵀ (rwr)
-  const CsrMatrix* op_t = nullptr;       // Qᵀ (binomial) or W (rwr)
+  const CsrOverlay* op = nullptr;        // Q (binomial) or Wᵀ (rwr)
+  const CsrOverlay* op_t = nullptr;      // Qᵀ (binomial) or W (rwr)
   const std::vector<double>* weights = nullptr;  // binomial only
   std::vector<double>* out = nullptr;
   int64_t densify_nnz = 0;
@@ -101,12 +101,12 @@ class SparseFrontierBackend final : public KernelBackend {
   }
 
   PartialColumnEvaluation* BeginBinomialColumn(
-      const CsrMatrix& q, const CsrMatrix& qt, NodeId query,
+      const CsrOverlay& q, const CsrOverlay& qt, NodeId query,
       const std::vector<double>& length_weights, KernelWorkspace* workspace,
       std::vector<double>* out) const override;
 
-  PartialColumnEvaluation* BeginRwrColumn(const CsrMatrix& wt,
-                                          const CsrMatrix& w, NodeId query,
+  PartialColumnEvaluation* BeginRwrColumn(const CsrOverlay& wt,
+                                          const CsrOverlay& w, NodeId query,
                                           double damping, int k_max,
                                           KernelWorkspace* workspace,
                                           std::vector<double>* out) const
@@ -118,7 +118,7 @@ class SparseFrontierBackend final : public KernelBackend {
   /// (CSR of Mᵀ) incident to the frontier; a dense `in` gathers over `m`
   /// exactly like the dense backend. The result densifies when the touched
   /// set exceeds `densify_nnz`.
-  void Propagate(const CsrMatrix& m, const CsrMatrix& mt,
+  void Propagate(const CsrOverlay& m, const CsrOverlay& mt,
                  int64_t densify_nnz, const HybridVector& in,
                  SparseAccumulator* acc, HybridVector* out) const {
     if (in.dense) {
@@ -160,7 +160,7 @@ class SparseFrontierBackend final : public KernelBackend {
 };
 
 PartialColumnEvaluation* SparseFrontierBackend::BeginBinomialColumn(
-    const CsrMatrix& q, const CsrMatrix& qt, NodeId query,
+    const CsrOverlay& q, const CsrOverlay& qt, NodeId query,
     const std::vector<double>& length_weights, KernelWorkspace* workspace,
     std::vector<double>* out) const {
   const int64_t n = q.rows();
@@ -189,7 +189,7 @@ PartialColumnEvaluation* SparseFrontierBackend::BeginBinomialColumn(
 }
 
 PartialColumnEvaluation* SparseFrontierBackend::BeginRwrColumn(
-    const CsrMatrix& wt, const CsrMatrix& w, NodeId query, double damping,
+    const CsrOverlay& wt, const CsrOverlay& w, NodeId query, double damping,
     int k_max, KernelWorkspace* workspace, std::vector<double>* out) const {
   const int64_t n = wt.rows();
   auto* ws = static_cast<SparseFrontierWorkspace*>(workspace);

@@ -19,8 +19,10 @@ AllPairsEngine::AllPairsEngine(std::shared_ptr<const GraphSnapshot> snapshot,
       static_cast<size_t>(options_.tile_size));
 }
 
-Result<AllPairsEngine> AllPairsEngine::Create(const Graph& g,
-                                              const AllPairsOptions& options) {
+namespace {
+
+Result<AllPairsOptions> ResolveAllPairsOptions(
+    const AllPairsOptions& options) {
   SRS_RETURN_NOT_OK(options.similarity.Validate());
   AllPairsOptions resolved = options;
   if (resolved.num_threads <= 0) resolved.num_threads = HardwareThreads();
@@ -29,10 +31,32 @@ Result<AllPairsEngine> AllPairsEngine::Create(const Graph& g,
   // them so its cache digests are the canonical full-row ones.
   resolved.similarity.top_k = 0;
   resolved.similarity.topk_early_termination = true;
+  return resolved;
+}
+
+}  // namespace
+
+Result<AllPairsEngine> AllPairsEngine::Create(const Graph& g,
+                                              const AllPairsOptions& options) {
+  SRS_ASSIGN_OR_RETURN(AllPairsOptions resolved,
+                       ResolveAllPairsOptions(options));
   SnapshotCache& snapshots = resolved.snapshot_cache != nullptr
                                  ? *resolved.snapshot_cache
                                  : GlobalSnapshotCache();
   return AllPairsEngine(snapshots.Get(g), resolved);
+}
+
+Result<AllPairsEngine> AllPairsEngine::Create(
+    const VersionedGraph& vg, uint64_t version,
+    const AllPairsOptions& options) {
+  SRS_ASSIGN_OR_RETURN(AllPairsOptions resolved,
+                       ResolveAllPairsOptions(options));
+  SnapshotCache& snapshots = resolved.snapshot_cache != nullptr
+                                 ? *resolved.snapshot_cache
+                                 : GlobalSnapshotCache();
+  SRS_ASSIGN_OR_RETURN(std::shared_ptr<const GraphSnapshot> snapshot,
+                       snapshots.Get(vg, version));
+  return AllPairsEngine(std::move(snapshot), resolved);
 }
 
 Status AllPairsEngine::ForEachRow(QueryMeasure measure,

@@ -85,6 +85,14 @@ class AllPairsEngine {
   static Result<AllPairsEngine> Create(const Graph& g,
                                        const AllPairsOptions& options = {});
 
+  /// Serves `version` of a versioned graph — the snapshot is resolved
+  /// incrementally through the cache; rows are bit-identical to an engine
+  /// over `vg.Materialize(version)`. InvalidArgument on bad options or an
+  /// out-of-range version.
+  static Result<AllPairsEngine> Create(const VersionedGraph& vg,
+                                       uint64_t version,
+                                       const AllPairsOptions& options = {});
+
   AllPairsEngine(AllPairsEngine&&) = default;
   AllPairsEngine& operator=(AllPairsEngine&&) = default;
 

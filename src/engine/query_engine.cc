@@ -38,8 +38,11 @@ MeasureEvaluator::MeasureEvaluator(
   for (QueryMeasure m : {QueryMeasure::kSimRankStarGeometric,
                          QueryMeasure::kSimRankStarExponential,
                          QueryMeasure::kRwr}) {
-    digests_[QueryMeasureTag(m)] =
-        ResultDigest(similarity, QueryMeasureTag(m));
+    // The snapshot's version fingerprint goes into every digest: the key's
+    // graph fingerprint is version-stable, so this is what keeps answers
+    // from different versions of one chain apart in a shared cache.
+    digests_[QueryMeasureTag(m)] = ResultDigest(
+        similarity, QueryMeasureTag(m), snapshot_->version_fingerprint);
   }
   // O(k_max) from the snapshot's memoized row sums — engine creation over
   // a cached snapshot does no O(nnz) work.
@@ -125,8 +128,12 @@ QueryEngine::QueryEngine(std::shared_ptr<const GraphSnapshot> snapshot,
       static_cast<size_t>(pool_->NumWorkers()));
 }
 
-Result<QueryEngine> QueryEngine::Create(const Graph& g,
-                                        const QueryEngineOptions& options) {
+namespace {
+
+/// Shared option resolution of the full-row engines: pool sizing plus the
+/// top-k knob normalization that keeps their digests canonical.
+Result<QueryEngineOptions> ResolveFullRowOptions(
+    const QueryEngineOptions& options) {
   SRS_RETURN_NOT_OK(options.similarity.Validate());
   QueryEngineOptions resolved = options;
   if (resolved.num_threads <= 0) resolved.num_threads = HardwareThreads();
@@ -134,10 +141,32 @@ Result<QueryEngine> QueryEngine::Create(const Graph& g,
   // them so its cache digests are the canonical full-row ones.
   resolved.similarity.top_k = 0;
   resolved.similarity.topk_early_termination = true;
+  return resolved;
+}
+
+}  // namespace
+
+Result<QueryEngine> QueryEngine::Create(const Graph& g,
+                                        const QueryEngineOptions& options) {
+  SRS_ASSIGN_OR_RETURN(QueryEngineOptions resolved,
+                       ResolveFullRowOptions(options));
   SnapshotCache& snapshots = resolved.snapshot_cache != nullptr
                                  ? *resolved.snapshot_cache
                                  : GlobalSnapshotCache();
   return QueryEngine(snapshots.Get(g), resolved);
+}
+
+Result<QueryEngine> QueryEngine::Create(const VersionedGraph& vg,
+                                        uint64_t version,
+                                        const QueryEngineOptions& options) {
+  SRS_ASSIGN_OR_RETURN(QueryEngineOptions resolved,
+                       ResolveFullRowOptions(options));
+  SnapshotCache& snapshots = resolved.snapshot_cache != nullptr
+                                 ? *resolved.snapshot_cache
+                                 : GlobalSnapshotCache();
+  SRS_ASSIGN_OR_RETURN(std::shared_ptr<const GraphSnapshot> snapshot,
+                       snapshots.Get(vg, version));
+  return QueryEngine(std::move(snapshot), resolved);
 }
 
 Result<std::vector<std::vector<double>>> QueryEngine::BatchScores(

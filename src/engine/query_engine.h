@@ -50,7 +50,7 @@
 #include "srs/engine/snapshot.h"
 #include "srs/eval/ranking.h"
 #include "srs/graph/graph.h"
-#include "srs/matrix/csr_matrix.h"
+#include "srs/graph/versioned_graph.h"
 
 namespace srs {
 
@@ -174,6 +174,16 @@ class QueryEngine {
   /// Snapshots `g`'s transition structure (via the snapshot cache) and
   /// spins up the worker pool. InvalidArgument on bad options.
   static Result<QueryEngine> Create(const Graph& g,
+                                    const QueryEngineOptions& options = {});
+
+  /// Serves `version` of a versioned graph (graph/versioned_graph.h): the
+  /// snapshot is resolved through the cache by (fingerprint, version) and
+  /// built incrementally from the nearest cached ancestor, sharing every
+  /// unmodified transition row with it. Scores are bit-identical to an
+  /// engine over `vg.Materialize(version)`. InvalidArgument on bad
+  /// options or an out-of-range version.
+  static Result<QueryEngine> Create(const VersionedGraph& vg,
+                                    uint64_t version,
                                     const QueryEngineOptions& options = {});
 
   QueryEngine(QueryEngine&&) = default;

@@ -39,8 +39,13 @@ int RoundUpPowerOfTwo(int v) {
 
 }  // namespace
 
-uint64_t ResultDigest(const SimilarityOptions& options, int measure_tag) {
+uint64_t ResultDigest(const SimilarityOptions& options, int measure_tag,
+                      uint64_t version_fingerprint) {
   uint64_t h = 0x5275c9e3d1ab47f1ULL;
+  // The snapshot version goes in first: ResultKey's graph fingerprint is
+  // deliberately version-stable, so without this fold a post-delta query
+  // could be answered by a pre-delta row.
+  h = HashCombine(h, version_fingerprint);
   h = HashCombine(h, static_cast<uint64_t>(measure_tag));
   h = HashCombine(h, DoubleBits(options.damping));
   h = HashCombine(h, static_cast<uint64_t>(options.iterations));
@@ -142,6 +147,54 @@ void ResultCache::Put(const ResultKey& key, Value value) {
     shard.lru.pop_back();
     ++shard.stats.evictions;
   }
+}
+
+DeltaEvictionStats ResultCache::RekeyForDelta(
+    uint64_t graph_fingerprint, const std::vector<DigestRemap>& remap,
+    const std::function<bool(NodeId, size_t)>& survives) {
+  DeltaEvictionStats result;
+  // Phase 1: under each shard lock, detach every matching entry — the
+  // survivors' new digests generally hash to different shards, so they
+  // cannot be re-linked in place. Phase 2 re-inserts survivors through
+  // Put() with no lock held here (Put takes the target shard's lock).
+  std::vector<std::pair<ResultKey, Value>> survivors;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      const ResultKey& key = it->key;
+      const DigestRemap* match = nullptr;
+      size_t match_index = 0;
+      if (key.graph_fingerprint == graph_fingerprint) {
+        for (size_t r = 0; r < remap.size(); ++r) {
+          if (key.digest == remap[r].from_digest) {
+            match = &remap[r];
+            match_index = r;
+            break;
+          }
+        }
+      }
+      if (match == nullptr) {
+        ++it;
+        continue;
+      }
+      if (survives(key.query, match_index)) {
+        survivors.emplace_back(
+            ResultKey{key.graph_fingerprint, match->to_digest, key.query},
+            std::move(it->value));
+        ++result.retained;
+      } else {
+        ++shard->stats.evictions;
+        ++result.evicted;
+      }
+      shard->bytes -= it->bytes;
+      shard->index.erase(key);
+      it = shard->lru.erase(it);
+    }
+  }
+  for (auto& [key, value] : survivors) {
+    Put(key, std::move(value));
+  }
+  return result;
 }
 
 ResultCacheStats ResultCache::Stats() const {

@@ -26,6 +26,7 @@
 /// of common/memory_tracker.h and printable via StatsString().
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -47,7 +48,17 @@ namespace srs {
 /// caches encoded rankings, not full rows, and the two must never collide
 /// (full-row engines normalize `top_k` to 0). `num_threads` and
 /// `sieve_threshold` are excluded — they never change engine output.
-uint64_t ResultDigest(const SimilarityOptions& options, int measure_tag);
+///
+/// `version_fingerprint` is the snapshot's version identity
+/// (GraphSnapshot::version_fingerprint, 0 for an unversioned graph). The
+/// `ResultKey` carries only the *base* graph fingerprint — stable across a
+/// whole version chain by design, so a reloaded edge list keeps its cache
+/// warm — which means the digest is the only thing separating versions:
+/// omitting it would let a pre-delta answer satisfy a post-delta query in
+/// a shared cache. Folding it here makes cross-version aliasing
+/// impossible (regression-tested in tests/result_cache_test.cpp).
+uint64_t ResultDigest(const SimilarityOptions& options, int measure_tag,
+                      uint64_t version_fingerprint = 0);
 
 /// Key of one cached score vector.
 struct ResultKey {
@@ -70,6 +81,20 @@ struct ResultCacheOptions {
   /// Shard count; rounded up to a power of two, minimum 1. More shards →
   /// less lock contention under concurrent serving.
   int num_shards = 8;
+};
+
+/// One digest renaming of delta-aware invalidation: entries under
+/// `from_digest` either move to `to_digest` (when their source provably
+/// survives the delta) or are evicted.
+struct DigestRemap {
+  uint64_t from_digest = 0;
+  uint64_t to_digest = 0;
+};
+
+/// Outcome counters of one RekeyForDelta pass.
+struct DeltaEvictionStats {
+  size_t retained = 0;  ///< entries rekeyed to the new version, bit-intact
+  size_t evicted = 0;   ///< entries dropped as possibly delta-affected
 };
 
 /// Monotonic counters plus a point-in-time footprint.
@@ -108,6 +133,19 @@ class ResultCache {
 
   /// One-line human-readable stats summary.
   std::string StatsString() const;
+
+  /// Delta-aware invalidation (driven by engine/delta_invalidation.h):
+  /// one pass over every shard visits every entry whose key matches
+  /// `graph_fingerprint` and one of the `remap` source digests. Entries
+  /// whose `survives(query, remap_index)` holds — the index identifies
+  /// which remap matched, letting callers apply per-digest criteria such
+  /// as per-measure horizons in a single scan — are re-inserted
+  /// bit-intact under the remapped digest (the new version serves them as
+  /// hits); the rest are evicted. Rekeyed entries count as insertions in
+  /// Stats() and move to the MRU end of their (possibly different) shard.
+  DeltaEvictionStats RekeyForDelta(
+      uint64_t graph_fingerprint, const std::vector<DigestRemap>& remap,
+      const std::function<bool(NodeId, size_t)>& survives);
 
   /// Drops every entry (monotonic counters are preserved).
   void Clear();

@@ -1,32 +1,45 @@
 #pragma once
 
 /// \file snapshot.h
-/// \brief Shared immutable graph snapshots and their process-level cache.
+/// \brief Shared immutable graph snapshots — static and versioned — and
+/// their process-level cache.
 ///
 /// Every serving engine needs the same derived structure from a graph: the
 /// backward transition matrix `Q` (row-normalized Aᵀ, paper Eq. 3), its
-/// transpose `Qᵀ`, and the transposed forward transition `Wᵀ` for RWR.
-/// Building those is O(m log m) and was previously repeated by every
-/// QueryEngine::Create call. A `GraphSnapshot` bundles the three matrices
-/// behind a `shared_ptr<const ...>` so any number of engines (and any
-/// number of threads) can read one copy, and a `SnapshotCache` memoizes
-/// snapshots by a structural fingerprint of the graph, so creating a second
-/// engine over the same graph — the common pattern when a serving process
-/// hosts both a QueryEngine and an AllPairsEngine — reuses the matrices
-/// instead of rebuilding them.
+/// transpose `Qᵀ`, and the forward transition `W` / `Wᵀ` for RWR. Building
+/// those is O(m log m). A `GraphSnapshot` bundles the four matrices as
+/// `CsrOverlay`s behind a `shared_ptr<const ...>` so any number of engines
+/// (and threads) read one copy, and a `SnapshotCache` memoizes snapshots so
+/// a second engine over the same graph reuses the matrices.
 ///
-/// The fingerprint doubles as the graph component of result-cache keys
-/// (engine/result_cache.h): two graphs with identical node count and edge
-/// sets hash identically, so cached scores survive reloading the same edge
-/// list from disk.
+/// **Versioning** (graph/versioned_graph.h): a snapshot belongs to a
+/// version chain. Its `fingerprint` is the structural hash of the chain's
+/// *base* graph — stable across versions, so reloading the same edge list
+/// keeps caches warm — while `version_fingerprint` identifies the exact
+/// version (0 for a root; delta-chained otherwise). The cache resolves the
+/// composite (fingerprint, version_fingerprint) key. A derived snapshot is
+/// built *incrementally*: only the transition rows the delta touches are
+/// recomputed and patched over the parent's overlays, so all unmodified
+/// row storage is physically shared between versions, and the kernels
+/// gather/scatter straight through the patches. Incremental snapshots are
+/// **bit-identical** to a from-scratch rebuild of the same version (the
+/// differential fuzz harness asserts this across measures × backends ×
+/// engines).
+///
+/// The fingerprint pair also keys result-cache entries
+/// (engine/result_cache.h): the graph fingerprint enters `ResultKey`
+/// directly and the version fingerprint is folded into `ResultDigest`, so
+/// answers from different versions can never alias in a shared cache.
 
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "srs/common/result.h"
 #include "srs/graph/graph.h"
-#include "srs/matrix/csr_matrix.h"
+#include "srs/graph/versioned_graph.h"
+#include "srs/matrix/csr_overlay.h"
 
 namespace srs {
 
@@ -43,31 +56,99 @@ uint64_t GraphFingerprint(const Graph& g);
 /// over `q`/`qt`/`wt`, while the sparse frontier backend
 /// (core/kernel_backend.h) scatters the rows of the *transposed* operand —
 /// `qt` for Q products, `q` for Qᵀ products, and `w` for Wᵀ products —
-/// touching only the edges incident to the live frontier.
+/// touching only the edges incident to the live frontier. The matrices are
+/// `CsrOverlay`s: patch-free for a root snapshot, per-row patches over the
+/// parent's storage for a derived one.
 struct GraphSnapshot {
+  /// Structural fingerprint of the version chain's base graph (for a
+  /// snapshot built from a plain Graph, of that graph itself).
   uint64_t fingerprint = 0;
+
+  /// Identity of this exact version: 0 for roots, chained over the parent
+  /// fingerprint and the delta content otherwise. Folded into
+  /// ResultDigest so versions never alias in a shared ResultCache.
+  uint64_t version_fingerprint = 0;
+
+  /// The parent version's `version_fingerprint` (0 and meaningless when
+  /// `version` == 0).
+  uint64_t parent_fingerprint = 0;
+
+  /// Ordinal position in the chain (0 = root).
+  uint64_t version = 0;
+
   int64_t num_nodes = 0;
-  CsrMatrix q;   ///< backward transition Q = row-normalized Aᵀ
-  CsrMatrix qt;  ///< Qᵀ
-  CsrMatrix w;   ///< forward transition W = row-normalized A
-  CsrMatrix wt;  ///< Wᵀ (RWR walks out-links)
+  CsrOverlay q;   ///< backward transition Q = row-normalized Aᵀ
+  CsrOverlay qt;  ///< Qᵀ
+  CsrOverlay w;   ///< forward transition W = row-normalized A
+  CsrOverlay wt;  ///< Wᵀ (RWR walks out-links)
 
   /// Max abs row sums of q / qt / wt (matrix/ops.h), the amplification
   /// factors of the analytic bounds (prune error, top-k residual tails).
-  /// Computed once here so engine creation over a cached snapshot stays
-  /// free of O(nnz) work.
   double gamma_q = 0.0;
   double gamma_qt = 0.0;
   double gamma_wt = 0.0;
 
-  /// Logical footprint of the four matrices in bytes.
+  /// Per-row |value| sums behind the gammas, shared along a version chain
+  /// and patched per delta: a derived snapshot copies the parent's
+  /// vector, recomputes only the patched rows' sums, and takes the max —
+  /// O(|touched| + n) instead of the O(nnz) full-matrix rescan, and
+  /// bitwise the from-scratch result (each row sum is the same gather
+  /// loop; max is an exact operation).
+  std::shared_ptr<const std::vector<double>> row_sums_q;
+  std::shared_ptr<const std::vector<double>> row_sums_qt;
+  std::shared_ptr<const std::vector<double>> row_sums_wt;
+
+  /// Nodes whose row changed in *any* of the four matrices parent → this
+  /// version (sorted; empty for roots). The seed set of delta-aware
+  /// result-cache invalidation (engine/delta_invalidation.h).
+  std::vector<NodeId> delta_touched;
+
+  /// Logical footprint in bytes, shared base storage included — what one
+  /// snapshot costs in isolation. The per-row sum vectors are owned per
+  /// snapshot (each version holds its own patched copy) and counted.
   size_t ByteSize() const {
-    return q.ByteSize() + qt.ByteSize() + w.ByteSize() + wt.ByteSize();
+    return q.ByteSize() + qt.ByteSize() + w.ByteSize() + wt.ByteSize() +
+           RowSumBytes();
+  }
+
+  /// Bytes this snapshot adds on top of storage shared with an ancestor:
+  /// patched overlays count only their marginal patch + slot-map storage,
+  /// patch-free overlays (roots, compactions) own their CSR outright. The
+  /// SnapshotCache charges this, so a long version chain's reported bytes
+  /// track real memory instead of multiplying the shared base per entry.
+  /// (A derived version whose delta was all no-ops shares everything yet
+  /// has no patches; it is charged as an owner — rare and conservative.)
+  size_t CacheByteSize() const {
+    auto charge = [](const CsrOverlay& m) {
+      return m.HasPatches() ? m.OverlayByteSize() : m.ByteSize();
+    };
+    return charge(q) + charge(qt) + charge(w) + charge(wt) + RowSumBytes();
+  }
+
+  /// Bytes of the three per-row sum vectors (never shared — each version
+  /// copies and patches its own).
+  size_t RowSumBytes() const {
+    size_t bytes = 0;
+    for (const auto& sums : {row_sums_q, row_sums_qt, row_sums_wt}) {
+      if (sums != nullptr) bytes += sums->size() * sizeof(double);
+    }
+    return bytes;
   }
 };
 
-/// Builds a snapshot directly, bypassing any cache.
+/// Builds a root snapshot directly from a graph, bypassing any cache.
 std::shared_ptr<const GraphSnapshot> MakeGraphSnapshot(const Graph& g);
+
+/// Builds the snapshot of `vg`'s `version` incrementally from its parent's
+/// snapshot: recomputes only the transition rows the version's delta
+/// touched, patches them over the parent's overlays (unmodified rows stay
+/// physically shared), and — when an overlay's patched fraction exceeds ½
+/// — compacts that overlay into a fresh CSR. Requires `version` >= 1,
+/// not compacted at the graph level, and `parent` to be version − 1's
+/// snapshot of the same chain.
+std::shared_ptr<const GraphSnapshot> MakeDerivedSnapshot(
+    const std::shared_ptr<const GraphSnapshot>& parent,
+    const VersionedGraph& vg, uint64_t version);
 
 /// Monotonic counters describing a SnapshotCache's behavior.
 struct SnapshotCacheStats {
@@ -78,7 +159,8 @@ struct SnapshotCacheStats {
   size_t bytes = 0;        ///< logical bytes currently held
 };
 
-/// \brief Thread-safe LRU memo of graph snapshots, keyed by fingerprint.
+/// \brief Thread-safe LRU memo of graph snapshots, keyed by
+/// (fingerprint, version fingerprint).
 ///
 /// Holding a snapshot in the cache does not pin it forever: entries are
 /// `shared_ptr`s, so an evicted snapshot stays alive for exactly as long as
@@ -91,8 +173,19 @@ class SnapshotCache {
   SnapshotCache(const SnapshotCache&) = delete;
   SnapshotCache& operator=(const SnapshotCache&) = delete;
 
-  /// Returns the snapshot for `g`, building and memoizing it on first use.
+  /// Returns the root snapshot for `g`, building and memoizing it on
+  /// first use.
   std::shared_ptr<const GraphSnapshot> Get(const Graph& g);
+
+  /// Returns the snapshot of `vg`'s `version`, resolving the
+  /// (fingerprint, version) pair. On a miss the snapshot is built
+  /// incrementally from the nearest cached ancestor (walking parents back
+  /// to version 0 or a graph-level compaction), so applying one delta
+  /// costs O(|touched rows|·deg + n) — the patch rows plus flat per-row
+  /// bookkeeping — never the O(nnz log nnz) four-matrix rebuild.
+  /// InvalidArgument when `version` is out of range.
+  Result<std::shared_ptr<const GraphSnapshot>> Get(const VersionedGraph& vg,
+                                                   uint64_t version);
 
   /// Current counters (a consistent view under the cache lock).
   SnapshotCacheStats Stats() const;
@@ -103,8 +196,18 @@ class SnapshotCache {
  private:
   struct Entry {
     uint64_t fingerprint;
+    uint64_t version_fingerprint;
     std::shared_ptr<const GraphSnapshot> snapshot;
   };
+
+  /// Returns the cached snapshot for the key or null (bumping LRU/stats).
+  std::shared_ptr<const GraphSnapshot> Lookup(uint64_t fingerprint,
+                                              uint64_t version_fingerprint);
+
+  /// Inserts (or refreshes) under the key and applies LRU eviction.
+  std::shared_ptr<const GraphSnapshot> Insert(
+      uint64_t fingerprint, uint64_t version_fingerprint,
+      std::shared_ptr<const GraphSnapshot> snapshot);
 
   const size_t max_snapshots_;
   mutable std::mutex mu_;

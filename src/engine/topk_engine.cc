@@ -23,8 +23,10 @@ TopKEngine::TopKEngine(std::shared_ptr<const GraphSnapshot> snapshot,
   }
 }
 
-Result<TopKEngine> TopKEngine::Create(const Graph& g,
-                                      const TopKEngineOptions& options) {
+namespace {
+
+Result<TopKEngineOptions> ResolveTopKOptions(
+    const TopKEngineOptions& options) {
   SRS_RETURN_NOT_OK(options.similarity.Validate());
   if (options.similarity.top_k < 1) {
     return Status::InvalidArgument(
@@ -33,10 +35,32 @@ Result<TopKEngine> TopKEngine::Create(const Graph& g,
   }
   TopKEngineOptions resolved = options;
   if (resolved.num_threads <= 0) resolved.num_threads = HardwareThreads();
+  return resolved;
+}
+
+}  // namespace
+
+Result<TopKEngine> TopKEngine::Create(const Graph& g,
+                                      const TopKEngineOptions& options) {
+  SRS_ASSIGN_OR_RETURN(TopKEngineOptions resolved,
+                       ResolveTopKOptions(options));
   SnapshotCache& snapshots = resolved.snapshot_cache != nullptr
                                  ? *resolved.snapshot_cache
                                  : GlobalSnapshotCache();
   return TopKEngine(snapshots.Get(g), resolved);
+}
+
+Result<TopKEngine> TopKEngine::Create(const VersionedGraph& vg,
+                                      uint64_t version,
+                                      const TopKEngineOptions& options) {
+  SRS_ASSIGN_OR_RETURN(TopKEngineOptions resolved,
+                       ResolveTopKOptions(options));
+  SnapshotCache& snapshots = resolved.snapshot_cache != nullptr
+                                 ? *resolved.snapshot_cache
+                                 : GlobalSnapshotCache();
+  SRS_ASSIGN_OR_RETURN(std::shared_ptr<const GraphSnapshot> snapshot,
+                       snapshots.Get(vg, version));
+  return TopKEngine(std::move(snapshot), resolved);
 }
 
 bool TopKEngine::SieveAndCheckSettled(double tail, WorkerState* state,

@@ -126,6 +126,14 @@ class TopKEngine {
   static Result<TopKEngine> Create(const Graph& g,
                                    const TopKEngineOptions& options = {});
 
+  /// Serves `version` of a versioned graph through the incrementally
+  /// resolved snapshot; rankings are bit-identical to an engine over
+  /// `vg.Materialize(version)`. InvalidArgument on bad options or an
+  /// out-of-range version.
+  static Result<TopKEngine> Create(const VersionedGraph& vg,
+                                   uint64_t version,
+                                   const TopKEngineOptions& options = {});
+
   TopKEngine(TopKEngine&&) = default;
   TopKEngine& operator=(TopKEngine&&) = default;
 

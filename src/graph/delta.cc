@@ -1,0 +1,103 @@
+#include "srs/graph/delta.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+#include "srs/common/hashing.h"
+
+namespace srs {
+
+uint64_t EdgeDelta::Fingerprint() const {
+  uint64_t h = 0x7d3a9fc1e54b8d29ULL;
+  h = FnvHashCombine(h, static_cast<uint64_t>(num_nodes_));
+  for (const EdgeOp& op : ops_) {
+    h = FnvHashCombine(h, static_cast<uint64_t>(op.u));
+    h = FnvHashCombine(h, static_cast<uint64_t>(op.v) * 2 +
+                              (op.insert ? 1 : 0));
+  }
+  return h;
+}
+
+Result<EdgeDelta> EdgeDelta::Builder::Build(int64_t num_nodes) {
+  // The builder is consumed either way — success or validation failure —
+  // so a caller re-recording corrected ops never replays stale ones.
+  if (num_nodes < 0) {
+    ops_.clear();
+    return Status::InvalidArgument("negative node count for EdgeDelta");
+  }
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const EdgeOp& op = ops_[i];
+    if (op.u < 0 || op.u >= num_nodes || op.v < 0 || op.v >= num_nodes) {
+      Status error = Status::InvalidArgument(
+          "delta op " + std::to_string(i) + " (" +
+          std::string(op.insert ? "+" : "-") + " " + std::to_string(op.u) +
+          " -> " + std::to_string(op.v) + ") out of range for " +
+          std::to_string(num_nodes) + " nodes");
+      ops_.clear();
+      return error;
+    }
+  }
+  // Last op per (u, v) wins: a stable sort on the edge keeps call order
+  // within a key, and the dedup pass keeps each key's final op.
+  std::stable_sort(ops_.begin(), ops_.end(),
+                   [](const EdgeOp& a, const EdgeOp& b) {
+                     return a.u != b.u ? a.u < b.u : a.v < b.v;
+                   });
+  EdgeDelta delta;
+  delta.num_nodes_ = num_nodes;
+  delta.ops_.reserve(ops_.size());
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (i + 1 < ops_.size() && ops_[i].u == ops_[i + 1].u &&
+        ops_[i].v == ops_[i + 1].v) {
+      continue;  // a later op on the same edge supersedes this one
+    }
+    delta.ops_.push_back(ops_[i]);
+  }
+  ops_.clear();
+  ops_.shrink_to_fit();
+  return delta;
+}
+
+Result<std::vector<RawEdgeOp>> LoadEdgeDeltaOps(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot read " + path);
+  std::vector<RawEdgeOp> ops;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    const std::string origin = path + ":" + std::to_string(line_no);
+    const char kind = line[first];
+    if (kind != '+' && kind != '-') {
+      return Status::InvalidArgument(
+          origin + ": expected '+ u v' or '- u v', got '" + line + "'");
+    }
+    char* end = nullptr;
+    const char* cursor = line.c_str() + first + 1;
+    const long long u = std::strtoll(cursor, &end, 10);
+    if (end == cursor) {
+      return Status::InvalidArgument(origin + ": expected a source node id");
+    }
+    cursor = end;
+    const long long v = std::strtoll(cursor, &end, 10);
+    if (end == cursor) {
+      return Status::InvalidArgument(origin + ": expected a target node id");
+    }
+    // Anything but whitespace or a trailing comment after the two ids is
+    // a malformed op — applying a silently reinterpreted edge would be
+    // worse than failing ('+ 1 23 4' is a typo, not an insert of 1->23).
+    while (*end == ' ' || *end == '\t' || *end == '\r') ++end;
+    if (*end != '\0' && *end != '#') {
+      return Status::InvalidArgument(origin +
+                                     ": trailing garbage after edge op: '" +
+                                     std::string(end) + "'");
+    }
+    ops.push_back(RawEdgeOp{kind == '+', u, v, origin});
+  }
+  return ops;
+}
+
+}  // namespace srs

@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file delta.h
+/// \brief Validated, deduplicated batches of edge inserts and deletes.
+///
+/// An `EdgeDelta` is the unit of mutation of the dynamic-graph subsystem
+/// (graph/versioned_graph.h): a batch of directed edge inserts/deletes
+/// over a fixed node set, validated against the node count and canonical
+/// after `Build()` — ops sorted by (u, v) with exactly one op per edge
+/// (the **last** op recorded for an edge wins, so
+/// `Insert(a,b); Remove(a,b)` is a remove). Application semantics are
+/// idempotent-friendly: inserting an edge that already exists and removing
+/// one that doesn't are no-ops, which lets producers ship deltas without
+/// tracking the current edge set.
+///
+/// The delta's `Fingerprint()` chains into version fingerprints
+/// (engine/snapshot.h): two versions derived from the same parent by the
+/// same canonical delta hash identically, anything else never collides in
+/// practice.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "srs/common/result.h"
+#include "srs/graph/graph.h"
+
+namespace srs {
+
+/// One edge operation of a delta.
+struct EdgeOp {
+  NodeId u = 0;
+  NodeId v = 0;
+  bool insert = true;  ///< false = delete u→v
+
+  bool operator==(const EdgeOp& o) const {
+    return u == o.u && v == o.v && insert == o.insert;
+  }
+};
+
+/// \brief Canonical batch of edge inserts/deletes. Construct via Builder
+/// (or LoadEdgeDeltaOps + Builder for the srs_query `--apply-delta` file
+/// format).
+class EdgeDelta {
+ public:
+  class Builder;
+
+  EdgeDelta() = default;
+
+  /// Ops sorted by (u, v), one per edge.
+  std::span<const EdgeOp> ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  /// The node count the delta was validated against.
+  int64_t num_nodes() const { return num_nodes_; }
+
+  /// Deterministic content hash over (num_nodes, canonical ops).
+  uint64_t Fingerprint() const;
+
+ private:
+  int64_t num_nodes_ = 0;
+  std::vector<EdgeOp> ops_;
+};
+
+/// \brief Records ops in call order, then validates and canonicalizes.
+class EdgeDelta::Builder {
+ public:
+  /// Records an insert of u→v.
+  Builder& Insert(NodeId u, NodeId v) {
+    ops_.push_back(EdgeOp{u, v, /*insert=*/true});
+    return *this;
+  }
+
+  /// Records a delete of u→v.
+  Builder& Remove(NodeId u, NodeId v) {
+    ops_.push_back(EdgeOp{u, v, /*insert=*/false});
+    return *this;
+  }
+
+  void Reserve(size_t n) { ops_.reserve(n); }
+  size_t PendingOps() const { return ops_.size(); }
+
+  /// Validates every endpoint against `num_nodes` (InvalidArgument names
+  /// the offending op and its position), deduplicates (last op per (u, v)
+  /// wins), sorts by (u, v), and returns the canonical delta. The builder
+  /// is left empty on success *and* on error — corrected ops recorded
+  /// after a failure never replay the stale batch.
+  Result<EdgeDelta> Build(int64_t num_nodes);
+
+ private:
+  std::vector<EdgeOp> ops_;
+};
+
+/// Raw op parsed from a delta file, before node ids are resolved: `u` and
+/// `v` are the *original* ids (graph labels), and `origin` is "file:line"
+/// for error messages.
+struct RawEdgeOp {
+  bool insert = true;
+  int64_t u = 0;
+  int64_t v = 0;
+  std::string origin;
+};
+
+/// Parses a delta file: one op per line, `+ u v` (insert) or `- u v`
+/// (delete), `#` comments and blank lines ignored. Node ids are left
+/// unresolved (callers map them through the loaded graph's labels exactly
+/// like `--query` ids). IoError if unreadable; InvalidArgument names the
+/// malformed line.
+Result<std::vector<RawEdgeOp>> LoadEdgeDeltaOps(const std::string& path);
+
+}  // namespace srs

@@ -1,0 +1,296 @@
+#include "srs/graph/versioned_graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "srs/common/hashing.h"
+#include "srs/graph/graph_builder.h"
+
+namespace srs {
+
+namespace {
+
+/// vfp of a child derived from `parent_vfp` by a delta hashing to
+/// `delta_fp`. Version 0's vfp is 0; the constant keeps a child of the
+/// root distinct from the root even for a delta hashing to 0.
+uint64_t ChainVersionFingerprint(uint64_t parent_vfp, uint64_t delta_fp) {
+  uint64_t h = 0x9ae16a3b2f90404fULL;
+  h = FnvHashCombine(h, parent_vfp);
+  h = FnvHashCombine(h, delta_fp);
+  return h;
+}
+
+}  // namespace
+
+uint64_t GraphStructuralFingerprint(const Graph& g) {
+  uint64_t h = kFnvOffsetBasis;
+  h = FnvHashCombine(h, static_cast<uint64_t>(g.NumNodes()));
+  h = FnvHashCombine(h, static_cast<uint64_t>(g.NumEdges()));
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    // Per-node separator keeps {0→1,1→} distinct from {0→,1→1} etc.
+    h = FnvHashCombine(h, 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(u));
+    for (NodeId v : g.OutNeighbors(u)) {
+      h = FnvHashCombine(h, static_cast<uint64_t>(v) + 1);
+    }
+  }
+  return h;
+}
+
+VersionedGraph::VersionedGraph(Graph base,
+                               const VersionedGraphOptions& options)
+    : options_(options), num_nodes_(base.NumNodes()) {
+  base_fingerprint_ = GraphStructuralFingerprint(base);
+  VersionRec root;
+  root.version_fp = 0;
+  root.base = std::make_shared<const Graph>(std::move(base));
+  root.num_edges = root.base->NumEdges();
+  versions_.push_back(std::move(root));
+}
+
+const VersionedGraph::VersionRec& VersionedGraph::Rec(
+    uint64_t version) const {
+  SRS_CHECK(version < versions_.size())
+      << "version " << version << " out of range (have "
+      << versions_.size() << ")";
+  return versions_[version];
+}
+
+uint64_t VersionedGraph::VersionFingerprint(uint64_t version) const {
+  return Rec(version).version_fp;
+}
+
+int64_t VersionedGraph::NumEdges(uint64_t version) const {
+  return Rec(version).num_edges;
+}
+
+bool VersionedGraph::IsCompacted(uint64_t version) const {
+  return Rec(version).patch == nullptr;
+}
+
+const EdgeDelta& VersionedGraph::DeltaFor(uint64_t version) const {
+  return Rec(version).delta;
+}
+
+std::span<const NodeId> VersionedGraph::OutNeighbors(uint64_t version,
+                                                     NodeId u) const {
+  const VersionRec& rec = Rec(version);
+  SRS_DCHECK(u >= 0 && u < num_nodes_);
+  if (rec.patch != nullptr) {
+    auto it = rec.patch->out.find(u);
+    if (it != rec.patch->out.end()) return *it->second;
+  }
+  return rec.base->OutNeighbors(u);
+}
+
+std::span<const NodeId> VersionedGraph::InNeighbors(uint64_t version,
+                                                    NodeId u) const {
+  const VersionRec& rec = Rec(version);
+  SRS_DCHECK(u >= 0 && u < num_nodes_);
+  if (rec.patch != nullptr) {
+    auto it = rec.patch->in.find(u);
+    if (it != rec.patch->in.end()) return *it->second;
+  }
+  return rec.base->InNeighbors(u);
+}
+
+bool VersionedGraph::HasEdge(uint64_t version, NodeId u, NodeId v) const {
+  const auto nbrs = OutNeighbors(version, u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+const std::vector<NodeId>& VersionedGraph::TouchedOut(
+    uint64_t version) const {
+  return Rec(version).touched_out;
+}
+
+const std::vector<NodeId>& VersionedGraph::TouchedIn(
+    uint64_t version) const {
+  return Rec(version).touched_in;
+}
+
+const std::vector<NodeId>& VersionedGraph::OutDegreeChanged(
+    uint64_t version) const {
+  return Rec(version).out_degree_changed;
+}
+
+const std::vector<NodeId>& VersionedGraph::InDegreeChanged(
+    uint64_t version) const {
+  return Rec(version).in_degree_changed;
+}
+
+const std::shared_ptr<const Graph>& VersionedGraph::MaterializedBase(
+    uint64_t version) const {
+  return Rec(version).base;
+}
+
+Result<uint64_t> VersionedGraph::Apply(const EdgeDelta& delta) {
+  if (delta.num_nodes() != num_nodes_) {
+    return Status::InvalidArgument(
+        "delta built for " + std::to_string(delta.num_nodes()) +
+        " nodes applied to a graph of " + std::to_string(num_nodes_));
+  }
+  const VersionRec& parent = versions_.back();
+  const uint64_t parent_version = CurrentVersion();
+
+  // Working copy of the parent's patch maps. The map entries are
+  // shared_ptrs, so this copies O(patched nodes) pointers — the adjacency
+  // vectors stay shared with the parent until a node is actually touched
+  // below (node-granularity copy-on-write).
+  auto patch = std::make_shared<AdjacencyPatch>();
+  if (parent.patch != nullptr) *patch = *parent.patch;
+  const Graph& base = *parent.base;
+  int64_t num_edges = parent.num_edges;
+
+  // Fetches the mutable adjacency vector for `node`: nodes untouched by
+  // this delta keep the shared ancestor vector; the first touch clones it
+  // (or materializes it from the base) exactly once per Apply.
+  std::unordered_set<NodeId> cloned_out, cloned_in;
+  auto mutable_list =
+      [&](std::unordered_map<NodeId, std::shared_ptr<std::vector<NodeId>>>*
+              side,
+          std::unordered_set<NodeId>* cloned, NodeId node,
+          bool out) -> std::vector<NodeId>& {
+    auto it = side->find(node);
+    if (it != side->end()) {
+      if (cloned->insert(node).second) {
+        it->second = std::make_shared<std::vector<NodeId>>(*it->second);
+      }
+      return *it->second;
+    }
+    const auto span = out ? base.OutNeighbors(node) : base.InNeighbors(node);
+    cloned->insert(node);
+    return *side
+                ->emplace(node, std::make_shared<std::vector<NodeId>>(
+                                    span.begin(), span.end()))
+                .first->second;
+  };
+
+  std::vector<NodeId> touched_out, touched_in;
+  for (const EdgeOp& op : delta.ops()) {
+    const bool exists = [&] {
+      auto it = patch->out.find(op.u);
+      const auto nbrs = it != patch->out.end()
+                            ? std::span<const NodeId>(*it->second)
+                            : base.OutNeighbors(op.u);
+      return std::binary_search(nbrs.begin(), nbrs.end(), op.v);
+    }();
+    if (op.insert == exists) continue;  // no-op: present insert / absent delete
+    std::vector<NodeId>& out_list =
+        mutable_list(&patch->out, &cloned_out, op.u, true);
+    std::vector<NodeId>& in_list =
+        mutable_list(&patch->in, &cloned_in, op.v, false);
+    if (op.insert) {
+      out_list.insert(
+          std::lower_bound(out_list.begin(), out_list.end(), op.v), op.v);
+      in_list.insert(
+          std::lower_bound(in_list.begin(), in_list.end(), op.u), op.u);
+      ++num_edges;
+    } else {
+      out_list.erase(
+          std::lower_bound(out_list.begin(), out_list.end(), op.v));
+      in_list.erase(
+          std::lower_bound(in_list.begin(), in_list.end(), op.u));
+      --num_edges;
+    }
+    touched_out.push_back(op.u);
+    touched_in.push_back(op.v);
+  }
+
+  auto sort_unique = [](std::vector<NodeId>* v) {
+    std::sort(v->begin(), v->end());
+    v->erase(std::unique(v->begin(), v->end()), v->end());
+  };
+  sort_unique(&touched_out);
+  sort_unique(&touched_in);
+
+  VersionRec rec;
+  rec.version_fp =
+      ChainVersionFingerprint(parent.version_fp, delta.Fingerprint());
+  rec.num_edges = num_edges;
+  rec.delta = delta;
+  // Membership can change without the degree changing (same-delta swap);
+  // only a degree change rescales the 1/degree transition weights.
+  for (NodeId u : touched_out) {
+    const auto it = patch->out.find(u);
+    SRS_CHECK(it != patch->out.end());
+    if (static_cast<int64_t>(it->second->size()) !=
+        OutDegree(parent_version, u)) {
+      rec.out_degree_changed.push_back(u);
+    }
+  }
+  for (NodeId v : touched_in) {
+    const auto it = patch->in.find(v);
+    SRS_CHECK(it != patch->in.end());
+    if (static_cast<int64_t>(it->second->size()) !=
+        InDegree(parent_version, v)) {
+      rec.in_degree_changed.push_back(v);
+    }
+  }
+  rec.touched_out = std::move(touched_out);
+  rec.touched_in = std::move(touched_in);
+
+  // Count distinct patched nodes for the compaction trigger.
+  int64_t patched_nodes = static_cast<int64_t>(patch->out.size());
+  for (const auto& [node, list] : patch->in) {
+    if (patch->out.find(node) == patch->out.end()) ++patched_nodes;
+  }
+  const int64_t compact_at = std::max(
+      options_.compact_min_nodes,
+      static_cast<int64_t>(options_.compact_fraction *
+                           static_cast<double>(num_nodes_)));
+  if (patched_nodes >= compact_at) {
+    // Density threshold passed: materialize a fresh Graph and drop the
+    // overlay — later versions patch over this one.
+    rec.base = std::make_shared<const Graph>([&] {
+      GraphBuilder builder(num_nodes_);
+      builder.ReserveEdges(static_cast<size_t>(num_edges));
+      for (NodeId u = 0; u < num_nodes_; ++u) {
+        auto it = patch->out.find(u);
+        const auto nbrs = it != patch->out.end()
+                              ? std::span<const NodeId>(*it->second)
+                              : base.OutNeighbors(u);
+        for (NodeId v : nbrs) SRS_CHECK_OK(builder.AddEdge(u, v));
+      }
+      const std::vector<std::string>& labels = base.labels();
+      for (size_t u = 0; u < labels.size(); ++u) {
+        if (!labels[u].empty()) {
+          SRS_CHECK_OK(
+              builder.SetLabel(static_cast<NodeId>(u), labels[u]));
+        }
+      }
+      return builder.Build().MoveValueOrDie();
+    }());
+    rec.patch = nullptr;
+  } else {
+    rec.base = parent.base;
+    rec.patch = std::move(patch);
+  }
+  versions_.push_back(std::move(rec));
+  return CurrentVersion();
+}
+
+Result<Graph> VersionedGraph::Materialize(uint64_t version) const {
+  if (version >= versions_.size()) {
+    return Status::InvalidArgument(
+        "version " + std::to_string(version) + " out of range (have " +
+        std::to_string(versions_.size()) + " versions)");
+  }
+  const VersionRec& rec = versions_[version];
+  GraphBuilder builder(num_nodes_);
+  builder.ReserveEdges(static_cast<size_t>(rec.num_edges));
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (NodeId v : OutNeighbors(version, u)) {
+      SRS_RETURN_NOT_OK(builder.AddEdge(u, v));
+    }
+  }
+  const std::vector<std::string>& labels = rec.base->labels();
+  for (size_t u = 0; u < labels.size(); ++u) {
+    if (!labels[u].empty()) {
+      SRS_RETURN_NOT_OK(builder.SetLabel(static_cast<NodeId>(u), labels[u]));
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace srs

@@ -1,0 +1,159 @@
+#pragma once
+
+/// \file versioned_graph.h
+/// \brief Copy-on-write version chain over an immutable base graph.
+///
+/// The serving stack treats graphs as frozen — which is right for one
+/// query batch, and wrong for a deployment where edges arrive continuously.
+/// A `VersionedGraph` keeps a linear chain of **versions**: version 0 is
+/// the base `Graph`, and each `Apply(EdgeDelta)` produces a new version
+/// whose adjacency differs from its parent only on the nodes the delta
+/// touched. Touched nodes get private replacement adjacency vectors
+/// (copy-on-write); every untouched node keeps reading the nearest
+/// materialized ancestor's storage. Once the patched-node fraction passes
+/// `VersionedGraphOptions::compact_fraction`, the new version is
+/// **compacted** — materialized into a fresh `Graph` — and later versions
+/// patch over that instead, so per-version overhead stays bounded.
+///
+/// Versions are identified two ways (engine/snapshot.h threads both
+/// through the serving stack):
+///  * the **base fingerprint** — the structural hash of version 0, stable
+///    across the whole chain;
+///  * a per-version **version fingerprint** — 0 for version 0, and
+///    `chain(parent_vfp, delta.Fingerprint())` for derived versions, so
+///    two versions coincide iff they were derived by the same canonical
+///    delta sequence.
+///
+/// Reads of existing versions are const and thread-safe; `Apply` mutates
+/// the chain and must be externally serialized (the serving engines hold
+/// immutable snapshots, so an in-flight query never observes an Apply).
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "srs/common/result.h"
+#include "srs/graph/delta.h"
+#include "srs/graph/graph.h"
+
+namespace srs {
+
+/// Compaction policy of a VersionedGraph.
+struct VersionedGraphOptions {
+  /// A freshly applied version whose patched-node fraction exceeds this is
+  /// materialized into a plain Graph instead of kept as an overlay.
+  double compact_fraction = 0.25;
+
+  /// Patched-node floor below which compaction never triggers (rebuilding
+  /// a tiny overlay buys nothing).
+  int64_t compact_min_nodes = 32;
+};
+
+/// \brief Linear chain of graph versions with O(delta)-sized overlays.
+class VersionedGraph {
+ public:
+  /// Starts a chain at `base` (version 0).
+  explicit VersionedGraph(Graph base,
+                          const VersionedGraphOptions& options = {});
+
+  VersionedGraph(VersionedGraph&&) = default;
+  VersionedGraph& operator=(VersionedGraph&&) = default;
+
+  int64_t NumNodes() const { return num_nodes_; }
+  size_t NumVersions() const { return versions_.size(); }
+  uint64_t CurrentVersion() const {
+    return static_cast<uint64_t>(versions_.size()) - 1;
+  }
+  const VersionedGraphOptions& options() const { return options_; }
+
+  /// Structural fingerprint of version 0 (the chain's stable identity).
+  uint64_t BaseFingerprint() const { return base_fingerprint_; }
+
+  /// Version fingerprint (0 for version 0; delta-chained otherwise).
+  uint64_t VersionFingerprint(uint64_t version) const;
+
+  /// Applies `delta` (validated against this node count) on top of the
+  /// current head and returns the new version id. Inserting an existing
+  /// edge / removing a missing one are no-ops; a delta may therefore
+  /// change nothing and still mint a version.
+  Result<uint64_t> Apply(const EdgeDelta& delta);
+
+  /// Directed edges in `version`.
+  int64_t NumEdges(uint64_t version) const;
+
+  /// True iff `version` is materialized (version 0 or a compaction).
+  bool IsCompacted(uint64_t version) const;
+
+  /// The delta that produced `version` from its parent (empty for 0).
+  const EdgeDelta& DeltaFor(uint64_t version) const;
+
+  /// Out-/in-neighbors of `u` in `version`, ascending.
+  std::span<const NodeId> OutNeighbors(uint64_t version, NodeId u) const;
+  std::span<const NodeId> InNeighbors(uint64_t version, NodeId u) const;
+  int64_t OutDegree(uint64_t version, NodeId u) const {
+    return static_cast<int64_t>(OutNeighbors(version, u).size());
+  }
+  int64_t InDegree(uint64_t version, NodeId u) const {
+    return static_cast<int64_t>(InNeighbors(version, u).size());
+  }
+  bool HasEdge(uint64_t version, NodeId u, NodeId v) const;
+
+  /// Nodes whose out-/in-adjacency actually changed parent → `version`
+  /// (sorted; empty for version 0 and for all-no-op deltas).
+  const std::vector<NodeId>& TouchedOut(uint64_t version) const;
+  const std::vector<NodeId>& TouchedIn(uint64_t version) const;
+
+  /// The subsets of TouchedOut/TouchedIn whose degree changed (a
+  /// same-size neighbor swap touches membership but not the 1/degree
+  /// transition weights — the snapshot patcher exploits the distinction).
+  const std::vector<NodeId>& OutDegreeChanged(uint64_t version) const;
+  const std::vector<NodeId>& InDegreeChanged(uint64_t version) const;
+
+  /// The nearest materialized graph at or below `version` — `version`'s
+  /// own graph when IsCompacted(version), the patch base otherwise.
+  const std::shared_ptr<const Graph>& MaterializedBase(
+      uint64_t version) const;
+
+  /// Rebuilds `version` as a standalone Graph (labels preserved) — the
+  /// from-scratch reference the differential fuzz harness compares
+  /// incremental serving against.
+  Result<Graph> Materialize(uint64_t version) const;
+
+ private:
+  /// Private per-node adjacency replacements over the materialized base.
+  /// Values are shared_ptrs so a child version's patch map copies only
+  /// pointer-sized entries; the vectors themselves are shared with the
+  /// parent and cloned exactly once per Apply that touches the node
+  /// (node-granularity copy-on-write). A stored vector is never mutated
+  /// after the Apply that created it.
+  struct AdjacencyPatch {
+    std::unordered_map<NodeId, std::shared_ptr<std::vector<NodeId>>> out;
+    std::unordered_map<NodeId, std::shared_ptr<std::vector<NodeId>>> in;
+  };
+
+  struct VersionRec {
+    uint64_t version_fp = 0;
+    std::shared_ptr<const Graph> base;          // nearest materialized graph
+    std::shared_ptr<const AdjacencyPatch> patch;  // null when materialized
+    int64_t num_edges = 0;
+    EdgeDelta delta;
+    std::vector<NodeId> touched_out, touched_in;
+    std::vector<NodeId> out_degree_changed, in_degree_changed;
+  };
+
+  const VersionRec& Rec(uint64_t version) const;
+
+  VersionedGraphOptions options_;
+  int64_t num_nodes_ = 0;
+  uint64_t base_fingerprint_ = 0;
+  std::vector<VersionRec> versions_;
+};
+
+/// Structural fingerprint of a plain graph — the same deterministic hash
+/// engine/snapshot.h's GraphFingerprint exposes (defined here so graph/
+/// stays independent of engine/).
+uint64_t GraphStructuralFingerprint(const Graph& g);
+
+}  // namespace srs

@@ -52,6 +52,32 @@ DenseMatrix CsrMatrix::ToDense() const {
   return d;
 }
 
+CsrMatrix CsrMatrix::FromSortedRows(int64_t rows, int64_t cols,
+                                    std::vector<int64_t> row_ptr,
+                                    std::vector<int32_t> col_idx,
+                                    std::vector<double> values) {
+  SRS_CHECK(rows >= 0 && cols >= 0);
+  SRS_CHECK_EQ(static_cast<int64_t>(row_ptr.size()), rows + 1);
+  SRS_CHECK_EQ(col_idx.size(), values.size());
+  SRS_CHECK(row_ptr.front() == 0 &&
+            row_ptr.back() == static_cast<int64_t>(col_idx.size()));
+  for (int64_t r = 0; r < rows; ++r) {
+    SRS_CHECK(row_ptr[r] <= row_ptr[r + 1]);
+    for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      SRS_CHECK(col_idx[k] >= 0 && col_idx[k] < cols);
+      SRS_CHECK(k == row_ptr[r] || col_idx[k - 1] < col_idx[k])
+          << "row " << r << " columns not strictly ascending";
+    }
+  }
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  return m;
+}
+
 void CsrMatrix::MultiplyVector(const double* x, double* y) const {
   for (int64_t r = 0; r < rows_; ++r) {
     double sum = 0.0;

@@ -67,6 +67,18 @@ class CsrMatrix {
   /// Dense × sparse product: returns `d * this`.
   DenseMatrix LeftMultiplyDense(const DenseMatrix& d) const;
 
+  /// Assembles a CSR directly from its parts — for callers that already
+  /// hold rows in order with ascending, duplicate-free columns (patch
+  /// overlays compacting, row-wise copies). O(1): no triplet copy, no
+  /// sort. `row_ptr` must have rows+1 monotone entries ending at
+  /// col_idx.size(); columns are checked (SRS_CHECK) to be strictly
+  /// ascending within each row and in range. Values pass through
+  /// bit-unchanged.
+  static CsrMatrix FromSortedRows(int64_t rows, int64_t cols,
+                                  std::vector<int64_t> row_ptr,
+                                  std::vector<int32_t> col_idx,
+                                  std::vector<double> values);
+
   class Builder;
 
  private:

@@ -1,0 +1,150 @@
+#include "srs/matrix/csr_overlay.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace srs {
+
+namespace {
+
+const std::vector<int64_t>& EmptyRowList() {
+  static const std::vector<int64_t>* empty = new std::vector<int64_t>();
+  return *empty;
+}
+
+}  // namespace
+
+CsrOverlay::CsrOverlay(std::shared_ptr<const CsrMatrix> base)
+    : base_(std::move(base)) {
+  SRS_CHECK(base_ != nullptr);
+  nnz_ = base_->nnz();
+}
+
+const std::vector<int64_t>& CsrOverlay::PatchedRows() const {
+  return patched_rows_ ? *patched_rows_ : EmptyRowList();
+}
+
+CsrOverlay CsrOverlay::WithPatchedRows(const std::vector<int64_t>& rows,
+                                       CsrMatrix patch_rows) const {
+  SRS_CHECK(base_ != nullptr);
+  SRS_CHECK_EQ(static_cast<int64_t>(rows.size()), patch_rows.rows());
+  SRS_CHECK_EQ(patch_rows.cols(), cols());
+  if (rows.empty()) return *this;
+
+  // Union of the existing patch set and the new rows, new rows winning on
+  // overlap. Both inputs are ascending, so one merge pass assembles the
+  // combined patch CSR in row order.
+  const std::vector<int64_t>& old_rows = PatchedRows();
+  CsrOverlay out;
+  out.base_ = base_;
+
+  auto merged_rows = std::make_shared<std::vector<int64_t>>();
+  merged_rows->reserve(old_rows.size() + rows.size());
+  std::vector<int64_t> new_ptr;
+  std::vector<int32_t> new_cols;
+  std::vector<double> new_vals;
+  new_ptr.push_back(0);
+
+  auto append_row = [&](CsrRowSpan row) {
+    new_cols.insert(new_cols.end(), row.cols, row.cols + row.nnz);
+    new_vals.insert(new_vals.end(), row.vals, row.vals + row.nnz);
+    new_ptr.push_back(static_cast<int64_t>(new_cols.size()));
+  };
+  auto new_row_span = [&](size_t i) {
+    const int64_t begin = patch_rows.row_ptr()[static_cast<int64_t>(i)];
+    return CsrRowSpan{patch_rows.col_idx().data() + begin,
+                      patch_rows.values().data() + begin,
+                      patch_rows.row_ptr()[static_cast<int64_t>(i) + 1] -
+                          begin};
+  };
+
+  size_t oi = 0, ni = 0;
+  while (oi < old_rows.size() || ni < rows.size()) {
+    if (ni >= rows.size() ||
+        (oi < old_rows.size() && old_rows[oi] < rows[ni])) {
+      merged_rows->push_back(old_rows[oi]);
+      append_row(Row(old_rows[oi]));
+      ++oi;
+    } else {
+      SRS_CHECK(ni + 1 >= rows.size() || rows[ni] < rows[ni + 1]);
+      SRS_CHECK(rows[ni] >= 0 && rows[ni] < this->rows());
+      if (oi < old_rows.size() && old_rows[oi] == rows[ni]) ++oi;
+      merged_rows->push_back(rows[ni]);
+      append_row(new_row_span(ni));
+      ++ni;
+    }
+  }
+
+  // Assemble the patch matrix directly: rows are already in order with
+  // column-sorted entries, so the linear FromSortedRows path applies (no
+  // triplet copy or re-sort; the values pass through bit-unchanged).
+  out.patch_ = std::make_shared<const CsrMatrix>(CsrMatrix::FromSortedRows(
+      static_cast<int64_t>(merged_rows->size()), cols(), std::move(new_ptr),
+      std::move(new_cols), std::move(new_vals)));
+
+  auto slot = std::make_shared<std::vector<int32_t>>(
+      static_cast<size_t>(this->rows()), -1);
+  for (size_t i = 0; i < merged_rows->size(); ++i) {
+    (*slot)[static_cast<size_t>((*merged_rows)[i])] =
+        static_cast<int32_t>(i);
+  }
+  out.slot_ = std::move(slot);
+  out.patched_rows_ = std::move(merged_rows);
+
+  out.nnz_ = base_->nnz();
+  for (size_t i = 0; i < out.patched_rows_->size(); ++i) {
+    const int64_t r = (*out.patched_rows_)[i];
+    out.nnz_ -= base_->RowNnz(r);
+    out.nnz_ += out.patch_->RowNnz(static_cast<int64_t>(i));
+  }
+  return out;
+}
+
+CsrMatrix CsrOverlay::Compact() const {
+  SRS_CHECK(base_ != nullptr);
+  // Row-wise copy into the linear assembly path — every row is already
+  // column-sorted, so compaction is O(nnz) with no re-sort.
+  std::vector<int64_t> row_ptr;
+  row_ptr.reserve(static_cast<size_t>(rows()) + 1);
+  std::vector<int32_t> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(static_cast<size_t>(nnz_));
+  values.reserve(static_cast<size_t>(nnz_));
+  row_ptr.push_back(0);
+  for (int64_t r = 0; r < rows(); ++r) {
+    const CsrRowSpan row = Row(r);
+    col_idx.insert(col_idx.end(), row.cols, row.cols + row.nnz);
+    values.insert(values.end(), row.vals, row.vals + row.nnz);
+    row_ptr.push_back(static_cast<int64_t>(col_idx.size()));
+  }
+  return CsrMatrix::FromSortedRows(rows(), cols(), std::move(row_ptr),
+                                   std::move(col_idx), std::move(values));
+}
+
+void CsrOverlay::MultiplyVector(const double* x, double* y) const {
+  const int64_t n = rows();
+  if (patch_ == nullptr) {
+    base_->MultiplyVector(x, y);
+    return;
+  }
+  for (int64_t r = 0; r < n; ++r) {
+    const CsrRowSpan row = Row(r);
+    double sum = 0.0;
+    for (int64_t k = 0; k < row.nnz; ++k) {
+      sum += row.vals[k] * x[row.cols[k]];
+    }
+    y[r] = sum;
+  }
+}
+
+size_t CsrOverlay::OverlayByteSize() const {
+  size_t bytes = 0;
+  if (patch_ != nullptr) bytes += patch_->ByteSize();
+  if (slot_ != nullptr) bytes += slot_->size() * sizeof(int32_t);
+  if (patched_rows_ != nullptr) {
+    bytes += patched_rows_->size() * sizeof(int64_t);
+  }
+  return bytes;
+}
+
+}  // namespace srs

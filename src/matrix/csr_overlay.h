@@ -1,0 +1,143 @@
+#pragma once
+
+/// \file csr_overlay.h
+/// \brief Copy-on-write per-row patch overlay over an immutable CsrMatrix.
+///
+/// The dynamic-graph subsystem (graph/versioned_graph.h) never rebuilds a
+/// whole transition matrix for a small edge delta: it replaces only the
+/// rows the delta actually touches. A `CsrOverlay` is the representation
+/// the kernels consume — a shared immutable **base** CSR plus a compact
+/// **patch** CSR holding full replacement rows for a (usually tiny) set of
+/// row indices. Row access dispatches in O(1) through a slot map; every
+/// other row reads the base storage directly, so any number of graph
+/// versions share one copy of their unmodified rows.
+///
+/// Bit-compatibility contract (the dynamic differential-fuzz harness
+/// asserts it end to end): `Row(r)` exposes exactly the (column, value)
+/// sequence a from-scratch CSR rebuild of the patched matrix would store —
+/// columns ascending, values computed by the same expressions — and
+/// `MultiplyVector` gathers rows in the same order as
+/// `CsrMatrix::MultiplyVector`. Kernels running over an overlay therefore
+/// emit bitwise the scores they would emit over `Compact()`.
+///
+/// An overlay with no patches is a zero-cost veneer over its base; the
+/// static serving path (engine/snapshot.h building from a plain Graph)
+/// uses exactly that form.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "srs/common/macros.h"
+#include "srs/matrix/csr_matrix.h"
+
+namespace srs {
+
+/// One row of an overlay: parallel (column, value) arrays, columns
+/// ascending. Valid as long as the overlay (and its base) lives.
+struct CsrRowSpan {
+  const int32_t* cols = nullptr;
+  const double* vals = nullptr;
+  int64_t nnz = 0;
+};
+
+/// \brief Immutable CSR matrix view: shared base + per-row replacements.
+///
+/// Copying an overlay copies three shared_ptrs — versions are cheap to
+/// hand around, and all unpatched row storage is physically shared.
+class CsrOverlay {
+ public:
+  /// Empty 0x0 overlay.
+  CsrOverlay() = default;
+
+  /// Wraps `base` with no patches (takes ownership).
+  explicit CsrOverlay(CsrMatrix base)
+      : CsrOverlay(std::make_shared<const CsrMatrix>(std::move(base))) {}
+
+  /// Wraps a shared `base` with no patches.
+  explicit CsrOverlay(std::shared_ptr<const CsrMatrix> base);
+
+  int64_t rows() const { return base_ ? base_->rows() : 0; }
+  int64_t cols() const { return base_ ? base_->cols() : 0; }
+  int64_t nnz() const { return nnz_; }
+
+  /// The shared base storage (null for a default-constructed overlay).
+  const std::shared_ptr<const CsrMatrix>& base() const { return base_; }
+
+  bool HasPatches() const { return patch_ != nullptr; }
+  int64_t PatchedRowCount() const {
+    return patched_rows_ ? static_cast<int64_t>(patched_rows_->size()) : 0;
+  }
+  /// Ascending indices of the replaced rows (empty vector when none).
+  const std::vector<int64_t>& PatchedRows() const;
+  /// PatchedRowCount() / rows() — the compaction-trigger input.
+  double PatchedFraction() const {
+    return rows() == 0 ? 0.0
+                       : static_cast<double>(PatchedRowCount()) /
+                             static_cast<double>(rows());
+  }
+
+  bool IsPatched(int64_t r) const {
+    SRS_DCHECK(r >= 0 && r < rows());
+    return patch_ != nullptr && (*slot_)[static_cast<size_t>(r)] >= 0;
+  }
+
+  /// The row's (column, value) entries — patch storage if replaced, base
+  /// storage otherwise.
+  CsrRowSpan Row(int64_t r) const {
+    SRS_DCHECK(r >= 0 && r < rows());
+    if (patch_ != nullptr) {
+      const int32_t s = (*slot_)[static_cast<size_t>(r)];
+      if (s >= 0) {
+        const int64_t begin = patch_->row_ptr()[s];
+        return CsrRowSpan{patch_->col_idx().data() + begin,
+                          patch_->values().data() + begin,
+                          patch_->row_ptr()[s + 1] - begin};
+      }
+    }
+    const int64_t begin = base_->row_ptr()[r];
+    return CsrRowSpan{base_->col_idx().data() + begin,
+                      base_->values().data() + begin,
+                      base_->row_ptr()[r + 1] - begin};
+  }
+
+  /// Returns a new overlay over the same base in which row `rows[i]` is
+  /// replaced by row i of `patch_rows` (which must have exactly
+  /// rows.size() rows and this->cols() columns; `rows` ascending, unique,
+  /// in range). Rows already patched in *this stay patched unless
+  /// replaced again — the new overlay's patch set is the union.
+  CsrOverlay WithPatchedRows(const std::vector<int64_t>& rows,
+                             CsrMatrix patch_rows) const;
+
+  /// Materializes a plain CSR with every patch applied (row-wise copy; no
+  /// re-sort — rows are already column-sorted). Bitwise the matrix a
+  /// from-scratch rebuild of the same content produces.
+  CsrMatrix Compact() const;
+
+  /// Dense product `y = this * x` — the same per-row gather (and gather
+  /// order) as CsrMatrix::MultiplyVector, hence bitwise identical to
+  /// multiplying by Compact(). `x` has cols() entries, `y` rows().
+  void MultiplyVector(const double* x, double* y) const;
+
+  /// Logical bytes of base + overlay. Note the base is shared: summing
+  /// ByteSize over the versions of one chain counts it once per version.
+  size_t ByteSize() const {
+    return (base_ ? base_->ByteSize() : 0) + OverlayByteSize();
+  }
+
+  /// Bytes owned by this overlay alone (patch rows + slot map) — the
+  /// marginal cost of one more version sharing the base.
+  size_t OverlayByteSize() const;
+
+ private:
+  std::shared_ptr<const CsrMatrix> base_;
+  // Replacement rows, one per patched row, ascending by patched row index.
+  std::shared_ptr<const CsrMatrix> patch_;
+  // slot_[r] = row index into patch_, or -1 when r reads the base. Only
+  // allocated when patches exist.
+  std::shared_ptr<const std::vector<int32_t>> slot_;
+  std::shared_ptr<const std::vector<int64_t>> patched_rows_;
+  int64_t nnz_ = 0;
+};
+
+}  // namespace srs

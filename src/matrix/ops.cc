@@ -107,6 +107,22 @@ double MaxAbsRowSum(const CsrMatrix& a) {
   return max_sum;
 }
 
+double RowAbsSum(const CsrRowSpan& row) {
+  double sum = 0.0;
+  for (int64_t k = 0; k < row.nnz; ++k) {
+    sum += std::fabs(row.vals[k]);
+  }
+  return sum;
+}
+
+double MaxAbsRowSum(const CsrOverlay& a) {
+  double max_sum = 0.0;
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    max_sum = std::max(max_sum, RowAbsSum(a.Row(r)));
+  }
+  return max_sum;
+}
+
 CsrMatrix BooleanMultiply(const CsrMatrix& a, const CsrMatrix& b) {
   return SparseMultiplyImpl(a, b, /*boolean=*/true);
 }

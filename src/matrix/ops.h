@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "srs/matrix/csr_matrix.h"
+#include "srs/matrix/csr_overlay.h"
 #include "srs/matrix/dense_matrix.h"
 
 namespace srs {
@@ -39,6 +40,15 @@ void SymmetrizeScaled(const DenseMatrix& m, double half_c, DenseMatrix* out);
 /// Max over rows of Σ|value| — the induced ∞-norm ‖A‖∞, i.e. the per-entry
 /// amplification factor of `y = A·x` error bounds. 0 for an empty matrix.
 double MaxAbsRowSum(const CsrMatrix& a);
+
+/// Same, reading rows through a patch overlay (matrix/csr_overlay.h).
+double MaxAbsRowSum(const CsrOverlay& a);
+
+/// Σ|value| of one overlay row — the shared inner loop of the overlay
+/// MaxAbsRowSum and of the incrementally maintained per-row sums in
+/// engine/snapshot.cc, whose bit-identity to a full rescan depends on
+/// both using exactly this accumulation.
+double RowAbsSum(const CsrRowSpan& row);
 
 /// Boolean sparse product over {0,1}: returns a CSR matrix whose (i,j) entry
 /// is 1 iff `sum_k a(i,k) b(k,j) > 0`. Used by the zero-similarity analyzer

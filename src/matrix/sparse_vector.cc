@@ -43,6 +43,25 @@ void SparseAccumulator::ScatterTransposed(const CsrMatrix& a,
   }
 }
 
+void SparseAccumulator::ScatterTransposed(const CsrOverlay& a,
+                                          const SparseVector& x) {
+  for (size_t i = 0; i < x.idx.size(); ++i) {
+    const int64_t j = x.idx[i];
+    SRS_DCHECK(j >= 0 && j < a.rows());
+    const double xj = x.val[i];
+    const CsrRowSpan row = a.Row(j);
+    for (int64_t k = 0; k < row.nnz; ++k) {
+      const int32_t r = row.cols[k];
+      // Same operand order as the row gather (see the CsrMatrix overload).
+      values_[static_cast<size_t>(r)] += row.vals[k] * xj;
+      if (!marked_[static_cast<size_t>(r)]) {
+        marked_[static_cast<size_t>(r)] = 1;
+        touched_.push_back(r);
+      }
+    }
+  }
+}
+
 void SparseAccumulator::EmitPruned(double prune_epsilon, SparseVector* out) {
   std::sort(touched_.begin(), touched_.end());
   out->Clear();
@@ -72,6 +91,17 @@ void SparseAccumulator::EmitDense(double prune_epsilon, int64_t n,
 }
 
 void GatherMultiplyPruned(const CsrMatrix& a, const std::vector<double>& x,
+                          double prune_epsilon, std::vector<double>* y) {
+  y->resize(static_cast<size_t>(a.rows()));
+  a.MultiplyVector(x.data(), y->data());
+  if (prune_epsilon > 0.0) {
+    for (double& v : *y) {
+      if (std::fabs(v) <= prune_epsilon) v = 0.0;
+    }
+  }
+}
+
+void GatherMultiplyPruned(const CsrOverlay& a, const std::vector<double>& x,
                           double prune_epsilon, std::vector<double>* y) {
   y->resize(static_cast<size_t>(a.rows()));
   a.MultiplyVector(x.data(), y->data());

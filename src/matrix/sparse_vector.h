@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "srs/matrix/csr_matrix.h"
+#include "srs/matrix/csr_overlay.h"
 
 namespace srs {
 
@@ -76,6 +77,12 @@ class SparseAccumulator {
   /// be ascending and within [0, a.rows()).
   void ScatterTransposed(const CsrMatrix& a, const SparseVector& x);
 
+  /// Same product, reading rows through a patch overlay
+  /// (matrix/csr_overlay.h) — how the dynamic-graph kernels scatter a
+  /// versioned matrix without materializing it. Bitwise identical to
+  /// scattering the overlay's Compact()ed matrix.
+  void ScatterTransposed(const CsrOverlay& a, const SparseVector& x);
+
   /// Distinct indices touched since the last Emit.
   size_t TouchedCount() const { return touched_.size(); }
 
@@ -99,6 +106,10 @@ class SparseAccumulator {
 /// as CsrMatrix::MultiplyVector (bitwise identical), then entries with
 /// |value| <= `prune_epsilon` are clipped to 0. `y` is resized to a.rows().
 void GatherMultiplyPruned(const CsrMatrix& a, const std::vector<double>& x,
+                          double prune_epsilon, std::vector<double>* y);
+
+/// Overlay form of the pruned gather (same bit-compatibility contract).
+void GatherMultiplyPruned(const CsrOverlay& a, const std::vector<double>& x,
                           double prune_epsilon, std::vector<double>* y);
 
 }  // namespace srs

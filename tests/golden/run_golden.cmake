@@ -106,11 +106,50 @@ if(NOT topk_early_sparse_out STREQUAL topk_early_out)
                       "--- dense ----\n${topk_early_out}")
 endif()
 
+# --- Run 5: --apply-delta pinned across backends. --------------------------
+# Applies the checked-in golden.delta copy-on-write and serves the new
+# version through incrementally patched snapshots. The stdout is pinned
+# (drift means the dynamic-update path changed scores) and the sparse
+# backend at epsilon 0 must reproduce it byte for byte — the bit-identity
+# contract extended to versioned serving.
+execute_process(
+  COMMAND "${SRS_QUERY}" --graph "${GOLDEN_DIR}/golden.edges"
+          --apply-delta "${GOLDEN_DIR}/golden.delta"
+          --query 4 --query 9 --topk 5 --measure gsr-star
+          --damping 0.6 --iterations 8 --threads 2
+  OUTPUT_VARIABLE delta_out
+  ERROR_VARIABLE delta_err
+  RESULT_VARIABLE delta_rc)
+if(NOT delta_rc EQUAL 0)
+  message(FATAL_ERROR
+          "srs_query --apply-delta run failed (${delta_rc}):\n${delta_err}")
+endif()
+execute_process(
+  COMMAND "${SRS_QUERY}" --graph "${GOLDEN_DIR}/golden.edges"
+          --apply-delta "${GOLDEN_DIR}/golden.delta"
+          --query 4 --query 9 --topk 5 --measure gsr-star
+          --damping 0.6 --iterations 8 --threads 2
+          --backend sparse --prune-eps 0
+  OUTPUT_VARIABLE delta_sparse_out
+  ERROR_VARIABLE delta_sparse_err
+  RESULT_VARIABLE delta_sparse_rc)
+if(NOT delta_sparse_rc EQUAL 0)
+  message(FATAL_ERROR "srs_query sparse --apply-delta run failed "
+                      "(${delta_sparse_rc}):\n${delta_sparse_err}")
+endif()
+if(NOT delta_sparse_out STREQUAL delta_out)
+  message(FATAL_ERROR "sparse backend at --prune-eps 0 diverged from the "
+                      "dense --apply-delta stdout\n"
+                      "--- sparse ---\n${delta_sparse_out}\n"
+                      "--- dense ----\n${delta_out}")
+endif()
+
 if(REGENERATE)
   file(WRITE "${GOLDEN_DIR}/topk.golden" "${topk_out}")
   file(WRITE "${GOLDEN_DIR}/sources_topk.golden" "${sources_out}")
   file(WRITE "${GOLDEN_DIR}/all_pairs.golden" "${all_pairs_out}")
   file(WRITE "${GOLDEN_DIR}/topk_early.golden" "${topk_early_out}")
+  file(WRITE "${GOLDEN_DIR}/apply_delta.golden" "${delta_out}")
   message(STATUS "regenerated goldens in ${GOLDEN_DIR}")
   return()
 endif()
@@ -122,3 +161,5 @@ check_output("all-pairs TSV" "${all_pairs_out}"
              "${GOLDEN_DIR}/all_pairs.golden")
 check_output("early-terminated top-k stdout" "${topk_early_out}"
              "${GOLDEN_DIR}/topk_early.golden")
+check_output("apply-delta stdout" "${delta_out}"
+             "${GOLDEN_DIR}/apply_delta.golden")

@@ -10,8 +10,10 @@
 
 #include "srs/engine/query_engine.h"
 #include "srs/engine/snapshot.h"
+#include "srs/graph/delta.h"
 #include "srs/graph/generators.h"
 #include "srs/graph/graph_builder.h"
+#include "srs/graph/versioned_graph.h"
 
 namespace srs {
 namespace {
@@ -214,6 +216,79 @@ TEST(SnapshotCacheTest, EnginesOverSameGraphShareOneSnapshot) {
   EXPECT_EQ(e1.snapshot().get(), e2.snapshot().get());
   EXPECT_EQ(snapshots.Stats().misses, 1u);
   EXPECT_EQ(snapshots.Stats().hits, 1u);
+}
+
+// --- Regression: the options digest must fold the snapshot version ------
+//
+// ResultKey's graph fingerprint is deliberately *version-stable* (one
+// chain, one fingerprint), so before the fix the digest was identical for
+// every version of a chain and a shared cache would happily serve a
+// pre-delta row to a post-delta query. The version fingerprint folded into
+// ResultDigest is what makes that impossible.
+
+TEST(ResultCacheTest, DigestSeparatesSnapshotVersions) {
+  SimilarityOptions options;
+  for (int tag = 0; tag < 3; ++tag) {
+    EXPECT_NE(ResultDigest(options, tag, 0),
+              ResultDigest(options, tag, 0x1234abcdULL));
+    EXPECT_NE(ResultDigest(options, tag, 0x1234abcdULL),
+              ResultDigest(options, tag, 0x1234abceULL));
+    // Unversioned call sites keep their canonical digest.
+    EXPECT_EQ(ResultDigest(options, tag), ResultDigest(options, tag, 0));
+  }
+}
+
+TEST(ResultCacheTest, SharedCacheNeverServesAcrossVersions) {
+  const Graph base = Rmat(30, 120, 11).ValueOrDie();
+  VersionedGraph vg((Graph(base)));
+  EdgeDelta::Builder builder;
+  builder.Insert(1, 2).Insert(2, 3).Remove(0, 1);
+  SRS_CHECK_OK(vg.Apply(builder.Build(30).ValueOrDie()).status());
+
+  SnapshotCache snapshots;
+  auto cache = std::make_shared<ResultCache>();
+  QueryEngineOptions opts;
+  opts.result_cache = cache;
+  opts.snapshot_cache = &snapshots;
+
+  // Warm version 0, then query version 1 through the same shared cache
+  // WITHOUT delta propagation: every v1 answer must be computed fresh
+  // (digest mismatch), bit-identical to a rebuild — not v0's rows.
+  std::vector<NodeId> sources;
+  for (NodeId i = 0; i < 30; ++i) sources.push_back(i);
+  QueryEngine v0 = QueryEngine::Create(vg, 0, opts).MoveValueOrDie();
+  const auto v0_rows =
+      v0.BatchScores(QueryMeasure::kSimRankStarGeometric, sources)
+          .MoveValueOrDie();
+
+  QueryEngine v1 = QueryEngine::Create(vg, 1, opts).MoveValueOrDie();
+  const ResultCacheStats before = cache->Stats();
+  const auto v1_rows =
+      v1.BatchScores(QueryMeasure::kSimRankStarGeometric, sources)
+          .MoveValueOrDie();
+  const ResultCacheStats after = cache->Stats();
+  EXPECT_EQ(after.hits, before.hits) << "v1 must not hit v0 entries";
+
+  SnapshotCache fresh(2);
+  QueryEngineOptions cold_opts;
+  cold_opts.snapshot_cache = &fresh;
+  QueryEngine cold =
+      QueryEngine::Create(vg.Materialize(1).ValueOrDie(), cold_opts)
+          .MoveValueOrDie();
+  const auto want =
+      cold.BatchScores(QueryMeasure::kSimRankStarGeometric, sources)
+          .MoveValueOrDie();
+  bool any_difference = false;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    ASSERT_EQ(v1_rows[i].size(), want[i].size());
+    for (size_t j = 0; j < want[i].size(); ++j) {
+      ASSERT_EQ(v1_rows[i][j], want[i][j]) << "source " << i;
+    }
+    if (v1_rows[i] != v0_rows[i]) any_difference = true;
+  }
+  // Sanity: the delta actually moved some scores, so serving v0 rows
+  // would have been observably wrong.
+  EXPECT_TRUE(any_difference);
 }
 
 }  // namespace

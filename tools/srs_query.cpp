@@ -5,6 +5,7 @@
 //             [--measure NAME] [--topk K] [--damping C]
 //             [--iterations K | --epsilon E] [--threads N] [--tile T]
 //             [--backend dense|sparse] [--prune-eps E] [--cache-mb MB]
+//             [--apply-delta FILE]... [--version V]
 //             [--stats] [--undirected] [--all-pairs OUT.tsv]
 //
 // Measures: gsr-star (default), esr-star, simrank, rwr, prank, mc-star.
@@ -29,6 +30,16 @@
 // early-termination summary on exit. Scores below 1e-4 are sieved out of
 // the TSV.
 //
+// Dynamic graphs: each --apply-delta FILE (repeatable, applied in order)
+// is a batch of edge inserts/deletes — `+ u v` / `- u v` per line with
+// original node ids, '#' comments — applied copy-on-write on top of the
+// loaded graph (graph/versioned_graph.h). Under --undirected every op is
+// mirrored, matching how the edge list was loaded. The engine measures
+// then serve the chosen --version (0 = the loaded graph, default = after
+// the last delta) through incrementally patched snapshots, bit-identical
+// to reloading the mutated edge list from scratch; the matrix-based
+// measures materialize the served version first.
+//
 // Examples:
 //   srs_query --graph cit.txt --query 42 --query 7 --topk 20 --threads 8
 //   srs_query --graph dblp.txt --undirected --measure esr-star --query 7
@@ -36,11 +47,14 @@
 //   srs_query --graph web.txt --all-pairs scores.tsv --threads 8 --tile 64
 //   srs_query --graph web.txt --sources-file seeds.txt --all-pairs out.tsv \
 //             --cache-mb 256 --stats
+//   srs_query --graph cit.txt --apply-delta day1.delta --apply-delta \
+//             day2.delta --query 42 --topk 10
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -58,8 +72,10 @@
 #include "srs/engine/result_cache.h"
 #include "srs/engine/topk_engine.h"
 #include "srs/eval/ranking.h"
+#include "srs/graph/delta.h"
 #include "srs/graph/graph_io.h"
 #include "srs/graph/stats.h"
+#include "srs/graph/versioned_graph.h"
 
 namespace {
 
@@ -77,7 +93,9 @@ struct CliOptions {
   std::string measure = "gsr-star";
   std::string all_pairs_out;
   std::string sources_file;
+  std::vector<std::string> delta_files;
   std::vector<int64_t> queries;
+  int64_t version = -1;  // -1 = after the last applied delta
   int topk = 10;
   int tile = 0;      // 0 = engine default
   int cache_mb = 0;  // 0 = no result cache
@@ -96,6 +114,7 @@ void Usage(const char* argv0) {
                "[--epsilon E] [--threads N]\n"
                "          [--tile T] [--backend dense|sparse] "
                "[--prune-eps E] [--cache-mb MB]\n"
+               "          [--apply-delta FILE]... [--version V]\n"
                "          [--stats] [--undirected] [--all-pairs OUT.tsv]\n",
                argv0);
 }
@@ -164,6 +183,21 @@ bool ParseCli(int argc, char** argv, CliOptions* options) {
       const char* v = next_value();
       if (v == nullptr) return false;
       options->cache_mb = std::atoi(v);
+    } else if (arg == "--apply-delta") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options->delta_files.push_back(v);
+    } else if (arg == "--version") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      options->version = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || options->version < 0) {
+        std::fprintf(stderr,
+                     "--version: '%s' is not a non-negative version id\n",
+                     v);
+        return false;
+      }
     } else if (arg == "--all-pairs") {
       const char* v = next_value();
       if (v == nullptr) return false;
@@ -260,8 +294,8 @@ srs::Result<srs::DenseMatrix> ComputeDenseAllPairs(const srs::Graph& g,
 /// back to per-query full-row evaluation and report no termination
 /// diagnostics (levels_total == 0).
 srs::Result<std::vector<srs::TopKResult>> ComputeBatchTopK(
-    const srs::Graph& g, const std::vector<srs::NodeId>& batch,
-    const CliOptions& options,
+    const srs::Graph& g, const srs::VersionedGraph* vg, uint64_t version,
+    const std::vector<srs::NodeId>& batch, const CliOptions& options,
     const std::shared_ptr<srs::ResultCache>& cache) {
   srs::QueryMeasure measure;
   if (IsEngineMeasure(options.measure, &measure)) {
@@ -270,6 +304,14 @@ srs::Result<std::vector<srs::TopKResult>> ComputeBatchTopK(
     engine_options.similarity.top_k = options.topk;
     engine_options.num_threads = options.sim.num_threads;
     engine_options.result_cache = cache;
+    // With --apply-delta the engine serves the requested version through
+    // an incrementally patched snapshot instead of a fresh build.
+    if (vg != nullptr) {
+      SRS_ASSIGN_OR_RETURN(
+          srs::TopKEngine engine,
+          srs::TopKEngine::Create(*vg, version, engine_options));
+      return engine.BatchTopK(measure, batch);
+    }
     SRS_ASSIGN_OR_RETURN(srs::TopKEngine engine,
                          srs::TopKEngine::Create(g, engine_options));
     return engine.BatchTopK(measure, batch);
@@ -305,7 +347,8 @@ srs::Result<std::vector<srs::TopKResult>> ComputeBatchTopK(
 /// Writes sieved scores for `sources` (or every node when empty) as TSV.
 /// Engine measures stream tiles through the AllPairsEngine; the dense
 /// baselines materialize their matrix first.
-srs::Status WriteAllPairs(const srs::Graph& g,
+srs::Status WriteAllPairs(const srs::Graph& g, const srs::VersionedGraph* vg,
+                          uint64_t version,
                           const std::vector<srs::NodeId>& sources,
                           const CliOptions& options,
                           const std::shared_ptr<srs::ResultCache>& cache) {
@@ -322,8 +365,11 @@ srs::Status WriteAllPairs(const srs::Graph& g,
     engine_options.num_threads = options.sim.num_threads;
     engine_options.tile_size = options.tile;
     engine_options.result_cache = cache;
-    SRS_ASSIGN_OR_RETURN(srs::AllPairsEngine engine,
-                         srs::AllPairsEngine::Create(g, engine_options));
+    SRS_ASSIGN_OR_RETURN(
+        srs::AllPairsEngine engine,
+        vg != nullptr
+            ? srs::AllPairsEngine::Create(*vg, version, engine_options)
+            : srs::AllPairsEngine::Create(g, engine_options));
     std::vector<srs::NodeId> row_sources = sources;
     if (row_sources.empty()) {
       row_sources.resize(static_cast<size_t>(g.NumNodes()));
@@ -362,6 +408,48 @@ srs::Status WriteAllPairs(const srs::Graph& g,
   return srs::Status::OK();
 }
 
+/// Maps one delta file's raw ops (original ids + file:line origins)
+/// through the loaded graph's labels and applies it to `vg`. Under
+/// --undirected every op is mirrored, matching how the edge list was
+/// loaded — so serving the delta stays bit-identical to reloading the
+/// mutated undirected edge list from scratch.
+srs::Status ApplyDeltaFile(const srs::Graph& g, bool undirected,
+                           const std::string& path,
+                           srs::VersionedGraph* vg) {
+  SRS_ASSIGN_OR_RETURN(std::vector<srs::RawEdgeOp> raw,
+                       srs::LoadEdgeDeltaOps(path));
+  srs::EdgeDelta::Builder builder;
+  builder.Reserve(raw.size());
+  for (const srs::RawEdgeOp& op : raw) {
+    auto map_label = [&](int64_t label) -> srs::Result<srs::NodeId> {
+      srs::Result<srs::NodeId> node = g.FindLabel(std::to_string(label));
+      if (!node.ok()) {
+        return srs::Status::InvalidArgument(
+            op.origin + ": node id " + std::to_string(label) +
+            " is not in the loaded graph (" + std::to_string(g.NumNodes()) +
+            " nodes; deltas cannot add nodes)");
+      }
+      return node;
+    };
+    SRS_ASSIGN_OR_RETURN(srs::NodeId u, map_label(op.u));
+    SRS_ASSIGN_OR_RETURN(srs::NodeId v, map_label(op.v));
+    if (op.insert) {
+      builder.Insert(u, v);
+      if (undirected && u != v) builder.Insert(v, u);
+    } else {
+      builder.Remove(u, v);
+      if (undirected && u != v) builder.Remove(v, u);
+    }
+  }
+  SRS_ASSIGN_OR_RETURN(srs::EdgeDelta delta, builder.Build(g.NumNodes()));
+  SRS_ASSIGN_OR_RETURN(uint64_t version, vg->Apply(delta));
+  std::fprintf(stderr, "applied %s: %zu op(s) -> version %llu (%lld edges)\n",
+               path.c_str(), delta.size(),
+               static_cast<unsigned long long>(version),
+               static_cast<long long>(vg->NumEdges(version)));
+  return srs::Status::OK();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -385,6 +473,52 @@ int main(int argc, char** argv) {
   if (srs::Status st = options.sim.Validate(); !st.ok()) {
     std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
     return 1;
+  }
+
+  // --apply-delta builds a copy-on-write version chain over the loaded
+  // graph; --version picks the version served (default: the last one).
+  std::optional<srs::VersionedGraph> versioned;
+  uint64_t serve_version = 0;
+  if (!options.delta_files.empty() || options.version >= 0) {
+    versioned.emplace(srs::Graph(g));
+    for (const std::string& path : options.delta_files) {
+      if (srs::Status st =
+              ApplyDeltaFile(g, options.undirected, path, &*versioned);
+          !st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    serve_version = options.version >= 0
+                        ? static_cast<uint64_t>(options.version)
+                        : versioned->CurrentVersion();
+    if (serve_version > versioned->CurrentVersion()) {
+      std::fprintf(stderr,
+                   "error: --version: %lld is out of range (have versions "
+                   "0..%llu)\n",
+                   static_cast<long long>(options.version),
+                   static_cast<unsigned long long>(
+                       versioned->CurrentVersion()));
+      return 1;
+    }
+  }
+  // The matrix-based measures have no incremental path; they run over the
+  // served version materialized as a standalone graph.
+  std::optional<srs::Graph> materialized;
+  const srs::Graph* dense_graph = &g;
+  {
+    srs::QueryMeasure engine_measure;
+    if (versioned.has_value() &&
+        !IsEngineMeasure(options.measure, &engine_measure)) {
+      srs::Result<srs::Graph> built = versioned->Materialize(serve_version);
+      if (!built.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     built.status().ToString().c_str());
+        return 1;
+      }
+      materialized.emplace(built.MoveValueOrDie());
+      dense_graph = &*materialized;
+    }
   }
 
   // One result cache shared by the all-pairs and the top-k serving paths:
@@ -423,8 +557,9 @@ int main(int argc, char** argv) {
 
   if (!options.all_pairs_out.empty()) {
     // With explicit sources the TSV is restricted to those rows.
-    if (srs::Status st =
-            WriteAllPairs(g, batch.ValueOrDie(), options, cache);
+    if (srs::Status st = WriteAllPairs(
+            *dense_graph, versioned.has_value() ? &*versioned : nullptr,
+            serve_version, batch.ValueOrDie(), options, cache);
         !st.ok()) {
       std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
       return 1;
@@ -445,8 +580,9 @@ int main(int argc, char** argv) {
                    options.topk, static_cast<long long>(g.NumNodes()));
       return 1;
     }
-    srs::Result<std::vector<srs::TopKResult>> results =
-        ComputeBatchTopK(g, batch.ValueOrDie(), options, cache);
+    srs::Result<std::vector<srs::TopKResult>> results = ComputeBatchTopK(
+        *dense_graph, versioned.has_value() ? &*versioned : nullptr,
+        serve_version, batch.ValueOrDie(), options, cache);
     if (!results.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    results.status().ToString().c_str());
