@@ -143,7 +143,7 @@ void RunConfig(const char* name, srs::Graph base, bool localized,
 
   // Steady state before the delta: snapshot resolved, working set cached.
   srs::QueryEngine warm =
-      srs::QueryEngine::Create(vg, 0, opts).MoveValueOrDie();
+      srs::QueryEngine::Create({vg, 0}, opts).MoveValueOrDie();
   SRS_CHECK_OK(
       warm.BatchScores(srs::QueryMeasure::kSimRankStarGeometric, batch)
           .status());
@@ -173,7 +173,7 @@ void RunConfig(const char* name, srs::Graph base, bool localized,
   r.evicted = inv.evicted;
   r.requery_inc_s = TimeSeconds([&] {
     srs::QueryEngine engine =
-        srs::QueryEngine::Create(vg, vg.CurrentVersion(), opts)
+        srs::QueryEngine::Create({vg, vg.CurrentVersion()}, opts)
             .MoveValueOrDie();
     SRS_CHECK_OK(
         engine.BatchScores(srs::QueryMeasure::kSimRankStarGeometric, batch)

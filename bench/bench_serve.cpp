@@ -1,0 +1,578 @@
+// bench_serve — closed-loop load generator for the srs_serve stack.
+//
+// Two in-process scenarios (default mode) answer the serving PR's
+// acceptance questions with numbers:
+//
+//  1. **Coalescing sweep**: for max_batch in {64, 1} and concurrent
+//     closed-loop clients in {4, 16, 64}, measure QPS and latency
+//     percentiles against a server over the same community graph. The
+//     batch-1 server is the "no coalescing" baseline (the admission queue
+//     degenerates to FIFO of single-source engine calls); the headline
+//     ratio qps(coalesced)/qps(batch-1) at 64 clients demonstrates the
+//     win and is emitted as its own JSON line.
+//
+//  2. **Delta swap under traffic**: clients hammer a fixed source pool
+//     while the main thread applies an EdgeDelta mid-run. Every response
+//     carries the version it was served at; afterwards each recorded
+//     response is checked byte-for-byte against a reference answer
+//     recomputed at that exact version — `torn` counts responses that
+//     match neither the pre- nor post-delta answer and must be 0.
+//
+// Usage (in-process): bench_serve [scale] [seed] [--json] [--json-out P]
+//
+// Smoke mode drives an already-running srs_serve over TCP (used by the CI
+// serve-smoke job, which starts the binary, parses its "listening on"
+// line, and asserts non-zero QPS here):
+//
+//   bench_serve --connect HOST PORT [--clients N] [--seconds S]
+//               [--shutdown] [--json] [--json-out PATH]
+//
+// --shutdown sends the protocol "shutdown" op at the end so the job can
+// also assert a clean server exit.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "bench_util.h"
+#include "srs/common/macros.h"
+#include "srs/common/parallel.h"
+#include "srs/common/rng.h"
+#include "srs/engine/result_cache.h"
+#include "srs/engine/service.h"
+#include "srs/graph/delta.h"
+#include "srs/graph/graph_builder.h"
+#include "srs/server/client.h"
+#include "srs/server/server.h"
+
+namespace {
+
+using srs::bench::JsonLine;
+
+constexpr int kCommunitySize = 100;
+constexpr int kDegree = 4;
+
+srs::Graph CommunityGraph(int64_t num_nodes, uint64_t seed) {
+  srs::Rng rng(seed);
+  srs::GraphBuilder builder(num_nodes);
+  builder.ReserveEdges(static_cast<size_t>(num_nodes) * kDegree);
+  for (int64_t u = 0; u < num_nodes; ++u) {
+    const int64_t lo = (u / kCommunitySize) * kCommunitySize;
+    const int64_t hi = std::min(num_nodes, lo + kCommunitySize);
+    for (int d = 0; d < kDegree; ++d) {
+      const auto v = static_cast<srs::NodeId>(
+          lo + static_cast<int64_t>(
+                   rng.Uniform(static_cast<uint64_t>(hi - lo))));
+      if (v != u) {
+        SRS_CHECK_OK(builder.AddEdge(static_cast<srs::NodeId>(u), v));
+      }
+    }
+  }
+  return builder.Build().MoveValueOrDie();
+}
+
+double PercentileMs(std::vector<double>* latencies_ms, double p) {
+  if (latencies_ms->empty()) return 0.0;
+  std::sort(latencies_ms->begin(), latencies_ms->end());
+  const auto rank = static_cast<size_t>(
+      p / 100.0 * static_cast<double>(latencies_ms->size() - 1) + 0.5);
+  return (*latencies_ms)[std::min(rank, latencies_ms->size() - 1)];
+}
+
+srs::JsonValue QueryLine(srs::NodeId source) {
+  srs::JsonValue request = srs::JsonValue::MakeObject();
+  request.Set("op", "query");
+  srs::JsonValue sources = srs::JsonValue::MakeArray();
+  sources.Append(static_cast<int64_t>(source));
+  request.Set("sources", std::move(sources));
+  return request;
+}
+
+/// The version-semantic payload of a query response's rows: the ranking
+/// (or full score vector), stripped of serving metadata. Fields like
+/// `served_from_cache` and `levels_evaluated` legitimately differ between
+/// a cold answer and a cache hit for the same (version, source) — a torn
+/// answer means the *scores* disagree with the claimed version.
+std::string SemanticRows(const srs::JsonValue& rows) {
+  srs::JsonValue out = srs::JsonValue::MakeArray();
+  for (const srs::JsonValue& row : rows.array()) {
+    const srs::JsonValue* payload = row.Find("ranking");
+    if (payload == nullptr) payload = row.Find("scores");
+    SRS_CHECK(payload != nullptr);
+    out.Append(*payload);
+  }
+  return out.Encode();
+}
+
+/// One closed-loop client: connect, fire single-source queries back to
+/// back until `stop`, recording per-request wall latency. Returns the
+/// count of "status":"ok" responses; errors other than the shutdown race
+/// abort the run loudly.
+struct ClientResult {
+  uint64_t ok = 0;
+  std::vector<double> latencies_ms;
+  // Delta-swap scenario only: (version, source, encoded rows) per response.
+  std::vector<std::tuple<uint64_t, srs::NodeId, std::string>> answers;
+};
+
+ClientResult RunClient(int port, const std::vector<srs::NodeId>& sources,
+                       uint64_t seed, const std::atomic<bool>& stop,
+                       bool record_answers) {
+  ClientResult result;
+  srs::SrsClient client =
+      srs::SrsClient::Connect("127.0.0.1", port).MoveValueOrDie();
+  srs::Rng rng(seed);
+  while (!stop.load(std::memory_order_relaxed)) {
+    const srs::NodeId source = sources[rng.Uniform(sources.size())];
+    const auto begin = std::chrono::steady_clock::now();
+    srs::Result<srs::JsonValue> response = client.Call(QueryLine(source));
+    const auto end = std::chrono::steady_clock::now();
+    if (!response.ok()) {
+      // The only acceptable failure is the connection dying in the
+      // stop/shutdown race at the very end of a window.
+      if (stop.load(std::memory_order_relaxed)) break;
+      std::fprintf(stderr, "client error: %s\n",
+                   response.status().ToString().c_str());
+      std::exit(1);
+    }
+    const srs::JsonValue* status = response.ValueOrDie().Find("status");
+    if (status == nullptr || status->AsString() != "ok") {
+      std::fprintf(stderr, "unexpected response: %s\n",
+                   response.ValueOrDie().Encode().c_str());
+      std::exit(1);
+    }
+    result.ok++;
+    result.latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(end - begin).count());
+    if (record_answers) {
+      const srs::JsonValue* version = response.ValueOrDie().Find("version");
+      const srs::JsonValue* rows = response.ValueOrDie().Find("rows");
+      result.answers.emplace_back(
+          static_cast<uint64_t>(version->AsNumber()), source,
+          SemanticRows(*rows));
+    }
+  }
+  return result;
+}
+
+struct WindowResult {
+  double qps = 0, p50_ms = 0, p95_ms = 0, p99_ms = 0;
+  uint64_t responses = 0, coalesced = 0, batches = 0;
+};
+
+/// Runs `clients` closed-loop clients against `server` for `seconds`.
+WindowResult RunWindow(srs::SrsServer* server, int clients, double seconds,
+                       const std::vector<srs::NodeId>& sources,
+                       uint64_t seed) {
+  const srs::AdmissionQueueStats before = server->QueueStats();
+  std::atomic<bool> stop{false};
+  std::vector<ClientResult> results(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  const auto begin = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      results[c] = RunClient(server->port(), sources,
+                             srs::DeriveSeed(seed, 1000 + c), stop,
+                             /*record_answers=*/false);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+
+  WindowResult w;
+  std::vector<double> latencies;
+  for (ClientResult& r : results) {
+    w.responses += r.ok;
+    latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                     r.latencies_ms.end());
+  }
+  w.qps = elapsed > 0 ? static_cast<double>(w.responses) / elapsed : 0;
+  w.p50_ms = PercentileMs(&latencies, 50);
+  w.p95_ms = PercentileMs(&latencies, 95);
+  w.p99_ms = PercentileMs(&latencies, 99);
+  const srs::AdmissionQueueStats after = server->QueueStats();
+  w.coalesced = after.coalesced - before.coalesced;
+  w.batches = after.batches - before.batches;
+  return w;
+}
+
+std::unique_ptr<srs::SrsService> MakeService(int64_t n, uint64_t seed) {
+  srs::SrsServiceOptions options;
+  options.similarity.damping = 0.6;
+  options.similarity.iterations = 5;
+  options.similarity.top_k = 8;  // ranked answers: small response lines
+  options.num_threads = srs::HardwareThreads();
+  // Hot-set serving regime: a shared result cache, warmed by the sweep's
+  // warmup window. This is the regime coalescing targets — per-source
+  // work collapses to a cache probe, so throughput is bounded by
+  // per-call serving overhead (dispatcher wakeups, service lock, engine
+  // dispatch), exactly what merging entries into one call amortizes.
+  options.result_cache = std::make_shared<srs::ResultCache>();
+  return srs::SrsService::Create(CommunityGraph(n, seed), options)
+      .MoveValueOrDie();
+}
+
+void CoalescingSweep(int64_t n, double seconds, uint64_t seed, bool json) {
+  srs::bench::PrintHeader("serve: closed-loop QPS vs clients (n=" +
+                          std::to_string(n) + ")");
+  srs::Rng rng(srs::DeriveSeed(seed, 7));
+  std::vector<srs::NodeId> sources;
+  for (int i = 0; i < 512; ++i) {
+    sources.push_back(static_cast<srs::NodeId>(rng.Uniform(n)));
+  }
+
+  // qps[max_batch][clients] for the headline ratio.
+  std::map<int, std::map<int, double>> qps;
+  for (const int max_batch : {64, 1}) {
+    std::unique_ptr<srs::SrsService> service =
+        MakeService(n, srs::DeriveSeed(seed, 1));
+    srs::ServerOptions server_options;
+    server_options.admission.max_batch_sources =
+        static_cast<size_t>(max_batch);
+    server_options.admission.max_pending = 4096;
+    std::unique_ptr<srs::SrsServer> server =
+        srs::SrsServer::Start(service.get(), server_options)
+            .MoveValueOrDie();
+
+    // Warm the engines so the sweep measures steady-state serving.
+    RunWindow(server.get(), 2, seconds / 4, sources,
+              srs::DeriveSeed(seed, 2));
+
+    for (const int clients : {4, 16, 64}) {
+      const WindowResult w =
+          RunWindow(server.get(), clients, seconds, sources,
+                    srs::DeriveSeed(seed, 100 + clients));
+      qps[max_batch][clients] = w.qps;
+      std::printf(
+          "max_batch=%-3d clients=%-3d  qps %9.1f  p50 %7.2f ms  "
+          "p95 %7.2f ms  p99 %7.2f ms  batches %llu coalesced %llu\n",
+          max_batch, clients, w.qps, w.p50_ms, w.p95_ms, w.p99_ms,
+          static_cast<unsigned long long>(w.batches),
+          static_cast<unsigned long long>(w.coalesced));
+      if (json) {
+        JsonLine("serve")
+            .Add("n", n)
+            .Add("max_batch", max_batch)
+            .Add("clients", clients)
+            .Add("qps", w.qps)
+            .Add("p50_ms", w.p50_ms)
+            .Add("p95_ms", w.p95_ms)
+            .Add("p99_ms", w.p99_ms)
+            .Add("responses", static_cast<int64_t>(w.responses))
+            .Add("batches", static_cast<int64_t>(w.batches))
+            .Add("coalesced", static_cast<int64_t>(w.coalesced))
+            .Print();
+      }
+    }
+    server->RequestShutdown();
+    server->Wait();
+  }
+
+  const double gain =
+      qps[1][64] > 0 ? qps[64][64] / qps[1][64] : 0.0;
+  std::printf("coalescing gain at 64 clients: %.2fx (%.1f vs %.1f qps)\n",
+              gain, qps[64][64], qps[1][64]);
+  if (json) {
+    JsonLine("serve_coalescing_gain")
+        .Add("clients", 64)
+        .Add("qps_coalesced", qps[64][64])
+        .Add("qps_batch1", qps[1][64])
+        .Add("gain", gain)
+        .Print();
+  }
+}
+
+void DeltaSwapScenario(int64_t n, double seconds, uint64_t seed,
+                       bool json) {
+  srs::bench::PrintHeader("serve: delta swap under traffic (n=" +
+                          std::to_string(n) + ")");
+  std::unique_ptr<srs::SrsService> service =
+      MakeService(n, srs::DeriveSeed(seed, 1));
+  srs::ServerOptions server_options;
+  server_options.admission.max_pending = 4096;
+  std::unique_ptr<srs::SrsServer> server =
+      srs::SrsServer::Start(service.get(), server_options).MoveValueOrDie();
+
+  // Sources inside the block the delta rewires — where pre- and
+  // post-delta answers genuinely differ, so a torn answer would show.
+  std::vector<srs::NodeId> sources;
+  for (srs::NodeId s = 0; s < 32; ++s) sources.push_back(s);
+
+  constexpr int kClients = 16;
+  std::atomic<bool> stop{false};
+  std::vector<ClientResult> results(kClients);
+  std::vector<std::thread> threads;
+  const auto begin = std::chrono::steady_clock::now();
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      results[c] = RunClient(server->port(), sources,
+                             srs::DeriveSeed(seed, 2000 + c), stop,
+                             /*record_answers=*/true);
+    });
+  }
+
+  // Mid-window: rewire block 0 through the protocol.
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds / 2));
+  {
+    srs::SrsClient admin =
+        srs::SrsClient::Connect("127.0.0.1", server->port())
+            .MoveValueOrDie();
+    srs::JsonValue request = srs::JsonValue::MakeObject();
+    request.Set("op", "apply_delta");
+    srs::JsonValue insert = srs::JsonValue::MakeArray();
+    srs::JsonValue remove = srs::JsonValue::MakeArray();
+    for (srs::NodeId u = 0; u < 16; ++u) {
+      srs::JsonValue edge = srs::JsonValue::MakeArray();
+      edge.Append(static_cast<int64_t>(u));
+      edge.Append(static_cast<int64_t>((u + 7) % kCommunitySize));
+      insert.Append(std::move(edge));
+    }
+    const auto nbrs = service->graph().OutNeighbors(0, 0);
+    if (!nbrs.empty()) {
+      srs::JsonValue edge = srs::JsonValue::MakeArray();
+      edge.Append(static_cast<int64_t>(0));
+      edge.Append(static_cast<int64_t>(nbrs[0]));
+      remove.Append(std::move(edge));
+    }
+    request.Set("insert", std::move(insert));
+    if (!remove.array().empty()) request.Set("remove", std::move(remove));
+    srs::JsonValue response = admin.Call(request).ValueOrDie();
+    const srs::JsonValue* status = response.Find("status");
+    SRS_CHECK(status != nullptr && status->AsString() == "ok");
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds / 2));
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+
+  // Reference answers, recomputed per (version, source) through the same
+  // protocol with the version pinned explicitly. The COW versioned graph
+  // still serves version 0 after the swap.
+  std::map<std::pair<uint64_t, srs::NodeId>, std::string> reference;
+  {
+    srs::SrsClient ref =
+        srs::SrsClient::Connect("127.0.0.1", server->port())
+            .MoveValueOrDie();
+    for (const uint64_t version : {uint64_t{0}, uint64_t{1}}) {
+      for (const srs::NodeId source : sources) {
+        srs::JsonValue request = QueryLine(source);
+        request.Set("version", version);
+        srs::JsonValue response = ref.Call(request).ValueOrDie();
+        const srs::JsonValue* rows = response.Find("rows");
+        SRS_CHECK(rows != nullptr);
+        reference[{version, source}] = SemanticRows(*rows);
+      }
+    }
+  }
+
+  uint64_t torn = 0, pre = 0, post = 0, responses = 0;
+  std::vector<double> latencies;
+  for (ClientResult& r : results) {
+    responses += r.ok;
+    latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                     r.latencies_ms.end());
+    for (const auto& [version, source, rows] : r.answers) {
+      if (version == 0) {
+        pre++;
+      } else {
+        post++;
+      }
+      const auto it = reference.find({version, source});
+      if (it == reference.end() || it->second != rows) torn++;
+    }
+  }
+  const double qps =
+      elapsed > 0 ? static_cast<double>(responses) / elapsed : 0;
+  const double p99 = PercentileMs(&latencies, 99);
+  std::printf(
+      "delta swap: %llu responses (%llu pre, %llu post), torn %llu, "
+      "qps %9.1f, p99 %7.2f ms\n",
+      static_cast<unsigned long long>(responses),
+      static_cast<unsigned long long>(pre),
+      static_cast<unsigned long long>(post),
+      static_cast<unsigned long long>(torn), qps, p99);
+  if (torn != 0) {
+    std::fprintf(stderr, "FAIL: %llu torn response(s)\n",
+                 static_cast<unsigned long long>(torn));
+    std::exit(1);
+  }
+  if (json) {
+    JsonLine("serve_delta_swap")
+        .Add("n", n)
+        .Add("clients", kClients)
+        .Add("responses", static_cast<int64_t>(responses))
+        .Add("pre_version_responses", static_cast<int64_t>(pre))
+        .Add("post_version_responses", static_cast<int64_t>(post))
+        .Add("torn", static_cast<int64_t>(torn))
+        .Add("qps", qps)
+        .Add("p99_ms", p99)
+        .Print();
+  }
+  server->RequestShutdown();
+  server->Wait();
+}
+
+/// Smoke mode: closed-loop clients against an external srs_serve.
+int RunSmoke(const std::string& host, int port, int clients, double seconds,
+             bool send_shutdown, bool json) {
+  // Size the source pool from the server's own stats line.
+  int64_t num_nodes = 0;
+  {
+    srs::Result<srs::SrsClient> probe = srs::SrsClient::Connect(host, port);
+    if (!probe.ok()) {
+      std::fprintf(stderr, "connect: %s\n",
+                   probe.status().ToString().c_str());
+      return 1;
+    }
+    srs::JsonValue request = srs::JsonValue::MakeObject();
+    request.Set("op", "stats");
+    srs::Result<srs::JsonValue> response =
+        probe.ValueOrDie().Call(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "stats: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    const srs::JsonValue* stats = response.ValueOrDie().Find("stats");
+    const srs::JsonValue* n =
+        stats == nullptr ? nullptr : stats->Find("num_nodes");
+    if (n == nullptr) {
+      std::fprintf(stderr, "stats response lacks num_nodes: %s\n",
+                   response.ValueOrDie().Encode().c_str());
+      return 1;
+    }
+    num_nodes = static_cast<int64_t>(n->AsNumber());
+  }
+  std::vector<srs::NodeId> sources;
+  srs::Rng rng(7);
+  for (int i = 0; i < 64; ++i) {
+    sources.push_back(static_cast<srs::NodeId>(rng.Uniform(num_nodes)));
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<ClientResult> results(clients);
+  std::vector<std::thread> threads;
+  const auto begin = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      srs::SrsClient client =
+          srs::SrsClient::Connect(host, port).MoveValueOrDie();
+      srs::Rng client_rng(srs::DeriveSeed(7, 3000 + c));
+      while (!stop.load(std::memory_order_relaxed)) {
+        const srs::NodeId source =
+            sources[client_rng.Uniform(sources.size())];
+        const auto t0 = std::chrono::steady_clock::now();
+        srs::Result<srs::JsonValue> response =
+            client.Call(QueryLine(source));
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!response.ok()) break;
+        const srs::JsonValue* status =
+            response.ValueOrDie().Find("status");
+        if (status == nullptr || status->AsString() != "ok") continue;
+        results[c].ok++;
+        results[c].latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+
+  uint64_t responses = 0;
+  std::vector<double> latencies;
+  for (ClientResult& r : results) {
+    responses += r.ok;
+    latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                     r.latencies_ms.end());
+  }
+  const double qps =
+      elapsed > 0 ? static_cast<double>(responses) / elapsed : 0;
+  std::printf("smoke: %llu responses in %.2fs (%.1f qps), p99 %.2f ms\n",
+              static_cast<unsigned long long>(responses), elapsed, qps,
+              PercentileMs(&latencies, 99));
+  if (json) {
+    JsonLine("serve_smoke")
+        .Add("clients", clients)
+        .Add("seconds", seconds)
+        .Add("responses", static_cast<int64_t>(responses))
+        .Add("qps", qps)
+        .Print();
+  }
+  if (send_shutdown) {
+    srs::Result<srs::SrsClient> admin = srs::SrsClient::Connect(host, port);
+    if (admin.ok()) {
+      srs::JsonValue request = srs::JsonValue::MakeObject();
+      request.Set("op", "shutdown");
+      (void)admin.ValueOrDie().Call(request);
+    }
+  }
+  return responses > 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Smoke mode has its own flags, so detect it before BenchArgs parsing
+  // (which rejects unknown flags by design).
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--connect") != 0) continue;
+    if (i + 2 >= argc) {
+      std::fprintf(stderr, "--connect needs HOST PORT\n");
+      return 2;
+    }
+    const std::string host = argv[i + 1];
+    const int port = std::atoi(argv[i + 2]);
+    int clients = 8;
+    double seconds = 2.0;
+    bool send_shutdown = false;
+    bool json = false;
+    for (int j = 1; j < argc; ++j) {
+      const std::string arg = argv[j];
+      if (arg == "--clients" && j + 1 < argc) clients = std::atoi(argv[++j]);
+      else if (arg == "--seconds" && j + 1 < argc)
+        seconds = std::atof(argv[++j]);
+      else if (arg == "--shutdown") send_shutdown = true;
+      else if (arg == "--json") json = true;
+      else if (arg == "--json-out" && j + 1 < argc) {
+        FILE* file = std::fopen(argv[++j], "a");
+        if (file == nullptr) {
+          std::fprintf(stderr, "--json-out: cannot append to %s\n", argv[j]);
+          return 2;
+        }
+        srs::bench::JsonOutFile() = file;
+        json = true;
+      }
+    }
+    return RunSmoke(host, port, std::max(1, clients), seconds,
+                    send_shutdown, json);
+  }
+
+  const srs::bench::BenchArgs args = srs::bench::ParseArgs(argc, argv);
+  const auto n = static_cast<int64_t>(2000 * args.scale);
+  const double window = 0.8 * std::max(0.25, args.scale);
+  CoalescingSweep(n, window, args.seed, args.json);
+  DeltaSwapScenario(std::max<int64_t>(400, n / 4), window, args.seed,
+                    args.json);
+  return 0;
+}

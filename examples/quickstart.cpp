@@ -8,16 +8,17 @@
 #include <cstdio>
 
 #include "srs/baselines/simrank_psum.h"
+#include "srs/common/json.h"
 #include "srs/core/memo_gsr_star.h"
-#include "srs/engine/all_pairs_engine.h"
-#include "srs/engine/query_engine.h"
 #include "srs/engine/result_cache.h"
+#include "srs/engine/service.h"
 #include "srs/engine/topk_engine.h"
 #include "srs/eval/ranking.h"
 #include "srs/graph/delta.h"
 #include "srs/graph/fixtures.h"
 #include "srs/graph/graph_builder.h"
-#include "srs/graph/versioned_graph.h"
+#include "srs/server/client.h"
+#include "srs/server/server.h"
 
 int main() {
   // --- 1. Build a graph by hand (or load one: srs::LoadEdgeList). ---------
@@ -57,54 +58,52 @@ int main() {
               "now count\n\n",
               star.At(h, d));
 
-  // --- 4. Query-time top-k without the dense matrix. ----------------------
-  // The QueryEngine snapshots the graph once and serves whole batches of
-  // single-source queries across a pooled set of workers.
-  srs::QueryEngineOptions engine_opts;
-  engine_opts.similarity = paper_opts;
-  engine_opts.num_threads = 0;  // 0 = all hardware threads
-  srs::QueryEngine engine =
-      srs::QueryEngine::Create(fig1, engine_opts).MoveValueOrDie();
-  const std::vector<std::vector<srs::RankedNode>> rankings =
-      engine
-          .BatchTopK(srs::QueryMeasure::kSimRankStarGeometric, {h, d},
-                     /*k=*/3)
-          .ValueOrDie();
-  for (size_t i = 0; i < rankings.size(); ++i) {
-    const srs::NodeId query = (i == 0 ? h : d);
+  // --- 4. Query-time serving through the SrsService facade. ---------------
+  // One service owns the graph's version chain, a shared result cache, and
+  // a small LRU of warm engines; one QueryRequest describes any
+  // single-source workload. top_k >= 1 serves rankings through the
+  // early-terminating TopKEngine.
+  auto cache = std::make_shared<srs::ResultCache>();
+  srs::SrsServiceOptions service_opts;
+  service_opts.similarity = paper_opts;
+  service_opts.num_threads = 0;  // 0 = all hardware threads
+  service_opts.result_cache = cache;
+  std::unique_ptr<srs::SrsService> service =
+      srs::SrsService::Create(srs::Graph(fig1), service_opts).ValueOrDie();
+
+  srs::QueryRequest ranked;
+  ranked.measure = srs::QueryMeasure::kSimRankStarGeometric;
+  ranked.sources = {h, d};
+  ranked.options = paper_opts;
+  ranked.options.top_k = 3;
+  srs::QueryResponse top3 = service->Query(ranked).ValueOrDie();
+  for (const srs::QueryRowResult& row : top3.rows) {
     std::printf("top-3 nodes most similar to '%s' (batched single-source "
                 "SimRank*):\n",
-                fig1.LabelOf(query).c_str());
-    for (const srs::RankedNode& r : rankings[i]) {
+                fig1.LabelOf(row.source).c_str());
+    for (const srs::RankedNode& r : row.ranking) {
       std::printf("  %-2s %.4f\n", fig1.LabelOf(r.node).c_str(), r.score);
     }
   }
 
-  // --- 5. Multi-source rows with a shared result cache. -------------------
-  // The AllPairsEngine streams whole source sets (up to full all-pairs)
-  // tile by tile; a ResultCache shared with the QueryEngine serves repeated
-  // rows without recomputation. Both engines also share one snapshot of the
-  // graph via the global SnapshotCache.
-  auto cache = std::make_shared<srs::ResultCache>();
-  srs::AllPairsOptions ap_opts;
-  ap_opts.similarity = paper_opts;
-  ap_opts.num_threads = 0;  // 0 = all hardware threads
-  ap_opts.result_cache = cache;
-  srs::AllPairsEngine all_pairs =
-      srs::AllPairsEngine::Create(fig1, ap_opts).MoveValueOrDie();
-  const srs::DenseMatrix rows =
-      all_pairs
-          .ComputeRows(srs::QueryMeasure::kSimRankStarGeometric, {h, d})
-          .ValueOrDie();
-  std::printf("\nAllPairsEngine rows: s*(h,d) = %.4f (matches step 3 above)\n",
-              rows.At(0, d));
+  // --- 5. Full score rows, served from the shared result cache. -----------
+  // top_k == 0 serves whole rows (the QueryEngine underneath); a repeated
+  // request is answered from the cache without recomputation. StreamRows
+  // does the same for tiled source sets up to full all-pairs.
+  srs::QueryRequest rows_request;
+  rows_request.measure = srs::QueryMeasure::kSimRankStarGeometric;
+  rows_request.sources = {h, d};
+  rows_request.options = paper_opts;
+  srs::QueryResponse rows = service->Query(rows_request).ValueOrDie();
+  std::printf("\nfull-row serving: s*(h,d) = %.4f (matches step 3 above)\n",
+              rows.rows[0].scores[static_cast<size_t>(d)]);
   // A second pass over the same sources is served entirely from the cache.
-  all_pairs.ComputeRows(srs::QueryMeasure::kSimRankStarGeometric, {h, d})
-      .ValueOrDie();
+  service->Query(rows_request).ValueOrDie();
   std::printf("%s\n", cache->StatsString().c_str());
 
   // --- 6. Top-k with bound-based early termination. -----------------------
-  // The TopKEngine stops each query's level recurrence as soon as the
+  // The service's ranked path is the TopKEngine; driving it directly shows
+  // the mechanics. Each query's level recurrence stops as soon as the
   // analytic residual bounds prove the top-k set and order — exact, while
   // often evaluating a fraction of the levels the accuracy-driven K would
   // run (the win grows with the accuracy demand; see bench_topk).
@@ -126,29 +125,49 @@ int main() {
       results[0].levels_evaluated, results[0].levels_total);
 
   // --- 7. Dynamic updates: apply a delta and re-query. --------------------
-  // Real graphs mutate. A VersionedGraph applies EdgeDelta batches
-  // copy-on-write; the engines then serve any version through snapshots
-  // patched row by row — bit-identical to rebuilding the mutated graph,
-  // without the rebuild. Here 'd' gains the citation h -> d, which lifts
-  // its similarity standing around 'h'.
-  srs::VersionedGraph versioned((srs::Graph(fig1)));
+  // Real graphs mutate. ApplyDelta applies the edge batch copy-on-write,
+  // derives the new snapshot incrementally, carries provably-unaffected
+  // cached rows across the version, and swaps the served version — the
+  // answers are bit-identical to rebuilding the mutated graph, without the
+  // rebuild. Here 'd' gains the citation h -> d, which lifts its
+  // similarity standing around 'h'.
   srs::EdgeDelta::Builder delta;
   delta.Insert(h, d);
   const uint64_t v1 =
-      versioned.Apply(delta.Build(versioned.NumNodes()).ValueOrDie())
+      service->ApplyDelta(delta.Build(service->NumNodes()).ValueOrDie())
           .ValueOrDie();
-  srs::QueryEngine updated =
-      srs::QueryEngine::Create(versioned, v1, engine_opts).MoveValueOrDie();
-  const std::vector<std::vector<srs::RankedNode>> after =
-      updated.BatchTopK(srs::QueryMeasure::kSimRankStarGeometric, {h},
-                        /*k=*/3)
-          .ValueOrDie();
+  srs::QueryRequest after_request = ranked;
+  after_request.sources = {h};
+  after_request.version = v1;  // kLatestVersion now resolves to v1 too
+  srs::QueryResponse after = service->Query(after_request).ValueOrDie();
   std::printf("\nafter inserting edge %s -> %s (version %llu), top-3 for "
               "'%s':\n",
               fig1.LabelOf(h).c_str(), fig1.LabelOf(d).c_str(),
               static_cast<unsigned long long>(v1), fig1.LabelOf(h).c_str());
-  for (const srs::RankedNode& r : after[0]) {
+  for (const srs::RankedNode& r : after.rows[0].ranking) {
     std::printf("  %-2s %.4f\n", fig1.LabelOf(r.node).c_str(), r.score);
   }
+
+  // --- 8. Serve it over TCP: srs_serve in miniature. ----------------------
+  // SrsServer is the long-lived front door over the same service:
+  // line-delimited JSON on a TCP port, concurrent queries coalesced into
+  // engine batches, bounded admission, graceful delta swaps. (The
+  // standalone binary is tools/srs_serve; `srs_serve --graph my.edges`
+  // prints the port, then: printf '{"op":"query","sources":[4]}\n' | nc.)
+  std::unique_ptr<srs::SrsServer> server =
+      srs::SrsServer::Start(service.get()).ValueOrDie();
+  srs::SrsClient client =
+      srs::SrsClient::Connect("127.0.0.1", server->port()).ValueOrDie();
+  srs::JsonValue request = srs::JsonValue::MakeObject();
+  request.Set("op", "query");
+  srs::JsonValue sources = srs::JsonValue::MakeArray();
+  sources.Append(static_cast<int64_t>(h));
+  request.Set("sources", std::move(sources));
+  request.Set("top_k", 3);
+  srs::JsonValue response = client.Call(request).ValueOrDie();
+  std::printf("\nserved over 127.0.0.1:%d -> %s\n", server->port(),
+              response.Encode().c_str());
+  server->RequestShutdown();
+  server->Wait();
   return 0;
 }

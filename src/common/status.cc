@@ -26,6 +26,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal error";
     case StatusCode::kCapacityError:
       return "Capacity error";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -24,6 +24,8 @@ enum class StatusCode : int {
   kNotImplemented = 6,
   kInternal = 7,
   kCapacityError = 8,
+  kDeadlineExceeded = 9,
+  kUnavailable = 10,
 };
 
 /// \brief Returns a human-readable name for a StatusCode (e.g. "Invalid
@@ -70,6 +72,12 @@ class Status {
   static Status CapacityError(std::string msg) {
     return Status(StatusCode::kCapacityError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return state_ == nullptr; }
@@ -86,6 +94,10 @@ class Status {
   bool IsIoError() const { return code() == StatusCode::kIoError; }
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

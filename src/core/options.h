@@ -81,8 +81,77 @@ struct SimilarityOptions {
   /// identical for any value. Use srs::HardwareThreads() for all cores.
   int num_threads = 1;
 
-  /// Validates ranges; call before running an algorithm.
+  /// Validates ranges; call before running an algorithm. Equivalent to
+  /// ValidateSimilarityOptions(*this) — every field check lives there.
   Status Validate() const;
+};
+
+/// THE validator of SimilarityOptions: every range check of every field, in
+/// one place. Each error is InvalidArgument and names the offending field
+/// and the value it was given ("similarity.damping: must be in (0, 1), got
+/// 1.5"). Engines, the options builder, the CLI tools, and the server
+/// protocol all validate through this one function.
+Status ValidateSimilarityOptions(const SimilarityOptions& options);
+
+/// \brief Single validated construction path for SimilarityOptions.
+///
+/// Field validation used to be scattered: the engines re-checked backend /
+/// prune_epsilon / top_k on Create, srs_query re-checked the top-k range
+/// against the graph, and every site phrased its errors differently. The
+/// builder funnels them through one `Build()` that returns either a fully
+/// validated SimilarityOptions or an InvalidArgument naming the offending
+/// field and value. Setter arguments that cannot even be represented (an
+/// unknown backend name) are deferred: recorded on the builder and
+/// reported by Build(), so call sites never need mid-chain error checks.
+///
+/// \code
+///   SRS_ASSIGN_OR_RETURN(
+///       SimilarityOptions sim,
+///       SimilarityOptionsBuilder()
+///           .Damping(0.6).Epsilon(1e-6).BackendName("sparse")
+///           .PruneEpsilon(1e-4).TopK(10)
+///           .Build());
+/// \endcode
+class SimilarityOptionsBuilder {
+ public:
+  /// Starts from the paper's defaults.
+  SimilarityOptionsBuilder() = default;
+
+  /// Starts from an existing options value (e.g. a server's base config
+  /// that a request partially overrides).
+  explicit SimilarityOptionsBuilder(const SimilarityOptions& base)
+      : options_(base) {}
+
+  SimilarityOptionsBuilder& Damping(double v);
+  SimilarityOptionsBuilder& Iterations(int v);
+  SimilarityOptionsBuilder& Epsilon(double v);
+  SimilarityOptionsBuilder& SieveThreshold(double v);
+  SimilarityOptionsBuilder& Backend(KernelBackendKind v);
+  /// Parses "dense" / "sparse"; anything else is reported by Build().
+  SimilarityOptionsBuilder& BackendName(const std::string& name);
+  SimilarityOptionsBuilder& PruneEpsilon(double v);
+  SimilarityOptionsBuilder& TopK(int v);
+  SimilarityOptionsBuilder& TopKEarlyTermination(bool v);
+  SimilarityOptionsBuilder& NumThreads(int v);
+
+  /// Bounds top_k by a graph's node count: with this set, Build() requires
+  /// 1 <= top_k <= num_nodes whenever top_k > 0 (the check srs_query and
+  /// the server used to hand-roll against their loaded graphs).
+  SimilarityOptionsBuilder& NumNodesBound(int64_t num_nodes);
+
+  /// Requires top_k >= 1 (the TopKEngine precondition): a ranked-serving
+  /// configuration built without a k is an error, not a silent full row.
+  SimilarityOptionsBuilder& RequireTopK();
+
+  /// The validated options, or InvalidArgument naming the first offending
+  /// field and its value.
+  Result<SimilarityOptions> Build() const;
+
+ private:
+  SimilarityOptions options_;
+  Status deferred_;  // first unrepresentable setter argument
+  int64_t num_nodes_bound_ = -1;
+  bool require_top_k_ = false;
 };
 
 /// Smallest K such that C^{K+1} ≤ epsilon (geometric SimRank*/SimRank bound).

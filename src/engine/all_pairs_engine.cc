@@ -23,7 +23,7 @@ namespace {
 
 Result<AllPairsOptions> ResolveAllPairsOptions(
     const AllPairsOptions& options) {
-  SRS_RETURN_NOT_OK(options.similarity.Validate());
+  SRS_RETURN_NOT_OK(ValidateSimilarityOptions(options.similarity));
   AllPairsOptions resolved = options;
   if (resolved.num_threads <= 0) resolved.num_threads = HardwareThreads();
   if (resolved.tile_size <= 0) resolved.tile_size = 32;
@@ -36,26 +36,12 @@ Result<AllPairsOptions> ResolveAllPairsOptions(
 
 }  // namespace
 
-Result<AllPairsEngine> AllPairsEngine::Create(const Graph& g,
+Result<AllPairsEngine> AllPairsEngine::Create(const GraphRef& graph,
                                               const AllPairsOptions& options) {
   SRS_ASSIGN_OR_RETURN(AllPairsOptions resolved,
                        ResolveAllPairsOptions(options));
-  SnapshotCache& snapshots = resolved.snapshot_cache != nullptr
-                                 ? *resolved.snapshot_cache
-                                 : GlobalSnapshotCache();
-  return AllPairsEngine(snapshots.Get(g), resolved);
-}
-
-Result<AllPairsEngine> AllPairsEngine::Create(
-    const VersionedGraph& vg, uint64_t version,
-    const AllPairsOptions& options) {
-  SRS_ASSIGN_OR_RETURN(AllPairsOptions resolved,
-                       ResolveAllPairsOptions(options));
-  SnapshotCache& snapshots = resolved.snapshot_cache != nullptr
-                                 ? *resolved.snapshot_cache
-                                 : GlobalSnapshotCache();
   SRS_ASSIGN_OR_RETURN(std::shared_ptr<const GraphSnapshot> snapshot,
-                       snapshots.Get(vg, version));
+                       graph.Resolve(resolved.snapshot_cache));
   return AllPairsEngine(std::move(snapshot), resolved);
 }
 

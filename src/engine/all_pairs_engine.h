@@ -80,17 +80,12 @@ class AllPairsEngine {
       std::function<void(int64_t index, NodeId source,
                          const std::vector<double>& scores)>;
 
-  /// Obtains the shared snapshot for `g` and spins up the worker pool.
-  /// InvalidArgument on bad options.
-  static Result<AllPairsEngine> Create(const Graph& g,
-                                       const AllPairsOptions& options = {});
-
-  /// Serves `version` of a versioned graph — the snapshot is resolved
-  /// incrementally through the cache; rows are bit-identical to an engine
-  /// over `vg.Materialize(version)`. InvalidArgument on bad options or an
-  /// out-of-range version.
-  static Result<AllPairsEngine> Create(const VersionedGraph& vg,
-                                       uint64_t version,
+  /// Obtains the shared snapshot for the referenced graph — a plain Graph
+  /// or `{versioned_graph, version}` (engine/snapshot.h), the latter
+  /// resolved incrementally through the cache with rows bit-identical to
+  /// an engine over `vg.Materialize(version)` — and spins up the worker
+  /// pool. InvalidArgument on bad options or an out-of-range version.
+  static Result<AllPairsEngine> Create(const GraphRef& graph,
                                        const AllPairsOptions& options = {});
 
   AllPairsEngine(AllPairsEngine&&) = default;

@@ -134,7 +134,7 @@ namespace {
 /// top-k knob normalization that keeps their digests canonical.
 Result<QueryEngineOptions> ResolveFullRowOptions(
     const QueryEngineOptions& options) {
-  SRS_RETURN_NOT_OK(options.similarity.Validate());
+  SRS_RETURN_NOT_OK(ValidateSimilarityOptions(options.similarity));
   QueryEngineOptions resolved = options;
   if (resolved.num_threads <= 0) resolved.num_threads = HardwareThreads();
   // This engine serves full rows whatever the top-k knobs say; normalize
@@ -146,26 +146,12 @@ Result<QueryEngineOptions> ResolveFullRowOptions(
 
 }  // namespace
 
-Result<QueryEngine> QueryEngine::Create(const Graph& g,
+Result<QueryEngine> QueryEngine::Create(const GraphRef& graph,
                                         const QueryEngineOptions& options) {
   SRS_ASSIGN_OR_RETURN(QueryEngineOptions resolved,
                        ResolveFullRowOptions(options));
-  SnapshotCache& snapshots = resolved.snapshot_cache != nullptr
-                                 ? *resolved.snapshot_cache
-                                 : GlobalSnapshotCache();
-  return QueryEngine(snapshots.Get(g), resolved);
-}
-
-Result<QueryEngine> QueryEngine::Create(const VersionedGraph& vg,
-                                        uint64_t version,
-                                        const QueryEngineOptions& options) {
-  SRS_ASSIGN_OR_RETURN(QueryEngineOptions resolved,
-                       ResolveFullRowOptions(options));
-  SnapshotCache& snapshots = resolved.snapshot_cache != nullptr
-                                 ? *resolved.snapshot_cache
-                                 : GlobalSnapshotCache();
   SRS_ASSIGN_OR_RETURN(std::shared_ptr<const GraphSnapshot> snapshot,
-                       snapshots.Get(vg, version));
+                       graph.Resolve(resolved.snapshot_cache));
   return QueryEngine(std::move(snapshot), resolved);
 }
 

@@ -171,19 +171,15 @@ struct QueryEngineOptions {
 /// threads.
 class QueryEngine {
  public:
-  /// Snapshots `g`'s transition structure (via the snapshot cache) and
-  /// spins up the worker pool. InvalidArgument on bad options.
-  static Result<QueryEngine> Create(const Graph& g,
-                                    const QueryEngineOptions& options = {});
-
-  /// Serves `version` of a versioned graph (graph/versioned_graph.h): the
-  /// snapshot is resolved through the cache by (fingerprint, version) and
-  /// built incrementally from the nearest cached ancestor, sharing every
-  /// unmodified transition row with it. Scores are bit-identical to an
-  /// engine over `vg.Materialize(version)`. InvalidArgument on bad
+  /// Snapshots the referenced graph's transition structure (via the
+  /// snapshot cache) and spins up the worker pool. `graph` is either a
+  /// plain Graph or `{versioned_graph, version}` (engine/snapshot.h): a
+  /// versioned ref is resolved through the cache by (fingerprint, version)
+  /// and built incrementally from the nearest cached ancestor, sharing
+  /// every unmodified transition row with it — scores are bit-identical to
+  /// an engine over `vg.Materialize(version)`. InvalidArgument on bad
   /// options or an out-of-range version.
-  static Result<QueryEngine> Create(const VersionedGraph& vg,
-                                    uint64_t version,
+  static Result<QueryEngine> Create(const GraphRef& graph,
                                     const QueryEngineOptions& options = {});
 
   QueryEngine(QueryEngine&&) = default;

@@ -1,0 +1,246 @@
+#include "srs/engine/service.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "srs/common/hashing.h"
+#include "srs/engine/delta_invalidation.h"
+
+namespace srs {
+
+namespace {
+
+// Serving-shape tags folded into engine memo keys (private to the
+// service's LRU — unrelated to QueryMeasureTag).
+constexpr int kShapeFullRow = 0;
+constexpr int kShapeRanked = 1;
+constexpr int kShapeStream = 2;
+
+SnapshotCache* ResolveSnapshotCache(const SrsServiceOptions& options) {
+  return options.snapshot_cache != nullptr ? options.snapshot_cache
+                                           : &GlobalSnapshotCache();
+}
+
+}  // namespace
+
+SrsService::SrsService(Graph base, const SrsServiceOptions& options)
+    : options_(options), graph_(std::move(base)) {}
+
+Result<std::unique_ptr<SrsService>> SrsService::Create(
+    Graph base, const SrsServiceOptions& options) {
+  // The defaults are validated up front so protocol-level merging always
+  // starts from a servable configuration; per-request options are
+  // validated again by the engines they reach.
+  SRS_RETURN_NOT_OK(ValidateSimilarityOptions(options.similarity));
+  std::unique_ptr<SrsService> service(
+      new SrsService(std::move(base), options));
+  SRS_ASSIGN_OR_RETURN(
+      service->head_snapshot_,
+      ResolveSnapshotCache(service->options_)->Get(service->graph_, 0));
+  return service;
+}
+
+Result<uint64_t> SrsService::ResolveVersion(uint64_t requested) const {
+  if (requested == kLatestVersion) return served_version_;
+  if (requested > graph_.CurrentVersion()) {
+    return Status::InvalidArgument(
+        "version " + std::to_string(requested) +
+        " out of range; current head is " +
+        std::to_string(graph_.CurrentVersion()));
+  }
+  return requested;
+}
+
+uint64_t SrsService::EngineKey(int shape_tag,
+                               const SimilarityOptions& options,
+                               uint64_t version) const {
+  // ResultDigest already folds every score-affecting option plus the
+  // version fingerprint; the shape tag keeps the three engine kinds from
+  // ever sharing a slot even under identical options.
+  uint64_t h = FnvHashCombine(kFnvOffsetBasis,
+                              static_cast<uint64_t>(shape_tag));
+  h = FnvHashCombine(
+      h, ResultDigest(options, shape_tag, graph_.VersionFingerprint(version)));
+  return FnvHashCombine(h, version);
+}
+
+template <typename BuildFn>
+Result<SrsService::EngineSlot*> SrsService::GetSlot(uint64_t key,
+                                                    bool* reused,
+                                                    BuildFn build) {
+  for (EngineSlot& slot : engines_) {
+    if (slot.key == key) {
+      slot.last_use = ++use_counter_;
+      *reused = true;
+      ++stats_.engines_reused;
+      return &slot;
+    }
+  }
+  EngineSlot slot;
+  slot.key = key;
+  SRS_RETURN_NOT_OK(build(&slot));
+  slot.last_use = ++use_counter_;
+  *reused = false;
+  ++stats_.engines_created;
+  if (engines_.size() >= std::max<size_t>(1, options_.max_engines)) {
+    size_t victim = 0;
+    for (size_t i = 1; i < engines_.size(); ++i) {
+      if (engines_[i].last_use < engines_[victim].last_use) victim = i;
+    }
+    engines_.erase(engines_.begin() +
+                   static_cast<std::ptrdiff_t>(victim));
+  }
+  engines_.push_back(std::move(slot));
+  return &engines_.back();
+}
+
+Result<QueryResponse> SrsService::Query(const QueryRequest& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (request.deadline.has_value() &&
+      std::chrono::steady_clock::now() >= *request.deadline) {
+    return Status::DeadlineExceeded("deadline passed before dispatch");
+  }
+  SRS_ASSIGN_OR_RETURN(const uint64_t version,
+                       ResolveVersion(request.version));
+  const bool ranked = request.options.top_k > 0;
+
+  QueryResponse response;
+  response.version = version;
+  response.ranked = ranked;
+  ++stats_.queries;
+
+  if (ranked) {
+    const uint64_t key = EngineKey(kShapeRanked, request.options, version);
+    SRS_ASSIGN_OR_RETURN(
+        EngineSlot * slot,
+        GetSlot(key, &response.engine_reused, [&](EngineSlot* s) -> Status {
+          TopKEngineOptions opts;
+          opts.similarity = request.options;
+          opts.num_threads = options_.num_threads;
+          opts.result_cache = options_.result_cache;
+          opts.snapshot_cache = ResolveSnapshotCache(options_);
+          SRS_ASSIGN_OR_RETURN(TopKEngine engine,
+                               TopKEngine::Create({graph_, version}, opts));
+          s->ranked = std::make_unique<TopKEngine>(std::move(engine));
+          return Status::OK();
+        }));
+    SRS_ASSIGN_OR_RETURN(
+        std::vector<TopKResult> results,
+        slot->ranked->BatchTopK(request.measure, request.sources));
+    response.rows.resize(results.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      QueryRowResult& row = response.rows[i];
+      row.source = request.sources[i];
+      row.ranking = std::move(results[i].ranking);
+      row.levels_evaluated = results[i].levels_evaluated;
+      row.levels_total = results[i].levels_total;
+      row.residual_bound = results[i].residual_bound;
+      row.served_from_cache = results[i].served_from_cache;
+    }
+  } else {
+    const uint64_t key = EngineKey(kShapeFullRow, request.options, version);
+    SRS_ASSIGN_OR_RETURN(
+        EngineSlot * slot,
+        GetSlot(key, &response.engine_reused, [&](EngineSlot* s) -> Status {
+          QueryEngineOptions opts;
+          opts.similarity = request.options;
+          opts.num_threads = options_.num_threads;
+          opts.result_cache = options_.result_cache;
+          opts.snapshot_cache = ResolveSnapshotCache(options_);
+          SRS_ASSIGN_OR_RETURN(QueryEngine engine,
+                               QueryEngine::Create({graph_, version}, opts));
+          s->full = std::make_unique<QueryEngine>(std::move(engine));
+          return Status::OK();
+        }));
+    SRS_ASSIGN_OR_RETURN(
+        std::vector<std::vector<double>> scores,
+        slot->full->BatchScores(request.measure, request.sources));
+    response.rows.resize(scores.size());
+    for (size_t i = 0; i < scores.size(); ++i) {
+      response.rows[i].source = request.sources[i];
+      response.rows[i].scores = std::move(scores[i]);
+    }
+  }
+  stats_.rows_served += response.rows.size();
+  return response;
+}
+
+Status SrsService::StreamRows(const QueryRequest& request,
+                              const RowCallback& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (request.deadline.has_value() &&
+      std::chrono::steady_clock::now() >= *request.deadline) {
+    return Status::DeadlineExceeded("deadline passed before dispatch");
+  }
+  SRS_ASSIGN_OR_RETURN(const uint64_t version,
+                       ResolveVersion(request.version));
+  const uint64_t key = EngineKey(kShapeStream, request.options, version);
+  bool reused = false;
+  SRS_ASSIGN_OR_RETURN(
+      EngineSlot * slot,
+      GetSlot(key, &reused, [&](EngineSlot* s) -> Status {
+        AllPairsOptions opts;
+        opts.similarity = request.options;
+        opts.num_threads = options_.num_threads;
+        opts.tile_size = options_.tile_size;
+        opts.result_cache = options_.result_cache;
+        opts.snapshot_cache = ResolveSnapshotCache(options_);
+        SRS_ASSIGN_OR_RETURN(AllPairsEngine engine,
+                             AllPairsEngine::Create({graph_, version}, opts));
+        s->rows = std::make_unique<AllPairsEngine>(std::move(engine));
+        return Status::OK();
+      }));
+  ++stats_.queries;
+  SRS_RETURN_NOT_OK(
+      slot->rows->ForEachRow(request.measure, request.sources, fn));
+  stats_.rows_served += request.sources.size();
+  return Status::OK();
+}
+
+Result<uint64_t> SrsService::ApplyDelta(const EdgeDelta& delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SRS_ASSIGN_OR_RETURN(const uint64_t version, graph_.Apply(delta));
+  // Deriving through the cache is the incremental path: only the rows the
+  // delta touched are recomputed and patched over the head snapshot.
+  SRS_ASSIGN_OR_RETURN(
+      std::shared_ptr<const GraphSnapshot> child,
+      ResolveSnapshotCache(options_)->Get(graph_, version));
+  if (options_.result_cache != nullptr && head_snapshot_ != nullptr &&
+      child->version == head_snapshot_->version + 1) {
+    // Carry provably-unaffected rows (under the service's default digest)
+    // across the version step; rows cached under other option digests age
+    // out on their own. Propagation failure would leave stale-but-
+    // unreachable entries, never a wrong answer — the version fingerprint
+    // in every digest guarantees that — so it is not fatal here.
+    Result<DeltaInvalidationStats> propagated =
+        PropagateResultCacheAcrossDelta(options_.result_cache.get(),
+                                        *head_snapshot_, *child,
+                                        options_.similarity);
+    if (propagated.ok()) {
+      stats_.cache_rows_retained += propagated.ValueOrDie().retained;
+      stats_.cache_rows_evicted += propagated.ValueOrDie().evicted;
+    }
+  }
+  // The swap: from here on, kLatestVersion resolves to the child. Requests
+  // already dispatched finished before we took the lock, so every response
+  // is wholly one version.
+  head_snapshot_ = std::move(child);
+  served_version_ = version;
+  ++stats_.deltas_applied;
+  return version;
+}
+
+uint64_t SrsService::ServedVersion() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return served_version_;
+}
+
+int64_t SrsService::NumNodes() const { return graph_.NumNodes(); }
+
+ServiceStats SrsService::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace srs

@@ -345,4 +345,16 @@ SnapshotCache& GlobalSnapshotCache() {
   return *cache;
 }
 
+Result<std::shared_ptr<const GraphSnapshot>> GraphRef::Resolve(
+    SnapshotCache* cache) const {
+  SnapshotCache& snapshots =
+      cache != nullptr ? *cache : GlobalSnapshotCache();
+  if (graph_ != nullptr) return snapshots.Get(*graph_);
+  return snapshots.Get(*versioned_, version_);
+}
+
+int64_t GraphRef::NumNodes() const {
+  return graph_ != nullptr ? graph_->NumNodes() : versioned_->NumNodes();
+}
+
 }  // namespace srs

@@ -220,4 +220,42 @@ class SnapshotCache {
 /// supplied in their options.
 SnapshotCache& GlobalSnapshotCache();
 
+/// \brief The one graph-addressing argument of the serving engines: a plain
+/// `Graph` (served at its root snapshot) or one version of a
+/// `VersionedGraph`.
+///
+/// Every engine used to carry two `Create` overloads — `Create(Graph)` and
+/// `Create(VersionedGraph, version)` — each repeating the same
+/// resolve-options / pick-cache / fetch-snapshot dance. A GraphRef is that
+/// dance, once: engines take a single `Create(GraphRef, options)` and call
+/// `Resolve()`. The `Graph` conversion is implicit, so `Create(g, opts)`
+/// still reads naturally; a versioned ref is spelled `{vg, version}`.
+///
+/// A GraphRef is a borrowed view — it must not outlive the graph it names.
+/// Pass it down a call chain freely; do not store it.
+class GraphRef {
+ public:
+  /// A plain graph, served at its root snapshot.
+  GraphRef(const Graph& g) : graph_(&g) {}  // NOLINT implicit
+
+  /// One version of a versioned graph, served through the incrementally
+  /// resolved snapshot chain.
+  GraphRef(const VersionedGraph& vg, uint64_t version)
+      : versioned_(&vg), version_(version) {}
+
+  /// The serving snapshot, memoized through `cache`
+  /// (GlobalSnapshotCache() when null). InvalidArgument on an
+  /// out-of-range version.
+  Result<std::shared_ptr<const GraphSnapshot>> Resolve(
+      SnapshotCache* cache) const;
+
+  /// Nodes in the referenced graph (version-independent).
+  int64_t NumNodes() const;
+
+ private:
+  const Graph* graph_ = nullptr;
+  const VersionedGraph* versioned_ = nullptr;
+  uint64_t version_ = 0;
+};
+
 }  // namespace srs

@@ -27,39 +27,26 @@ namespace {
 
 Result<TopKEngineOptions> ResolveTopKOptions(
     const TopKEngineOptions& options) {
-  SRS_RETURN_NOT_OK(options.similarity.Validate());
-  if (options.similarity.top_k < 1) {
-    return Status::InvalidArgument(
-        "TopKEngine requires similarity.top_k >= 1, got " +
-        std::to_string(options.similarity.top_k));
-  }
+  // One validation path for every engine: the builder enforces the ranges
+  // plus this engine's top_k >= 1 precondition, naming field and value.
+  SRS_ASSIGN_OR_RETURN(SimilarityOptions validated,
+                       SimilarityOptionsBuilder(options.similarity)
+                           .RequireTopK()
+                           .Build());
   TopKEngineOptions resolved = options;
+  resolved.similarity = validated;
   if (resolved.num_threads <= 0) resolved.num_threads = HardwareThreads();
   return resolved;
 }
 
 }  // namespace
 
-Result<TopKEngine> TopKEngine::Create(const Graph& g,
+Result<TopKEngine> TopKEngine::Create(const GraphRef& graph,
                                       const TopKEngineOptions& options) {
   SRS_ASSIGN_OR_RETURN(TopKEngineOptions resolved,
                        ResolveTopKOptions(options));
-  SnapshotCache& snapshots = resolved.snapshot_cache != nullptr
-                                 ? *resolved.snapshot_cache
-                                 : GlobalSnapshotCache();
-  return TopKEngine(snapshots.Get(g), resolved);
-}
-
-Result<TopKEngine> TopKEngine::Create(const VersionedGraph& vg,
-                                      uint64_t version,
-                                      const TopKEngineOptions& options) {
-  SRS_ASSIGN_OR_RETURN(TopKEngineOptions resolved,
-                       ResolveTopKOptions(options));
-  SnapshotCache& snapshots = resolved.snapshot_cache != nullptr
-                                 ? *resolved.snapshot_cache
-                                 : GlobalSnapshotCache();
   SRS_ASSIGN_OR_RETURN(std::shared_ptr<const GraphSnapshot> snapshot,
-                       snapshots.Get(vg, version));
+                       graph.Resolve(resolved.snapshot_cache));
   return TopKEngine(std::move(snapshot), resolved);
 }
 

@@ -121,17 +121,13 @@ struct TopKResult {
 /// between engines.
 class TopKEngine {
  public:
-  /// Snapshots `g`'s transition structure and spins up the worker pool.
-  /// InvalidArgument on bad options — including `similarity.top_k` < 1.
-  static Result<TopKEngine> Create(const Graph& g,
-                                   const TopKEngineOptions& options = {});
-
-  /// Serves `version` of a versioned graph through the incrementally
-  /// resolved snapshot; rankings are bit-identical to an engine over
-  /// `vg.Materialize(version)`. InvalidArgument on bad options or an
-  /// out-of-range version.
-  static Result<TopKEngine> Create(const VersionedGraph& vg,
-                                   uint64_t version,
+  /// Snapshots the referenced graph's transition structure and spins up
+  /// the worker pool. `graph` is a plain Graph or `{versioned_graph,
+  /// version}` (engine/snapshot.h); a versioned ref serves the
+  /// incrementally resolved snapshot, bit-identical to an engine over
+  /// `vg.Materialize(version)`. InvalidArgument on bad options — including
+  /// `similarity.top_k` < 1 — or an out-of-range version.
+  static Result<TopKEngine> Create(const GraphRef& graph,
                                    const TopKEngineOptions& options = {});
 
   TopKEngine(TopKEngine&&) = default;

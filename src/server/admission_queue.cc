@@ -1,0 +1,102 @@
+#include "srs/server/admission_queue.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace srs {
+
+AdmissionQueue::AdmissionQueue(const AdmissionQueueOptions& options)
+    : options_(options) {}
+
+AdmissionQueue::Admit AdmissionQueue::Submit(Entry&& entry) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    if (closed_) {
+      ++stats_.closed;
+      return Admit::kClosed;
+    }
+    if (queue_.size() >= std::max<size_t>(1, options_.max_pending)) {
+      ++stats_.overloaded;
+      return Admit::kOverloaded;
+    }
+    queue_.push_back(std::move(entry));
+    ++stats_.admitted;
+  }
+  cv_.notify_one();
+  return Admit::kAdmitted;
+}
+
+bool AdmissionQueue::NextBatch(std::vector<Entry>* batch) {
+  batch->clear();
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    // Expire lazily at pop: entries sit unexamined while queued, so an
+    // expired one costs exactly one check here, on the dispatcher thread.
+    const auto now = std::chrono::steady_clock::now();
+    while (!queue_.empty() && queue_.front().request.deadline.has_value() &&
+           now >= *queue_.front().request.deadline) {
+      Entry expired = std::move(queue_.front());
+      queue_.pop_front();
+      ++stats_.expired;
+      expired.promise.set_value(
+          Status::DeadlineExceeded("expired while queued"));
+    }
+    if (queue_.empty()) {
+      if (closed_) return false;
+      continue;
+    }
+
+    Entry head = std::move(queue_.front());
+    queue_.pop_front();
+    const uint64_t key = head.key;
+    size_t sources = head.request.sources.size();
+    batch->push_back(std::move(head));
+    const size_t cap = std::max<size_t>(1, options_.max_batch_sources);
+    // Sweep the whole queue for same-key entries (FIFO within the key):
+    // coalescable work need not be adjacent when configurations
+    // interleave. Skipped entries keep their relative order.
+    for (auto it = queue_.begin(); it != queue_.end() && sources < cap;) {
+      if (it->key != key ||
+          sources + it->request.sources.size() > cap) {
+        ++it;
+        continue;
+      }
+      if (it->request.deadline.has_value() && now >= *it->request.deadline) {
+        ++it;  // let the lazy expiry at the next pop handle it
+        continue;
+      }
+      sources += it->request.sources.size();
+      batch->push_back(std::move(*it));
+      it = queue_.erase(it);
+      ++stats_.coalesced;
+    }
+    ++stats_.batches;
+    stats_.max_batch_entries =
+        std::max(stats_.max_batch_entries,
+                 static_cast<uint64_t>(batch->size()));
+    return true;
+  }
+}
+
+void AdmissionQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+AdmissionQueueStats AdmissionQueue::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t AdmissionQueue::Pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace srs

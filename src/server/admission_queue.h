@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file admission_queue.h
+/// \brief Bounded request-admission queue with same-configuration
+/// coalescing.
+///
+/// The engines are batch machines: one BatchScores / BatchTopK call over m
+/// sources amortizes snapshot access, pool dispatch, and per-worker
+/// workspace reuse across all m, so serving 64 concurrent single-source
+/// requests as one engine batch is far cheaper than 64 one-source calls.
+/// The AdmissionQueue turns concurrent request traffic into such batches:
+///
+///  * **admission** — connection threads `Submit()` entries; a full queue
+///    rejects with `kOverloaded` *without queueing* (explicit
+///    backpressure the client sees as `"status":"overload"`), and a
+///    closed queue rejects with `kClosed`;
+///  * **coalescing** — `NextBatch()` pops the oldest entry and every
+///    other queued entry with the same coalescing key — same measure,
+///    same options digest, same resolved graph version, stamped by the
+///    server at admission — up to `max_batch_sources` sources, preserving
+///    FIFO order within the key. The dispatcher runs the merged sources
+///    as one engine batch and scatters rows back per entry;
+///  * **deadlines** — an entry whose absolute deadline has passed by the
+///    time it is popped is completed immediately with DeadlineExceeded
+///    (its promise is fulfilled; it never reaches an engine);
+///  * **draining** — `Close()` stops admission but `NextBatch()` keeps
+///    returning queued work until empty, then returns false: shutdown
+///    answers everything already admitted.
+///
+/// One dispatcher thread consumes; any number of threads submit. Because
+/// the version is resolved at admission and folded into the key, a batch
+/// can never mix graph versions — a delta swap mid-traffic splits
+/// pre-/post-version requests into different batches by construction.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "srs/common/result.h"
+#include "srs/engine/service.h"
+
+namespace srs {
+
+/// Configuration of an AdmissionQueue.
+struct AdmissionQueueOptions {
+  /// Entries queued but not yet dispatched before Submit() rejects with
+  /// kOverloaded.
+  size_t max_pending = 1024;
+
+  /// Sources per coalesced engine batch (a single entry with more sources
+  /// than this still dispatches alone — requests are never split).
+  size_t max_batch_sources = 64;
+};
+
+/// Monotonic counters describing a queue's behavior.
+struct AdmissionQueueStats {
+  uint64_t submitted = 0;   ///< Submit() calls
+  uint64_t admitted = 0;    ///< entries accepted into the queue
+  uint64_t overloaded = 0;  ///< entries rejected by backpressure
+  uint64_t closed = 0;      ///< entries rejected after Close()
+  uint64_t expired = 0;     ///< entries completed as deadline-expired at pop
+  uint64_t batches = 0;     ///< NextBatch() calls that returned work
+  uint64_t coalesced = 0;   ///< entries merged into a batch beyond its first
+  uint64_t max_batch_entries = 0;  ///< largest entry count in one batch
+};
+
+/// \brief MPSC queue of admitted query entries, coalesced at pop.
+class AdmissionQueue {
+ public:
+  /// One admitted request: the query (version resolved, deadline
+  /// absolute), its coalescing key, and the promise the dispatcher
+  /// fulfills.
+  struct Entry {
+    uint64_t key = 0;
+    QueryRequest request;
+    std::promise<Result<QueryResponse>> promise;
+  };
+
+  enum class Admit { kAdmitted, kOverloaded, kClosed };
+
+  explicit AdmissionQueue(const AdmissionQueueOptions& options = {});
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Admits `entry` (moving it) or rejects it untouched — on rejection the
+  /// caller still owns the promise and reports the rejection itself.
+  Admit Submit(Entry&& entry);
+
+  /// Blocks for work; fills `*batch` with the oldest entry plus every
+  /// same-key entry that fits in max_batch_sources (FIFO within the key),
+  /// completing deadline-expired entries along the way. Returns false
+  /// only when the queue is closed and drained.
+  bool NextBatch(std::vector<Entry>* batch);
+
+  /// Stops admission; queued entries still drain through NextBatch().
+  void Close();
+
+  /// Current counters (a consistent view under the queue lock).
+  AdmissionQueueStats Stats() const;
+
+  /// Entries currently queued.
+  size_t Pending() const;
+
+ private:
+  const AdmissionQueueOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Entry> queue_;
+  bool closed_ = false;
+  AdmissionQueueStats stats_;
+};
+
+}  // namespace srs

@@ -1,0 +1,384 @@
+#include "srs/server/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "srs/common/hashing.h"
+
+namespace srs {
+
+namespace {
+
+/// Buffered reader of '\n'-terminated lines from a socket.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Fills `*line` (without the terminator); false on EOF or error.
+  bool ReadLine(std::string* line) {
+    while (true) {
+      const size_t newline = buffer_.find('\n', scanned_);
+      if (newline != std::string::npos) {
+        line->assign(buffer_, 0, newline);
+        buffer_.erase(0, newline + 1);
+        scanned_ = 0;
+        if (!line->empty() && line->back() == '\r') line->pop_back();
+        return true;
+      }
+      scanned_ = buffer_.size();
+      char chunk[4096];
+      const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (got <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(got));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+  size_t scanned_ = 0;
+};
+
+/// The coalescing key: measure × options digest × pinned version. Entries
+/// agreeing on the key are exactly the ones one engine batch can serve.
+uint64_t CoalescingKey(const QueryRequest& request) {
+  const int tag = QueryMeasureTag(request.measure);
+  uint64_t h = FnvHashCombine(kFnvOffsetBasis, static_cast<uint64_t>(tag));
+  h = FnvHashCombine(h, ResultDigest(request.options, tag, request.version));
+  return FnvHashCombine(h, request.version);
+}
+
+}  // namespace
+
+SrsServer::SrsServer(SrsService* service, const ServerOptions& options)
+    : service_(service), options_(options), queue_(options.admission) {}
+
+Result<std::unique_ptr<SrsServer>> SrsServer::Start(
+    SrsService* service, const ServerOptions& options) {
+  std::unique_ptr<SrsServer> server(new SrsServer(service, options));
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("bind 127.0.0.1:" +
+                           std::to_string(options.port) + ": " + err);
+  }
+  if (::listen(fd, 128) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("listen: " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+
+  server->listen_fd_ = fd;
+  server->port_ = static_cast<int>(ntohs(bound.sin_port));
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  server->dispatch_thread_ =
+      std::thread([s = server.get()] { s->DispatchLoop(); });
+  return server;
+}
+
+SrsServer::~SrsServer() {
+  RequestShutdown();
+  Wait();
+}
+
+void SrsServer::RequestShutdown() {
+  if (shutdown_requested_.exchange(true)) return;
+  // Wake the blocking accept(); the fd itself is closed in Wait(), after
+  // the accept thread has exited, so the descriptor cannot be reused
+  // under it.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  queue_.Close();
+  // Read-shutdown every open connection: blocked ReadLine()s return EOF
+  // once their current request (if any) has been answered and written.
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (int fd : open_fds_) ::shutdown(fd, SHUT_RD);
+}
+
+bool SrsServer::ShutdownRequested() const {
+  return shutdown_requested_.load();
+}
+
+void SrsServer::Wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  // No new connection threads can start now (the accept loop is gone);
+  // join whatever is left.
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns.swap(conn_threads_);
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void SrsServer::AcceptLoop() {
+  while (!shutdown_requested_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (or fatally broken): stop accepting
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (shutdown_requested_.load()) {
+      ::close(fd);
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.connections;
+    }
+    open_fds_.insert(fd);
+    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void SrsServer::HandleConnection(int fd) {
+  LineReader reader(fd);
+  std::string line;
+  bool keep_going = true;
+  while (keep_going && reader.ReadLine(&line)) {
+    if (line.empty()) continue;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.requests;
+    }
+    Result<ProtocolRequest> parsed =
+        ParseRequestLine(line, service_->default_similarity());
+    if (!parsed.ok()) {
+      CountResponse(false);
+      WriteLine(fd, MakeErrorResponse(JsonValue(), kStatusInvalidRequest,
+                                      parsed.status().message())
+                        .Encode());
+      continue;
+    }
+    keep_going = HandleRequest(fd, parsed.ValueOrDie());
+  }
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  open_fds_.erase(fd);
+  ::close(fd);
+}
+
+bool SrsServer::HandleRequest(int fd, const ProtocolRequest& request) {
+  switch (request.op) {
+    case ProtocolRequest::Op::kQuery:
+      HandleQuery(fd, request);
+      return true;
+    case ProtocolRequest::Op::kApplyDelta: {
+      EdgeDelta::Builder builder;
+      builder.Reserve(request.insert_edges.size() +
+                      request.remove_edges.size());
+      for (const auto& [u, v] : request.insert_edges) builder.Insert(u, v);
+      for (const auto& [u, v] : request.remove_edges) builder.Remove(u, v);
+      Result<EdgeDelta> delta = builder.Build(service_->NumNodes());
+      if (!delta.ok()) {
+        CountResponse(false);
+        WriteLine(fd, MakeErrorResponse(request.id,
+                                        ProtocolStatusFor(delta.status()),
+                                        delta.status().message())
+                          .Encode());
+        return true;
+      }
+      Result<uint64_t> version = service_->ApplyDelta(delta.ValueOrDie());
+      if (!version.ok()) {
+        CountResponse(false);
+        WriteLine(fd, MakeErrorResponse(request.id,
+                                        ProtocolStatusFor(version.status()),
+                                        version.status().message())
+                          .Encode());
+        return true;
+      }
+      JsonValue response = MakeResponse(request.id, kStatusOk);
+      response.Set("version", version.ValueOrDie());
+      CountResponse(true);
+      WriteLine(fd, response.Encode());
+      return true;
+    }
+    case ProtocolRequest::Op::kStats: {
+      JsonValue response = MakeResponse(request.id, kStatusOk);
+      const ServerStats server = Stats();
+      const AdmissionQueueStats queue = queue_.Stats();
+      const ServiceStats service = service_->Stats();
+      JsonValue s = JsonValue::MakeObject();
+      s.Set("connections", server.connections);
+      s.Set("requests", server.requests);
+      s.Set("responses_ok", server.responses_ok);
+      s.Set("responses_error", server.responses_error);
+      s.Set("admitted", queue.admitted);
+      s.Set("overloaded", queue.overloaded);
+      s.Set("expired", queue.expired);
+      s.Set("batches", queue.batches);
+      s.Set("coalesced", queue.coalesced);
+      s.Set("max_batch_entries", queue.max_batch_entries);
+      s.Set("queries", service.queries);
+      s.Set("rows_served", service.rows_served);
+      s.Set("engines_created", service.engines_created);
+      s.Set("engines_reused", service.engines_reused);
+      s.Set("deltas_applied", service.deltas_applied);
+      s.Set("served_version", service_->ServedVersion());
+      s.Set("num_nodes", service_->NumNodes());
+      response.Set("stats", std::move(s));
+      CountResponse(true);
+      WriteLine(fd, response.Encode());
+      return true;
+    }
+    case ProtocolRequest::Op::kShutdown: {
+      CountResponse(true);
+      WriteLine(fd, MakeResponse(request.id, kStatusOk).Encode());
+      RequestShutdown();
+      return false;
+    }
+  }
+  return true;
+}
+
+void SrsServer::HandleQuery(int fd, ProtocolRequest request) {
+  // Stamp at admission. Pinning kLatestVersion to the version served *now*
+  // is what makes a concurrent delta swap safe: this request's batch key
+  // names one exact version, so it either merged with pre-swap traffic or
+  // with post-swap traffic — never both, and never a torn answer.
+  if (request.query.version == kLatestVersion) {
+    request.query.version = service_->ServedVersion();
+  }
+  if (request.deadline_ms >= 0) {
+    request.query.deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(request.deadline_ms));
+  }
+
+  AdmissionQueue::Entry entry;
+  entry.key = CoalescingKey(request.query);
+  entry.request = std::move(request.query);
+  std::future<Result<QueryResponse>> future = entry.promise.get_future();
+
+  switch (queue_.Submit(std::move(entry))) {
+    case AdmissionQueue::Admit::kOverloaded:
+      CountResponse(false);
+      WriteLine(fd, MakeErrorResponse(request.id, kStatusOverload,
+                                      "admission queue full")
+                        .Encode());
+      return;
+    case AdmissionQueue::Admit::kClosed:
+      CountResponse(false);
+      WriteLine(fd, MakeErrorResponse(request.id, kStatusShuttingDown,
+                                      "server is shutting down")
+                        .Encode());
+      return;
+    case AdmissionQueue::Admit::kAdmitted:
+      break;
+  }
+
+  Result<QueryResponse> result = future.get();
+  if (!result.ok()) {
+    CountResponse(false);
+    WriteLine(fd, MakeErrorResponse(request.id,
+                                    ProtocolStatusFor(result.status()),
+                                    result.status().message())
+                      .Encode());
+    return;
+  }
+  CountResponse(true);
+  WriteLine(fd, EncodeQueryResponse(request.id, result.ValueOrDie()).Encode());
+}
+
+void SrsServer::DispatchLoop() {
+  std::vector<AdmissionQueue::Entry> batch;
+  while (queue_.NextBatch(&batch)) {
+    // All entries share the coalescing key: one merged engine call, rows
+    // scattered back by per-entry offsets.
+    QueryRequest merged;
+    merged.measure = batch[0].request.measure;
+    merged.options = batch[0].request.options;
+    merged.version = batch[0].request.version;
+    for (const AdmissionQueue::Entry& entry : batch) {
+      merged.sources.insert(merged.sources.end(),
+                            entry.request.sources.begin(),
+                            entry.request.sources.end());
+    }
+    Result<QueryResponse> result = service_->Query(merged);
+    if (!result.ok()) {
+      for (AdmissionQueue::Entry& entry : batch) {
+        entry.promise.set_value(result.status());
+      }
+      continue;
+    }
+    QueryResponse& combined = result.ValueOrDie();
+    size_t offset = 0;
+    for (AdmissionQueue::Entry& entry : batch) {
+      QueryResponse response;
+      response.version = combined.version;
+      response.ranked = combined.ranked;
+      response.engine_reused = combined.engine_reused;
+      const size_t count = entry.request.sources.size();
+      response.rows.reserve(count);
+      for (size_t i = 0; i < count; ++i) {
+        response.rows.push_back(std::move(combined.rows[offset + i]));
+      }
+      offset += count;
+      entry.promise.set_value(std::move(response));
+    }
+  }
+}
+
+void SrsServer::CountResponse(bool ok) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (ok) {
+    ++stats_.responses_ok;
+  } else {
+    ++stats_.responses_error;
+  }
+}
+
+Status SrsServer::WriteLine(int fd, const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+ServerStats SrsServer::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+AdmissionQueueStats SrsServer::QueueStats() const { return queue_.Stats(); }
+
+}  // namespace srs

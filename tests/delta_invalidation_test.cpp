@@ -71,7 +71,7 @@ TEST(DeltaInvalidationTest, NoStaleEntrySurvivesRandomDeltas) {
 
     // Warm every row at version 0.
     const std::vector<NodeId> sources = AllNodes(n);
-    Result<QueryEngine> warm = QueryEngine::Create(vg, 0, opts);
+    Result<QueryEngine> warm = QueryEngine::Create({vg, 0}, opts);
     ASSERT_TRUE(warm.ok());
     for (QueryMeasure m : {QueryMeasure::kSimRankStarGeometric,
                            QueryMeasure::kSimRankStarExponential,
@@ -111,7 +111,7 @@ TEST(DeltaInvalidationTest, NoStaleEntrySurvivesRandomDeltas) {
     QueryEngineOptions cold_opts;
     cold_opts.similarity = sim;
     cold_opts.snapshot_cache = &fresh;
-    Result<QueryEngine> served = QueryEngine::Create(vg, 1, opts);
+    Result<QueryEngine> served = QueryEngine::Create({vg, 1}, opts);
     Result<QueryEngine> cold =
         QueryEngine::Create(rebuilt.ValueOrDie(), cold_opts);
     ASSERT_TRUE(served.ok() && cold.ok());
@@ -163,7 +163,7 @@ TEST(DeltaInvalidationTest, FarSourcesSurviveAndServeAsHits) {
   opts.snapshot_cache = &snapshots;
 
   const std::vector<NodeId> sources = AllNodes(2 * half);
-  Result<QueryEngine> warm = QueryEngine::Create(vg, 0, opts);
+  Result<QueryEngine> warm = QueryEngine::Create({vg, 0}, opts);
   ASSERT_TRUE(warm.ok());
   ASSERT_TRUE(warm.ValueOrDie()
                   .BatchScores(QueryMeasure::kSimRankStarGeometric, sources)
@@ -191,7 +191,7 @@ TEST(DeltaInvalidationTest, FarSourcesSurviveAndServeAsHits) {
   // Survivors serve as hits, bit-identical to a cold rebuild.
   const ResultCacheStats before = cache->Stats();
   std::vector<NodeId> far_sources(sources.begin() + half, sources.end());
-  Result<QueryEngine> served = QueryEngine::Create(vg, 1, opts);
+  Result<QueryEngine> served = QueryEngine::Create({vg, 1}, opts);
   ASSERT_TRUE(served.ok());
   Result<std::vector<std::vector<double>>> got =
       served.ValueOrDie().BatchScores(QueryMeasure::kSimRankStarGeometric,
@@ -249,7 +249,7 @@ TEST(DeltaInvalidationTest, HorizonBoundaryIsSharp) {
   opts.snapshot_cache = &snapshots;
 
   const std::vector<NodeId> sources = AllNodes(n);
-  QueryEngine warm = QueryEngine::Create(vg, 0, opts).MoveValueOrDie();
+  QueryEngine warm = QueryEngine::Create({vg, 0}, opts).MoveValueOrDie();
   const auto v0_rows =
       warm.BatchScores(QueryMeasure::kSimRankStarGeometric, sources)
           .MoveValueOrDie();
@@ -271,7 +271,7 @@ TEST(DeltaInvalidationTest, HorizonBoundaryIsSharp) {
   // Serving any source through the carried cache must equal the cold
   // rebuild — including node 4, whose level-3 Qᵀ product reads the
   // rescaled row 1 with live support (the last level that can see it).
-  QueryEngine served = QueryEngine::Create(vg, 1, opts).MoveValueOrDie();
+  QueryEngine served = QueryEngine::Create({vg, 1}, opts).MoveValueOrDie();
   const auto got =
       served.BatchScores(QueryMeasure::kSimRankStarGeometric, sources)
           .MoveValueOrDie();

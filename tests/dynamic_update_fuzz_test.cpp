@@ -209,7 +209,7 @@ void RunDifferentialFuzz(uint64_t seed, const FuzzConfig& config) {
           qopts.num_threads = threads;
           qopts.result_cache = caches[b];
           qopts.snapshot_cache = &snapshots;
-          Result<QueryEngine> incr = QueryEngine::Create(vg, v, qopts);
+          Result<QueryEngine> incr = QueryEngine::Create({vg, v}, qopts);
           ASSERT_TRUE(incr.ok()) << incr.status().ToString();
           Result<std::vector<std::vector<double>>> got =
               incr.ValueOrDie().BatchScores(measure, queries);
@@ -236,7 +236,7 @@ void RunDifferentialFuzz(uint64_t seed, const FuzzConfig& config) {
           aopts.tile_size = 3;  // deliberately misaligned with the batch
           aopts.result_cache = caches[b];
           aopts.snapshot_cache = &snapshots;
-          Result<AllPairsEngine> ap = AllPairsEngine::Create(vg, v, aopts);
+          Result<AllPairsEngine> ap = AllPairsEngine::Create({vg, v}, aopts);
           ASSERT_TRUE(ap.ok()) << ap.status().ToString();
           Result<DenseMatrix> rows =
               ap.ValueOrDie().ComputeRows(measure, queries);
@@ -256,7 +256,7 @@ void RunDifferentialFuzz(uint64_t seed, const FuzzConfig& config) {
           topts.similarity.top_k = 3;
           topts.num_threads = threads;
           topts.snapshot_cache = &snapshots;
-          Result<TopKEngine> tk = TopKEngine::Create(vg, v, topts);
+          Result<TopKEngine> tk = TopKEngine::Create({vg, v}, topts);
           ASSERT_TRUE(tk.ok()) << tk.status().ToString();
           Result<std::vector<TopKResult>> tk_got =
               tk.ValueOrDie().BatchTopK(measure, queries);

@@ -256,12 +256,12 @@ TEST(ResultCacheTest, SharedCacheNeverServesAcrossVersions) {
   // (digest mismatch), bit-identical to a rebuild — not v0's rows.
   std::vector<NodeId> sources;
   for (NodeId i = 0; i < 30; ++i) sources.push_back(i);
-  QueryEngine v0 = QueryEngine::Create(vg, 0, opts).MoveValueOrDie();
+  QueryEngine v0 = QueryEngine::Create({vg, 0}, opts).MoveValueOrDie();
   const auto v0_rows =
       v0.BatchScores(QueryMeasure::kSimRankStarGeometric, sources)
           .MoveValueOrDie();
 
-  QueryEngine v1 = QueryEngine::Create(vg, 1, opts).MoveValueOrDie();
+  QueryEngine v1 = QueryEngine::Create({vg, 1}, opts).MoveValueOrDie();
   const ResultCacheStats before = cache->Stats();
   const auto v1_rows =
       v1.BatchScores(QueryMeasure::kSimRankStarGeometric, sources)

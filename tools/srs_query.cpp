@@ -67,10 +67,8 @@
 #include "srs/core/monte_carlo.h"
 #include "srs/core/sieve.h"
 #include "srs/core/single_source.h"
-#include "srs/engine/all_pairs_engine.h"
-#include "srs/engine/query_engine.h"
 #include "srs/engine/result_cache.h"
-#include "srs/engine/topk_engine.h"
+#include "srs/engine/service.h"
 #include "srs/eval/ranking.h"
 #include "srs/graph/delta.h"
 #include "srs/graph/graph_io.h"
@@ -289,32 +287,36 @@ srs::Result<srs::DenseMatrix> ComputeDenseAllPairs(const srs::Graph& g,
 }
 
 /// Top-k answers for every query in `batch`, in batch order. The engine
-/// measures are served by the TopKEngine (bound-based early termination
-/// over a shared snapshot); mc-star and the matrix-based measures fall
-/// back to per-query full-row evaluation and report no termination
-/// diagnostics (levels_total == 0).
+/// measures are served through the SrsService facade (one ranked
+/// QueryRequest; the TopKEngine's bound-based early termination underneath,
+/// the requested --version through an incrementally patched snapshot);
+/// mc-star and the matrix-based measures fall back to per-query full-row
+/// evaluation and report no termination diagnostics (levels_total == 0).
 srs::Result<std::vector<srs::TopKResult>> ComputeBatchTopK(
-    const srs::Graph& g, const srs::VersionedGraph* vg, uint64_t version,
-    const std::vector<srs::NodeId>& batch, const CliOptions& options,
-    const std::shared_ptr<srs::ResultCache>& cache) {
+    const srs::Graph& g, srs::SrsService* service, uint64_t version,
+    const std::vector<srs::NodeId>& batch, const CliOptions& options) {
   srs::QueryMeasure measure;
   if (IsEngineMeasure(options.measure, &measure)) {
-    srs::TopKEngineOptions engine_options;
-    engine_options.similarity = options.sim;
-    engine_options.similarity.top_k = options.topk;
-    engine_options.num_threads = options.sim.num_threads;
-    engine_options.result_cache = cache;
-    // With --apply-delta the engine serves the requested version through
-    // an incrementally patched snapshot instead of a fresh build.
-    if (vg != nullptr) {
-      SRS_ASSIGN_OR_RETURN(
-          srs::TopKEngine engine,
-          srs::TopKEngine::Create(*vg, version, engine_options));
-      return engine.BatchTopK(measure, batch);
+    srs::QueryRequest request;
+    request.measure = measure;
+    request.sources = batch;
+    request.options = options.sim;
+    request.options.top_k = options.topk;
+    request.version = version;
+    SRS_ASSIGN_OR_RETURN(srs::QueryResponse response,
+                         service->Query(request));
+    std::vector<srs::TopKResult> results;
+    results.reserve(response.rows.size());
+    for (srs::QueryRowResult& row : response.rows) {
+      srs::TopKResult result;
+      result.ranking = std::move(row.ranking);
+      result.levels_evaluated = row.levels_evaluated;
+      result.levels_total = row.levels_total;
+      result.residual_bound = row.residual_bound;
+      result.served_from_cache = row.served_from_cache;
+      results.push_back(std::move(result));
     }
-    SRS_ASSIGN_OR_RETURN(srs::TopKEngine engine,
-                         srs::TopKEngine::Create(g, engine_options));
-    return engine.BatchTopK(measure, batch);
+    return results;
   }
   // Matrix-based measures fall back to rows of one full computation.
   srs::DenseMatrix all_pairs;
@@ -345,13 +347,13 @@ srs::Result<std::vector<srs::TopKResult>> ComputeBatchTopK(
 }
 
 /// Writes sieved scores for `sources` (or every node when empty) as TSV.
-/// Engine measures stream tiles through the AllPairsEngine; the dense
-/// baselines materialize their matrix first.
-srs::Status WriteAllPairs(const srs::Graph& g, const srs::VersionedGraph* vg,
+/// Engine measures stream tiles through the service's row serving (the
+/// AllPairsEngine underneath); the dense baselines materialize their
+/// matrix first.
+srs::Status WriteAllPairs(const srs::Graph& g, srs::SrsService* service,
                           uint64_t version,
                           const std::vector<srs::NodeId>& sources,
-                          const CliOptions& options,
-                          const std::shared_ptr<srs::ResultCache>& cache) {
+                          const CliOptions& options) {
   std::ofstream out(options.all_pairs_out);
   if (!out) return srs::Status::IoError("cannot write " +
                                         options.all_pairs_out);
@@ -360,25 +362,19 @@ srs::Status WriteAllPairs(const srs::Graph& g, const srs::VersionedGraph* vg,
   int64_t written = 0;
   srs::QueryMeasure measure;
   if (IsEngineMeasure(options.measure, &measure)) {
-    srs::AllPairsOptions engine_options;
-    engine_options.similarity = options.sim;
-    engine_options.num_threads = options.sim.num_threads;
-    engine_options.tile_size = options.tile;
-    engine_options.result_cache = cache;
-    SRS_ASSIGN_OR_RETURN(
-        srs::AllPairsEngine engine,
-        vg != nullptr
-            ? srs::AllPairsEngine::Create(*vg, version, engine_options)
-            : srs::AllPairsEngine::Create(g, engine_options));
-    std::vector<srs::NodeId> row_sources = sources;
-    if (row_sources.empty()) {
-      row_sources.resize(static_cast<size_t>(g.NumNodes()));
-      for (size_t i = 0; i < row_sources.size(); ++i) {
-        row_sources[i] = static_cast<srs::NodeId>(i);
+    srs::QueryRequest request;
+    request.measure = measure;
+    request.options = options.sim;
+    request.version = version;
+    request.sources = sources;
+    if (request.sources.empty()) {
+      request.sources.resize(static_cast<size_t>(g.NumNodes()));
+      for (size_t i = 0; i < request.sources.size(); ++i) {
+        request.sources[i] = static_cast<srs::NodeId>(i);
       }
     }
-    SRS_RETURN_NOT_OK(engine.ForEachRow(
-        measure, row_sources,
+    SRS_RETURN_NOT_OK(service->StreamRows(
+        request,
         [&](int64_t /*index*/, srs::NodeId source,
             const std::vector<double>& row) {
           for (size_t v = 0; v < row.size(); ++v) {
@@ -409,13 +405,13 @@ srs::Status WriteAllPairs(const srs::Graph& g, const srs::VersionedGraph* vg,
 }
 
 /// Maps one delta file's raw ops (original ids + file:line origins)
-/// through the loaded graph's labels and applies it to `vg`. Under
+/// through the loaded graph's labels into an applicable EdgeDelta. Under
 /// --undirected every op is mirrored, matching how the edge list was
 /// loaded — so serving the delta stays bit-identical to reloading the
 /// mutated undirected edge list from scratch.
-srs::Status ApplyDeltaFile(const srs::Graph& g, bool undirected,
-                           const std::string& path,
-                           srs::VersionedGraph* vg) {
+srs::Result<srs::EdgeDelta> BuildDeltaFromFile(const srs::Graph& g,
+                                               bool undirected,
+                                               const std::string& path) {
   SRS_ASSIGN_OR_RETURN(std::vector<srs::RawEdgeOp> raw,
                        srs::LoadEdgeDeltaOps(path));
   srs::EdgeDelta::Builder builder;
@@ -441,13 +437,7 @@ srs::Status ApplyDeltaFile(const srs::Graph& g, bool undirected,
       if (undirected && u != v) builder.Remove(v, u);
     }
   }
-  SRS_ASSIGN_OR_RETURN(srs::EdgeDelta delta, builder.Build(g.NumNodes()));
-  SRS_ASSIGN_OR_RETURN(uint64_t version, vg->Apply(delta));
-  std::fprintf(stderr, "applied %s: %zu op(s) -> version %llu (%lld edges)\n",
-               path.c_str(), delta.size(),
-               static_cast<unsigned long long>(version),
-               static_cast<long long>(vg->NumEdges(version)));
-  return srs::Status::OK();
+  return builder.Build(g.NumNodes());
 }
 
 }  // namespace
@@ -475,52 +465,6 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // --apply-delta builds a copy-on-write version chain over the loaded
-  // graph; --version picks the version served (default: the last one).
-  std::optional<srs::VersionedGraph> versioned;
-  uint64_t serve_version = 0;
-  if (!options.delta_files.empty() || options.version >= 0) {
-    versioned.emplace(srs::Graph(g));
-    for (const std::string& path : options.delta_files) {
-      if (srs::Status st =
-              ApplyDeltaFile(g, options.undirected, path, &*versioned);
-          !st.ok()) {
-        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
-        return 1;
-      }
-    }
-    serve_version = options.version >= 0
-                        ? static_cast<uint64_t>(options.version)
-                        : versioned->CurrentVersion();
-    if (serve_version > versioned->CurrentVersion()) {
-      std::fprintf(stderr,
-                   "error: --version: %lld is out of range (have versions "
-                   "0..%llu)\n",
-                   static_cast<long long>(options.version),
-                   static_cast<unsigned long long>(
-                       versioned->CurrentVersion()));
-      return 1;
-    }
-  }
-  // The matrix-based measures have no incremental path; they run over the
-  // served version materialized as a standalone graph.
-  std::optional<srs::Graph> materialized;
-  const srs::Graph* dense_graph = &g;
-  {
-    srs::QueryMeasure engine_measure;
-    if (versioned.has_value() &&
-        !IsEngineMeasure(options.measure, &engine_measure)) {
-      srs::Result<srs::Graph> built = versioned->Materialize(serve_version);
-      if (!built.ok()) {
-        std::fprintf(stderr, "error: %s\n",
-                     built.status().ToString().c_str());
-        return 1;
-      }
-      materialized.emplace(built.MoveValueOrDie());
-      dense_graph = &*materialized;
-    }
-  }
-
   // One result cache shared by the all-pairs and the top-k serving paths:
   // rows streamed for the TSV warm the cache for the point queries below.
   std::shared_ptr<srs::ResultCache> cache;
@@ -529,6 +473,90 @@ int main(int argc, char** argv) {
     cache_options.capacity_bytes =
         static_cast<size_t>(options.cache_mb) << 20;
     cache = std::make_shared<srs::ResultCache>(cache_options);
+  }
+
+  // The engine measures are served through one SrsService facade: it owns
+  // the version chain, wires the shared caches into every engine it
+  // creates, and serves ranked point queries and streamed rows alike.
+  srs::QueryMeasure engine_measure;
+  const bool use_service = IsEngineMeasure(options.measure, &engine_measure);
+  std::unique_ptr<srs::SrsService> service;
+  if (use_service) {
+    srs::SrsServiceOptions service_options;
+    service_options.similarity = options.sim;
+    service_options.num_threads = options.sim.num_threads;
+    service_options.tile_size = options.tile;
+    service_options.result_cache = cache;
+    srs::Result<std::unique_ptr<srs::SrsService>> created =
+        srs::SrsService::Create(srs::Graph(g), service_options);
+    if (!created.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   created.status().ToString().c_str());
+      return 1;
+    }
+    service = created.MoveValueOrDie();
+  }
+
+  // --apply-delta builds a copy-on-write version chain over the loaded
+  // graph; --version picks the version served (default: the last one).
+  // The matrix-based measures keep their own chain since they have no
+  // incremental path (they materialize the served version below).
+  std::optional<srs::VersionedGraph> versioned;
+  uint64_t serve_version = 0;
+  if (!options.delta_files.empty() || options.version >= 0) {
+    if (!use_service) versioned.emplace(srs::Graph(g));
+    for (const std::string& path : options.delta_files) {
+      srs::Result<srs::EdgeDelta> delta =
+          BuildDeltaFromFile(g, options.undirected, path);
+      if (!delta.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     delta.status().ToString().c_str());
+        return 1;
+      }
+      srs::Result<uint64_t> applied =
+          use_service ? service->ApplyDelta(delta.ValueOrDie())
+                      : versioned->Apply(delta.ValueOrDie());
+      if (!applied.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     applied.status().ToString().c_str());
+        return 1;
+      }
+      const uint64_t version = applied.ValueOrDie();
+      const int64_t edges = use_service
+                                ? service->graph().NumEdges(version)
+                                : versioned->NumEdges(version);
+      std::fprintf(stderr,
+                   "applied %s: %zu op(s) -> version %llu (%lld edges)\n",
+                   path.c_str(), delta.ValueOrDie().size(),
+                   static_cast<unsigned long long>(version),
+                   static_cast<long long>(edges));
+    }
+    const uint64_t head = use_service ? service->graph().CurrentVersion()
+                                      : versioned->CurrentVersion();
+    serve_version = options.version >= 0
+                        ? static_cast<uint64_t>(options.version)
+                        : head;
+    if (serve_version > head) {
+      std::fprintf(stderr,
+                   "error: --version: %lld is out of range (have versions "
+                   "0..%llu)\n",
+                   static_cast<long long>(options.version),
+                   static_cast<unsigned long long>(head));
+      return 1;
+    }
+  }
+  // The matrix-based measures run over the served version materialized as
+  // a standalone graph.
+  std::optional<srs::Graph> materialized;
+  const srs::Graph* dense_graph = &g;
+  if (versioned.has_value()) {
+    srs::Result<srs::Graph> built = versioned->Materialize(serve_version);
+    if (!built.ok()) {
+      std::fprintf(stderr, "error: %s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    materialized.emplace(built.MoveValueOrDie());
+    dense_graph = &*materialized;
   }
 
   // --query and --sources-file take the ORIGINAL node ids from the file;
@@ -557,9 +585,9 @@ int main(int argc, char** argv) {
 
   if (!options.all_pairs_out.empty()) {
     // With explicit sources the TSV is restricted to those rows.
-    if (srs::Status st = WriteAllPairs(
-            *dense_graph, versioned.has_value() ? &*versioned : nullptr,
-            serve_version, batch.ValueOrDie(), options, cache);
+    if (srs::Status st = WriteAllPairs(*dense_graph, service.get(),
+                                       serve_version, batch.ValueOrDie(),
+                                       options);
         !st.ok()) {
       std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
       return 1;
@@ -580,9 +608,9 @@ int main(int argc, char** argv) {
                    options.topk, static_cast<long long>(g.NumNodes()));
       return 1;
     }
-    srs::Result<std::vector<srs::TopKResult>> results = ComputeBatchTopK(
-        *dense_graph, versioned.has_value() ? &*versioned : nullptr,
-        serve_version, batch.ValueOrDie(), options, cache);
+    srs::Result<std::vector<srs::TopKResult>> results =
+        ComputeBatchTopK(*dense_graph, service.get(), serve_version,
+                         batch.ValueOrDie(), options);
     if (!results.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    results.status().ToString().c_str());

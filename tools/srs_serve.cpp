@@ -1,0 +1,226 @@
+// srs_serve — long-lived similarity query server over an edge-list graph.
+//
+// Usage:
+//   srs_serve --graph FILE [--port N] [--threads N] [--undirected]
+//             [--damping C] [--iterations K | --epsilon E]
+//             [--backend dense|sparse] [--prune-eps E] [--cache-mb MB]
+//             [--max-batch N] [--max-pending N]
+//
+// Loads the graph once, builds an SrsService over it, and serves the
+// line-delimited JSON protocol of src/server/protocol.h on
+// 127.0.0.1:--port (0, the default, picks an ephemeral port). The first
+// stdout line is always
+//
+//   srs_serve listening on 127.0.0.1:<port>
+//
+// so scripts (and the CI smoke job) can discover the bound port. The
+// flags above set the *serving defaults*; each query request may override
+// the measure knobs per request (damping, iterations, top_k, backend, ...)
+// and the server validates the merged options per request.
+//
+// Concurrent single-source queries with the same configuration are
+// coalesced into engine batches by the admission queue (--max-batch caps
+// sources per batch); --max-pending bounds the queue, and requests beyond
+// it are rejected with "status":"overload" instead of queueing unbounded.
+// The "apply_delta" op mutates the served graph copy-on-write and swaps
+// the served version without dropping in-flight queries.
+//
+// Shutdown: SIGINT/SIGTERM or the protocol "shutdown" op; either way the
+// server stops admitting, answers everything already admitted, and exits
+// 0 after printing a stats summary to stderr.
+//
+// Examples:
+//   srs_serve --graph cit.txt --port 7474 --threads 8 --cache-mb 256
+//   printf '{"op":"query","sources":[4],"top_k":5}\n' | nc 127.0.0.1 7474
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "srs/common/parallel.h"
+#include "srs/core/options.h"
+#include "srs/engine/result_cache.h"
+#include "srs/engine/service.h"
+#include "srs/graph/graph_io.h"
+#include "srs/graph/stats.h"
+#include "srs/server/server.h"
+
+namespace {
+
+struct CliOptions {
+  std::string graph_path;
+  int port = 0;
+  int cache_mb = 0;
+  bool undirected = false;
+  int max_batch = 64;
+  int max_pending = 1024;
+  srs::SimilarityOptions sim;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --graph FILE [--port N] [--threads N] [--undirected]\n"
+      "          [--damping C] [--iterations K] [--epsilon E]\n"
+      "          [--backend dense|sparse] [--prune-eps E] [--cache-mb MB]\n"
+      "          [--max-batch N] [--max-pending N]\n",
+      argv0);
+}
+
+bool ParseCli(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--graph") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options->graph_path = v;
+    } else if (arg == "--port") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options->port = std::atoi(v);
+    } else if (arg == "--threads") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      const int t = std::atoi(v);
+      options->sim.num_threads = t <= 0 ? srs::HardwareThreads() : t;
+    } else if (arg == "--damping") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options->sim.damping = std::atof(v);
+    } else if (arg == "--iterations") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options->sim.iterations = std::atoi(v);
+    } else if (arg == "--epsilon") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options->sim.epsilon = std::atof(v);
+    } else if (arg == "--backend") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      if (!srs::ParseKernelBackendKind(v, &options->sim.backend)) {
+        std::fprintf(stderr, "unknown backend '%s' (dense|sparse)\n", v);
+        return false;
+      }
+    } else if (arg == "--prune-eps") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options->sim.prune_epsilon = std::atof(v);
+    } else if (arg == "--cache-mb") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options->cache_mb = std::atoi(v);
+    } else if (arg == "--max-batch") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options->max_batch = std::atoi(v);
+    } else if (arg == "--max-pending") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options->max_pending = std::atoi(v);
+    } else if (arg == "--undirected") {
+      options->undirected = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !options->graph_path.empty() && options->port >= 0 &&
+         options->port <= 65535 && options->cache_mb >= 0 &&
+         options->max_batch >= 1 && options->max_pending >= 1;
+}
+
+// SIGINT/SIGTERM set a flag the main loop polls; everything non-trivial
+// (closing sockets, draining the queue) happens on ordinary threads.
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseCli(argc, argv, &options)) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  srs::EdgeListOptions io;
+  io.undirected = options.undirected;
+  srs::Result<srs::Graph> loaded = srs::LoadEdgeList(options.graph_path, io);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "loaded %s: %s\n", options.graph_path.c_str(),
+               srs::StatsToString(srs::ComputeStats(loaded.ValueOrDie()))
+                   .c_str());
+
+  srs::SrsServiceOptions service_options;
+  service_options.similarity = options.sim;
+  service_options.num_threads = options.sim.num_threads;
+  if (options.cache_mb > 0) {
+    srs::ResultCacheOptions cache_options;
+    cache_options.capacity_bytes = static_cast<size_t>(options.cache_mb)
+                                   << 20;
+    service_options.result_cache =
+        std::make_shared<srs::ResultCache>(cache_options);
+  }
+  srs::Result<std::unique_ptr<srs::SrsService>> service =
+      srs::SrsService::Create(loaded.MoveValueOrDie(), service_options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "error: %s\n", service.status().ToString().c_str());
+    return 1;
+  }
+
+  srs::ServerOptions server_options;
+  server_options.port = options.port;
+  server_options.admission.max_batch_sources =
+      static_cast<size_t>(options.max_batch);
+  server_options.admission.max_pending =
+      static_cast<size_t>(options.max_pending);
+  srs::Result<std::unique_ptr<srs::SrsServer>> server =
+      srs::SrsServer::Start(service.ValueOrDie().get(), server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "error: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+
+  // The discovery line scripts wait for; flushed so a piped reader sees it
+  // immediately.
+  std::printf("srs_serve listening on 127.0.0.1:%d\n",
+              server.ValueOrDie()->port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (g_stop == 0 && !server.ValueOrDie()->ShutdownRequested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.ValueOrDie()->RequestShutdown();
+  server.ValueOrDie()->Wait();
+
+  const srs::ServerStats stats = server.ValueOrDie()->Stats();
+  const srs::AdmissionQueueStats queue = server.ValueOrDie()->QueueStats();
+  std::fprintf(stderr,
+               "srs_serve: %llu connection(s), %llu request(s), %llu ok, "
+               "%llu error; %llu batch(es), %llu coalesced, %llu overload, "
+               "%llu expired\n",
+               static_cast<unsigned long long>(stats.connections),
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.responses_ok),
+               static_cast<unsigned long long>(stats.responses_error),
+               static_cast<unsigned long long>(queue.batches),
+               static_cast<unsigned long long>(queue.coalesced),
+               static_cast<unsigned long long>(queue.overloaded),
+               static_cast<unsigned long long>(queue.expired));
+  return 0;
+}
