@@ -1,0 +1,193 @@
+// bench_recovery — time-to-first-answer: snapshot recovery vs full load.
+//
+// The durability PR's acceptance question: how much faster does a process
+// restart get to its first served answer when it recovers from the
+// snapshot + WAL pair (storage/) instead of re-reading the edge list and
+// renormalizing the four transition matrices from scratch?
+//
+// Both paths start from disk and end at the same place — the first
+// single-source query answered — and both answers are checked bit-identical:
+//
+//   cold:    LoadEdgeList + SrsService::Create + Query   (parse + O(m log m))
+//   recover: SrsService::Recover + Query                 (mmap + CRC + replay)
+//
+// The recover path carries a small WAL tail (a few logged deltas, as a
+// long-lived server would), so replay cost is included, not idealized.
+// The headline `speedup_first_answer` at the default scale (n = 50k) is
+// the committed acceptance number (>= 5x, BENCH_recovery.json).
+//
+// Usage: bench_recovery [scale] [seed] [--json] [--json-out PATH]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "srs/common/macros.h"
+#include "srs/common/rng.h"
+#include "srs/engine/service.h"
+#include "srs/engine/snapshot.h"
+#include "srs/graph/delta.h"
+#include "srs/graph/graph_builder.h"
+#include "srs/graph/graph_io.h"
+#include "srs/storage/data_dir.h"
+
+namespace {
+
+using srs::bench::JsonLine;
+
+/// Ring + random chords: every node has out-degree >= 1, so the graph
+/// survives an edge-list round trip with its node count intact (the
+/// edge-list format has no header; trailing isolated nodes would vanish).
+srs::Graph BenchGraph(int64_t n, int64_t m, srs::Rng* rng) {
+  srs::GraphBuilder builder(n);
+  builder.ReserveEdges(static_cast<size_t>(n + m));
+  for (int64_t u = 0; u < n; ++u) {
+    SRS_CHECK_OK(builder.AddEdge(static_cast<srs::NodeId>(u),
+                                 static_cast<srs::NodeId>((u + 1) % n)));
+  }
+  for (int64_t i = 0; i < m; ++i) {
+    const auto u = static_cast<srs::NodeId>(
+        rng->Uniform(static_cast<uint64_t>(n)));
+    const auto v = static_cast<srs::NodeId>(
+        rng->Uniform(static_cast<uint64_t>(n)));
+    if (u != v) SRS_CHECK_OK(builder.AddEdge(u, v));
+  }
+  return builder.Build().ValueOrDie();
+}
+
+/// The "first answer": one full similarity row, the smallest unit either
+/// restart path can serve. A wider query just adds the same constant to
+/// both sides of the ratio.
+srs::QueryRequest PinnedQuery(int64_t n) {
+  srs::QueryRequest request;
+  request.sources = {static_cast<srs::NodeId>(n / 2)};
+  request.options.damping = 0.6;
+  request.options.iterations = 5;
+  return request;
+}
+
+srs::EdgeDelta SmallDelta(int64_t n, srs::Rng* rng) {
+  srs::EdgeDelta::Builder builder;
+  for (int i = 0; i < 8; ++i) {
+    builder.Insert(
+        static_cast<srs::NodeId>(rng->Uniform(static_cast<uint64_t>(n))),
+        static_cast<srs::NodeId>(rng->Uniform(static_cast<uint64_t>(n))));
+  }
+  return builder.Build(n).ValueOrDie();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const srs::bench::BenchArgs args = srs::bench::ParseArgs(argc, argv);
+  const auto n = static_cast<int64_t>(50000 * args.scale);
+  const int64_t m = n * 8;
+  const int num_deltas = 4;
+
+  srs::bench::PrintHeader("recovery: snapshot load vs full rebuild, n = " +
+                          std::to_string(n));
+
+  srs::Rng graph_rng(srs::DeriveSeed(args.seed, 0));
+  srs::Rng delta_rng(srs::DeriveSeed(args.seed, 1));
+  const std::string edges_path = "/tmp/bench_recovery.edges";
+  const std::string data_dir = "/tmp/bench_recovery.data";
+  SRS_CHECK_OK(srs::SaveEdgeList(BenchGraph(n, m, &graph_rng), edges_path));
+
+  // Durable state a long-lived server would leave behind: initial
+  // snapshot plus a short WAL tail of applied deltas. Untimed setup.
+  // Seeded from the *parsed* edge list — the same bytes the cold path
+  // reads — so both restart paths serve the identical adjacency order
+  // (CSR column order affects summation order, hence bits).
+  {
+    srs::SnapshotCache setup_cache(4);
+    srs::SrsServiceOptions options;
+    options.snapshot_cache = &setup_cache;
+    options.data_dir = data_dir;
+    std::unique_ptr<srs::SrsService> service =
+        srs::SrsService::Create(
+            srs::LoadEdgeList(edges_path).ValueOrDie(), options)
+            .ValueOrDie();
+    for (int i = 0; i < num_deltas; ++i) {
+      SRS_CHECK_OK(service->ApplyDelta(SmallDelta(n, &delta_rng)).status());
+    }
+  }
+
+  // Each path runs `reps` full restarts; the best time stands in for a
+  // machine not fighting page-cache warmup noise. Answers are checked
+  // bit-identical on every repetition, not just the fastest.
+  const int reps = 3;
+
+  // Cold restart: parse the edge list, renormalize Q/Qt/W/Wt, answer. The
+  // cold side replays the same deltas so both paths answer at the same
+  // version (and their bytes must agree).
+  std::vector<srs::QueryRowResult> cold_rows;
+  double cold_s = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    srs::Rng cold_rng(srs::DeriveSeed(args.seed, 1));  // same delta stream
+    const double s = srs::bench::TimeSeconds([&] {
+      srs::SnapshotCache cache(4);
+      srs::SrsServiceOptions options;
+      options.snapshot_cache = &cache;
+      std::unique_ptr<srs::SrsService> service =
+          srs::SrsService::Create(
+              srs::LoadEdgeList(edges_path).ValueOrDie(), options)
+              .ValueOrDie();
+      for (int i = 0; i < num_deltas; ++i) {
+        SRS_CHECK_OK(service->ApplyDelta(SmallDelta(n, &cold_rng)).status());
+      }
+      cold_rows = service->Query(PinnedQuery(n)).ValueOrDie().rows;
+    });
+    cold_s = rep == 0 ? s : std::min(cold_s, s);
+  }
+
+  // Recovered restart: mmap + checksum the snapshot, replay the WAL tail,
+  // answer.
+  double recover_s = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<srs::QueryRowResult> recovered_rows;
+    const double s = srs::bench::TimeSeconds([&] {
+      srs::SnapshotCache cache(4);
+      srs::SrsServiceOptions options;
+      options.snapshot_cache = &cache;
+      options.data_dir = data_dir;
+      std::unique_ptr<srs::SrsService> service =
+          srs::SrsService::Recover(options).ValueOrDie();
+      recovered_rows = service->Query(PinnedQuery(n)).ValueOrDie().rows;
+    });
+    recover_s = rep == 0 ? s : std::min(recover_s, s);
+
+    SRS_CHECK(cold_rows.size() == recovered_rows.size());
+    for (size_t i = 0; i < cold_rows.size(); ++i) {
+      SRS_CHECK(cold_rows[i].scores.size() ==
+                recovered_rows[i].scores.size());
+      SRS_CHECK(std::memcmp(cold_rows[i].scores.data(),
+                            recovered_rows[i].scores.data(),
+                            cold_rows[i].scores.size() * sizeof(double)) == 0)
+          << "recovered answer drifted bitwise from the cold rebuild";
+    }
+  }
+
+  const double speedup = cold_s / recover_s;
+  std::printf(
+      "cold (edge list + renormalize + query):   %8.3f s\n"
+      "recover (snapshot + wal replay + query):  %8.3f s\n"
+      "speedup to first answer:                  %8.2fx  (answers "
+      "bit-identical)\n",
+      cold_s, recover_s, speedup);
+
+  if (args.json) {
+    JsonLine("recovery")
+        .Add("n", n)
+        .Add("m", m)
+        .Add("wal_deltas", num_deltas)
+        .Add("cold_s", cold_s)
+        .Add("recover_s", recover_s)
+        .Add("speedup_first_answer", speedup)
+        .Print();
+  }
+  return 0;
+}

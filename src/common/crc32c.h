@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file crc32c.h
+/// \brief CRC-32C (Castagnoli) checksums for the durable storage formats.
+///
+/// Both on-disk formats — the mmap-friendly snapshot file
+/// (storage/snapshot_file.h) and the delta write-ahead log (storage/wal.h)
+/// — frame their payloads with CRC-32C so a torn write, bit rot, or a
+/// wrong-file mixup is detected at open instead of serving corrupt
+/// matrices. The polynomial (0x1EDC6F41, reflected 0x82F63B78) is the one
+/// iSCSI/ext4/LevelDB use. On x86-64 the SSE4.2 CRC32 instruction computes
+/// it directly (selected by a runtime CPUID check, several GB/s); every
+/// other build falls back to a portable slice-by-8 table walk at
+/// ~1 byte/cycle. Both paths produce identical bits.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace srs {
+
+/// CRC-32C of `data[0, len)` continuing from `seed` (0 for a fresh
+/// checksum). Chaining property: Crc32c(b, n2, Crc32c(a, n1)) equals the
+/// checksum of the concatenation a||b, so section writers can stream.
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace srs

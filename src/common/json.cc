@@ -1,8 +1,9 @@
 #include "srs/common/json.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
+#include <system_error>
 
 #include "srs/common/logging.h"
 
@@ -117,9 +118,14 @@ void EncodeNumber(double v, std::string* out) {
     *out += "null";
     return;
   }
+  // std::to_chars is locale-independent by specification; precision-17
+  // general format produces the same bytes "%.17g" does in the C locale,
+  // without a comma-decimal LC_NUMERIC ever leaking into the wire format.
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  *out += buf;
+  const auto [end, ec] =
+      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::general, 17);
+  SRS_CHECK(ec == std::errc());
+  out->append(buf, end);
 }
 
 void EncodeValue(const JsonValue& v, std::string* out) {
@@ -404,10 +410,22 @@ class Parser {
       }
     }
     if (pos_ == start) return Error("expected a value");
-    const std::string token(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    const double value = std::strtod(token.c_str(), &end);
-    if (end == nullptr || *end != '\0' || end == token.c_str()) {
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    // std::from_chars parses C-locale-style numbers regardless of
+    // LC_NUMERIC (strtod in a comma-decimal locale stops at the '.' and
+    // rejects valid JSON), and reports out-of-range instead of silently
+    // saturating to ±HUGE_VAL.
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(first, last, value, std::chars_format::general);
+    if (ec == std::errc::result_out_of_range) {
+      const std::string token(first, last);
+      pos_ = start;
+      return Error("number out of range '" + token + "'");
+    }
+    if (ec != std::errc() || end != last) {
+      const std::string token(first, last);
       pos_ = start;
       return Error("malformed number '" + token + "'");
     }

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "srs/common/hashing.h"
+#include "srs/common/logging.h"
 #include "srs/engine/delta_invalidation.h"
 
 namespace srs {
@@ -24,8 +25,8 @@ SnapshotCache* ResolveSnapshotCache(const SrsServiceOptions& options) {
 
 }  // namespace
 
-SrsService::SrsService(Graph base, const SrsServiceOptions& options)
-    : options_(options), graph_(std::move(base)) {}
+SrsService::SrsService(VersionedGraph graph, const SrsServiceOptions& options)
+    : options_(options), graph_(std::move(graph)) {}
 
 Result<std::unique_ptr<SrsService>> SrsService::Create(
     Graph base, const SrsServiceOptions& options) {
@@ -34,20 +35,81 @@ Result<std::unique_ptr<SrsService>> SrsService::Create(
   // validated again by the engines they reach.
   SRS_RETURN_NOT_OK(ValidateSimilarityOptions(options.similarity));
   std::unique_ptr<SrsService> service(
-      new SrsService(std::move(base), options));
+      new SrsService(VersionedGraph(std::move(base)), options));
   SRS_ASSIGN_OR_RETURN(
       service->head_snapshot_,
       ResolveSnapshotCache(service->options_)->Get(service->graph_, 0));
+  if (!options.data_dir.empty()) {
+    SRS_ASSIGN_OR_RETURN(
+        service->store_,
+        DurableStore::Initialize(options.data_dir,
+                                 *service->graph_.MaterializedBase(0),
+                                 *service->head_snapshot_));
+    service->stats_.wal_bytes = service->store_->WalSizeBytes();
+    ++service->stats_.checkpoints;
+  }
+  return service;
+}
+
+Result<std::unique_ptr<SrsService>> SrsService::Recover(
+    const SrsServiceOptions& options) {
+  if (options.data_dir.empty()) {
+    return Status::InvalidArgument("Recover requires options.data_dir");
+  }
+  SRS_RETURN_NOT_OK(ValidateSimilarityOptions(options.similarity));
+  DurableStore::Recovered recovered;
+  SRS_ASSIGN_OR_RETURN(std::unique_ptr<DurableStore> store,
+                       DurableStore::Recover(options.data_dir, &recovered));
+
+  // Re-root the chain at the snapshot's version: ids and fingerprints
+  // continue the crashed process's chain, so replay below reproduces them
+  // exactly.
+  std::unique_ptr<SrsService> service(new SrsService(
+      VersionedGraph::Restore(std::move(recovered.snapshot.graph),
+                              recovered.snapshot.version,
+                              recovered.snapshot.version_fingerprint,
+                              recovered.snapshot.base_fingerprint),
+      options));
+  service->store_ = std::move(store);
+  service->recovery_info_ = recovered.info;
+
+  // Seed the cache with the file-loaded snapshot: the serving matrices
+  // arrive bit-exact from disk, so neither the root nor any replayed
+  // version pays the O(m log m) renormalization.
+  SnapshotCache* cache = ResolveSnapshotCache(service->options_);
+  service->head_snapshot_ = cache->Seed(recovered.snapshot.snapshot);
+  service->served_version_ = recovered.snapshot.version;
+
+  for (const Wal::Record& record : recovered.tail) {
+    // The log is trusted only if it provably extends this snapshot:
+    // recompute each record's version fingerprint from the chain and
+    // refuse to serve on a mismatch (foreign log, reordered records).
+    const uint64_t expect_vfp =
+        service->graph_.NextVersionFingerprint(record.delta);
+    if (expect_vfp != record.version_fingerprint) {
+      return Status::IoError(
+          "wal record for version " + std::to_string(record.version) +
+          " does not extend the snapshot chain (fingerprint mismatch)");
+    }
+    SRS_ASSIGN_OR_RETURN(const uint64_t version,
+                         service->graph_.Apply(record.delta));
+    SRS_CHECK(version == record.version);
+    SRS_ASSIGN_OR_RETURN(service->head_snapshot_,
+                         cache->Get(service->graph_, version));
+    service->served_version_ = version;
+  }
+  service->stats_.wal_bytes = service->store_->WalSizeBytes();
   return service;
 }
 
 Result<uint64_t> SrsService::ResolveVersion(uint64_t requested) const {
   if (requested == kLatestVersion) return served_version_;
-  if (requested > graph_.CurrentVersion()) {
+  if (requested < graph_.FirstVersion() ||
+      requested > graph_.CurrentVersion()) {
     return Status::InvalidArgument(
         "version " + std::to_string(requested) +
-        " out of range; current head is " +
-        std::to_string(graph_.CurrentVersion()));
+        " out of range; serving [" + std::to_string(graph_.FirstVersion()) +
+        ", " + std::to_string(graph_.CurrentVersion()) + "]");
   }
   return requested;
 }
@@ -66,33 +128,35 @@ uint64_t SrsService::EngineKey(int shape_tag,
 }
 
 template <typename BuildFn>
-Result<SrsService::EngineSlot*> SrsService::GetSlot(uint64_t key,
-                                                    bool* reused,
-                                                    BuildFn build) {
-  for (EngineSlot& slot : engines_) {
-    if (slot.key == key) {
-      slot.last_use = ++use_counter_;
+Result<std::shared_ptr<SrsService::EngineSlot>> SrsService::GetSlot(
+    uint64_t key, bool* reused, BuildFn build) {
+  for (const std::shared_ptr<EngineSlot>& slot : engines_) {
+    if (slot->key == key) {
+      slot->last_use = ++use_counter_;
       *reused = true;
       ++stats_.engines_reused;
-      return &slot;
+      return slot;
     }
   }
-  EngineSlot slot;
-  slot.key = key;
-  SRS_RETURN_NOT_OK(build(&slot));
-  slot.last_use = ++use_counter_;
-  *reused = false;
-  ++stats_.engines_created;
-  if (engines_.size() >= std::max<size_t>(1, options_.max_engines)) {
+  // Evict the LRU victim *before* building the newcomer, so peak
+  // residency is max_engines warm engines — not max_engines + 1 while the
+  // new one constructs. A stream still running on the victim keeps it
+  // alive through its own shared_ptr.
+  while (engines_.size() >= std::max<size_t>(1, options_.max_engines)) {
     size_t victim = 0;
     for (size_t i = 1; i < engines_.size(); ++i) {
-      if (engines_[i].last_use < engines_[victim].last_use) victim = i;
+      if (engines_[i]->last_use < engines_[victim]->last_use) victim = i;
     }
-    engines_.erase(engines_.begin() +
-                   static_cast<std::ptrdiff_t>(victim));
+    engines_.erase(engines_.begin() + static_cast<std::ptrdiff_t>(victim));
   }
-  engines_.push_back(std::move(slot));
-  return &engines_.back();
+  auto slot = std::make_shared<EngineSlot>();
+  slot->key = key;
+  SRS_RETURN_NOT_OK(build(slot.get()));
+  slot->last_use = ++use_counter_;
+  *reused = false;
+  ++stats_.engines_created;
+  engines_.push_back(slot);
+  return slot;
 }
 
 Result<QueryResponse> SrsService::Query(const QueryRequest& request) {
@@ -113,7 +177,7 @@ Result<QueryResponse> SrsService::Query(const QueryRequest& request) {
   if (ranked) {
     const uint64_t key = EngineKey(kShapeRanked, request.options, version);
     SRS_ASSIGN_OR_RETURN(
-        EngineSlot * slot,
+        std::shared_ptr<EngineSlot> slot,
         GetSlot(key, &response.engine_reused, [&](EngineSlot* s) -> Status {
           TopKEngineOptions opts;
           opts.similarity = request.options;
@@ -141,7 +205,7 @@ Result<QueryResponse> SrsService::Query(const QueryRequest& request) {
   } else {
     const uint64_t key = EngineKey(kShapeFullRow, request.options, version);
     SRS_ASSIGN_OR_RETURN(
-        EngineSlot * slot,
+        std::shared_ptr<EngineSlot> slot,
         GetSlot(key, &response.engine_reused, [&](EngineSlot* s) -> Status {
           QueryEngineOptions opts;
           opts.similarity = request.options;
@@ -168,38 +232,70 @@ Result<QueryResponse> SrsService::Query(const QueryRequest& request) {
 
 Status SrsService::StreamRows(const QueryRequest& request,
                               const RowCallback& fn) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (request.deadline.has_value() &&
-      std::chrono::steady_clock::now() >= *request.deadline) {
-    return Status::DeadlineExceeded("deadline passed before dispatch");
+  // The service lock covers only version/slot resolution. The stream
+  // itself — and therefore every `fn` invocation — runs outside it, so a
+  // callback that re-enters the service (Stats(), Query(), another
+  // StreamRows) cannot self-deadlock. The engine only reads its immutable
+  // snapshot, so a concurrent ApplyDelta is safe; eviction of this slot
+  // mid-stream is safe too (the shared_ptr keeps the engine alive).
+  std::shared_ptr<EngineSlot> slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (request.deadline.has_value() &&
+        std::chrono::steady_clock::now() >= *request.deadline) {
+      return Status::DeadlineExceeded("deadline passed before dispatch");
+    }
+    SRS_ASSIGN_OR_RETURN(const uint64_t version,
+                         ResolveVersion(request.version));
+    const uint64_t key = EngineKey(kShapeStream, request.options, version);
+    bool reused = false;
+    SRS_ASSIGN_OR_RETURN(
+        slot, GetSlot(key, &reused, [&](EngineSlot* s) -> Status {
+          AllPairsOptions opts;
+          opts.similarity = request.options;
+          opts.num_threads = options_.num_threads;
+          opts.tile_size = options_.tile_size;
+          opts.result_cache = options_.result_cache;
+          opts.snapshot_cache = ResolveSnapshotCache(options_);
+          SRS_ASSIGN_OR_RETURN(
+              AllPairsEngine engine,
+              AllPairsEngine::Create({graph_, version}, opts));
+          s->rows = std::make_unique<AllPairsEngine>(std::move(engine));
+          return Status::OK();
+        }));
+    ++stats_.queries;
   }
-  SRS_ASSIGN_OR_RETURN(const uint64_t version,
-                       ResolveVersion(request.version));
-  const uint64_t key = EngineKey(kShapeStream, request.options, version);
-  bool reused = false;
-  SRS_ASSIGN_OR_RETURN(
-      EngineSlot * slot,
-      GetSlot(key, &reused, [&](EngineSlot* s) -> Status {
-        AllPairsOptions opts;
-        opts.similarity = request.options;
-        opts.num_threads = options_.num_threads;
-        opts.tile_size = options_.tile_size;
-        opts.result_cache = options_.result_cache;
-        opts.snapshot_cache = ResolveSnapshotCache(options_);
-        SRS_ASSIGN_OR_RETURN(AllPairsEngine engine,
-                             AllPairsEngine::Create({graph_, version}, opts));
-        s->rows = std::make_unique<AllPairsEngine>(std::move(engine));
-        return Status::OK();
-      }));
-  ++stats_.queries;
-  SRS_RETURN_NOT_OK(
-      slot->rows->ForEachRow(request.measure, request.sources, fn));
+  {
+    // Engines are thread-compatible: two streams that resolved the same
+    // slot serialize here, outside the service lock.
+    std::lock_guard<std::mutex> exec(slot->exec_mu);
+    SRS_RETURN_NOT_OK(
+        slot->rows->ForEachRow(request.measure, request.sources, fn));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
   stats_.rows_served += request.sources.size();
   return Status::OK();
 }
 
 Result<uint64_t> SrsService::ApplyDelta(const EdgeDelta& delta) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (store_ != nullptr) {
+    // Write-ahead ordering: validate what Apply would validate, frame the
+    // record with the version/fingerprint the chain is about to mint, and
+    // fsync it — only then mutate. An acknowledged delta is durable even
+    // if the process dies on the very next instruction.
+    if (delta.num_nodes() != graph_.NumNodes()) {
+      return Status::InvalidArgument(
+          "delta built for " + std::to_string(delta.num_nodes()) +
+          " nodes applied to a graph of " +
+          std::to_string(graph_.NumNodes()));
+    }
+    Wal::Record record;
+    record.version = graph_.CurrentVersion() + 1;
+    record.version_fingerprint = graph_.NextVersionFingerprint(delta);
+    record.delta = delta;
+    SRS_RETURN_NOT_OK(store_->LogDelta(record));
+  }
   SRS_ASSIGN_OR_RETURN(const uint64_t version, graph_.Apply(delta));
   // Deriving through the cache is the incremental path: only the rows the
   // delta touched are recomputed and patched over the head snapshot.
@@ -228,6 +324,35 @@ Result<uint64_t> SrsService::ApplyDelta(const EdgeDelta& delta) {
   head_snapshot_ = std::move(child);
   served_version_ = version;
   ++stats_.deltas_applied;
+  if (store_ != nullptr) {
+    // Checkpoint when the chain just compacted (the materialized graph is
+    // sitting right there) or the log has outgrown its budget — the
+    // on-disk mirror of the in-memory compact_fraction policy. A failed
+    // checkpoint is not fatal: the delta above is already durable in the
+    // WAL, so recovery still lands on this exact version.
+    const bool compacted = graph_.IsCompacted(version);
+    if (compacted || store_->WalSizeBytes() > options_.wal_max_bytes) {
+      Status persisted = Status::OK();
+      if (compacted) {
+        persisted = store_->WriteCheckpoint(*graph_.MaterializedBase(version),
+                                            *head_snapshot_);
+      } else {
+        Result<Graph> materialized = graph_.Materialize(version);
+        persisted = materialized.ok()
+                        ? store_->WriteCheckpoint(
+                              materialized.ValueOrDie(), *head_snapshot_)
+                        : materialized.status();
+      }
+      if (persisted.ok()) {
+        ++stats_.checkpoints;
+      } else {
+        SRS_LOG(Warning) << "checkpoint failed (will retry after next "
+                            "delta): "
+                         << persisted.ToString();
+      }
+    }
+    stats_.wal_bytes = store_->WalSizeBytes();
+  }
   return version;
 }
 
@@ -241,6 +366,16 @@ int64_t SrsService::NumNodes() const { return graph_.NumNodes(); }
 ServiceStats SrsService::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+RecoveryInfo SrsService::recovery_info() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recovery_info_;
+}
+
+size_t SrsService::WarmEngineCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return engines_.size();
 }
 
 }  // namespace srs

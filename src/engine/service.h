@@ -50,6 +50,7 @@
 #include "srs/graph/delta.h"
 #include "srs/graph/graph.h"
 #include "srs/graph/versioned_graph.h"
+#include "srs/storage/data_dir.h"
 
 namespace srs {
 
@@ -141,6 +142,19 @@ struct SrsServiceOptions {
   /// Warm engines kept in the service's LRU. Each entry holds one engine
   /// (one serving shape × options digest × version).
   size_t max_engines = 8;
+
+  /// Data directory for the durable snapshot + delta WAL pair
+  /// (storage/data_dir.h). Empty disables persistence. With a directory
+  /// set, Create() initializes fresh state there (overwriting what it
+  /// holds), Recover() restarts from it, and every ApplyDelta logs its
+  /// delta (fsync'd) before swapping the served version.
+  std::string data_dir;
+
+  /// WAL size past which the next ApplyDelta checkpoints (fresh snapshot
+  /// file + log truncation). Graph-level compactions always checkpoint —
+  /// the materialized graph is free at that moment — so this bound only
+  /// matters for long runs of small overlay deltas.
+  uint64_t wal_max_bytes = 64ull << 20;
 };
 
 /// Monotonic counters describing a service's behavior.
@@ -152,6 +166,8 @@ struct ServiceStats {
   uint64_t deltas_applied = 0;   ///< successful ApplyDelta() calls
   uint64_t cache_rows_retained = 0;  ///< ResultCache rows carried across deltas
   uint64_t cache_rows_evicted = 0;   ///< ResultCache rows dropped by deltas
+  uint64_t checkpoints = 0;      ///< snapshot files written (durable mode)
+  uint64_t wal_bytes = 0;        ///< current WAL size (durable mode)
 };
 
 /// \brief Owns a versioned graph and serves every engine shape behind one
@@ -163,10 +179,23 @@ struct ServiceStats {
 class SrsService {
  public:
   /// Validates `options`, roots a version chain at `base`, and resolves
-  /// the root snapshot (warming the snapshot cache). InvalidArgument on
-  /// bad options.
+  /// the root snapshot (warming the snapshot cache). With
+  /// `options.data_dir` set, also initializes durable state there (initial
+  /// snapshot file + empty WAL). InvalidArgument on bad options.
   static Result<std::unique_ptr<SrsService>> Create(
       Graph base, const SrsServiceOptions& options = {});
+
+  /// Restarts from `options.data_dir` (which must hold state — see
+  /// `DurableStore::HasState`): loads the checksummed snapshot file, seeds
+  /// the snapshot cache with it (no renormalization), replays the WAL tail
+  /// through the same `VersionedGraph::Apply` chain the crashed process
+  /// ran — verifying each record's version fingerprint before applying —
+  /// and serves at the recovered head. The result is bit-identical to a
+  /// process that applied the same deltas and never crashed: same version
+  /// ids, same version fingerprints, same query bytes. IoError on any
+  /// corruption; recovery details are in `recovery_info()`.
+  static Result<std::unique_ptr<SrsService>> Recover(
+      const SrsServiceOptions& options);
 
   SrsService(const SrsService&) = delete;
   SrsService& operator=(const SrsService&) = delete;
@@ -180,6 +209,9 @@ class SrsService {
   /// Streams full rows for `request.sources` in order through `fn`
   /// (AllPairsEngine semantics: the row is valid only during the call).
   /// `request.options.top_k` is ignored — streamed rows are always full.
+  /// `fn` runs *outside* the service lock, so it may safely re-enter the
+  /// service (Stats(), Query(), even another StreamRows); two streams over
+  /// the same engine configuration serialize on that engine's own lock.
   using RowCallback = AllPairsEngine::RowCallback;
   Status StreamRows(const QueryRequest& request, const RowCallback& fn);
 
@@ -211,18 +243,32 @@ class SrsService {
   /// Current counters (a consistent view under the service lock).
   ServiceStats Stats() const;
 
+  /// What recovery found (all-zero defaults for a service that was
+  /// Create()d rather than Recover()ed).
+  RecoveryInfo recovery_info() const;
+
+  /// Warm engines currently resident — never exceeds
+  /// `options.max_engines` (the LRU evicts *before* building a
+  /// replacement, so a cold build does not transiently hold victim +
+  /// newcomer).
+  size_t WarmEngineCount() const;
+
  private:
   /// One warm engine: exactly one of the three pointers is set, matching
-  /// the shape folded into `key`.
+  /// the shape folded into `key`. Slots are shared_ptrs so an engine
+  /// streaming outside the service lock survives its own LRU eviction;
+  /// `exec_mu` serializes use of the (thread-compatible) engine by
+  /// streams that have left the service lock.
   struct EngineSlot {
     uint64_t key = 0;
     uint64_t last_use = 0;
+    std::mutex exec_mu;
     std::unique_ptr<QueryEngine> full;
     std::unique_ptr<TopKEngine> ranked;
     std::unique_ptr<AllPairsEngine> rows;
   };
 
-  SrsService(Graph base, const SrsServiceOptions& options);
+  SrsService(VersionedGraph graph, const SrsServiceOptions& options);
 
   /// Resolves a request's version (kLatestVersion → served head) or
   /// InvalidArgument.
@@ -233,20 +279,25 @@ class SrsService {
                      uint64_t version) const;
 
   /// Finds the slot for `key` (refreshing LRU order) or creates one via
-  /// `build`, evicting the least-recently-used slot past max_engines.
-  /// `reused` reports which path was taken.
+  /// `build`, evicting the least-recently-used slot first so residency
+  /// never exceeds max_engines. `reused` reports which path was taken.
+  /// Call with `mu_` held.
   template <typename BuildFn>
-  Result<EngineSlot*> GetSlot(uint64_t key, bool* reused, BuildFn build);
+  Result<std::shared_ptr<EngineSlot>> GetSlot(uint64_t key, bool* reused,
+                                              BuildFn build);
 
   SrsServiceOptions options_;
   VersionedGraph graph_;
+  /// Durable snapshot/WAL pair; null when `options.data_dir` is empty.
+  std::unique_ptr<DurableStore> store_;
+  RecoveryInfo recovery_info_;
 
   mutable std::mutex mu_;
   uint64_t served_version_ = 0;
   /// Snapshot of the served head — the propagation parent of the next
   /// delta.
   std::shared_ptr<const GraphSnapshot> head_snapshot_;
-  std::vector<EngineSlot> engines_;
+  std::vector<std::shared_ptr<EngineSlot>> engines_;
   uint64_t use_counter_ = 0;
   ServiceStats stats_;
 };

@@ -147,7 +147,7 @@ std::shared_ptr<GraphSnapshot> BuildVersionSnapshotFull(
   snapshot->fingerprint = vg.BaseFingerprint();
   snapshot->version_fingerprint = vg.VersionFingerprint(version);
   snapshot->version = version;
-  if (version > 0) {
+  if (version > vg.FirstVersion()) {
     snapshot->parent_fingerprint = vg.VersionFingerprint(version - 1);
     snapshot->delta_touched = ComputeChangedRows(vg, version).all;
   }
@@ -169,7 +169,7 @@ std::shared_ptr<const GraphSnapshot> MakeGraphSnapshot(const Graph& g) {
 std::shared_ptr<const GraphSnapshot> MakeDerivedSnapshot(
     const std::shared_ptr<const GraphSnapshot>& parent,
     const VersionedGraph& vg, uint64_t version) {
-  SRS_CHECK(version >= 1 && version < vg.NumVersions());
+  SRS_CHECK(version > vg.FirstVersion() && version <= vg.CurrentVersion());
   SRS_CHECK(parent != nullptr);
   SRS_CHECK(parent->fingerprint == vg.BaseFingerprint() &&
             parent->version_fingerprint == vg.VersionFingerprint(version - 1))
@@ -296,23 +296,25 @@ std::shared_ptr<const GraphSnapshot> SnapshotCache::Get(const Graph& g) {
 
 Result<std::shared_ptr<const GraphSnapshot>> SnapshotCache::Get(
     const VersionedGraph& vg, uint64_t version) {
-  if (version >= vg.NumVersions()) {
+  if (version < vg.FirstVersion() || version > vg.CurrentVersion()) {
     return Status::InvalidArgument(
-        "version " + std::to_string(version) + " out of range (have " +
-        std::to_string(vg.NumVersions()) + " versions)");
+        "version " + std::to_string(version) + " out of range (resident [" +
+        std::to_string(vg.FirstVersion()) + ", " +
+        std::to_string(vg.CurrentVersion()) + "])");
   }
   const uint64_t fingerprint = vg.BaseFingerprint();
 
   // Walk back to the nearest snapshot we can start from: a cached
-  // ancestor, or a version with a materialized graph (the root or a
-  // graph-level compaction). Everything between it and `version` is then
-  // derived one delta step at a time, each step cached for the next call.
+  // ancestor, or a version with a materialized graph (the chain's oldest
+  // resident version or a graph-level compaction). Everything between it
+  // and `version` is then derived one delta step at a time, each step
+  // cached for the next call.
   uint64_t start = version;
   std::shared_ptr<const GraphSnapshot> current;
   while (true) {
     current = Lookup(fingerprint, vg.VersionFingerprint(start));
     if (current != nullptr) break;
-    if (start == 0 || vg.IsCompacted(start)) break;
+    if (start == vg.FirstVersion() || vg.IsCompacted(start)) break;
     --start;
   }
   if (current == nullptr) {
@@ -326,6 +328,14 @@ Result<std::shared_ptr<const GraphSnapshot>> SnapshotCache::Get(
     current = Insert(fingerprint, vg.VersionFingerprint(v), std::move(next));
   }
   return current;
+}
+
+std::shared_ptr<const GraphSnapshot> SnapshotCache::Seed(
+    std::shared_ptr<const GraphSnapshot> snapshot) {
+  SRS_CHECK(snapshot != nullptr);
+  const uint64_t fingerprint = snapshot->fingerprint;
+  const uint64_t vfp = snapshot->version_fingerprint;
+  return Insert(fingerprint, vfp, std::move(snapshot));
 }
 
 SnapshotCacheStats SnapshotCache::Stats() const {

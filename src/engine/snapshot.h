@@ -187,6 +187,15 @@ class SnapshotCache {
   Result<std::shared_ptr<const GraphSnapshot>> Get(const VersionedGraph& vg,
                                                    uint64_t version);
 
+  /// Inserts an externally built snapshot under its own
+  /// (fingerprint, version_fingerprint) key — the recovery fast path:
+  /// storage/snapshot_file.h deserializes a snapshot without any
+  /// renormalization, and seeding it here means the first Get() for that
+  /// version is a hit instead of an O(m log m) rebuild. Returns the cached
+  /// copy (an already-present identical entry wins).
+  std::shared_ptr<const GraphSnapshot> Seed(
+      std::shared_ptr<const GraphSnapshot> snapshot);
+
   /// Current counters (a consistent view under the cache lock).
   SnapshotCacheStats Stats() const;
 

@@ -59,6 +59,126 @@ Result<NodeId> Graph::FindLabel(const std::string& label) const {
   return Status::NotFound("no node labeled '" + label + "'");
 }
 
+Result<Graph> Graph::FromCsr(int64_t num_nodes,
+                             std::vector<int64_t> out_ptr,
+                             std::vector<NodeId> out_adj,
+                             std::vector<int64_t> in_ptr,
+                             std::vector<NodeId> in_adj,
+                             std::vector<std::string> labels) {
+  if (num_nodes < 0) {
+    return Status::InvalidArgument("FromCsr: negative node count");
+  }
+  auto check_side = [num_nodes](const std::vector<int64_t>& ptr,
+                                const std::vector<NodeId>& adj,
+                                const char* side) -> Status {
+    if (static_cast<int64_t>(ptr.size()) != num_nodes + 1) {
+      return Status::InvalidArgument(
+          std::string("FromCsr: ") + side + "_ptr has " +
+          std::to_string(ptr.size()) + " entries, want " +
+          std::to_string(num_nodes + 1));
+    }
+    if (ptr.front() != 0 ||
+        ptr.back() != static_cast<int64_t>(adj.size())) {
+      return Status::InvalidArgument(
+          std::string("FromCsr: ") + side +
+          "_ptr endpoints disagree with adjacency size");
+    }
+    for (int64_t u = 0; u < num_nodes; ++u) {
+      if (ptr[u] > ptr[u + 1]) {
+        return Status::InvalidArgument(std::string("FromCsr: ") + side +
+                                       "_ptr not monotone at node " +
+                                       std::to_string(u));
+      }
+      NodeId prev = -1;
+      for (int64_t i = ptr[u]; i < ptr[u + 1]; ++i) {
+        const NodeId v = adj[i];
+        if (v < 0 || v >= num_nodes || v <= prev) {
+          return Status::InvalidArgument(
+              std::string("FromCsr: ") + side + "-adjacency of node " +
+              std::to_string(u) + " not strictly ascending in range");
+        }
+        prev = v;
+      }
+    }
+    return Status::OK();
+  };
+  SRS_RETURN_NOT_OK(check_side(out_ptr, out_adj, "out"));
+  SRS_RETURN_NOT_OK(check_side(in_ptr, in_adj, "in"));
+  if (out_adj.size() != in_adj.size()) {
+    return Status::InvalidArgument(
+        "FromCsr: out/in edge counts disagree (" +
+        std::to_string(out_adj.size()) + " vs " +
+        std::to_string(in_adj.size()) + ")");
+  }
+  if (!labels.empty() &&
+      static_cast<int64_t>(labels.size()) != num_nodes) {
+    return Status::InvalidArgument("FromCsr: label count mismatch");
+  }
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.out_ptr_ = std::move(out_ptr);
+  g.out_adj_ = std::move(out_adj);
+  g.in_ptr_ = std::move(in_ptr);
+  g.in_adj_ = std::move(in_adj);
+  g.labels_ = std::move(labels);
+  return g;
+}
+
+Result<Graph> Graph::FromCsrTrusted(int64_t num_nodes,
+                                    std::vector<int64_t> out_ptr,
+                                    std::vector<NodeId> out_adj,
+                                    std::vector<int64_t> in_ptr,
+                                    std::vector<NodeId> in_adj,
+                                    std::vector<std::string> labels) {
+  if (num_nodes < 0) {
+    return Status::InvalidArgument("FromCsr: negative node count");
+  }
+  auto check_shape = [num_nodes](const std::vector<int64_t>& ptr,
+                                 const std::vector<NodeId>& adj,
+                                 const char* side) -> Status {
+    if (static_cast<int64_t>(ptr.size()) != num_nodes + 1) {
+      return Status::InvalidArgument(
+          std::string("FromCsr: ") + side + "_ptr has " +
+          std::to_string(ptr.size()) + " entries, want " +
+          std::to_string(num_nodes + 1));
+    }
+    if (ptr.front() != 0 ||
+        ptr.back() != static_cast<int64_t>(adj.size())) {
+      return Status::InvalidArgument(
+          std::string("FromCsr: ") + side +
+          "_ptr endpoints disagree with adjacency size");
+    }
+    for (int64_t u = 0; u < num_nodes; ++u) {
+      if (ptr[u] > ptr[u + 1]) {
+        return Status::InvalidArgument(std::string("FromCsr: ") + side +
+                                       "_ptr not monotone at node " +
+                                       std::to_string(u));
+      }
+    }
+    return Status::OK();
+  };
+  SRS_RETURN_NOT_OK(check_shape(out_ptr, out_adj, "out"));
+  SRS_RETURN_NOT_OK(check_shape(in_ptr, in_adj, "in"));
+  if (out_adj.size() != in_adj.size()) {
+    return Status::InvalidArgument(
+        "FromCsr: out/in edge counts disagree (" +
+        std::to_string(out_adj.size()) + " vs " +
+        std::to_string(in_adj.size()) + ")");
+  }
+  if (!labels.empty() &&
+      static_cast<int64_t>(labels.size()) != num_nodes) {
+    return Status::InvalidArgument("FromCsr: label count mismatch");
+  }
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.out_ptr_ = std::move(out_ptr);
+  g.out_adj_ = std::move(out_adj);
+  g.in_ptr_ = std::move(in_ptr);
+  g.in_adj_ = std::move(in_adj);
+  g.labels_ = std::move(labels);
+  return g;
+}
+
 size_t Graph::ByteSize() const {
   return (out_ptr_.size() + in_ptr_.size()) * sizeof(int64_t) +
          (out_adj_.size() + in_adj_.size()) * sizeof(NodeId);

@@ -92,6 +92,38 @@ class Graph {
   /// Logical memory footprint in bytes.
   size_t ByteSize() const;
 
+  /// Raw CSR arrays — the serialization surface of storage/snapshot_file.h.
+  /// `OutPtr()[u] .. OutPtr()[u+1]` indexes into `OutAdj()` (and likewise
+  /// for the in-direction); sizes are `NumNodes()+1` / `NumEdges()`.
+  std::span<const int64_t> OutPtr() const { return out_ptr_; }
+  std::span<const NodeId> OutAdj() const { return out_adj_; }
+  std::span<const int64_t> InPtr() const { return in_ptr_; }
+  std::span<const NodeId> InAdj() const { return in_adj_; }
+
+  /// O(n+m) factory from prebuilt CSR arrays — the snapshot-load fast path
+  /// (GraphBuilder re-sorts; this only validates). Both directions must be
+  /// monotone with strictly ascending in-range columns per row and agree on
+  /// the edge count; deeper cross-direction corruption is the snapshot
+  /// file's per-section checksums' job.
+  static Result<Graph> FromCsr(int64_t num_nodes,
+                               std::vector<int64_t> out_ptr,
+                               std::vector<NodeId> out_adj,
+                               std::vector<int64_t> in_ptr,
+                               std::vector<NodeId> in_adj,
+                               std::vector<std::string> labels = {});
+
+  /// FromCsr minus the O(m) per-edge adjacency scan, for arrays whose
+  /// integrity is already guaranteed upstream — the snapshot reader calls
+  /// this after every section checksum has verified, where the arrays are
+  /// bit-for-bit what a validated Graph serialized. O(n) structural checks
+  /// (ptr sizes, endpoints, monotonicity) still run.
+  static Result<Graph> FromCsrTrusted(int64_t num_nodes,
+                                      std::vector<int64_t> out_ptr,
+                                      std::vector<NodeId> out_adj,
+                                      std::vector<int64_t> in_ptr,
+                                      std::vector<NodeId> in_adj,
+                                      std::vector<std::string> labels = {});
+
  private:
   friend class GraphBuilder;
 

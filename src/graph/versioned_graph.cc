@@ -48,16 +48,36 @@ VersionedGraph::VersionedGraph(Graph base,
   versions_.push_back(std::move(root));
 }
 
+VersionedGraph VersionedGraph::Restore(Graph base, uint64_t root_version,
+                                       uint64_t root_version_fingerprint,
+                                       uint64_t base_fingerprint,
+                                       const VersionedGraphOptions& options) {
+  VersionedGraph vg(std::move(base), options);
+  // Adopt the original chain's identity: ids and fingerprints continue
+  // where the snapshot left off instead of restarting at version 0.
+  vg.first_version_ = root_version;
+  vg.base_fingerprint_ = base_fingerprint;
+  vg.versions_.front().version_fp = root_version_fingerprint;
+  return vg;
+}
+
 const VersionedGraph::VersionRec& VersionedGraph::Rec(
     uint64_t version) const {
-  SRS_CHECK(version < versions_.size())
-      << "version " << version << " out of range (have "
-      << versions_.size() << ")";
-  return versions_[version];
+  SRS_CHECK(version >= first_version_ &&
+            version - first_version_ < versions_.size())
+      << "version " << version << " out of range (resident ["
+      << first_version_ << ", " << CurrentVersion() << "])";
+  return versions_[version - first_version_];
 }
 
 uint64_t VersionedGraph::VersionFingerprint(uint64_t version) const {
   return Rec(version).version_fp;
+}
+
+uint64_t VersionedGraph::NextVersionFingerprint(
+    const EdgeDelta& delta) const {
+  return ChainVersionFingerprint(versions_.back().version_fp,
+                                 delta.Fingerprint());
 }
 
 int64_t VersionedGraph::NumEdges(uint64_t version) const {
@@ -271,12 +291,14 @@ Result<uint64_t> VersionedGraph::Apply(const EdgeDelta& delta) {
 }
 
 Result<Graph> VersionedGraph::Materialize(uint64_t version) const {
-  if (version >= versions_.size()) {
+  if (version < first_version_ ||
+      version - first_version_ >= versions_.size()) {
     return Status::InvalidArgument(
-        "version " + std::to_string(version) + " out of range (have " +
-        std::to_string(versions_.size()) + " versions)");
+        "version " + std::to_string(version) + " out of range (resident [" +
+        std::to_string(first_version_) + ", " +
+        std::to_string(CurrentVersion()) + "])");
   }
-  const VersionRec& rec = versions_[version];
+  const VersionRec& rec = versions_[version - first_version_];
   GraphBuilder builder(num_nodes_);
   builder.ReserveEdges(static_cast<size_t>(rec.num_edges));
   for (NodeId u = 0; u < num_nodes_; ++u) {

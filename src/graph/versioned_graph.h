@@ -58,13 +58,29 @@ class VersionedGraph {
   explicit VersionedGraph(Graph base,
                           const VersionedGraphOptions& options = {});
 
+  /// Re-roots a chain at a recovered snapshot: `base` is the materialized
+  /// graph of version `root_version` of an earlier chain whose version-0
+  /// structural hash was `base_fingerprint` and whose version fingerprint
+  /// at the root was `root_version_fingerprint`. Version ids, version
+  /// fingerprints, and the base fingerprint all continue the original
+  /// chain, so replaying the original deltas reproduces the original ids
+  /// bit-for-bit (the recovery contract of storage/data_dir.h). Versions
+  /// below the root are simply not resident — FirstVersion() reports the
+  /// floor.
+  static VersionedGraph Restore(Graph base, uint64_t root_version,
+                                uint64_t root_version_fingerprint,
+                                uint64_t base_fingerprint,
+                                const VersionedGraphOptions& options = {});
+
   VersionedGraph(VersionedGraph&&) = default;
   VersionedGraph& operator=(VersionedGraph&&) = default;
 
   int64_t NumNodes() const { return num_nodes_; }
   size_t NumVersions() const { return versions_.size(); }
+  /// Oldest resident version (0 unless the chain was Restore()d).
+  uint64_t FirstVersion() const { return first_version_; }
   uint64_t CurrentVersion() const {
-    return static_cast<uint64_t>(versions_.size()) - 1;
+    return first_version_ + static_cast<uint64_t>(versions_.size()) - 1;
   }
   const VersionedGraphOptions& options() const { return options_; }
 
@@ -73,6 +89,11 @@ class VersionedGraph {
 
   /// Version fingerprint (0 for version 0; delta-chained otherwise).
   uint64_t VersionFingerprint(uint64_t version) const;
+
+  /// The version fingerprint Apply(delta) would mint — computed without
+  /// mutating the chain, so the WAL can frame a record *before* the apply
+  /// it describes (write-ahead ordering; storage/wal.h).
+  uint64_t NextVersionFingerprint(const EdgeDelta& delta) const;
 
   /// Applies `delta` (validated against this node count) on top of the
   /// current head and returns the new version id. Inserting an existing
@@ -148,6 +169,7 @@ class VersionedGraph {
   VersionedGraphOptions options_;
   int64_t num_nodes_ = 0;
   uint64_t base_fingerprint_ = 0;
+  uint64_t first_version_ = 0;
   std::vector<VersionRec> versions_;
 };
 

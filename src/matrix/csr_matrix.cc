@@ -69,6 +69,22 @@ CsrMatrix CsrMatrix::FromSortedRows(int64_t rows, int64_t cols,
           << "row " << r << " columns not strictly ascending";
     }
   }
+  return FromSortedRowsTrusted(rows, cols, std::move(row_ptr),
+                               std::move(col_idx), std::move(values));
+}
+
+CsrMatrix CsrMatrix::FromSortedRowsTrusted(int64_t rows, int64_t cols,
+                                           std::vector<int64_t> row_ptr,
+                                           std::vector<int32_t> col_idx,
+                                           std::vector<double> values) {
+  SRS_CHECK(rows >= 0 && cols >= 0);
+  SRS_CHECK_EQ(static_cast<int64_t>(row_ptr.size()), rows + 1);
+  SRS_CHECK_EQ(col_idx.size(), values.size());
+  SRS_CHECK(row_ptr.front() == 0 &&
+            row_ptr.back() == static_cast<int64_t>(col_idx.size()));
+  for (int64_t r = 0; r < rows; ++r) {
+    SRS_CHECK(row_ptr[r] <= row_ptr[r + 1]);
+  }
   CsrMatrix m;
   m.rows_ = rows;
   m.cols_ = cols;

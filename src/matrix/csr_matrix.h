@@ -79,6 +79,17 @@ class CsrMatrix {
                                   std::vector<int32_t> col_idx,
                                   std::vector<double> values);
 
+  /// FromSortedRows minus the O(nnz) per-element scan, for input whose
+  /// integrity is already guaranteed upstream — the snapshot reader calls
+  /// this after every section checksum has verified, where the arrays are
+  /// bit-for-bit what a validated matrix serialized. Shape invariants
+  /// (row_ptr size, endpoints, monotonicity) are still checked; only the
+  /// ascending-in-range column scan is skipped.
+  static CsrMatrix FromSortedRowsTrusted(int64_t rows, int64_t cols,
+                                         std::vector<int64_t> row_ptr,
+                                         std::vector<int32_t> col_idx,
+                                         std::vector<double> values);
+
   class Builder;
 
  private:

@@ -30,22 +30,42 @@ AdmissionQueue::Admit AdmissionQueue::Submit(Entry&& entry) {
 
 bool AdmissionQueue::NextBatch(std::vector<Entry>* batch) {
   batch->clear();
+  // Expired entries are collected under the lock but their promises are
+  // fulfilled only after it is released: set_value runs arbitrary waiter
+  // continuations (futures fulfilled inline on this thread), and one that
+  // re-enters the queue — Submit() a retry, Stats() — must not find its
+  // own mutex held.
+  std::vector<Entry> expired;
+  auto fulfill_expired = [&expired] {
+    for (Entry& entry : expired) {
+      entry.promise.set_value(
+          Status::DeadlineExceeded("expired while queued"));
+    }
+    expired.clear();
+  };
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
+    if (!expired.empty()) {
+      lock.unlock();
+      fulfill_expired();
+      lock.lock();
+    }
     cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
     // Expire lazily at pop: entries sit unexamined while queued, so an
     // expired one costs exactly one check here, on the dispatcher thread.
     const auto now = std::chrono::steady_clock::now();
     while (!queue_.empty() && queue_.front().request.deadline.has_value() &&
            now >= *queue_.front().request.deadline) {
-      Entry expired = std::move(queue_.front());
+      expired.push_back(std::move(queue_.front()));
       queue_.pop_front();
       ++stats_.expired;
-      expired.promise.set_value(
-          Status::DeadlineExceeded("expired while queued"));
     }
     if (queue_.empty()) {
-      if (closed_) return false;
+      if (closed_) {
+        lock.unlock();
+        fulfill_expired();
+        return false;
+      }
       continue;
     }
 
@@ -77,6 +97,8 @@ bool AdmissionQueue::NextBatch(std::vector<Entry>* batch) {
     stats_.max_batch_entries =
         std::max(stats_.max_batch_entries,
                  static_cast<uint64_t>(batch->size()));
+    lock.unlock();
+    fulfill_expired();
     return true;
   }
 }

@@ -245,6 +245,14 @@ bool SrsServer::HandleRequest(int fd, const ProtocolRequest& request) {
       s.Set("deltas_applied", service.deltas_applied);
       s.Set("served_version", service_->ServedVersion());
       s.Set("num_nodes", service_->NumNodes());
+      s.Set("checkpoints", service.checkpoints);
+      s.Set("wal_bytes", service.wal_bytes);
+      const RecoveryInfo recovery = service_->recovery_info();
+      s.Set("recovered_from_disk", recovery.recovered_from_disk);
+      s.Set("recovery_snapshot_version", recovery.snapshot_version);
+      s.Set("recovery_replayed_deltas", recovery.replayed_deltas);
+      s.Set("recovery_skipped_obsolete", recovery.skipped_obsolete);
+      s.Set("recovery_wal_tail_truncated", recovery.wal_tail_truncated);
       response.Set("stats", std::move(s));
       CountResponse(true);
       WriteLine(fd, response.Encode());
@@ -313,6 +321,7 @@ void SrsServer::HandleQuery(int fd, ProtocolRequest request) {
 void SrsServer::DispatchLoop() {
   std::vector<AdmissionQueue::Entry> batch;
   while (queue_.NextBatch(&batch)) {
+    if (options_.dispatch_hook) options_.dispatch_hook(batch.size());
     // All entries share the coalescing key: one merged engine call, rows
     // scattered back by per-entry offsets.
     QueryRequest merged;

@@ -29,7 +29,9 @@
 /// finish, and `Wait()` returns once everything admitted was answered.
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -51,6 +53,13 @@ struct ServerOptions {
 
   /// Admission / coalescing policy.
   AdmissionQueueOptions admission;
+
+  /// Test seam: when set, invoked on the dispatcher thread with the entry
+  /// count of each popped batch, before the merged engine call. Service
+  /// callbacks run outside the service lock and therefore cannot park the
+  /// dispatcher, so backpressure tests create dispatcher occupancy here
+  /// instead. Leave unset in production.
+  std::function<void(size_t)> dispatch_hook;
 };
 
 /// Monotonic counters describing a server's traffic.

@@ -1,0 +1,150 @@
+#include "srs/storage/data_dir.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace srs {
+
+namespace {
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+int64_t FileSize(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<int64_t>(st.st_size)
+                                        : -1;
+}
+
+/// The WAL header occupies the first 48 bytes (storage/wal.cc); a file
+/// shorter than that can only be the crash window of Wal::Create or
+/// Wal::Reset — both run with zero live records (Reset only after the
+/// superseding snapshot is durably renamed), so recreating a fresh log
+/// loses nothing.
+constexpr int64_t kWalHeaderBytes = 48;
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return Status::IoError("mkdir " + dir + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::string DurableStore::SnapshotPath(const std::string& dir) {
+  return dir + "/snapshot.srs";
+}
+
+std::string DurableStore::WalPath(const std::string& dir) {
+  return dir + "/wal.log";
+}
+
+bool DurableStore::HasState(const std::string& dir) {
+  return FileExists(SnapshotPath(dir));
+}
+
+Result<std::unique_ptr<DurableStore>> DurableStore::Initialize(
+    const std::string& dir, const Graph& graph,
+    const GraphSnapshot& snapshot) {
+  SRS_RETURN_NOT_OK(EnsureDir(dir));
+  SRS_RETURN_NOT_OK(WriteSnapshotFile(SnapshotPath(dir), graph, snapshot));
+  Wal::Header header;
+  header.base_fingerprint = snapshot.fingerprint;
+  header.snapshot_version = snapshot.version;
+  header.snapshot_version_fingerprint = snapshot.version_fingerprint;
+  SRS_ASSIGN_OR_RETURN(std::unique_ptr<Wal> wal,
+                       Wal::Create(WalPath(dir), header));
+  return std::unique_ptr<DurableStore>(
+      new DurableStore(dir, std::move(wal)));
+}
+
+Result<std::unique_ptr<DurableStore>> DurableStore::Recover(
+    const std::string& dir, Recovered* out) {
+  SRS_CHECK(out != nullptr);
+  *out = Recovered();
+  SRS_ASSIGN_OR_RETURN(out->snapshot, ReadSnapshotFile(SnapshotPath(dir)));
+  // A stale tmp from a checkpoint interrupted mid-write is dead weight —
+  // the rename never happened, so the durable snapshot is the one above.
+  ::unlink((SnapshotPath(dir) + ".tmp").c_str());
+
+  out->info.recovered_from_disk = true;
+  out->info.snapshot_version = out->snapshot.version;
+
+  std::unique_ptr<Wal> wal;
+  if (FileSize(WalPath(dir)) < kWalHeaderBytes) {
+    // Missing: a crash between Initialize's snapshot write and WAL
+    // creation. Shorter than its header: a crash inside Wal::Create or
+    // Wal::Reset (truncate-then-write), when the log provably held no
+    // record newer than the snapshot. Either way the snapshot alone is a
+    // complete state; start an empty log for it.
+    Wal::Header header;
+    header.base_fingerprint = out->snapshot.base_fingerprint;
+    header.snapshot_version = out->snapshot.version;
+    header.snapshot_version_fingerprint = out->snapshot.version_fingerprint;
+    SRS_ASSIGN_OR_RETURN(wal, Wal::Create(WalPath(dir), header));
+  } else {
+    Wal::ScanResult scan;
+    SRS_ASSIGN_OR_RETURN(wal, Wal::Open(WalPath(dir), &scan));
+    if (scan.header.base_fingerprint != out->snapshot.base_fingerprint) {
+      return Status::IoError(
+          "wal/snapshot chain mismatch in " + dir + ": wal base fingerprint " +
+          std::to_string(scan.header.base_fingerprint) + " vs snapshot " +
+          std::to_string(out->snapshot.base_fingerprint));
+    }
+    if (scan.header.snapshot_version > out->snapshot.version) {
+      // The WAL was reset for a snapshot newer than the one on disk —
+      // impossible under the rename-before-reset protocol; refuse to
+      // guess.
+      return Status::IoError(
+          "wal in " + dir + " expects snapshot version " +
+          std::to_string(scan.header.snapshot_version) +
+          " but found version " + std::to_string(out->snapshot.version));
+    }
+    out->info.wal_tail_truncated = scan.tail_truncated;
+    uint64_t expected = out->snapshot.version + 1;
+    for (Wal::Record& record : scan.records) {
+      if (record.version <= out->snapshot.version) {
+        // Obsolete: logged before the checkpoint that superseded it (a
+        // crash between checkpoint rename and WAL reset leaves these).
+        ++out->info.skipped_obsolete;
+        continue;
+      }
+      if (record.version != expected) {
+        return Status::IoError(
+            "wal in " + dir + " is not contiguous: record version " +
+            std::to_string(record.version) + ", expected " +
+            std::to_string(expected));
+      }
+      ++expected;
+      out->tail.push_back(std::move(record));
+    }
+    out->info.replayed_deltas = out->tail.size();
+  }
+  return std::unique_ptr<DurableStore>(
+      new DurableStore(dir, std::move(wal)));
+}
+
+Status DurableStore::LogDelta(const Wal::Record& record) {
+  return wal_->Append(record);
+}
+
+Status DurableStore::WriteCheckpoint(const Graph& graph,
+                                     const GraphSnapshot& snapshot) {
+  // Snapshot first, durably; only then truncate the log. A crash between
+  // the two leaves obsolete records that Recover() skips by version.
+  SRS_RETURN_NOT_OK(WriteSnapshotFile(SnapshotPath(dir_), graph, snapshot));
+  Wal::Header header;
+  header.base_fingerprint = snapshot.fingerprint;
+  header.snapshot_version = snapshot.version;
+  header.snapshot_version_fingerprint = snapshot.version_fingerprint;
+  return wal_->Reset(header);
+}
+
+}  // namespace srs

@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file data_dir.h
+/// \brief One directory of durable serving state: snapshot + WAL.
+///
+/// A data directory holds exactly two files:
+///
+///     <dir>/snapshot.srs   last checkpoint (storage/snapshot_file.h)
+///     <dir>/wal.log        deltas since that checkpoint (storage/wal.h)
+///
+/// `DurableStore` owns the crash-consistency protocol between them:
+///
+///  * **Logging.** `LogDelta` appends + fsyncs before the caller swaps the
+///    served version — write-ahead ordering, so an acknowledged delta is
+///    never lost.
+///  * **Checkpointing.** `WriteCheckpoint` writes the new snapshot
+///    atomically (tmp + fsync + rename + dir fsync) and only then resets
+///    the WAL. A crash anywhere in between leaves a recoverable pair: old
+///    snapshot + full log, or new snapshot + stale log whose obsolete
+///    records (version ≤ snapshot version) recovery skips.
+///  * **Recovery.** `Recover` loads the snapshot, scans the log (cutting a
+///    torn tail), and returns the record tail to replay through
+///    `VersionedGraph::Apply` — landing, by construction, on a prefix of
+///    the acknowledged deltas with the same version fingerprints the live
+///    process minted.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "srs/common/result.h"
+#include "srs/storage/snapshot_file.h"
+#include "srs/storage/wal.h"
+
+namespace srs {
+
+/// What recovery found and did — surfaced through the server's `stats` op.
+struct RecoveryInfo {
+  /// True when the process restarted from existing on-disk state (false
+  /// for a freshly initialized directory).
+  bool recovered_from_disk = false;
+  /// Version of the snapshot file recovery loaded.
+  uint64_t snapshot_version = 0;
+  /// WAL records replayed on top of the snapshot.
+  uint64_t replayed_deltas = 0;
+  /// Obsolete WAL records skipped (version ≤ snapshot version; left by a
+  /// crash between checkpoint rename and WAL reset).
+  uint64_t skipped_obsolete = 0;
+  /// True when a torn WAL tail was detected and truncated.
+  bool wal_tail_truncated = false;
+};
+
+/// \brief Orchestrates the snapshot/WAL pair in one data directory.
+class DurableStore {
+ public:
+  static std::string SnapshotPath(const std::string& dir);
+  static std::string WalPath(const std::string& dir);
+
+  /// True when `dir` holds a snapshot to recover from.
+  static bool HasState(const std::string& dir);
+
+  /// Fresh start: creates `dir` if needed, checkpoints (`graph`,
+  /// `snapshot`) as the initial snapshot file, and starts an empty WAL.
+  static Result<std::unique_ptr<DurableStore>> Initialize(
+      const std::string& dir, const Graph& graph,
+      const GraphSnapshot& snapshot);
+
+  /// Everything Recover() hands back for replay.
+  struct Recovered {
+    SnapshotFileData snapshot;
+    /// Records to replay, already filtered to versions strictly above the
+    /// snapshot's, verified contiguous from `snapshot.version + 1`.
+    std::vector<Wal::Record> tail;
+    RecoveryInfo info;
+  };
+
+  /// Opens existing state in `dir`: loads + checksums the snapshot, scans
+  /// the WAL (truncating a torn tail, skipping obsolete records), and
+  /// returns the tail to replay. IoError on any corruption recovery
+  /// cannot prove safe.
+  static Result<std::unique_ptr<DurableStore>> Recover(
+      const std::string& dir, Recovered* out);
+
+  /// Appends one delta record, fsync'd — call *before* swapping the
+  /// served version (write-ahead ordering).
+  Status LogDelta(const Wal::Record& record);
+
+  /// Atomically replaces the snapshot file with (`graph`, `snapshot`) and
+  /// truncates the WAL. The store's identity advances to the snapshot's
+  /// version.
+  Status WriteCheckpoint(const Graph& graph, const GraphSnapshot& snapshot);
+
+  /// Current WAL size in bytes — the checkpoint-policy input.
+  uint64_t WalSizeBytes() const { return wal_->SizeBytes(); }
+
+ private:
+  DurableStore(std::string dir, std::unique_ptr<Wal> wal)
+      : dir_(std::move(dir)), wal_(std::move(wal)) {}
+
+  std::string dir_;
+  std::unique_ptr<Wal> wal_;
+};
+
+}  // namespace srs

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file file_util.h
+/// \brief Small POSIX file helpers shared by the storage formats
+/// (snapshot_file.cc, wal.cc): RAII fds, short-write-safe writes, and the
+/// directory fsync that makes a rename durable.
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "srs/common/status.h"
+
+namespace srs {
+namespace storage {
+
+/// RAII file descriptor.
+class Fd {
+ public:
+  explicit Fd(int fd = -1) : fd_(fd) {}
+  ~Fd() { Close(); }
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      Close();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_;
+};
+
+/// write(2) until all of `size` is on its way (EINTR-safe).
+inline Status WriteAll(int fd, const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("write: ") + std::strerror(errno));
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// fsync(2) with a Status.
+inline Status Fsync(int fd, const std::string& what) {
+  if (::fsync(fd) != 0) {
+    return Status::IoError("fsync " + what + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+/// Fsyncs the directory containing `path` — required after rename(2) for
+/// the new directory entry itself to be durable.
+inline Status FsyncDirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError("open dir " + dir + ": " + std::strerror(errno));
+  }
+  Fd guard(fd);
+  return Fsync(fd, "dir " + dir);
+}
+
+}  // namespace storage
+}  // namespace srs

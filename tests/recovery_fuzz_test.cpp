@@ -1,0 +1,325 @@
+// Kill-at-random-point crash-recovery harness for the durable serving
+// state (storage/data_dir.h + SrsService::Recover).
+//
+// A reference service runs with a data directory, applying a random delta
+// sequence; after every applied delta the on-disk file pair
+// (snapshot.srs, wal.log) is captured byte-for-byte. Each captured pair
+// then seeds several *crash points*: the pair as written (a clean kill),
+// the WAL truncated at a random byte offset (a kill mid-append — possibly
+// mid-record, possibly between records), and the pair with a garbage
+// snapshot `.tmp` alongside (a kill mid-checkpoint). Every crash point
+// must recover to a *prefix* of the acknowledged history: same version
+// ids, same version fingerprints minted by the live chain, and query rows
+// that are bit-identical to the reference service's answers at that
+// version. Two reference configurations run the sweep — one that never
+// checkpoints (long WAL replay) and one that checkpoints on every delta
+// (snapshot-heavy, obsolete-record windows) — for ≥100 seeded crash
+// points total.
+//
+// Lanes mirror dynamic_update_fuzz_test: *FastCrashSweep runs in the PR
+// lane; the larger sweep is "slow" (tests/CMakeLists.txt).
+
+#include <sys/stat.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "srs/common/rng.h"
+#include "srs/engine/service.h"
+#include "srs/engine/snapshot.h"
+#include "srs/graph/delta.h"
+#include "srs/graph/generators.h"
+#include "srs/graph/versioned_graph.h"
+#include "srs/storage/data_dir.h"
+
+namespace srs {
+namespace {
+
+uint64_t FuzzSeed() {
+  static std::atomic<uint64_t> invocation{0};
+  uint64_t base = 20260808;
+  if (const char* env = std::getenv("SRS_FUZZ_SEED")) {
+    const uint64_t parsed = std::strtoull(env, nullptr, 10);
+    if (parsed != 0) base = parsed;
+  }
+  return base + invocation.fetch_add(1);
+}
+
+std::vector<char> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::vector<char>& bytes,
+                    size_t limit) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << path;
+  out.write(bytes.data(),
+            static_cast<std::streamsize>(std::min(limit, bytes.size())));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+void ExpectBitEqual(const std::vector<double>& got,
+                    const std::vector<double>& want,
+                    const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  if (!got.empty() &&
+      std::memcmp(got.data(), want.data(),
+                  got.size() * sizeof(double)) != 0) {
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], want[i]) << context << " first diff at entry " << i;
+    }
+    FAIL() << context << " bit drift not visible at value level";
+  }
+}
+
+EdgeDelta RandomDelta(const VersionedGraph& vg, int max_ops, Rng* rng) {
+  const int64_t n = vg.NumNodes();
+  const uint64_t version = vg.CurrentVersion();
+  EdgeDelta::Builder builder;
+  const int ops =
+      1 + static_cast<int>(rng->Uniform(static_cast<uint64_t>(max_ops)));
+  for (int i = 0; i < ops; ++i) {
+    if (rng->UniformDouble() < 0.6) {
+      builder.Insert(static_cast<NodeId>(rng->Uniform(n)),
+                     static_cast<NodeId>(rng->Uniform(n)));
+    } else {
+      NodeId u = static_cast<NodeId>(rng->Uniform(n));
+      for (int tries = 0; tries < 8 && vg.OutDegree(version, u) == 0;
+           ++tries) {
+        u = static_cast<NodeId>(rng->Uniform(n));
+      }
+      const auto nbrs = vg.OutNeighbors(version, u);
+      if (!nbrs.empty()) {
+        builder.Remove(u, nbrs[rng->Uniform(nbrs.size())]);
+      } else {
+        builder.Remove(u, static_cast<NodeId>(rng->Uniform(n)));
+      }
+    }
+  }
+  Result<EdgeDelta> delta = builder.Build(n);
+  EXPECT_TRUE(delta.ok()) << delta.status().ToString();
+  return delta.MoveValueOrDie();
+}
+
+struct CrashConfig {
+  int num_deltas = 6;          ///< applied on top of version 0
+  int max_ops = 6;             ///< per delta
+  int64_t num_nodes = 32;
+  int64_t num_edges = 96;
+  int truncations_per_stage = 7;  ///< random WAL cuts per captured pair
+};
+
+/// One captured on-disk state: the file pair as it stood right after the
+/// reference service acknowledged version `version`.
+struct CapturedPair {
+  uint64_t version = 0;
+  std::vector<char> snapshot;
+  std::vector<char> wal;
+};
+
+SimilarityOptions FuzzSimilarity() {
+  SimilarityOptions sim;
+  sim.damping = 0.6;
+  sim.iterations = 4;
+  return sim;
+}
+
+QueryRequest PinnedQuery(int64_t n, uint64_t version) {
+  QueryRequest request;
+  request.sources = {0, static_cast<NodeId>(n / 2),
+                     static_cast<NodeId>(n - 1)};
+  request.options = FuzzSimilarity();
+  request.version = version;
+  return request;
+}
+
+/// Runs one reference history (fresh graph, `config.num_deltas` deltas)
+/// with `wal_max_bytes` governing the checkpoint cadence, then recovers
+/// every derived crash point and checks the prefix contract. Returns the
+/// number of crash points exercised.
+int RunCrashSweep(uint64_t seed, const CrashConfig& config,
+                  uint64_t wal_max_bytes, const std::string& tag) {
+  SCOPED_TRACE("crash sweep " + tag + ", seed " + std::to_string(seed));
+  Rng rng(seed);
+  const std::string ref_dir = testing::TempDir() + "/recovery_ref_" + tag;
+  const std::string crash_dir =
+      testing::TempDir() + "/recovery_crash_" + tag;
+  ::mkdir(crash_dir.c_str(), 0755);  // the crashed process's data dir
+
+  Result<Graph> base = Rmat(config.num_nodes, config.num_edges, rng.Next());
+  EXPECT_TRUE(base.ok()) << base.status().ToString();
+  if (!base.ok()) return 0;
+
+  SnapshotCache ref_cache(32);
+  SrsServiceOptions ref_options;
+  ref_options.similarity = FuzzSimilarity();
+  ref_options.snapshot_cache = &ref_cache;
+  ref_options.data_dir = ref_dir;
+  ref_options.wal_max_bytes = wal_max_bytes;
+  Result<std::unique_ptr<SrsService>> ref =
+      SrsService::Create(base.MoveValueOrDie(), ref_options);
+  EXPECT_TRUE(ref.ok()) << ref.status().ToString();
+  if (!ref.ok()) return 0;
+  SrsService& reference = *ref.ValueOrDie();
+
+  auto capture = [&](uint64_t version) {
+    CapturedPair pair;
+    pair.version = version;
+    pair.snapshot = ReadFileBytes(DurableStore::SnapshotPath(ref_dir));
+    pair.wal = ReadFileBytes(DurableStore::WalPath(ref_dir));
+    return pair;
+  };
+
+  std::vector<CapturedPair> captured = {capture(0)};
+  for (int i = 0; i < config.num_deltas; ++i) {
+    const EdgeDelta delta =
+        RandomDelta(reference.graph(), config.max_ops, &rng);
+    Result<uint64_t> applied = reference.ApplyDelta(delta);
+    EXPECT_TRUE(applied.ok()) << applied.status().ToString();
+    if (!applied.ok()) return 0;
+    captured.push_back(capture(applied.ValueOrDie()));
+  }
+
+  // The acknowledged history: per-version fingerprints and pinned-query
+  // rows from the live (never-crashed) service. Recovery must reproduce
+  // these byte-for-byte on whatever prefix it lands on.
+  const uint64_t head = reference.ServedVersion();
+  std::vector<uint64_t> fingerprints(head + 1);
+  std::map<uint64_t, std::vector<std::vector<double>>> rows;
+  for (uint64_t v = 0; v <= head; ++v) {
+    fingerprints[v] = reference.graph().VersionFingerprint(v);
+    Result<QueryResponse> answer =
+        reference.Query(PinnedQuery(config.num_nodes, v));
+    EXPECT_TRUE(answer.ok()) << answer.status().ToString();
+    if (!answer.ok()) return 0;
+    for (const QueryRowResult& row : answer.ValueOrDie().rows) {
+      rows[v].push_back(row.scores);
+    }
+  }
+
+  int crash_points = 0;
+  auto recover_and_check = [&](const CapturedPair& pair, size_t wal_limit,
+                               bool garbage_tmp,
+                               const std::string& what) {
+    SCOPED_TRACE(what + " (stage v" + std::to_string(pair.version) +
+                 ", wal cut " + std::to_string(wal_limit) + "/" +
+                 std::to_string(pair.wal.size()) + ")");
+    ++crash_points;
+    WriteFileBytes(DurableStore::SnapshotPath(crash_dir), pair.snapshot,
+                   pair.snapshot.size());
+    WriteFileBytes(DurableStore::WalPath(crash_dir), pair.wal, wal_limit);
+    if (garbage_tmp) {
+      WriteFileBytes(DurableStore::SnapshotPath(crash_dir) + ".tmp",
+                     std::vector<char>{'t', 'o', 'r', 'n'}, 4);
+    }
+
+    // A fresh snapshot cache per recovery: nothing may leak over from the
+    // reference process except the two files.
+    SnapshotCache recovered_cache(32);
+    SrsServiceOptions options;
+    options.similarity = FuzzSimilarity();
+    options.snapshot_cache = &recovered_cache;
+    options.data_dir = crash_dir;
+    options.wal_max_bytes = wal_max_bytes;
+    Result<std::unique_ptr<SrsService>> recovered_r =
+        SrsService::Recover(options);
+    ASSERT_TRUE(recovered_r.ok()) << recovered_r.status().ToString();
+    SrsService& recovered = *recovered_r.ValueOrDie();
+
+    EXPECT_TRUE(recovered.recovery_info().recovered_from_disk);
+    const uint64_t served = recovered.ServedVersion();
+    const uint64_t first = recovered.graph().FirstVersion();
+    ASSERT_LE(served, pair.version) << "recovered past the kill point";
+    ASSERT_GE(served, first);
+    EXPECT_EQ(first, recovered.recovery_info().snapshot_version);
+    EXPECT_EQ(served - first, recovered.recovery_info().replayed_deltas);
+    for (uint64_t v = first; v <= served; ++v) {
+      ASSERT_EQ(recovered.graph().VersionFingerprint(v), fingerprints[v])
+          << "fingerprint drift at v" << v;
+    }
+    for (uint64_t v : {first, served}) {
+      Result<QueryResponse> answer =
+          recovered.Query(PinnedQuery(config.num_nodes, v));
+      ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+      EXPECT_EQ(answer.ValueOrDie().version, v);
+      ASSERT_EQ(answer.ValueOrDie().rows.size(), rows[v].size());
+      for (size_t i = 0; i < rows[v].size(); ++i) {
+        ExpectBitEqual(answer.ValueOrDie().rows[i].scores, rows[v][i],
+                       "recovered v" + std::to_string(v) + " source " +
+                           std::to_string(i));
+      }
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  };
+
+  for (const CapturedPair& pair : captured) {
+    // A clean kill right after the acknowledgement: both files complete.
+    recover_and_check(pair, pair.wal.size(), /*garbage_tmp=*/false,
+                      "clean kill");
+    if (::testing::Test::HasFatalFailure()) return crash_points;
+    // A kill mid-checkpoint: a torn snapshot tmp never confuses recovery.
+    recover_and_check(pair, pair.wal.size(), /*garbage_tmp=*/true,
+                      "kill mid-checkpoint");
+    if (::testing::Test::HasFatalFailure()) return crash_points;
+    // Kills mid-append: the WAL cut at a random offset anywhere past the
+    // header. Whatever record the cut lands in is gone; everything before
+    // it must recover.
+    const size_t header = 48;
+    for (int t = 0; t < config.truncations_per_stage; ++t) {
+      const size_t span = pair.wal.size() - header;
+      const size_t cut =
+          header + (span == 0 ? 0 : static_cast<size_t>(rng.Uniform(
+                                        static_cast<uint64_t>(span + 1))));
+      recover_and_check(pair, cut, /*garbage_tmp=*/false, "kill mid-append");
+      if (::testing::Test::HasFatalFailure()) return crash_points;
+    }
+  }
+  return crash_points;
+}
+
+TEST(RecoveryFuzzTest, FastCrashSweep) {
+  const uint64_t seed = FuzzSeed();
+  CrashConfig config;  // PR fast lane (tests/CMakeLists.txt)
+  int crash_points = 0;
+  // Never-checkpointing configuration: every crash point replays a WAL
+  // tail over the initial snapshot.
+  crash_points += RunCrashSweep(seed, config, /*wal_max_bytes=*/64ull << 20,
+                                "longwal");
+  // Checkpoint-every-delta configuration: crash points land in the
+  // rename/reset windows (obsolete records, empty tails).
+  crash_points += RunCrashSweep(seed + 1, config, /*wal_max_bytes=*/1,
+                                "ckpt");
+  // The acceptance bar for this harness: ≥100 distinct seeded kill points.
+  EXPECT_GE(crash_points, 100);
+}
+
+TEST(RecoveryFuzzTest, CrashSweep) {
+  const uint64_t seed = FuzzSeed() + 0x517c;
+  CrashConfig config;
+  config.num_deltas = 10;
+  config.max_ops = 16;
+  config.num_nodes = 96;
+  config.num_edges = 400;
+  config.truncations_per_stage = 15;
+  int crash_points = 0;
+  for (uint64_t wal_max : {64ull << 20, 1ull}) {
+    crash_points +=
+        RunCrashSweep(seed + wal_max, config, wal_max,
+                      wal_max == 1 ? "sweep_ckpt" : "sweep_longwal");
+  }
+  EXPECT_GE(crash_points, 300);
+}
+
+}  // namespace
+}  // namespace srs

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <clocale>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -80,6 +81,48 @@ TEST(JsonTest, MalformedInputIsInvalidArgument) {
   EXPECT_TRUE(ParseJson("1 2").status().IsInvalidArgument())
       << "trailing garbage must be an error";
   EXPECT_TRUE(ParseJson("").status().IsInvalidArgument());
+}
+
+TEST(JsonTest, OutOfRangeNumbersAreRejectedWithTheirOffset) {
+  // std::from_chars reports overflow instead of saturating to ±inf; the
+  // error names the byte offset and the offending token.
+  for (const char* text : {"1e999", "-1e999", "{\"x\":4e400}"}) {
+    const Status status = ParseJson(text).status();
+    EXPECT_TRUE(status.IsInvalidArgument()) << text;
+    EXPECT_NE(status.message().find("byte"), std::string::npos)
+        << status.ToString();
+    EXPECT_NE(status.message().find("out of range"), std::string::npos)
+        << status.ToString();
+  }
+  // Denormal-range underflow is representable and must still parse.
+  Result<JsonValue> tiny = ParseJson("1e-320");
+  ASSERT_TRUE(tiny.ok()) << tiny.status().ToString();
+  EXPECT_GT(tiny.ValueOrDie().AsNumber(), 0.0);
+}
+
+TEST(JsonTest, NumbersAreLocaleIndependent) {
+  // A comma-decimal locale must change neither parsing ('.' stays the
+  // decimal separator) nor encoding (no ',' ever appears in output).
+  const char* previous = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = previous != nullptr ? previous : "C";
+  const char* applied = std::setlocale(LC_NUMERIC, "de_DE.UTF-8");
+  if (applied == nullptr) {
+    applied = std::setlocale(LC_NUMERIC, "de_DE");
+  }
+  if (applied == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+
+  Result<JsonValue> parsed = ParseJson("[0.5,2.25e-1]");
+  const std::string encoded =
+      parsed.ok() ? parsed.ValueOrDie().Encode() : "";
+  const double half =
+      parsed.ok() ? parsed.ValueOrDie().array()[0].AsNumber() : 0.0;
+  std::setlocale(LC_NUMERIC, saved.c_str());  // restore before asserting
+
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(half, 0.5);
+  EXPECT_EQ(encoded, "[0.5,0.225]");
 }
 
 TEST(JsonTest, FindComposesWithoutKindChecks) {
@@ -260,6 +303,47 @@ TEST(AdmissionQueueTest, ExpiredEntriesCompleteAtPopWithoutAnEngine) {
   const Result<QueryResponse> result = future.get();
   EXPECT_TRUE(result.status().IsDeadlineExceeded())
       << result.status().ToString();
+  EXPECT_EQ(queue.Stats().expired, 1u);
+}
+
+TEST(AdmissionQueueTest, ExpiredWaitersMayReenterTheQueueOnWake) {
+  // Expired promises are fulfilled *after* NextBatch releases the queue
+  // lock, so a waiter that reacts to deadline_expired by immediately
+  // retrying (Submit) or inspecting the queue (Stats) never races the
+  // popping thread's critical section. (Regression: fulfillment used to
+  // run under mu_.) Runs under TSan via the suite's "tsan" label.
+  AdmissionQueue queue;
+  AdmissionQueue::Entry expired = MakeEntry(1, {0});
+  expired.request.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(5);
+  std::future<Result<QueryResponse>> future = expired.promise.get_future();
+  ASSERT_EQ(queue.Submit(std::move(expired)),
+            AdmissionQueue::Admit::kAdmitted);
+
+  std::thread waiter([&] {
+    const Result<QueryResponse> result = future.get();
+    EXPECT_TRUE(result.status().IsDeadlineExceeded())
+        << result.status().ToString();
+    // The wake-up handler calls straight back into the queue.
+    EXPECT_EQ(queue.Submit(MakeEntry(2, {1})),
+              AdmissionQueue::Admit::kAdmitted);
+    EXPECT_GE(queue.Stats().expired, 1u);
+  });
+
+  // Pop until the retry the waiter submits on wake comes through.
+  std::vector<AdmissionQueue::Entry> batch;
+  bool saw_retry = false;
+  for (int i = 0; i < 10000 && !saw_retry; ++i) {
+    if (queue.NextBatch(&batch)) {
+      for (const AdmissionQueue::Entry& entry : batch) {
+        saw_retry |= entry.key == 2u;
+      }
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+  waiter.join();
+  EXPECT_TRUE(saw_retry) << "the waiter's retry never dispatched";
   EXPECT_EQ(queue.Stats().expired, 1u);
 }
 
@@ -462,35 +546,24 @@ TEST(ServerTest, ZeroBudgetDeadlineExpiresBeforeDispatch) {
 TEST(ServerTest, FullAdmissionQueueAnswersOverload) {
   // Capacity 1: with the dispatcher occupied, one request fills the queue
   // and the next is rejected at admission. The dispatcher is occupied
-  // deterministically: a StreamRows call on the test thread holds the
-  // service's serialization lock inside its callback, so the dispatched
-  // batch blocks on SrsService::Query until the callback is released.
+  // deterministically through the dispatch_hook test seam — service
+  // callbacks run outside the service lock (StreamRows narrowing), so no
+  // user-visible call can park SrsService::Query from the outside
+  // anymore.
   std::unique_ptr<SrsService> service = MakeService(Fig1CitationGraph());
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
   ServerOptions options;
   options.admission.max_pending = 1;
+  options.dispatch_hook = [&](size_t) {
+    parked.store(true);
+    while (!release.load()) std::this_thread::yield();
+  };
   std::unique_ptr<SrsServer> server =
       SrsServer::Start(service.get(), options).MoveValueOrDie();
 
-  std::atomic<bool> holding{false};
-  std::atomic<bool> release{false};
-  std::thread lock_holder([&] {
-    QueryRequest request;
-    request.sources = {0};
-    ASSERT_TRUE(service
-                    ->StreamRows(request,
-                                 [&](int64_t, NodeId,
-                                     const std::vector<double>&) {
-                                   holding.store(true);
-                                   while (!release.load()) {
-                                     std::this_thread::yield();
-                                   }
-                                 })
-                    .ok());
-  });
-  ASSERT_TRUE(WaitUntil([&] { return holding.load(); }));
-
-  // Version-pinned requests: admission then never consults the (held)
-  // service lock, so submission stays live while the dispatcher is parked.
+  // Version-pinned requests: admission never consults the service, so
+  // submission stays live while the dispatcher is parked.
   const auto pinned_query = [](NodeId source) {
     JsonValue request = QueryLine(source);
     request.Set("version", 0);
@@ -502,9 +575,9 @@ TEST(ServerTest, FullAdmissionQueueAnswersOverload) {
     const JsonValue response = client.Call(pinned_query(0)).ValueOrDie();
     EXPECT_EQ(StatusOf(response), kStatusOk) << response.Encode();
   });
-  // The first request is popped (batches >= 1) and its engine call is
-  // parked on the service lock; the second fills the 1-slot queue.
-  ASSERT_TRUE(WaitUntil([&] { return server->QueueStats().batches >= 1; }));
+  // The first request is popped (the hook is parked holding it, with the
+  // queue now empty); the second fills the 1-slot queue.
+  ASSERT_TRUE(WaitUntil([&] { return parked.load(); }));
   std::thread queued_client([&] {
     SrsClient client =
         SrsClient::Connect("127.0.0.1", server->port()).MoveValueOrDie();
@@ -521,7 +594,6 @@ TEST(ServerTest, FullAdmissionQueueAnswersOverload) {
   EXPECT_GE(server->QueueStats().overloaded, 1u);
 
   release.store(true);
-  lock_holder.join();
   blocked_client.join();
   queued_client.join();
 }

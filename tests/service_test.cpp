@@ -234,6 +234,124 @@ TEST(ServiceTest, ExpiredDeadlineFailsBeforeComputing) {
   EXPECT_EQ(service->Stats().rows_served, 0u);
 }
 
+TEST(ServiceTest, WarmEngineCountNeverExceedsMaxEngines) {
+  SrsServiceOptions options;
+  options.max_engines = 2;
+  std::unique_ptr<SrsService> service =
+      MakeService(Fig1CitationGraph(), options);
+  QueryRequest request;
+  request.sources = {0};
+  for (int k = 0; k <= 5; ++k) {
+    request.options.top_k = k;  // six distinct configurations
+    ASSERT_TRUE(service->Query(request).ok());
+    // The LRU evicts *before* building, so residency never overshoots —
+    // not even transiently at the moment the sixth engine lands.
+    EXPECT_LE(service->WarmEngineCount(), options.max_engines)
+        << "after configuration " << k;
+  }
+}
+
+TEST(ServiceTest, StreamRowsCallbackMayReenterTheService) {
+  // The row callback runs outside the service lock, so it may call
+  // straight back into the service — Stats(), Query(), ServedVersion() —
+  // without deadlocking. (Regression: the callback used to run with the
+  // service mutex held.)
+  const Graph g = Fig1CitationGraph();
+  std::unique_ptr<SrsService> service = MakeService(g);
+  QueryRequest stream;
+  stream.sources = {0, 1, 2};
+  int rows_seen = 0;
+  ASSERT_TRUE(
+      service
+          ->StreamRows(stream,
+                       [&](int64_t, NodeId source,
+                           const std::vector<double>& row) {
+                         ++rows_seen;
+                         EXPECT_GT(service->Stats().queries, 0u);
+                         QueryRequest inner;
+                         inner.sources = {source};
+                         const QueryResponse direct =
+                             service->Query(inner).ValueOrDie();
+                         EXPECT_EQ(direct.rows[0].scores, row)
+                             << "re-entrant query for " << source;
+                       })
+          .ok());
+  EXPECT_EQ(rows_seen, 3);
+}
+
+TEST(ServiceTest, RecoverIsBitIdenticalToTheUncrashedService) {
+  const std::string dir = testing::TempDir() + "/service_recover";
+  const Graph g = Rmat(64, 256, 19).ValueOrDie();
+
+  SnapshotCache live_cache(16);
+  SrsServiceOptions options;
+  options.snapshot_cache = &live_cache;
+  options.data_dir = dir;
+  std::unique_ptr<SrsService> service = MakeService(g, options);
+
+  // Three acknowledged deltas; remember every version's answer.
+  QueryRequest request;
+  request.sources = {0, 31, 63};
+  std::vector<std::vector<double>> rows_by_version[4];
+  std::vector<uint64_t> fingerprints;
+  for (uint64_t v = 0; v <= 3; ++v) {
+    if (v > 0) {
+      EdgeDelta::Builder builder;
+      builder.Insert(static_cast<NodeId>(v), static_cast<NodeId>(60 - v));
+      builder.Remove(0, static_cast<NodeId>(v));
+      ASSERT_TRUE(
+          service->ApplyDelta(builder.Build(g.NumNodes()).ValueOrDie())
+              .ok());
+    }
+    request.version = v;
+    const QueryResponse response = service->Query(request).ValueOrDie();
+    for (const QueryRowResult& row : response.rows) {
+      rows_by_version[v].push_back(row.scores);
+    }
+    fingerprints.push_back(service->graph().VersionFingerprint(v));
+  }
+  EXPECT_GT(service->Stats().wal_bytes, 0u);
+  service.reset();  // the "crash": nothing survives but the data dir
+
+  SnapshotCache recovered_cache(16);
+  SrsServiceOptions recover_options;
+  recover_options.similarity = options.similarity;
+  recover_options.snapshot_cache = &recovered_cache;
+  recover_options.data_dir = dir;
+  std::unique_ptr<SrsService> recovered =
+      SrsService::Recover(recover_options).MoveValueOrDie();
+
+  const RecoveryInfo info = recovered->recovery_info();
+  EXPECT_TRUE(info.recovered_from_disk);
+  EXPECT_FALSE(info.wal_tail_truncated);
+  EXPECT_EQ(info.snapshot_version + info.replayed_deltas, 3u);
+  ASSERT_EQ(recovered->ServedVersion(), 3u);
+  for (uint64_t v = recovered->graph().FirstVersion(); v <= 3; ++v) {
+    EXPECT_EQ(recovered->graph().VersionFingerprint(v), fingerprints[v])
+        << "version fingerprint drift at v" << v;
+    request.version = v;
+    const QueryResponse answer = recovered->Query(request).ValueOrDie();
+    ASSERT_EQ(answer.rows.size(), rows_by_version[v].size());
+    for (size_t i = 0; i < answer.rows.size(); ++i) {
+      const std::vector<double>& got = answer.rows[i].scores;
+      const std::vector<double>& want = rows_by_version[v][i];
+      ASSERT_EQ(got.size(), want.size());
+      EXPECT_TRUE(std::memcmp(got.data(), want.data(),
+                              got.size() * sizeof(double)) == 0)
+          << "v" << v << " source " << request.sources[i]
+          << " drifted bitwise after recovery";
+    }
+  }
+
+  // The recovered service is live: deltas keep flowing and stay durable.
+  EdgeDelta::Builder more;
+  more.Insert(10, 20);
+  EXPECT_EQ(
+      recovered->ApplyDelta(more.Build(g.NumNodes()).ValueOrDie())
+          .ValueOrDie(),
+      4u);
+}
+
 TEST(ServiceTest, BadRequestsFailWithTheRightCodes) {
   std::unique_ptr<SrsService> service = MakeService(Fig1CitationGraph());
   QueryRequest request;

@@ -5,11 +5,22 @@
 //             [--damping C] [--iterations K | --epsilon E]
 //             [--backend dense|sparse] [--prune-eps E] [--cache-mb MB]
 //             [--max-batch N] [--max-pending N]
+//             [--data-dir DIR] [--wal-max-mb MB]
 //
 // Loads the graph once, builds an SrsService over it, and serves the
 // line-delimited JSON protocol of src/server/protocol.h on
-// 127.0.0.1:--port (0, the default, picks an ephemeral port). The first
-// stdout line is always
+// 127.0.0.1:--port (0, the default, picks an ephemeral port).
+//
+// With --data-dir the serving state is durable: applied deltas are
+// written ahead to DIR/wal.log before they are served, and checkpoints
+// (DIR/snapshot.srs) are cut when the in-memory chain compacts or the log
+// outgrows --wal-max-mb. On restart with the same --data-dir, the server
+// recovers from the snapshot + log tail — bit-identical to a process that
+// never crashed — and --graph is only consulted when the directory is
+// still empty (first start). The "stats" op reports what recovery did
+// (recovered_from_disk, recovery_replayed_deltas, ...).
+//
+// The first stdout line is always
 //
 //   srs_serve listening on 127.0.0.1:<port>
 //
@@ -53,8 +64,10 @@ namespace {
 
 struct CliOptions {
   std::string graph_path;
+  std::string data_dir;
   int port = 0;
   int cache_mb = 0;
+  int wal_max_mb = 64;
   bool undirected = false;
   int max_batch = 64;
   int max_pending = 1024;
@@ -67,7 +80,11 @@ void Usage(const char* argv0) {
       "usage: %s --graph FILE [--port N] [--threads N] [--undirected]\n"
       "          [--damping C] [--iterations K] [--epsilon E]\n"
       "          [--backend dense|sparse] [--prune-eps E] [--cache-mb MB]\n"
-      "          [--max-batch N] [--max-pending N]\n",
+      "          [--max-batch N] [--max-pending N]\n"
+      "          [--data-dir DIR] [--wal-max-mb MB]\n"
+      "\n"
+      "--graph may be omitted when --data-dir already holds recoverable\n"
+      "state (snapshot + write-ahead log).\n",
       argv0);
 }
 
@@ -125,6 +142,14 @@ bool ParseCli(int argc, char** argv, CliOptions* options) {
       const char* v = next_value();
       if (v == nullptr) return false;
       options->max_pending = std::atoi(v);
+    } else if (arg == "--data-dir") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options->data_dir = v;
+    } else if (arg == "--wal-max-mb") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options->wal_max_mb = std::atoi(v);
     } else if (arg == "--undirected") {
       options->undirected = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -134,8 +159,12 @@ bool ParseCli(int argc, char** argv, CliOptions* options) {
       return false;
     }
   }
-  return !options->graph_path.empty() && options->port >= 0 &&
-         options->port <= 65535 && options->cache_mb >= 0 &&
+  // --graph is optional exactly when a data directory can be recovered.
+  const bool recoverable = !options->data_dir.empty() &&
+                           srs::DurableStore::HasState(options->data_dir);
+  return (!options->graph_path.empty() || recoverable) &&
+         options->port >= 0 && options->port <= 65535 &&
+         options->cache_mb >= 0 && options->wal_max_mb >= 1 &&
          options->max_batch >= 1 && options->max_pending >= 1;
 }
 
@@ -153,20 +182,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  srs::EdgeListOptions io;
-  io.undirected = options.undirected;
-  srs::Result<srs::Graph> loaded = srs::LoadEdgeList(options.graph_path, io);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
-    return 1;
-  }
-  std::fprintf(stderr, "loaded %s: %s\n", options.graph_path.c_str(),
-               srs::StatsToString(srs::ComputeStats(loaded.ValueOrDie()))
-                   .c_str());
-
   srs::SrsServiceOptions service_options;
   service_options.similarity = options.sim;
   service_options.num_threads = options.sim.num_threads;
+  service_options.data_dir = options.data_dir;
+  service_options.wal_max_bytes = static_cast<uint64_t>(options.wal_max_mb)
+                                  << 20;
   if (options.cache_mb > 0) {
     srs::ResultCacheOptions cache_options;
     cache_options.capacity_bytes = static_cast<size_t>(options.cache_mb)
@@ -174,8 +195,44 @@ int main(int argc, char** argv) {
     service_options.result_cache =
         std::make_shared<srs::ResultCache>(cache_options);
   }
+
   srs::Result<std::unique_ptr<srs::SrsService>> service =
-      srs::SrsService::Create(loaded.MoveValueOrDie(), service_options);
+      srs::Status::Internal("unreachable");
+  if (!options.data_dir.empty() &&
+      srs::DurableStore::HasState(options.data_dir)) {
+    // Restart path: the snapshot + log tail reconstruct the served state
+    // bit-identically; the edge list is not reread.
+    service = srs::SrsService::Recover(service_options);
+    if (service.ok()) {
+      const srs::RecoveryInfo info = service.ValueOrDie()->recovery_info();
+      std::fprintf(stderr,
+                   "recovered %s: snapshot v%llu + %llu wal delta(s)%s%s -> "
+                   "serving v%llu\n",
+                   options.data_dir.c_str(),
+                   static_cast<unsigned long long>(info.snapshot_version),
+                   static_cast<unsigned long long>(info.replayed_deltas),
+                   info.skipped_obsolete > 0 ? ", obsolete records skipped"
+                                             : "",
+                   info.wal_tail_truncated ? ", torn tail truncated" : "",
+                   static_cast<unsigned long long>(
+                       service.ValueOrDie()->ServedVersion()));
+    }
+  } else {
+    srs::EdgeListOptions io;
+    io.undirected = options.undirected;
+    srs::Result<srs::Graph> loaded =
+        srs::LoadEdgeList(options.graph_path, io);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "loaded %s: %s\n", options.graph_path.c_str(),
+                 srs::StatsToString(srs::ComputeStats(loaded.ValueOrDie()))
+                     .c_str());
+    service =
+        srs::SrsService::Create(loaded.MoveValueOrDie(), service_options);
+  }
   if (!service.ok()) {
     std::fprintf(stderr, "error: %s\n", service.status().ToString().c_str());
     return 1;
