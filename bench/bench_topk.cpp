@@ -14,7 +14,16 @@
 // reports the early-termination level histogram across the query batch, so
 // *where* the bound fires is visible next to the speedup.
 //
-// Usage: bench_topk [scale] [seed] [--json] [--json-out PATH]
+// `--large` switches to the n >= 1M tier: top-10 latency on an R-MAT
+// graph (avg degree 8) and a copying-model graph (avg degree 3), swept
+// across the SIMD dispatch ladder (common/cpu_features.h) and both node
+// layouts (original vs degree-sorted, timings including the map back to
+// original ids) instead of the backend/k grid — `speedup_vs_reference`
+// is the layout + kernel win over the pre-ladder scalar baseline on the
+// original layout, and the full-row baseline is skipped (at K = 36 on 1M
+// nodes it would take minutes per rung without informing the comparison).
+//
+// Usage: bench_topk [scale] [seed] [--json] [--json-out PATH] [--large]
 
 #include <algorithm>
 #include <cstdio>
@@ -22,11 +31,13 @@
 #include <string>
 #include <vector>
 
+#include "srs/common/cpu_features.h"
 #include "srs/common/rng.h"
 #include "srs/common/table_printer.h"
 #include "srs/engine/query_engine.h"
 #include "srs/engine/topk_engine.h"
 #include "srs/graph/generators.h"
+#include "srs/graph/reorder.h"
 
 #include "bench_util.h"
 
@@ -52,10 +63,131 @@ double AvgLevels(const std::vector<TopKResult>& results) {
   return static_cast<double>(sum) / static_cast<double>(results.size());
 }
 
+std::vector<SimdLevel> LadderOnThisMachine() {
+  std::vector<SimdLevel> levels = {SimdLevel::kReference,
+                                   SimdLevel::kPortable};
+  if (DetectedSimdLevel() >= SimdLevel::kAvx2) {
+    levels.push_back(SimdLevel::kAvx2);
+  }
+  return levels;
+}
+
+/// The n >= 1M tier: top-10 latency across the SIMD dispatch ladder and
+/// both node layouts. The degree-sorted layout's timings include mapping
+/// the returned rankings back to original ids; `speedup_vs_reference` is
+/// always against the (original layout, reference rung) time.
+int RunLargeTier(const bench::BenchArgs& args) {
+  const int64_t n = static_cast<int64_t>(1000000 * args.scale);
+  struct Dataset {
+    const char* name;
+    Graph graph;
+  };
+  std::vector<Dataset> datasets;
+  datasets.push_back(
+      {"rmat_deg8", Rmat(n, 8 * n, DeriveSeed(args.seed, 1)).ValueOrDie()});
+  datasets.push_back(
+      {"copying_deg3",
+       CopyingModelGraph(n, 3.0, 0.35, DeriveSeed(args.seed, 2))
+           .ValueOrDie()});
+
+  SimilarityOptions sim;
+  sim.damping = 0.6;
+  sim.epsilon = 1e-8;  // accuracy-driven K, as in the smoke tier
+  sim.top_k = 10;
+
+  std::printf(
+      "Top-10 early termination across the SIMD ladder at n=%lld, C=0.6, "
+      "epsilon-driven K (1e-8), 4 queries per timing, 1 thread (detected "
+      "rung: %s)\n",
+      static_cast<long long>(n), SimdLevelName(DetectedSimdLevel()));
+
+  bench::PrintHeader("dataset x measure x layout x simd -> ms/query");
+  TablePrinter table({"dataset", "measure", "layout", "simd", "ms/query",
+                      "speedup vs reference", "avg levels"});
+
+  const QueryMeasure measures[] = {QueryMeasure::kSimRankStarGeometric,
+                                   QueryMeasure::kRwr};
+  for (const Dataset& dataset : datasets) {
+    const Graph& g = dataset.graph;
+    const ReorderedGraph sorted = DegreeSortedGraph(g);
+    std::vector<NodeId> batch;
+    for (int i = 0; i < 4; ++i) {
+      batch.push_back(static_cast<NodeId>((int64_t{7919} * (i + 1)) % n));
+    }
+    std::vector<NodeId> sorted_batch;
+    for (NodeId q : batch) sorted_batch.push_back(sorted.old_to_new[q]);
+
+    struct LayoutConfig {
+      const char* name;
+      const Graph* graph;
+      const std::vector<NodeId>* batch;
+      const std::vector<NodeId>* new_to_old;  // null for the original ids
+    };
+    const LayoutConfig layouts[] = {
+        {"original", &g, &batch, nullptr},
+        {"degree_sorted", &sorted.graph, &sorted_batch, &sorted.new_to_old},
+    };
+    for (QueryMeasure measure : measures) {
+      double reference_sec = 0.0;
+      for (const LayoutConfig& layout : layouts) {
+        TopKEngineOptions opts;
+        opts.similarity = sim;
+        TopKEngine engine =
+            TopKEngine::Create(*layout.graph, opts).MoveValueOrDie();
+        std::vector<TopKResult> results;
+        const auto run_batch = [&] {
+          results = engine.BatchTopK(measure, *layout.batch).ValueOrDie();
+          if (layout.new_to_old != nullptr) {
+            for (TopKResult& r : results) {
+              for (RankedNode& rn : r.ranking) {
+                rn.node = (*layout.new_to_old)[rn.node];
+              }
+            }
+          }
+        };
+        for (SimdLevel level : LadderOnThisMachine()) {
+          SetSimdLevelForTesting(level);
+          run_batch();  // warm-up
+          const double sec = bench::TimeSeconds(run_batch);
+          if (layout.new_to_old == nullptr &&
+              level == SimdLevel::kReference) {
+            reference_sec = sec;
+          }
+          const double speedup = reference_sec / sec;
+          const double ms = 1e3 * sec / batch.size();
+          table.AddRow({dataset.name, QueryMeasureToString(measure),
+                        layout.name, SimdLevelName(level),
+                        TablePrinter::Fmt(ms, 3),
+                        TablePrinter::Fmt(speedup, 2),
+                        TablePrinter::Fmt(AvgLevels(results), 1)});
+          if (args.json) {
+            bench::JsonLine("bench_topk_large")
+                .Add("dataset", dataset.name)
+                .Add("nodes", n)
+                .Add("edges", g.NumEdges())
+                .Add("measure", QueryMeasureToString(measure))
+                .Add("k", 10)
+                .Add("layout", layout.name)
+                .Add("simd", SimdLevelName(level))
+                .Add("ms_per_query", ms)
+                .Add("speedup_vs_reference", speedup)
+                .Add("avg_levels_evaluated", AvgLevels(results))
+                .Print();
+          }
+        }
+        ResetSimdLevelForTesting();
+      }
+    }
+  }
+  table.Print();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  if (args.large) return RunLargeTier(args);
 
   const int64_t n = static_cast<int64_t>(50000 * args.scale);
   const std::vector<int> degrees = {2, 4, 8};

@@ -23,11 +23,16 @@ namespace srs::bench {
 /// trajectories can be scraped from bench output. `--json-out PATH`
 /// (implies `--json`) appends every JSON line to PATH as well — several
 /// harnesses can share one file, which is how the CI bench smoke collects
-/// a `BENCH_smoke.json` artifact across its smoke steps.
+/// a `BENCH_smoke.json` artifact across its smoke steps. `--large` switches
+/// the harnesses that support it (bench_kernel_backends, bench_topk) to
+/// their n >= 1M tier — million-node graphs swept across the SIMD dispatch
+/// ladder — which is how `BENCH_kernels.json` is produced; harnesses
+/// without a large tier ignore the flag.
 struct BenchArgs {
   double scale = 1.0;
   uint64_t seed = 42;
   bool json = false;
+  bool large = false;
 };
 
 /// The optional `--json-out` sink shared by every JsonLine of the process;
@@ -45,6 +50,10 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       args.json = true;
+      continue;
+    }
+    if (arg == "--large") {
+      args.large = true;
       continue;
     }
     if (arg == "--json-out") {
@@ -66,7 +75,7 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
       // would corrupt the scale/seed and skew every scraped number.
       std::fprintf(stderr,
                    "unknown flag: %s (usage: [scale] [seed] [--json] "
-                   "[--json-out PATH])\n",
+                   "[--json-out PATH] [--large])\n",
                    arg.c_str());
       std::exit(2);
     }

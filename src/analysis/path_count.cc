@@ -61,7 +61,7 @@ PathPresence ComputePathPresence(const Graph& g, int horizon) {
 
   auto mark = [&](const CsrMatrix& m, uint8_t flag_bits) {
     for (int64_t i = 0; i < n; ++i) {
-      for (int64_t k = m.row_ptr()[i]; k < m.row_ptr()[i + 1]; ++k) {
+      for (int64_t k = m.RowBegin(i); k < m.RowEnd(i); ++k) {
         presence.flags[static_cast<size_t>(i) * n + m.col_idx()[k]] |=
             flag_bits;
       }

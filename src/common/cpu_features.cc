@@ -1,0 +1,105 @@
+#include "srs/common/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace srs {
+
+namespace {
+
+bool DetectSse42() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("sse4.2");
+#else
+  return false;
+#endif
+}
+
+bool DetectAvx2() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+SimdLevel EnvironmentLevel(SimdLevel detected) {
+  if (const char* name = std::getenv("SRS_SIMD_LEVEL")) {
+    SimdLevel parsed;
+    if (ParseSimdLevel(name, &parsed)) {
+      return parsed <= detected ? parsed : SimdLevel::kPortable;
+    }
+  }
+  if (const char* scalar = std::getenv("SRS_FORCE_SCALAR")) {
+    if (scalar[0] != '\0' && std::strcmp(scalar, "0") != 0) {
+      return SimdLevel::kPortable;
+    }
+  }
+  return detected;
+}
+
+// -1 = no testing override in effect.
+std::atomic<int> g_test_override{-1};
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kReference:
+      return "reference";
+    case SimdLevel::kPortable:
+      return "portable";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool ParseSimdLevel(const char* name, SimdLevel* out) {
+  if (name == nullptr) {
+    return false;
+  }
+  if (std::strcmp(name, "reference") == 0) {
+    *out = SimdLevel::kReference;
+  } else if (std::strcmp(name, "portable") == 0) {
+    *out = SimdLevel::kPortable;
+  } else if (std::strcmp(name, "avx2") == 0) {
+    *out = SimdLevel::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool CpuHasSse42() {
+  static const bool has = DetectSse42();
+  return has;
+}
+
+bool CpuHasAvx2() {
+  static const bool has = DetectAvx2();
+  return has;
+}
+
+SimdLevel DetectedSimdLevel() {
+  return CpuHasAvx2() ? SimdLevel::kAvx2 : SimdLevel::kPortable;
+}
+
+SimdLevel ActiveSimdLevel() {
+  const int override_level = g_test_override.load(std::memory_order_relaxed);
+  if (override_level >= 0) return static_cast<SimdLevel>(override_level);
+  static const SimdLevel env_level = EnvironmentLevel(DetectedSimdLevel());
+  return env_level;
+}
+
+void SetSimdLevelForTesting(SimdLevel level) {
+  if (level > DetectedSimdLevel()) level = DetectedSimdLevel();
+  g_test_override.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void ResetSimdLevelForTesting() {
+  g_test_override.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace srs

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file cpu_features.h
+/// \brief Runtime CPU feature detection and the SIMD dispatch ladder.
+///
+/// Every vectorized kernel in the library (matrix/csr_kernels.h, the
+/// CRC-32C hardware path in common/crc32c.cc) selects its implementation
+/// at runtime through this module, so one binary runs optimally on any
+/// x86-64 and correctly everywhere else. The ladder has three rungs:
+///
+///  * `kReference` — the original scalar loops and data layout, kept
+///    selectable so "speedup vs the pre-change scalar path" stays a
+///    measurable quantity (bench_kernels sweeps the ladder).
+///  * `kPortable`  — restructured loops (fused level blocks, 32-bit row
+///    offsets, software prefetch) in plain auto-vectorizable C++. The
+///    floor on every architecture.
+///  * `kAvx2`      — the same loop structure with explicit AVX2
+///    intrinsics (matrix/simd_avx2.cc). Only reachable when CPUID
+///    reports AVX2.
+///
+/// Dispatch never changes results: all three rungs are bit-identical by
+/// construction (strict per-output accumulation order, no FMA
+/// contraction), which tests/simd_dispatch_test.cpp asserts and the CI
+/// kernel-dispatch lane re-checks end to end through the golden CLI.
+///
+/// Environment overrides (read once, at first use):
+///  * `SRS_FORCE_SCALAR`      — any value but "0" pins `kPortable`; the
+///    differential-testing escape hatch.
+///  * `SRS_SIMD_LEVEL`        — "reference", "portable", or "avx2"
+///    (clamped to what the CPU supports); wins over SRS_FORCE_SCALAR.
+/// `SetSimdLevelForTesting` beats both and takes effect immediately.
+
+#include <cstdint>
+
+namespace srs {
+
+/// Dispatch rungs, ordered weakest to strongest.
+enum class SimdLevel : int {
+  kReference = 0,
+  kPortable = 1,
+  kAvx2 = 2,
+};
+
+/// Stable lowercase name ("reference", "portable", "avx2").
+const char* SimdLevelName(SimdLevel level);
+
+/// Parses a SimdLevelName back to its level; returns false on junk.
+bool ParseSimdLevel(const char* name, SimdLevel* out);
+
+/// CPUID probes (always false off x86-64). Cached after the first call.
+bool CpuHasSse42();
+bool CpuHasAvx2();
+
+/// The strongest rung this CPU can run (>= kPortable; env vars ignored).
+SimdLevel DetectedSimdLevel();
+
+/// The rung the kernels dispatch on right now: the testing override if
+/// set, else the environment override, else DetectedSimdLevel().
+SimdLevel ActiveSimdLevel();
+
+/// Pins ActiveSimdLevel() for the current process (clamped to
+/// DetectedSimdLevel()); benches sweep the ladder through this.
+void SetSimdLevelForTesting(SimdLevel level);
+
+/// Undoes SetSimdLevelForTesting.
+void ResetSimdLevelForTesting();
+
+}  // namespace srs

@@ -3,6 +3,8 @@
 #include <array>
 #include <cstring>
 
+#include "srs/common/cpu_features.h"
+
 namespace srs {
 
 namespace {
@@ -65,7 +67,8 @@ uint32_t Crc32cTable(const unsigned char* p, size_t len, uint32_t crc) {
 /// SSE4.2 CRC32 computes exactly this polynomial in hardware (~8 bytes per
 /// 3-cycle dependent chain vs ~1 byte/cycle for the table walk). Inline asm
 /// instead of intrinsics so the file still compiles without -msse4.2; the
-/// instruction only executes behind the runtime CPUID check below.
+/// instruction only executes behind the runtime CpuHasSse42() check
+/// (common/cpu_features.h).
 uint32_t Crc32cHardware(const unsigned char* p, size_t len, uint32_t crc) {
   while (len >= 8 && (reinterpret_cast<uintptr_t>(p) & 7u) != 0) {
     asm("crc32b %1, %0" : "+r"(crc) : "rm"(*p));
@@ -88,7 +91,6 @@ uint32_t Crc32cHardware(const unsigned char* p, size_t len, uint32_t crc) {
   return crc;
 }
 
-bool DetectHardwareCrc() { return __builtin_cpu_supports("sse4.2"); }
 #endif  // SRS_CRC32C_HW
 
 }  // namespace
@@ -97,10 +99,19 @@ uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
   const unsigned char* p = static_cast<const unsigned char*>(data);
   const uint32_t crc = ~seed;
 #ifdef SRS_CRC32C_HW
-  static const bool use_hw = DetectHardwareCrc();
+  static const bool use_hw = CpuHasSse42();
   if (use_hw) return ~Crc32cHardware(p, len, crc);
 #endif
   return ~Crc32cTable(p, len, crc);
 }
+
+namespace internal {
+
+uint32_t Crc32cPortable(const void* data, size_t len, uint32_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  return ~Crc32cTable(p, len, ~seed);
+}
+
+}  // namespace internal
 
 }  // namespace srs

@@ -23,4 +23,12 @@ namespace srs {
 /// checksum of the concatenation a||b, so section writers can stream.
 uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0);
 
+namespace internal {
+
+/// The slice-by-8 table path regardless of CPU support — exists so tests
+/// can assert the hardware and portable paths agree on this machine.
+uint32_t Crc32cPortable(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace internal
+
 }  // namespace srs

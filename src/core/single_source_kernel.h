@@ -12,8 +12,10 @@
 /// allocations. Both paths funnel into the kernels below and therefore
 /// produce bit-identical score vectors (same operations in the same order).
 
+#include <algorithm>
 #include <vector>
 
+#include "srs/common/cpu_features.h"
 #include "srs/graph/graph.h"
 #include "srs/matrix/csr_overlay.h"
 
@@ -23,10 +25,43 @@ namespace srs {
 ///
 /// `Prepare(n, k_max)` grows the buffers as needed and is idempotent; after
 /// the first call with a given shape, subsequent calls allocate nothing.
+///
+/// Two equivalent layouts exist for the per-level D_{l,alpha} vectors:
+///  * `level`/`next` — one dense vector per alpha, what the reference
+///    SimdLevel walks (and the layout this workspace always had);
+///  * `block`/`next_block` — alphas 1..k_max interleaved per node:
+///    D_{l,alpha}[i] lives at block[i*stride + alpha-1], with alpha = 0
+///    staying in the dense `t` vector. One pass over Q then advances every
+///    alpha of a level at once (csr_kernels::BinomialPropagate), touching
+///    each matrix nonzero once per level instead of once per alpha, and
+///    each node's alphas are one contiguous cache line instead of l
+///    scattered vectors.
+/// The vectorized rungs use the block layout; both layouts execute the
+/// same per-element operations in the same order, so scores agree bitwise.
 struct SingleSourceWorkspace {
   /// Ensures capacity for graphs of `n` nodes and series truncated at
-  /// `k_max` terms.
+  /// `k_max` terms (reference layout).
   void Prepare(int64_t n, int k_max);
+
+  /// Ensures capacity for the interleaved block layout. The stride is
+  /// rounded up to a multiple of 4 and at least k_max + 2 so the kernels'
+  /// 4-wide column chunks stay inside each node's slice; it only grows, so
+  /// reusing one workspace across query shapes never reallocates in steady
+  /// state.
+  void PrepareBlocks(int64_t n, int k_max);
+
+  /// Stride (doubles per node) of the block a level with `count` alpha
+  /// columns is written at: >= count + 2 for the vectorized tail, rounded
+  /// to a multiple of 4. Strides are per *level*, not one workspace-wide
+  /// constant: level l's block is laid out at BlockStride(l), so early
+  /// levels occupy (and their successors gather from) a fraction of the
+  /// final level's footprint — at K = 10 the level-2 block is a third the
+  /// size of the level-10 one. Purely a layout choice; values and chain
+  /// order are unaffected.
+  static int64_t BlockStride(int count) {
+    const int64_t want = std::max<int64_t>(4, count + 2);
+    return (want + 3) & ~int64_t{3};
+  }
 
   /// D_{l,alpha} vectors for the current level l (alpha-indexed).
   std::vector<std::vector<double>> level;
@@ -36,6 +71,23 @@ struct SingleSourceWorkspace {
   std::vector<double> t;
   /// Spare vector for matrix-vector products.
   std::vector<double> scratch;
+
+  /// Premultiplied companion of the t chain when the transposed matrix is
+  /// column-constant (CsrOverlay::BaseColumnConstantValues): tp[c] =
+  /// cv[c]·t[c], maintained as the fused `yp` output of each
+  /// MultiplyVectorPremultiplied pass so the fold costs nothing extra.
+  std::vector<double> tp;
+  /// Double buffer for the next pass's premultiplied vector.
+  std::vector<double> tp_next;
+
+  /// Interleaved D_{l,alpha} block for the current level (alphas >= 1).
+  std::vector<double> block;
+  /// Double buffer for the next level's block.
+  std::vector<double> next_block;
+  /// Per-alpha weights of one level, coeff[alpha], alpha = 0..k_max.
+  std::vector<double> coeff;
+  /// Doubles per node in block/next_block.
+  int64_t stride = 0;
 };
 
 /// Per-length weights (1−C)·C^l of the geometric SimRank* series,
@@ -73,6 +125,13 @@ struct BinomialColumnCursor {
   const std::vector<double>* weights_ = nullptr;
   SingleSourceWorkspace* ws_ = nullptr;
   std::vector<double>* out_ = nullptr;
+  /// Pinned at Begin so one query never mixes layouts mid-series:
+  /// kReference walks the per-alpha vectors, the vectorized rungs the
+  /// interleaved block.
+  SimdLevel simd_ = SimdLevel::kReference;
+  /// qt's per-column constants when its base is column-constant and the
+  /// fused layout is active, else null — gates the premultiplied t chain.
+  const double* qt_cv_ = nullptr;
 };
 
 /// \brief Stepwise evaluation of the truncated RWR series
@@ -95,6 +154,11 @@ struct RwrColumnCursor {
   std::vector<double>* out_ = nullptr;
   double damping_ = 0.0;
   double ck_ = 1.0;  ///< C^level
+  /// Pinned at Begin, like BinomialColumnCursor::simd_.
+  SimdLevel simd_ = SimdLevel::kReference;
+  /// wt's per-column constants when its base is column-constant and the
+  /// rung is above kReference, else null.
+  const double* cv_ = nullptr;
 };
 
 /// Accumulates Σ_l w_l Σ_α binom(l,α)/2^l · Q^α (Qᵀ)^{l−α} e_q into `*out`

@@ -1,0 +1,55 @@
+#include "srs/graph/reorder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "srs/graph/graph_builder.h"
+
+namespace srs {
+
+ReorderedGraph DegreeSortedGraph(const Graph& g) {
+  const int64_t n = g.NumNodes();
+  ReorderedGraph out;
+  out.new_to_old.resize(static_cast<size_t>(n));
+  std::iota(out.new_to_old.begin(), out.new_to_old.end(), NodeId{0});
+  std::stable_sort(out.new_to_old.begin(), out.new_to_old.end(),
+                   [&](NodeId a, NodeId b) {
+                     return g.InDegree(a) + g.OutDegree(a) >
+                            g.InDegree(b) + g.OutDegree(b);
+                   });
+  out.old_to_new.resize(static_cast<size_t>(n));
+  for (int64_t v = 0; v < n; ++v) {
+    out.old_to_new[static_cast<size_t>(out.new_to_old[v])] =
+        static_cast<NodeId>(v);
+  }
+
+  GraphBuilder builder(n);
+  builder.ReserveEdges(static_cast<size_t>(g.NumEdges()));
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId nu = out.old_to_new[static_cast<size_t>(u)];
+    for (NodeId v : g.OutNeighbors(u)) {
+      SRS_CHECK_OK(
+          builder.AddEdge(nu, out.old_to_new[static_cast<size_t>(v)]));
+    }
+  }
+  if (!g.labels().empty()) {
+    for (NodeId u = 0; u < n; ++u) {
+      SRS_CHECK_OK(builder.SetLabel(out.old_to_new[static_cast<size_t>(u)],
+                                    g.labels()[static_cast<size_t>(u)]));
+    }
+  }
+  out.graph = builder.Build().MoveValueOrDie();
+  return out;
+}
+
+void PermuteScoresToOriginal(const std::vector<double>& scores_new,
+                             const std::vector<NodeId>& new_to_old,
+                             std::vector<double>* out) {
+  SRS_CHECK_EQ(scores_new.size(), new_to_old.size());
+  out->resize(scores_new.size());
+  for (size_t v = 0; v < scores_new.size(); ++v) {
+    (*out)[static_cast<size_t>(new_to_old[v])] = scores_new[v];
+  }
+}
+
+}  // namespace srs

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file reorder.h
+/// \brief Degree-sorted node relabeling for cache-conscious serving.
+///
+/// The CSR kernels stream rows in id order, so placing high-degree nodes
+/// first concentrates the hot rows (and the frontier entries that hit
+/// them) in a compact prefix of every array — on skewed degree
+/// distributions that turns a random-access working set into a mostly
+/// resident one. The permutation is a *physical relabeling*: scores over
+/// the reordered graph are a permutation of the original graph's scores
+/// for the corresponding query node, and `PermuteScoresToOriginal` maps
+/// them back.
+///
+/// This layout is deliberately opt-in (serving pipelines decide per
+/// dataset). It is NOT bit-identical to the original ordering: per-row
+/// summation ranges over the same values in a different column order, so
+/// recovered scores agree to rounding (~1e-15 relative), not bitwise. The
+/// dispatch ladder's bit-identity contract applies within one layout.
+
+#include <vector>
+
+#include "srs/graph/graph.h"
+
+namespace srs {
+
+/// A relabeled graph plus both directions of the node permutation.
+struct ReorderedGraph {
+  Graph graph;
+  /// old_to_new[u] = id of original node u in `graph`.
+  std::vector<NodeId> old_to_new;
+  /// new_to_old[v] = original id of `graph`'s node v.
+  std::vector<NodeId> new_to_old;
+};
+
+/// Relabels nodes by descending total degree (in + out), ties broken by
+/// original id (stable), and rebuilds the graph under the new ids.
+/// Labels, if present, follow their nodes.
+ReorderedGraph DegreeSortedGraph(const Graph& g);
+
+/// Maps a score vector computed over the reordered graph (indexed by new
+/// ids) back to original-id order: out[new_to_old[v]] = scores_new[v].
+void PermuteScoresToOriginal(const std::vector<double>& scores_new,
+                             const std::vector<NodeId>& new_to_old,
+                             std::vector<double>* out);
+
+}  // namespace srs

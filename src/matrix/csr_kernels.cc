@@ -1,0 +1,334 @@
+#include "srs/matrix/csr_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "srs/matrix/csr_overlay.h"
+#include "srs/matrix/simd_avx2.h"
+
+namespace srs::csr_kernels {
+
+namespace {
+
+/// The original scalar gather — the reference rung, verbatim pre-ladder
+/// code so `speedup_vs_reference` in the benches measures this PR's work.
+template <typename Offset>
+void SpmvScalar(int64_t rows, const Offset* row_ptr, const int32_t* col_idx,
+                const double* values, const double* x, double* y) {
+  for (int64_t r = 0; r < rows; ++r) {
+    double sum = 0.0;
+    const int64_t end = static_cast<int64_t>(row_ptr[r + 1]);
+    for (int64_t k = static_cast<int64_t>(row_ptr[r]); k < end; ++k) {
+      sum += values[k] * x[col_idx[k]];
+    }
+    y[r] = sum;
+  }
+}
+
+// Software prefetch was tried here (a cursor running a fixed edge
+// distance ahead of the compute loop, for both x[col] and the level-block
+// rows) and measured 15-25% SLOWER at n = 1M on a current Xeon: the
+// out-of-order window plus hardware prefetchers already hide the mostly
+// L2/L3-resident gathers, so the extra instructions only cost issue
+// slots. Locality comes from data layout instead — 32-bit row offsets
+// (CsrMatrix::narrow_offsets) and the opt-in degree-sorted relabeling
+// (graph/reorder.h) that concentrates hot gather targets in a compact
+// prefix. The frontier scatter keeps its prefetch (sparse_vector.cc):
+// its targets are written, not read, and measured neutral-to-positive.
+
+/// Core of the fused level propagation for one row's nonzeros, shared by
+/// the flat-array and row-span entry points. Column j of the output block
+/// keeps its own strict ascending-k chain; the j-loop is the
+/// vectorization axis (4 independent chains, unit-stride loads from the
+/// previous block's row slice).
+/// Block columns are processed 16 per pass over the row's nonzeros (the
+/// alpha = 1 chain folds into the first pass), so the col_idx stream and
+/// the per-edge slice touch happen once per 16 outputs instead of once
+/// per 4. Each output column still keeps its own strict ascending-k
+/// chain — the pass width moves work between passes, never within a
+/// chain — so the restructure is bitwise invisible.
+inline void PropagateRowPortable(const int32_t* cols, const double* vals,
+                                 int64_t nnz, const double* t_prev,
+                                 const double* prev_block, int64_t prev_stride,
+                                 int count, double* next_row) {
+  double acc[16];
+  {
+    const int here = std::min(16, count - 1);
+    for (int u = 0; u < here; ++u) acc[u] = 0.0;
+    double s0 = 0.0;
+    for (int64_t k = 0; k < nnz; ++k) {
+      const double v = vals[k];
+      const double* p =
+          prev_block + static_cast<int64_t>(cols[k]) * prev_stride;
+      s0 += v * t_prev[cols[k]];
+      for (int u = 0; u < here; ++u) acc[u] += v * p[u];
+    }
+    next_row[0] = s0;
+    for (int u = 0; u < here; ++u) next_row[1 + u] = acc[u];
+  }
+  for (int jc = 17; jc < count; jc += 16) {
+    const int here = std::min(16, count - jc);
+    for (int u = 0; u < here; ++u) acc[u] = 0.0;
+    for (int64_t k = 0; k < nnz; ++k) {
+      const double v = vals[k];
+      const double* p = prev_block +
+                        static_cast<int64_t>(cols[k]) * prev_stride + (jc - 1);
+      for (int u = 0; u < here; ++u) acc[u] += v * p[u];
+    }
+    for (int u = 0; u < here; ++u) next_row[jc + u] = acc[u];
+  }
+}
+
+template <typename Offset>
+void BinomialPropagatePortable(int64_t rows, const Offset* row_ptr,
+                               const int32_t* col_idx, const double* values,
+                               const double* t_prev, const double* prev_block,
+                               int64_t prev_stride, int count,
+                               double* next_block, int64_t next_stride) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t begin = static_cast<int64_t>(row_ptr[r]);
+    const int64_t end = static_cast<int64_t>(row_ptr[r + 1]);
+    PropagateRowPortable(col_idx + begin, values + begin, end - begin, t_prev,
+                         prev_block, prev_stride, count,
+                         next_block + r * next_stride);
+  }
+}
+
+/// PropagateRowPortable with the row's single value in a register — the
+/// per-edge products v·t_prev[c] and v·p[u] pair the same operands as the
+/// streamed-values loop, so every chain is bitwise identical.
+inline void PropagateRowPortableConst(const int32_t* cols, double v,
+                                      int64_t nnz, const double* t_prev,
+                                      const double* prev_block,
+                                      int64_t prev_stride, int count,
+                                      double* next_row) {
+  double acc[16];
+  {
+    const int here = std::min(16, count - 1);
+    for (int u = 0; u < here; ++u) acc[u] = 0.0;
+    double s0 = 0.0;
+    for (int64_t k = 0; k < nnz; ++k) {
+      const double* p =
+          prev_block + static_cast<int64_t>(cols[k]) * prev_stride;
+      s0 += v * t_prev[cols[k]];
+      for (int u = 0; u < here; ++u) acc[u] += v * p[u];
+    }
+    next_row[0] = s0;
+    for (int u = 0; u < here; ++u) next_row[1 + u] = acc[u];
+  }
+  for (int jc = 17; jc < count; jc += 16) {
+    const int here = std::min(16, count - jc);
+    for (int u = 0; u < here; ++u) acc[u] = 0.0;
+    for (int64_t k = 0; k < nnz; ++k) {
+      const double* p = prev_block +
+                        static_cast<int64_t>(cols[k]) * prev_stride + (jc - 1);
+      for (int u = 0; u < here; ++u) acc[u] += v * p[u];
+    }
+    for (int u = 0; u < here; ++u) next_row[jc + u] = acc[u];
+  }
+}
+
+template <typename Offset>
+void BinomialPropagateRowConstPortable(int64_t rows, const Offset* row_ptr,
+                                       const int32_t* col_idx,
+                                       const double* row_vals,
+                                       const double* t_prev,
+                                       const double* prev_block,
+                                       int64_t prev_stride, int count,
+                                       double* next_block,
+                                       int64_t next_stride) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t begin = static_cast<int64_t>(row_ptr[r]);
+    const int64_t end = static_cast<int64_t>(row_ptr[r + 1]);
+    PropagateRowPortableConst(col_idx + begin, row_vals[r], end - begin,
+                              t_prev, prev_block, prev_stride, count,
+                              next_block + r * next_stride);
+  }
+}
+
+void WeightedAccumulatePortable(int64_t n, const double* t, double coeff_t,
+                                const double* block, int64_t stride,
+                                const double* coeffs, int count, double* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    // Same adds in the same (alpha-ascending) order as the reference's
+    // per-alpha Axpy passes; keeping the running sum in a register instead
+    // of storing between passes does not change any intermediate value.
+    double v = out[i] + coeff_t * t[i];
+    const double* brow = block + i * stride;
+    for (int j = 0; j < count; ++j) v += coeffs[j] * brow[j];
+    out[i] = v;
+  }
+}
+
+template <typename Offset>
+double MaxAbsRowSumScalar(int64_t rows, const Offset* row_ptr,
+                          const int32_t* /*col_idx*/, const double* values) {
+  double max_sum = 0.0;
+  for (int64_t r = 0; r < rows; ++r) {
+    double sum = 0.0;
+    const int64_t end = static_cast<int64_t>(row_ptr[r + 1]);
+    for (int64_t k = static_cast<int64_t>(row_ptr[r]); k < end; ++k) {
+      sum += std::fabs(values[k]);
+    }
+    max_sum = std::max(max_sum, sum);
+  }
+  return max_sum;
+}
+
+void ClipSmallScalar(double* y, int64_t n, double eps) {
+  for (int64_t i = 0; i < n; ++i) {
+    if (std::fabs(y[i]) <= eps) y[i] = 0.0;
+  }
+}
+
+}  // namespace
+
+template <typename Offset>
+void Spmv(SimdLevel level, int64_t rows, const Offset* row_ptr,
+          const int32_t* col_idx, const double* values, const double* x,
+          double* y) {
+  // No AVX2 rung on purpose: an SpMV row is one serial chain, so the only
+  // vectorization axis is 4 row lanes fed by masked gathers — and gather
+  // instructions are microcode-mitigated (GDS) on much of the deployed
+  // x86 fleet, where they lose to scalar loads outright (measured ~0.5x
+  // at n = 1M). Every rung runs the scalar loop; the ladder's SpMV wins
+  // come from the data layout, not this inner loop.
+  (void)level;
+  SpmvScalar(rows, row_ptr, col_idx, values, x, y);
+}
+
+template <typename Offset>
+void BinomialPropagate(SimdLevel level, int64_t rows, const Offset* row_ptr,
+                       const int32_t* col_idx, const double* values,
+                       const double* t_prev, const double* prev_block,
+                       int64_t prev_stride, int count, double* next_block,
+                       int64_t next_stride) {
+#ifdef SRS_HAVE_AVX2_KERNELS
+  if (level == SimdLevel::kAvx2) {
+    simd_avx2::BinomialPropagate(rows, row_ptr, col_idx, values, t_prev,
+                                 prev_block, prev_stride, count, next_block,
+                                 next_stride);
+    return;
+  }
+#endif
+  (void)level;
+  BinomialPropagatePortable(rows, row_ptr, col_idx, values, t_prev, prev_block,
+                            prev_stride, count, next_block, next_stride);
+}
+
+template <typename Offset>
+void BinomialPropagateRowConst(SimdLevel level, int64_t rows,
+                               const Offset* row_ptr, const int32_t* col_idx,
+                               const double* row_vals, const double* t_prev,
+                               const double* prev_block, int64_t prev_stride,
+                               int count, double* next_block,
+                               int64_t next_stride) {
+#ifdef SRS_HAVE_AVX2_KERNELS
+  if (level == SimdLevel::kAvx2) {
+    simd_avx2::BinomialPropagateRowConst(rows, row_ptr, col_idx, row_vals,
+                                         t_prev, prev_block, prev_stride,
+                                         count, next_block, next_stride);
+    return;
+  }
+#endif
+  (void)level;
+  BinomialPropagateRowConstPortable(rows, row_ptr, col_idx, row_vals, t_prev,
+                                    prev_block, prev_stride, count, next_block,
+                                    next_stride);
+}
+
+template <typename Offset>
+void SpmvPremultiplied(int64_t rows, const Offset* row_ptr,
+                       const int32_t* col_idx, const double* xp,
+                       const double* next_cv, double* y, double* yp) {
+  // One bare gather per edge; the folded products arrive precomputed in
+  // xp, so the addition chain below is the generic kernel's, bit for bit.
+  for (int64_t r = 0; r < rows; ++r) {
+    double sum = 0.0;
+    const int64_t end = static_cast<int64_t>(row_ptr[r + 1]);
+    for (int64_t k = static_cast<int64_t>(row_ptr[r]); k < end; ++k) {
+      sum += xp[col_idx[k]];
+    }
+    y[r] = sum;
+    if (yp != nullptr) yp[r] = next_cv[r] * sum;
+  }
+}
+
+void BinomialPropagateRow(const CsrRowSpan& row, const double* t_prev,
+                          const double* prev_block, int64_t prev_stride,
+                          int count, double* next_row) {
+  PropagateRowPortable(row.cols, row.vals, row.nnz, t_prev, prev_block,
+                       prev_stride, count, next_row);
+}
+
+void WeightedAccumulate(SimdLevel level, int64_t n, const double* t,
+                        double coeff_t, const double* block, int64_t stride,
+                        const double* coeffs, int count, double* out) {
+  // No AVX2 rung: vectorizing across 4 output slots needs stride-spaced
+  // gathers from the block (see Spmv on why gathers lose), while the
+  // portable loop streams each block row sequentially — already the best
+  // access pattern for this kernel.
+  (void)level;
+  WeightedAccumulatePortable(n, t, coeff_t, block, stride, coeffs, count, out);
+}
+
+template <typename Offset>
+double MaxAbsRowSum(SimdLevel level, int64_t rows, const Offset* row_ptr,
+                    const int32_t* col_idx, const double* values) {
+  // No AVX2 rung: 4 row lanes need masked value gathers (see Spmv), and
+  // the scalar loop already streams `values` sequentially. Called once
+  // per snapshot, never per query — not worth a dispatch branch beyond
+  // keeping the signature uniform.
+  (void)level;
+  return MaxAbsRowSumScalar(rows, row_ptr, col_idx, values);
+}
+
+void ClipSmall(SimdLevel level, double* y, int64_t n, double eps) {
+#ifdef SRS_HAVE_AVX2_KERNELS
+  if (level == SimdLevel::kAvx2) {
+    simd_avx2::ClipSmall(y, n, eps);
+    return;
+  }
+#endif
+  (void)level;
+  ClipSmallScalar(y, n, eps);
+}
+
+template void Spmv<uint32_t>(SimdLevel, int64_t, const uint32_t*,
+                             const int32_t*, const double*, const double*,
+                             double*);
+template void Spmv<int64_t>(SimdLevel, int64_t, const int64_t*,
+                            const int32_t*, const double*, const double*,
+                            double*);
+template void SpmvPremultiplied<uint32_t>(int64_t, const uint32_t*,
+                                          const int32_t*, const double*,
+                                          const double*, double*, double*);
+template void SpmvPremultiplied<int64_t>(int64_t, const int64_t*,
+                                         const int32_t*, const double*,
+                                         const double*, double*, double*);
+template void BinomialPropagate<uint32_t>(SimdLevel, int64_t, const uint32_t*,
+                                          const int32_t*, const double*,
+                                          const double*, const double*,
+                                          int64_t, int, double*, int64_t);
+template void BinomialPropagate<int64_t>(SimdLevel, int64_t, const int64_t*,
+                                         const int32_t*, const double*,
+                                         const double*, const double*,
+                                         int64_t, int, double*, int64_t);
+template void BinomialPropagateRowConst<uint32_t>(SimdLevel, int64_t,
+                                                  const uint32_t*,
+                                                  const int32_t*,
+                                                  const double*, const double*,
+                                                  const double*, int64_t, int,
+                                                  double*, int64_t);
+template void BinomialPropagateRowConst<int64_t>(SimdLevel, int64_t,
+                                                 const int64_t*,
+                                                 const int32_t*, const double*,
+                                                 const double*, const double*,
+                                                 int64_t, int, double*,
+                                                 int64_t);
+template double MaxAbsRowSum<uint32_t>(SimdLevel, int64_t, const uint32_t*,
+                                       const int32_t*, const double*);
+template double MaxAbsRowSum<int64_t>(SimdLevel, int64_t, const int64_t*,
+                                      const int32_t*, const double*);
+
+}  // namespace srs::csr_kernels

@@ -1,0 +1,145 @@
+#pragma once
+
+/// \file csr_kernels.h
+/// \brief Runtime-dispatched CSR inner loops, templated on the row-offset
+/// width.
+///
+/// These are the flat-array kernels everything hot funnels into:
+/// CsrMatrix/CsrOverlay::MultiplyVector, the fused level propagation of
+/// core/single_source_kernel.cc, the pruned gather of
+/// matrix/sparse_vector.cc, and MaxAbsRowSum. Each takes the SimdLevel to
+/// dispatch on (common/cpu_features.h) and the row-pointer array as either
+/// `const uint32_t*` (32-bit compressed offsets, the layout whenever nnz
+/// fits — see CsrMatrix::narrow_offsets) or `const int64_t*`.
+///
+/// Bit-identity contract: every rung of the ladder produces bitwise the
+/// reference scalar result. The vectorized rungs therefore never
+/// reassociate a gather chain — each output keeps one strict
+/// ascending-index accumulation — and vectorize only *across* independent
+/// outputs (4 level-block columns at a time). The AVX2 rung uses explicit
+/// mul+add intrinsics (never FMA) and the whole library builds with
+/// -ffp-contract=off so no rung can contract where another rounds twice.
+/// tests/simd_dispatch_test.cpp asserts the equality on random matrices;
+/// the eps=0 suites and the golden CLI pin it end to end.
+///
+/// What each rung buys: kReference is the frozen pre-ladder scalar code
+/// *and* the pre-ladder per-alpha workspace layout (the measured
+/// baseline). kPortable runs the fused-block layout: one col_idx/values
+/// stream and one contiguous block read per edge where the reference runs
+/// a pass per alpha. kAvx2 further vectorizes the kernels whose lanes
+/// load contiguously (the level-block propagation, the clip); gather-fed
+/// lanes are deliberately left scalar — gather instructions carry the GDS
+/// ("Downfall") microcode mitigation on much of the deployed x86 fleet
+/// and measure slower than scalar loads. Locality beyond that comes from
+/// layout: 32-bit row offsets and the opt-in degree-sorted relabeling of
+/// graph/reorder.h, which concentrates the hot gather targets of skewed
+/// graphs in a compact, cache-resident id prefix.
+///
+/// Templates are explicitly instantiated in csr_kernels.cc for uint32_t
+/// and int64_t offsets only.
+
+#include <cstdint>
+
+#include "srs/common/cpu_features.h"
+
+namespace srs {
+
+struct CsrRowSpan;
+
+namespace csr_kernels {
+
+/// `y = A·x`: the per-row ascending gather of CsrMatrix::MultiplyVector.
+/// Every rung runs the same scalar loop (see csr_kernels.cc on why both
+/// AVX2 gathers and software prefetch lose here).
+template <typename Offset>
+void Spmv(SimdLevel level, int64_t rows, const Offset* row_ptr,
+          const int32_t* col_idx, const double* values, const double* x,
+          double* y);
+
+/// `y = A·x` for a *column-constant* matrix (CsrMatrix::
+/// ColumnConstantValues) whose values have already been folded into the
+/// source: `xp[c] = cv[c]·x[c]`, so the per-edge work is a bare gather —
+/// the values stream (8 bytes/edge, two thirds of the streamed traffic)
+/// disappears. Each folded product multiplies exactly the operands the
+/// generic kernel would, and the per-row addition chain is unchanged, so
+/// `y` is bitwise Spmv's. `yp` (if non-null) receives `next_cv[r]·y[r]`
+/// — the premultiplied input of the *next* pass with a column-constant
+/// matrix, computed in-register here so chained passes (the (Qᵀ)^l and
+/// (Wᵀ)^l walks) never need a separate O(n) fold. Portable-and-above
+/// rungs only; callers keep the generic path on kReference.
+template <typename Offset>
+void SpmvPremultiplied(int64_t rows, const Offset* row_ptr,
+                       const int32_t* col_idx, const double* xp,
+                       const double* next_cv, double* y, double* yp);
+
+/// Fused propagation of one binomial level over an interleaved block
+/// layout (see SingleSourceWorkspace::PrepareBlocks). For every row r the
+/// output slice `next_block[r*stride + j]`, j = 0..count-1, receives the
+/// level-l vectors alpha = j+1 in one pass over the matrix:
+///
+///   next[r, 0] = Σ_k v_k · t_prev[c_k]                (alpha = 1)
+///   next[r, j] = Σ_k v_k · prev_block[c_k*stride+j-1] (alpha = j+1)
+///
+/// Each (row, j) sum is its own strict ascending-k chain, so the result is
+/// bitwise what `count` separate Spmv passes produce; the win is one
+/// col_idx/values stream instead of `count` and contiguous 8·count-byte
+/// reads where the separate passes gather 8 bytes from `count` arrays.
+///
+/// The previous and next blocks carry their own strides so each level's
+/// block can be laid out at the tightest width its own column count
+/// allows (SingleSourceWorkspace::BlockStride) instead of the final
+/// level's: early levels then gather from a block a fraction of the
+/// full-stride footprint. `prev_stride` must be the stride `prev_block`
+/// was written with and `next_stride >= count + 2` (the vector tail may
+/// touch, masked, up to two doubles past the last column of a row slice —
+/// always padding inside the slice when the stride formula is used).
+template <typename Offset>
+void BinomialPropagate(SimdLevel level, int64_t rows, const Offset* row_ptr,
+                       const int32_t* col_idx, const double* values,
+                       const double* t_prev, const double* prev_block,
+                       int64_t prev_stride, int count, double* next_block,
+                       int64_t next_stride);
+
+/// BinomialPropagate for a *row-constant* matrix (CsrMatrix::
+/// RowConstantValues, the shape of the row-normalized Q): the row's value
+/// loads into a register once and the per-edge values stream disappears.
+/// Same products, same chains — bitwise BinomialPropagate's output.
+template <typename Offset>
+void BinomialPropagateRowConst(SimdLevel level, int64_t rows,
+                               const Offset* row_ptr, const int32_t* col_idx,
+                               const double* row_vals, const double* t_prev,
+                               const double* prev_block, int64_t prev_stride,
+                               int count, double* next_block,
+                               int64_t next_stride);
+
+/// Single-row form of BinomialPropagate reading a patch-overlay row span —
+/// how patched rows are fixed up after the flat-array pass over the base.
+/// `prev_stride` is the stride `prev_block` was written with; the caller
+/// positions `next_row` itself. Always the portable rung (patched rows
+/// are a vanishing fraction).
+void BinomialPropagateRow(const CsrRowSpan& row, const double* t_prev,
+                          const double* prev_block, int64_t prev_stride,
+                          int count, double* next_row);
+
+/// The fused form of the reference path's per-alpha Axpy sequence:
+///   out[i] += coeff_t·t[i]; out[i] += coeffs[j]·block[i*stride+j], j asc.
+/// Per-slot add order is alpha-ascending exactly as the separate Axpy
+/// passes, hence bit-identical; one pass over the block instead of count+1
+/// passes over out.
+void WeightedAccumulate(SimdLevel level, int64_t n, const double* t,
+                        double coeff_t, const double* block, int64_t stride,
+                        const double* coeffs, int count, double* out);
+
+/// Max over rows of Σ|value| (matrix/ops.h MaxAbsRowSum). Row sums keep
+/// the strict scalar order (engine/snapshot.cc's incremental per-row sums
+/// depend on it); every rung runs the scalar loop (snapshot-build cost,
+/// never per-query).
+template <typename Offset>
+double MaxAbsRowSum(SimdLevel level, int64_t rows, const Offset* row_ptr,
+                    const int32_t* col_idx, const double* values);
+
+/// Elementwise threshold clip: |y[i]| <= eps becomes +0.0.
+void ClipSmall(SimdLevel level, double* y, int64_t n, double eps);
+
+}  // namespace csr_kernels
+}  // namespace srs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "srs/matrix/csr_kernels.h"
+
 namespace srs {
 
 namespace {
@@ -51,11 +53,10 @@ CsrOverlay CsrOverlay::WithPatchedRows(const std::vector<int64_t>& rows,
     new_ptr.push_back(static_cast<int64_t>(new_cols.size()));
   };
   auto new_row_span = [&](size_t i) {
-    const int64_t begin = patch_rows.row_ptr()[static_cast<int64_t>(i)];
+    const int64_t begin = patch_rows.RowBegin(static_cast<int64_t>(i));
     return CsrRowSpan{patch_rows.col_idx().data() + begin,
                       patch_rows.values().data() + begin,
-                      patch_rows.row_ptr()[static_cast<int64_t>(i) + 1] -
-                          begin};
+                      patch_rows.RowEnd(static_cast<int64_t>(i)) - begin};
   };
 
   size_t oi = 0, ni = 0;
@@ -122,18 +123,40 @@ CsrMatrix CsrOverlay::Compact() const {
 }
 
 void CsrOverlay::MultiplyVector(const double* x, double* y) const {
-  const int64_t n = rows();
-  if (patch_ == nullptr) {
-    base_->MultiplyVector(x, y);
-    return;
-  }
-  for (int64_t r = 0; r < n; ++r) {
+  // One flat-array pass over the base (which dispatches on the active
+  // SimdLevel), then overwrite the patched rows from their replacement
+  // spans. Every row's gather is the same ascending chain either way, so
+  // the result is bitwise the per-row Row(r) loop's.
+  base_->MultiplyVector(x, y);
+  if (patch_ == nullptr) return;
+  for (int64_t r : *patched_rows_) {
     const CsrRowSpan row = Row(r);
     double sum = 0.0;
     for (int64_t k = 0; k < row.nnz; ++k) {
       sum += row.vals[k] * x[row.cols[k]];
     }
     y[r] = sum;
+  }
+}
+
+void CsrOverlay::MultiplyVectorPremultiplied(const double* xp, const double* x,
+                                             double* y, double* yp) const {
+  const double* cv = BaseColumnConstantValues();
+  SRS_DCHECK(cv != nullptr);
+  SRS_DCHECK(rows() == cols());
+  base_->VisitRowPtr([&](const auto* row_ptr) {
+    csr_kernels::SpmvPremultiplied(base_->rows(), row_ptr,
+                                   base_->col_idx().data(), xp, cv, y, yp);
+  });
+  if (patch_ == nullptr) return;
+  for (int64_t r : *patched_rows_) {
+    const CsrRowSpan row = Row(r);
+    double sum = 0.0;
+    for (int64_t k = 0; k < row.nnz; ++k) {
+      sum += row.vals[k] * x[row.cols[k]];
+    }
+    y[r] = sum;
+    if (yp != nullptr) yp[r] = cv[r] * sum;
   }
 }
 

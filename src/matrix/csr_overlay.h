@@ -89,16 +89,16 @@ class CsrOverlay {
     if (patch_ != nullptr) {
       const int32_t s = (*slot_)[static_cast<size_t>(r)];
       if (s >= 0) {
-        const int64_t begin = patch_->row_ptr()[s];
+        const int64_t begin = patch_->RowBegin(s);
         return CsrRowSpan{patch_->col_idx().data() + begin,
                           patch_->values().data() + begin,
-                          patch_->row_ptr()[s + 1] - begin};
+                          patch_->RowEnd(s) - begin};
       }
     }
-    const int64_t begin = base_->row_ptr()[r];
+    const int64_t begin = base_->RowBegin(r);
     return CsrRowSpan{base_->col_idx().data() + begin,
                       base_->values().data() + begin,
-                      base_->row_ptr()[r + 1] - begin};
+                      base_->RowEnd(r) - begin};
   }
 
   /// Returns a new overlay over the same base in which row `rows[i]` is
@@ -118,6 +118,28 @@ class CsrOverlay {
   /// order) as CsrMatrix::MultiplyVector, hence bitwise identical to
   /// multiplying by Compact(). `x` has cols() entries, `y` rows().
   void MultiplyVector(const double* x, double* y) const;
+
+  /// The base matrix's per-column constant values when it is column-
+  /// constant (CsrMatrix::ColumnConstantValues), else null. Patches never
+  /// modify base rows, so the base's constants stay valid under any patch
+  /// set — patched rows themselves are handled generically in
+  /// MultiplyVectorPremultiplied.
+  const double* BaseColumnConstantValues() const {
+    return base_ ? base_->ColumnConstantValues() : nullptr;
+  }
+
+  /// Premultiplied product for a column-constant *base* (requires
+  /// BaseColumnConstantValues() != nullptr and rows() == cols()): `xp`
+  /// holds cv[c]·x[c] and `x` the same vector un-folded. Base rows run
+  /// csr_kernels::SpmvPremultiplied (bare gathers, no values stream);
+  /// patched rows recompute generically from the raw `x` — their values
+  /// are not the base's constants. `y` receives this·x bitwise equal to
+  /// MultiplyVector's. `yp` (if non-null) receives cv[r]·y[r], the folded
+  /// input of the next chained pass: correct for patched rows too, because
+  /// a *base* row gathering column r in the next pass multiplies by the
+  /// base constant cv[r], and patched rows read the raw `y` instead.
+  void MultiplyVectorPremultiplied(const double* xp, const double* x,
+                                   double* y, double* yp) const;
 
   /// Logical bytes of base + overlay. Note the base is shared: summing
   /// ByteSize over the versions of one chain counts it once per version.

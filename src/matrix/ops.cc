@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "srs/common/cpu_features.h"
+#include "srs/matrix/csr_kernels.h"
+
 namespace srs {
 
 double Dot(const std::vector<double>& a, const std::vector<double>& b) {
@@ -74,10 +77,12 @@ CsrMatrix SparseMultiplyImpl(const CsrMatrix& a, const CsrMatrix& b,
   std::vector<int32_t> touched;
   for (int64_t i = 0; i < a.rows(); ++i) {
     touched.clear();
-    for (int64_t ka = a.row_ptr()[i]; ka < a.row_ptr()[i + 1]; ++ka) {
+    const int64_t a_end = a.RowEnd(i);
+    for (int64_t ka = a.RowBegin(i); ka < a_end; ++ka) {
       const int32_t k = a.col_idx()[ka];
       const double av = a.values()[ka];
-      for (int64_t kb = b.row_ptr()[k]; kb < b.row_ptr()[k + 1]; ++kb) {
+      const int64_t b_end = b.RowEnd(k);
+      for (int64_t kb = b.RowBegin(k); kb < b_end; ++kb) {
         const int32_t j = b.col_idx()[kb];
         if (accum[j] == 0.0) touched.push_back(j);
         accum[j] += av * b.values()[kb];
@@ -96,15 +101,13 @@ CsrMatrix SparseMultiplyImpl(const CsrMatrix& a, const CsrMatrix& b,
 }  // namespace
 
 double MaxAbsRowSum(const CsrMatrix& a) {
-  double max_sum = 0.0;
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    double sum = 0.0;
-    for (int64_t k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
-      sum += std::fabs(a.values()[k]);
-    }
-    max_sum = std::max(max_sum, sum);
-  }
-  return max_sum;
+  // Per-row sums keep the strict scalar order (the AVX2 rung parallelizes
+  // across rows only), so this agrees bitwise with per-row RowAbsSum — the
+  // incremental row sums in engine/snapshot.cc depend on that.
+  return a.VisitRowPtr([&](const auto* rp) {
+    return csr_kernels::MaxAbsRowSum(ActiveSimdLevel(), a.rows(), rp,
+                                     a.col_idx().data(), a.values().data());
+  });
 }
 
 double RowAbsSum(const CsrRowSpan& row) {
@@ -116,6 +119,9 @@ double RowAbsSum(const CsrRowSpan& row) {
 }
 
 double MaxAbsRowSum(const CsrOverlay& a) {
+  if (!a.HasPatches()) {
+    return a.base() ? MaxAbsRowSum(*a.base()) : 0.0;
+  }
   double max_sum = 0.0;
   for (int64_t r = 0; r < a.rows(); ++r) {
     max_sum = std::max(max_sum, RowAbsSum(a.Row(r)));

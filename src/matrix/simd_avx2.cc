@@ -1,0 +1,260 @@
+// The AVX2 rung of the kernel dispatch ladder (see csr_kernels.h). This
+// translation unit is the only one compiled with -mavx2 (x86-64 builds
+// only; src/CMakeLists.txt) and must contain nothing that runs before the
+// CpuHasAvx2() dispatch — no globals with dynamic initializers.
+//
+// Bit-identity rules obeyed throughout:
+//  * one strict ascending-index accumulation chain per output — SIMD goes
+//    across independent outputs (4 block columns), never across a chain;
+//  * explicit _mm256_add_pd(_mm256_mul_pd(...)) — no FMA, which would
+//    round once where the scalar rungs round twice (this TU deliberately
+//    does not enable -mfma, so the compiler cannot contract either);
+//  * masked tails: dead lanes are never stored, so they cannot perturb
+//    results (a masked load yields +0.0 which only feeds dead lanes).
+//
+// Only kernels whose vector lanes load *contiguously* live here. The
+// gather-fed variants (4-row-lane SpMV, strided WeightedAccumulate) were
+// measured slower than the scalar loops on current Xeons, where gather
+// instructions carry the GDS ("Downfall") microcode mitigation —
+// csr_kernels.cc routes those to the portable rung instead.
+
+#include "srs/matrix/simd_avx2.h"
+
+#ifdef SRS_HAVE_AVX2_KERNELS
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace srs::simd_avx2 {
+
+namespace {
+
+/// All-ones in the first `w` (1..4) 64-bit lanes.
+inline __m256i TailMask(int w) {
+  return _mm256_set_epi64x(w > 3 ? -1 : 0, w > 2 ? -1 : 0, w > 1 ? -1 : 0,
+                           -1);
+}
+
+template <typename Offset>
+void BinomialPropagateImpl(int64_t rows, const Offset* row_ptr,
+                           const int32_t* col_idx, const double* values,
+                           const double* t_prev, const double* prev_block,
+                           int64_t prev_stride, int count, double* next_block,
+                           int64_t next_stride) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t begin = static_cast<int64_t>(row_ptr[r]);
+    const int64_t end = static_cast<int64_t>(row_ptr[r + 1]);
+    double* next_row = next_block + r * next_stride;
+    // alpha = 1: gather from the dense t chain (serial; short row).
+    double s0 = 0.0;
+    for (int64_t k = begin; k < end; ++k) s0 += values[k] * t_prev[col_idx[k]];
+    next_row[0] = s0;
+    // alphas 2..count: 4 independent column chains per vector register,
+    // unit-stride 32-byte loads from the previous block's row slice.
+    for (int j = 1; j < count; j += 4) {
+      const int w = std::min(4, count - j);
+      __m256d acc = _mm256_setzero_pd();
+      if (w == 4) {
+        for (int64_t k = begin; k < end; ++k) {
+          const double* p = prev_block +
+                            static_cast<int64_t>(col_idx[k]) * prev_stride +
+                            (j - 1);
+          acc = _mm256_add_pd(
+              acc, _mm256_mul_pd(_mm256_set1_pd(values[k]), _mm256_loadu_pd(p)));
+        }
+        _mm256_storeu_pd(next_row + j, acc);
+      } else {
+        const __m256i mask = TailMask(w);
+        for (int64_t k = begin; k < end; ++k) {
+          const double* p = prev_block +
+                            static_cast<int64_t>(col_idx[k]) * prev_stride +
+                            (j - 1);
+          acc = _mm256_add_pd(acc,
+                              _mm256_mul_pd(_mm256_set1_pd(values[k]),
+                                            _mm256_maskload_pd(p, mask)));
+        }
+        _mm256_maskstore_pd(next_row + j, mask, acc);
+      }
+    }
+  }
+}
+
+/// One pass over a row's nonzeros advancing `G` 4-column groups (up to 16
+/// output columns held in registers), for a row-constant matrix value `v`.
+/// `prev_base` is the previous block pre-offset to this chunk's first
+/// source column and `dst` points at the chunk's first output column; when
+/// `kFoldS0` is set the alpha = 1 chain rides along in the same pass and
+/// lands at dst[-1] (= next_row[0]).
+///
+/// Group loads are always full-width, never masked. They stay in bounds:
+/// the furthest lane of the last group touches source column
+/// RoundUp4(count − 1) − 1, and every slice is prev_stride =
+/// RoundUp4(count + 1) >= RoundUp4(count − 1) doubles wide. Lanes beyond
+/// the last real source column read slice padding (zero or stale), but
+/// those lanes feed only output chains past column count − 1, which the
+/// masked store drops — so padding can never reach a stored value.
+template <int G, bool kFoldS0>
+inline void RowConstChunk(const int32_t* col_idx, int64_t begin, int64_t end,
+                          double v, const double* t_prev,
+                          const double* prev_base, int64_t prev_stride,
+                          int cols, double* dst) {
+  const __m256d vv = _mm256_set1_pd(v);
+  __m256d a0 = _mm256_setzero_pd();
+  __m256d a1 = a0, a2 = a0, a3 = a0;
+  double s0 = 0.0;
+  for (int64_t k = begin; k < end; ++k) {
+    const int64_t c = col_idx[k];
+    const double* p = prev_base + c * prev_stride;
+    if constexpr (kFoldS0) s0 += v * t_prev[c];
+    a0 = _mm256_add_pd(a0, _mm256_mul_pd(vv, _mm256_loadu_pd(p)));
+    if constexpr (G > 1)
+      a1 = _mm256_add_pd(a1, _mm256_mul_pd(vv, _mm256_loadu_pd(p + 4)));
+    if constexpr (G > 2)
+      a2 = _mm256_add_pd(a2, _mm256_mul_pd(vv, _mm256_loadu_pd(p + 8)));
+    if constexpr (G > 3)
+      a3 = _mm256_add_pd(a3, _mm256_mul_pd(vv, _mm256_loadu_pd(p + 12)));
+  }
+  if constexpr (kFoldS0) dst[-1] = s0;
+  const __m256d acc[4] = {a0, a1, a2, a3};
+  for (int g = 0; g < G; ++g) {
+    const int w = std::min(4, cols - 4 * g);
+    if (w == 4) {
+      _mm256_storeu_pd(dst + 4 * g, acc[g]);
+    } else {
+      _mm256_maskstore_pd(dst + 4 * g, TailMask(w), acc[g]);
+    }
+  }
+}
+
+/// BinomialPropagateImpl for a row-constant matrix: the row's single value
+/// is broadcast once per row instead of reloaded per edge, and the values
+/// stream drops out of the inner loops entirely. Output columns are
+/// advanced 16 per pass over the row (RowConstChunk), so the col_idx
+/// stream and each source slice are touched once per 16 outputs instead
+/// of once per 4, and each slice visit is one contiguous 32·G-byte read.
+/// Same operand pairs, same per-chain order — bitwise identical to the
+/// streamed-values kernel.
+template <typename Offset>
+void BinomialPropagateRowConstImpl(int64_t rows, const Offset* row_ptr,
+                                   const int32_t* col_idx,
+                                   const double* row_vals, const double* t_prev,
+                                   const double* prev_block,
+                                   int64_t prev_stride, int count,
+                                   double* next_block, int64_t next_stride) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t begin = static_cast<int64_t>(row_ptr[r]);
+    const int64_t end = static_cast<int64_t>(row_ptr[r + 1]);
+    const double v = row_vals[r];
+    double* next_row = next_block + r * next_stride;
+    if (count == 1) {
+      double s0 = 0.0;
+      for (int64_t k = begin; k < end; ++k) s0 += v * t_prev[col_idx[k]];
+      next_row[0] = s0;
+      continue;
+    }
+    {
+      const int cols = std::min(16, count - 1);
+      switch ((cols + 3) / 4) {
+        case 1:
+          RowConstChunk<1, true>(col_idx, begin, end, v, t_prev, prev_block,
+                                 prev_stride, cols, next_row + 1);
+          break;
+        case 2:
+          RowConstChunk<2, true>(col_idx, begin, end, v, t_prev, prev_block,
+                                 prev_stride, cols, next_row + 1);
+          break;
+        case 3:
+          RowConstChunk<3, true>(col_idx, begin, end, v, t_prev, prev_block,
+                                 prev_stride, cols, next_row + 1);
+          break;
+        default:
+          RowConstChunk<4, true>(col_idx, begin, end, v, t_prev, prev_block,
+                                 prev_stride, cols, next_row + 1);
+          break;
+      }
+    }
+    for (int jc = 17; jc < count; jc += 16) {
+      const int cols = std::min(16, count - jc);
+      const double* pb = prev_block + (jc - 1);
+      switch ((cols + 3) / 4) {
+        case 1:
+          RowConstChunk<1, false>(col_idx, begin, end, v, nullptr, pb,
+                                  prev_stride, cols, next_row + jc);
+          break;
+        case 2:
+          RowConstChunk<2, false>(col_idx, begin, end, v, nullptr, pb,
+                                  prev_stride, cols, next_row + jc);
+          break;
+        case 3:
+          RowConstChunk<3, false>(col_idx, begin, end, v, nullptr, pb,
+                                  prev_stride, cols, next_row + jc);
+          break;
+        default:
+          RowConstChunk<4, false>(col_idx, begin, end, v, nullptr, pb,
+                                  prev_stride, cols, next_row + jc);
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void BinomialPropagate(int64_t rows, const uint32_t* row_ptr,
+                       const int32_t* col_idx, const double* values,
+                       const double* t_prev, const double* prev_block,
+                       int64_t prev_stride, int count, double* next_block,
+                       int64_t next_stride) {
+  BinomialPropagateImpl(rows, row_ptr, col_idx, values, t_prev, prev_block,
+                        prev_stride, count, next_block, next_stride);
+}
+
+void BinomialPropagate(int64_t rows, const int64_t* row_ptr,
+                       const int32_t* col_idx, const double* values,
+                       const double* t_prev, const double* prev_block,
+                       int64_t prev_stride, int count, double* next_block,
+                       int64_t next_stride) {
+  BinomialPropagateImpl(rows, row_ptr, col_idx, values, t_prev, prev_block,
+                        prev_stride, count, next_block, next_stride);
+}
+
+void BinomialPropagateRowConst(int64_t rows, const uint32_t* row_ptr,
+                               const int32_t* col_idx, const double* row_vals,
+                               const double* t_prev, const double* prev_block,
+                               int64_t prev_stride, int count,
+                               double* next_block, int64_t next_stride) {
+  BinomialPropagateRowConstImpl(rows, row_ptr, col_idx, row_vals, t_prev,
+                                prev_block, prev_stride, count, next_block,
+                                next_stride);
+}
+
+void BinomialPropagateRowConst(int64_t rows, const int64_t* row_ptr,
+                               const int32_t* col_idx, const double* row_vals,
+                               const double* t_prev, const double* prev_block,
+                               int64_t prev_stride, int count,
+                               double* next_block, int64_t next_stride) {
+  BinomialPropagateRowConstImpl(rows, row_ptr, col_idx, row_vals, t_prev,
+                                prev_block, prev_stride, count, next_block,
+                                next_stride);
+}
+
+void ClipSmall(double* y, int64_t n, double eps) {
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  const __m256d veps = _mm256_set1_pd(eps);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(y + i);
+    const __m256d keep =
+        _mm256_cmp_pd(_mm256_andnot_pd(sign, v), veps, _CMP_GT_OQ);
+    _mm256_storeu_pd(y + i, _mm256_and_pd(v, keep));
+  }
+  for (; i < n; ++i) {
+    if (std::fabs(y[i]) <= eps) y[i] = 0.0;
+  }
+}
+
+}  // namespace srs::simd_avx2
+
+#endif  // SRS_HAVE_AVX2_KERNELS

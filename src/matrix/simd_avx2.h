@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file simd_avx2.h
+/// \brief Internal declarations of the AVX2 kernel rung.
+///
+/// Implemented in simd_avx2.cc, the one translation unit compiled with
+/// -mavx2 (and only on x86-64; see src/CMakeLists.txt). Nothing here may
+/// be called unless CpuHasAvx2() is true — csr_kernels.cc guards every
+/// call behind the SimdLevel dispatch. Deliberately *not* -mfma: the rest
+/// of the library is built without FMA, and a contracted mul+add would
+/// round once where the scalar rungs round twice, breaking the
+/// bit-identity ladder.
+///
+/// Only the contiguous-load kernels have an AVX2 rung; the gather-fed
+/// candidates (SpMV, WeightedAccumulate, MaxAbsRowSum) measured slower
+/// than the scalar loops on GDS-mitigated Xeons and are served by the
+/// portable rung at every level (csr_kernels.cc).
+
+#include <cstdint>
+
+#if defined(__x86_64__)
+#define SRS_HAVE_AVX2_KERNELS 1
+
+namespace srs::simd_avx2 {
+
+void BinomialPropagate(int64_t rows, const uint32_t* row_ptr,
+                       const int32_t* col_idx, const double* values,
+                       const double* t_prev, const double* prev_block,
+                       int64_t prev_stride, int count, double* next_block,
+                       int64_t next_stride);
+void BinomialPropagate(int64_t rows, const int64_t* row_ptr,
+                       const int32_t* col_idx, const double* values,
+                       const double* t_prev, const double* prev_block,
+                       int64_t prev_stride, int count, double* next_block,
+                       int64_t next_stride);
+
+void BinomialPropagateRowConst(int64_t rows, const uint32_t* row_ptr,
+                               const int32_t* col_idx, const double* row_vals,
+                               const double* t_prev, const double* prev_block,
+                               int64_t prev_stride, int count,
+                               double* next_block, int64_t next_stride);
+void BinomialPropagateRowConst(int64_t rows, const int64_t* row_ptr,
+                               const int32_t* col_idx, const double* row_vals,
+                               const double* t_prev, const double* prev_block,
+                               int64_t prev_stride, int count,
+                               double* next_block, int64_t next_stride);
+
+void ClipSmall(double* y, int64_t n, double eps);
+
+}  // namespace srs::simd_avx2
+
+#endif  // defined(__x86_64__)

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "srs/common/cpu_features.h"
 #include "srs/common/macros.h"
+#include "srs/matrix/csr_kernels.h"
 
 namespace srs {
 
@@ -21,31 +23,49 @@ void SparseAccumulator::Prepare(int64_t n) {
   }
 }
 
+// Frontier scatter walks rows in x.idx order — effectively random — so the
+// row data of upcoming frontier entries is prefetched a fixed distance
+// ahead while the current row scatters. Prefetching changes no bits.
+constexpr size_t kScatterPrefetchDistance = 8;
+
 void SparseAccumulator::ScatterTransposed(const CsrMatrix& a,
                                           const SparseVector& x) {
-  const std::vector<int64_t>& row_ptr = a.row_ptr();
-  const std::vector<int32_t>& col_idx = a.col_idx();
-  const std::vector<double>& values = a.values();
-  for (size_t i = 0; i < x.idx.size(); ++i) {
-    const int64_t j = x.idx[i];
-    SRS_DCHECK(j >= 0 && j < a.rows());
-    const double xj = x.val[i];
-    for (int64_t k = row_ptr[j]; k < row_ptr[j + 1]; ++k) {
-      const int32_t r = col_idx[k];
-      // Same operand order as the row gather: matrix value times vector
-      // value (IEEE multiplication commutes bitwise, but keep them alike).
-      values_[static_cast<size_t>(r)] += values[k] * xj;
-      if (!marked_[static_cast<size_t>(r)]) {
-        marked_[static_cast<size_t>(r)] = 1;
-        touched_.push_back(r);
+  const int32_t* col_idx = a.col_idx().data();
+  const double* values = a.values().data();
+  a.VisitRowPtr([&](const auto* row_ptr) {
+    for (size_t i = 0; i < x.idx.size(); ++i) {
+      if (i + kScatterPrefetchDistance < x.idx.size()) {
+        const int64_t jp = x.idx[i + kScatterPrefetchDistance];
+        const auto kp = row_ptr[jp];
+        __builtin_prefetch(col_idx + kp);
+        __builtin_prefetch(values + kp);
+      }
+      const int64_t j = x.idx[i];
+      SRS_DCHECK(j >= 0 && j < a.rows());
+      const double xj = x.val[i];
+      const int64_t end = static_cast<int64_t>(row_ptr[j + 1]);
+      for (int64_t k = static_cast<int64_t>(row_ptr[j]); k < end; ++k) {
+        const int32_t r = col_idx[k];
+        // Same operand order as the row gather: matrix value times vector
+        // value (IEEE multiplication commutes bitwise, but keep them alike).
+        values_[static_cast<size_t>(r)] += values[k] * xj;
+        if (!marked_[static_cast<size_t>(r)]) {
+          marked_[static_cast<size_t>(r)] = 1;
+          touched_.push_back(r);
+        }
       }
     }
-  }
+  });
 }
 
 void SparseAccumulator::ScatterTransposed(const CsrOverlay& a,
                                           const SparseVector& x) {
   for (size_t i = 0; i < x.idx.size(); ++i) {
+    if (i + kScatterPrefetchDistance < x.idx.size()) {
+      const CsrRowSpan ahead = a.Row(x.idx[i + kScatterPrefetchDistance]);
+      __builtin_prefetch(ahead.cols);
+      __builtin_prefetch(ahead.vals);
+    }
     const int64_t j = x.idx[i];
     SRS_DCHECK(j >= 0 && j < a.rows());
     const double xj = x.val[i];
@@ -95,9 +115,8 @@ void GatherMultiplyPruned(const CsrMatrix& a, const std::vector<double>& x,
   y->resize(static_cast<size_t>(a.rows()));
   a.MultiplyVector(x.data(), y->data());
   if (prune_epsilon > 0.0) {
-    for (double& v : *y) {
-      if (std::fabs(v) <= prune_epsilon) v = 0.0;
-    }
+    csr_kernels::ClipSmall(ActiveSimdLevel(), y->data(),
+                           static_cast<int64_t>(y->size()), prune_epsilon);
   }
 }
 
@@ -106,9 +125,8 @@ void GatherMultiplyPruned(const CsrOverlay& a, const std::vector<double>& x,
   y->resize(static_cast<size_t>(a.rows()));
   a.MultiplyVector(x.data(), y->data());
   if (prune_epsilon > 0.0) {
-    for (double& v : *y) {
-      if (std::fabs(v) <= prune_epsilon) v = 0.0;
-    }
+    csr_kernels::ClipSmall(ActiveSimdLevel(), y->data(),
+                           static_cast<int64_t>(y->size()), prune_epsilon);
   }
 }
 

@@ -24,7 +24,11 @@ using storage::FsyncDirOf;
 using storage::WriteAll;
 
 constexpr uint64_t kMagic = 0x31'50'41'4E'53'53'52'53ULL;  // "SRSSNAP1"
-constexpr uint32_t kFormatVersion = 1;
+// Version 2 added the 32-bit row-pointer sections (id + 100); a v2 file
+// with no compressed matrices is byte-compatible with v1, and the reader
+// accepts both versions.
+constexpr uint32_t kFormatVersion = 2;
+constexpr uint32_t kMinFormatVersion = 1;
 constexpr uint32_t kEndianMarker = 0x01020304u;
 constexpr size_t kAlignment = 64;
 
@@ -78,6 +82,13 @@ enum SectionId : uint32_t {
   kSecRowSumsQt = 31,
   kSecRowSumsWt = 32,
 };
+
+/// A matrix whose row offsets are stored compressed (uint32; see
+/// CsrMatrix::narrow_offsets) writes its row-pointer section under
+/// `row_ptr_id + kNarrowRowPtrIdOffset` instead of `row_ptr_id`. The
+/// reader probes the 64-bit id first, then the narrow one, so files mixing
+/// both widths — or written before compression existed — all load.
+constexpr uint32_t kNarrowRowPtrIdOffset = 100;
 
 size_t AlignUp(size_t v) { return (v + kAlignment - 1) & ~(kAlignment - 1); }
 
@@ -211,7 +222,12 @@ Status WriteSnapshotFile(const std::string& path, const Graph& graph,
     add(kSecLabels, labels_blob.data(), labels_blob.size());
   }
   auto add_matrix = [&](uint32_t row_ptr_id, const CsrMatrix& m) {
-    add(row_ptr_id, m.row_ptr().data(), ByteLen(m.row_ptr()));
+    if (m.narrow_offsets()) {
+      add(row_ptr_id + kNarrowRowPtrIdOffset, m.row_ptr32().data(),
+          ByteLen(m.row_ptr32()));
+    } else {
+      add(row_ptr_id, m.row_ptr64().data(), ByteLen(m.row_ptr64()));
+    }
     add(row_ptr_id + 1, m.col_idx().data(), ByteLen(m.col_idx()));
     add(row_ptr_id + 2, m.values().data(), ByteLen(m.values()));
   };
@@ -317,7 +333,8 @@ Result<SnapshotFileData> ReadSnapshotFile(const std::string& path) {
   if (header.endian_marker != kEndianMarker) {
     return Status::IoError(path + ": endianness mismatch");
   }
-  if (header.format_version != kFormatVersion) {
+  if (header.format_version < kMinFormatVersion ||
+      header.format_version > kFormatVersion) {
     return Status::IoError(path + ": unsupported format version " +
                            std::to_string(header.format_version));
   }
@@ -397,17 +414,35 @@ Result<SnapshotFileData> ReadSnapshotFile(const std::string& path) {
   auto load_matrix =
       [&](uint32_t row_ptr_id,
           const char* what) -> Result<std::shared_ptr<const CsrMatrix>> {
-    SRS_ASSIGN_OR_RETURN(
-        std::vector<int64_t> row_ptr,
-        load(row_ptr_id, n + 1, what, int64_t{}));
-    const int64_t nnz = row_ptr.empty() ? 0 : row_ptr.back();
+    // Row offsets live under the 64-bit id or the narrow (uint32) one,
+    // depending on the width the writer's matrix stored.
+    const bool narrow = find(row_ptr_id) == nullptr;
+    std::vector<int64_t> row_ptr64;
+    std::vector<uint32_t> row_ptr32;
+    if (narrow) {
+      SRS_ASSIGN_OR_RETURN(row_ptr32, load(row_ptr_id + kNarrowRowPtrIdOffset,
+                                           n + 1, what, uint32_t{}));
+    } else {
+      SRS_ASSIGN_OR_RETURN(row_ptr64, load(row_ptr_id, n + 1, what, int64_t{}));
+    }
+    const int64_t nnz = narrow
+                            ? (row_ptr32.empty()
+                                   ? 0
+                                   : static_cast<int64_t>(row_ptr32.back()))
+                            : (row_ptr64.empty() ? 0 : row_ptr64.back());
     SRS_ASSIGN_OR_RETURN(std::vector<int32_t> col_idx,
                          load(row_ptr_id + 1, nnz, what, int32_t{}));
     SRS_ASSIGN_OR_RETURN(std::vector<double> values,
                          load(row_ptr_id + 2, nnz, what, double{}));
     // Trusted shape-only assembly — see the Graph::FromCsrTrusted comment.
+    if (narrow) {
+      return std::make_shared<const CsrMatrix>(
+          CsrMatrix::FromSortedRowsTrusted(n, n, std::move(row_ptr32),
+                                           std::move(col_idx),
+                                           std::move(values)));
+    }
     return std::make_shared<const CsrMatrix>(
-        CsrMatrix::FromSortedRowsTrusted(n, n, std::move(row_ptr),
+        CsrMatrix::FromSortedRowsTrusted(n, n, std::move(row_ptr64),
                                          std::move(col_idx),
                                          std::move(values)));
   };

@@ -1,0 +1,96 @@
+// Tests for the SIMD dispatch ladder plumbing (common/cpu_features.h) and
+// for the one pre-existing dispatched primitive it absorbed: the CRC-32C
+// hardware/portable split, whose two paths must agree bit for bit on this
+// machine.
+
+#include "srs/common/cpu_features.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "srs/common/crc32c.h"
+#include "srs/common/rng.h"
+
+namespace srs {
+namespace {
+
+class CpuFeaturesTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ResetSimdLevelForTesting(); }
+};
+
+TEST_F(CpuFeaturesTest, LevelNamesRoundTrip) {
+  for (SimdLevel level :
+       {SimdLevel::kReference, SimdLevel::kPortable, SimdLevel::kAvx2}) {
+    SimdLevel parsed;
+    ASSERT_TRUE(ParseSimdLevel(SimdLevelName(level), &parsed))
+        << SimdLevelName(level);
+    EXPECT_EQ(parsed, level);
+  }
+  SimdLevel parsed;
+  EXPECT_FALSE(ParseSimdLevel("", &parsed));
+  EXPECT_FALSE(ParseSimdLevel("avx512", &parsed));
+  EXPECT_FALSE(ParseSimdLevel("Portable", &parsed));
+  EXPECT_FALSE(ParseSimdLevel(nullptr, &parsed));
+}
+
+TEST_F(CpuFeaturesTest, DetectedLevelIsAtLeastPortable) {
+  EXPECT_GE(static_cast<int>(DetectedSimdLevel()),
+            static_cast<int>(SimdLevel::kPortable));
+  // The ladder's top rung requires the matching CPUID bit.
+  if (DetectedSimdLevel() == SimdLevel::kAvx2) {
+    EXPECT_TRUE(CpuHasAvx2());
+  }
+}
+
+TEST_F(CpuFeaturesTest, TestOverridePinsAndClamps) {
+  SetSimdLevelForTesting(SimdLevel::kReference);
+  EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kReference);
+  SetSimdLevelForTesting(SimdLevel::kPortable);
+  EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kPortable);
+  // Requesting a rung above the CPU clamps to what can actually run.
+  SetSimdLevelForTesting(SimdLevel::kAvx2);
+  EXPECT_EQ(ActiveSimdLevel(),
+            CpuHasAvx2() ? SimdLevel::kAvx2 : DetectedSimdLevel());
+  ResetSimdLevelForTesting();
+  EXPECT_LE(static_cast<int>(ActiveSimdLevel()),
+            static_cast<int>(DetectedSimdLevel()));
+}
+
+TEST_F(CpuFeaturesTest, Crc32cHardwareAndPortablePathsAgree) {
+  // Crc32c() dispatches on CpuHasSse42(); the portable path is always
+  // available. On SSE4.2 hardware this compares the two implementations;
+  // elsewhere it degenerates to a self-check (still valid).
+  Rng rng(20260808);
+  for (size_t len : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                     size_t{63}, size_t{64}, size_t{65}, size_t{1000},
+                     size_t{4096}, size_t{10007}}) {
+    std::vector<uint8_t> data(len);
+    for (uint8_t& b : data) b = static_cast<uint8_t>(rng.Uniform(256));
+    const uint32_t hw = Crc32c(data.data(), data.size());
+    const uint32_t sw = internal::Crc32cPortable(data.data(), data.size());
+    EXPECT_EQ(hw, sw) << "len=" << len;
+    // Seed chaining must agree between the paths too.
+    const size_t half = len / 2;
+    EXPECT_EQ(Crc32c(data.data() + half, len - half,
+                     Crc32c(data.data(), half)),
+              internal::Crc32cPortable(
+                  data.data() + half, len - half,
+                  internal::Crc32cPortable(data.data(), half)))
+        << "len=" << len;
+  }
+}
+
+TEST_F(CpuFeaturesTest, Crc32cKnownAnswer) {
+  // RFC 3720 test vector: 32 bytes of zeros -> 0x8A9136AA.
+  const std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  EXPECT_EQ(internal::Crc32cPortable(zeros.data(), zeros.size()),
+            0x8A9136AAu);
+}
+
+}  // namespace
+}  // namespace srs

@@ -1,0 +1,204 @@
+// 32-bit row-offset compression edge cases (CsrMatrix::narrow_offsets):
+// the width decision at the compression boundary, empty rows/matrices in
+// both layouts, overlay patches whose base and patch sit on opposite sides
+// of the decision, and snapshot-file round trips of both section widths.
+
+#include "srs/matrix/csr_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "srs/common/cpu_features.h"
+#include "srs/engine/snapshot.h"
+#include "srs/graph/generators.h"
+#include "srs/matrix/csr_overlay.h"
+#include "srs/matrix/dense_matrix.h"
+#include "srs/storage/snapshot_file.h"
+
+namespace srs {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(path);
+  return path;
+}
+
+class CsrWidthTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    CsrMatrix::SetNarrowOffsetLimitForTesting(-1);
+    ResetSimdLevelForTesting();
+  }
+};
+
+CsrMatrix Fixture4x4() {
+  CsrMatrix::Builder b(4, 4);
+  SRS_CHECK_OK(b.Add(0, 1, 0.5));
+  SRS_CHECK_OK(b.Add(0, 3, -1.5));
+  SRS_CHECK_OK(b.Add(2, 0, 2.0));
+  SRS_CHECK_OK(b.Add(2, 2, 0.25));
+  SRS_CHECK_OK(b.Add(3, 1, -0.125));
+  return b.Build().MoveValueOrDie();
+}
+
+TEST_F(CsrWidthTest, WidthFollowsTheLimitExactlyAtTheBoundary) {
+  // nnz == limit compresses; nnz == limit + 1 does not.
+  CsrMatrix::SetNarrowOffsetLimitForTesting(5);
+  EXPECT_EQ(CsrMatrix::NarrowOffsetLimit(), 5);
+  const CsrMatrix at = Fixture4x4();  // nnz = 5
+  EXPECT_TRUE(at.narrow_offsets());
+
+  CsrMatrix::SetNarrowOffsetLimitForTesting(4);
+  const CsrMatrix over = Fixture4x4();
+  EXPECT_FALSE(over.narrow_offsets());
+
+  CsrMatrix::SetNarrowOffsetLimitForTesting(-1);
+  EXPECT_EQ(CsrMatrix::NarrowOffsetLimit(),
+            static_cast<int64_t>(UINT32_MAX));
+  EXPECT_TRUE(Fixture4x4().narrow_offsets());
+}
+
+TEST_F(CsrWidthTest, BothWidthsExposeIdenticalContent) {
+  for (const int force_wide : {0, 1}) {
+    CsrMatrix::SetNarrowOffsetLimitForTesting(force_wide ? 0 : -1);
+    const CsrMatrix m = Fixture4x4();
+    ASSERT_EQ(m.narrow_offsets(), force_wide == 0);
+    // Row structure, element access, and derived forms are width-blind.
+    EXPECT_EQ(m.RowBegin(0), 0);
+    EXPECT_EQ(m.RowEnd(0), 2);
+    EXPECT_EQ(m.RowNnz(1), 0);  // empty row in the middle
+    EXPECT_EQ(m.RowNnz(2), 2);
+    EXPECT_EQ(m.At(0, 3), -1.5);
+    EXPECT_EQ(m.At(1, 1), 0.0);
+    const DenseMatrix d = m.ToDense();
+    EXPECT_EQ(d.At(3, 1), -0.125);
+    const CsrMatrix t = m.Transposed();
+    EXPECT_EQ(t.At(1, 0), 0.5);
+    EXPECT_EQ(t.At(1, 3), -0.125);
+    // VisitRowPtr hands out the matching pointer width.
+    m.VisitRowPtr([&](const auto* rp) {
+      using Ptr = std::remove_cv_t<std::remove_pointer_t<decltype(rp)>>;
+      if (m.narrow_offsets()) {
+        EXPECT_TRUE((std::is_same_v<Ptr, uint32_t>));
+      } else {
+        EXPECT_TRUE((std::is_same_v<Ptr, int64_t>));
+      }
+      EXPECT_EQ(static_cast<int64_t>(rp[4]), m.nnz());
+    });
+  }
+}
+
+TEST_F(CsrWidthTest, EmptyMatrixAndAllEmptyRowsWorkInBothWidths) {
+  for (const int force_wide : {0, 1}) {
+    CsrMatrix::SetNarrowOffsetLimitForTesting(force_wide ? 0 : -1);
+    CsrMatrix::Builder b(6, 6);
+    const CsrMatrix empty = b.Build().MoveValueOrDie();
+    EXPECT_EQ(empty.nnz(), 0);
+    // nnz = 0 fits under every limit, so empty matrices always compress.
+    EXPECT_TRUE(empty.narrow_offsets());
+    for (int64_t r = 0; r < 6; ++r) {
+      EXPECT_EQ(empty.RowNnz(r), 0);
+    }
+    std::vector<double> x(6, 1.0), y(6, 99.0);
+    empty.MultiplyVector(x.data(), y.data());
+    for (double v : y) EXPECT_EQ(v, 0.0);
+
+    const CsrMatrix zero = CsrMatrix();
+    EXPECT_EQ(zero.rows(), 0);
+    EXPECT_EQ(zero.nnz(), 0);
+  }
+}
+
+TEST_F(CsrWidthTest, OverlayPatchesAcrossTheWidthDecision) {
+  // Base assembled narrow, patch assembled wide (and vice versa): the
+  // overlay must behave identically — Row(), MultiplyVector, Compact.
+  const Graph g = Rmat(64, 256, 71).ValueOrDie();
+  const Graph g2 = Rmat(64, 300, 72).ValueOrDie();
+  for (const int base_wide : {0, 1}) {
+    CsrMatrix::SetNarrowOffsetLimitForTesting(base_wide ? 0 : -1);
+    CsrMatrix base = g.BackwardTransition();
+    ASSERT_EQ(base.narrow_offsets(), base_wide == 0);
+    const CsrOverlay overlay(std::move(base));
+
+    // Opposite width for the patch rows.
+    CsrMatrix::SetNarrowOffsetLimitForTesting(base_wide ? -1 : 0);
+    const CsrMatrix q2 = g2.BackwardTransition();
+    const std::vector<int64_t> patch_ids = {0, 13, 63};
+    CsrMatrix::Builder pb(static_cast<int64_t>(patch_ids.size()), q2.cols());
+    for (size_t i = 0; i < patch_ids.size(); ++i) {
+      for (int64_t k = q2.RowBegin(patch_ids[i]);
+           k < q2.RowEnd(patch_ids[i]); ++k) {
+        SRS_CHECK_OK(pb.Add(static_cast<int64_t>(i), q2.col_idx()[k],
+                            q2.values()[k]));
+      }
+    }
+    CsrMatrix patch = pb.Build().MoveValueOrDie();
+    ASSERT_EQ(patch.narrow_offsets(), base_wide == 1);
+    const CsrOverlay patched =
+        overlay.WithPatchedRows(patch_ids, std::move(patch));
+
+    // Patched rows read the replacement, others the base, regardless of
+    // the mixed widths underneath.
+    for (int64_t r : patch_ids) {
+      const CsrRowSpan got = patched.Row(r);
+      ASSERT_EQ(got.nnz, q2.RowEnd(r) - q2.RowBegin(r)) << r;
+      for (int64_t k = 0; k < got.nnz; ++k) {
+        EXPECT_EQ(got.cols[k], q2.col_idx()[q2.RowBegin(r) + k]);
+        EXPECT_EQ(got.vals[k], q2.values()[q2.RowBegin(r) + k]);
+      }
+    }
+
+    std::vector<double> x(static_cast<size_t>(patched.cols()));
+    for (size_t i = 0; i < x.size(); ++i) {
+      x[i] = 0.01 * static_cast<double>(i) - 0.3;
+    }
+    std::vector<double> y(static_cast<size_t>(patched.rows()));
+    patched.MultiplyVector(x.data(), y.data());
+    const CsrMatrix compact = patched.Compact();
+    std::vector<double> yc(static_cast<size_t>(compact.rows()));
+    compact.MultiplyVector(x.data(), yc.data());
+    EXPECT_EQ(std::memcmp(y.data(), yc.data(), y.size() * sizeof(double)),
+              0)
+        << "base_wide=" << base_wide;
+  }
+}
+
+TEST_F(CsrWidthTest, SnapshotFileRoundTripsBothSectionWidths) {
+  const Graph g = Rmat(48, 200, 81).ValueOrDie();
+  for (const int force_wide : {0, 1}) {
+    CsrMatrix::SetNarrowOffsetLimitForTesting(force_wide ? 0 : -1);
+    const std::shared_ptr<const GraphSnapshot> snap = MakeGraphSnapshot(g);
+    ASSERT_EQ(snap->q.base()->narrow_offsets(), force_wide == 0);
+    const std::string path =
+        TempPath(std::string("csr_width_snapshot_") +
+                 (force_wide ? "wide" : "narrow") + ".srs");
+    ASSERT_TRUE(WriteSnapshotFile(path, g, *snap).ok());
+
+    // Read back under both in-memory limits: the on-disk width and the
+    // load-time width are independent.
+    for (const int read_wide : {0, 1}) {
+      CsrMatrix::SetNarrowOffsetLimitForTesting(read_wide ? 0 : -1);
+      const SnapshotFileData loaded = ReadSnapshotFile(path).MoveValueOrDie();
+      const CsrMatrix& got = *loaded.snapshot->q.base();
+      const CsrMatrix& want = *snap->q.base();
+      EXPECT_EQ(got.narrow_offsets(), read_wide == 0);
+      ASSERT_EQ(got.rows(), want.rows());
+      ASSERT_EQ(got.nnz(), want.nnz());
+      for (int64_t r = 0; r <= got.rows(); ++r) {
+        ASSERT_EQ(got.RowBegin(r), want.RowBegin(r)) << r;
+      }
+      EXPECT_EQ(got.col_idx(), want.col_idx());
+      EXPECT_EQ(std::memcmp(got.values().data(), want.values().data(),
+                            got.values().size() * sizeof(double)),
+                0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace srs

@@ -1,0 +1,134 @@
+// Tests for the opt-in degree-sorted relabeling (graph/reorder.h): the
+// ordering invariant, permutation consistency, label transport, and the
+// documented accuracy contract — bitwise determinism within a layout,
+// rounding-level agreement (not bitwise) across layouts.
+
+#include "srs/graph/reorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "srs/core/single_source.h"
+#include "srs/graph/generators.h"
+
+namespace srs {
+namespace {
+
+int64_t TotalDegree(const Graph& g, NodeId u) {
+  return g.InDegree(u) + g.OutDegree(u);
+}
+
+TEST(ReorderTest, DegreeOrderIsDescendingAndStable) {
+  const Graph g = Rmat(200, 1400, 31).ValueOrDie();
+  const ReorderedGraph r = DegreeSortedGraph(g);
+  ASSERT_EQ(r.graph.NumNodes(), g.NumNodes());
+  ASSERT_EQ(r.graph.NumEdges(), g.NumEdges());
+  for (int64_t v = 0; v + 1 < g.NumNodes(); ++v) {
+    const NodeId a = r.new_to_old[static_cast<size_t>(v)];
+    const NodeId b = r.new_to_old[static_cast<size_t>(v + 1)];
+    const int64_t da = TotalDegree(g, a);
+    const int64_t db = TotalDegree(g, b);
+    EXPECT_GE(da, db) << "position " << v;
+    if (da == db) {
+      EXPECT_LT(a, b) << "stable tie-break at position " << v;
+    }
+    // New-id degrees mirror the old ones under the permutation.
+    EXPECT_EQ(TotalDegree(r.graph, static_cast<NodeId>(v)), da);
+  }
+}
+
+TEST(ReorderTest, PermutationsAreMutualInverses) {
+  const Graph g = ErdosRenyi(150, 600, 32).ValueOrDie();
+  const ReorderedGraph r = DegreeSortedGraph(g);
+  ASSERT_EQ(r.old_to_new.size(), r.new_to_old.size());
+  for (size_t u = 0; u < r.old_to_new.size(); ++u) {
+    EXPECT_EQ(r.new_to_old[static_cast<size_t>(r.old_to_new[u])],
+              static_cast<NodeId>(u));
+    EXPECT_EQ(r.old_to_new[static_cast<size_t>(r.new_to_old[u])],
+              static_cast<NodeId>(u));
+  }
+}
+
+TEST(ReorderTest, EdgesAndLabelsFollowTheirNodes) {
+  const Graph g = CollaborationCliqueGraph(30, 24, 2, 5, 33).ValueOrDie();
+  const ReorderedGraph r = DegreeSortedGraph(g);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    const NodeId nu = r.old_to_new[static_cast<size_t>(u)];
+    std::vector<NodeId> want;
+    for (NodeId v : g.OutNeighbors(u)) {
+      want.push_back(r.old_to_new[static_cast<size_t>(v)]);
+    }
+    std::vector<NodeId> got(r.graph.OutNeighbors(nu).begin(),
+                            r.graph.OutNeighbors(nu).end());
+    std::sort(want.begin(), want.end());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, want) << "node " << u;
+    if (!g.labels().empty()) {
+      ASSERT_FALSE(r.graph.labels().empty());
+      EXPECT_EQ(r.graph.labels()[static_cast<size_t>(nu)],
+                g.labels()[static_cast<size_t>(u)]);
+    }
+  }
+}
+
+TEST(ReorderTest, PermuteScoresToOriginalRoundTrips) {
+  const std::vector<NodeId> new_to_old = {3, 0, 4, 1, 2};
+  const std::vector<double> scores_new = {10.0, 11.0, 12.0, 13.0, 14.0};
+  std::vector<double> original;
+  PermuteScoresToOriginal(scores_new, new_to_old, &original);
+  // original[new_to_old[v]] == scores_new[v].
+  const std::vector<double> want = {11.0, 13.0, 14.0, 10.0, 12.0};
+  EXPECT_EQ(original, want);
+}
+
+TEST(ReorderTest, ScoresAgreeAcrossLayoutsToRounding) {
+  // The documented contract: within one layout results are bitwise
+  // deterministic; across layouts the same query's scores (mapped back to
+  // original ids) agree to rounding, not bitwise.
+  const Graph g = Rmat(120, 720, 34).ValueOrDie();
+  const ReorderedGraph r = DegreeSortedGraph(g);
+  SimilarityOptions opts;
+  opts.damping = 0.6;
+  opts.iterations = 8;
+  for (const NodeId q : {NodeId{0}, NodeId{17}, NodeId{119}}) {
+    const std::vector<double> direct =
+        SingleSourceSimRankStarGeometric(g, q, opts).ValueOrDie();
+    const std::vector<double> direct_again =
+        SingleSourceSimRankStarGeometric(g, q, opts).ValueOrDie();
+    ASSERT_EQ(std::memcmp(direct.data(), direct_again.data(),
+                          direct.size() * sizeof(double)),
+              0)
+        << "within-layout determinism, q=" << q;
+
+    const NodeId nq = r.old_to_new[static_cast<size_t>(q)];
+    const std::vector<double> relabeled =
+        SingleSourceSimRankStarGeometric(r.graph, nq, opts).ValueOrDie();
+    std::vector<double> mapped;
+    PermuteScoresToOriginal(relabeled, r.new_to_old, &mapped);
+    ASSERT_EQ(mapped.size(), direct.size());
+    for (size_t v = 0; v < direct.size(); ++v) {
+      EXPECT_NEAR(mapped[v], direct[v],
+                  1e-12 * std::max(1.0, std::abs(direct[v])))
+          << "q=" << q << " v=" << v;
+    }
+  }
+
+  // Same agreement for RWR, whose kernel takes a different code path.
+  const std::vector<double> rwr =
+      SingleSourceRwr(g, 5, opts).ValueOrDie();
+  const std::vector<double> rwr_new =
+      SingleSourceRwr(r.graph, r.old_to_new[5], opts).ValueOrDie();
+  std::vector<double> rwr_mapped;
+  PermuteScoresToOriginal(rwr_new, r.new_to_old, &rwr_mapped);
+  for (size_t v = 0; v < rwr.size(); ++v) {
+    EXPECT_NEAR(rwr_mapped[v], rwr[v],
+                1e-12 * std::max(1.0, std::abs(rwr[v])));
+  }
+}
+
+}  // namespace
+}  // namespace srs

@@ -129,7 +129,11 @@ void ExpectMatrixBitEqual(const CsrOverlay& got, const CsrOverlay& want,
                           const char* what) {
   const CsrMatrix a = got.HasPatches() ? got.Compact() : *got.base();
   const CsrMatrix b = want.HasPatches() ? want.Compact() : *want.base();
-  EXPECT_EQ(a.row_ptr(), b.row_ptr()) << what;
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  EXPECT_EQ(a.narrow_offsets(), b.narrow_offsets()) << what;
+  for (int64_t r = 0; r <= a.rows(); ++r) {
+    ASSERT_EQ(a.RowBegin(r), b.RowBegin(r)) << what << " row " << r;
+  }
   EXPECT_EQ(a.col_idx(), b.col_idx()) << what;
   ExpectBitEqual(a.values(), b.values(), what);
 }

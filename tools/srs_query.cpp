@@ -390,7 +390,7 @@ srs::Status WriteAllPairs(const srs::Graph& g, srs::SrsService* service,
                          ComputeDenseAllPairs(g, options));
     const srs::CsrMatrix sparse = srs::ToSparseScores(scores, kSieveThreshold);
     for (int64_t u = 0; u < sparse.rows(); ++u) {
-      for (int64_t k = sparse.row_ptr()[u]; k < sparse.row_ptr()[u + 1]; ++k) {
+      for (int64_t k = sparse.RowBegin(u); k < sparse.RowEnd(u); ++k) {
         out << g.LabelOf(static_cast<srs::NodeId>(u)) << "\t"
             << g.LabelOf(sparse.col_idx()[k]) << "\t" << sparse.values()[k]
             << "\n";
