@@ -17,6 +17,7 @@
 #include "srs/graph/delta.h"
 #include "srs/graph/fixtures.h"
 #include "srs/graph/graph_builder.h"
+#include "srs/observability/metrics.h"
 #include "srs/server/client.h"
 #include "srs/server/server.h"
 
@@ -167,6 +168,22 @@ int main() {
   srs::JsonValue response = client.Call(request).ValueOrDie();
   std::printf("\nserved over 127.0.0.1:%d -> %s\n", server->port(),
               response.Encode().c_str());
+
+  // --- 9. Observability: per-request traces + the metrics registry. -------
+  // Add "trace": true to any query and the response echoes the stage
+  // timings (queue wait, snapshot resolve, kernel, total). Every layer
+  // also records into the process-global MetricsRegistry; one snapshot of
+  // it backs srs_serve's /metrics (Prometheus), /statusz (JSON), the
+  // `stats` wire op, and srs_query --stats. The standalone server exposes
+  // it over HTTP: `srs_serve --graph my.edges --metrics-port 9100`.
+  request.Set("trace", true);
+  srs::JsonValue traced = client.Call(request).ValueOrDie();
+  std::printf("stage timings -> %s\n", traced.Find("trace")->Encode().c_str());
+  const srs::MetricsSnapshot snap = srs::GlobalMetrics().Snapshot();
+  std::printf("registry: %.0f service queries, %.0f result-cache hits\n",
+              snap.ValueOf("srs_service_queries_total", 0.0),
+              snap.ValueOf("srs_result_cache_hits_total", 0.0));
+
   server->RequestShutdown();
   server->Wait();
   return 0;

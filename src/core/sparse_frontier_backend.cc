@@ -19,6 +19,7 @@
 #include "srs/core/series_reference.h"
 #include "srs/matrix/ops.h"
 #include "srs/matrix/sparse_vector.h"
+#include "srs/observability/instruments.h"
 
 namespace srs {
 
@@ -127,12 +128,24 @@ class SparseFrontierBackend final : public KernelBackend {
       return;
     }
     acc->ScatterTransposed(mt, in.sv);
-    if (acc->TouchedCount() > static_cast<size_t>(densify_nnz)) {
+    const size_t touched = acc->TouchedCount();
+    if (touched > static_cast<size_t>(densify_nnz)) {
       out->dense = true;
       acc->EmitDense(prune_epsilon_, m.rows(), &out->vec);
+      if (MetricsEnabled()) {
+        FrontierSizeHistogram()->Observe(static_cast<double>(touched));
+        FrontierDensifiedCounter()->Increment();
+      }
     } else {
       out->dense = false;
       acc->EmitPruned(prune_epsilon_, &out->sv);
+      if (MetricsEnabled()) {
+        FrontierSizeHistogram()->Observe(static_cast<double>(touched));
+        // Sieved entries: touched by the scatter, absent after the
+        // |value| <= prune_epsilon cut.
+        SieveDroppedCounter()->Increment(
+            static_cast<uint64_t>(touched - out->sv.idx.size()));
+      }
     }
   }
 

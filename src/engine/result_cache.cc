@@ -241,4 +241,54 @@ size_t ResultCache::capacity_bytes() const {
   return shard_capacity_ * shards_.size();
 }
 
+void ResultCache::RegisterMetrics(MetricsRegistry* registry) {
+  MetricsRegistry* reg = registry != nullptr ? registry : &GlobalMetrics();
+  metrics_.Reset();
+  // Polled, not double-counted: the shards already keep these counters
+  // under their own locks; Snapshot() reads them through Stats().
+  struct Field {
+    const char* name;
+    const char* help;
+    MetricType type;
+    double (*get)(const ResultCacheStats&);
+  };
+  static constexpr Field kFields[] = {
+      {"srs_result_cache_hits_total", "Result-cache lookups that hit",
+       MetricType::kCounter,
+       [](const ResultCacheStats& s) { return static_cast<double>(s.hits); }},
+      {"srs_result_cache_misses_total", "Result-cache lookups that missed",
+       MetricType::kCounter,
+       [](const ResultCacheStats& s) {
+         return static_cast<double>(s.misses);
+       }},
+      {"srs_result_cache_insertions_total", "Result-cache entries stored",
+       MetricType::kCounter,
+       [](const ResultCacheStats& s) {
+         return static_cast<double>(s.insertions);
+       }},
+      {"srs_result_cache_evictions_total",
+       "Result-cache entries dropped for capacity", MetricType::kCounter,
+       [](const ResultCacheStats& s) {
+         return static_cast<double>(s.evictions);
+       }},
+      {"srs_result_cache_entries", "Result-cache entries currently held",
+       MetricType::kGauge,
+       [](const ResultCacheStats& s) {
+         return static_cast<double>(s.entries);
+       }},
+      {"srs_result_cache_bytes", "Result-cache bytes currently charged",
+       MetricType::kGauge,
+       [](const ResultCacheStats& s) {
+         return static_cast<double>(s.bytes);
+       }},
+  };
+  for (const Field& field : kFields) {
+    metrics_.Add(reg, field.name, field.help, field.type, {},
+                 [this, get = field.get] { return get(Stats()); });
+  }
+  metrics_.Add(reg, "srs_result_cache_capacity_bytes",
+               "Result-cache configured byte budget", MetricType::kGauge, {},
+               [this] { return static_cast<double>(capacity_bytes()); });
+}
+
 }  // namespace srs

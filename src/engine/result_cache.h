@@ -36,6 +36,7 @@
 
 #include "srs/core/options.h"
 #include "srs/graph/graph.h"
+#include "srs/observability/metrics.h"
 
 namespace srs {
 
@@ -153,6 +154,12 @@ class ResultCache {
   /// Total configured byte budget.
   size_t capacity_bytes() const;
 
+  /// Registers this cache's counters/footprint as polled metrics
+  /// (`srs_result_cache_*`) in `registry` (the global one when null). The
+  /// registration lives as long as the cache; the newest registered cache
+  /// owns the family.
+  void RegisterMetrics(MetricsRegistry* registry = nullptr);
+
  private:
   struct Entry {
     ResultKey key;
@@ -174,6 +181,7 @@ class ResultCache {
 
   size_t shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  PolledRegistration metrics_;
 };
 
 }  // namespace srs

@@ -6,7 +6,9 @@
 
 #include "srs/common/hashing.h"
 #include "srs/common/logging.h"
+#include "srs/common/timer.h"
 #include "srs/engine/delta_invalidation.h"
+#include "srs/observability/instruments.h"
 
 namespace srs {
 
@@ -165,6 +167,11 @@ Result<QueryResponse> SrsService::Query(const QueryRequest& request) {
       std::chrono::steady_clock::now() >= *request.deadline) {
     return Status::DeadlineExceeded("deadline passed before dispatch");
   }
+  // One timing switch for both consumers: the batch-latency histograms
+  // and a requested trace. Off, the query path reads the clock zero
+  // times beyond the deadline check above.
+  const bool timed = MetricsEnabled() || request.collect_trace;
+  Timer stage;
   SRS_ASSIGN_OR_RETURN(const uint64_t version,
                        ResolveVersion(request.version));
   const bool ranked = request.options.top_k > 0;
@@ -189,9 +196,21 @@ Result<QueryResponse> SrsService::Query(const QueryRequest& request) {
           s->ranked = std::make_unique<TopKEngine>(std::move(engine));
           return Status::OK();
         }));
+    const double resolve_s = timed ? stage.Seconds() : 0.0;
     SRS_ASSIGN_OR_RETURN(
         std::vector<TopKResult> results,
         slot->ranked->BatchTopK(request.measure, request.sources));
+    if (timed) {
+      const double compute_s = stage.Seconds() - resolve_s;
+      QueryBatchSecondsHistogram("ranked")->Observe(compute_s);
+      QueryBatchSourcesHistogram("ranked")->Observe(
+          static_cast<double>(request.sources.size()));
+      if (request.collect_trace) {
+        response.trace.collected = true;
+        response.trace.resolve_ms = resolve_s * 1e3;
+        response.trace.compute_ms = compute_s * 1e3;
+      }
+    }
     response.rows.resize(results.size());
     for (size_t i = 0; i < results.size(); ++i) {
       QueryRowResult& row = response.rows[i];
@@ -217,9 +236,21 @@ Result<QueryResponse> SrsService::Query(const QueryRequest& request) {
           s->full = std::make_unique<QueryEngine>(std::move(engine));
           return Status::OK();
         }));
+    const double resolve_s = timed ? stage.Seconds() : 0.0;
     SRS_ASSIGN_OR_RETURN(
         std::vector<std::vector<double>> scores,
         slot->full->BatchScores(request.measure, request.sources));
+    if (timed) {
+      const double compute_s = stage.Seconds() - resolve_s;
+      QueryBatchSecondsHistogram("full")->Observe(compute_s);
+      QueryBatchSourcesHistogram("full")->Observe(
+          static_cast<double>(request.sources.size()));
+      if (request.collect_trace) {
+        response.trace.collected = true;
+        response.trace.resolve_ms = resolve_s * 1e3;
+        response.trace.compute_ms = compute_s * 1e3;
+      }
+    }
     response.rows.resize(scores.size());
     for (size_t i = 0; i < scores.size(); ++i) {
       response.rows[i].source = request.sources[i];
@@ -227,6 +258,9 @@ Result<QueryResponse> SrsService::Query(const QueryRequest& request) {
     }
   }
   stats_.rows_served += response.rows.size();
+  if (request.collect_trace) {
+    response.trace.engine_reused = response.engine_reused;
+  }
   return response;
 }
 
@@ -269,8 +303,14 @@ Status SrsService::StreamRows(const QueryRequest& request,
     // Engines are thread-compatible: two streams that resolved the same
     // slot serialize here, outside the service lock.
     std::lock_guard<std::mutex> exec(slot->exec_mu);
+    Timer stream_timer;
     SRS_RETURN_NOT_OK(
         slot->rows->ForEachRow(request.measure, request.sources, fn));
+    if (MetricsEnabled()) {
+      QueryBatchSecondsHistogram("allpairs")->Observe(stream_timer.Seconds());
+      QueryBatchSourcesHistogram("allpairs")->Observe(
+          static_cast<double>(request.sources.size()));
+    }
   }
   std::lock_guard<std::mutex> lock(mu_);
   stats_.rows_served += request.sources.size();
@@ -376,6 +416,120 @@ RecoveryInfo SrsService::recovery_info() const {
 size_t SrsService::WarmEngineCount() const {
   std::lock_guard<std::mutex> lock(mu_);
   return engines_.size();
+}
+
+void SrsService::RegisterMetrics(MetricsRegistry* registry) {
+  MetricsRegistry* reg = registry != nullptr ? registry : &GlobalMetrics();
+  metrics_.Reset();
+  struct Field {
+    const char* name;
+    const char* help;
+    MetricType type;
+    double (*get)(const ServiceStats&);
+  };
+  static constexpr Field kFields[] = {
+      {"srs_service_queries_total", "Query()/StreamRows() calls served",
+       MetricType::kCounter,
+       [](const ServiceStats& s) { return static_cast<double>(s.queries); }},
+      {"srs_service_rows_served_total", "Individual source rows answered",
+       MetricType::kCounter,
+       [](const ServiceStats& s) {
+         return static_cast<double>(s.rows_served);
+       }},
+      {"srs_service_engines_created_total", "Cold engine constructions",
+       MetricType::kCounter,
+       [](const ServiceStats& s) {
+         return static_cast<double>(s.engines_created);
+       }},
+      {"srs_service_engines_reused_total",
+       "Requests served by a warm engine", MetricType::kCounter,
+       [](const ServiceStats& s) {
+         return static_cast<double>(s.engines_reused);
+       }},
+      {"srs_service_deltas_applied_total", "Successful ApplyDelta() calls",
+       MetricType::kCounter,
+       [](const ServiceStats& s) {
+         return static_cast<double>(s.deltas_applied);
+       }},
+      {"srs_service_cache_rows_retained_total",
+       "ResultCache rows carried across deltas bit-intact",
+       MetricType::kCounter,
+       [](const ServiceStats& s) {
+         return static_cast<double>(s.cache_rows_retained);
+       }},
+      {"srs_service_cache_rows_evicted_total",
+       "ResultCache rows dropped by delta invalidation",
+       MetricType::kCounter,
+       [](const ServiceStats& s) {
+         return static_cast<double>(s.cache_rows_evicted);
+       }},
+      {"srs_service_checkpoints_total",
+       "Snapshot checkpoint files written (durable mode)",
+       MetricType::kCounter,
+       [](const ServiceStats& s) {
+         return static_cast<double>(s.checkpoints);
+       }},
+      {"srs_service_wal_bytes", "Current WAL size (durable mode)",
+       MetricType::kGauge,
+       [](const ServiceStats& s) {
+         return static_cast<double>(s.wal_bytes);
+       }},
+  };
+  for (const Field& field : kFields) {
+    metrics_.Add(reg, field.name, field.help, field.type, {},
+                 [this, get = field.get] { return get(Stats()); });
+  }
+  metrics_.Add(reg, "srs_service_served_version",
+               "Graph version kLatestVersion currently resolves to",
+               MetricType::kGauge, {},
+               [this] { return static_cast<double>(ServedVersion()); });
+  metrics_.Add(reg, "srs_service_num_nodes", "Nodes in the served graph",
+               MetricType::kGauge, {},
+               [this] { return static_cast<double>(NumNodes()); });
+  metrics_.Add(reg, "srs_service_warm_engines",
+               "Warm engines resident in the service LRU",
+               MetricType::kGauge, {},
+               [this] { return static_cast<double>(WarmEngineCount()); });
+  struct RecoveryField {
+    const char* name;
+    const char* help;
+    double (*get)(const RecoveryInfo&);
+  };
+  static constexpr RecoveryField kRecovery[] = {
+      {"srs_recovery_from_disk",
+       "1 when this process restarted from on-disk state",
+       [](const RecoveryInfo& r) {
+         return r.recovered_from_disk ? 1.0 : 0.0;
+       }},
+      {"srs_recovery_snapshot_version",
+       "Version of the snapshot file recovery loaded",
+       [](const RecoveryInfo& r) {
+         return static_cast<double>(r.snapshot_version);
+       }},
+      {"srs_recovery_replayed_deltas",
+       "WAL records replayed on top of the recovered snapshot",
+       [](const RecoveryInfo& r) {
+         return static_cast<double>(r.replayed_deltas);
+       }},
+      {"srs_recovery_skipped_obsolete",
+       "Obsolete WAL records recovery skipped",
+       [](const RecoveryInfo& r) {
+         return static_cast<double>(r.skipped_obsolete);
+       }},
+      {"srs_recovery_wal_tail_truncated",
+       "1 when recovery truncated a torn WAL tail",
+       [](const RecoveryInfo& r) {
+         return r.wal_tail_truncated ? 1.0 : 0.0;
+       }},
+  };
+  for (const RecoveryField& field : kRecovery) {
+    metrics_.Add(reg, field.name, field.help, MetricType::kGauge, {},
+                 [this, get = field.get] { return get(recovery_info()); });
+  }
+  if (options_.result_cache != nullptr) {
+    options_.result_cache->RegisterMetrics(reg);
+  }
+  ResolveSnapshotCache(options_)->RegisterMetrics(reg);
 }
 
 }  // namespace srs

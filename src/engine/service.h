@@ -50,6 +50,8 @@
 #include "srs/graph/delta.h"
 #include "srs/graph/graph.h"
 #include "srs/graph/versioned_graph.h"
+#include "srs/observability/metrics.h"
+#include "srs/observability/trace.h"
 #include "srs/storage/data_dir.h"
 
 namespace srs {
@@ -76,6 +78,10 @@ struct QueryRequest {
   /// Optional deadline. A request whose deadline has already passed at
   /// dispatch fails with DeadlineExceeded instead of computing.
   std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  /// When true, the response's `trace` records stage timings (wire
+  /// clients opt in with `"trace": true`).
+  bool collect_trace = false;
 };
 
 /// \brief One source's answer: a full row or a ranking, plus diagnostics.
@@ -111,6 +117,11 @@ struct QueryResponse {
 
   /// True when a warm engine served this request (no engine construction).
   bool engine_reused = false;
+
+  /// Stage timings, filled when the request set `collect_trace` (the
+  /// server layers add admission/batch facts on top of the service's
+  /// resolve/compute timings).
+  RequestTrace trace;
 
   /// One row per source, in request order.
   std::vector<QueryRowResult> rows;
@@ -253,6 +264,11 @@ class SrsService {
   /// newcomer).
   size_t WarmEngineCount() const;
 
+  /// Registers this service's counters (`srs_service_*`), recovery facts,
+  /// and its result/snapshot caches' metrics in `registry` (the global
+  /// one when null).
+  void RegisterMetrics(MetricsRegistry* registry = nullptr);
+
  private:
   /// One warm engine: exactly one of the three pointers is set, matching
   /// the shape folded into `key`. Slots are shared_ptrs so an engine
@@ -300,6 +316,7 @@ class SrsService {
   std::vector<std::shared_ptr<EngineSlot>> engines_;
   uint64_t use_counter_ = 0;
   ServiceStats stats_;
+  PolledRegistration metrics_;
 };
 
 }  // namespace srs

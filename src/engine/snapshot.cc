@@ -350,6 +350,49 @@ void SnapshotCache::Clear() {
   stats_.bytes = 0;
 }
 
+void SnapshotCache::RegisterMetrics(MetricsRegistry* registry) {
+  MetricsRegistry* reg = registry != nullptr ? registry : &GlobalMetrics();
+  metrics_.Reset();
+  struct Field {
+    const char* name;
+    const char* help;
+    MetricType type;
+    double (*get)(const SnapshotCacheStats&);
+  };
+  static constexpr Field kFields[] = {
+      {"srs_snapshot_cache_hits_total",
+       "Snapshot-cache lookups served from memo", MetricType::kCounter,
+       [](const SnapshotCacheStats& s) {
+         return static_cast<double>(s.hits);
+       }},
+      {"srs_snapshot_cache_misses_total",
+       "Snapshot-cache lookups that built a snapshot", MetricType::kCounter,
+       [](const SnapshotCacheStats& s) {
+         return static_cast<double>(s.misses);
+       }},
+      {"srs_snapshot_cache_evictions_total",
+       "Snapshots dropped to respect the entry cap", MetricType::kCounter,
+       [](const SnapshotCacheStats& s) {
+         return static_cast<double>(s.evictions);
+       }},
+      {"srs_snapshot_cache_entries", "Snapshots currently memoized",
+       MetricType::kGauge,
+       [](const SnapshotCacheStats& s) {
+         return static_cast<double>(s.entries);
+       }},
+      {"srs_snapshot_cache_bytes",
+       "Logical bytes of memoized snapshots (marginal for derived versions)",
+       MetricType::kGauge,
+       [](const SnapshotCacheStats& s) {
+         return static_cast<double>(s.bytes);
+       }},
+  };
+  for (const Field& field : kFields) {
+    metrics_.Add(reg, field.name, field.help, field.type, {},
+                 [this, get = field.get] { return get(Stats()); });
+  }
+}
+
 SnapshotCache& GlobalSnapshotCache() {
   static SnapshotCache* cache = new SnapshotCache();
   return *cache;

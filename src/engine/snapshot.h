@@ -40,6 +40,7 @@
 #include "srs/graph/graph.h"
 #include "srs/graph/versioned_graph.h"
 #include "srs/matrix/csr_overlay.h"
+#include "srs/observability/metrics.h"
 
 namespace srs {
 
@@ -202,6 +203,10 @@ class SnapshotCache {
   /// Drops all memoized snapshots (in-use engines keep theirs alive).
   void Clear();
 
+  /// Registers this cache's counters/footprint as polled metrics
+  /// (`srs_snapshot_cache_*`) in `registry` (the global one when null).
+  void RegisterMetrics(MetricsRegistry* registry = nullptr);
+
  private:
   struct Entry {
     uint64_t fingerprint;
@@ -223,6 +228,7 @@ class SnapshotCache {
   // Most-recently-used first; linear scan is fine for a handful of graphs.
   std::vector<Entry> entries_;
   SnapshotCacheStats stats_;
+  PolledRegistration metrics_;
 };
 
 /// Process-wide default cache used by the engines unless an explicit one is

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "srs/observability/instruments.h"
+
 namespace srs {
 
 TopKEngine::TopKEngine(std::shared_ptr<const GraphSnapshot> snapshot,
@@ -214,6 +216,23 @@ Result<std::vector<TopKResult>> TopKEngine::BatchTopK(
           cache->Put(eval_.KeyFor(measure, query), std::move(encoded));
         }
       });
+  if (MetricsEnabled()) {
+    // Cache-served answers are skipped: their level counts describe the
+    // original cold computation, not work this call did — the same rule
+    // srs_query's early-termination tally applies.
+    Histogram* levels = TopKTerminationLevelsHistogram();
+    uint64_t evaluated = 0, possible = 0;
+    for (const TopKResult& result : results) {
+      if (result.served_from_cache) continue;
+      levels->Observe(static_cast<double>(result.levels_evaluated));
+      evaluated += static_cast<uint64_t>(result.levels_evaluated);
+      possible += static_cast<uint64_t>(result.levels_total);
+    }
+    if (possible > 0) {
+      TopKLevelsEvaluatedCounter()->Increment(evaluated);
+      TopKLevelsPossibleCounter()->Increment(possible);
+    }
+  }
   return results;
 }
 

@@ -1,0 +1,150 @@
+#include "srs/observability/exposition.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace srs {
+
+namespace {
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+/// Shortest form that round-trips: integers print bare, everything else
+/// with enough digits.
+std::string FormatValue(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) <= 9.007e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Bucket bound for the `le` label ("0.005", "1e-06", "+Inf").
+std::string FormatBound(double bound) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%g", bound);
+  return buf;
+}
+
+/// Escapes a label value per the exposition format.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// `{k="v",...}` including the braces; empty string for no labels. `extra`
+/// appends one more pair (the histogram `le` label).
+std::string LabelBlock(const MetricLabels& labels,
+                       const std::string& extra_key = "",
+                       const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += k + "=\"" + EscapeLabelValue(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out.push_back(',');
+    out += extra_key + "=\"" + EscapeLabelValue(extra_value) + "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  const std::string* last_family = nullptr;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    // Snapshot() sorts by name, so label variants of one family are
+    // adjacent; HELP/TYPE are emitted once per family.
+    if (last_family == nullptr || *last_family != m.name) {
+      out += "# HELP " + m.name + " " + m.help + "\n";
+      out += "# TYPE " + m.name + " " + std::string(TypeName(m.type)) + "\n";
+      last_family = &m.name;
+    }
+    if (m.type == MetricType::kHistogram) {
+      const HistogramSnapshot& h = m.histogram;
+      uint64_t cumulative = 0;
+      for (size_t b = 0; b < h.counts.size(); ++b) {
+        cumulative += h.counts[b];
+        const std::string le = b < h.upper_bounds.size()
+                                   ? FormatBound(h.upper_bounds[b])
+                                   : "+Inf";
+        out += m.name + "_bucket" + LabelBlock(m.labels, "le", le) + " " +
+               FormatValue(static_cast<double>(cumulative)) + "\n";
+      }
+      out += m.name + "_sum" + LabelBlock(m.labels) + " " +
+             FormatValue(h.sum) + "\n";
+      out += m.name + "_count" + LabelBlock(m.labels) + " " +
+             FormatValue(static_cast<double>(h.count)) + "\n";
+    } else {
+      out += m.name + LabelBlock(m.labels) + " " + FormatValue(m.value) +
+             "\n";
+    }
+  }
+  return out;
+}
+
+std::string StatuszKey(const MetricSnapshot& metric) {
+  if (metric.labels.empty()) return metric.name;
+  std::string key = metric.name + "{";
+  bool first = true;
+  for (const auto& [k, v] : metric.labels) {
+    if (!first) key.push_back(',');
+    first = false;
+    key += k + "=" + v;
+  }
+  key.push_back('}');
+  return key;
+}
+
+JsonValue RenderStatusz(const MetricsSnapshot& snapshot) {
+  JsonValue out = JsonValue::MakeObject();
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    if (m.type == MetricType::kHistogram) {
+      const HistogramSnapshot& h = m.histogram;
+      JsonValue entry = JsonValue::MakeObject();
+      entry.Set("count", static_cast<uint64_t>(h.count));
+      entry.Set("sum", h.sum);
+      entry.Set("p50", h.Percentile(50));
+      entry.Set("p90", h.Percentile(90));
+      entry.Set("p99", h.Percentile(99));
+      entry.Set("p999", h.Percentile(99.9));
+      out.Set(StatuszKey(m), std::move(entry));
+    } else {
+      out.Set(StatuszKey(m), m.value);
+    }
+  }
+  return out;
+}
+
+}  // namespace srs

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file exposition.h
+/// \brief Renderers from a MetricsSnapshot to the two exposition formats:
+/// Prometheus text (`/metrics`) and JSON (`/statusz`).
+///
+/// Both render the *same* snapshot — there is exactly one source of truth
+/// (observability/metrics.h); these functions only change its syntax.
+///
+///  * `RenderPrometheus` emits the text exposition format version 0.0.4:
+///    one `# HELP` / `# TYPE` pair per family, `_bucket{le=...}` /
+///    `_sum` / `_count` series per histogram with cumulative bucket
+///    counts, and every value formatted so it round-trips.
+///  * `RenderStatusz` emits a JSON object keyed by metric name (labels
+///    folded into the key as `name{k=v,...}`); histograms become
+///    `{count, sum, p50, p90, p99, p999}` objects. The `stats` wire op
+///    and srs_query's `--stats` read the same snapshot directly.
+
+#include <string>
+
+#include "srs/common/json.h"
+#include "srs/observability/metrics.h"
+
+namespace srs {
+
+/// Prometheus text exposition (format version 0.0.4) of `snapshot`.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+/// JSON object of `snapshot` for `/statusz`.
+JsonValue RenderStatusz(const MetricsSnapshot& snapshot);
+
+/// The flat key `/statusz` files a metric under: the name alone, or
+/// `name{k=v,...}` when labeled. Exposed so schema tests can address
+/// entries precisely.
+std::string StatuszKey(const MetricSnapshot& metric);
+
+}  // namespace srs

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file http_server.h
+/// \brief Minimal HTTP/1.0 exposition endpoint for the metrics registry.
+///
+/// Serves exactly three paths on 127.0.0.1:
+///
+///   * `GET /metrics`  — Prometheus text exposition of a fresh
+///     `MetricsRegistry::Snapshot()` (scrape target);
+///   * `GET /statusz`  — the same snapshot as a JSON object, plus any
+///     extra top-level fields the embedder supplies (build info, serving
+///     identity);
+///   * `GET /healthz`  — `ok\n` (liveness probe).
+///
+/// Anything else is 404. The server is deliberately tiny: one accept
+/// thread handles connections serially (a scrape every few seconds is the
+/// design load — this is not a traffic port), reads until the header
+/// terminator, answers with `Connection: close`, and closes. Shutdown
+/// mirrors server/server.h: shutdown(2) the listener, join the thread.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "srs/common/json.h"
+#include "srs/common/result.h"
+#include "srs/observability/metrics.h"
+
+namespace srs {
+
+/// Configuration of a MetricsHttpServer.
+struct MetricsHttpOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (see port()).
+  int port = 0;
+
+  /// Registry to snapshot per request; null means GlobalMetrics().
+  MetricsRegistry* registry = nullptr;
+
+  /// Optional extra top-level `/statusz` fields, merged before the
+  /// "metrics" object (e.g. serving identity). Called per request.
+  std::function<JsonValue()> statusz_extra;
+};
+
+/// \brief A running exposition endpoint.
+class MetricsHttpServer {
+ public:
+  /// Binds and starts serving. IoError when the socket cannot be bound.
+  static Result<std::unique_ptr<MetricsHttpServer>> Start(
+      const MetricsHttpOptions& options = {});
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Stops and joins.
+  ~MetricsHttpServer();
+
+  /// The bound port (the ephemeral one when options.port was 0).
+  int port() const { return port_; }
+
+  /// Stops accepting and joins the serving thread. Idempotent.
+  void Stop();
+
+ private:
+  explicit MetricsHttpServer(const MetricsHttpOptions& options);
+
+  void ServeLoop();
+  void HandleConnection(int fd);
+
+  MetricsHttpOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread serve_thread_;
+};
+
+}  // namespace srs

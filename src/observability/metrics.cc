@@ -1,0 +1,349 @@
+#include "srs/observability/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "srs/common/macros.h"
+
+namespace srs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+bool LabelsEqual(const MetricLabels& a, const MetricLabels& b) {
+  return a == b;
+}
+
+bool MetricOrder(const MetricSnapshot& a, const MetricSnapshot& b) {
+  if (a.name != b.name) return a.name < b.name;
+  return a.labels < b.labels;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+size_t MetricStripeIndex() {
+  // Dense per-thread ids spread recorders evenly across stripes; a hash
+  // of std::this_thread::get_id would risk collisions at small counts.
+  static std::atomic<size_t> next{0};
+  thread_local const size_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id & (kMetricStripes - 1);
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  SRS_CHECK(!bounds_.empty());
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    SRS_CHECK(std::isfinite(bounds_[i]));
+    if (i > 0) SRS_CHECK(bounds_[i] > bounds_[i - 1]);
+  }
+  for (Stripe& stripe : stripes_) {
+    // value-initialised: every atomic slot starts at zero
+    stripe.counts =
+        std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  }
+}
+
+size_t Histogram::BucketOf(double value) const {
+  // Buckets hold value <= bound (Prometheus `le` semantics).
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  return static_cast<size_t>(it - bounds_.begin());
+}
+
+void Histogram::Observe(double value) {
+  if (!MetricsEnabled()) return;
+  ObserveAlways(value);
+}
+
+void Histogram::ObserveAlways(double value) {
+  Stripe& stripe = stripes_[internal::MetricStripeIndex()];
+  stripe.counts[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  uint64_t bits = stripe.sum_bits.load(std::memory_order_relaxed);
+  while (true) {
+    const double sum = std::bit_cast<double>(bits);
+    const uint64_t next = std::bit_cast<uint64_t>(sum + value);
+    if (stripe.sum_bits.compare_exchange_weak(bits, next,
+                                              std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.upper_bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (const Stripe& stripe : stripes_) {
+    for (size_t b = 0; b < snap.counts.size(); ++b) {
+      snap.counts[b] += stripe.counts[b].load(std::memory_order_relaxed);
+    }
+    snap.sum += std::bit_cast<double>(
+        stripe.sum_bits.load(std::memory_order_relaxed));
+  }
+  for (const uint64_t c : snap.counts) snap.count += c;
+  return snap;
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::min(100.0, std::max(0.0, p));
+  // Rank of the target observation, 1-based; walk buckets cumulatively.
+  const double rank = p / 100.0 * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const uint64_t next_cumulative = cumulative + counts[b];
+    if (static_cast<double>(next_cumulative) >= rank) {
+      if (b >= upper_bounds.size()) {
+        // Overflow bucket: no finite upper edge — clamp to the last bound.
+        return upper_bounds.back();
+      }
+      const double lo = b == 0 ? 0.0 : upper_bounds[b - 1];
+      const double hi = upper_bounds[b];
+      const double into =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(counts[b]);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, into));
+    }
+    cumulative = next_cumulative;
+  }
+  return upper_bounds.back();
+}
+
+std::vector<double> LatencyBucketsSeconds() {
+  // 1-2-5 decades, 1 µs .. 50 s (22 finite buckets + overflow).
+  return {1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4,
+          5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 0.1,
+          0.2,  0.5,  1.0,  2.0,  5.0,  10.0, 50.0};
+}
+
+std::vector<double> CountBuckets() {
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 1048576.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+std::vector<double> LevelBuckets() {
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 16.0; b += 1.0) bounds.push_back(b);
+  bounds.insert(bounds.end(), {20.0, 24.0, 32.0, 48.0, 64.0});
+  return bounds;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+
+const MetricSnapshot* MetricsSnapshot::Find(std::string_view name) const {
+  for (const MetricSnapshot& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+const MetricSnapshot* MetricsSnapshot::Find(
+    std::string_view name, const MetricLabels& labels) const {
+  for (const MetricSnapshot& m : metrics) {
+    if (m.name == name && LabelsEqual(m.labels, labels)) return &m;
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::ValueOf(std::string_view name,
+                                double fallback) const {
+  const MetricSnapshot* m = Find(name);
+  return m == nullptr ? fallback : m->value;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+MetricsRegistry::Instrument* MetricsRegistry::FindInstrument(
+    std::string_view name, const MetricLabels& labels) {
+  for (const std::unique_ptr<Instrument>& inst : instruments_) {
+    if (inst->name == name && LabelsEqual(inst->labels, labels)) {
+      return inst.get();
+    }
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help,
+                                     MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Instrument* existing = FindInstrument(name, labels)) {
+    SRS_CHECK(existing->type == MetricType::kCounter);
+    return existing->counter.get();
+  }
+  auto inst = std::make_unique<Instrument>();
+  inst->name = std::string(name);
+  inst->help = std::string(help);
+  inst->type = MetricType::kCounter;
+  inst->labels = std::move(labels);
+  inst->counter = std::make_unique<Counter>();
+  Counter* out = inst->counter.get();
+  instruments_.push_back(std::move(inst));
+  return out;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view help,
+                                 MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Instrument* existing = FindInstrument(name, labels)) {
+    SRS_CHECK(existing->type == MetricType::kGauge);
+    return existing->gauge.get();
+  }
+  auto inst = std::make_unique<Instrument>();
+  inst->name = std::string(name);
+  inst->help = std::string(help);
+  inst->type = MetricType::kGauge;
+  inst->labels = std::move(labels);
+  inst->gauge = std::make_unique<Gauge>();
+  Gauge* out = inst->gauge.get();
+  instruments_.push_back(std::move(inst));
+  return out;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help,
+                                         std::vector<double> upper_bounds,
+                                         MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Instrument* existing = FindInstrument(name, labels)) {
+    SRS_CHECK(existing->type == MetricType::kHistogram);
+    SRS_CHECK(existing->histogram->upper_bounds() == upper_bounds);
+    return existing->histogram.get();
+  }
+  auto inst = std::make_unique<Instrument>();
+  inst->name = std::string(name);
+  inst->help = std::string(help);
+  inst->type = MetricType::kHistogram;
+  inst->labels = std::move(labels);
+  inst->histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  Histogram* out = inst->histogram.get();
+  instruments_.push_back(std::move(inst));
+  return out;
+}
+
+uint64_t MetricsRegistry::RegisterPolled(std::string_view name,
+                                         std::string_view help,
+                                         MetricType type,
+                                         MetricLabels labels,
+                                         std::function<double()> fn) {
+  SRS_CHECK(type != MetricType::kHistogram);
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_polled_id_++;
+  for (Polled& p : polled_) {
+    if (p.name == name && LabelsEqual(p.labels, labels)) {
+      // Replacement: a newer component of the same family takes over.
+      p.id = id;
+      p.help = std::string(help);
+      p.type = type;
+      p.fn = std::move(fn);
+      return id;
+    }
+  }
+  polled_.push_back(Polled{id, std::string(name), std::string(help), type,
+                           std::move(labels), std::move(fn)});
+  return id;
+}
+
+void MetricsRegistry::UnregisterPolled(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < polled_.size(); ++i) {
+    if (polled_[i].id == id) {
+      polled_.erase(polled_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  // Copy the polled closures out so they run outside the registry mutex:
+  // a closure may itself take a component lock whose holder is blocked on
+  // a registry call.
+  std::vector<Polled> polled;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.metrics.reserve(instruments_.size() + polled_.size());
+    for (const std::unique_ptr<Instrument>& inst : instruments_) {
+      MetricSnapshot m;
+      m.name = inst->name;
+      m.help = inst->help;
+      m.type = inst->type;
+      m.labels = inst->labels;
+      switch (inst->type) {
+        case MetricType::kCounter:
+          m.value = static_cast<double>(inst->counter->Value());
+          break;
+        case MetricType::kGauge:
+          m.value = static_cast<double>(inst->gauge->Value());
+          break;
+        case MetricType::kHistogram:
+          m.histogram = inst->histogram->Snapshot();
+          break;
+      }
+      snap.metrics.push_back(std::move(m));
+    }
+    polled = polled_;
+  }
+  for (const Polled& p : polled) {
+    MetricSnapshot m;
+    m.name = p.name;
+    m.help = p.help;
+    m.type = p.type;
+    m.labels = p.labels;
+    m.value = p.fn();
+    snap.metrics.push_back(std::move(m));
+  }
+  std::sort(snap.metrics.begin(), snap.metrics.end(), MetricOrder);
+  return snap;
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+// ---------------------------------------------------------------------------
+// PolledRegistration
+
+void PolledRegistration::Add(MetricsRegistry* registry,
+                             std::string_view name, std::string_view help,
+                             MetricType type, MetricLabels labels,
+                             std::function<double()> fn) {
+  SRS_CHECK(registry != nullptr);
+  SRS_CHECK(registry_ == nullptr || registry_ == registry);
+  registry_ = registry;
+  ids_.push_back(registry->RegisterPolled(name, help, type,
+                                          std::move(labels), std::move(fn)));
+}
+
+void PolledRegistration::Reset() {
+  if (registry_ != nullptr) {
+    for (const uint64_t id : ids_) registry_->UnregisterPolled(id);
+  }
+  ids_.clear();
+  registry_ = nullptr;
+}
+
+}  // namespace srs

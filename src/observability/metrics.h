@@ -1,0 +1,317 @@
+#pragma once
+
+/// \file metrics.h
+/// \brief Process-wide metrics registry: counters, gauges, and fixed-bucket
+/// histograms with lock-free recording and a consistent Snapshot().
+///
+/// The serving stack spans kernels, engines, caches, an admission queue, a
+/// TCP server, and a WAL — each of which used to keep its own ad-hoc stats
+/// struct with its own reporting path. The MetricsRegistry is the one
+/// place they all register into, and the one place every exposition
+/// surface (`/metrics`, `/statusz`, the `stats` wire op, `--stats` text)
+/// reads from. Design, in the style of a profiling manager:
+///
+///  * **Recording is lock-cheap.** Counters and histograms are striped
+///    across cache-line-padded atomic shards indexed by a thread-local id,
+///    so concurrent recorders on different threads touch different cache
+///    lines and never take a lock. A single relaxed atomic load
+///    (`MetricsEnabled()`) gates every record, so metrics can be turned
+///    off process-wide and the hot path pays one predictable branch.
+///  * **Registration is slow-path.** `GetCounter`/`GetGauge`/`GetHistogram`
+///    take the registry mutex, intern the (name, labels) pair, and return
+///    a pointer that stays valid for the registry's lifetime — call sites
+///    cache it (see instruments.h) and never look up again.
+///  * **Polled metrics bridge existing stats structs.** Components that
+///    already keep consistent counters under their own lock (ResultCache,
+///    AdmissionQueue, SrsService, ...) register a closure instead of
+///    double-accounting; `Snapshot()` invokes it. `PolledRegistration` is
+///    the RAII holder — destruction unregisters, so a dead component can
+///    never be polled.
+///  * **Snapshot() is consistent per instrument.** Histogram bucket counts
+///    are summed stripe by stripe; the total count is derived from the
+///    bucket sum, so `count == Σ buckets` holds in every snapshot even
+///    while recorders are mid-flight.
+///
+/// Histograms use fixed bucket upper bounds chosen at registration
+/// (`LatencyBucketsSeconds()` et al. below are the pinned defaults) and
+/// support percentile estimation by linear interpolation within a bucket.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace srs {
+
+/// Process-wide recording switch. Recording into counters/gauges/
+/// histograms is a no-op while disabled (polled metrics still render —
+/// they only read state their owners maintain anyway). Defaults to on.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+/// Label set of one instrument, e.g. {{"shape","ranked"}}. Order is
+/// preserved and significant for identity (call sites pass literals).
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Instrument kinds, mirrored in the Prometheus TYPE line.
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+namespace internal {
+/// Stripes per instrument; power of two. 8 stripes keep 8 concurrently
+/// recording threads on distinct cache lines, which removes essentially
+/// all contention at the client counts this system serves.
+inline constexpr size_t kMetricStripes = 8;
+
+/// Dense thread id for stripe selection (assigned on first use per
+/// thread).
+size_t MetricStripeIndex();
+}  // namespace internal
+
+/// \brief Monotonic counter, striped for concurrent recording.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t n = 1) {
+    if (!MetricsEnabled()) return;
+    stripes_[internal::MetricStripeIndex()].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Stripe& s : stripes_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> v{0};
+  };
+  Stripe stripes_[internal::kMetricStripes];
+};
+
+/// \brief Point-in-time gauge (last writer wins; Add is atomic).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) {
+    if (!MetricsEnabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t delta) {
+    if (!MetricsEnabled()) return;
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// \brief One histogram's consistent point-in-time state.
+///
+/// `counts[i]` is the number of observations with
+/// `value <= upper_bounds[i]` and greater than the previous bound;
+/// `counts.back()` (one past the last bound) is the overflow (+Inf)
+/// bucket. `count == Σ counts` by construction.
+struct HistogramSnapshot {
+  std::vector<double> upper_bounds;  ///< finite bounds, ascending
+  std::vector<uint64_t> counts;      ///< size upper_bounds.size() + 1
+  uint64_t count = 0;
+  double sum = 0.0;
+
+  /// Percentile estimate in [0, 100]: linear interpolation inside the
+  /// bucket that holds the rank (the overflow bucket clamps to the last
+  /// finite bound). 0 when empty.
+  double Percentile(double p) const;
+
+  double Mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// \brief Fixed-bucket histogram, striped for concurrent recording.
+///
+/// Standalone-constructible: bench harnesses use unregistered instances
+/// for percentile reporting with the exact same bucket math the serving
+/// metrics use.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty, finite, and strictly ascending; an
+  /// overflow (+Inf) bucket is implicit.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  /// Observe that bypasses the MetricsEnabled() gate — for standalone
+  /// (unregistered) instances whose owner always wants the data, e.g.
+  /// bench percentile accumulators.
+  void ObserveAlways(double value);
+
+  HistogramSnapshot Snapshot() const;
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+
+ private:
+  size_t BucketOf(double value) const;
+
+  std::vector<double> bounds_;
+  struct alignas(64) Stripe {
+    std::unique_ptr<std::atomic<uint64_t>[]> counts;  // bounds + overflow
+    std::atomic<uint64_t> sum_bits{0};  // bit-cast double, CAS-accumulated
+  };
+  Stripe stripes_[internal::kMetricStripes];
+};
+
+/// Default latency bucket bounds in seconds: 1-2-5 decades from 1 µs to
+/// 50 s. Pinned by tests/metrics_registry_test.cpp — changing them changes
+/// every recorded latency distribution's resolution.
+std::vector<double> LatencyBucketsSeconds();
+
+/// Default size/count bucket bounds: powers of two from 1 to 2^20.
+std::vector<double> CountBuckets();
+
+/// Bucket bounds for series-level counts (top-k termination levels,
+/// frontier depths): 1..16 exactly, then 20, 24, 32, 48, 64.
+std::vector<double> LevelBuckets();
+
+/// \brief One instrument's state inside a MetricsSnapshot.
+struct MetricSnapshot {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  MetricLabels labels;
+  double value = 0.0;            ///< counter / gauge / polled value
+  HistogramSnapshot histogram;   ///< type == kHistogram only
+};
+
+/// \brief A consistent view of every registered instrument, sorted by
+/// (name, labels) so renderings are deterministic.
+struct MetricsSnapshot {
+  std::vector<MetricSnapshot> metrics;
+
+  /// First metric with `name` (and, when given, exactly `labels`);
+  /// null when absent.
+  const MetricSnapshot* Find(std::string_view name) const;
+  const MetricSnapshot* Find(std::string_view name,
+                             const MetricLabels& labels) const;
+
+  /// Find(name)->value, or `fallback` when absent.
+  double ValueOf(std::string_view name, double fallback = 0.0) const;
+};
+
+/// \brief Owns named instruments and polled registrations; hands out
+/// stable pointers.
+///
+/// Thread-safe. Instruments live as long as the registry; getting the
+/// same (name, labels) twice returns the same pointer (the type and, for
+/// histograms, the bucket bounds must match — enforced).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name, std::string_view help,
+                      MetricLabels labels = {});
+  Gauge* GetGauge(std::string_view name, std::string_view help,
+                  MetricLabels labels = {});
+  Histogram* GetHistogram(std::string_view name, std::string_view help,
+                          std::vector<double> upper_bounds,
+                          MetricLabels labels = {});
+
+  /// Registers a polled metric: `fn` is invoked at Snapshot() time and its
+  /// return value rendered as `type` (kCounter or kGauge). Re-registering
+  /// the same (name, labels) replaces the previous closure — sequentially
+  /// created components (e.g. one server per bench sweep) simply take
+  /// over the family. Returns an id for UnregisterPolled.
+  uint64_t RegisterPolled(std::string_view name, std::string_view help,
+                          MetricType type, MetricLabels labels,
+                          std::function<double()> fn);
+
+  /// Drops the polled registration `id` (no-op when already replaced or
+  /// removed).
+  void UnregisterPolled(uint64_t id);
+
+  /// A consistent, sorted view of everything registered. Polled closures
+  /// run here, outside the registry mutex.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  struct Instrument {
+    std::string name;
+    std::string help;
+    MetricType type;
+    MetricLabels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Polled {
+    uint64_t id;
+    std::string name;
+    std::string help;
+    MetricType type;
+    MetricLabels labels;
+    std::function<double()> fn;
+  };
+
+  Instrument* FindInstrument(std::string_view name,
+                             const MetricLabels& labels);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Instrument>> instruments_;
+  std::vector<Polled> polled_;
+  uint64_t next_polled_id_ = 1;
+};
+
+/// The process-global registry every layer records into by default.
+MetricsRegistry& GlobalMetrics();
+
+/// \brief RAII group of polled registrations: destruction (or Reset())
+/// unregisters every one, so a component's closures can never outlive it.
+class PolledRegistration {
+ public:
+  PolledRegistration() = default;
+  PolledRegistration(PolledRegistration&&) = default;
+  PolledRegistration& operator=(PolledRegistration&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      registry_ = other.registry_;
+      ids_ = std::move(other.ids_);
+      other.ids_.clear();
+    }
+    return *this;
+  }
+  ~PolledRegistration() { Reset(); }
+
+  /// Registers into `registry` (remembered; all Adds must use the same
+  /// one).
+  void Add(MetricsRegistry* registry, std::string_view name,
+           std::string_view help, MetricType type, MetricLabels labels,
+           std::function<double()> fn);
+
+  void Reset();
+
+ private:
+  MetricsRegistry* registry_ = nullptr;
+  std::vector<uint64_t> ids_;
+};
+
+}  // namespace srs

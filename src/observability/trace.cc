@@ -1,0 +1,30 @@
+#include "srs/observability/trace.h"
+
+namespace srs {
+
+namespace {
+
+/// Millisecond durations round to 1 µs — finer digits are clock noise and
+/// would churn golden comparisons.
+double RoundMs(double ms) {
+  const double scaled = ms * 1000.0;
+  const double snapped = scaled < 0 ? 0.0 : static_cast<double>(
+      static_cast<uint64_t>(scaled + 0.5));
+  return snapped / 1000.0;
+}
+
+}  // namespace
+
+JsonValue TraceToJson(const RequestTrace& trace) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("admission_wait_ms", RoundMs(trace.admission_wait_ms));
+  out.Set("batch_entries", trace.batch_entries);
+  out.Set("batch_sources", trace.batch_sources);
+  out.Set("resolve_ms", RoundMs(trace.resolve_ms));
+  out.Set("engine_reused", trace.engine_reused);
+  out.Set("compute_ms", RoundMs(trace.compute_ms));
+  out.Set("total_ms", RoundMs(trace.total_ms));
+  return out;
+}
+
+}  // namespace srs

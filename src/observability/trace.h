@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file trace.h
+/// \brief Per-request trace context: where one query's wall time went.
+///
+/// Metrics aggregate; a trace explains one request. A client that sets
+/// `"trace": true` on a query gets back a `"trace"` object recording the
+/// stages the request passed through on the server:
+///
+///   admission wait (submit → batch pop) → coalesce (how many requests
+///   the batch merged, and how many sources the merged batch computed) →
+///   snapshot/engine resolve (version lookup, engine build or reuse) →
+///   kernel compute → total.
+///
+/// The struct is plain data: layers fill the fields they own as the
+/// request flows through SrsServer's dispatcher and SrsService::Query;
+/// protocol.cc encodes it. All durations are milliseconds of wall time,
+/// measured with the same steady clock the deadline logic uses.
+
+#include <cstdint>
+
+#include "srs/common/json.h"
+
+namespace srs {
+
+/// \brief Stage timings and batch facts for one traced request.
+struct RequestTrace {
+  /// True once any stage has been filled; untraced requests skip both the
+  /// bookkeeping and the wire field.
+  bool collected = false;
+
+  /// Queue time: Submit() to the dispatcher popping the batch.
+  double admission_wait_ms = 0.0;
+
+  /// Requests merged into the batch that served this one (>= 1).
+  uint64_t batch_entries = 0;
+
+  /// Distinct source nodes the merged batch computed.
+  uint64_t batch_sources = 0;
+
+  /// Version resolve + engine lookup/build inside SrsService::Query.
+  double resolve_ms = 0.0;
+
+  /// Whether the engine came from the service's slot cache (vs built).
+  bool engine_reused = false;
+
+  /// Kernel time: BatchScores / BatchTopK.
+  double compute_ms = 0.0;
+
+  /// Submit() to response ready (covers all of the above plus scatter).
+  double total_ms = 0.0;
+};
+
+/// The wire `"trace"` object: stage names → values, stable field set
+/// (pinned by tests/stats_schema_test.cpp).
+JsonValue TraceToJson(const RequestTrace& trace);
+
+}  // namespace srs

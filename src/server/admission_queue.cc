@@ -4,12 +4,15 @@
 #include <chrono>
 #include <utility>
 
+#include "srs/observability/instruments.h"
+
 namespace srs {
 
 AdmissionQueue::AdmissionQueue(const AdmissionQueueOptions& options)
     : options_(options) {}
 
 AdmissionQueue::Admit AdmissionQueue::Submit(Entry&& entry) {
+  entry.submitted_at = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.submitted;
@@ -99,6 +102,14 @@ bool AdmissionQueue::NextBatch(std::vector<Entry>* batch) {
                  static_cast<uint64_t>(batch->size()));
     lock.unlock();
     fulfill_expired();
+    if (MetricsEnabled()) {
+      BatchEntriesHistogram()->Observe(static_cast<double>(batch->size()));
+      Histogram* wait = AdmissionWaitSecondsHistogram();
+      for (const Entry& entry : *batch) {
+        wait->Observe(
+            std::chrono::duration<double>(now - entry.submitted_at).count());
+      }
+    }
     return true;
   }
 }
@@ -119,6 +130,58 @@ AdmissionQueueStats AdmissionQueue::Stats() const {
 size_t AdmissionQueue::Pending() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+void AdmissionQueue::RegisterMetrics(MetricsRegistry* registry) {
+  MetricsRegistry* reg = registry != nullptr ? registry : &GlobalMetrics();
+  metrics_.Reset();
+  struct Field {
+    const char* name;
+    const char* help;
+    double (*get)(const AdmissionQueueStats&);
+  };
+  static constexpr Field kCounters[] = {
+      {"srs_admission_submitted_total", "Requests submitted for admission",
+       [](const AdmissionQueueStats& s) {
+         return static_cast<double>(s.submitted);
+       }},
+      {"srs_admission_admitted_total", "Requests accepted into the queue",
+       [](const AdmissionQueueStats& s) {
+         return static_cast<double>(s.admitted);
+       }},
+      {"srs_admission_overloaded_total",
+       "Requests rejected by backpressure (queue full)",
+       [](const AdmissionQueueStats& s) {
+         return static_cast<double>(s.overloaded);
+       }},
+      {"srs_admission_expired_total",
+       "Requests whose deadline passed while queued",
+       [](const AdmissionQueueStats& s) {
+         return static_cast<double>(s.expired);
+       }},
+      {"srs_admission_batches_total", "Coalesced batches dispatched",
+       [](const AdmissionQueueStats& s) {
+         return static_cast<double>(s.batches);
+       }},
+      {"srs_admission_coalesced_total",
+       "Requests merged into a batch beyond its first",
+       [](const AdmissionQueueStats& s) {
+         return static_cast<double>(s.coalesced);
+       }},
+  };
+  for (const Field& field : kCounters) {
+    metrics_.Add(reg, field.name, field.help, MetricType::kCounter, {},
+                 [this, get = field.get] { return get(Stats()); });
+  }
+  metrics_.Add(reg, "srs_admission_queue_depth",
+               "Requests currently queued awaiting dispatch",
+               MetricType::kGauge, {},
+               [this] { return static_cast<double>(Pending()); });
+  metrics_.Add(reg, "srs_admission_max_batch_entries",
+               "Largest coalesced batch dispatched so far",
+               MetricType::kGauge, {}, [this] {
+                 return static_cast<double>(Stats().max_batch_entries);
+               });
 }
 
 }  // namespace srs

@@ -32,6 +32,7 @@
 /// can never mix graph versions — a delta swap mid-traffic splits
 /// pre-/post-version requests into different batches by construction.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -41,6 +42,7 @@
 
 #include "srs/common/result.h"
 #include "srs/engine/service.h"
+#include "srs/observability/metrics.h"
 
 namespace srs {
 
@@ -77,6 +79,10 @@ class AdmissionQueue {
     uint64_t key = 0;
     QueryRequest request;
     std::promise<Result<QueryResponse>> promise;
+
+    /// Stamped by Submit() on admission; the dispatcher derives the
+    /// admission-wait metric and the per-request trace from it.
+    std::chrono::steady_clock::time_point submitted_at{};
   };
 
   enum class Admit { kAdmitted, kOverloaded, kClosed };
@@ -105,6 +111,10 @@ class AdmissionQueue {
   /// Entries currently queued.
   size_t Pending() const;
 
+  /// Registers this queue's counters and depth as polled metrics
+  /// (`srs_admission_*`) in `registry` (the global one when null).
+  void RegisterMetrics(MetricsRegistry* registry = nullptr);
+
  private:
   const AdmissionQueueOptions options_;
 
@@ -113,6 +123,7 @@ class AdmissionQueue {
   std::deque<Entry> queue_;
   bool closed_ = false;
   AdmissionQueueStats stats_;
+  PolledRegistration metrics_;
 };
 
 }  // namespace srs

@@ -117,6 +117,10 @@ Status ParseQueryFields(const JsonValue& doc,
     if (!v->is_bool()) return FieldError("topk_early_termination", "a bool");
     builder.TopKEarlyTermination(v->AsBool());
   }
+  if (const JsonValue* v = doc.Find("trace")) {
+    if (!v->is_bool()) return FieldError("trace", "a bool");
+    query.collect_trace = v->AsBool();
+  }
   SRS_ASSIGN_OR_RETURN(query.options, builder.Build());
   return Status::OK();
 }
@@ -229,6 +233,11 @@ JsonValue EncodeQueryResponse(const JsonValue& id,
     rows.Append(std::move(r));
   }
   out.Set("rows", std::move(rows));
+  // Opt-in only: responses without "trace": true in the request carry no
+  // trace object, keeping the hot-path encoding unchanged.
+  if (response.trace.collected) {
+    out.Set("trace", TraceToJson(response.trace));
+  }
   return out;
 }
 

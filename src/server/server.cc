@@ -11,6 +11,8 @@
 #include <utility>
 
 #include "srs/common/hashing.h"
+#include "srs/observability/instruments.h"
+#include "srs/observability/metrics.h"
 
 namespace srs {
 
@@ -93,6 +95,7 @@ Result<std::unique_ptr<SrsServer>> SrsServer::Start(
 
   server->listen_fd_ = fd;
   server->port_ = static_cast<int>(ntohs(bound.sin_port));
+  server->RegisterMetrics();
   server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
   server->dispatch_thread_ =
       std::thread([s = server.get()] { s->DispatchLoop(); });
@@ -224,35 +227,44 @@ bool SrsServer::HandleRequest(int fd, const ProtocolRequest& request) {
     }
     case ProtocolRequest::Op::kStats: {
       JsonValue response = MakeResponse(request.id, kStatusOk);
-      const ServerStats server = Stats();
-      const AdmissionQueueStats queue = queue_.Stats();
-      const ServiceStats service = service_->Stats();
+      // Sourced from the metrics registry — the same snapshot /metrics and
+      // /statusz render — so the wire op can never drift from the
+      // exposition endpoints. Start() registered every family below; the
+      // field names predate the registry and stay wire-stable.
+      const MetricsSnapshot snap = GlobalMetrics().Snapshot();
+      const auto count = [&snap](const char* name) {
+        return static_cast<uint64_t>(snap.ValueOf(name, 0.0));
+      };
       JsonValue s = JsonValue::MakeObject();
-      s.Set("connections", server.connections);
-      s.Set("requests", server.requests);
-      s.Set("responses_ok", server.responses_ok);
-      s.Set("responses_error", server.responses_error);
-      s.Set("admitted", queue.admitted);
-      s.Set("overloaded", queue.overloaded);
-      s.Set("expired", queue.expired);
-      s.Set("batches", queue.batches);
-      s.Set("coalesced", queue.coalesced);
-      s.Set("max_batch_entries", queue.max_batch_entries);
-      s.Set("queries", service.queries);
-      s.Set("rows_served", service.rows_served);
-      s.Set("engines_created", service.engines_created);
-      s.Set("engines_reused", service.engines_reused);
-      s.Set("deltas_applied", service.deltas_applied);
-      s.Set("served_version", service_->ServedVersion());
-      s.Set("num_nodes", service_->NumNodes());
-      s.Set("checkpoints", service.checkpoints);
-      s.Set("wal_bytes", service.wal_bytes);
-      const RecoveryInfo recovery = service_->recovery_info();
-      s.Set("recovered_from_disk", recovery.recovered_from_disk);
-      s.Set("recovery_snapshot_version", recovery.snapshot_version);
-      s.Set("recovery_replayed_deltas", recovery.replayed_deltas);
-      s.Set("recovery_skipped_obsolete", recovery.skipped_obsolete);
-      s.Set("recovery_wal_tail_truncated", recovery.wal_tail_truncated);
+      s.Set("connections", count("srs_server_connections_total"));
+      s.Set("requests", count("srs_server_requests_total"));
+      s.Set("responses_ok", count("srs_server_responses_ok_total"));
+      s.Set("responses_error", count("srs_server_responses_error_total"));
+      s.Set("admitted", count("srs_admission_admitted_total"));
+      s.Set("overloaded", count("srs_admission_overloaded_total"));
+      s.Set("expired", count("srs_admission_expired_total"));
+      s.Set("batches", count("srs_admission_batches_total"));
+      s.Set("coalesced", count("srs_admission_coalesced_total"));
+      s.Set("max_batch_entries", count("srs_admission_max_batch_entries"));
+      s.Set("queries", count("srs_service_queries_total"));
+      s.Set("rows_served", count("srs_service_rows_served_total"));
+      s.Set("engines_created", count("srs_service_engines_created_total"));
+      s.Set("engines_reused", count("srs_service_engines_reused_total"));
+      s.Set("deltas_applied", count("srs_service_deltas_applied_total"));
+      s.Set("served_version", count("srs_service_served_version"));
+      s.Set("num_nodes", count("srs_service_num_nodes"));
+      s.Set("checkpoints", count("srs_service_checkpoints_total"));
+      s.Set("wal_bytes", count("srs_service_wal_bytes"));
+      s.Set("recovered_from_disk",
+            snap.ValueOf("srs_recovery_from_disk", 0.0) != 0.0);
+      s.Set("recovery_snapshot_version",
+            count("srs_recovery_snapshot_version"));
+      s.Set("recovery_replayed_deltas",
+            count("srs_recovery_replayed_deltas"));
+      s.Set("recovery_skipped_obsolete",
+            count("srs_recovery_skipped_obsolete"));
+      s.Set("recovery_wal_tail_truncated",
+            snap.ValueOf("srs_recovery_wal_tail_truncated", 0.0) != 0.0);
       response.Set("stats", std::move(s));
       CountResponse(true);
       WriteLine(fd, response.Encode());
@@ -322,6 +334,7 @@ void SrsServer::DispatchLoop() {
   std::vector<AdmissionQueue::Entry> batch;
   while (queue_.NextBatch(&batch)) {
     if (options_.dispatch_hook) options_.dispatch_hook(batch.size());
+    const auto popped_at = std::chrono::steady_clock::now();
     // All entries share the coalescing key: one merged engine call, rows
     // scattered back by per-entry offsets.
     QueryRequest merged;
@@ -332,8 +345,18 @@ void SrsServer::DispatchLoop() {
       merged.sources.insert(merged.sources.end(),
                             entry.request.sources.begin(),
                             entry.request.sources.end());
+      merged.collect_trace |= entry.request.collect_trace;
     }
     Result<QueryResponse> result = service_->Query(merged);
+    const auto done_at = std::chrono::steady_clock::now();
+    if (MetricsEnabled()) {
+      Histogram* request_seconds = RequestSecondsHistogram();
+      for (const AdmissionQueue::Entry& entry : batch) {
+        request_seconds->Observe(
+            std::chrono::duration<double>(done_at - entry.submitted_at)
+                .count());
+      }
+    }
     if (!result.ok()) {
       for (AdmissionQueue::Entry& entry : batch) {
         entry.promise.set_value(result.status());
@@ -347,6 +370,23 @@ void SrsServer::DispatchLoop() {
       response.version = combined.version;
       response.ranked = combined.ranked;
       response.engine_reused = combined.engine_reused;
+      if (entry.request.collect_trace) {
+        // The service stages (resolve/compute) describe the merged batch —
+        // shared work is reported whole, not apportioned; the wait and
+        // total are this entry's own.
+        response.trace = combined.trace;
+        response.trace.collected = true;
+        response.trace.admission_wait_ms =
+            std::chrono::duration<double, std::milli>(popped_at -
+                                                      entry.submitted_at)
+                .count();
+        response.trace.batch_entries = batch.size();
+        response.trace.batch_sources = merged.sources.size();
+        response.trace.total_ms =
+            std::chrono::duration<double, std::milli>(done_at -
+                                                      entry.submitted_at)
+                .count();
+      }
       const size_t count = entry.request.sources.size();
       response.rows.reserve(count);
       for (size_t i = 0; i < count; ++i) {
@@ -386,6 +426,39 @@ Status SrsServer::WriteLine(int fd, const std::string& line) {
 ServerStats SrsServer::Stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   return stats_;
+}
+
+void SrsServer::RegisterMetrics() {
+  MetricsRegistry* reg = &GlobalMetrics();
+  metrics_.Reset();
+  struct Field {
+    const char* name;
+    const char* help;
+    double (*get)(const ServerStats&);
+  };
+  static constexpr Field kCounters[] = {
+      {"srs_server_connections_total", "TCP connections accepted",
+       [](const ServerStats& s) {
+         return static_cast<double>(s.connections);
+       }},
+      {"srs_server_requests_total",
+       "Request lines parsed (well- or mal-formed)",
+       [](const ServerStats& s) { return static_cast<double>(s.requests); }},
+      {"srs_server_responses_ok_total", "Responses with status ok",
+       [](const ServerStats& s) {
+         return static_cast<double>(s.responses_ok);
+       }},
+      {"srs_server_responses_error_total", "Every other response",
+       [](const ServerStats& s) {
+         return static_cast<double>(s.responses_error);
+       }},
+  };
+  for (const Field& field : kCounters) {
+    metrics_.Add(reg, field.name, field.help, MetricType::kCounter, {},
+                 [this, get = field.get] { return get(Stats()); });
+  }
+  queue_.RegisterMetrics(reg);
+  service_->RegisterMetrics(reg);
 }
 
 AdmissionQueueStats SrsServer::QueueStats() const { return queue_.Stats(); }

@@ -109,6 +109,11 @@ class SrsServer {
   AdmissionQueueStats QueueStats() const;
 
  private:
+  /// Registers the server's traffic counters plus the queue's and
+  /// service's metrics into the global registry; Start() calls it, so the
+  /// `stats` op and any exposition endpoint read live values. The newest
+  /// started server owns the families.
+  void RegisterMetrics();
   SrsServer(SrsService* service, const ServerOptions& options);
 
   void AcceptLoop();
@@ -143,6 +148,7 @@ class SrsServer {
 
   mutable std::mutex stats_mu_;
   ServerStats stats_;
+  PolledRegistration metrics_;
 };
 
 }  // namespace srs

@@ -7,6 +7,9 @@
 #include <cstring>
 #include <utility>
 
+#include "srs/common/timer.h"
+#include "srs/observability/instruments.h"
+
 namespace srs {
 
 namespace {
@@ -126,17 +129,22 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Recover(
       out->tail.push_back(std::move(record));
     }
     out->info.replayed_deltas = out->tail.size();
+    RecoveryReplayedRecordsCounter()->Increment(out->tail.size());
   }
   return std::unique_ptr<DurableStore>(
       new DurableStore(dir, std::move(wal)));
 }
 
 Status DurableStore::LogDelta(const Wal::Record& record) {
-  return wal_->Append(record);
+  Timer timer;
+  Status appended = wal_->Append(record);
+  WalAppendSecondsHistogram()->Observe(timer.Seconds());
+  return appended;
 }
 
 Status DurableStore::WriteCheckpoint(const Graph& graph,
                                      const GraphSnapshot& snapshot) {
+  Timer timer;
   // Snapshot first, durably; only then truncate the log. A crash between
   // the two leaves obsolete records that Recover() skips by version.
   SRS_RETURN_NOT_OK(WriteSnapshotFile(SnapshotPath(dir_), graph, snapshot));
@@ -144,7 +152,9 @@ Status DurableStore::WriteCheckpoint(const Graph& graph,
   header.base_fingerprint = snapshot.fingerprint;
   header.snapshot_version = snapshot.version;
   header.snapshot_version_fingerprint = snapshot.version_fingerprint;
-  return wal_->Reset(header);
+  Status reset = wal_->Reset(header);
+  CheckpointSecondsHistogram()->Observe(timer.Seconds());
+  return reset;
 }
 
 }  // namespace srs

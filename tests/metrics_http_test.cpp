@@ -1,0 +1,216 @@
+// Integration tests for the HTTP exposition server
+// (observability/http_server.h): bind an ephemeral port, scrape /metrics
+// with a real socket, and validate every family in the response parses as
+// Prometheus text exposition 0.0.4; /statusz must parse as JSON and carry
+// the embedder's extra fields; /healthz answers the liveness probe;
+// anything else is 404.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "srs/common/json.h"
+#include "srs/observability/http_server.h"
+#include "srs/observability/metrics.h"
+
+namespace srs {
+namespace {
+
+/// One blocking HTTP GET against 127.0.0.1:port; returns the raw response
+/// (status line + headers + body).
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0)
+      << std::strerror(errno);
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char chunk[4096];
+  ssize_t got;
+  while ((got = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    response.append(chunk, static_cast<size_t>(got));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string BodyOf(const std::string& response) {
+  const size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+class MetricsHttpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_.GetCounter("http_demo_total", "A counter")->Increment(4);
+    registry_.GetGauge("http_demo_gauge", "A gauge")->Set(11);
+    Histogram* hist = registry_.GetHistogram(
+        "http_demo_seconds", "A histogram", LatencyBucketsSeconds());
+    hist->Observe(3e-6);
+    hist->Observe(0.42);
+    registry_
+        .GetCounter("http_by_shape_total", "Labeled", {{"shape", "ranked"}})
+        ->Increment(2);
+
+    MetricsHttpOptions options;
+    options.registry = &registry_;
+    options.statusz_extra = [] {
+      JsonValue extra = JsonValue::MakeObject();
+      extra.Set("server", "metrics_http_test");
+      return extra;
+    };
+    server_ = MetricsHttpServer::Start(options).MoveValueOrDie();
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  MetricsRegistry registry_;
+  std::unique_ptr<MetricsHttpServer> server_;
+};
+
+TEST_F(MetricsHttpTest, MetricsEndpointServesParsableExposition) {
+  const std::string response = HttpGet(server_->port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+
+  // Parse every line of the body: comments declare families, samples
+  // belong to a declared family, and histogram bucket series are
+  // cumulative and end at +Inf.
+  std::map<std::string, std::string> family_type;  // name -> counter|...
+  std::set<std::string> sampled_families;
+  std::string last_bucket_family;
+  double last_bucket_value = 0.0;
+  std::istringstream lines(BodyOf(response));
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string name, type;
+      fields >> name >> type;
+      EXPECT_TRUE(type == "counter" || type == "gauge" ||
+                  type == "histogram")
+          << line;
+      EXPECT_EQ(family_type.count(name), 0u)
+          << "family declared twice: " << name;
+      family_type[name] = type;
+      continue;
+    }
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    ASSERT_NE(line[0], '#') << "unknown comment: " << line;
+    // Sample line: <name>[{labels}] <value>
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string value_text = line.substr(space + 1);
+    char* end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << "unparsable value in: " << line;
+    std::string name = line.substr(0, line.find_first_of(" {"));
+    // A histogram's series names carry the family's suffixes.
+    std::string family = name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const size_t pos = family.size() > std::strlen(suffix)
+                             ? family.rfind(suffix)
+                             : std::string::npos;
+      if (pos != std::string::npos &&
+          pos + std::strlen(suffix) == family.size() &&
+          family_type.count(family.substr(0, pos)) > 0) {
+        family = family.substr(0, pos);
+        break;
+      }
+    }
+    ASSERT_EQ(family_type.count(family), 1u)
+        << "sample before its # TYPE: " << line;
+    sampled_families.insert(family);
+    if (name == family + "_bucket") {
+      if (family != last_bucket_family) {
+        last_bucket_family = family;
+        last_bucket_value = 0.0;
+      } else {
+        EXPECT_GE(value, last_bucket_value)
+            << "bucket counts must be cumulative: " << line;
+      }
+      last_bucket_value = value;
+    }
+  }
+  // Every family this test registered is present and sampled.
+  for (const char* name : {"http_demo_total", "http_demo_gauge",
+                           "http_demo_seconds", "http_by_shape_total"}) {
+    EXPECT_EQ(sampled_families.count(name), 1u) << name;
+  }
+  EXPECT_NE(BodyOf(response).find(
+                "http_demo_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(BodyOf(response).find("http_demo_seconds_count 2"),
+            std::string::npos);
+}
+
+TEST_F(MetricsHttpTest, StatuszMergesExtraFieldsWithTheSnapshot) {
+  const std::string response = HttpGet(server_->port(), "/statusz");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  Result<JsonValue> parsed = ParseJson(BodyOf(response));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& doc = parsed.ValueOrDie();
+  EXPECT_EQ(doc.Find("server")->AsString(), "metrics_http_test");
+  const JsonValue* metrics = doc.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->Find("http_demo_total")->AsNumber(), 4.0);
+  EXPECT_EQ(metrics->Find("http_demo_seconds")->Find("count")->AsNumber(),
+            2.0);
+}
+
+TEST_F(MetricsHttpTest, HealthzAnswersAndUnknownPathsAre404) {
+  const std::string healthz = HttpGet(server_->port(), "/healthz");
+  EXPECT_NE(healthz.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_EQ(BodyOf(healthz), "ok\n");
+  EXPECT_NE(HttpGet(server_->port(), "/nope").find("404"),
+            std::string::npos);
+  // Query strings are stripped before path dispatch (Prometheus scrapers
+  // append them).
+  EXPECT_NE(
+      HttpGet(server_->port(), "/metrics?format=text").find("200 OK"),
+      std::string::npos);
+}
+
+TEST_F(MetricsHttpTest, StopIsIdempotentAndRefusesNewConnections) {
+  const int port = server_->port();
+  server_->Stop();
+  server_->Stop();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  // Either the connect is refused outright or the accept loop is gone and
+  // the connection sees immediate EOF.
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) == 0) {
+    const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+    (void)::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+    char chunk[64];
+    EXPECT_LE(::recv(fd, chunk, sizeof(chunk), 0), 0);
+  }
+  ::close(fd);
+}
+
+}  // namespace
+}  // namespace srs

@@ -1,0 +1,293 @@
+// Tests for the metrics registry (observability/metrics.h) and its two
+// renderers (observability/exposition.h): instrument semantics, the
+// pinned bucket layouts, snapshot consistency under concurrent recording
+// (this file runs under TSan via the "tsan" label), polled-closure
+// registration/replacement/unregistration, and the Prometheus / statusz
+// output formats the scrape pipeline depends on.
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "srs/common/json.h"
+#include "srs/observability/exposition.h"
+#include "srs/observability/metrics.h"
+#include "srs/observability/trace.h"
+
+namespace srs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counters and gauges
+
+TEST(MetricsTest, CounterCountsExactlyAcrossThreads) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test_total", "help");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->Value(), uint64_t{kThreads} * kPerThread);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("test_gauge", "help");
+  gauge->Set(42);
+  EXPECT_EQ(gauge->Value(), 42);
+  gauge->Add(-50);
+  EXPECT_EQ(gauge->Value(), -8);
+}
+
+TEST(MetricsTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.GetCounter("dup_total", "help"),
+            registry.GetCounter("dup_total", "help"));
+  EXPECT_NE(registry.GetCounter("dup_total", "help", {{"k", "a"}}),
+            registry.GetCounter("dup_total", "help", {{"k", "b"}}))
+      << "distinct label sets are distinct instruments";
+}
+
+TEST(MetricsTest, DisabledGateDropsRecordsButNotObserveAlways) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("gated_total", "help");
+  Histogram* hist =
+      registry.GetHistogram("gated_seconds", "help", LatencyBucketsSeconds());
+  SetMetricsEnabled(false);
+  counter->Increment();
+  hist->Observe(0.5);
+  SetMetricsEnabled(true);
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_EQ(hist->Snapshot().count, 0u);
+  SetMetricsEnabled(false);
+  hist->ObserveAlways(0.5);
+  SetMetricsEnabled(true);
+  EXPECT_EQ(hist->Snapshot().count, 1u) << "ObserveAlways bypasses the gate";
+}
+
+// ---------------------------------------------------------------------------
+// Histograms
+
+TEST(MetricsTest, LatencyBucketBoundariesArePinned) {
+  // The 1-2-5 decade ladder from 1us to 50s. A dashboard built against
+  // these bounds must not silently shift under it.
+  const std::vector<double>& bounds = LatencyBucketsSeconds();
+  ASSERT_EQ(bounds.size(), 23u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-6);
+  EXPECT_DOUBLE_EQ(bounds[1], 2e-6);
+  EXPECT_DOUBLE_EQ(bounds[2], 5e-6);
+  EXPECT_DOUBLE_EQ(bounds.back(), 50.0);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(MetricsTest, CountAndLevelBucketsArePinned) {
+  const std::vector<double>& counts = CountBuckets();
+  EXPECT_DOUBLE_EQ(counts.front(), 1.0);
+  EXPECT_DOUBLE_EQ(counts.back(), 1048576.0);  // 2^20
+  const std::vector<double>& levels = LevelBuckets();
+  EXPECT_DOUBLE_EQ(levels.front(), 1.0);
+  EXPECT_DOUBLE_EQ(levels.back(), 64.0);
+}
+
+TEST(MetricsTest, ObservationsLandInLeBuckets) {
+  MetricsRegistry registry;
+  Histogram* hist =
+      registry.GetHistogram("le_seconds", "help", {1.0, 2.0, 5.0});
+  hist->Observe(1.0);   // le="1" (upper bounds are inclusive)
+  hist->Observe(1.5);   // le="2"
+  hist->Observe(7.0);   // +Inf overflow bucket
+  const HistogramSnapshot snap = hist->Snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 0u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 9.5);
+}
+
+TEST(MetricsTest, PercentileInterpolatesAndClampsOverflow) {
+  MetricsRegistry registry;
+  Histogram* hist =
+      registry.GetHistogram("pct_seconds", "help", {1.0, 2.0, 4.0});
+  for (int i = 0; i < 100; ++i) hist->Observe(1.5);  // all in (1, 2]
+  const HistogramSnapshot snap = hist->Snapshot();
+  const double p50 = snap.Percentile(50);
+  EXPECT_GT(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 1.5);
+
+  Histogram* overflow =
+      registry.GetHistogram("ovf_seconds", "help", {1.0, 2.0});
+  overflow->Observe(100.0);
+  // An overflow-bucket percentile clamps to the last finite bound rather
+  // than inventing a number beyond what the histogram can resolve.
+  EXPECT_DOUBLE_EQ(overflow->Snapshot().Percentile(99), 2.0);
+}
+
+TEST(MetricsTest, SnapshotDuringConcurrentRecordingIsConsistent) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("concurrent_seconds", "help",
+                                          LatencyBucketsSeconds());
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 20000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([hist, t] {
+      double v = 1e-6 * (t + 1);
+      for (int i = 0; i < kPerWriter; ++i) {
+        hist->Observe(v);
+        v = v < 1.0 ? v * 1.001 : 1e-6;
+      }
+    });
+  }
+  // The invariant every reader relies on: count is derived from the
+  // bucket counts, so a snapshot taken mid-record can never show
+  // count != sum(buckets).
+  for (int i = 0; i < 200; ++i) {
+    const HistogramSnapshot snap = hist->Snapshot();
+    uint64_t total = 0;
+    for (uint64_t c : snap.counts) total += c;
+    ASSERT_EQ(snap.count, total);
+  }
+  for (std::thread& t : writers) t.join();
+  const HistogramSnapshot final_snap = hist->Snapshot();
+  uint64_t total = 0;
+  for (uint64_t c : final_snap.counts) total += c;
+  EXPECT_EQ(final_snap.count, total);
+  EXPECT_EQ(final_snap.count, uint64_t{kWriters} * kPerWriter);
+}
+
+// ---------------------------------------------------------------------------
+// Polled metrics
+
+TEST(MetricsTest, PolledClosuresRunAtSnapshotTime) {
+  MetricsRegistry registry;
+  double value = 1.0;
+  PolledRegistration reg;
+  reg.Add(&registry, "polled_gauge", "help", MetricType::kGauge, {},
+          [&value] { return value; });
+  EXPECT_DOUBLE_EQ(registry.Snapshot().ValueOf("polled_gauge"), 1.0);
+  value = 7.0;
+  EXPECT_DOUBLE_EQ(registry.Snapshot().ValueOf("polled_gauge"), 7.0);
+}
+
+TEST(MetricsTest, ReregisteringReplacesAndResetUnregisters) {
+  MetricsRegistry registry;
+  PolledRegistration first;
+  first.Add(&registry, "owner_gauge", "help", MetricType::kGauge, {},
+            [] { return 1.0; });
+  // A second component claiming the same (name, labels) takes the family
+  // over — the newest owner wins (restart-in-process semantics).
+  PolledRegistration second;
+  second.Add(&registry, "owner_gauge", "help", MetricType::kGauge, {},
+             [] { return 2.0; });
+  EXPECT_DOUBLE_EQ(registry.Snapshot().ValueOf("owner_gauge"), 2.0);
+  // The first owner's destructor must not tear down the second's family.
+  first.Reset();
+  EXPECT_DOUBLE_EQ(registry.Snapshot().ValueOf("owner_gauge"), 2.0);
+  second.Reset();
+  EXPECT_EQ(registry.Snapshot().Find("owner_gauge"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus rendering
+
+TEST(MetricsTest, PrometheusRenderingIsWellFormed) {
+  MetricsRegistry registry;
+  registry.GetCounter("demo_total", "Counting demos")->Increment(3);
+  registry.GetGauge("demo_gauge", "A gauge")->Set(-5);
+  Histogram* hist =
+      registry.GetHistogram("demo_seconds", "A histogram", {0.1, 1.0});
+  hist->Observe(0.05);
+  hist->Observe(0.5);
+  hist->Observe(2.0);
+  registry.GetCounter("labeled_total", "Labeled", {{"shape", "ranked"}})
+      ->Increment();
+
+  const std::string text = RenderPrometheus(registry.Snapshot());
+  EXPECT_NE(text.find("# HELP demo_total Counting demos\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE demo_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("demo_total 3\n"), std::string::npos)
+      << "integral values print bare, no exponent";
+  EXPECT_NE(text.find("demo_gauge -5\n"), std::string::npos);
+  // Histogram: cumulative buckets ending at +Inf, then _sum and _count.
+  EXPECT_NE(text.find("demo_seconds_bucket{le=\"0.1\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("demo_seconds_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("demo_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("demo_seconds_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("labeled_total{shape=\"ranked\"} 1\n"),
+            std::string::npos);
+  // One HELP/TYPE pair per family, even with multiple label sets.
+  size_t type_lines = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# TYPE labeled_total ", 0) == 0) ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+}
+
+TEST(MetricsTest, StatuszRenderingFoldsLabelsIntoKeys) {
+  MetricsRegistry registry;
+  registry.GetCounter("plain_total", "help")->Increment(2);
+  registry.GetCounter("by_shape_total", "help", {{"shape", "full"}})
+      ->Increment(5);
+  Histogram* hist = registry.GetHistogram("lat_seconds", "help", {1.0});
+  hist->Observe(0.5);
+
+  const JsonValue statusz = RenderStatusz(registry.Snapshot());
+  ASSERT_TRUE(statusz.is_object());
+  EXPECT_EQ(statusz.Find("plain_total")->AsNumber(), 2.0);
+  EXPECT_EQ(statusz.Find("by_shape_total{shape=full}")->AsNumber(), 5.0);
+  const JsonValue* lat = statusz.Find("lat_seconds");
+  ASSERT_NE(lat, nullptr);
+  for (const char* key : {"count", "sum", "p50", "p90", "p99", "p999"}) {
+    EXPECT_NE(lat->Find(key), nullptr) << key;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Request traces
+
+TEST(MetricsTest, TraceJsonCarriesTheStageTimings) {
+  RequestTrace trace;
+  trace.collected = true;
+  trace.admission_wait_ms = 0.25;
+  trace.batch_entries = 3;
+  trace.batch_sources = 7;
+  trace.resolve_ms = 1.5;
+  trace.engine_reused = true;
+  trace.compute_ms = 2.5;
+  trace.total_ms = 4.5;
+  const JsonValue json = TraceToJson(trace);
+  EXPECT_DOUBLE_EQ(json.Find("admission_wait_ms")->AsNumber(), 0.25);
+  EXPECT_EQ(json.Find("batch_entries")->AsNumber(), 3.0);
+  EXPECT_EQ(json.Find("batch_sources")->AsNumber(), 7.0);
+  EXPECT_DOUBLE_EQ(json.Find("resolve_ms")->AsNumber(), 1.5);
+  EXPECT_TRUE(json.Find("engine_reused")->AsBool());
+  EXPECT_DOUBLE_EQ(json.Find("compute_ms")->AsNumber(), 2.5);
+  EXPECT_DOUBLE_EQ(json.Find("total_ms")->AsNumber(), 4.5);
+}
+
+}  // namespace
+}  // namespace srs

@@ -61,6 +61,7 @@
 #include "srs/baselines/p_rank.h"
 #include "srs/baselines/rwr.h"
 #include "srs/baselines/simrank_psum.h"
+#include "srs/common/memory_tracker.h"
 #include "srs/common/parallel.h"
 #include "srs/core/memo_esr_star.h"
 #include "srs/core/memo_gsr_star.h"
@@ -74,6 +75,7 @@
 #include "srs/graph/graph_io.h"
 #include "srs/graph/stats.h"
 #include "srs/graph/versioned_graph.h"
+#include "srs/observability/metrics.h"
 
 namespace {
 
@@ -473,6 +475,9 @@ int main(int argc, char** argv) {
     cache_options.capacity_bytes =
         static_cast<size_t>(options.cache_mb) << 20;
     cache = std::make_shared<srs::ResultCache>(cache_options);
+    // --stats reads the cache through the metrics registry, the same
+    // surface srs_serve exposes over HTTP.
+    cache->RegisterMetrics();
   }
 
   // The engine measures are served through one SrsService facade: it owns
@@ -594,10 +599,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Early-termination tally across the batch, reported with --stats.
-  int64_t levels_evaluated = 0;
-  int64_t levels_total = 0;
-
   if (!batch.ValueOrDie().empty()) {
     // k is validated against the loaded graph like the node ids above: a
     // bad value fails fast naming the offending k, not a raw engine error.
@@ -626,20 +627,47 @@ int main(int argc, char** argv) {
         std::printf("%d\t%s\t%.6f\n", rank++, g.LabelOf(r.node).c_str(),
                     r.score);
       }
-      // Cache-served answers did no level work this run; counting their
-      // recorded levels would overstate the tally.
-      if (!result.served_from_cache) {
-        levels_evaluated += result.levels_evaluated;
-        levels_total += result.levels_total;
-      }
     }
   }
 
   if (options.stats) {
-    std::fprintf(stderr, "%s\n",
-                 cache != nullptr
-                     ? cache->StatsString().c_str()
-                     : "result-cache: disabled (pass --cache-mb to enable)");
+    // Everything below comes from the global metrics registry — the same
+    // single source of truth srs_serve's "stats" op and /metrics endpoint
+    // read. TopKEngine records the per-query termination levels
+    // (cache-served answers excluded, so the tally describes work this
+    // run actually did), and the result cache registered its counters at
+    // construction above.
+    const srs::MetricsSnapshot snap = srs::GlobalMetrics().Snapshot();
+    if (cache != nullptr) {
+      const auto hits =
+          static_cast<uint64_t>(snap.ValueOf("srs_result_cache_hits_total"));
+      const uint64_t lookups =
+          hits + static_cast<uint64_t>(
+                     snap.ValueOf("srs_result_cache_misses_total"));
+      const double hit_rate =
+          lookups == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(hits) /
+                    static_cast<double>(lookups);
+      std::fprintf(
+          stderr, "result-cache: %llu hits / %llu lookups (%.1f%%), %zu "
+          "entries (%s), %llu evictions\n",
+          static_cast<unsigned long long>(hits),
+          static_cast<unsigned long long>(lookups), hit_rate,
+          static_cast<size_t>(snap.ValueOf("srs_result_cache_entries")),
+          srs::FormatBytes(static_cast<size_t>(
+                               snap.ValueOf("srs_result_cache_bytes")))
+              .c_str(),
+          static_cast<unsigned long long>(
+              snap.ValueOf("srs_result_cache_evictions_total")));
+    } else {
+      std::fprintf(stderr,
+                   "result-cache: disabled (pass --cache-mb to enable)\n");
+    }
+    const auto levels_evaluated = static_cast<int64_t>(
+        snap.ValueOf("srs_topk_levels_evaluated_total"));
+    const auto levels_total =
+        static_cast<int64_t>(snap.ValueOf("srs_topk_levels_possible_total"));
     if (levels_total > 0) {
       std::fprintf(stderr,
                    "top-k early termination: %lld of %lld series levels "

@@ -6,6 +6,7 @@
 //             [--backend dense|sparse] [--prune-eps E] [--cache-mb MB]
 //             [--max-batch N] [--max-pending N]
 //             [--data-dir DIR] [--wal-max-mb MB]
+//             [--metrics-port N] [--no-metrics]
 //
 // Loads the graph once, builds an SrsService over it, and serves the
 // line-delimited JSON protocol of src/server/protocol.h on
@@ -36,6 +37,14 @@
 // The "apply_delta" op mutates the served graph copy-on-write and swaps
 // the served version without dropping in-flight queries.
 //
+// --metrics-port N starts an HTTP exposition server on 127.0.0.1:N
+// (0 = ephemeral; a second stdout line announces the bound port):
+// /metrics is Prometheus text, /statusz is JSON, /healthz is a liveness
+// probe. The "stats" wire op, --metrics-port, and the final stderr
+// summary all read the same metrics registry. --no-metrics turns metric
+// recording off entirely (the exposition server then shows frozen
+// zeros).
+//
 // Shutdown: SIGINT/SIGTERM or the protocol "shutdown" op; either way the
 // server stops admitting, answers everything already admitted, and exits
 // 0 after printing a stats summary to stderr.
@@ -52,12 +61,16 @@
 #include <string>
 #include <thread>
 
+#include "srs/common/json.h"
 #include "srs/common/parallel.h"
 #include "srs/core/options.h"
 #include "srs/engine/result_cache.h"
 #include "srs/engine/service.h"
 #include "srs/graph/graph_io.h"
 #include "srs/graph/stats.h"
+#include "srs/observability/http_server.h"
+#include "srs/observability/instruments.h"
+#include "srs/observability/metrics.h"
 #include "srs/server/server.h"
 
 namespace {
@@ -66,9 +79,11 @@ struct CliOptions {
   std::string graph_path;
   std::string data_dir;
   int port = 0;
+  int metrics_port = -1;  // -1 = no exposition server; 0 = ephemeral
   int cache_mb = 0;
   int wal_max_mb = 64;
   bool undirected = false;
+  bool metrics = true;
   int max_batch = 64;
   int max_pending = 1024;
   srs::SimilarityOptions sim;
@@ -82,9 +97,13 @@ void Usage(const char* argv0) {
       "          [--backend dense|sparse] [--prune-eps E] [--cache-mb MB]\n"
       "          [--max-batch N] [--max-pending N]\n"
       "          [--data-dir DIR] [--wal-max-mb MB]\n"
+      "          [--metrics-port N] [--no-metrics]\n"
       "\n"
       "--graph may be omitted when --data-dir already holds recoverable\n"
-      "state (snapshot + write-ahead log).\n",
+      "state (snapshot + write-ahead log).\n"
+      "--metrics-port serves /metrics (Prometheus text), /statusz (JSON),\n"
+      "and /healthz on 127.0.0.1 (0 picks an ephemeral port);\n"
+      "--no-metrics disables metric recording entirely.\n",
       argv0);
 }
 
@@ -150,6 +169,12 @@ bool ParseCli(int argc, char** argv, CliOptions* options) {
       const char* v = next_value();
       if (v == nullptr) return false;
       options->wal_max_mb = std::atoi(v);
+    } else if (arg == "--metrics-port") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options->metrics_port = std::atoi(v);
+    } else if (arg == "--no-metrics") {
+      options->metrics = false;
     } else if (arg == "--undirected") {
       options->undirected = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -164,6 +189,7 @@ bool ParseCli(int argc, char** argv, CliOptions* options) {
                            srs::DurableStore::HasState(options->data_dir);
   return (!options->graph_path.empty() || recoverable) &&
          options->port >= 0 && options->port <= 65535 &&
+         options->metrics_port <= 65535 &&
          options->cache_mb >= 0 && options->wal_max_mb >= 1 &&
          options->max_batch >= 1 && options->max_pending >= 1;
 }
@@ -181,6 +207,11 @@ int main(int argc, char** argv) {
     Usage(argv[0]);
     return 2;
   }
+
+  // Before any instrumented work (recovery records replay counts): with
+  // --no-metrics every record path reduces to one relaxed load.
+  srs::SetMetricsEnabled(options.metrics);
+  srs::RegisterProcessMemoryMetrics();
 
   srs::SrsServiceOptions service_options;
   service_options.similarity = options.sim;
@@ -252,16 +283,46 @@ int main(int argc, char** argv) {
   }
 
   // The discovery line scripts wait for; flushed so a piped reader sees it
-  // immediately.
+  // immediately. The metrics line (if any) comes second, so "first line"
+  // consumers are unaffected.
   std::printf("srs_serve listening on 127.0.0.1:%d\n",
               server.ValueOrDie()->port());
   std::fflush(stdout);
+
+  std::unique_ptr<srs::MetricsHttpServer> metrics_http;
+  if (options.metrics_port >= 0) {
+    srs::MetricsHttpOptions http_options;
+    http_options.port = options.metrics_port;
+    http_options.statusz_extra = [service = service.ValueOrDie().get(),
+                                  port = server.ValueOrDie()->port()] {
+      srs::JsonValue extra = srs::JsonValue::MakeObject();
+      extra.Set("server", "srs_serve");
+      extra.Set("port", static_cast<int64_t>(port));
+      extra.Set("served_version",
+                static_cast<int64_t>(service->ServedVersion()));
+      extra.Set("num_nodes", service->NumNodes());
+      return extra;
+    };
+    srs::Result<std::unique_ptr<srs::MetricsHttpServer>> started =
+        srs::MetricsHttpServer::Start(http_options);
+    if (!started.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    metrics_http = started.MoveValueOrDie();
+    std::printf("srs_serve metrics on 127.0.0.1:%d\n", metrics_http->port());
+    std::fflush(stdout);
+  }
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
   while (g_stop == 0 && !server.ValueOrDie()->ShutdownRequested()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
+  // The exposition server stops first: its polled closures read the
+  // service and server, which are about to drain.
+  if (metrics_http != nullptr) metrics_http->Stop();
   server.ValueOrDie()->RequestShutdown();
   server.ValueOrDie()->Wait();
 
