@@ -2,8 +2,10 @@
 
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -104,16 +106,46 @@ Result<std::unique_ptr<MetricsHttpServer>> MetricsHttpServer::Start(
 MetricsHttpServer::~MetricsHttpServer() { Stop(); }
 
 void MetricsHttpServer::Stop() {
-  if (stopping_.exchange(true)) {
-    if (serve_thread_.joinable()) serve_thread_.join();
-    return;
+  if (!stopping_.exchange(true)) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    // Unblock every in-flight handler; each closes its own socket on the
+    // way out.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
   }
-  ::shutdown(listen_fd_, SHUT_RDWR);
   if (serve_thread_.joinable()) serve_thread_.join();
+  // The accept loop has exited, so no new handlers can appear.
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    handlers.swap(handlers_);
+    finished_.clear();
+  }
+  for (std::thread& t : handlers) t.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+}
+
+void MetricsHttpServer::ReapFinishedHandlers() {
+  std::vector<std::thread> reap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::thread::id id : finished_) {
+      const auto it =
+          std::find_if(handlers_.begin(), handlers_.end(),
+                       [id](const std::thread& t) { return t.get_id() == id; });
+      if (it != handlers_.end()) {
+        reap.push_back(std::move(*it));
+        handlers_.erase(it);
+      }
+    }
+    finished_.clear();
+  }
+  // A finished handler has already dropped mu_ and is exiting; these joins
+  // return (nearly) immediately.
+  for (std::thread& t : reap) t.join();
 }
 
 void MetricsHttpServer::ServeLoop() {
@@ -123,9 +155,35 @@ void MetricsHttpServer::ServeLoop() {
       if (errno == EINTR) continue;
       break;  // listener shut down
     }
-    HandleConnection(fd);
-    ::close(fd);
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    ReapFinishedHandlers();
+    // A stalled client trips these timers and is dropped; it never blocks
+    // the accept loop, which is already back in accept().
+    timeval timeout{};
+    timeout.tv_sec = options_.io_timeout_ms / 1000;
+    timeout.tv_usec =
+        static_cast<suseconds_t>(options_.io_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    std::lock_guard<std::mutex> lock(mu_);
+    // Stop() may have swept active_fds_ between accept() and here; under
+    // the same lock, make sure a late arrival is shut down too.
+    if (stopping_.load()) ::shutdown(fd, SHUT_RDWR);
+    active_fds_.push_back(fd);
+    handlers_.emplace_back([this, fd] { HandlerEntry(fd); });
   }
+}
+
+void MetricsHttpServer::HandlerEntry(int fd) {
+  HandleConnection(fd);
+  std::lock_guard<std::mutex> lock(mu_);
+  ::close(fd);
+  active_fds_.erase(std::remove(active_fds_.begin(), active_fds_.end(), fd),
+                    active_fds_.end());
+  finished_.push_back(std::this_thread::get_id());
 }
 
 void MetricsHttpServer::HandleConnection(int fd) {
@@ -138,6 +196,9 @@ void MetricsHttpServer::HandleConnection(int fd) {
     const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
     if (got <= 0) {
       if (got < 0 && errno == EINTR) continue;
+      if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return;  // stalled client: timeout fired, drop without an answer
+      }
       if (request.empty()) return;
       break;  // header-only request without terminator: route what we have
     }

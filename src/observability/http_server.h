@@ -12,16 +12,24 @@
 ///     identity);
 ///   * `GET /healthz`  — `ok\n` (liveness probe).
 ///
-/// Anything else is 404. The server is deliberately tiny: one accept
-/// thread handles connections serially (a scrape every few seconds is the
-/// design load — this is not a traffic port), reads until the header
-/// terminator, answers with `Connection: close`, and closes. Shutdown
-/// mirrors server/server.h: shutdown(2) the listener, join the thread.
+/// Anything else is 404. The server is deliberately tiny: an accept
+/// thread hands each connection to a short-lived handler thread (a scrape
+/// every few seconds is the design load — this is not a traffic port)
+/// that reads until the header terminator, answers with
+/// `Connection: close`, and closes. Every accepted socket carries
+/// SO_RCVTIMEO / SO_SNDTIMEO (`io_timeout_ms`), so a client that
+/// connects and then stalls mid-request is dropped when its timer fires
+/// instead of wedging the endpoint — `/healthz` keeps answering while a
+/// scraper hangs. Shutdown mirrors server/server.h: shutdown(2) the
+/// listener and every in-flight connection, then join all threads.
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "srs/common/json.h"
 #include "srs/common/result.h"
@@ -40,6 +48,10 @@ struct MetricsHttpOptions {
   /// Optional extra top-level `/statusz` fields, merged before the
   /// "metrics" object (e.g. serving identity). Called per request.
   std::function<JsonValue()> statusz_extra;
+
+  /// Per-connection receive/send timeout. A client that stalls for this
+  /// long mid-request or mid-response is closed without an answer.
+  int io_timeout_ms = 5000;
 };
 
 /// \brief A running exposition endpoint.
@@ -65,13 +77,22 @@ class MetricsHttpServer {
   explicit MetricsHttpServer(const MetricsHttpOptions& options);
 
   void ServeLoop();
+  void HandlerEntry(int fd);
   void HandleConnection(int fd);
+  void ReapFinishedHandlers();
 
   MetricsHttpOptions options_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread serve_thread_;
+
+  std::mutex mu_;
+  /// In-flight connection sockets; Stop() shuts each down so handler
+  /// threads unblock immediately instead of waiting out their timeouts.
+  std::vector<int> active_fds_;             // guarded by mu_
+  std::vector<std::thread> handlers_;       // guarded by mu_
+  std::vector<std::thread::id> finished_;   // guarded by mu_
 };
 
 }  // namespace srs

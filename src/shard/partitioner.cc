@@ -1,0 +1,51 @@
+#include "srs/shard/partitioner.h"
+
+#include "srs/common/logging.h"
+
+namespace srs {
+
+std::vector<ShardRange> UniformRangePartitioner::Partition(
+    const GraphSnapshot& snapshot, int num_shards) const {
+  SRS_CHECK_GE(num_shards, 1);
+  const int64_t n = snapshot.num_nodes;
+  std::vector<ShardRange> ranges(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    // Cut points n*s/S round down, so sizes differ by at most one and the
+    // ranges tile [0, n) exactly for any (n, S).
+    ranges[static_cast<size_t>(s)].begin = n * s / num_shards;
+    ranges[static_cast<size_t>(s)].end = n * (s + 1) / num_shards;
+  }
+  return ranges;
+}
+
+std::vector<ShardRange> EdgeBalancedPartitioner::Partition(
+    const GraphSnapshot& snapshot, int num_shards) const {
+  SRS_CHECK_GE(num_shards, 1);
+  const int64_t n = snapshot.num_nodes;
+  const int64_t total = snapshot.q.nnz() + snapshot.wt.nnz();
+  if (total == 0) {
+    return UniformRangePartitioner().Partition(snapshot, num_shards);
+  }
+  // Walk the per-row work prefix sum; shard s ends at the first row whose
+  // cumulative weight reaches total*(s+1)/S. Every node lands in exactly
+  // one shard; a giant row simply makes its shard heavy and may leave later
+  // shards empty — legal, and still better balanced than splitting it.
+  std::vector<ShardRange> ranges(static_cast<size_t>(num_shards));
+  int64_t row = 0;
+  int64_t cum = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    ShardRange& range = ranges[static_cast<size_t>(s)];
+    range.begin = row;
+    const int64_t target =
+        total * static_cast<int64_t>(s + 1) / num_shards;
+    while (row < n && cum < target) {
+      cum += snapshot.q.Row(row).nnz + snapshot.wt.Row(row).nnz;
+      ++row;
+    }
+    range.end = row;
+  }
+  ranges.back().end = n;  // zero-weight tail rows belong to the last shard
+  return ranges;
+}
+
+}  // namespace srs

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file partitioner.h
+/// \brief Node-range partitioning policies for in-process graph sharding.
+///
+/// The sharded serving path (shard/coordinator.h) splits the node range
+/// [0, n) into contiguous slices, one per shard, and row-partitions every
+/// level of the recurrence across them. Contiguity is load-bearing twice
+/// over: each shard's matrix-vector work is a row-range slice of the very
+/// gathers the unsharded kernels perform (CsrOverlay::MultiplyVectorRange),
+/// so the sharded answer stays bit-identical; and concatenating the slices
+/// in shard order re-creates ascending node order, which is exactly the
+/// candidate order the top-k engine scans — what makes shard-level pruning
+/// an observable no-op (see ShardCoordinator).
+///
+/// A Partitioner only chooses *where the cuts fall*. Any cut placement is
+/// correct (answers are identical for every partition); placement is purely
+/// a balance decision, so smarter policies — degree-aware, hotness-aware —
+/// slot in behind the same interface without touching the coordinator.
+
+#include <memory>
+#include <vector>
+
+#include "srs/engine/snapshot.h"
+
+namespace srs {
+
+/// Half-open node range [begin, end) owned by one shard. Ranges returned
+/// by a Partitioner are ascending, disjoint, and cover [0, n) exactly;
+/// empty ranges are legal (more shards than nodes, or a cut policy that
+/// exhausts the weight early).
+struct ShardRange {
+  int64_t begin = 0;
+  int64_t end = 0;
+
+  int64_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+};
+
+/// \brief Cut-placement policy: maps a snapshot to `num_shards` contiguous
+/// node ranges.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Returns exactly `num_shards` (>= 1) ranges that tile [0, num_nodes)
+  /// in ascending order.
+  virtual std::vector<ShardRange> Partition(const GraphSnapshot& snapshot,
+                                            int num_shards) const = 0;
+
+  /// Policy name for logs and benchmarks ("uniform", "edge-balanced").
+  virtual const char* name() const = 0;
+};
+
+/// \brief Equal node counts per shard — ignores degree skew. The baseline
+/// policy and the cheapest (no snapshot inspection).
+class UniformRangePartitioner : public Partitioner {
+ public:
+  std::vector<ShardRange> Partition(const GraphSnapshot& snapshot,
+                                    int num_shards) const override;
+  const char* name() const override { return "uniform"; }
+};
+
+/// \brief Cuts placed on the prefix sum of per-row work (q.nnz + wt.nnz per
+/// row), so each shard owns roughly 1/S of the edge traversals rather than
+/// 1/S of the nodes. On power-law graphs this is what actually balances
+/// the per-level fan-out; on near-regular graphs it degenerates to the
+/// uniform split. The default policy of the sharded serving path.
+class EdgeBalancedPartitioner : public Partitioner {
+ public:
+  std::vector<ShardRange> Partition(const GraphSnapshot& snapshot,
+                                    int num_shards) const override;
+  const char* name() const override { return "edge-balanced"; }
+};
+
+}  // namespace srs

@@ -1,0 +1,104 @@
+#include "srs/shard/sharded_graph.h"
+
+#include <algorithm>
+
+#include "srs/common/logging.h"
+
+namespace srs {
+
+namespace {
+
+/// Full O(n) recount of one slice's statistics over `snapshot`.
+ShardSlice CountSlice(const GraphSnapshot& snapshot, ShardRange range) {
+  ShardSlice slice;
+  slice.range = range;
+  for (int64_t r = range.begin; r < range.end; ++r) {
+    slice.q_nnz += snapshot.q.Row(r).nnz;
+    slice.wt_nnz += snapshot.wt.Row(r).nnz;
+  }
+  return slice;
+}
+
+/// Rows of `touched` (sorted) that land in `range`, as a [lo, hi) index
+/// pair into the vector.
+std::pair<size_t, size_t> TouchedInRange(const std::vector<NodeId>& touched,
+                                         ShardRange range) {
+  auto lo = std::lower_bound(touched.begin(), touched.end(), range.begin);
+  auto hi = std::lower_bound(lo, touched.end(), range.end);
+  return {static_cast<size_t>(lo - touched.begin()),
+          static_cast<size_t>(hi - touched.begin())};
+}
+
+}  // namespace
+
+std::shared_ptr<const ShardedGraph> ShardedGraph::Create(
+    std::shared_ptr<const GraphSnapshot> snapshot, int num_shards,
+    const Partitioner& partitioner) {
+  SRS_CHECK(snapshot != nullptr);
+  SRS_CHECK_GE(num_shards, 1);
+  const std::vector<ShardRange> ranges =
+      partitioner.Partition(*snapshot, num_shards);
+  SRS_CHECK_EQ(ranges.size(), static_cast<size_t>(num_shards));
+  std::vector<ShardSlice> slices;
+  slices.reserve(ranges.size());
+  for (const ShardRange& range : ranges) {
+    ShardSlice slice = CountSlice(*snapshot, range);
+    const auto [lo, hi] = TouchedInRange(snapshot->delta_touched, range);
+    slice.touched_rows = static_cast<int64_t>(hi - lo);
+    slices.push_back(slice);
+  }
+  return std::shared_ptr<const ShardedGraph>(
+      new ShardedGraph(std::move(snapshot), std::move(slices)));
+}
+
+std::shared_ptr<const ShardedGraph> ShardedGraph::Derive(
+    const std::shared_ptr<const ShardedGraph>& parent,
+    std::shared_ptr<const GraphSnapshot> child) {
+  SRS_CHECK(parent != nullptr && child != nullptr);
+  const GraphSnapshot& old = *parent->snapshot();
+  SRS_CHECK_EQ(old.num_nodes, child->num_nodes);
+
+  const bool extends =
+      child->parent_fingerprint == old.version_fingerprint &&
+      child->version == old.version + 1;
+  std::vector<ShardSlice> slices;
+  slices.reserve(parent->slices_.size());
+  for (const ShardSlice& prev : parent->slices_) {
+    const auto [lo, hi] = TouchedInRange(child->delta_touched, prev.range);
+    if (!extends) {
+      // Chain break (version skip, compaction landing elsewhere, foreign
+      // parent): the cuts still apply — node count is delta-invariant —
+      // but the incremental nnz diffs below would be against the wrong
+      // baseline, so recount this slice outright.
+      ShardSlice slice = CountSlice(*child, prev.range);
+      slice.touched_rows = static_cast<int64_t>(hi - lo);
+      slices.push_back(slice);
+      continue;
+    }
+    // Incremental: untouched rows have identical spans in parent and child
+    // (derived overlays share them physically), so only the touched rows'
+    // nnz can differ.
+    ShardSlice slice = prev;
+    slice.touched_rows = static_cast<int64_t>(hi - lo);
+    for (size_t i = lo; i < hi; ++i) {
+      const int64_t r = child->delta_touched[i];
+      slice.q_nnz += child->q.Row(r).nnz - old.q.Row(r).nnz;
+      slice.wt_nnz += child->wt.Row(r).nnz - old.wt.Row(r).nnz;
+    }
+    slices.push_back(slice);
+  }
+  return std::shared_ptr<const ShardedGraph>(
+      new ShardedGraph(std::move(child), std::move(slices)));
+}
+
+int ShardedGraph::ShardOf(int64_t node) const {
+  // First slice whose end exceeds the node; empty slices have begin ==
+  // end and can never win.
+  auto it = std::upper_bound(
+      slices_.begin(), slices_.end(), node,
+      [](int64_t v, const ShardSlice& s) { return v < s.range.end; });
+  SRS_CHECK(it != slices_.end());
+  return static_cast<int>(it - slices_.begin());
+}
+
+}  // namespace srs

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file sharded_graph.h
+/// \brief Per-shard view of one immutable GraphSnapshot.
+///
+/// A ShardedGraph does not materialize per-shard matrices — the edge-cut
+/// slices are *views*: each shard owns a contiguous node range of the one
+/// shared snapshot plus the per-shard statistics (edge counts, delta-touch
+/// counts) the coordinator and benchmarks read. Sharing the snapshot keeps
+/// sharded serving memory-neutral (the matrices exist once, whatever the
+/// shard count) and makes the bit-identity argument trivial: every shard
+/// computes over exactly the rows the unsharded kernels would.
+///
+/// Along a version chain, `Derive` carries a sharded view across one
+/// ApplyDelta incrementally: the cut points are reused (node count is
+/// delta-invariant), untouched shards copy the parent's statistics, and
+/// touched shards adjust their edge counts by the per-row nnz differences
+/// over `delta_touched` ∩ range — O(|touched| + S) instead of the O(n)
+/// from-scratch rescan. A chain mismatch (skipped version, foreign parent)
+/// falls back to the full recount over the same cuts.
+
+#include <memory>
+#include <vector>
+
+#include "srs/engine/snapshot.h"
+#include "srs/shard/partitioner.h"
+
+namespace srs {
+
+/// One shard's slice: its node range plus the statistics serving reads.
+struct ShardSlice {
+  ShardRange range;
+
+  /// Nonzeros of the backward transition Q (binomial kernels) and of Wᵀ
+  /// (RWR) restricted to the range's rows — the shard's per-level work.
+  int64_t q_nnz = 0;
+  int64_t wt_nnz = 0;
+
+  /// Rows of this shard the snapshot's delta touched (0 for roots) — how
+  /// much of the last ApplyDelta landed here.
+  int64_t touched_rows = 0;
+};
+
+/// \brief Immutable sharded view of one GraphSnapshot.
+class ShardedGraph {
+ public:
+  /// Partitions `snapshot` into `num_shards` (>= 1) slices using
+  /// `partitioner` and counts each slice's statistics (O(n)).
+  static std::shared_ptr<const ShardedGraph> Create(
+      std::shared_ptr<const GraphSnapshot> snapshot, int num_shards,
+      const Partitioner& partitioner);
+
+  /// Carries `parent`'s cuts onto `child` (the next snapshot of the same
+  /// version chain), adjusting statistics incrementally from
+  /// `child->delta_touched`. Falls back to a full recount over the same
+  /// cuts when `child` does not directly extend `parent`'s version.
+  static std::shared_ptr<const ShardedGraph> Derive(
+      const std::shared_ptr<const ShardedGraph>& parent,
+      std::shared_ptr<const GraphSnapshot> child);
+
+  const std::shared_ptr<const GraphSnapshot>& snapshot() const {
+    return snapshot_;
+  }
+  int num_shards() const { return static_cast<int>(slices_.size()); }
+  const std::vector<ShardSlice>& slices() const { return slices_; }
+  const ShardSlice& slice(int s) const {
+    return slices_[static_cast<size_t>(s)];
+  }
+
+  /// The shard whose range contains `node` (binary search over the cuts).
+  int ShardOf(int64_t node) const;
+
+ private:
+  ShardedGraph(std::shared_ptr<const GraphSnapshot> snapshot,
+               std::vector<ShardSlice> slices)
+      : snapshot_(std::move(snapshot)), slices_(std::move(slices)) {}
+
+  std::shared_ptr<const GraphSnapshot> snapshot_;
+  std::vector<ShardSlice> slices_;
+};
+
+}  // namespace srs

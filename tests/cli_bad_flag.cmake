@@ -1,0 +1,21 @@
+# Regression for strict CLI numeric parsing: a malformed flag value must
+# exit non-zero AND name both the flag and the offending text on stderr
+# (std::atoi used to fold `--port=abc` silently to port 0). Invoked from
+# tests/CMakeLists.txt with -DTOOL=<binary> -DFLAG=<flag> -DVALUE=<text>.
+execute_process(
+  COMMAND "${TOOL}" "${FLAG}=${VALUE}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(exit_code EQUAL 0)
+  message(FATAL_ERROR
+          "${TOOL} ${FLAG}=${VALUE} exited 0; expected a parse failure")
+endif()
+if(NOT err MATCHES "${FLAG}")
+  message(FATAL_ERROR
+          "stderr does not name the flag ${FLAG}:\n${err}")
+endif()
+if(NOT err MATCHES "${VALUE}")
+  message(FATAL_ERROR
+          "stderr does not name the offending value '${VALUE}':\n${err}")
+endif()

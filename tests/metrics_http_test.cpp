@@ -191,6 +191,76 @@ TEST_F(MetricsHttpTest, HealthzAnswersAndUnknownPathsAre404) {
       std::string::npos);
 }
 
+/// Connects to 127.0.0.1:port and returns the socket (-1 on failure).
+int ConnectTo(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Regression: the server used to handle connections inline on the accept
+// thread with no socket timeout, so one client that connected and then
+// went silent wedged /metrics and /healthz for everyone until it hung up.
+// Now each connection gets its own handler thread with SO_RCVTIMEO /
+// SO_SNDTIMEO, so probes keep answering while a client stalls.
+TEST_F(MetricsHttpTest, StalledClientDoesNotBlockOtherRequests) {
+  // Stall mid-request: bytes on the wire but no header terminator.
+  const int stalled = ConnectTo(server_->port());
+  ASSERT_GE(stalled, 0);
+  const std::string partial = "GET /metr";
+  ASSERT_EQ(::send(stalled, partial.data(), partial.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(partial.size()));
+
+  // While the client above sits silent, liveness and scrapes must answer.
+  // (Before the fix this blocked until the stalled client hung up —
+  // forever — and the test timed out.)
+  const std::string healthz = HttpGet(server_->port(), "/healthz");
+  EXPECT_NE(healthz.find("HTTP/1.0 200 OK"), std::string::npos) << healthz;
+  EXPECT_EQ(BodyOf(healthz), "ok\n");
+  EXPECT_NE(HttpGet(server_->port(), "/metrics").find("http_demo_total"),
+            std::string::npos);
+
+  ::close(stalled);
+}
+
+TEST(MetricsHttpStallTest, StalledClientIsDroppedWhenItsTimeoutFires) {
+  MetricsRegistry registry;
+  MetricsHttpOptions options;
+  options.registry = &registry;
+  options.io_timeout_ms = 200;
+  std::unique_ptr<MetricsHttpServer> server =
+      MetricsHttpServer::Start(options).MoveValueOrDie();
+
+  const int stalled = ConnectTo(server->port());
+  ASSERT_GE(stalled, 0);
+  const std::string partial = "GET /he";
+  ASSERT_EQ(::send(stalled, partial.data(), partial.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(partial.size()));
+  // Bound the wait so a regression fails fast instead of hanging the test.
+  timeval client_timeout{};
+  client_timeout.tv_sec = 10;
+  ::setsockopt(stalled, SOL_SOCKET, SO_RCVTIMEO, &client_timeout,
+               sizeof(client_timeout));
+  // The server's 200ms receive timeout fires and it closes the connection
+  // without an answer: the stalled client sees EOF, not a response.
+  char chunk[64];
+  EXPECT_EQ(::recv(stalled, chunk, sizeof(chunk), 0), 0);
+  ::close(stalled);
+
+  // The endpoint is still healthy afterwards.
+  EXPECT_NE(HttpGet(server->port(), "/healthz").find("200 OK"),
+            std::string::npos);
+}
+
 TEST_F(MetricsHttpTest, StopIsIdempotentAndRefusesNewConnections) {
   const int port = server_->port();
   server_->Stop();

@@ -50,13 +50,16 @@
 //   srs_query --graph cit.txt --apply-delta day1.delta --apply-delta \
 //             day2.delta --query 42 --topk 10
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <system_error>
 
 #include "srs/baselines/p_rank.h"
 #include "srs/baselines/rwr.h"
@@ -119,10 +122,71 @@ void Usage(const char* argv0) {
                argv0);
 }
 
+/// Parses `value` as a whole decimal integer in [min_value, max_value].
+/// Rejects — naming the flag and the offending text — anything atoi would
+/// have silently folded to 0: trailing garbage, empty values, overflow.
+bool ParseIntFlag(const char* flag, const char* value, long long min_value,
+                  long long max_value, long long* out) {
+  if (value == nullptr) {
+    std::fprintf(stderr, "%s requires a value\n", flag);
+    return false;
+  }
+  const char* end = value + std::strlen(value);
+  long long parsed = 0;
+  const auto [ptr, ec] = std::from_chars(value, end, parsed);
+  if (ec != std::errc() || ptr != end) {
+    std::fprintf(stderr, "%s: expected an integer, got '%s'\n", flag, value);
+    return false;
+  }
+  if (parsed < min_value || parsed > max_value) {
+    std::fprintf(stderr, "%s: %lld out of range [%lld, %lld]\n", flag,
+                 parsed, min_value, max_value);
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+bool ParseIntFlag(const char* flag, const char* value, long long min_value,
+                  long long max_value, int* out) {
+  long long wide = 0;
+  if (!ParseIntFlag(flag, value, min_value, max_value, &wide)) return false;
+  *out = static_cast<int>(wide);
+  return true;
+}
+
+bool ParseDoubleFlag(const char* flag, const char* value, double* out) {
+  if (value == nullptr) {
+    std::fprintf(stderr, "%s requires a value\n", flag);
+    return false;
+  }
+  const char* end = value + std::strlen(value);
+  double parsed = 0.0;
+  const auto [ptr, ec] = std::from_chars(value, end, parsed);
+  if (ec != std::errc() || ptr != end) {
+    std::fprintf(stderr, "%s: expected a number, got '%s'\n", flag, value);
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
 bool ParseCli(int argc, char** argv, CliOptions* options) {
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // `--flag=value` reaches the same strict parsers as `--flag value`.
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+        has_inline = true;
+      }
+    }
     auto next_value = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     if (arg == "--graph") {
@@ -134,38 +198,48 @@ bool ParseCli(int argc, char** argv, CliOptions* options) {
       if (v == nullptr) return false;
       options->measure = v;
     } else if (arg == "--query") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      options->queries.push_back(std::atoll(v));
+      long long id = 0;
+      if (!ParseIntFlag("--query", next_value(),
+                        std::numeric_limits<long long>::min(),
+                        std::numeric_limits<long long>::max(), &id)) {
+        return false;
+      }
+      options->queries.push_back(id);
     } else if (arg == "--sources-file") {
       const char* v = next_value();
       if (v == nullptr) return false;
       options->sources_file = v;
     } else if (arg == "--topk") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      options->topk = std::atoi(v);
+      if (!ParseIntFlag("--topk", next_value(), 0, 1 << 30,
+                        &options->topk)) {
+        return false;
+      }
     } else if (arg == "--damping") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      options->sim.damping = std::atof(v);
+      if (!ParseDoubleFlag("--damping", next_value(),
+                           &options->sim.damping)) {
+        return false;
+      }
     } else if (arg == "--iterations") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      options->sim.iterations = std::atoi(v);
+      if (!ParseIntFlag("--iterations", next_value(), 0, 1 << 30,
+                        &options->sim.iterations)) {
+        return false;
+      }
     } else if (arg == "--epsilon") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      options->sim.epsilon = std::atof(v);
+      if (!ParseDoubleFlag("--epsilon", next_value(),
+                           &options->sim.epsilon)) {
+        return false;
+      }
     } else if (arg == "--threads") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      const int t = std::atoi(v);
+      int t = 0;
+      if (!ParseIntFlag("--threads", next_value(), 0, 1 << 20, &t)) {
+        return false;
+      }
       options->sim.num_threads = t <= 0 ? srs::HardwareThreads() : t;
     } else if (arg == "--tile") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      options->tile = std::atoi(v);
+      if (!ParseIntFlag("--tile", next_value(), 0, 1 << 20,
+                        &options->tile)) {
+        return false;
+      }
     } else if (arg == "--backend") {
       const char* v = next_value();
       if (v == nullptr) return false;
@@ -174,30 +248,28 @@ bool ParseCli(int argc, char** argv, CliOptions* options) {
         return false;
       }
     } else if (arg == "--prune-eps") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      options->sim.prune_epsilon = std::atof(v);
+      if (!ParseDoubleFlag("--prune-eps", next_value(),
+                           &options->sim.prune_epsilon)) {
+        return false;
+      }
     } else if (arg == "--stats") {
       options->stats = true;
     } else if (arg == "--cache-mb") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      options->cache_mb = std::atoi(v);
+      if (!ParseIntFlag("--cache-mb", next_value(), 0, 1 << 20,
+                        &options->cache_mb)) {
+        return false;
+      }
     } else if (arg == "--apply-delta") {
       const char* v = next_value();
       if (v == nullptr) return false;
       options->delta_files.push_back(v);
     } else if (arg == "--version") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      char* end = nullptr;
-      options->version = std::strtoll(v, &end, 10);
-      if (end == v || *end != '\0' || options->version < 0) {
-        std::fprintf(stderr,
-                     "--version: '%s' is not a non-negative version id\n",
-                     v);
+      long long version = 0;
+      if (!ParseIntFlag("--version", next_value(), 0,
+                        std::numeric_limits<long long>::max(), &version)) {
         return false;
       }
+      options->version = version;
     } else if (arg == "--all-pairs") {
       const char* v = next_value();
       if (v == nullptr) return false;
@@ -211,8 +283,7 @@ bool ParseCli(int argc, char** argv, CliOptions* options) {
       return false;
     }
   }
-  return !options->graph_path.empty() && options->topk >= 0 &&
-         options->cache_mb >= 0 &&
+  return !options->graph_path.empty() &&
          (!options->queries.empty() || !options->sources_file.empty() ||
           !options->all_pairs_out.empty());
 }

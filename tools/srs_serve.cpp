@@ -3,10 +3,16 @@
 // Usage:
 //   srs_serve --graph FILE [--port N] [--threads N] [--undirected]
 //             [--damping C] [--iterations K | --epsilon E]
-//             [--backend dense|sparse] [--prune-eps E] [--cache-mb MB]
-//             [--max-batch N] [--max-pending N]
+//             [--backend dense|sparse] [--prune-eps E] [--shards S]
+//             [--cache-mb MB] [--max-batch N] [--max-pending N]
 //             [--data-dir DIR] [--wal-max-mb MB]
 //             [--metrics-port N] [--no-metrics]
+//
+// --shards S (>= 2) makes sharded scatter/gather serving the default:
+// queries fan each level of the recurrence out across S contiguous node
+// ranges (shard/coordinator.h) with answers bit-identical to unsharded
+// serving at prune-eps 0. Requests can still override per request with
+// the "shards" option.
 //
 // Loads the graph once, builds an SrsService over it, and serves the
 // line-delimited JSON protocol of src/server/protocol.h on
@@ -53,12 +59,14 @@
 //   srs_serve --graph cit.txt --port 7474 --threads 8 --cache-mb 256
 //   printf '{"op":"query","sources":[4],"top_k":5}\n' | nc 127.0.0.1 7474
 
+#include <charconv>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <chrono>
 #include <string>
+#include <system_error>
 #include <thread>
 
 #include "srs/common/json.h"
@@ -94,8 +102,8 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s --graph FILE [--port N] [--threads N] [--undirected]\n"
       "          [--damping C] [--iterations K] [--epsilon E]\n"
-      "          [--backend dense|sparse] [--prune-eps E] [--cache-mb MB]\n"
-      "          [--max-batch N] [--max-pending N]\n"
+      "          [--backend dense|sparse] [--prune-eps E] [--shards S]\n"
+      "          [--cache-mb MB] [--max-batch N] [--max-pending N]\n"
       "          [--data-dir DIR] [--wal-max-mb MB]\n"
       "          [--metrics-port N] [--no-metrics]\n"
       "\n"
@@ -107,10 +115,70 @@ void Usage(const char* argv0) {
       argv0);
 }
 
+// Strict numeric flag parsing: the whole value must be numeric and in
+// range, or the flag and the offending value are named on stderr. atoi's
+// silent "--port abc" -> 0 served real traffic on the wrong port.
+bool ParseIntFlag(const char* flag, const char* value, long long min_value,
+                  long long max_value, long long* out) {
+  if (value == nullptr) {
+    std::fprintf(stderr, "%s requires a value\n", flag);
+    return false;
+  }
+  const char* end = value + std::strlen(value);
+  long long parsed = 0;
+  const auto [ptr, ec] = std::from_chars(value, end, parsed);
+  if (ec != std::errc() || ptr != end || value == end) {
+    std::fprintf(stderr, "%s: expected an integer, got '%s'\n", flag, value);
+    return false;
+  }
+  if (parsed < min_value || parsed > max_value) {
+    std::fprintf(stderr, "%s: %lld out of range [%lld, %lld]\n", flag,
+                 parsed, min_value, max_value);
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+bool ParseIntFlag(const char* flag, const char* value, long long min_value,
+                  long long max_value, int* out) {
+  long long parsed = 0;
+  if (!ParseIntFlag(flag, value, min_value, max_value, &parsed)) return false;
+  *out = static_cast<int>(parsed);
+  return true;
+}
+
+bool ParseDoubleFlag(const char* flag, const char* value, double* out) {
+  if (value == nullptr) {
+    std::fprintf(stderr, "%s requires a value\n", flag);
+    return false;
+  }
+  const char* end = value + std::strlen(value);
+  double parsed = 0.0;
+  const auto [ptr, ec] = std::from_chars(value, end, parsed);
+  if (ec != std::errc() || ptr != end || value == end) {
+    std::fprintf(stderr, "%s: expected a number, got '%s'\n", flag, value);
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
 bool ParseCli(int argc, char** argv, CliOptions* options) {
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Accept both "--flag value" and "--flag=value" — the latter used to
+    // fall through to "unknown flag".
+    const char* inline_value = nullptr;
+    if (arg.rfind("--", 0) == 0) {
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = argv[i] + eq + 1;
+        arg.resize(eq);
+      }
+    }
     auto next_value = [&]() -> const char* {
+      if (inline_value != nullptr) return inline_value;
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     if (arg == "--graph") {
@@ -118,26 +186,35 @@ bool ParseCli(int argc, char** argv, CliOptions* options) {
       if (v == nullptr) return false;
       options->graph_path = v;
     } else if (arg == "--port") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      options->port = std::atoi(v);
+      if (!ParseIntFlag("--port", next_value(), 0, 65535, &options->port)) {
+        return false;
+      }
     } else if (arg == "--threads") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      const int t = std::atoi(v);
+      int t = 0;
+      if (!ParseIntFlag("--threads", next_value(), 0, 1 << 20, &t)) {
+        return false;
+      }
       options->sim.num_threads = t <= 0 ? srs::HardwareThreads() : t;
+    } else if (arg == "--shards") {
+      if (!ParseIntFlag("--shards", next_value(), 0, 4096,
+                        &options->sim.shards)) {
+        return false;
+      }
     } else if (arg == "--damping") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      options->sim.damping = std::atof(v);
+      if (!ParseDoubleFlag("--damping", next_value(),
+                           &options->sim.damping)) {
+        return false;
+      }
     } else if (arg == "--iterations") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      options->sim.iterations = std::atoi(v);
+      if (!ParseIntFlag("--iterations", next_value(), 0, 1 << 30,
+                        &options->sim.iterations)) {
+        return false;
+      }
     } else if (arg == "--epsilon") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      options->sim.epsilon = std::atof(v);
+      if (!ParseDoubleFlag("--epsilon", next_value(),
+                           &options->sim.epsilon)) {
+        return false;
+      }
     } else if (arg == "--backend") {
       const char* v = next_value();
       if (v == nullptr) return false;
@@ -146,33 +223,39 @@ bool ParseCli(int argc, char** argv, CliOptions* options) {
         return false;
       }
     } else if (arg == "--prune-eps") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      options->sim.prune_epsilon = std::atof(v);
+      if (!ParseDoubleFlag("--prune-eps", next_value(),
+                           &options->sim.prune_epsilon)) {
+        return false;
+      }
     } else if (arg == "--cache-mb") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      options->cache_mb = std::atoi(v);
+      if (!ParseIntFlag("--cache-mb", next_value(), 0, 1 << 20,
+                        &options->cache_mb)) {
+        return false;
+      }
     } else if (arg == "--max-batch") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      options->max_batch = std::atoi(v);
+      if (!ParseIntFlag("--max-batch", next_value(), 1, 1 << 30,
+                        &options->max_batch)) {
+        return false;
+      }
     } else if (arg == "--max-pending") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      options->max_pending = std::atoi(v);
+      if (!ParseIntFlag("--max-pending", next_value(), 1, 1 << 30,
+                        &options->max_pending)) {
+        return false;
+      }
     } else if (arg == "--data-dir") {
       const char* v = next_value();
       if (v == nullptr) return false;
       options->data_dir = v;
     } else if (arg == "--wal-max-mb") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      options->wal_max_mb = std::atoi(v);
+      if (!ParseIntFlag("--wal-max-mb", next_value(), 1, 1 << 20,
+                        &options->wal_max_mb)) {
+        return false;
+      }
     } else if (arg == "--metrics-port") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      options->metrics_port = std::atoi(v);
+      if (!ParseIntFlag("--metrics-port", next_value(), 0, 65535,
+                        &options->metrics_port)) {
+        return false;
+      }
     } else if (arg == "--no-metrics") {
       options->metrics = false;
     } else if (arg == "--undirected") {
@@ -187,11 +270,7 @@ bool ParseCli(int argc, char** argv, CliOptions* options) {
   // --graph is optional exactly when a data directory can be recovered.
   const bool recoverable = !options->data_dir.empty() &&
                            srs::DurableStore::HasState(options->data_dir);
-  return (!options->graph_path.empty() || recoverable) &&
-         options->port >= 0 && options->port <= 65535 &&
-         options->metrics_port <= 65535 &&
-         options->cache_mb >= 0 && options->wal_max_mb >= 1 &&
-         options->max_batch >= 1 && options->max_pending >= 1;
+  return !options->graph_path.empty() || recoverable;
 }
 
 // SIGINT/SIGTERM set a flag the main loop polls; everything non-trivial
